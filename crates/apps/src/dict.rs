@@ -1,0 +1,318 @@
+//! Redis' dictionary: an open-addressing hash table in simulated memory.
+//!
+//! The bucket array and every key/value payload live on the Redis
+//! compartment's heap, so a compromised network stack (or any other
+//! compartment) cannot read stored values without faulting — the exact
+//! property the Figure 6 configurations buy.
+
+use std::rc::Rc;
+
+use flexos_core::env::{Env, Work};
+use flexos_machine::addr::Addr;
+use flexos_machine::fault::Fault;
+
+/// Bucket layout: key_addr u64, val_addr u64, key_len u32, val_len u32,
+/// state u32 (0 empty, 1 used, 2 tombstone), pad u32.
+const BUCKET_BYTES: u64 = 32;
+
+const STATE_EMPTY: u32 = 0;
+const STATE_USED: u32 = 1;
+const STATE_TOMB: u32 = 2;
+
+/// An open-addressing (linear probing) hash table over simulated memory.
+#[derive(Debug)]
+pub struct Dict {
+    env: Rc<Env>,
+    buckets: Addr,
+    capacity: u64,
+    len: u64,
+}
+
+impl Dict {
+    /// Allocates a dictionary with `capacity` buckets (power of two) on
+    /// the current compartment's heap.
+    ///
+    /// # Errors
+    ///
+    /// Heap exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not a power of two.
+    pub fn with_capacity(env: Rc<Env>, capacity: u64) -> Result<Dict, Fault> {
+        assert!(capacity.is_power_of_two(), "capacity must be a power of two");
+        let buckets = env.malloc(capacity * BUCKET_BYTES)?;
+        // Zero the bucket array (state = EMPTY).
+        let zeros = vec![0u8; (capacity * BUCKET_BYTES) as usize];
+        env.mem_write(buckets, &zeros)?;
+        Ok(Dict {
+            env,
+            buckets,
+            capacity,
+            len: 0,
+        })
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn hash(&self, key: &[u8]) -> u64 {
+        // SipHash-flavoured mixing is overkill; Redis uses SipHash-1-2 but
+        // the distribution property is what matters here (FNV-1a).
+        self.env.compute(Work {
+            cycles: 10 + key.len() as u64,
+            alu_ops: 2 * key.len() as u64,
+            frames: 1,
+            mem_accesses: key.len() as u64 / 8 + 1,
+            ..Work::default()
+        });
+        key.iter().fold(0xCBF2_9CE4_8422_2325u64, |h, &b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+        })
+    }
+
+    fn bucket_addr(&self, idx: u64) -> Addr {
+        self.buckets + (idx & (self.capacity - 1)) * BUCKET_BYTES
+    }
+
+    fn read_bucket(&self, idx: u64) -> Result<(u64, u64, u32, u32, u32), Fault> {
+        let at = self.bucket_addr(idx);
+        let mut raw = [0u8; 32];
+        self.env.mem_read(at, &mut raw)?;
+        Ok((
+            u64::from_le_bytes(raw[0..8].try_into().expect("8 bytes")),
+            u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes")),
+            u32::from_le_bytes(raw[16..20].try_into().expect("4 bytes")),
+            u32::from_le_bytes(raw[20..24].try_into().expect("4 bytes")),
+            u32::from_le_bytes(raw[24..28].try_into().expect("4 bytes")),
+        ))
+    }
+
+    fn write_bucket(
+        &self,
+        idx: u64,
+        key_addr: u64,
+        val_addr: u64,
+        key_len: u32,
+        val_len: u32,
+        state: u32,
+    ) -> Result<(), Fault> {
+        let mut raw = [0u8; 32];
+        raw[0..8].copy_from_slice(&key_addr.to_le_bytes());
+        raw[8..16].copy_from_slice(&val_addr.to_le_bytes());
+        raw[16..20].copy_from_slice(&key_len.to_le_bytes());
+        raw[20..24].copy_from_slice(&val_len.to_le_bytes());
+        raw[24..28].copy_from_slice(&state.to_le_bytes());
+        self.env.mem_write(self.bucket_addr(idx), &raw)
+    }
+
+    fn key_matches(&self, key_addr: u64, key_len: u32, key: &[u8]) -> Result<bool, Fault> {
+        if key_len as usize != key.len() {
+            return Ok(false);
+        }
+        let stored = self.env.mem_read_vec(Addr::new(key_addr), key_len as u64)?;
+        Ok(stored == key)
+    }
+
+    /// Inserts or replaces `key` → `value`.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::ResourceExhausted`] when the table is full or the heap is
+    /// exhausted; protection faults from a foreign compartment.
+    pub fn set(&mut self, key: &[u8], value: &[u8]) -> Result<(), Fault> {
+        let mut idx = self.hash(key);
+        for _ in 0..self.capacity {
+            let (kaddr, vaddr, klen, _vlen, state) = self.read_bucket(idx)?;
+            match state {
+                STATE_EMPTY | STATE_TOMB => {
+                    let key_addr = self.env.malloc(key.len().max(1) as u64)?;
+                    self.env.mem_write(key_addr, key)?;
+                    let val_addr = self.env.malloc(value.len().max(1) as u64)?;
+                    self.env.mem_write(val_addr, value)?;
+                    self.write_bucket(
+                        idx,
+                        key_addr.raw(),
+                        val_addr.raw(),
+                        key.len() as u32,
+                        value.len() as u32,
+                        STATE_USED,
+                    )?;
+                    self.len += 1;
+                    return Ok(());
+                }
+                _ if self.key_matches(kaddr, klen, key)? => {
+                    // Replace the value in place.
+                    self.env.free(Addr::new(vaddr))?;
+                    let val_addr = self.env.malloc(value.len().max(1) as u64)?;
+                    self.env.mem_write(val_addr, value)?;
+                    self.write_bucket(
+                        idx,
+                        kaddr,
+                        val_addr.raw(),
+                        klen,
+                        value.len() as u32,
+                        STATE_USED,
+                    )?;
+                    return Ok(());
+                }
+                _ => idx = idx.wrapping_add(1),
+            }
+        }
+        Err(Fault::ResourceExhausted {
+            what: "redis dict buckets",
+        })
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Protection faults from a foreign compartment.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, Fault> {
+        let mut idx = self.hash(key);
+        for _ in 0..self.capacity {
+            let (kaddr, vaddr, klen, vlen, state) = self.read_bucket(idx)?;
+            match state {
+                STATE_EMPTY => return Ok(None),
+                STATE_USED if self.key_matches(kaddr, klen, key)? => {
+                    return Ok(Some(self.env.mem_read_vec(Addr::new(vaddr), vlen as u64)?));
+                }
+                _ => idx = idx.wrapping_add(1),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Removes `key`, returning `true` if it existed.
+    ///
+    /// # Errors
+    ///
+    /// Protection faults from a foreign compartment.
+    pub fn del(&mut self, key: &[u8]) -> Result<bool, Fault> {
+        let mut idx = self.hash(key);
+        for _ in 0..self.capacity {
+            let (kaddr, vaddr, klen, _vlen, state) = self.read_bucket(idx)?;
+            match state {
+                STATE_EMPTY => return Ok(false),
+                STATE_USED if self.key_matches(kaddr, klen, key)? => {
+                    self.env.free(Addr::new(kaddr))?;
+                    self.env.free(Addr::new(vaddr))?;
+                    self.write_bucket(idx, 0, 0, 0, 0, STATE_TOMB)?;
+                    self.len -= 1;
+                    return Ok(true);
+                }
+                _ => idx = idx.wrapping_add(1),
+            }
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexos_core::backend::NoneBackend;
+    use flexos_core::config::SafetyConfig;
+    use flexos_core::image::ImageBuilder;
+    use flexos_core::prelude::{Component, ComponentKind};
+    use flexos_machine::Machine;
+
+    fn env() -> Rc<Env> {
+        let machine = Machine::new(Machine::DEFAULT_MEM_BYTES);
+        let mut b = ImageBuilder::new(machine, SafetyConfig::none());
+        b.register(Component::new("redis", ComponentKind::App)).unwrap();
+        b.build(&[&NoneBackend]).unwrap().env
+    }
+
+    #[test]
+    fn set_get_del_roundtrip() {
+        let env = env();
+        let redis = env.component_id("redis").unwrap();
+        env.run_as(redis, || {
+            let mut d = Dict::with_capacity(Rc::clone(&env), 64).unwrap();
+            d.set(b"alpha", b"1").unwrap();
+            d.set(b"beta", b"2").unwrap();
+            assert_eq!(d.get(b"alpha").unwrap(), Some(b"1".to_vec()));
+            assert_eq!(d.get(b"gamma").unwrap(), None);
+            assert!(d.del(b"alpha").unwrap());
+            assert!(!d.del(b"alpha").unwrap());
+            assert_eq!(d.get(b"alpha").unwrap(), None);
+            assert_eq!(d.len(), 1);
+        });
+    }
+
+    #[test]
+    fn replace_updates_value() {
+        let env = env();
+        let redis = env.component_id("redis").unwrap();
+        env.run_as(redis, || {
+            let mut d = Dict::with_capacity(Rc::clone(&env), 16).unwrap();
+            d.set(b"k", b"old").unwrap();
+            d.set(b"k", b"newer-value").unwrap();
+            assert_eq!(d.get(b"k").unwrap(), Some(b"newer-value".to_vec()));
+            assert_eq!(d.len(), 1);
+        });
+    }
+
+    #[test]
+    fn survives_collisions_and_many_keys() {
+        let env = env();
+        let redis = env.component_id("redis").unwrap();
+        env.run_as(redis, || {
+            let mut d = Dict::with_capacity(Rc::clone(&env), 256).unwrap();
+            for i in 0..200u32 {
+                d.set(format!("key:{i}").as_bytes(), format!("val:{i}").as_bytes())
+                    .unwrap();
+            }
+            for i in 0..200u32 {
+                assert_eq!(
+                    d.get(format!("key:{i}").as_bytes()).unwrap(),
+                    Some(format!("val:{i}").into_bytes()),
+                    "key {i}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn full_table_reports_exhaustion() {
+        let env = env();
+        let redis = env.component_id("redis").unwrap();
+        env.run_as(redis, || {
+            let mut d = Dict::with_capacity(Rc::clone(&env), 4).unwrap();
+            for i in 0..4 {
+                d.set(format!("k{i}").as_bytes(), b"v").unwrap();
+            }
+            assert!(matches!(
+                d.set(b"overflow", b"v"),
+                Err(Fault::ResourceExhausted { .. })
+            ));
+        });
+    }
+
+    #[test]
+    fn tombstones_keep_probe_chains_alive() {
+        let env = env();
+        let redis = env.component_id("redis").unwrap();
+        env.run_as(redis, || {
+            let mut d = Dict::with_capacity(Rc::clone(&env), 8).unwrap();
+            // Build a probe chain, delete the middle, verify the tail is
+            // still reachable.
+            for i in 0..5 {
+                d.set(format!("x{i}").as_bytes(), b"v").unwrap();
+            }
+            d.del(b"x2").unwrap();
+            for i in [0u32, 1, 3, 4] {
+                assert!(d.get(format!("x{i}").as_bytes()).unwrap().is_some());
+            }
+        });
+    }
+}

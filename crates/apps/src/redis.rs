@@ -1,0 +1,267 @@
+//! The Redis port: event loop, RESP commands, keyspace (§6.1).
+//!
+//! Mirrors the structure the paper's Figure 6 profile depends on:
+//!
+//! * a **blocking** event loop: every request blocks on `recv`, which
+//!   consults and yields to the scheduler through the libc — the reason
+//!   isolating uksched costs Redis ~43% while Nginx pays ~6%;
+//! * heavy libc chatter: RESP parsing and reply building go through
+//!   newlib string helpers (`memchr`, `atoi`, `itoa`, `memcpy`), making
+//!   the redis↔newlib edge the hottest in the image — which is why the
+//!   Figure 8 strategies keep redis+newlib co-located;
+//! * the keyspace lives in a [`Dict`] on the Redis compartment's heap, in
+//!   simulated, key-protected memory.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use flexos_core::component::ComponentId;
+use flexos_core::env::{Env, Work};
+use flexos_libc::Newlib;
+use flexos_machine::fault::Fault;
+use flexos_net::SocketHandle;
+use flexos_sched::Scheduler;
+
+use crate::dict::Dict;
+use crate::resp;
+
+/// Counters for the harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RedisStats {
+    /// Commands processed.
+    pub commands: u64,
+    /// GET hits.
+    pub hits: u64,
+    /// GET misses.
+    pub misses: u64,
+}
+
+/// The Redis server application component.
+pub struct RedisServer {
+    env: Rc<Env>,
+    id: ComponentId,
+    libc: Rc<Newlib>,
+    sched: Rc<Scheduler>,
+    dict: RefCell<Dict>,
+    listener: Cell<Option<SocketHandle>>,
+    pending: RefCell<Vec<u8>>,
+    stats: Cell<RedisStats>,
+}
+
+/// Default redis port.
+pub const REDIS_PORT: u16 = 6379;
+
+impl RedisServer {
+    /// Creates the server (`id` must be the redis component's id).
+    ///
+    /// # Errors
+    ///
+    /// Heap exhaustion allocating the keyspace.
+    pub fn new(
+        env: Rc<Env>,
+        id: ComponentId,
+        libc: Rc<Newlib>,
+        sched: Rc<Scheduler>,
+    ) -> Result<Self, Fault> {
+        let dict = env.run_as(id, || Dict::with_capacity(Rc::clone(&env), 16384))?;
+        Ok(RedisServer {
+            env,
+            id,
+            libc,
+            sched,
+            dict: RefCell::new(dict),
+            listener: Cell::new(None),
+            pending: RefCell::new(Vec::new()),
+            stats: Cell::new(RedisStats::default()),
+        })
+    }
+
+    /// This component's id.
+    pub fn component_id(&self) -> ComponentId {
+        self.id
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RedisStats {
+        self.stats.get()
+    }
+
+    /// Binds and listens on [`REDIS_PORT`]; runs as the redis component.
+    ///
+    /// # Errors
+    ///
+    /// Stack faults.
+    pub fn start(&self) -> Result<(), Fault> {
+        self.env.run_as(self.id, || {
+            let sock = self.libc.listen(REDIS_PORT)?;
+            self.listener.set(Some(sock));
+            Ok(())
+        })
+    }
+
+    /// Accepts one pending connection (runs as the redis component).
+    ///
+    /// # Errors
+    ///
+    /// Stack faults; no-listener configuration errors.
+    pub fn accept(&self) -> Result<Option<SocketHandle>, Fault> {
+        self.env.run_as(self.id, || {
+            let listener = self.listener.get().ok_or(Fault::InvalidConfig {
+                reason: "redis: accept before start".to_string(),
+            })?;
+            self.libc.accept(listener)
+        })
+    }
+
+    /// One event-loop iteration on a connection: blocking-recv a request,
+    /// execute it, send the reply. Returns `false` at EOF.
+    ///
+    /// # Errors
+    ///
+    /// Protocol violations and substrate faults.
+    pub fn serve_one(&self, conn: SocketHandle) -> Result<bool, Fault> {
+        self.env.run_as(self.id, || self.serve_one_inner(conn))
+    }
+
+    fn serve_one_inner(&self, conn: SocketHandle) -> Result<bool, Fault> {
+        // Event-loop bookkeeping: the beforeSleep()/serverCron() pattern —
+        // Redis touches the scheduler every iteration (R↔S edge).
+        self.env.call(self.sched.component_id(), "uksched_yield", || {
+            self.sched.yield_now();
+            Ok(())
+        })?;
+        self.env.call(self.sched.component_id(), "uksched_current", || {
+            self.sched.current();
+            Ok(())
+        })?;
+        self.env.compute(Work {
+            cycles: 170,
+            alu_ops: 55,
+            frames: 9,
+            indirect_calls: 3,
+            mem_accesses: 40,
+            ..Work::default()
+        });
+
+        // Blocking read until one full RESP request is buffered.
+        loop {
+            let buffered = self.pending.borrow().clone();
+            if !buffered.is_empty() {
+                if let Some((req, used)) = self.parse_with_libc(&buffered)? {
+                    self.pending.borrow_mut().drain(..used);
+                    let reply = self.execute(&req)?;
+                    self.libc.send(conn, &reply)?;
+                    let mut s = self.stats.get();
+                    s.commands += 1;
+                    self.stats.set(s);
+                    return Ok(true);
+                }
+            }
+            let chunk = self.libc.recv(conn, 4096)?;
+            if chunk.is_empty() {
+                return Ok(false); // EOF or starved
+            }
+            let mut pending = self.pending.borrow_mut();
+            self.libc.memcpy(&mut pending, &chunk)?;
+        }
+    }
+
+    /// RESP parse, issuing the libc string calls real Redis makes
+    /// (sdssplitlen/memchr/atoi chatter — the R↔N hot edge).
+    fn parse_with_libc(&self, buf: &[u8]) -> Result<Option<(resp::RespRequest, usize)>, Fault> {
+        // Header line scan.
+        self.libc.memchr(buf, b'\n')?;
+        // Argument-count and first-bulk-length parses.
+        if buf.len() > 1 {
+            let digits_end = buf[1..]
+                .iter()
+                .position(|b| !b.is_ascii_digit())
+                .unwrap_or(0);
+            if digits_end > 0 {
+                self.libc.atoi(&buf[1..1 + digits_end])?;
+            }
+        }
+        self.libc.memchr(&buf[buf.len().min(4)..], b'$')?;
+        self.env.compute(Work {
+            cycles: 230,
+            alu_ops: 95,
+            frames: 12,
+            mem_accesses: 30 + buf.len().min(128) as u64 / 2,
+            indirect_calls: 4,
+            ..Work::default()
+        });
+        resp::decode_request(buf)
+    }
+
+    fn execute(&self, req: &resp::RespRequest) -> Result<Vec<u8>, Fault> {
+        let argv = &req.argv;
+        if argv.is_empty() {
+            return Ok(resp::error_reply("empty command"));
+        }
+        // Command dispatch (table lookup + indirect call in real Redis).
+        self.env.compute(Work {
+            cycles: 210,
+            alu_ops: 80,
+            frames: 11,
+            indirect_calls: 4,
+            mem_accesses: 48,
+            ..Work::default()
+        });
+        let cmd = argv[0].to_ascii_uppercase();
+        let mut s = self.stats.get();
+        let reply = match cmd.as_slice() {
+            b"PING" => resp::pong_reply(),
+            b"SET" if argv.len() == 3 => {
+                self.dict.borrow_mut().set(&argv[1], &argv[2])?;
+                resp::ok_reply()
+            }
+            b"GET" if argv.len() == 2 => match self.dict.borrow().get(&argv[1])? {
+                Some(value) => {
+                    s.hits += 1;
+                    // Reply building through libc: itoa for the length
+                    // header + memcpy of the payload.
+                    let len_digits = self.libc.itoa(value.len() as i64)?;
+                    let mut reply = Vec::with_capacity(value.len() + len_digits.len() + 5);
+                    reply.push(b'$');
+                    self.libc.memcpy(&mut reply, &len_digits)?;
+                    reply.extend_from_slice(b"\r\n");
+                    self.libc.memcpy(&mut reply, &value)?;
+                    reply.extend_from_slice(b"\r\n");
+                    reply
+                }
+                None => {
+                    s.misses += 1;
+                    resp::nil_reply()
+                }
+            },
+            b"DEL" if argv.len() == 2 => {
+                let existed = self.dict.borrow_mut().del(&argv[1])?;
+                resp::int_reply(existed as i64)
+            }
+            _ => resp::error_reply("unknown command"),
+        };
+        self.stats.set(s);
+        Ok(reply)
+    }
+
+    /// Direct keyspace access for test setup (bypasses the protocol, still
+    /// runs as the redis component so memory protection applies).
+    ///
+    /// # Errors
+    ///
+    /// Dict/heap faults.
+    pub fn preload(&self, pairs: &[(&[u8], &[u8])]) -> Result<(), Fault> {
+        self.env.run_as(self.id, || {
+            let mut dict = self.dict.borrow_mut();
+            for (k, v) in pairs {
+                dict.set(k, v)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Number of keys stored.
+    pub fn keyspace_len(&self) -> u64 {
+        self.dict.borrow().len()
+    }
+}

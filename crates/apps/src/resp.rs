@@ -1,0 +1,164 @@
+//! RESP (REdis Serialization Protocol) encoding and decoding.
+//!
+//! The subset redis-benchmark exercises: arrays of bulk strings for
+//! requests; simple strings, errors, integers, and bulk strings for
+//! replies.
+
+use flexos_machine::fault::Fault;
+
+/// A parsed RESP request: the argument vector of one command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RespRequest {
+    /// Command arguments (`argv[0]` is the command name).
+    pub argv: Vec<Vec<u8>>,
+}
+
+/// Encodes a request as a RESP array of bulk strings (what
+/// redis-benchmark sends).
+pub fn encode_request(argv: &[&[u8]]) -> Vec<u8> {
+    let mut out = format!("*{}\r\n", argv.len()).into_bytes();
+    for arg in argv {
+        out.extend_from_slice(format!("${}\r\n", arg.len()).as_bytes());
+        out.extend_from_slice(arg);
+        out.extend_from_slice(b"\r\n");
+    }
+    out
+}
+
+/// Incremental decode of one RESP request from `buf`; returns the request
+/// and how many bytes it consumed, or `None` if the buffer is incomplete.
+///
+/// # Errors
+///
+/// [`Fault::InvalidConfig`] on protocol violations (bad type byte,
+/// non-numeric lengths).
+pub fn decode_request(buf: &[u8]) -> Result<Option<(RespRequest, usize)>, Fault> {
+    let bad = |what: &str| Fault::InvalidConfig {
+        reason: format!("RESP protocol error: {what}"),
+    };
+    let mut pos = 0usize;
+    let line = match read_line(buf, pos) {
+        Some(l) => l,
+        None => return Ok(None),
+    };
+    if buf[pos] != b'*' {
+        return Err(bad("expected array"));
+    }
+    let argc: usize = parse_int(&buf[pos + 1..line.0]).ok_or_else(|| bad("bad array length"))?;
+    pos = line.1;
+    let mut argv = Vec::with_capacity(argc);
+    for _ in 0..argc {
+        let line = match read_line(buf, pos) {
+            Some(l) => l,
+            None => return Ok(None),
+        };
+        if buf[pos] != b'$' {
+            return Err(bad("expected bulk string"));
+        }
+        let len: usize = parse_int(&buf[pos + 1..line.0]).ok_or_else(|| bad("bad bulk length"))?;
+        pos = line.1;
+        if buf.len() < pos + len + 2 {
+            return Ok(None);
+        }
+        argv.push(buf[pos..pos + len].to_vec());
+        if &buf[pos + len..pos + len + 2] != b"\r\n" {
+            return Err(bad("bulk string not CRLF-terminated"));
+        }
+        pos += len + 2;
+    }
+    Ok(Some((RespRequest { argv }, pos)))
+}
+
+fn read_line(buf: &[u8], from: usize) -> Option<(usize, usize)> {
+    // Returns (index of '\r', index after '\n').
+    let rel = buf[from..].windows(2).position(|w| w == b"\r\n")?;
+    Some((from + rel, from + rel + 2))
+}
+
+fn parse_int(digits: &[u8]) -> Option<usize> {
+    std::str::from_utf8(digits).ok()?.parse().ok()
+}
+
+/// `+OK\r\n`.
+pub fn ok_reply() -> Vec<u8> {
+    b"+OK\r\n".to_vec()
+}
+
+/// `+PONG\r\n`.
+pub fn pong_reply() -> Vec<u8> {
+    b"+PONG\r\n".to_vec()
+}
+
+/// `$-1\r\n` (nil bulk string).
+pub fn nil_reply() -> Vec<u8> {
+    b"$-1\r\n".to_vec()
+}
+
+/// `:n\r\n`.
+pub fn int_reply(n: i64) -> Vec<u8> {
+    format!(":{n}\r\n").into_bytes()
+}
+
+/// `-ERR msg\r\n`.
+pub fn error_reply(msg: &str) -> Vec<u8> {
+    format!("-ERR {msg}\r\n").into_bytes()
+}
+
+/// `$len\r\n<data>\r\n`.
+pub fn bulk_reply(data: &[u8]) -> Vec<u8> {
+    let mut out = format!("${}\r\n", data.len()).into_bytes();
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let wire = encode_request(&[b"SET", b"key:1", b"value-abc"]);
+        let (req, used) = decode_request(&wire).unwrap().unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(req.argv, vec![b"SET".to_vec(), b"key:1".to_vec(), b"value-abc".to_vec()]);
+    }
+
+    #[test]
+    fn partial_input_asks_for_more() {
+        let wire = encode_request(&[b"GET", b"key"]);
+        for cut in 1..wire.len() {
+            assert_eq!(
+                decode_request(&wire[..cut]).unwrap(),
+                None,
+                "cut at {cut} must be incomplete"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one() {
+        let mut wire = encode_request(&[b"GET", b"a"]);
+        let second = encode_request(&[b"GET", b"b"]);
+        wire.extend_from_slice(&second);
+        let (req, used) = decode_request(&wire).unwrap().unwrap();
+        assert_eq!(req.argv[1], b"a");
+        let (req2, _) = decode_request(&wire[used..]).unwrap().unwrap();
+        assert_eq!(req2.argv[1], b"b");
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(decode_request(b"!3\r\nxx\r\n").is_err());
+        assert!(decode_request(b"*x\r\n").is_err());
+    }
+
+    #[test]
+    fn reply_encoders() {
+        assert_eq!(ok_reply(), b"+OK\r\n");
+        assert_eq!(nil_reply(), b"$-1\r\n");
+        assert_eq!(int_reply(42), b":42\r\n");
+        assert_eq!(bulk_reply(b"xyz"), b"$3\r\nxyz\r\n");
+        assert!(error_reply("unknown command").starts_with(b"-ERR"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Workload drivers: the paper's load generators (§6).
+//!
+//! Each driver installs an application into a booted [`FlexOs`] instance,
+//! drives it with the paper's client (redis-benchmark-style GET loop,
+//! wrk-style HTTP loop, the iPerf stream, the 5000-INSERT SQLite loop),
+//! and reports virtual-cycle metrics. Client-side work is free (dedicated
+//! client cores in the paper's testbed); everything the OS does is
+//! charged on the machine clock.
+
+use std::rc::Rc;
+
+use flexos_machine::fault::Fault;
+use flexos_net::TcpClient;
+use flexos_system::FlexOs;
+
+use crate::iperf::{IperfServer, IPERF_PORT};
+use crate::nginx::{NginxServer, NGINX_PORT};
+use crate::redis::{RedisServer, REDIS_PORT};
+use crate::resp;
+use crate::sqlite::Sqlite;
+
+/// Metrics from one measured run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMetrics {
+    /// Operations performed in the measured phase.
+    pub ops: u64,
+    /// Cycles consumed by the measured phase.
+    pub cycles: u64,
+    /// Cycles per operation.
+    pub cycles_per_op: f64,
+    /// Operations per second at the calibrated clock.
+    pub ops_per_sec: f64,
+}
+
+fn metrics(os: &FlexOs, ops: u64, cycles: u64) -> RunMetrics {
+    let cycles_per_op = cycles as f64 / ops.max(1) as f64;
+    RunMetrics {
+        ops,
+        cycles,
+        cycles_per_op,
+        ops_per_sec: os.env.machine().cost().freq_hz as f64 / cycles_per_op,
+    }
+}
+
+/// Installs a Redis server (component `redis` must be registered in the
+/// image) and returns it started and listening.
+///
+/// # Errors
+///
+/// Missing component or substrate faults.
+pub fn install_redis(os: &FlexOs) -> Result<Rc<RedisServer>, Fault> {
+    let id = os.component("redis").ok_or(Fault::InvalidConfig {
+        reason: "image has no `redis` component".to_string(),
+    })?;
+    let server = Rc::new(RedisServer::new(
+        Rc::clone(&os.env),
+        id,
+        Rc::clone(&os.libc),
+        Rc::clone(&os.sched),
+    )?);
+    server.start()?;
+    Ok(server)
+}
+
+/// redis-benchmark-style GET loop: connects, preloads `key:0..n_keys`,
+/// then performs `warmup + measured` GETs, returning measured metrics.
+///
+/// # Errors
+///
+/// Substrate faults; protocol errors.
+pub fn run_redis_gets(
+    os: &FlexOs,
+    warmup: u64,
+    measured: u64,
+) -> Result<RunMetrics, Fault> {
+    let server = install_redis(os)?;
+    server.preload(&[
+        (b"key:0", b"xxx"),
+        (b"key:1", b"yyy"),
+        (b"key:2", b"zzz"),
+    ])?;
+    let mut client = TcpClient::connect(&os.net, 50_000, REDIS_PORT)?;
+    let conn = server.accept()?.ok_or(Fault::InvalidConfig {
+        reason: "redis: handshake did not queue a connection".to_string(),
+    })?;
+
+    let request = resp::encode_request(&[b"GET", b"key:1"]);
+    let run_one = |client: &mut TcpClient| -> Result<(), Fault> {
+        client.send(&os.net, &request)?;
+        server.serve_one(conn)?;
+        client.drain(&os.net)?;
+        let reply = client.take_received();
+        debug_assert_eq!(reply, b"$3\r\nyyy\r\n", "GET must hit");
+        Ok(())
+    };
+    for _ in 0..warmup {
+        run_one(&mut client)?;
+    }
+    os.env.reset_counters();
+    let start = os.cycles();
+    for _ in 0..measured {
+        run_one(&mut client)?;
+    }
+    Ok(metrics(os, measured, os.cycles() - start))
+}
+
+/// Installs an Nginx server and returns it started (welcome page written
+/// through the VFS and cached).
+///
+/// # Errors
+///
+/// Missing component or substrate faults.
+pub fn install_nginx(os: &FlexOs) -> Result<Rc<NginxServer>, Fault> {
+    let id = os.component("nginx").ok_or(Fault::InvalidConfig {
+        reason: "image has no `nginx` component".to_string(),
+    })?;
+    let server = Rc::new(NginxServer::new(
+        Rc::clone(&os.env),
+        id,
+        Rc::clone(&os.libc),
+        Rc::clone(&os.sched),
+    ));
+    server.start()?;
+    Ok(server)
+}
+
+/// wrk-style keep-alive GET loop against the welcome page.
+///
+/// # Errors
+///
+/// Substrate faults; protocol errors.
+pub fn run_nginx_gets(
+    os: &FlexOs,
+    warmup: u64,
+    measured: u64,
+) -> Result<RunMetrics, Fault> {
+    let server = install_nginx(os)?;
+    let mut client = TcpClient::connect(&os.net, 51_000, NGINX_PORT)?;
+    let conn = server.accept()?.ok_or(Fault::InvalidConfig {
+        reason: "nginx: handshake did not queue a connection".to_string(),
+    })?;
+
+    let request = b"GET /index.html HTTP/1.1\r\nHost: flexos\r\nConnection: keep-alive\r\n\r\n";
+    let run_one = |client: &mut TcpClient| -> Result<(), Fault> {
+        client.send(&os.net, request)?;
+        server.serve_one(conn)?;
+        client.drain(&os.net)?;
+        let reply = client.take_received();
+        debug_assert!(reply.starts_with(b"HTTP/1.1 200 OK"), "must serve 200");
+        debug_assert!(reply.len() > 612, "head + 612-byte body");
+        Ok(())
+    };
+    for _ in 0..warmup {
+        run_one(&mut client)?;
+    }
+    os.env.reset_counters();
+    let start = os.cycles();
+    for _ in 0..measured {
+        run_one(&mut client)?;
+    }
+    Ok(metrics(os, measured, os.cycles() - start))
+}
+
+/// Installs the iPerf server.
+///
+/// # Errors
+///
+/// Missing component or substrate faults.
+pub fn install_iperf(os: &FlexOs) -> Result<Rc<IperfServer>, Fault> {
+    let id = os.component("iperf").ok_or(Fault::InvalidConfig {
+        reason: "image has no `iperf` component".to_string(),
+    })?;
+    let server = Rc::new(IperfServer::new(
+        Rc::clone(&os.env),
+        id,
+        Rc::clone(&os.libc),
+    ));
+    server.start()?;
+    Ok(server)
+}
+
+/// iPerf stream: the client pushes `total_bytes` in MSS segments; the
+/// server drains with `recv_buf`-byte buffers. Returns goodput in Gb/s.
+///
+/// # Errors
+///
+/// Substrate faults.
+pub fn run_iperf(os: &FlexOs, recv_buf: u64, total_bytes: u64) -> Result<f64, Fault> {
+    let server = install_iperf(os)?;
+    let mut client = TcpClient::connect(&os.net, 52_000, IPERF_PORT)?;
+    let conn = server.accept()?.ok_or(Fault::InvalidConfig {
+        reason: "iperf: handshake did not queue a connection".to_string(),
+    })?;
+
+    let chunk = vec![0xA5u8; 8 * 1024];
+    // Warm the path.
+    client.send(&os.net, &chunk[..1024])?;
+    server.drain(conn, recv_buf)?;
+
+    os.env.reset_counters();
+    let start = os.cycles();
+    let mut sent = 0u64;
+    let mut received = 0u64;
+    while sent < total_bytes {
+        let take = chunk.len().min((total_bytes - sent) as usize);
+        client.send(&os.net, &chunk[..take])?;
+        sent += take as u64;
+        received += server.drain(conn, recv_buf)?;
+    }
+    let cycles = os.cycles() - start;
+    debug_assert_eq!(received, total_bytes, "stream must arrive in full");
+    Ok(os.env.machine().cost().gbps(received, cycles))
+}
+
+/// Counters captured from a SQLite run, used by the Figure 10 baseline
+/// overlays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SqliteRun {
+    /// Transactions executed.
+    pub txns: u64,
+    /// Cycles for the measured loop.
+    pub cycles: u64,
+    /// Wall seconds at the calibrated clock.
+    pub seconds: f64,
+    /// vfs operations issued (each one app→fs gate entry).
+    pub vfs_ops: u64,
+    /// uktime queries issued (each one fs→time gate entry).
+    pub time_queries: u64,
+    /// Allocator slow-path hits across all heaps.
+    pub alloc_slow_hits: u64,
+    /// Allocator operations (malloc+free) across all heaps.
+    pub alloc_ops: u64,
+}
+
+/// Installs a SQLite engine over `/db.sqlite`.
+///
+/// # Errors
+///
+/// Missing component or substrate faults.
+pub fn install_sqlite(os: &FlexOs) -> Result<Rc<Sqlite>, Fault> {
+    let id = os.component("sqlite").ok_or(Fault::InvalidConfig {
+        reason: "image has no `sqlite` component".to_string(),
+    })?;
+    let db = Sqlite::open(Rc::clone(&os.env), id, Rc::clone(&os.libc), "/db.sqlite")?;
+    Ok(Rc::new(db))
+}
+
+/// The Figure 10 workload: `n` INSERTs, each in its own transaction.
+///
+/// # Errors
+///
+/// SQL or substrate faults.
+pub fn run_sqlite_inserts(os: &FlexOs, n: u64) -> Result<SqliteRun, Fault> {
+    let db = install_sqlite(os)?;
+    db.exec("CREATE TABLE kv (id INTEGER, body TEXT)")?;
+    // Warm one txn so file creation is off the measured path.
+    db.exec("INSERT INTO kv VALUES (0, 'warmup-row-payload-xxxxxxxxxxxx')")?;
+
+    os.env.reset_counters();
+    os.vfs.reset_stats();
+    let time_q0 = os.time.queries();
+    let alloc0 = os.env.total_alloc_stats();
+    let start = os.cycles();
+    for i in 0..n {
+        let stmt = format!("INSERT INTO kv VALUES ({i}, 'row-payload-{i:08}-xxxxxxxxxxxxxxxx')");
+        let out = db.exec(&stmt)?;
+        debug_assert_eq!(out.changes, 1);
+    }
+    let cycles = os.cycles() - start;
+    let alloc1 = os.env.total_alloc_stats();
+    Ok(SqliteRun {
+        txns: n,
+        cycles,
+        seconds: os.env.machine().cost().cycles_to_seconds(cycles),
+        vfs_ops: os.vfs.stats().total_ops(),
+        time_queries: os.time.queries() - time_q0,
+        alloc_slow_hits: alloc1.slow_hits - alloc0.slow_hits,
+        alloc_ops: alloc1.total_ops() - alloc0.total_ops(),
+    })
+}

@@ -1,0 +1,234 @@
+//! The Figure 10 experiment runner.
+
+use std::fmt;
+
+use flexos_apps::workloads::{run_sqlite_inserts, SqliteRun};
+use flexos_core::compartment::DataSharing;
+use flexos_machine::cost::CostModel;
+use flexos_machine::fault::Fault;
+use flexos_system::{configs, SystemBuilder};
+
+/// Which system a row describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemUnderTest {
+    /// Vanilla Unikraft on QEMU/KVM.
+    UnikraftKvm,
+    /// Vanilla Unikraft on the linuxu (ring-3 debug) platform.
+    UnikraftLinuxu,
+    /// FlexOS (QEMU/KVM).
+    FlexOs,
+    /// Linux process (KPTI enabled).
+    Linux,
+    /// seL4 with the Genode system.
+    Sel4Genode,
+    /// CubicleOS (linuxu platform, Lea allocator).
+    CubicleOs,
+}
+
+impl fmt::Display for SystemUnderTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SystemUnderTest::UnikraftKvm => "Unikraft (QEMU/KVM)",
+            SystemUnderTest::UnikraftLinuxu => "Unikraft (linuxu)",
+            SystemUnderTest::FlexOs => "FlexOS",
+            SystemUnderTest::Linux => "Linux",
+            SystemUnderTest::Sel4Genode => "SeL4/Genode",
+            SystemUnderTest::CubicleOs => "CubicleOS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The isolation profile of a row (the x-axis labels of Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IsolationProfile {
+    /// No isolation.
+    None,
+    /// Three MPK compartments: fs | time | rest.
+    Mpk3,
+    /// Two EPT compartments (VMs): fs | rest.
+    Ept2,
+    /// Two page-table domains (process boundary).
+    Pt2,
+    /// Three page-table domains.
+    Pt3,
+}
+
+impl fmt::Display for IsolationProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IsolationProfile::None => "NONE",
+            IsolationProfile::Mpk3 => "MPK3",
+            IsolationProfile::Ept2 => "EPT2",
+            IsolationProfile::Pt2 => "PT2",
+            IsolationProfile::Pt3 => "PT3",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One bar of Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig10Row {
+    /// System.
+    pub system: SystemUnderTest,
+    /// Isolation profile.
+    pub profile: IsolationProfile,
+    /// Time for the 5000-INSERT workload, seconds.
+    pub seconds: f64,
+    /// `true` for fully simulated rows, `false` for measured-run overlays.
+    pub simulated: bool,
+}
+
+fn overlay(run: &SqliteRun, cost: &CostModel, extra_cycles: i64) -> f64 {
+    let total = run.cycles as i64 + extra_cycles;
+    cost.cycles_to_seconds(total.max(0) as u64)
+}
+
+fn build_and_run(
+    config: flexos_core::config::SafetyConfig,
+    n: u64,
+) -> Result<SqliteRun, Fault> {
+    let os = SystemBuilder::new(config)
+        .app(flexos_apps::sqlite_component())
+        .build()?;
+    run_sqlite_inserts(&os, n)
+}
+
+/// Runs the full Figure 10 experiment with `n` INSERT transactions
+/// (the paper uses 5000) and returns the nine bars in figure order.
+///
+/// # Errors
+///
+/// Configuration or substrate faults.
+pub fn run_fig10(n: u64) -> Result<Vec<Fig10Row>, Fault> {
+    let cost = CostModel::default();
+
+    // --- fully simulated FlexOS rows --------------------------------
+    let none_run = build_and_run(configs::none(), n)?;
+    let mpk3_run = build_and_run(
+        configs::mpk3(&["vfscore", "ramfs"], &["uktime"], DataSharing::Dss)?,
+        n,
+    )?;
+    let ept2_run = build_and_run(configs::ept2(&["vfscore", "ramfs", "uktime"])?, n)?;
+
+    // --- measured-run overlays (see crate docs) -----------------------
+    let vfs = none_run.vfs_ops as i64;
+    let time_q = none_run.time_queries as i64;
+    let slow = none_run.alloc_slow_hits as i64;
+
+    let unikraft_kvm = overlay(&none_run, &cost, -(n as i64) * cost.flexos_image_tax as i64);
+    let unikraft_linuxu = overlay(&none_run, &cost, vfs * cost.linuxu_op_tax as i64);
+    let linux = overlay(&none_run, &cost, vfs * cost.syscall_kpti as i64);
+    let sel4 = overlay(&none_run, &cost, (vfs + time_q) * cost.sel4_genode_ipc as i64);
+    let cubicle_none = overlay(
+        &none_run,
+        &cost,
+        vfs * cost.linuxu_op_tax as i64 - slow * cost.tlsf_linuxu_slow_delta as i64,
+    );
+    let cubicle_mpk3 = overlay(
+        &none_run,
+        &cost,
+        vfs * cost.linuxu_op_tax as i64 - slow * cost.tlsf_linuxu_slow_delta as i64
+            + (vfs + time_q) * cost.cubicleos_transition as i64,
+    );
+
+    Ok(vec![
+        Fig10Row {
+            system: SystemUnderTest::UnikraftKvm,
+            profile: IsolationProfile::None,
+            seconds: unikraft_kvm,
+            simulated: false,
+        },
+        Fig10Row {
+            system: SystemUnderTest::UnikraftLinuxu,
+            profile: IsolationProfile::None,
+            seconds: unikraft_linuxu,
+            simulated: false,
+        },
+        Fig10Row {
+            system: SystemUnderTest::FlexOs,
+            profile: IsolationProfile::None,
+            seconds: none_run.seconds,
+            simulated: true,
+        },
+        Fig10Row {
+            system: SystemUnderTest::FlexOs,
+            profile: IsolationProfile::Mpk3,
+            seconds: mpk3_run.seconds,
+            simulated: true,
+        },
+        Fig10Row {
+            system: SystemUnderTest::FlexOs,
+            profile: IsolationProfile::Ept2,
+            seconds: ept2_run.seconds,
+            simulated: true,
+        },
+        Fig10Row {
+            system: SystemUnderTest::Linux,
+            profile: IsolationProfile::Pt2,
+            seconds: linux,
+            simulated: false,
+        },
+        Fig10Row {
+            system: SystemUnderTest::Sel4Genode,
+            profile: IsolationProfile::Pt3,
+            seconds: sel4,
+            simulated: false,
+        },
+        Fig10Row {
+            system: SystemUnderTest::CubicleOs,
+            profile: IsolationProfile::None,
+            seconds: cubicle_none,
+            simulated: false,
+        },
+        Fig10Row {
+            system: SystemUnderTest::CubicleOs,
+            profile: IsolationProfile::Mpk3,
+            seconds: cubicle_mpk3,
+            simulated: false,
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_rows_in_figure_order() {
+        let rows = run_fig10(50).unwrap();
+        assert_eq!(rows.len(), 9, "Figure 10 has nine bars");
+        // Three simulated FlexOS rows, six overlays.
+        assert_eq!(rows.iter().filter(|r| r.simulated).count(), 3);
+        let profiles: Vec<String> = rows.iter().map(|r| r.profile.to_string()).collect();
+        assert_eq!(
+            profiles,
+            ["NONE", "NONE", "NONE", "MPK3", "EPT2", "PT2", "PT3", "NONE", "MPK3"]
+        );
+    }
+
+    #[test]
+    fn overlays_price_the_same_measured_run() {
+        let rows = run_fig10(50).unwrap();
+        let by = |sys: &str, prof: &str| {
+            rows.iter()
+                .find(|r| r.system.to_string().contains(sys) && r.profile.to_string() == prof)
+                .unwrap()
+                .seconds
+        };
+        // Linux adds syscall cost on top of the FlexOS NONE base, so it
+        // must sit strictly between NONE and the linuxu-taxed rows.
+        assert!(by("FlexOS", "NONE") < by("Linux", "PT2"));
+        assert!(by("Linux", "PT2") < by("linuxu", "NONE"));
+        // The Unikraft KVM overlay subtracts the image tax: fastest bar.
+        assert!(by("QEMU/KVM", "NONE") <= by("FlexOS", "NONE"));
+    }
+
+    #[test]
+    fn display_names_match_the_figure_axis() {
+        assert_eq!(SystemUnderTest::Sel4Genode.to_string(), "SeL4/Genode");
+        assert_eq!(IsolationProfile::Mpk3.to_string(), "MPK3");
+        assert_eq!(IsolationProfile::Ept2.to_string(), "EPT2");
+    }
+}

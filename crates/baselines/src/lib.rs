@@ -1,0 +1,25 @@
+//! # flexos-baselines — the comparison systems of Figure 10 (§6.4)
+//!
+//! The SQLite experiment compares FlexOS against four other systems. The
+//! three FlexOS rows (NONE / MPK3 / EPT2) are **fully simulated**: real
+//! images with real gates are built and the 5000-INSERT workload executes
+//! through them. The baseline rows are **measured-run overlays**: the
+//! NONE run yields the workload's exact operation counts (vfs entries,
+//! time queries, allocator slow-path hits), and each baseline prices
+//! those operations with its own crossing primitive, per the calibrated
+//! cost model (DESIGN.md §4):
+//!
+//! * **Unikraft/KVM** — FlexOS NONE minus the small image tax;
+//! * **Unikraft/linuxu** — plus the ring-3 privileged-operation tax
+//!   (linuxu performs privileged work as Linux syscalls);
+//! * **Linux** — every vfs entry becomes a KPTI syscall (470 cycles;
+//!   Fig 11b — which is why Linux lands next to EPT2, §6.4);
+//! * **seL4/Genode** — every fs *and* time entry becomes a microkernel
+//!   IPC through Genode's layers;
+//! * **CubicleOS** — linuxu base with the Lea allocator (cheaper slow
+//!   paths than TLSF on this churn-heavy workload) and, for MPK3,
+//!   `pkey_mprotect`-priced domain transitions.
+
+pub mod fig10;
+
+pub use fig10::{run_fig10, Fig10Row, IsolationProfile, SystemUnderTest};

@@ -1,0 +1,58 @@
+//! Criterion bench: allocator ablation (TLSF vs Lea vs bump) and the
+//! Figure 11a data-sharing strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use flexos_alloc::{bump::Bump, lea::Lea, tlsf::Tlsf, RegionAlloc};
+use flexos_machine::addr::Addr;
+
+fn churn<A: RegionAlloc>(alloc: &mut A) {
+    let mut live = Vec::with_capacity(16);
+    for i in 0..64u64 {
+        if i % 3 == 2 {
+            if let Some(a) = live.pop() {
+                alloc.free(a).expect("free");
+            }
+        } else {
+            live.push(alloc.alloc(16 + (i * 37) % 480, 16).expect("alloc"));
+        }
+    }
+    for a in live {
+        alloc.free(a).expect("free");
+    }
+}
+
+fn allocators(c: &mut Criterion) {
+    c.bench_function("alloc/tlsf-churn", |b| {
+        b.iter_batched(
+            || Tlsf::new(Addr::new(0x10000), 1 << 20),
+            |mut t| churn(&mut t),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("alloc/lea-churn", |b| {
+        b.iter_batched(
+            || Lea::new(Addr::new(0x10000), 1 << 20),
+            |mut l| churn(&mut l),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("alloc/bump-fill", |b| {
+        b.iter_batched(
+            || Bump::new(Addr::new(0x10000), 1 << 20),
+            |mut a| {
+                for _ in 0..64 {
+                    a.alloc(64, 16).expect("alloc");
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = allocators
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: gate flavours (the Figure 11b ablation).
+//!
+//! Measures *host-side* execution cost of each gate flavour while also
+//! asserting the *virtual* cycle charges match the calibrated constants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use flexos_core::compartment::DataSharing;
+use flexos_core::config::SafetyConfig;
+use flexos_system::{configs, SystemBuilder};
+
+fn bench_gate(c: &mut Criterion, name: &str, config: SafetyConfig, expected_cycles: u64) {
+    let os = SystemBuilder::new(config)
+        .app(flexos_apps::redis_component())
+        .build()
+        .expect("image builds");
+    let env = std::rc::Rc::clone(&os.env);
+    let app = os.app_ids[0];
+    let lwip = env.component_id("lwip").expect("lwip");
+
+    // Verify the virtual charge once.
+    env.run_as(app, || {
+        env.call(lwip, "lwip_poll", || Ok(())).expect("warm");
+        let t0 = env.machine().clock().now();
+        env.call(lwip, "lwip_poll", || Ok(())).expect("call");
+        let elapsed = env.machine().clock().now() - t0;
+        assert_eq!(elapsed, expected_cycles, "virtual charge for {name}");
+    });
+
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            env.run_as(app, || {
+                env.call(lwip, "lwip_poll", || Ok(())).expect("call");
+            })
+        })
+    });
+}
+
+fn gates(c: &mut Criterion) {
+    bench_gate(c, "gate/direct-call", configs::none(), 2);
+    bench_gate(
+        c,
+        "gate/mpk-light",
+        configs::mpk2(&["lwip"], DataSharing::SharedStack).expect("cfg"),
+        62,
+    );
+    bench_gate(
+        c,
+        "gate/mpk-dss",
+        configs::mpk2(&["lwip"], DataSharing::Dss).expect("cfg"),
+        108,
+    );
+    bench_gate(c, "gate/ept-rpc", configs::ept2(&["lwip"]).expect("cfg"), 462);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = gates
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 10: SQLite 5000-INSERT comparison across systems.
+
+use flexos_baselines::run_fig10;
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5000);
+    eprintln!("running the {n}-INSERT SQLite workload on 3 FlexOS images...");
+    let rows = run_fig10(n).expect("fig10 runs");
+
+    println!("# Figure 10: time for {n} INSERT transactions (seconds)");
+    println!("{:>22} {:>8} {:>10} {:>10}", "system", "profile", "seconds", "source");
+    for row in &rows {
+        println!(
+            "{:>22} {:>8} {:>10.3} {:>10}",
+            row.system.to_string(),
+            row.profile.to_string(),
+            row.seconds,
+            if row.simulated { "simulated" } else { "overlay" }
+        );
+    }
+    println!("\n# paper:       Unikraft .052/.702  FlexOS .054/.106/.173");
+    println!("# paper:       Linux .177  SeL4 .333  CubicleOS .657/1.557");
+}

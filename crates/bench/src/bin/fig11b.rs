@@ -1,0 +1,47 @@
+//! Figure 11b: gate latencies — function call, MPK-light, MPK-DSS, EPT,
+//! and the Linux syscall reference points.
+
+use flexos_core::compartment::DataSharing;
+use flexos_core::config::SafetyConfig;
+use flexos_machine::cost::CostModel;
+use flexos_machine::fault::Fault;
+use flexos_system::{configs, SystemBuilder};
+
+/// Measures the round-trip latency of one empty cross-component call in
+/// the given configuration (averaged over rounds).
+fn measure(config: SafetyConfig) -> Result<u64, Fault> {
+    let os = SystemBuilder::new(config)
+        .app(flexos_apps::redis_component())
+        .build()?;
+    let env = &os.env;
+    let app = os.app_ids[0];
+    let lwip = env.component_id("lwip").expect("lwip registered");
+    const ROUNDS: u64 = 64;
+    env.run_as(app, || -> Result<u64, Fault> {
+        // Warm once (EPT ring setup etc.).
+        env.call(lwip, "lwip_poll", || Ok(()))?;
+        let start = env.machine().clock().now();
+        for _ in 0..ROUNDS {
+            env.call(lwip, "lwip_poll", || Ok(()))?;
+        }
+        Ok((env.machine().clock().now() - start) / ROUNDS)
+    })
+}
+
+fn main() {
+    let cost = CostModel::default();
+    let call = measure(configs::none()).expect("none");
+    let light =
+        measure(configs::mpk2(&["lwip"], DataSharing::SharedStack).expect("cfg")).expect("light");
+    let dss = measure(configs::mpk2(&["lwip"], DataSharing::Dss).expect("cfg")).expect("dss");
+    let ept = measure(configs::ept2(&["lwip"]).expect("cfg")).expect("ept");
+
+    println!("# Figure 11b: gate latencies (cycles, round trip)");
+    println!("{:>16} {:>9} {:>8}", "gate", "measured", "paper");
+    println!("{:>16} {:>9} {:>8}", "function", call, 2);
+    println!("{:>16} {:>9} {:>8}", "MPK-light", light, 62);
+    println!("{:>16} {:>9} {:>8}", "MPK-dss", dss, 108);
+    println!("{:>16} {:>9} {:>8}", "EPT", ept, 462);
+    println!("{:>16} {:>9} {:>8}", "syscall (KPTI)", cost.syscall_kpti, 470);
+    println!("{:>16} {:>9} {:>8}", "syscall-nokpti", cost.syscall_nokpti, 146);
+}

@@ -1,0 +1,104 @@
+//! # flexos-bench — the evaluation harness (§6)
+//!
+//! One binary per table/figure of the paper's evaluation; each prints the
+//! same rows/series the paper reports, regenerated from the simulation:
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `fig06 redis` / `fig06 nginx` | Figure 6: 80-configuration throughput sweeps |
+//! | `fig07` | Figure 7: normalized Nginx-vs-Redis scatter |
+//! | `fig08` | Figure 8: poset + stars under a 500k req/s budget |
+//! | `fig09` | Figure 9: iPerf throughput vs receive-buffer size |
+//! | `fig10` | Figure 10: SQLite 5000 INSERTs across systems |
+//! | `fig11a` | Figure 11a: shared stack-allocation latencies |
+//! | `fig11b` | Figure 11b: gate latencies |
+//! | `table1` | Table 1: porting effort |
+//!
+//! Criterion benches (`cargo bench`) cover the microbenchmarks plus
+//! allocator/gate ablations.
+
+use flexos_apps::workloads::{run_nginx_gets, run_redis_gets, RunMetrics};
+use flexos_explore::Fig6Point;
+use flexos_machine::fault::Fault;
+use flexos_system::{FlexOs, SystemBuilder};
+
+/// Requests used to warm each Figure 6 configuration.
+pub const FIG6_WARMUP: u64 = 15;
+/// Requests measured per Figure 6 configuration.
+pub const FIG6_MEASURED: u64 = 60;
+
+/// Builds the image for one Figure 6 point and runs the app's workload.
+///
+/// # Errors
+///
+/// Configuration or substrate faults.
+pub fn run_fig6_point(app: &str, point: &Fig6Point) -> Result<RunMetrics, Fault> {
+    let component = match app {
+        "redis" => flexos_apps::redis_component(),
+        "nginx" => flexos_apps::nginx_component(),
+        other => {
+            return Err(Fault::InvalidConfig {
+                reason: format!("unknown fig6 app `{other}`"),
+            })
+        }
+    };
+    let os = SystemBuilder::new(point.config.clone())
+        .app(component)
+        .build()?;
+    match app {
+        "redis" => run_redis_gets(&os, FIG6_WARMUP, FIG6_MEASURED),
+        _ => run_nginx_gets(&os, FIG6_WARMUP, FIG6_MEASURED),
+    }
+}
+
+/// Runs the full 80-point sweep for `app`, returning throughputs aligned
+/// with `flexos_explore::fig6_space(app)`.
+///
+/// # Errors
+///
+/// Configuration or substrate faults.
+pub fn run_fig6_sweep(app: &str) -> Result<Vec<f64>, Fault> {
+    let space = flexos_explore::fig6_space(app);
+    space
+        .iter()
+        .map(|point| run_fig6_point(app, point).map(|m| m.ops_per_sec))
+        .collect()
+}
+
+/// Builds a plain FlexOS instance for microbenchmarks.
+///
+/// # Errors
+///
+/// Configuration faults.
+pub fn plain_instance() -> Result<FlexOs, Fault> {
+    SystemBuilder::new(flexos_system::configs::none())
+        .app(flexos_apps::redis_component())
+        .build()
+}
+
+/// Formats a rate as the paper's `292.0k` / `1.2M`-style labels.
+pub fn fmt_rate(ops_per_sec: f64) -> String {
+    if ops_per_sec >= 1_000_000.0 {
+        format!("{:.1}M", ops_per_sec / 1_000_000.0)
+    } else {
+        format!("{:.1}k", ops_per_sec / 1_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(292_000.0), "292.0k");
+        assert_eq!(fmt_rate(1_199_200.0), "1.2M");
+    }
+
+    #[test]
+    fn one_fig6_point_runs() {
+        let space = flexos_explore::fig6_space("redis");
+        let m = run_fig6_point("redis", &space[0]).unwrap();
+        assert!(m.ops_per_sec > 100_000.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! The kernel backend API (§3.2).
+//!
+//! Supporting a new isolation mechanism in FlexOS must not require a
+//! redesign: a backend (1) implements gates, (2) implements hooks for core
+//! components, (3) contributes linker-script/toolchain recipes, and (4)
+//! registers itself with the toolchain. This module is that contract. The
+//! MPK and EPT backends live in their own crates (`flexos-mpk`,
+//! `flexos-ept`); trivial built-ins for the no-isolation case and the
+//! Figure 10 baseline mechanisms are provided here.
+
+use flexos_machine::fault::Fault;
+
+use crate::compartment::{CompartmentId, DataSharing, Mechanism};
+use crate::component::ComponentRegistry;
+use crate::config::SafetyConfig;
+use crate::env::Env;
+use crate::gate::GateKind;
+
+/// An isolation backend: the API implementation for one mechanism together
+/// with its runtime library (§3).
+pub trait IsolationBackend {
+    /// Backend name for reports (e.g. `"intel-mpk"`).
+    fn name(&self) -> &str;
+
+    /// The mechanism this backend implements.
+    fn mechanism(&self) -> Mechanism;
+
+    /// Gate flavour instantiated between two compartments of this
+    /// mechanism, given the image's data-sharing strategy.
+    fn gate_kind(&self, sharing: DataSharing) -> GateKind;
+
+    /// Build-time validation (e.g. MPK's 15-compartment limit and W^X
+    /// scan). Default: everything is acceptable.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::InvalidConfig`] or mechanism-specific faults when the
+    /// configuration cannot be realized.
+    fn validate(&self, config: &SafetyConfig, registry: &ComponentRegistry) -> Result<(), Fault> {
+        let _ = (config, registry);
+        Ok(())
+    }
+
+    /// Lines of code this backend adds to the TCB (§3.3/§4: ~1400 for MPK,
+    /// ~1000 for EPT).
+    fn tcb_loc(&self) -> u32;
+
+    /// `true` if the backend duplicates the TCB into every compartment
+    /// (multi-system backends: EPT/VMs, TrustZone — §3.1).
+    fn duplicates_tcb(&self) -> bool {
+        false
+    }
+
+    /// Boot hook: runs after sections are mapped and keyed, before the
+    /// image starts (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific boot failures.
+    fn on_boot(&self, env: &Env) -> Result<(), Fault> {
+        let _ = env;
+        Ok(())
+    }
+
+    /// Scheduler hook: a thread was created in `compartment`; the backend
+    /// switches it to the right protection domain (§3.2's MPK example).
+    fn on_thread_create(&self, env: &Env, compartment: CompartmentId) {
+        let _ = (env, compartment);
+    }
+}
+
+/// The trivial no-isolation backend: one flat domain, direct calls —
+/// vanilla Unikraft behaviour (the "NONE" points in every figure).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoneBackend;
+
+impl IsolationBackend for NoneBackend {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn mechanism(&self) -> Mechanism {
+        Mechanism::None
+    }
+
+    fn gate_kind(&self, _sharing: DataSharing) -> GateKind {
+        GateKind::DirectCall
+    }
+
+    fn tcb_loc(&self) -> u32 {
+        0
+    }
+}
+
+/// Page-table isolation backend used to express the Figure 10 baselines
+/// (Linux processes, seL4/Genode servers): crossings cost a microkernel
+/// IPC / context switch.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PageTableBackend;
+
+impl IsolationBackend for PageTableBackend {
+    fn name(&self) -> &str {
+        "page-table"
+    }
+
+    fn mechanism(&self) -> Mechanism {
+        Mechanism::PageTable
+    }
+
+    fn gate_kind(&self, _sharing: DataSharing) -> GateKind {
+        GateKind::MicrokernelIpc
+    }
+
+    fn tcb_loc(&self) -> u32 {
+        10_000 // order of a small microkernel + IPC plumbing
+    }
+
+    fn duplicates_tcb(&self) -> bool {
+        true
+    }
+}
+
+/// CubicleOS-style backend: MPK semantics driven through `pkey_mprotect`
+/// system calls with trap-and-map sharing (Figure 10's comparison).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CubicleBackend;
+
+impl IsolationBackend for CubicleBackend {
+    fn name(&self) -> &str {
+        "cubicleos"
+    }
+
+    fn mechanism(&self) -> Mechanism {
+        Mechanism::CubicleOs
+    }
+
+    fn gate_kind(&self, _sharing: DataSharing) -> GateKind {
+        GateKind::CubicleTrap
+    }
+
+    fn tcb_loc(&self) -> u32 {
+        // "the TCB thousands of times larger" (§6.4): the Linux kernel is
+        // in CubicleOS' TCB because domain transitions are syscalls.
+        2_000_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_backend_is_flat() {
+        let b = NoneBackend;
+        assert_eq!(b.mechanism(), Mechanism::None);
+        assert_eq!(b.gate_kind(DataSharing::Dss), GateKind::DirectCall);
+        assert_eq!(b.tcb_loc(), 0);
+        assert!(!b.duplicates_tcb());
+    }
+
+    #[test]
+    fn page_table_backend_uses_ipc_gates() {
+        let b = PageTableBackend;
+        assert_eq!(b.gate_kind(DataSharing::Dss), GateKind::MicrokernelIpc);
+        assert!(b.duplicates_tcb());
+    }
+
+    #[test]
+    fn cubicle_backend_has_huge_tcb() {
+        // §6.4: relying on Linux pkey_mprotect makes the TCB "thousands of
+        // times larger" than FlexOS' ~3 KLoC.
+        assert!(CubicleBackend.tcb_loc() > 1_000 * 300);
+    }
+}

@@ -1,0 +1,203 @@
+//! Compartments: isolation domains and their mechanisms.
+//!
+//! A compartment is an isolation domain holding one or more components
+//! (§3). Each compartment names the hardware mechanism that encloses it;
+//! the toolchain instantiates the matching gates between compartments at
+//! build time (P1/P2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hardening::Hardening;
+
+/// Index of a compartment within an image (compartment 0 is the default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CompartmentId(pub u8);
+
+impl fmt::Display for CompartmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "comp{}", self.0)
+    }
+}
+
+/// The isolation mechanism protecting a compartment boundary.
+///
+/// `None` merges the compartment into a flat address space (vanilla
+/// Unikraft); the baseline mechanisms (`PageTable`, `Syscall`,
+/// `CubicleOs`) exist so the Figure 10 comparison systems can be expressed
+/// in the same configuration language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Mechanism {
+    /// No hardware isolation (single flat domain).
+    None,
+    /// Intel memory protection keys (§4.1).
+    IntelMpk,
+    /// EPT/VM: one virtual machine per compartment (§4.2).
+    VmEpt,
+    /// Classic page-table isolation (processes / microkernel servers);
+    /// used to model Linux, seL4/Genode in Figure 10.
+    PageTable,
+    /// CubicleOS-style MPK-via-`pkey_mprotect`-syscalls (Figure 10).
+    CubicleOs,
+}
+
+impl Mechanism {
+    /// Parses the configuration-file spelling (`intel-mpk`, `vm-ept`, ...).
+    pub fn parse(name: &str) -> Option<Mechanism> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "none" => Some(Mechanism::None),
+            "intel-mpk" | "mpk" => Some(Mechanism::IntelMpk),
+            "vm-ept" | "ept" | "vm" => Some(Mechanism::VmEpt),
+            "page-table" | "pt" => Some(Mechanism::PageTable),
+            "cubicleos" => Some(Mechanism::CubicleOs),
+            _ => None,
+        }
+    }
+
+    /// Relative isolation strength used by partial safety ordering
+    /// (§5, assumption 4): higher is probabilistically safer.
+    pub fn strength(&self) -> u8 {
+        match self {
+            Mechanism::None => 0,
+            Mechanism::CubicleOs => 1,
+            Mechanism::IntelMpk => 2,
+            Mechanism::PageTable => 3,
+            Mechanism::VmEpt => 4,
+        }
+    }
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Mechanism::None => "none",
+            Mechanism::IntelMpk => "intel-mpk",
+            Mechanism::VmEpt => "vm-ept",
+            Mechanism::PageTable => "page-table",
+            Mechanism::CubicleOs => "cubicleos",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How shared *stack* data crosses compartments (§4.1 "Data Ownership" and
+/// the Data Shadow Stack design of Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DataSharing {
+    /// Doubled stacks with a shared upper half; references to shared stack
+    /// variables are rewritten to `*(&var + STACK_SIZE)`. The paper's
+    /// recommended point: isolation safety at stack-allocation speed.
+    #[default]
+    Dss,
+    /// Convert shared stack allocations to shared-heap allocations
+    /// (the approach of Hodor/Cali/ERIM-derived systems; 100-300+ cycles
+    /// per variable, Figure 11a).
+    HeapConversion,
+    /// Share the whole call stack between compartments (the "-light" MPK
+    /// flavour; fastest, weakest).
+    SharedStack,
+}
+
+impl DataSharing {
+    /// Relative data-isolation strength for partial safety ordering
+    /// (§5, assumption 2).
+    pub fn strength(&self) -> u8 {
+        match self {
+            DataSharing::SharedStack => 0,
+            DataSharing::Dss => 1,
+            DataSharing::HeapConversion => 1,
+        }
+    }
+}
+
+impl fmt::Display for DataSharing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataSharing::Dss => "dss",
+            DataSharing::HeapConversion => "heap-conversion",
+            DataSharing::SharedStack => "shared-stack",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Build-time description of one compartment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompartmentSpec {
+    /// Compartment name from the configuration file (e.g. `comp1`).
+    pub name: String,
+    /// Isolation mechanism enclosing this compartment.
+    pub mechanism: Mechanism,
+    /// Hardening applied to every component in the compartment (individual
+    /// components may override via the configuration).
+    pub hardening: Hardening,
+    /// `true` for the default compartment, which receives components the
+    /// configuration does not place explicitly.
+    pub default: bool,
+}
+
+impl CompartmentSpec {
+    /// Creates a compartment spec with no hardening.
+    pub fn new(name: impl Into<String>, mechanism: Mechanism) -> Self {
+        CompartmentSpec {
+            name: name.into(),
+            mechanism,
+            hardening: Hardening::NONE,
+            default: false,
+        }
+    }
+
+    /// Marks this compartment as the default one.
+    pub fn default_compartment(mut self) -> Self {
+        self.default = true;
+        self
+    }
+
+    /// Sets compartment-wide hardening.
+    pub fn with_hardening(mut self, hardening: Hardening) -> Self {
+        self.hardening = hardening;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mechanism_parse_roundtrip() {
+        for m in [
+            Mechanism::None,
+            Mechanism::IntelMpk,
+            Mechanism::VmEpt,
+            Mechanism::PageTable,
+            Mechanism::CubicleOs,
+        ] {
+            assert_eq!(Mechanism::parse(&m.to_string()), Some(m));
+        }
+        assert_eq!(Mechanism::parse("intel-mpk"), Some(Mechanism::IntelMpk));
+        assert_eq!(Mechanism::parse("sgx"), None);
+    }
+
+    #[test]
+    fn strength_ordering_matches_paper_assumptions() {
+        // EPT provides "strong safety guarantees compared to MPK" (§4.2).
+        assert!(Mechanism::VmEpt.strength() > Mechanism::IntelMpk.strength());
+        assert!(Mechanism::IntelMpk.strength() > Mechanism::None.strength());
+        // DSS is "more secure than fully sharing the stack" (§6.3).
+        assert!(DataSharing::Dss.strength() > DataSharing::SharedStack.strength());
+    }
+
+    #[test]
+    fn spec_builder() {
+        let spec = CompartmentSpec::new("comp2", Mechanism::IntelMpk)
+            .with_hardening(Hardening::FIG6_BUNDLE);
+        assert_eq!(spec.name, "comp2");
+        assert!(!spec.default);
+        assert_eq!(spec.hardening.count(), 3);
+        let d = CompartmentSpec::new("comp1", Mechanism::IntelMpk).default_compartment();
+        assert!(d.default);
+    }
+}

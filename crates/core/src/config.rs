@@ -1,0 +1,452 @@
+//! Safety configuration: the build-time file that picks an isolation
+//! strategy (§3).
+//!
+//! A [`SafetyConfig`] is the Rust form of the paper's YAML-ish
+//! configuration snippet: a list of compartments (mechanism, hardening,
+//! default flag) plus the library → compartment placement map. It can be
+//! built programmatically ([`SafetyConfigBuilder`]) or parsed from the
+//! paper's textual format with [`SafetyConfig::parse_str`]:
+//!
+//! ```text
+//! compartments:
+//! - comp1:
+//!     mechanism: intel-mpk
+//!     default: True
+//! - comp2:
+//!     mechanism: intel-mpk
+//!     hardening: [cfi, asan]
+//! libraries:
+//! - libredis: comp1
+//! - libopenjpg: comp2
+//! - lwip: comp2
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use flexos_machine::fault::Fault;
+
+use crate::compartment::{CompartmentSpec, DataSharing, Mechanism};
+use crate::hardening::Hardening;
+
+/// A complete build-time safety configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SafetyConfig {
+    /// Compartments in declaration order; index = [`CompartmentId`] value.
+    ///
+    /// [`CompartmentId`]: crate::compartment::CompartmentId
+    pub compartments: Vec<CompartmentSpec>,
+    /// Component name → compartment name placements.
+    pub libraries: Vec<(String, String)>,
+    /// Per-component hardening overrides (Figure 6 varies hardening per
+    /// component; compartment-wide hardening is the default).
+    pub component_hardening: BTreeMap<String, Hardening>,
+    /// Data-sharing strategy for shared stack variables.
+    pub data_sharing: DataSharing,
+}
+
+impl SafetyConfig {
+    /// Starts building a configuration.
+    pub fn builder() -> SafetyConfigBuilder {
+        SafetyConfigBuilder::default()
+    }
+
+    /// The single-compartment, no-isolation configuration (vanilla
+    /// Unikraft behaviour; the Figure 6 "NONE" point).
+    pub fn none() -> SafetyConfig {
+        SafetyConfig::builder()
+            .compartment(CompartmentSpec::new("comp1", Mechanism::None).default_compartment())
+            .build()
+            .expect("static config is valid")
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::InvalidConfig`] when: no compartment is declared, no (or
+    /// more than one) default compartment exists, compartment names
+    /// collide, or a library references an unknown compartment.
+    pub fn validate(&self) -> Result<(), Fault> {
+        let invalid = |reason: String| Fault::InvalidConfig { reason };
+        if self.compartments.is_empty() {
+            return Err(invalid("no compartments declared".into()));
+        }
+        let defaults = self.compartments.iter().filter(|c| c.default).count();
+        if defaults != 1 {
+            return Err(invalid(format!(
+                "exactly one default compartment required, found {defaults}"
+            )));
+        }
+        for (i, a) in self.compartments.iter().enumerate() {
+            if self.compartments[..i].iter().any(|b| b.name == a.name) {
+                return Err(invalid(format!("duplicate compartment `{}`", a.name)));
+            }
+        }
+        for (lib, comp) in &self.libraries {
+            if !self.compartments.iter().any(|c| &c.name == comp) {
+                return Err(invalid(format!(
+                    "library `{lib}` placed in unknown compartment `{comp}`"
+                )));
+            }
+        }
+        for (i, (lib, _)) in self.libraries.iter().enumerate() {
+            if self.libraries[..i].iter().any(|(l, _)| l == lib) {
+                return Err(invalid(format!("library `{lib}` placed twice")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Index of the default compartment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unvalidated configuration with no default compartment.
+    pub fn default_compartment(&self) -> usize {
+        self.compartments
+            .iter()
+            .position(|c| c.default)
+            .expect("validated config has a default compartment")
+    }
+
+    /// The compartment (by index) a component is placed in.
+    pub fn placement(&self, component: &str) -> usize {
+        self.libraries
+            .iter()
+            .find(|(lib, _)| lib == component)
+            .and_then(|(_, comp)| self.compartments.iter().position(|c| &c.name == comp))
+            .unwrap_or_else(|| self.default_compartment())
+    }
+
+    /// Effective hardening for a component: per-component override if
+    /// present, else its compartment's hardening.
+    pub fn hardening_of(&self, component: &str) -> Hardening {
+        if let Some(h) = self.component_hardening.get(component) {
+            return *h;
+        }
+        self.compartments[self.placement(component)].hardening
+    }
+
+    /// Number of compartments.
+    pub fn compartment_count(&self) -> usize {
+        self.compartments.len()
+    }
+
+    /// Strongest mechanism used by any compartment (for reporting).
+    pub fn dominant_mechanism(&self) -> Mechanism {
+        self.compartments
+            .iter()
+            .map(|c| c.mechanism)
+            .max_by_key(|m| m.strength())
+            .unwrap_or(Mechanism::None)
+    }
+
+    /// Parses the paper's textual configuration format.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::InvalidConfig`] on syntax errors, unknown mechanisms or
+    /// hardening names, and any [`SafetyConfig::validate`] failure.
+    pub fn parse_str(text: &str) -> Result<SafetyConfig, Fault> {
+        parse(text)
+    }
+}
+
+impl fmt::Display for SafetyConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "compartments:")?;
+        for c in &self.compartments {
+            writeln!(f, "- {}:", c.name)?;
+            writeln!(f, "    mechanism: {}", c.mechanism)?;
+            if c.default {
+                writeln!(f, "    default: True")?;
+            }
+            if !c.hardening.is_none() {
+                writeln!(f, "    hardening: [{}]", c.hardening.to_string().replace('+', ", "))?;
+            }
+        }
+        writeln!(f, "libraries:")?;
+        for (lib, comp) in &self.libraries {
+            writeln!(f, "- {lib}: {comp}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental [`SafetyConfig`] constructor.
+#[derive(Debug, Default)]
+pub struct SafetyConfigBuilder {
+    compartments: Vec<CompartmentSpec>,
+    libraries: Vec<(String, String)>,
+    component_hardening: BTreeMap<String, Hardening>,
+    data_sharing: DataSharing,
+}
+
+impl SafetyConfigBuilder {
+    /// Adds a compartment.
+    pub fn compartment(mut self, spec: CompartmentSpec) -> Self {
+        self.compartments.push(spec);
+        self
+    }
+
+    /// Places a component into a compartment by name.
+    pub fn place(mut self, component: &str, compartment: &str) -> Self {
+        self.libraries
+            .push((component.to_string(), compartment.to_string()));
+        self
+    }
+
+    /// Overrides hardening for one component.
+    pub fn harden_component(mut self, component: &str, hardening: Hardening) -> Self {
+        self.component_hardening
+            .insert(component.to_string(), hardening);
+        self
+    }
+
+    /// Chooses the shared-stack-data strategy.
+    pub fn data_sharing(mut self, sharing: DataSharing) -> Self {
+        self.data_sharing = sharing;
+        self
+    }
+
+    /// Finalizes and validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SafetyConfig::validate`] failures.
+    pub fn build(self) -> Result<SafetyConfig, Fault> {
+        let config = SafetyConfig {
+            compartments: self.compartments,
+            libraries: self.libraries,
+            component_hardening: self.component_hardening,
+            data_sharing: self.data_sharing,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+}
+
+/// Hand-rolled parser for the paper's YAML-subset configuration format.
+fn parse(text: &str) -> Result<SafetyConfig, Fault> {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Compartments,
+        Libraries,
+    }
+    let invalid = |reason: String| Fault::InvalidConfig { reason };
+
+    let mut section = Section::None;
+    let mut compartments: Vec<CompartmentSpec> = Vec::new();
+    let mut libraries = Vec::new();
+    let mut data_sharing = DataSharing::default();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim_end();
+        let trimmed = line.trim_start();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let err_at =
+            |msg: &str| invalid(format!("line {}: {msg}: `{raw}`", lineno + 1));
+
+        if trimmed == "compartments:" {
+            section = Section::Compartments;
+            continue;
+        }
+        if trimmed == "libraries:" {
+            section = Section::Libraries;
+            continue;
+        }
+        if let Some(value) = trimmed.strip_prefix("data_sharing:") {
+            data_sharing = match value.trim() {
+                "dss" => DataSharing::Dss,
+                "heap-conversion" => DataSharing::HeapConversion,
+                "shared-stack" => DataSharing::SharedStack,
+                other => return Err(err_at(&format!("unknown data sharing `{other}`"))),
+            };
+            continue;
+        }
+
+        match section {
+            Section::Compartments => {
+                if let Some(rest) = trimmed.strip_prefix("- ") {
+                    let name = rest.trim_end_matches(':').trim();
+                    if name.is_empty() {
+                        return Err(err_at("empty compartment name"));
+                    }
+                    compartments.push(CompartmentSpec::new(name, Mechanism::None));
+                } else {
+                    let comp = compartments
+                        .last_mut()
+                        .ok_or_else(|| err_at("attribute before any compartment"))?;
+                    let (key, value) = trimmed
+                        .split_once(':')
+                        .ok_or_else(|| err_at("expected `key: value`"))?;
+                    let value = value.trim();
+                    match key.trim() {
+                        "mechanism" => {
+                            comp.mechanism = Mechanism::parse(value)
+                                .ok_or_else(|| err_at(&format!("unknown mechanism `{value}`")))?;
+                        }
+                        "default" => {
+                            comp.default = value.eq_ignore_ascii_case("true");
+                        }
+                        "hardening" => {
+                            let list = value
+                                .trim_start_matches('[')
+                                .trim_end_matches(']')
+                                .split(',')
+                                .map(str::trim)
+                                .filter(|s| !s.is_empty());
+                            for item in list {
+                                let h = Hardening::parse_mechanism(item).ok_or_else(|| {
+                                    err_at(&format!("unknown hardening `{item}`"))
+                                })?;
+                                comp.hardening = comp.hardening.union(&h);
+                            }
+                        }
+                        other => return Err(err_at(&format!("unknown key `{other}`"))),
+                    }
+                }
+            }
+            Section::Libraries => {
+                let entry = trimmed
+                    .strip_prefix("- ")
+                    .ok_or_else(|| err_at("expected `- library: compartment`"))?;
+                let (lib, comp) = entry
+                    .split_once(':')
+                    .ok_or_else(|| err_at("expected `library: compartment`"))?;
+                libraries.push((lib.trim().to_string(), comp.trim().to_string()));
+            }
+            Section::None => return Err(err_at("content outside any section")),
+        }
+    }
+
+    let config = SafetyConfig {
+        compartments,
+        libraries,
+        component_hardening: BTreeMap::new(),
+        data_sharing,
+    };
+    config.validate()?;
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_SNIPPET: &str = "\
+compartments:
+- comp1:
+    mechanism: intel-mpk
+    default: True
+- comp2:
+    mechanism: intel-mpk
+    hardening: [cfi, asan]
+libraries:
+- libredis: comp1
+- libopenjpg: comp2
+- lwip: comp2
+";
+
+    #[test]
+    fn parses_the_papers_example() {
+        let cfg = SafetyConfig::parse_str(PAPER_SNIPPET).unwrap();
+        assert_eq!(cfg.compartment_count(), 2);
+        assert_eq!(cfg.compartments[0].name, "comp1");
+        assert!(cfg.compartments[0].default);
+        assert_eq!(cfg.compartments[0].mechanism, Mechanism::IntelMpk);
+        assert!(cfg.compartments[1].hardening.cfi);
+        assert!(cfg.compartments[1].hardening.kasan);
+        assert_eq!(cfg.libraries.len(), 3);
+        assert_eq!(cfg.placement("lwip"), 1);
+        assert_eq!(cfg.placement("libredis"), 0);
+        // Unplaced components land in the default compartment.
+        assert_eq!(cfg.placement("uksched"), 0);
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let cfg = SafetyConfig::parse_str(PAPER_SNIPPET).unwrap();
+        let reparsed = SafetyConfig::parse_str(&cfg.to_string()).unwrap();
+        assert_eq!(cfg.compartments, reparsed.compartments);
+        assert_eq!(cfg.libraries, reparsed.libraries);
+    }
+
+    #[test]
+    fn rejects_unknown_mechanism() {
+        let bad = "compartments:\n- c1:\n    mechanism: sgx2\n";
+        assert!(matches!(
+            SafetyConfig::parse_str(bad),
+            Err(Fault::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_default() {
+        let bad = "compartments:\n- c1:\n    mechanism: intel-mpk\n";
+        let err = SafetyConfig::parse_str(bad).unwrap_err();
+        assert!(err.to_string().contains("default"));
+    }
+
+    #[test]
+    fn rejects_two_defaults() {
+        let bad = "compartments:\n- c1:\n    default: True\n- c2:\n    default: True\n";
+        assert!(SafetyConfig::parse_str(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_compartment_placement() {
+        let bad = "compartments:\n- c1:\n    default: True\nlibraries:\n- lwip: ghost\n";
+        assert!(SafetyConfig::parse_str(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_placement() {
+        let bad =
+            "compartments:\n- c1:\n    default: True\nlibraries:\n- lwip: c1\n- lwip: c1\n";
+        assert!(SafetyConfig::parse_str(bad).is_err());
+    }
+
+    #[test]
+    fn builder_and_overrides() {
+        let cfg = SafetyConfig::builder()
+            .compartment(CompartmentSpec::new("main", Mechanism::IntelMpk).default_compartment())
+            .compartment(CompartmentSpec::new("net", Mechanism::IntelMpk))
+            .place("lwip", "net")
+            .harden_component("lwip", Hardening::FIG6_BUNDLE)
+            .data_sharing(DataSharing::SharedStack)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.hardening_of("lwip"), Hardening::FIG6_BUNDLE);
+        assert_eq!(cfg.hardening_of("uksched"), Hardening::NONE);
+        assert_eq!(cfg.data_sharing, DataSharing::SharedStack);
+        assert_eq!(cfg.dominant_mechanism(), Mechanism::IntelMpk);
+    }
+
+    #[test]
+    fn none_config_is_single_flat_domain() {
+        let cfg = SafetyConfig::none();
+        assert_eq!(cfg.compartment_count(), 1);
+        assert_eq!(cfg.dominant_mechanism(), Mechanism::None);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# a comment\ncompartments:\n- c1:   # inline comment\n    default: True\n\n";
+        assert!(SafetyConfig::parse_str(text).is_ok());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = SafetyConfig::parse_str(PAPER_SNIPPET).unwrap();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SafetyConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,655 @@
+//! The image runtime environment: gates, domains, heaps, enforcement.
+//!
+//! `Env` is what a built FlexOS image *is* at runtime: the instantiated
+//! gate matrix, one protection domain per compartment, per-compartment
+//! heaps plus the shared communication heap, the legal-entry-point table,
+//! and the live CPU state (current component, PKRU, registers).
+//!
+//! Every substrate component holds an `Rc<Env>` and interacts with the
+//! world exclusively through it:
+//!
+//! * [`Env::call`] — the abstract gate of §3.1. Same compartment → plain
+//!   call (2 cycles); across compartments → the configured mechanism's
+//!   gate: cost charged, crossing counted, entry point CFI-checked, PKRU
+//!   switched, registers saved/scrubbed (full MPK/EPT gates).
+//! * [`Env::mem_read`] / [`Env::mem_write`] — simulated-memory access
+//!   under the *current* domain's PKRU; touching another compartment's
+//!   pages faults exactly as MPK would. KASan-hardened components also get
+//!   shadow checks here.
+//! * [`Env::compute`] — charges modeled compute cycles with the
+//!   instruction-mix surcharges of the enabled hardening (UBSan on ALU
+//!   ops, stack protector on frames, CFI on indirect calls, KASan on
+//!   private-memory accesses), so hardening overhead *emerges* from what
+//!   components actually do.
+//! * [`Env::malloc`] / [`Env::malloc_shared`] — compartment-private and
+//!   shared-heap allocation (§4.1 data ownership).
+//! * [`Env::shared_var`] — whitelist-checked access to `__shared`
+//!   annotated variables.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use flexos_alloc::Heap;
+use flexos_machine::addr::Addr;
+use flexos_machine::cpu::RegisterFile;
+use flexos_machine::fault::Fault;
+use flexos_machine::key::{Access, Pkru, ProtKey};
+use flexos_machine::Machine;
+
+use crate::compartment::{CompartmentId, DataSharing, Mechanism};
+use crate::component::{ComponentId, ComponentRegistry};
+use crate::gate::{GateKind, GateTable};
+use crate::hardening::Hardening;
+
+/// One protection domain (compartment) at runtime.
+#[derive(Debug, Clone)]
+pub struct DomainState {
+    /// Compartment name from the configuration.
+    pub name: String,
+    /// Protection key owning this compartment's private pages.
+    pub key: ProtKey,
+    /// PKRU installed while this compartment executes.
+    pub pkru: Pkru,
+    /// Isolation mechanism enclosing the compartment.
+    pub mechanism: Mechanism,
+}
+
+/// Placement of one `__shared` annotated variable after build.
+#[derive(Debug, Clone)]
+pub struct SharedVarPlacement {
+    /// Simulated address of the variable.
+    pub addr: Addr,
+    /// Size in bytes.
+    pub size: u64,
+    /// Component that owns (declared) the variable.
+    pub owner: ComponentId,
+    /// Components allowed to access it (owner included).
+    pub allowed: Vec<ComponentId>,
+    /// Region name the variable was placed in (for the transform report).
+    pub region: String,
+}
+
+/// Modeled work performed by a component, with the instruction mix that
+/// hardening mechanisms instrument (§4.5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Work {
+    /// Base compute cycles.
+    pub cycles: u64,
+    /// Arithmetic ops (UBSan adds a check per op).
+    pub alu_ops: u64,
+    /// Function frames entered (stack protector adds canary store+check).
+    pub frames: u64,
+    /// Indirect calls (CFI adds a target check).
+    pub indirect_calls: u64,
+    /// Private-memory accesses not going through simulated memory
+    /// (KASan adds a shadow check per access).
+    pub mem_accesses: u64,
+}
+
+impl Work {
+    /// Work consisting of plain compute cycles only.
+    pub fn cycles(cycles: u64) -> Work {
+        Work {
+            cycles,
+            ..Work::default()
+        }
+    }
+}
+
+/// Per-component runtime statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ComponentStats {
+    /// Total cycles charged (compute + hardening surcharges).
+    pub cycles: u64,
+    /// Gate calls made *into* this component.
+    pub calls_in: u64,
+}
+
+/// Hook invoked on every cross-domain gate traversal; the EPT backend uses
+/// it to drive its shared-memory RPC rings.
+pub type CrossingHook = Box<dyn Fn(&Env, CompartmentId, CompartmentId, &str) -> Result<(), Fault>>;
+
+/// The image runtime. See the module docs for the full tour.
+pub struct Env {
+    machine: Rc<Machine>,
+    registry: ComponentRegistry,
+    comp_of: Vec<CompartmentId>,
+    hardening: Vec<Hardening>,
+    domains: Vec<DomainState>,
+    data_sharing: DataSharing,
+    gates: RefCell<GateTable>,
+    entries: HashSet<(CompartmentId, String)>,
+    shared_vars: HashMap<String, SharedVarPlacement>,
+    heaps: Vec<Rc<RefCell<Heap>>>,
+    shared_heap: Rc<RefCell<Heap>>,
+    cur: Cell<ComponentId>,
+    pkru: Cell<Pkru>,
+    regs: RefCell<RegisterFile>,
+    stats: RefCell<Vec<ComponentStats>>,
+    crossing_hook: RefCell<Option<CrossingHook>>,
+    call_depth: Cell<u32>,
+}
+
+impl std::fmt::Debug for Env {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Env")
+            .field("components", &self.registry.len())
+            .field("compartments", &self.domains.len())
+            .field("data_sharing", &self.data_sharing)
+            .finish()
+    }
+}
+
+/// All the pieces the image builder assembles into an [`Env`].
+pub struct EnvParts {
+    /// The machine everything runs on.
+    pub machine: Rc<Machine>,
+    /// Registered components.
+    pub registry: ComponentRegistry,
+    /// Compartment of each component (indexed by [`ComponentId`]).
+    pub comp_of: Vec<CompartmentId>,
+    /// Effective hardening of each component.
+    pub hardening: Vec<Hardening>,
+    /// Runtime domain state per compartment.
+    pub domains: Vec<DomainState>,
+    /// Data-sharing strategy for stack variables.
+    pub data_sharing: DataSharing,
+    /// Instantiated gate matrix.
+    pub gates: GateTable,
+    /// Legal entry points per compartment.
+    pub entries: HashSet<(CompartmentId, String)>,
+    /// Placements of `__shared` variables.
+    pub shared_vars: HashMap<String, SharedVarPlacement>,
+    /// Private heap per compartment.
+    pub heaps: Vec<Rc<RefCell<Heap>>>,
+    /// The shared communication heap.
+    pub shared_heap: Rc<RefCell<Heap>>,
+}
+
+impl Env {
+    /// Assembles the runtime from built parts (called by the toolchain).
+    pub fn from_parts(parts: EnvParts) -> Rc<Env> {
+        let n = parts.registry.len();
+        Rc::new(Env {
+            machine: parts.machine,
+            registry: parts.registry,
+            comp_of: parts.comp_of,
+            hardening: parts.hardening,
+            domains: parts.domains,
+            data_sharing: parts.data_sharing,
+            gates: RefCell::new(parts.gates),
+            entries: parts.entries,
+            shared_vars: parts.shared_vars,
+            heaps: parts.heaps,
+            shared_heap: parts.shared_heap,
+            cur: Cell::new(ComponentId(0)),
+            pkru: Cell::new(Pkru::ALL_ACCESS),
+            regs: RefCell::new(RegisterFile::new()),
+            stats: RefCell::new(vec![ComponentStats::default(); n]),
+            crossing_hook: RefCell::new(None),
+            call_depth: Cell::new(0),
+        })
+    }
+
+    // --- introspection ----------------------------------------------------
+
+    /// The machine this image runs on.
+    pub fn machine(&self) -> &Rc<Machine> {
+        &self.machine
+    }
+
+    /// The component registry.
+    pub fn registry(&self) -> &ComponentRegistry {
+        &self.registry
+    }
+
+    /// Looks up a component id by name.
+    pub fn component_id(&self, name: &str) -> Option<ComponentId> {
+        self.registry.lookup(name)
+    }
+
+    /// The compartment a component lives in.
+    pub fn compartment_of(&self, comp: ComponentId) -> CompartmentId {
+        self.comp_of[comp.0 as usize]
+    }
+
+    /// Effective hardening of a component.
+    pub fn hardening_of(&self, comp: ComponentId) -> Hardening {
+        self.hardening[comp.0 as usize]
+    }
+
+    /// Runtime domain state of a compartment.
+    pub fn domain(&self, comp: CompartmentId) -> &DomainState {
+        &self.domains[comp.0 as usize]
+    }
+
+    /// Number of compartments in the image.
+    pub fn compartment_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// The configured stack-data sharing strategy.
+    pub fn data_sharing(&self) -> DataSharing {
+        self.data_sharing
+    }
+
+    /// The component currently executing.
+    pub fn current_component(&self) -> ComponentId {
+        self.cur.get()
+    }
+
+    /// The PKRU currently installed.
+    pub fn current_pkru(&self) -> Pkru {
+        self.pkru.get()
+    }
+
+    /// Gate matrix and crossing counters.
+    pub fn gates(&self) -> std::cell::Ref<'_, GateTable> {
+        self.gates.borrow()
+    }
+
+    /// Resets the gate crossing counters (between benchmark phases).
+    pub fn reset_counters(&self) {
+        self.gates.borrow_mut().reset_counters();
+        for s in self.stats.borrow_mut().iter_mut() {
+            *s = ComponentStats::default();
+        }
+    }
+
+    /// Per-component statistics snapshot.
+    pub fn component_stats(&self, comp: ComponentId) -> ComponentStats {
+        self.stats.borrow()[comp.0 as usize]
+    }
+
+    /// Installs the cross-domain hook (EPT RPC rings).
+    pub fn set_crossing_hook(&self, hook: CrossingHook) {
+        *self.crossing_hook.borrow_mut() = Some(hook);
+    }
+
+    /// The register file (tests verify gate scrubbing through this).
+    pub fn regs(&self) -> std::cell::RefMut<'_, RegisterFile> {
+        self.regs.borrow_mut()
+    }
+
+    // --- execution --------------------------------------------------------
+
+    /// Enters the image as `component` (boot → app entry) and runs `f`.
+    /// Restores the previous context afterwards.
+    pub fn run_as<R>(&self, component: ComponentId, f: impl FnOnce() -> R) -> R {
+        let prev_comp = self.cur.get();
+        let prev_pkru = self.pkru.get();
+        self.cur.set(component);
+        self.pkru
+            .set(self.domains[self.compartment_of(component).0 as usize].pkru);
+        let out = f();
+        self.cur.set(prev_comp);
+        self.pkru.set(prev_pkru);
+        out
+    }
+
+    /// The abstract call gate: invokes `entry` of `to`, running `f` as the
+    /// callee. Assumes `arg_count = 2` registers carry arguments; use
+    /// [`Env::call_with_args`] to model a different arity.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::IllegalEntryPoint`] if the crossing targets a function not
+    /// registered as an entry point of the callee compartment (the gates'
+    /// CFI property), plus whatever `f` itself returns.
+    pub fn call<R>(
+        &self,
+        to: ComponentId,
+        entry: &str,
+        f: impl FnOnce() -> Result<R, Fault>,
+    ) -> Result<R, Fault> {
+        self.call_with_args(to, entry, 2, f)
+    }
+
+    /// [`Env::call`] with an explicit count of argument registers; the full
+    /// MPK/EPT gates zero every register beyond them (§3.1).
+    ///
+    /// # Errors
+    ///
+    /// See [`Env::call`].
+    pub fn call_with_args<R>(
+        &self,
+        to: ComponentId,
+        entry: &str,
+        arg_count: usize,
+        f: impl FnOnce() -> Result<R, Fault>,
+    ) -> Result<R, Fault> {
+        let from = self.cur.get();
+        let from_dom = self.compartment_of(from);
+        let to_dom = self.compartment_of(to);
+        let cost = self.machine.cost();
+
+        let kind = {
+            let mut gates = self.gates.borrow_mut();
+            let kind = gates.kind(from_dom, to_dom);
+            gates.record(from_dom, to_dom);
+            kind
+        };
+        self.machine.clock().advance(kind.cost(cost));
+
+        let saved_regs = if kind.crosses_domain() {
+            // CFI: compartments can only be entered through registered
+            // entry points (§4.1/§4.2).
+            if !self.entries.contains(&(to_dom, entry.to_string())) {
+                return Err(Fault::IllegalEntryPoint {
+                    entry: entry.to_string(),
+                    compartment: self.domains[to_dom.0 as usize].name.clone(),
+                });
+            }
+            if let Some(hook) = self.crossing_hook.borrow().as_ref() {
+                hook(self, from_dom, to_dom, entry)?;
+            }
+            // Full gates isolate the register set; the light gate shares it
+            // (ERIM-style, lesser guarantees, §4.1).
+            if matches!(kind, GateKind::MpkLight) {
+                None
+            } else {
+                let mut regs = self.regs.borrow_mut();
+                let saved = *regs;
+                regs.clear_non_args(arg_count);
+                Some(saved)
+            }
+        } else {
+            None
+        };
+
+        // Install the callee context.
+        let prev_pkru = self.pkru.get();
+        if kind.crosses_domain() {
+            self.pkru.set(self.domains[to_dom.0 as usize].pkru);
+        }
+        self.cur.set(to);
+        self.call_depth.set(self.call_depth.get() + 1);
+
+        // Callee-side hardening charges on entry.
+        let callee_h = self.hardening[to.0 as usize];
+        let mut entry_cycles = 0;
+        if callee_h.stack_protector {
+            entry_cycles += cost.stack_protector_frame;
+        }
+        if callee_h.cfi && kind.crosses_domain() {
+            entry_cycles += cost.cfi_check;
+        }
+        if entry_cycles > 0 {
+            self.machine.clock().advance(entry_cycles);
+        }
+        {
+            let mut stats = self.stats.borrow_mut();
+            stats[to.0 as usize].calls_in += 1;
+        }
+
+        let result = f();
+
+        // Return path: restore caller context (the gate executes the same
+        // steps in reverse, §4.1; the cost constant covers the round trip).
+        self.call_depth.set(self.call_depth.get() - 1);
+        self.cur.set(from);
+        self.pkru.set(prev_pkru);
+        if let Some(saved) = saved_regs {
+            *self.regs.borrow_mut() = saved;
+        }
+        result
+    }
+
+    /// Charges modeled compute work for the current component, applying
+    /// the instruction-mix surcharges of its hardening set.
+    pub fn compute(&self, work: Work) {
+        let comp = self.cur.get();
+        let h = self.hardening[comp.0 as usize];
+        let cost = self.machine.cost();
+        let mut cycles = work.cycles;
+        if h.ubsan {
+            cycles += work.alu_ops * cost.ubsan_check;
+        }
+        if h.stack_protector {
+            cycles += work.frames * cost.stack_protector_frame;
+        }
+        if h.cfi {
+            cycles += work.indirect_calls * cost.cfi_check;
+        }
+        if h.kasan {
+            cycles += work.mem_accesses * cost.kasan_check;
+        }
+        self.machine.clock().advance(cycles);
+        self.stats.borrow_mut()[comp.0 as usize].cycles += cycles;
+    }
+
+    // --- memory -----------------------------------------------------------
+
+    fn kasan_filter(&self, addr: Addr, len: u64, kind: Access) -> Result<(), Fault> {
+        if !self.hardening[self.cur.get().0 as usize].kasan {
+            return Ok(());
+        }
+        let dom = self.compartment_of(self.cur.get());
+        let heap = &self.heaps[dom.0 as usize];
+        if heap.borrow().contains(addr) {
+            return heap.borrow_mut().kasan_check(addr, len, kind);
+        }
+        if self.shared_heap.borrow().contains(addr) {
+            return self.shared_heap.borrow_mut().kasan_check(addr, len, kind);
+        }
+        Ok(())
+    }
+
+    /// Reads simulated memory under the current domain's PKRU.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::ProtectionKey`] when the current compartment does not hold
+    /// the page's key — the MPK isolation event; [`Fault::Kasan`] under
+    /// KASan hardening for redzone/quarantine hits.
+    pub fn mem_read(&self, addr: Addr, buf: &mut [u8]) -> Result<(), Fault> {
+        self.kasan_filter(addr, buf.len() as u64, Access::Read)?;
+        self.machine
+            .clock()
+            .advance_f64(buf.len() as f64 * self.machine.cost().mem_per_byte);
+        self.machine.memory().read(addr, buf, &self.pkru.get())
+    }
+
+    /// Reads `len` bytes into a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Env::mem_read`].
+    pub fn mem_read_vec(&self, addr: Addr, len: u64) -> Result<Vec<u8>, Fault> {
+        let mut buf = vec![0u8; len as usize];
+        self.mem_read(addr, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Writes simulated memory under the current domain's PKRU.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Env::mem_read`].
+    pub fn mem_write(&self, addr: Addr, data: &[u8]) -> Result<(), Fault> {
+        self.kasan_filter(addr, data.len() as u64, Access::Write)?;
+        self.machine
+            .clock()
+            .advance_f64(data.len() as f64 * self.machine.cost().mem_per_byte);
+        self.machine.memory_mut().write(addr, data, &self.pkru.get())
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Env::mem_read`].
+    pub fn mem_read_u64(&self, addr: Addr) -> Result<u64, Fault> {
+        let mut b = [0u8; 8];
+        self.mem_read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Env::mem_write`].
+    pub fn mem_write_u64(&self, addr: Addr, value: u64) -> Result<(), Fault> {
+        self.mem_write(addr, &value.to_le_bytes())
+    }
+
+    // --- heaps ------------------------------------------------------------
+
+    /// Allocates from the current compartment's private heap.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::ResourceExhausted`] when the heap is full.
+    pub fn malloc(&self, size: u64) -> Result<Addr, Fault> {
+        let dom = self.compartment_of(self.cur.get());
+        self.heaps[dom.0 as usize].borrow_mut().malloc(size)
+    }
+
+    /// Frees a private-heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::BadFree`] on foreign or double frees.
+    pub fn free(&self, addr: Addr) -> Result<(), Fault> {
+        let dom = self.compartment_of(self.cur.get());
+        self.heaps[dom.0 as usize].borrow_mut().free(addr)
+    }
+
+    /// Allocates from the shared communication heap (§4.1).
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::ResourceExhausted`] when the shared heap is full.
+    pub fn malloc_shared(&self, size: u64) -> Result<Addr, Fault> {
+        self.shared_heap.borrow_mut().malloc(size)
+    }
+
+    /// Frees a shared-heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::BadFree`] on foreign or double frees.
+    pub fn free_shared(&self, addr: Addr) -> Result<(), Fault> {
+        self.shared_heap.borrow_mut().free(addr)
+    }
+
+    /// The current compartment's private heap.
+    pub fn heap(&self) -> Rc<RefCell<Heap>> {
+        let dom = self.compartment_of(self.cur.get());
+        Rc::clone(&self.heaps[dom.0 as usize])
+    }
+
+    /// The shared communication heap.
+    pub fn shared_heap(&self) -> Rc<RefCell<Heap>> {
+        Rc::clone(&self.shared_heap)
+    }
+
+    /// Aggregated allocator statistics across every heap in the image
+    /// (Figure 10's allocator-behaviour accounting).
+    pub fn total_alloc_stats(&self) -> flexos_alloc::AllocStats {
+        let mut total = flexos_alloc::AllocStats::default();
+        let mut add = |s: flexos_alloc::AllocStats| {
+            total.mallocs += s.mallocs;
+            total.frees += s.frees;
+            total.slow_hits += s.slow_hits;
+            total.bytes_allocated += s.bytes_allocated;
+            total.bytes_freed += s.bytes_freed;
+            total.peak_live += s.peak_live;
+            total.kasan_reports += s.kasan_reports;
+        };
+        for heap in &self.heaps {
+            add(heap.borrow().stats());
+        }
+        add(self.shared_heap.borrow().stats());
+        total
+    }
+
+    /// Applies a per-slow-path allocator surcharge to every heap in the
+    /// image; models TLSF's slow-path behaviour on the `linuxu` platform
+    /// behind Figure 10's CubicleOS/Unikraft comparison (see
+    /// `CostModel::tlsf_linuxu_slow_delta`).
+    pub fn set_alloc_slow_surcharge(&self, cycles: u64) {
+        for heap in &self.heaps {
+            heap.borrow_mut().set_extra_slow_cycles(cycles);
+        }
+        self.shared_heap.borrow_mut().set_extra_slow_cycles(cycles);
+    }
+
+    // --- shared variables ---------------------------------------------------
+
+    /// Resolves a `__shared` variable, enforcing its whitelist: only the
+    /// owner and whitelisted components may touch it (§3.1).
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::NotWhitelisted`] when the current component is not allowed;
+    /// [`Fault::InvalidConfig`] for unknown variable names.
+    pub fn shared_var(&self, name: &str) -> Result<&SharedVarPlacement, Fault> {
+        let var = self.shared_vars.get(name).ok_or(Fault::InvalidConfig {
+            reason: format!("unknown shared variable `{name}`"),
+        })?;
+        let me = self.cur.get();
+        if var.owner == me || var.allowed.contains(&me) {
+            Ok(var)
+        } else {
+            Err(Fault::NotWhitelisted {
+                variable: name.to_string(),
+                compartment: self.registry.get(me).name.clone(),
+            })
+        }
+    }
+
+    /// All shared-variable placements (for the transform report).
+    pub fn shared_var_placements(&self) -> &HashMap<String, SharedVarPlacement> {
+        &self.shared_vars
+    }
+
+    // --- stack data sharing (Figure 11a) -----------------------------------
+
+    /// Models allocating one shared stack variable under the image's
+    /// data-sharing strategy, returning the cycles it cost: DSS and shared
+    /// stacks are compiler bookkeeping (stack speed); heap conversion pays
+    /// a full shared-heap malloc (§4.1 "Data Shadow Stacks", Figure 11a).
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::ResourceExhausted`] if heap conversion exhausts the shared
+    /// heap.
+    pub fn stack_share_alloc(&self, size: u64) -> Result<StackShare, Fault> {
+        let cost = self.machine.cost();
+        match self.data_sharing {
+            DataSharing::Dss | DataSharing::SharedStack => {
+                self.machine.clock().advance(cost.stack_alloc);
+                Ok(StackShare::Stack)
+            }
+            DataSharing::HeapConversion => {
+                let addr = self.malloc_shared(size)?;
+                Ok(StackShare::Heap(addr))
+            }
+        }
+    }
+
+    /// Releases a [`StackShare`] (frees the heap conversion, no-op for
+    /// stack-backed sharing).
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::BadFree`] if a heap-converted variable is released twice.
+    pub fn stack_share_release(&self, share: StackShare) -> Result<(), Fault> {
+        match share {
+            StackShare::Stack => Ok(()),
+            StackShare::Heap(addr) => self.free_shared(addr),
+        }
+    }
+}
+
+/// Token for one shared stack variable (see [`Env::stack_share_alloc`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackShare {
+    /// Backed by the DSS or a shared stack — nothing to release.
+    Stack,
+    /// Converted to a shared-heap allocation at this address.
+    Heap(Addr),
+}

@@ -1,0 +1,261 @@
+//! Abstract call gates and their build-time instantiation (§3.1).
+//!
+//! In FlexOS source code, cross-library calls are abstract
+//! (`flexos_gate(libc, fprintf, ...)`); the toolchain replaces each with a
+//! mechanism-specific implementation at build time. When caller and callee
+//! share a compartment the gate *is* a plain function call (zero overhead,
+//! Figure 3 step 3'); across compartments it becomes an MPK PKRU switch
+//! (light or full/DSS flavour), an EPT shared-memory RPC, or — for the
+//! baseline systems of Figure 10 — a syscall, microkernel IPC, or
+//! CubicleOS `pkey_mprotect` transition.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use flexos_machine::cost::CostModel;
+
+use crate::compartment::{CompartmentId, DataSharing, Mechanism};
+
+/// The concrete implementation a gate was instantiated to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum GateKind {
+    /// Same compartment: a plain (inlined) function call.
+    DirectCall,
+    /// MPK gate sharing stack and register set (ERIM-style "light").
+    MpkLight,
+    /// Full MPK gate: register isolation + per-compartment stacks (+DSS).
+    MpkDss,
+    /// EPT/VM shared-memory RPC with busy-waiting server (§4.2).
+    EptRpc,
+    /// Linux syscall with KPTI (Figure 10/11b baseline).
+    SyscallKpti,
+    /// Linux syscall without KPTI.
+    SyscallNoKpti,
+    /// seL4/Genode cross-component IPC (Figure 10 baseline).
+    MicrokernelIpc,
+    /// CubicleOS `pkey_mprotect`-based domain transition (Figure 10).
+    CubicleTrap,
+}
+
+impl GateKind {
+    /// Round-trip latency of this gate per the calibrated cost model
+    /// (Figure 11b).
+    pub fn cost(&self, model: &CostModel) -> u64 {
+        match self {
+            GateKind::DirectCall => model.function_call,
+            GateKind::MpkLight => model.mpk_light_gate,
+            GateKind::MpkDss => model.mpk_dss_gate,
+            GateKind::EptRpc => model.ept_rpc_gate,
+            GateKind::SyscallKpti => model.syscall_kpti,
+            GateKind::SyscallNoKpti => model.syscall_nokpti,
+            GateKind::MicrokernelIpc => model.sel4_genode_ipc,
+            GateKind::CubicleTrap => model.cubicleos_transition,
+        }
+    }
+
+    /// `true` if this gate crosses a protection-domain boundary (and must
+    /// therefore switch PKRU/AS and be CFI-checked).
+    pub fn crosses_domain(&self) -> bool {
+        !matches!(self, GateKind::DirectCall)
+    }
+
+    /// Selects the gate the toolchain instantiates between two
+    /// compartments, given their mechanisms and the image's data-sharing
+    /// strategy. Mixed-mechanism pairs take the *stronger* (costlier)
+    /// mechanism's gate, since both domains must be protected.
+    pub fn between(from: Mechanism, to: Mechanism, sharing: DataSharing) -> GateKind {
+        let stronger = if from.strength() >= to.strength() { from } else { to };
+        match stronger {
+            Mechanism::None => GateKind::DirectCall,
+            Mechanism::IntelMpk => match sharing {
+                DataSharing::SharedStack => GateKind::MpkLight,
+                DataSharing::Dss | DataSharing::HeapConversion => GateKind::MpkDss,
+            },
+            Mechanism::VmEpt => GateKind::EptRpc,
+            Mechanism::PageTable => GateKind::MicrokernelIpc,
+            Mechanism::CubicleOs => GateKind::CubicleTrap,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::DirectCall => "call",
+            GateKind::MpkLight => "mpk-light",
+            GateKind::MpkDss => "mpk-dss",
+            GateKind::EptRpc => "ept-rpc",
+            GateKind::SyscallKpti => "syscall",
+            GateKind::SyscallNoKpti => "syscall-nokpti",
+            GateKind::MicrokernelIpc => "microkernel-ipc",
+            GateKind::CubicleTrap => "cubicle-trap",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The instantiated gate matrix of an image plus crossing counters.
+///
+/// The counters are the quantity every figure of the evaluation keys on:
+/// cycles = Σ crossings(from,to) × gate cost.
+#[derive(Debug, Default)]
+pub struct GateTable {
+    /// `kinds[from][to]` — gate used when `from` calls into `to`.
+    kinds: Vec<Vec<GateKind>>,
+    /// Crossings observed at runtime, per (from, to).
+    crossings: HashMap<(CompartmentId, CompartmentId), u64>,
+    /// Total domain-crossing gate traversals.
+    total_crossings: u64,
+    /// Total same-compartment (direct) calls.
+    direct_calls: u64,
+}
+
+impl GateTable {
+    /// Builds the gate matrix for `n` compartments, all-direct by default.
+    pub fn new(n: usize) -> Self {
+        GateTable {
+            kinds: vec![vec![GateKind::DirectCall; n]; n],
+            ..Default::default()
+        }
+    }
+
+    /// Number of compartments the table covers.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// `true` if the table covers no compartments.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Sets the gate between two compartments (toolchain instantiation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn set(&mut self, from: CompartmentId, to: CompartmentId, kind: GateKind) {
+        self.kinds[from.0 as usize][to.0 as usize] = kind;
+    }
+
+    /// The gate used when `from` calls into `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn kind(&self, from: CompartmentId, to: CompartmentId) -> GateKind {
+        self.kinds[from.0 as usize][to.0 as usize]
+    }
+
+    /// Records a traversal (the runtime does this inside the gate).
+    pub fn record(&mut self, from: CompartmentId, to: CompartmentId) {
+        if self.kind(from, to).crosses_domain() {
+            *self.crossings.entry((from, to)).or_insert(0) += 1;
+            self.total_crossings += 1;
+        } else {
+            self.direct_calls += 1;
+        }
+    }
+
+    /// Crossings observed between a pair of compartments (both directions
+    /// counted separately).
+    pub fn crossings_between(&self, from: CompartmentId, to: CompartmentId) -> u64 {
+        self.crossings.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Total cross-domain traversals.
+    pub fn total_crossings(&self) -> u64 {
+        self.total_crossings
+    }
+
+    /// Total same-compartment calls.
+    pub fn direct_calls(&self) -> u64 {
+        self.direct_calls
+    }
+
+    /// Resets the runtime counters (between benchmark phases).
+    pub fn reset_counters(&mut self) {
+        self.crossings.clear();
+        self.total_crossings = 0;
+        self.direct_calls = 0;
+    }
+
+    /// Iterates the instantiated non-direct gates (for the transform
+    /// report).
+    pub fn instantiated(&self) -> impl Iterator<Item = (CompartmentId, CompartmentId, GateKind)> + '_ {
+        self.kinds.iter().enumerate().flat_map(|(i, row)| {
+            row.iter().enumerate().filter_map(move |(j, &k)| {
+                k.crosses_domain()
+                    .then_some((CompartmentId(i as u8), CompartmentId(j as u8), k))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_match_figure_11b() {
+        let m = CostModel::default();
+        assert_eq!(GateKind::DirectCall.cost(&m), 2);
+        assert_eq!(GateKind::MpkLight.cost(&m), 62);
+        assert_eq!(GateKind::MpkDss.cost(&m), 108);
+        assert_eq!(GateKind::EptRpc.cost(&m), 462);
+        assert_eq!(GateKind::SyscallKpti.cost(&m), 470);
+        assert_eq!(GateKind::SyscallNoKpti.cost(&m), 146);
+    }
+
+    #[test]
+    fn gate_selection_by_mechanism() {
+        use DataSharing as DS;
+        use Mechanism as M;
+        assert_eq!(GateKind::between(M::None, M::None, DS::Dss), GateKind::DirectCall);
+        assert_eq!(
+            GateKind::between(M::IntelMpk, M::IntelMpk, DS::Dss),
+            GateKind::MpkDss
+        );
+        assert_eq!(
+            GateKind::between(M::IntelMpk, M::IntelMpk, DS::SharedStack),
+            GateKind::MpkLight
+        );
+        assert_eq!(GateKind::between(M::VmEpt, M::VmEpt, DS::Dss), GateKind::EptRpc);
+        // Mixed MPK/EPT: the stronger mechanism's gate wins.
+        assert_eq!(
+            GateKind::between(M::IntelMpk, M::VmEpt, DS::Dss),
+            GateKind::EptRpc
+        );
+    }
+
+    #[test]
+    fn table_records_crossings() {
+        let mut t = GateTable::new(2);
+        let (a, b) = (CompartmentId(0), CompartmentId(1));
+        t.set(a, b, GateKind::MpkDss);
+        t.set(b, a, GateKind::MpkDss);
+        t.record(a, b);
+        t.record(a, b);
+        t.record(b, a);
+        t.record(a, a); // direct
+        assert_eq!(t.crossings_between(a, b), 2);
+        assert_eq!(t.crossings_between(b, a), 1);
+        assert_eq!(t.total_crossings(), 3);
+        assert_eq!(t.direct_calls(), 1);
+        t.reset_counters();
+        assert_eq!(t.total_crossings(), 0);
+    }
+
+    #[test]
+    fn instantiated_lists_cross_domain_gates_only() {
+        let mut t = GateTable::new(3);
+        t.set(CompartmentId(0), CompartmentId(1), GateKind::MpkLight);
+        t.set(CompartmentId(1), CompartmentId(0), GateKind::MpkLight);
+        let gates: Vec<_> = t.instantiated().collect();
+        assert_eq!(gates.len(), 2);
+        assert!(gates.iter().all(|&(_, _, k)| k == GateKind::MpkLight));
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-component software hardening (§4.5).
+//!
+//! FlexOS can enable or disable software hardening mechanisms per
+//! component: CFI, address sanitization (KASan), undefined-behaviour
+//! sanitization (UBSan), and stack protector. Isolating an unhardened
+//! component from hardened ones preserves the hardened components'
+//! guarantees — that interplay is the whole point of the Figure 6
+//! configuration sweep.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A set of software hardening mechanisms applied to one component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Hardening {
+    /// Control-flow integrity (indirect-call target checks).
+    pub cfi: bool,
+    /// Kernel address sanitizer (redzones, quarantine, shadow checks).
+    pub kasan: bool,
+    /// Undefined-behaviour sanitizer (trapping arithmetic).
+    pub ubsan: bool,
+    /// Stack-smashing protector (canaries).
+    pub stack_protector: bool,
+}
+
+impl Hardening {
+    /// No hardening at all.
+    pub const NONE: Hardening = Hardening {
+        cfi: false,
+        kasan: false,
+        ubsan: false,
+        stack_protector: false,
+    };
+
+    /// Every supported mechanism enabled.
+    pub const FULL: Hardening = Hardening {
+        cfi: true,
+        kasan: true,
+        ubsan: true,
+        stack_protector: true,
+    };
+
+    /// The paper's Figure 6 hardening bundle: stack protector + UBSan +
+    /// KASan toggled together per component (§6.1).
+    pub const FIG6_BUNDLE: Hardening = Hardening {
+        cfi: false,
+        kasan: true,
+        ubsan: true,
+        stack_protector: true,
+    };
+
+    /// `true` if no mechanism is enabled.
+    pub fn is_none(&self) -> bool {
+        *self == Self::NONE
+    }
+
+    /// Number of enabled mechanisms.
+    pub fn count(&self) -> u32 {
+        self.cfi as u32 + self.kasan as u32 + self.ubsan as u32 + self.stack_protector as u32
+    }
+
+    /// `true` if every mechanism enabled in `self` is also enabled in
+    /// `other` — the "stackable software hardening" partial order used by
+    /// partial safety ordering (§5, assumption 3).
+    pub fn subset_of(&self, other: &Hardening) -> bool {
+        (!self.cfi || other.cfi)
+            && (!self.kasan || other.kasan)
+            && (!self.ubsan || other.ubsan)
+            && (!self.stack_protector || other.stack_protector)
+    }
+
+    /// Union of two hardening sets.
+    pub fn union(&self, other: &Hardening) -> Hardening {
+        Hardening {
+            cfi: self.cfi || other.cfi,
+            kasan: self.kasan || other.kasan,
+            ubsan: self.ubsan || other.ubsan,
+            stack_protector: self.stack_protector || other.stack_protector,
+        }
+    }
+
+    /// Parses one mechanism name as used in configuration files
+    /// (`cfi`, `asan`/`kasan`, `ubsan`, `stack-protector`/`sp`).
+    pub fn parse_mechanism(name: &str) -> Option<Hardening> {
+        let mut h = Hardening::NONE;
+        match name.trim().to_ascii_lowercase().as_str() {
+            "cfi" => h.cfi = true,
+            "asan" | "kasan" => h.kasan = true,
+            "ubsan" => h.ubsan = true,
+            "stack-protector" | "stack_protector" | "sp" => h.stack_protector = true,
+            _ => return None,
+        }
+        Some(h)
+    }
+}
+
+impl fmt::Display for Hardening {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            return f.write_str("none");
+        }
+        let mut parts = Vec::new();
+        if self.cfi {
+            parts.push("cfi");
+        }
+        if self.kasan {
+            parts.push("kasan");
+        }
+        if self.ubsan {
+            parts.push("ubsan");
+        }
+        if self.stack_protector {
+            parts.push("stack-protector");
+        }
+        f.write_str(&parts.join("+"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_order() {
+        let none = Hardening::NONE;
+        let cfi = Hardening {
+            cfi: true,
+            ..Hardening::NONE
+        };
+        let full = Hardening::FULL;
+        assert!(none.subset_of(&cfi));
+        assert!(cfi.subset_of(&full));
+        assert!(!full.subset_of(&cfi));
+        assert!(cfi.subset_of(&cfi));
+    }
+
+    #[test]
+    fn incomparable_sets() {
+        let cfi = Hardening {
+            cfi: true,
+            ..Hardening::NONE
+        };
+        let kasan = Hardening {
+            kasan: true,
+            ..Hardening::NONE
+        };
+        assert!(!cfi.subset_of(&kasan));
+        assert!(!kasan.subset_of(&cfi));
+        assert_eq!(cfi.union(&kasan).count(), 2);
+    }
+
+    #[test]
+    fn parse_mechanisms() {
+        assert!(Hardening::parse_mechanism("cfi").unwrap().cfi);
+        assert!(Hardening::parse_mechanism("asan").unwrap().kasan);
+        assert!(Hardening::parse_mechanism("KASAN").unwrap().kasan);
+        assert!(Hardening::parse_mechanism("ubsan").unwrap().ubsan);
+        assert!(
+            Hardening::parse_mechanism("stack-protector")
+                .unwrap()
+                .stack_protector
+        );
+        assert!(Hardening::parse_mechanism("rust").is_none());
+    }
+
+    #[test]
+    fn display_lists_mechanisms() {
+        assert_eq!(Hardening::NONE.to_string(), "none");
+        assert_eq!(Hardening::FULL.to_string(), "cfi+kasan+ubsan+stack-protector");
+        assert_eq!(Hardening::FIG6_BUNDLE.to_string(), "kasan+ubsan+stack-protector");
+    }
+
+    #[test]
+    fn fig6_bundle_counts_three() {
+        assert_eq!(Hardening::FIG6_BUNDLE.count(), 3);
+    }
+}

@@ -1,0 +1,235 @@
+//! The EPT backend's [`IsolationBackend`] implementation.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use flexos_core::backend::IsolationBackend;
+use flexos_core::compartment::{CompartmentId, DataSharing, Mechanism};
+use flexos_core::env::Env;
+use flexos_core::gate::GateKind;
+use flexos_core::image::SHARED_KEY_INDEX;
+use flexos_machine::fault::Fault;
+use flexos_machine::key::{Pkru, ProtKey};
+use flexos_machine::layout::RegionKind;
+
+use crate::rpc::{entry_hash, RpcRing, RpcServerPool};
+
+/// The EPT/VM backend (§4.2): ~1000 LoC of the prototype's kernel patch,
+/// plus a <90 LoC QEMU/KVM shared-memory patch.
+#[derive(Debug, Default)]
+pub struct EptBackend {
+    state: Rc<RefCell<EptState>>,
+}
+
+#[derive(Debug, Default)]
+struct EptState {
+    rings: HashMap<u8, RpcRing>,
+    legal_entries: HashSet<(u8, u64)>,
+    pools: HashMap<u8, RpcServerPool>,
+}
+
+impl EptBackend {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests serviced by compartment `comp`'s RPC server so far.
+    pub fn serviced(&self, comp: CompartmentId) -> u64 {
+        self.state
+            .borrow()
+            .pools
+            .get(&comp.0)
+            .map(|p| p.serviced())
+            .unwrap_or(0)
+    }
+
+    /// Requests refused by compartment `comp`'s RPC server (illegal entry
+    /// points).
+    pub fn refused(&self, comp: CompartmentId) -> u64 {
+        self.state
+            .borrow()
+            .pools
+            .get(&comp.0)
+            .map(|p| p.refused())
+            .unwrap_or(0)
+    }
+}
+
+impl IsolationBackend for EptBackend {
+    fn name(&self) -> &str {
+        "vm-ept"
+    }
+
+    fn mechanism(&self) -> Mechanism {
+        Mechanism::VmEpt
+    }
+
+    fn gate_kind(&self, _sharing: DataSharing) -> GateKind {
+        GateKind::EptRpc
+    }
+
+    fn tcb_loc(&self) -> u32 {
+        1000
+    }
+
+    fn duplicates_tcb(&self) -> bool {
+        true
+    }
+
+    fn on_boot(&self, env: &Env) -> Result<(), Fault> {
+        let machine = env.machine();
+        let shared_key = ProtKey::new(SHARED_KEY_INDEX)?;
+        let mut state = self.state.borrow_mut();
+
+        // One RPC ring + server pool per VM, in shared memory mapped at the
+        // same address in every compartment (§4.2 "Data Ownership").
+        for i in 0..env.compartment_count() {
+            let dom = env.domain(CompartmentId(i as u8));
+            if dom.mechanism != Mechanism::VmEpt {
+                continue;
+            }
+            let region = machine.map_region_kind(
+                format!("{}/rpc-ring", dom.name),
+                1,
+                shared_key,
+                RegionKind::RpcRing,
+            )?;
+            state.rings.insert(i as u8, RpcRing::new(region.base()));
+            state
+                .pools
+                .insert(i as u8, RpcServerPool::new((0..2).collect()));
+        }
+
+        // Legal entry table: every registered entry point's build-time
+        // address (hash), per compartment. The server checks against this.
+        for (id, component) in env.registry().iter() {
+            let dom = env.compartment_of(id);
+            for entry in &component.entry_points {
+                state.legal_entries.insert((dom.0, entry_hash(entry)));
+            }
+        }
+
+        // The crossing hook drives the rings on every EPT gate traversal.
+        let hook_state = Rc::clone(&self.state);
+        env.set_crossing_hook(Box::new(move |env, _from, to, entry| {
+            let state = hook_state.borrow();
+            let ring = match state.rings.get(&to.0) {
+                Some(ring) => *ring,
+                None => return Ok(()), // callee not EPT-isolated
+            };
+            drop(state);
+            let machine = env.machine();
+            // Ring traffic runs under a shared-domain PKRU: the RPC area is
+            // the one region both sides map.
+            let ring_pkru = Pkru::permit_only(&[ProtKey::new(SHARED_KEY_INDEX)?]);
+            let hash = entry_hash(entry);
+            let slot = ring.push_request(machine, &ring_pkru, hash, 0, 0)?;
+            // Callee VM's server: busy-wait pickup, legality check, execute.
+            let req = ring
+                .pop_request(machine, &ring_pkru)?
+                .ok_or(Fault::ResourceExhausted { what: "RPC ring" })?;
+            let mut state = hook_state.borrow_mut();
+            let legal = state.legal_entries.contains(&(to.0, req.entry));
+            if let Some(pool) = state.pools.get_mut(&to.0) {
+                if legal {
+                    pool.record_serviced();
+                } else {
+                    pool.record_refused();
+                }
+            }
+            drop(state);
+            if !legal {
+                return Err(Fault::IllegalEntryPoint {
+                    entry: entry.to_string(),
+                    compartment: env.domain(to).name.clone(),
+                });
+            }
+            ring.complete(machine, &ring_pkru, slot, 0)?;
+            Ok(())
+        }));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexos_core::compartment::CompartmentSpec;
+    use flexos_core::component::{Component, ComponentKind};
+    use flexos_core::config::SafetyConfig;
+    use flexos_core::image::ImageBuilder;
+    use flexos_machine::Machine;
+
+    fn build_ept_image(backend: &EptBackend) -> flexos_core::image::Image {
+        let machine = Machine::new(Machine::DEFAULT_MEM_BYTES);
+        let config = SafetyConfig::builder()
+            .compartment(CompartmentSpec::new("main", Mechanism::VmEpt).default_compartment())
+            .compartment(CompartmentSpec::new("fs", Mechanism::VmEpt))
+            .place("vfs", "fs")
+            .build()
+            .unwrap();
+        let mut builder = ImageBuilder::new(machine, config);
+        builder
+            .register(Component::new("app", ComponentKind::App))
+            .unwrap();
+        builder
+            .register(Component::new("vfs", ComponentKind::Kernel).with_entry_points(&["vfs_read"]))
+            .unwrap();
+        builder.build(&[backend]).unwrap()
+    }
+
+    #[test]
+    fn crossing_drives_the_ring_and_charges_462() {
+        let backend = EptBackend::new();
+        let image = build_ept_image(&backend);
+        let env = &image.env;
+        let app = env.component_id("app").unwrap();
+        let vfs = env.component_id("vfs").unwrap();
+        let fs_comp = env.compartment_of(vfs);
+        env.run_as(app, || {
+            let t0 = env.machine().clock().now();
+            env.call(vfs, "vfs_read", || Ok(())).unwrap();
+            assert_eq!(
+                env.machine().clock().now() - t0,
+                env.machine().cost().ept_rpc_gate
+            );
+        });
+        assert_eq!(backend.serviced(fs_comp), 1);
+        assert_eq!(backend.refused(fs_comp), 0);
+    }
+
+    #[test]
+    fn server_refuses_illegal_function_pointers() {
+        let backend = EptBackend::new();
+        let image = build_ept_image(&backend);
+        let env = &image.env;
+        let app = env.component_id("app").unwrap();
+        let vfs = env.component_id("vfs").unwrap();
+        env.run_as(app, || {
+            let err = env.call(vfs, "vfs_secret_internal", || Ok(())).unwrap_err();
+            assert!(matches!(err, Fault::IllegalEntryPoint { .. }));
+        });
+    }
+
+    #[test]
+    fn report_duplicates_tcb_per_vm() {
+        let backend = EptBackend::new();
+        let image = build_ept_image(&backend);
+        assert!(image.report.tcb.duplicated_per_compartment);
+        assert_eq!(
+            image.report.tcb.total_loc(),
+            2 * image.report.tcb.unique_loc()
+        );
+    }
+
+    #[test]
+    fn rings_are_mapped_per_vm() {
+        let backend = EptBackend::new();
+        let image = build_ept_image(&backend);
+        let script = image.env.machine().layout().linker_script();
+        assert!(script.contains("main/rpc-ring"));
+        assert!(script.contains("fs/rpc-ring"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Shared-memory RPC rings (§4.2 "EPT Gates").
+//!
+//! One ring per callee VM, in a region every compartment's PKRU maps
+//! (shared memory is the only thing EPT compartments have in common). A
+//! ring entry carries the function pointer (its build-time hash here),
+//! two argument words, and a status word the server flips when the reply
+//! is ready. The paper's servers busy-wait; the 462-cycle Figure 11b
+//! constant is the measured round trip including the cache-line
+//! ping-pong, so ring operations here move real bytes through simulated
+//! memory but do not double-charge the clock.
+
+use flexos_machine::addr::Addr;
+use flexos_machine::fault::Fault;
+use flexos_machine::key::Pkru;
+use flexos_machine::Machine;
+
+/// Entries per ring.
+pub const RING_ENTRIES: u64 = 64;
+
+/// Bytes per ring entry: entry_hash u64, arg0 u64, arg1 u64, status u64.
+pub const ENTRY_BYTES: u64 = 32;
+
+/// Ring header: head u64, tail u64.
+pub const HEADER_BYTES: u64 = 16;
+
+/// Total ring footprint.
+pub const RING_BYTES: u64 = HEADER_BYTES + RING_ENTRIES * ENTRY_BYTES;
+
+/// Entry status words.
+mod status {
+    pub const EMPTY: u64 = 0;
+    pub const REQUEST: u64 = 1;
+    pub const DONE: u64 = 2;
+}
+
+/// Build-time hash of an entry-point name; stands in for the function
+/// pointer the paper deposits (all addresses known at build time).
+pub fn entry_hash(name: &str) -> u64 {
+    name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+    })
+}
+
+/// One RPC request as read back by the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcRequest {
+    /// Ring slot the request occupies.
+    pub slot: u64,
+    /// Hash of the requested entry point.
+    pub entry: u64,
+    /// First argument word.
+    pub arg0: u64,
+    /// Second argument word.
+    pub arg1: u64,
+}
+
+/// A shared-memory RPC ring for one callee VM.
+#[derive(Debug, Clone, Copy)]
+pub struct RpcRing {
+    base: Addr,
+}
+
+impl RpcRing {
+    /// Wraps a ring at `base` (a shared-keyed region of at least
+    /// [`RING_BYTES`] bytes).
+    pub fn new(base: Addr) -> Self {
+        RpcRing { base }
+    }
+
+    /// The ring's base address.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    fn head_addr(&self) -> Addr {
+        self.base
+    }
+
+    fn tail_addr(&self) -> Addr {
+        self.base + 8
+    }
+
+    fn entry_addr(&self, slot: u64) -> Addr {
+        self.base + HEADER_BYTES + (slot % RING_ENTRIES) * ENTRY_BYTES
+    }
+
+    /// Caller side: deposits a request, returning its slot.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::ResourceExhausted`] when the ring is full; protection
+    /// faults if `pkru` does not map the shared region.
+    pub fn push_request(
+        &self,
+        machine: &Machine,
+        pkru: &Pkru,
+        entry: u64,
+        arg0: u64,
+        arg1: u64,
+    ) -> Result<u64, Fault> {
+        let mut mem = machine.memory_mut();
+        let head = mem.read_u64(self.head_addr(), pkru)?;
+        let tail = mem.read_u64(self.tail_addr(), pkru)?;
+        if head - tail >= RING_ENTRIES {
+            return Err(Fault::ResourceExhausted { what: "RPC ring" });
+        }
+        let slot = head;
+        let at = self.entry_addr(slot);
+        mem.write_u64(at, entry, pkru)?;
+        mem.write_u64(at + 8, arg0, pkru)?;
+        mem.write_u64(at + 16, arg1, pkru)?;
+        mem.write_u64(at + 24, status::REQUEST, pkru)?;
+        mem.write_u64(self.head_addr(), head + 1, pkru)?;
+        Ok(slot)
+    }
+
+    /// Server side: pops the oldest pending request, if any (the paper's
+    /// servers busy-wait on this).
+    ///
+    /// # Errors
+    ///
+    /// Protection faults if `pkru` does not map the shared region.
+    pub fn pop_request(&self, machine: &Machine, pkru: &Pkru) -> Result<Option<RpcRequest>, Fault> {
+        let mem = machine.memory();
+        let head = mem.read_u64(self.head_addr(), pkru)?;
+        let tail = mem.read_u64(self.tail_addr(), pkru)?;
+        if tail >= head {
+            return Ok(None);
+        }
+        let at = self.entry_addr(tail);
+        let status_word = mem.read_u64(at + 24, pkru)?;
+        if status_word != status::REQUEST {
+            return Ok(None);
+        }
+        Ok(Some(RpcRequest {
+            slot: tail,
+            entry: mem.read_u64(at, pkru)?,
+            arg0: mem.read_u64(at + 8, pkru)?,
+            arg1: mem.read_u64(at + 16, pkru)?,
+        }))
+    }
+
+    /// Server side: publishes the return value for `slot` and retires it.
+    ///
+    /// # Errors
+    ///
+    /// Protection faults if `pkru` does not map the shared region.
+    pub fn complete(
+        &self,
+        machine: &Machine,
+        pkru: &Pkru,
+        slot: u64,
+        ret: u64,
+    ) -> Result<(), Fault> {
+        let mut mem = machine.memory_mut();
+        let at = self.entry_addr(slot);
+        mem.write_u64(at + 8, ret, pkru)?;
+        mem.write_u64(at + 24, status::DONE, pkru)?;
+        let tail = mem.read_u64(self.tail_addr(), pkru)?;
+        mem.write_u64(self.tail_addr(), tail.max(slot) + 1, pkru)?;
+        Ok(())
+    }
+
+    /// Caller side: reads the return value once the server completed.
+    ///
+    /// # Errors
+    ///
+    /// Protection faults if `pkru` does not map the shared region.
+    pub fn fetch_reply(&self, machine: &Machine, pkru: &Pkru, slot: u64) -> Result<Option<u64>, Fault> {
+        let mem = machine.memory();
+        let at = self.entry_addr(slot);
+        if mem.read_u64(at + 24, pkru)? != status::DONE {
+            return Ok(None);
+        }
+        Ok(Some(mem.read_u64(at + 8, pkru)?))
+    }
+}
+
+/// The per-VM pool of threads servicing RPC requests (§4.2: "each RPC
+/// server maintains a pool of threads that are used to service RPCs").
+#[derive(Debug)]
+pub struct RpcServerPool {
+    /// Thread ids registered as servers for this VM.
+    threads: Vec<u32>,
+    /// Requests serviced.
+    serviced: u64,
+    /// Requests refused for illegal entry points.
+    refused: u64,
+}
+
+impl RpcServerPool {
+    /// Creates a pool with `threads` server thread ids.
+    pub fn new(threads: Vec<u32>) -> Self {
+        RpcServerPool {
+            threads,
+            serviced: 0,
+            refused: 0,
+        }
+    }
+
+    /// Number of server threads.
+    pub fn size(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Records a serviced request.
+    pub fn record_serviced(&mut self) {
+        self.serviced += 1;
+    }
+
+    /// Records a refused (illegal entry point) request.
+    pub fn record_refused(&mut self) {
+        self.refused += 1;
+    }
+
+    /// Requests serviced so far.
+    pub fn serviced(&self) -> u64 {
+        self.serviced
+    }
+
+    /// Requests refused so far.
+    pub fn refused(&self) -> u64 {
+        self.refused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexos_machine::key::ProtKey;
+
+    fn ring() -> (std::rc::Rc<Machine>, RpcRing, Pkru) {
+        let machine = Machine::new(8 * 1024 * 1024);
+        let region = machine
+            .map_region("rpc-ring", 1, ProtKey::new(15).unwrap())
+            .unwrap();
+        let pkru = Pkru::permit_only(&[ProtKey::new(15).unwrap()]);
+        (machine, RpcRing::new(region.base()), pkru)
+    }
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let (machine, ring, pkru) = ring();
+        let h = entry_hash("vfs_write");
+        let slot = ring.push_request(&machine, &pkru, h, 42, 7).unwrap();
+        let req = ring.pop_request(&machine, &pkru).unwrap().unwrap();
+        assert_eq!(req.entry, h);
+        assert_eq!((req.arg0, req.arg1), (42, 7));
+        assert_eq!(ring.fetch_reply(&machine, &pkru, slot).unwrap(), None);
+        ring.complete(&machine, &pkru, req.slot, 1337).unwrap();
+        assert_eq!(ring.fetch_reply(&machine, &pkru, slot).unwrap(), Some(1337));
+        // Retired: nothing pending.
+        assert_eq!(ring.pop_request(&machine, &pkru).unwrap(), None);
+    }
+
+    #[test]
+    fn ring_fills_up() {
+        let (machine, ring, pkru) = ring();
+        for i in 0..RING_ENTRIES {
+            ring.push_request(&machine, &pkru, 1, i, 0).unwrap();
+        }
+        assert!(matches!(
+            ring.push_request(&machine, &pkru, 1, 0, 0),
+            Err(Fault::ResourceExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_domain_cannot_touch_the_ring() {
+        let (machine, ring, _) = ring();
+        let stranger = Pkru::permit_only(&[ProtKey::new(3).unwrap()]);
+        assert!(matches!(
+            ring.push_request(&machine, &stranger, 1, 0, 0),
+            Err(Fault::ProtectionKey { .. })
+        ));
+    }
+
+    #[test]
+    fn entry_hash_is_stable_and_distinct() {
+        assert_eq!(entry_hash("recv"), entry_hash("recv"));
+        assert_ne!(entry_hash("recv"), entry_hash("send"));
+    }
+
+    #[test]
+    fn pool_counters() {
+        let mut pool = RpcServerPool::new(vec![1, 2, 3]);
+        assert_eq!(pool.size(), 3);
+        pool.record_serviced();
+        pool.record_refused();
+        assert_eq!(pool.serviced(), 1);
+        assert_eq!(pool.refused(), 1);
+    }
+}

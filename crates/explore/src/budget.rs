@@ -1,0 +1,115 @@
+//! Budget pruning and star extraction (§5 "Partial Safety Ordering in
+//! Practice", Figure 8).
+//!
+//! The user provides a performance budget (e.g. ≥ 500k requests/s); the
+//! toolchain labels the poset with measured performance, prunes nodes
+//! below the budget, and reports the maximal elements of what survives —
+//! the most secure configurations that satisfy the budget.
+
+use crate::poset::Poset;
+
+/// Result of the exploration.
+#[derive(Debug, Clone)]
+pub struct StarReport {
+    /// The budget applied (same metric as node performance).
+    pub budget: f64,
+    /// Indices meeting the budget.
+    pub surviving: Vec<usize>,
+    /// Indices of the starred (maximal surviving) configurations.
+    pub stars: Vec<usize>,
+}
+
+impl StarReport {
+    /// Number of configurations pruned away.
+    pub fn pruned(&self, total: usize) -> usize {
+        total - self.surviving.len()
+    }
+}
+
+/// Prunes `poset` under `budget` and stars the safest survivors.
+pub fn prune_and_star(poset: &Poset, budget: f64) -> StarReport {
+    let surviving: Vec<usize> = (0..poset.len())
+        .filter(|&i| poset.node(i).performance >= budget)
+        .collect();
+    let stars = poset.maximal_among(&surviving);
+    StarReport {
+        budget,
+        surviving,
+        stars,
+    }
+}
+
+/// Monotone-path shortcut (§5): when performance decreases monotonically
+/// along a poset path, label measurement can stop as soon as a node
+/// misses the budget — everything above it (safer = slower on that path)
+/// can be skipped. Returns how many measurements that saves for a chain.
+pub fn chain_measurements_saved(performance_along_chain: &[f64], budget: f64) -> usize {
+    match performance_along_chain.iter().position(|&p| p < budget) {
+        // Everything after the first miss needs no measurement.
+        Some(first_miss) => performance_along_chain.len() - first_miss - 1,
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::fig6_space;
+
+    #[test]
+    fn stars_are_maximal_and_meet_budget() {
+        let points = fig6_space("redis");
+        // Synthetic but monotone-ish performance: hardening and
+        // compartments cost throughput.
+        let perf: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                1_200_000.0
+                    - 150_000.0 * (p.strategy.compartments() as f64 - 1.0)
+                    - 120_000.0 * p.hardening_mask.count_ones() as f64
+            })
+            .collect();
+        let poset = Poset::from_fig6(&points, &perf);
+        let report = prune_and_star(&poset, 500_000.0);
+        assert!(!report.stars.is_empty());
+        for &s in &report.stars {
+            assert!(poset.node(s).performance >= 500_000.0);
+            // No survivor strictly dominates a star.
+            for &o in &report.surviving {
+                assert!(!poset.lt(s, o), "star {s} dominated by {o}");
+            }
+        }
+        // Pruning really removed something.
+        assert!(report.pruned(points.len()) > 0);
+    }
+
+    #[test]
+    fn zero_budget_keeps_everything() {
+        let points = fig6_space("redis");
+        let perf = vec![1.0; points.len()];
+        let poset = Poset::from_fig6(&points, &perf);
+        let report = prune_and_star(&poset, 0.0);
+        assert_eq!(report.surviving.len(), points.len());
+        // With uniform performance the only maximal element is the global
+        // maximum of the order.
+        assert_eq!(report.stars.len(), 1);
+    }
+
+    #[test]
+    fn impossible_budget_stars_nothing() {
+        let points = fig6_space("redis");
+        let perf = vec![1.0; points.len()];
+        let poset = Poset::from_fig6(&points, &perf);
+        let report = prune_and_star(&poset, 2.0);
+        assert!(report.stars.is_empty());
+        assert_eq!(report.pruned(points.len()), points.len());
+    }
+
+    #[test]
+    fn monotone_chains_save_measurements() {
+        // A path with decreasing performance: once below budget, stop.
+        let chain = [900.0, 700.0, 450.0, 300.0, 200.0];
+        assert_eq!(chain_measurements_saved(&chain, 500.0), 2);
+        assert_eq!(chain_measurements_saved(&chain, 100.0), 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # flexos-explore — partial safety ordering (§5)
+//!
+//! FlexOS unlocks a design space far too large to explore by hand
+//! (Figure 6 alone evaluates 2×80 configurations). Quantifying safety
+//! absolutely is impossible — is {3 compartments, MPK, no hardening}
+//! safer than {2 compartments, EPT, CFI}? — but *some* configurations are
+//! programmatically comparable: safety probabilistically increases with
+//!
+//! 1. the number of compartments (partition refinement),
+//! 2. data isolation (DSS vs shared stacks, restricted sharing groups),
+//! 3. stackable software hardening (per-component subset order),
+//! 4. the strength of the isolation mechanism.
+//!
+//! Those four assumptions induce a **partial order**; configurations form
+//! a poset whose DAG we label with measured performance, prune under a
+//! budget, and reduce to its maximal elements — the safest configurations
+//! that satisfy the budget (Figure 8 stars).
+
+pub mod budget;
+pub mod poset;
+pub mod space;
+
+pub use budget::{prune_and_star, StarReport};
+pub use poset::{ConfigNode, Poset};
+pub use space::{fig6_space, Fig6Point, Strategy, FIG6_COMPONENTS};

@@ -1,0 +1,208 @@
+//! The configuration poset (§5, Figure 5/8).
+
+use crate::space::Fig6Point;
+
+/// A labeled node of the configuration poset.
+#[derive(Debug, Clone)]
+pub struct ConfigNode {
+    /// Index into the originating configuration space.
+    pub index: usize,
+    /// Display label.
+    pub label: String,
+    /// Measured performance (the user-chosen metric; higher is better —
+    /// requests/s in the Figure 8 instantiation).
+    pub performance: f64,
+}
+
+/// A partially ordered set of configurations.
+///
+/// `leq(a, b)` means *a is probabilistically at most as safe as b* —
+/// node `b` dominates node `a` in every §5 safety dimension.
+#[derive(Debug)]
+pub struct Poset {
+    nodes: Vec<ConfigNode>,
+    /// `leq[a][b]` = a ≤ b.
+    leq: Vec<Vec<bool>>,
+}
+
+impl Poset {
+    /// Builds the poset over the Figure 6 space with measured
+    /// `performance[i]` per point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `performance.len() != points.len()`.
+    pub fn from_fig6(points: &[Fig6Point], performance: &[f64]) -> Poset {
+        assert_eq!(points.len(), performance.len(), "one label per point");
+        let nodes = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ConfigNode {
+                index: i,
+                label: p.label.clone(),
+                performance: performance[i],
+            })
+            .collect();
+        let n = points.len();
+        let mut leq = vec![vec![false; n]; n];
+        for a in 0..n {
+            for b in 0..n {
+                leq[a][b] = fig6_leq(&points[a], &points[b]);
+            }
+        }
+        Poset { nodes, leq }
+    }
+
+    /// Number of configurations.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the poset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node accessor.
+    pub fn node(&self, i: usize) -> &ConfigNode {
+        &self.nodes[i]
+    }
+
+    /// The safety order: `a ≤ b`.
+    pub fn leq(&self, a: usize, b: usize) -> bool {
+        self.leq[a][b]
+    }
+
+    /// Strict order: `a < b`.
+    pub fn lt(&self, a: usize, b: usize) -> bool {
+        a != b && self.leq[a][b]
+    }
+
+    /// Maximal elements of the sub-poset induced by `keep` (no kept node
+    /// strictly dominates them) — the Figure 8 stars when `keep` is the
+    /// budget-satisfying set.
+    pub fn maximal_among(&self, keep: &[usize]) -> Vec<usize> {
+        keep.iter()
+            .copied()
+            .filter(|&a| !keep.iter().any(|&b| self.lt(a, b)))
+            .collect()
+    }
+
+    /// Checks the partial-order axioms (used by property tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated axiom.
+    pub fn check_axioms(&self) -> Result<(), String> {
+        let n = self.nodes.len();
+        for a in 0..n {
+            if !self.leq[a][a] {
+                return Err(format!("not reflexive at {a}"));
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && self.leq[a][b] && self.leq[b][a] {
+                    return Err(format!("not antisymmetric: {a} <=> {b}"));
+                }
+                for c in 0..n {
+                    if self.leq[a][b] && self.leq[b][c] && !self.leq[a][c] {
+                        return Err(format!("not transitive: {a} <= {b} <= {c}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Directed edges of the DAG view (cover relation: a < b with nothing
+    /// in between), pointing from safer to less safe as in Figure 5.
+    pub fn cover_edges(&self) -> Vec<(usize, usize)> {
+        let n = self.nodes.len();
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                if !self.lt(a, b) {
+                    continue;
+                }
+                let covered = (0..n).any(|c| self.lt(a, c) && self.lt(c, b));
+                if !covered {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges
+    }
+}
+
+/// The §5 safety order over two Figure 6 points: `a ≤ b` iff `b`'s
+/// partition refines `a`'s **and** `b`'s per-component hardening is a
+/// superset of `a`'s. (Mechanism and data sharing are fixed across the
+/// Figure 6 space, so dimensions 2 and 4 compare equal.)
+fn fig6_leq(a: &Fig6Point, b: &Fig6Point) -> bool {
+    if !a.strategy.refined_by(&b.strategy) {
+        return false;
+    }
+    let ha = a.hardening_vec();
+    let hb = b.hardening_vec();
+    ha.iter().zip(hb.iter()).all(|(x, y)| x.subset_of(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::fig6_space;
+
+    fn poset() -> Poset {
+        let points = fig6_space("redis");
+        // Deterministic fake performance for structure tests.
+        let perf: Vec<f64> = (0..points.len()).map(|i| 1000.0 - i as f64).collect();
+        Poset::from_fig6(&points, &perf)
+    }
+
+    #[test]
+    fn axioms_hold_over_the_full_space() {
+        poset().check_axioms().unwrap();
+    }
+
+    #[test]
+    fn no_isolation_no_hardening_is_a_minimum() {
+        let p = poset();
+        // Point 0 = Together + mask 0: everything else dominates or is
+        // incomparable, nothing is strictly below it.
+        for b in 0..p.len() {
+            assert!(!p.lt(b, 0), "{b} must not be strictly below the bottom");
+        }
+        // And it is below the fully-hardened three-way split (last point).
+        assert!(p.lt(0, p.len() - 1));
+    }
+
+    #[test]
+    fn hardening_is_monotone_within_a_strategy() {
+        let p = poset();
+        // Within Together (indices 0..16): mask m1 subset m2 => leq.
+        assert!(p.lt(0, 1)); // {} < {app}
+        assert!(p.lt(1, 3)); // {app} < {app, newlib}
+        assert!(!p.leq(1, 2)); // {app} vs {newlib}: incomparable
+    }
+
+    #[test]
+    fn maximal_elements_of_full_space_is_full_hardened_threeway() {
+        let p = poset();
+        let all: Vec<usize> = (0..p.len()).collect();
+        let max = p.maximal_among(&all);
+        // The fully hardened three-way split dominates everything else.
+        assert_eq!(max, vec![p.len() - 1]);
+    }
+
+    #[test]
+    fn cover_edges_are_sparse_and_acyclic() {
+        let p = poset();
+        let edges = p.cover_edges();
+        assert!(!edges.is_empty());
+        // Cover edges never skip levels: a < c < b excluded by def.
+        for &(a, b) in &edges {
+            assert!(p.lt(a, b));
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The Figure 6 configuration space.
+//!
+//! Fixed: MPK isolation with DSS. Varied: the compartmentalization
+//! strategy (5 shapes over {app, newlib, uksched, lwip}: Figure 8's
+//! A..E) × per-component hardening (the stack-protector+UBSan+KASan
+//! bundle, on/off per component) = 5 × 2⁴ = **80 configurations** per
+//! application, exactly the sweep of §6.1.
+
+use flexos_core::compartment::{CompartmentSpec, DataSharing, Mechanism};
+use flexos_core::config::SafetyConfig;
+use flexos_core::hardening::Hardening;
+
+/// The four Figure 6 components, in row order (the application slot is
+/// filled with the concrete app name).
+pub const FIG6_COMPONENTS: [&str; 4] = ["app", "newlib", "uksched", "lwip"];
+
+/// The five compartmentalization strategies of Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// A: everything in one compartment.
+    Together,
+    /// B: lwip alone (`app+newlib+sched / lwip`).
+    SplitLwip,
+    /// C: the scheduler alone (`app+newlib+lwip / sched`).
+    SplitSched,
+    /// D: app+newlib vs kernel (`app+newlib / sched+lwip`).
+    SplitApp,
+    /// E: three compartments (`app+newlib / sched / lwip`).
+    ThreeWay,
+}
+
+impl Strategy {
+    /// All five strategies, Figure 8 order.
+    pub const ALL: [Strategy; 5] = [
+        Strategy::Together,
+        Strategy::SplitLwip,
+        Strategy::SplitSched,
+        Strategy::SplitApp,
+        Strategy::ThreeWay,
+    ];
+
+    /// The partition over `{app, newlib, uksched, lwip}` this strategy
+    /// induces (component → compartment index).
+    pub fn partition(&self, app: &str) -> Vec<(String, usize)> {
+        let p = |name: &str, c: usize| (name.to_string(), c);
+        match self {
+            Strategy::Together => vec![p(app, 0), p("newlib", 0), p("uksched", 0), p("lwip", 0)],
+            Strategy::SplitLwip => vec![p(app, 0), p("newlib", 0), p("uksched", 0), p("lwip", 1)],
+            Strategy::SplitSched => vec![p(app, 0), p("newlib", 0), p("uksched", 1), p("lwip", 0)],
+            Strategy::SplitApp => vec![p(app, 0), p("newlib", 0), p("uksched", 1), p("lwip", 1)],
+            Strategy::ThreeWay => vec![p(app, 0), p("newlib", 0), p("uksched", 1), p("lwip", 2)],
+        }
+    }
+
+    /// Number of compartments.
+    pub fn compartments(&self) -> usize {
+        match self {
+            Strategy::Together => 1,
+            Strategy::SplitLwip | Strategy::SplitSched | Strategy::SplitApp => 2,
+            Strategy::ThreeWay => 3,
+        }
+    }
+
+    /// Figure 8 label.
+    pub fn label(&self, app: &str) -> String {
+        match self {
+            Strategy::Together => format!("{app}+newlib+sched+lwip"),
+            Strategy::SplitLwip => format!("{app}+newlib+sched / lwip"),
+            Strategy::SplitSched => format!("{app}+newlib+lwip / sched"),
+            Strategy::SplitApp => format!("{app}+newlib / sched+lwip"),
+            Strategy::ThreeWay => format!("{app}+newlib / sched / lwip"),
+        }
+    }
+
+    /// `true` if `other`'s partition refines this one (same or more
+    /// compartment cuts) — the safety assumption 1 of §5.
+    pub fn refined_by(&self, other: &Strategy) -> bool {
+        // Blocks per strategy over the 4 components, as bitsets.
+        let blocks = |s: &Strategy| -> Vec<u8> {
+            let part = s.partition("app");
+            let n = s.compartments();
+            (0..n)
+                .map(|c| {
+                    part.iter()
+                        .enumerate()
+                        .filter(|(_, (_, pc))| *pc == c)
+                        .fold(0u8, |acc, (i, _)| acc | (1 << i))
+                })
+                .collect()
+        };
+        let coarse = blocks(self);
+        let fine = blocks(other);
+        // Every fine block must be a subset of some coarse block.
+        fine.iter()
+            .all(|f| coarse.iter().any(|c| f & c == *f))
+    }
+}
+
+/// One point of the Figure 6 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig6Point {
+    /// Strategy (compartment shape).
+    pub strategy: Strategy,
+    /// Bit `i` = hardening enabled on `FIG6_COMPONENTS[i]`.
+    pub hardening_mask: u8,
+    /// The buildable configuration.
+    pub config: SafetyConfig,
+    /// Human-readable label (`[•◦◦•] app+newlib / sched+lwip` style).
+    pub label: String,
+}
+
+impl Fig6Point {
+    /// `true` if component row `i` is hardened.
+    pub fn hardened(&self, i: usize) -> bool {
+        self.hardening_mask & (1 << i) != 0
+    }
+
+    /// Per-component hardening set for poset comparison.
+    pub fn hardening_vec(&self) -> [Hardening; 4] {
+        let mut out = [Hardening::NONE; 4];
+        for (i, slot) in out.iter_mut().enumerate() {
+            if self.hardening_mask & (1 << i) != 0 {
+                *slot = Hardening::FIG6_BUNDLE;
+            }
+        }
+        out
+    }
+}
+
+/// Generates the 80-configuration Figure 6 space for application `app`
+/// ("redis" or "nginx"): 5 strategies × 2⁴ hardening masks, MPK + DSS.
+pub fn fig6_space(app: &str) -> Vec<Fig6Point> {
+    let mut out = Vec::with_capacity(80);
+    for strategy in Strategy::ALL {
+        for mask in 0u8..16 {
+            let mut builder = SafetyConfig::builder().data_sharing(DataSharing::Dss);
+            for c in 0..strategy.compartments() {
+                let mut spec = CompartmentSpec::new(
+                    format!("comp{}", c + 1),
+                    if strategy.compartments() == 1 {
+                        Mechanism::None
+                    } else {
+                        Mechanism::IntelMpk
+                    },
+                );
+                if c == 0 {
+                    spec = spec.default_compartment();
+                }
+                builder = builder.compartment(spec);
+            }
+            for (component, comp_idx) in strategy.partition(app) {
+                if comp_idx > 0 {
+                    builder = builder.place(&component, &format!("comp{}", comp_idx + 1));
+                }
+            }
+            for (i, row) in FIG6_COMPONENTS.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    let name = if *row == "app" { app } else { row };
+                    builder = builder.harden_component(name, Hardening::FIG6_BUNDLE);
+                }
+            }
+            let config = builder.build().expect("generated config is valid");
+            let dots: String = (0..4)
+                .map(|i| if mask & (1 << i) != 0 { '•' } else { '◦' })
+                .collect();
+            out.push(Fig6Point {
+                strategy,
+                hardening_mask: mask,
+                config,
+                label: format!("[{dots}] {}", strategy.label(app)),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_has_80_points() {
+        // §6.1: "a total of 2x80 configurations" (80 per application).
+        assert_eq!(fig6_space("redis").len(), 80);
+    }
+
+    #[test]
+    fn partitions_match_figure_8() {
+        let cfg = &fig6_space("redis")[16]; // first SplitLwip point
+        assert_eq!(cfg.strategy, Strategy::SplitLwip);
+        assert_eq!(cfg.config.placement("lwip"), 1);
+        assert_eq!(cfg.config.placement("redis"), 0);
+        assert_eq!(cfg.config.placement("uksched"), 0);
+    }
+
+    #[test]
+    fn refinement_order_matches_figure_8_arrows() {
+        use Strategy::*;
+        // A is refined by everything.
+        for s in Strategy::ALL {
+            assert!(Together.refined_by(&s), "{s:?}");
+        }
+        // E refines B, C, D.
+        assert!(SplitLwip.refined_by(&ThreeWay));
+        assert!(SplitSched.refined_by(&ThreeWay));
+        assert!(SplitApp.refined_by(&ThreeWay));
+        // B, C, D are pairwise incomparable.
+        assert!(!SplitLwip.refined_by(&SplitSched));
+        assert!(!SplitSched.refined_by(&SplitLwip));
+        assert!(!SplitApp.refined_by(&SplitLwip));
+        assert!(!SplitLwip.refined_by(&SplitApp));
+        // Nothing (but E) refines E.
+        assert!(!ThreeWay.refined_by(&SplitApp));
+        assert!(ThreeWay.refined_by(&ThreeWay));
+    }
+
+    #[test]
+    fn hardening_masks_cover_all_combinations() {
+        let space = fig6_space("nginx");
+        let masks: std::collections::HashSet<u8> = space
+            .iter()
+            .filter(|p| p.strategy == Strategy::ThreeWay)
+            .map(|p| p.hardening_mask)
+            .collect();
+        assert_eq!(masks.len(), 16);
+    }
+
+    #[test]
+    fn hardened_components_get_the_bundle() {
+        let space = fig6_space("redis");
+        let p = space.iter().find(|p| p.hardening_mask == 0b0101).unwrap();
+        assert_eq!(p.config.hardening_of("redis"), Hardening::FIG6_BUNDLE);
+        assert_eq!(p.config.hardening_of("newlib"), Hardening::NONE);
+        assert_eq!(p.config.hardening_of("uksched"), Hardening::FIG6_BUNDLE);
+        assert_eq!(p.config.hardening_of("lwip"), Hardening::NONE);
+        assert!(p.hardened(0) && p.hardened(2));
+        assert!(!p.hardened(1) && !p.hardened(3));
+    }
+}

@@ -1,0 +1,68 @@
+//! Path normalization for the VFS.
+
+/// Normalizes a path: collapses `//`, resolves `.` and `..`, guarantees a
+/// leading `/`.
+///
+/// ```
+/// use flexos_fs::path::normalize;
+///
+/// assert_eq!(normalize("/a//b/./c/../d"), "/a/b/d");
+/// assert_eq!(normalize("relative/x"), "/relative/x");
+/// assert_eq!(normalize("/.."), "/");
+/// ```
+pub fn normalize(path: &str) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    for part in path.split('/') {
+        match part {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            p => parts.push(p),
+        }
+    }
+    let mut out = String::from("/");
+    out.push_str(&parts.join("/"));
+    out
+}
+
+/// Splits a normalized path into `(parent, file name)`.
+///
+/// ```
+/// use flexos_fs::path::split;
+///
+/// assert_eq!(split("/a/b/c"), ("/a/b".to_string(), "c".to_string()));
+/// assert_eq!(split("/top"), ("/".to_string(), "top".to_string()));
+/// ```
+pub fn split(path: &str) -> (String, String) {
+    let norm = normalize(path);
+    match norm.rfind('/') {
+        Some(0) => ("/".to_string(), norm[1..].to_string()),
+        Some(idx) => (norm[..idx].to_string(), norm[idx + 1..].to_string()),
+        None => ("/".to_string(), norm),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_edge_cases() {
+        assert_eq!(normalize("/"), "/");
+        assert_eq!(normalize(""), "/");
+        assert_eq!(normalize("///x///"), "/x");
+        assert_eq!(normalize("/a/b/../../c"), "/c");
+        assert_eq!(normalize("/a/./././b"), "/a/b");
+    }
+
+    #[test]
+    fn parent_of_root_is_root() {
+        assert_eq!(normalize("/../../.."), "/");
+    }
+
+    #[test]
+    fn split_root_file() {
+        assert_eq!(split("/db.sqlite"), ("/".into(), "db.sqlite".into()));
+    }
+}

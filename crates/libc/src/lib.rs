@@ -1,0 +1,546 @@
+//! # flexos-libc — the newlib shim component
+//!
+//! Applications on Unikraft link against newlib; in FlexOS the libc is a
+//! component like any other (the "newlib" row of Figure 6) and sits on
+//! the hottest boundary of the whole system: applications call string,
+//! memory, and I/O helpers constantly, and the libc in turn drives the
+//! network stack, the VFS, and the scheduler. That call pattern is what
+//! makes the Figure 6 placements interesting:
+//!
+//! * isolating `redis+newlib` together from the kernel is much cheaper
+//!   than splitting `redis | newlib`, because the app↔libc edge carries
+//!   ~an order of magnitude more calls than libc↔kernel edges;
+//! * the *blocking* socket semantics live here, not in lwip: an empty
+//!   receive buffer makes the libc consult and yield to the scheduler.
+//!   That is why isolating the scheduler costs Redis 43% (its event loop
+//!   blocks constantly) but Nginx only 6% (§6.1) — and why isolating
+//!   lwip|uksched apart is nearly free ("isolation for free"): lwip never
+//!   calls the scheduler on the hot path.
+//!
+//! Every public method performs the abstract-gate dance: the *caller's*
+//! component is current when [`flexos_core::env::Env::call`] fires, so
+//! crossings are attributed to the right boundary automatically.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use flexos_core::component::ComponentId;
+use flexos_core::env::{Env, Work};
+use flexos_core::prelude::{Component, ComponentKind, SharedVar};
+use flexos_fs::{Fd, OpenFlags, Vfs};
+use flexos_machine::fault::Fault;
+use flexos_net::{NetStack, SocketHandle};
+use flexos_sched::Scheduler;
+
+/// Counters over the libc boundary (calibration introspection).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LibcStats {
+    /// String/memory helper calls (the app↔libc chatter).
+    pub str_calls: u64,
+    /// Socket I/O calls.
+    pub io_calls: u64,
+    /// File I/O calls.
+    pub file_calls: u64,
+    /// Times a blocking recv had to yield to the scheduler.
+    pub recv_yields: u64,
+}
+
+/// The newlib component.
+pub struct Newlib {
+    env: Rc<Env>,
+    id: ComponentId,
+    net: Rc<NetStack>,
+    vfs: Rc<Vfs>,
+    sched: Rc<Scheduler>,
+    time_id: ComponentId,
+    stats: Cell<LibcStats>,
+}
+
+impl std::fmt::Debug for Newlib {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Newlib").field("stats", &self.stats.get()).finish()
+    }
+}
+
+/// Attempts a blocking recv makes before giving up (each failed attempt
+/// yields to the scheduler — the N↔S hot edge).
+const RECV_RETRIES: u32 = 3;
+
+impl Newlib {
+    /// Creates the libc bound to the kernel components it fronts.
+    pub fn new(
+        env: Rc<Env>,
+        id: ComponentId,
+        net: Rc<NetStack>,
+        vfs: Rc<Vfs>,
+        sched: Rc<Scheduler>,
+        time_id: ComponentId,
+    ) -> Self {
+        Newlib {
+            env,
+            id,
+            net,
+            vfs,
+            sched,
+            time_id,
+            stats: Cell::new(LibcStats::default()),
+        }
+    }
+
+    /// This component's id in the image.
+    pub fn component_id(&self) -> ComponentId {
+        self.id
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LibcStats {
+        self.stats.get()
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut LibcStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
+    }
+
+    // --- string/memory helpers (the app↔libc hot chatter) ---------------
+
+    /// `strlen`: charged per byte scanned.
+    ///
+    /// # Errors
+    ///
+    /// Gate faults (illegal entry, isolation violations).
+    pub fn strlen(&self, s: &[u8]) -> Result<usize, Fault> {
+        self.bump(|st| st.str_calls += 1);
+        self.env.call(self.id, "nl_strlen", || {
+            self.env.compute(Work {
+                cycles: 6 + s.len() as u64 / 8,
+                alu_ops: s.len() as u64 / 8 + 1,
+                frames: 1,
+                mem_accesses: s.len() as u64 / 8 + 1,
+                ..Work::default()
+            });
+            Ok(s.iter().position(|&b| b == 0).unwrap_or(s.len()))
+        })
+    }
+
+    /// `memchr`: finds `needle`, charged per byte scanned.
+    ///
+    /// # Errors
+    ///
+    /// Gate faults.
+    pub fn memchr(&self, hay: &[u8], needle: u8) -> Result<Option<usize>, Fault> {
+        self.bump(|st| st.str_calls += 1);
+        self.env.call(self.id, "nl_memchr", || {
+            let pos = hay.iter().position(|&b| b == needle);
+            let scanned = pos.map(|p| p + 1).unwrap_or(hay.len());
+            self.env.compute(Work {
+                cycles: 6 + scanned as u64 / 8,
+                alu_ops: scanned as u64 / 8 + 1,
+                frames: 1,
+                mem_accesses: scanned as u64 / 8 + 1,
+                ..Work::default()
+            });
+            Ok(pos)
+        })
+    }
+
+    /// `atoi` for ASCII decimal integers.
+    ///
+    /// # Errors
+    ///
+    /// Gate faults; [`Fault::InvalidConfig`] on non-numeric input.
+    pub fn atoi(&self, s: &[u8]) -> Result<i64, Fault> {
+        self.bump(|st| st.str_calls += 1);
+        self.env.call(self.id, "nl_atoi", || {
+            self.env.compute(Work {
+                cycles: 8 + s.len() as u64,
+                alu_ops: 2 * s.len() as u64 + 2,
+                frames: 1,
+                mem_accesses: s.len() as u64,
+                ..Work::default()
+            });
+            let txt = std::str::from_utf8(s).map_err(|_| Fault::InvalidConfig {
+                reason: "atoi: not utf-8".to_string(),
+            })?;
+            txt.trim().parse().map_err(|_| Fault::InvalidConfig {
+                reason: format!("atoi: `{txt}` is not a number"),
+            })
+        })
+    }
+
+    /// `itoa`: formats an integer, charged per digit.
+    ///
+    /// # Errors
+    ///
+    /// Gate faults.
+    pub fn itoa(&self, value: i64) -> Result<Vec<u8>, Fault> {
+        self.bump(|st| st.str_calls += 1);
+        self.env.call(self.id, "nl_itoa", || {
+            let out = value.to_string().into_bytes();
+            self.env.compute(Work {
+                cycles: 10 + 3 * out.len() as u64,
+                alu_ops: 4 * out.len() as u64,
+                frames: 1,
+                mem_accesses: out.len() as u64,
+                ..Work::default()
+            });
+            Ok(out)
+        })
+    }
+
+    /// `memcpy` between host buffers, charged per byte (the libc-side
+    /// staging copy of an I/O path).
+    ///
+    /// # Errors
+    ///
+    /// Gate faults.
+    pub fn memcpy(&self, dst: &mut Vec<u8>, src: &[u8]) -> Result<(), Fault> {
+        self.bump(|st| st.str_calls += 1);
+        self.env.call(self.id, "nl_memcpy", || {
+            self.env.compute(Work {
+                cycles: 8 + (src.len() as f64 * 0.35) as u64,
+                alu_ops: src.len() as u64 / 16 + 1,
+                frames: 1,
+                mem_accesses: src.len() as u64 / 8 + 1,
+                ..Work::default()
+            });
+            dst.extend_from_slice(src);
+            Ok(())
+        })
+    }
+
+    // --- sockets ---------------------------------------------------------
+
+    /// Creates a listening socket bound to `port`.
+    ///
+    /// # Errors
+    ///
+    /// Gate faults; port-in-use faults from the stack.
+    pub fn listen(&self, port: u16) -> Result<SocketHandle, Fault> {
+        self.bump(|st| st.io_calls += 1);
+        self.env.call(self.id, "nl_listen", || {
+            let net = Rc::clone(&self.net);
+            let sock = self
+                .env
+                .call(net.component_id(), "lwip_socket", || Ok(net.socket()))?;
+            self.env
+                .call(net.component_id(), "lwip_bind", || net.bind(sock, port))?;
+            self.env
+                .call(net.component_id(), "lwip_listen", || net.listen(sock))?;
+            Ok(sock)
+        })
+    }
+
+    /// Accepts a pending connection, servicing the NIC first.
+    ///
+    /// # Errors
+    ///
+    /// Gate faults.
+    pub fn accept(&self, listener: SocketHandle) -> Result<Option<SocketHandle>, Fault> {
+        self.bump(|st| st.io_calls += 1);
+        self.env.call(self.id, "nl_accept", || {
+            let net = Rc::clone(&self.net);
+            self.env
+                .call(net.component_id(), "lwip_poll", || net.poll().map(|_| ()))?;
+            self.env
+                .call(net.component_id(), "lwip_accept", || Ok(net.accept(listener)))
+        })
+    }
+
+    /// POSIX-flavoured **blocking** `recv` (Redis/iPerf flavour): probes
+    /// scheduler state, polls the stack only when the shared
+    /// `mbox_poll_flag` says the ring is empty, and inserts the
+    /// cooperative yield point Unikraft's blocking sockets require — the
+    /// call pattern behind Redis' 43% scheduler-isolation cost (§6.1).
+    ///
+    /// # Errors
+    ///
+    /// Gate faults.
+    pub fn recv(&self, sock: SocketHandle, maxlen: u64) -> Result<Vec<u8>, Fault> {
+        self.bump(|st| st.io_calls += 1);
+        self.env.call(self.id, "nl_recv", || {
+            // fd-table lookup, sockaddr staging, iovec setup.
+            self.env.compute(Work {
+                cycles: 95,
+                alu_ops: 30,
+                frames: 6,
+                indirect_calls: 2,
+                mem_accesses: 22,
+                ..Work::default()
+            });
+            let net = Rc::clone(&self.net);
+            let sched = Rc::clone(&self.sched);
+            // Blocking-path prologue: current-thread check.
+            self.env.call(sched.component_id(), "uksched_current", || {
+                sched.current();
+                Ok(())
+            })?;
+            for _ in 0..RECV_RETRIES {
+                // The `mbox_poll_flag` shared annotation lets the libc see
+                // ring occupancy without a gate; poll only when empty.
+                if net.rx_available(sock) == 0 {
+                    self.env
+                        .call(net.component_id(), "lwip_poll", || net.poll().map(|_| ()))?;
+                }
+                let data = self
+                    .env
+                    .call(net.component_id(), "lwip_recv", || net.recv(sock, maxlen))?;
+                if !data.is_empty() {
+                    // Copy into the caller's buffer (recv(2) semantics).
+                    self.env.compute(Work {
+                        cycles: 20 + (data.len() as f64 * 0.7) as u64,
+                        alu_ops: data.len() as u64 / 16 + 4,
+                        frames: 2,
+                        mem_accesses: data.len() as u64 / 8 + 4,
+                        ..Work::default()
+                    });
+                    // Cooperative yield point after blocking I/O completes.
+                    self.env.call(sched.component_id(), "uksched_yield", || {
+                        sched.yield_now();
+                        Ok(())
+                    })?;
+                    return Ok(data);
+                }
+                if net.at_eof(sock) {
+                    return Ok(Vec::new());
+                }
+                // Empty buffer: cooperative blocking through the scheduler.
+                self.bump(|st| st.recv_yields += 1);
+                self.env.call(sched.component_id(), "uksched_yield", || {
+                    sched.yield_now();
+                    Ok(())
+                })?;
+            }
+            Ok(Vec::new())
+        })
+    }
+
+    /// **Event-driven** `recv` (Nginx flavour): edge-triggered readiness,
+    /// no scheduler interaction on the hot path — the reason Nginx pays
+    /// only ~6% for an isolated scheduler (§6.1).
+    ///
+    /// # Errors
+    ///
+    /// Gate faults.
+    pub fn recv_nowait(&self, sock: SocketHandle, maxlen: u64) -> Result<Vec<u8>, Fault> {
+        self.bump(|st| st.io_calls += 1);
+        self.env.call(self.id, "nl_recv", || {
+            let net = Rc::clone(&self.net);
+            if net.rx_available(sock) == 0 {
+                self.env
+                    .call(net.component_id(), "lwip_poll", || net.poll().map(|_| ()))?;
+            }
+            let data = self
+                .env
+                .call(net.component_id(), "lwip_recv", || net.recv(sock, maxlen))?;
+            // Copy into the caller's buffer (recv(2) semantics).
+            self.env.compute(Work {
+                cycles: 20 + (data.len() as f64 * 0.7) as u64,
+                alu_ops: data.len() as u64 / 16 + 4,
+                frames: 2,
+                mem_accesses: data.len() as u64 / 8 + 4,
+                ..Work::default()
+            });
+            Ok(data)
+        })
+    }
+
+    /// **Blocking-flavour** `send`: transmits, then passes through the
+    /// scheduler's current-check and cooperative yield point (Unikraft's
+    /// blocking-socket epilogue).
+    ///
+    /// # Errors
+    ///
+    /// Gate faults.
+    pub fn send(&self, sock: SocketHandle, data: &[u8]) -> Result<u64, Fault> {
+        self.bump(|st| st.io_calls += 1);
+        self.env.call(self.id, "nl_send", || {
+            // fd-table lookup, iovec setup, copy-out staging.
+            self.env.compute(Work {
+                cycles: 80 + (data.len() as f64 * 0.25) as u64,
+                alu_ops: 25 + data.len() as u64 / 16,
+                frames: 5,
+                indirect_calls: 2,
+                mem_accesses: 18 + data.len() as u64 / 8,
+                ..Work::default()
+            });
+            let net = Rc::clone(&self.net);
+            let sched = Rc::clone(&self.sched);
+            let n = self
+                .env
+                .call(net.component_id(), "lwip_send", || net.send(sock, data))?;
+            self.env.call(sched.component_id(), "uksched_current", || {
+                sched.current();
+                Ok(())
+            })?;
+            self.env.call(sched.component_id(), "uksched_yield", || {
+                sched.yield_now();
+                Ok(())
+            })?;
+            Ok(n)
+        })
+    }
+
+    /// **Event-driven** `send` (Nginx flavour): no scheduler interaction.
+    ///
+    /// # Errors
+    ///
+    /// Gate faults.
+    pub fn send_nowait(&self, sock: SocketHandle, data: &[u8]) -> Result<u64, Fault> {
+        self.bump(|st| st.io_calls += 1);
+        self.env.call(self.id, "nl_send", || {
+            let net = Rc::clone(&self.net);
+            self.env
+                .call(net.component_id(), "lwip_send", || net.send(sock, data))
+        })
+    }
+
+    // --- files ------------------------------------------------------------
+
+    /// `open(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Gate faults; vfs faults.
+    pub fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd, Fault> {
+        self.bump(|st| st.file_calls += 1);
+        self.env.call(self.id, "nl_open", || {
+            let vfs = Rc::clone(&self.vfs);
+            self.env
+                .call(vfs.component_id(), "vfs_open", || vfs.open(path, flags))
+        })
+    }
+
+    /// `close(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Gate faults; vfs faults.
+    pub fn close(&self, fd: Fd) -> Result<(), Fault> {
+        self.bump(|st| st.file_calls += 1);
+        self.env.call(self.id, "nl_close", || {
+            let vfs = Rc::clone(&self.vfs);
+            self.env.call(vfs.component_id(), "vfs_close", || vfs.close(fd))
+        })
+    }
+
+    /// `read(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Gate faults; vfs faults.
+    pub fn read(&self, fd: Fd, len: u64) -> Result<Vec<u8>, Fault> {
+        self.bump(|st| st.file_calls += 1);
+        self.env.call(self.id, "nl_read", || {
+            let vfs = Rc::clone(&self.vfs);
+            self.env.call(vfs.component_id(), "vfs_read", || vfs.read(fd, len))
+        })
+    }
+
+    /// `write(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Gate faults; vfs faults.
+    pub fn write(&self, fd: Fd, data: &[u8]) -> Result<u64, Fault> {
+        self.bump(|st| st.file_calls += 1);
+        self.env.call(self.id, "nl_write", || {
+            let vfs = Rc::clone(&self.vfs);
+            self.env
+                .call(vfs.component_id(), "vfs_write", || vfs.write(fd, data))
+        })
+    }
+
+    /// `lseek(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Gate faults; vfs faults.
+    pub fn lseek(&self, fd: Fd, offset: u64) -> Result<(), Fault> {
+        self.bump(|st| st.file_calls += 1);
+        self.env.call(self.id, "nl_lseek", || {
+            let vfs = Rc::clone(&self.vfs);
+            self.env
+                .call(vfs.component_id(), "vfs_lseek", || vfs.lseek(fd, offset))
+        })
+    }
+
+    /// `fsync(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Gate faults; vfs faults.
+    pub fn fsync(&self, fd: Fd) -> Result<(), Fault> {
+        self.bump(|st| st.file_calls += 1);
+        self.env.call(self.id, "nl_fsync", || {
+            let vfs = Rc::clone(&self.vfs);
+            self.env.call(vfs.component_id(), "vfs_fsync", || vfs.fsync(fd))
+        })
+    }
+
+    /// `unlink(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Gate faults; vfs faults.
+    pub fn unlink(&self, path: &str) -> Result<(), Fault> {
+        self.bump(|st| st.file_calls += 1);
+        self.env.call(self.id, "nl_unlink", || {
+            let vfs = Rc::clone(&self.vfs);
+            self.env
+                .call(vfs.component_id(), "vfs_unlink", || vfs.unlink(path))
+        })
+    }
+
+    /// `stat(2)` size probe.
+    ///
+    /// # Errors
+    ///
+    /// Gate faults; vfs faults.
+    pub fn file_size(&self, path: &str) -> Result<u64, Fault> {
+        self.bump(|st| st.file_calls += 1);
+        self.env.call(self.id, "nl_stat", || {
+            let vfs = Rc::clone(&self.vfs);
+            self.env
+                .call(vfs.component_id(), "vfs_stat", || vfs.stat(path).map(|s| s.size))
+        })
+    }
+
+    /// `gettimeofday`-style wall clock; served via vDSO-like fast path
+    /// (no syscall on Linux — relevant to Figure 10's Linux model).
+    ///
+    /// # Errors
+    ///
+    /// Gate faults.
+    pub fn wall_ns(&self, time: &Rc<flexos_time::TimeSubsystem>) -> Result<u64, Fault> {
+        self.bump(|st| st.str_calls += 1);
+        let time = Rc::clone(time);
+        self.env.call(self.id, "nl_time", || {
+            self.env
+                .call(self.time_id, "uktime_wall", move || Ok(time.wall_ns()))
+        })
+    }
+}
+
+/// The component descriptor for newlib. Not a Table 1 row (the paper
+/// folds libc changes into the application ports); shared-variable set
+/// and patch size reflect the Figure 6 "newlib" component.
+pub fn component() -> Component {
+    Component::new("newlib", ComponentKind::UserLib)
+        .with_shared_vars([
+            SharedVar::stat("errno_global", 4, &["redis", "nginx", "iperf", "sqlite", "lwip"]),
+            SharedVar::heap("stdio_buffers", 4096, &["redis", "nginx", "iperf", "sqlite"]),
+            SharedVar::heap("malloc_arena_meta", 512, &["redis", "nginx", "iperf", "sqlite"]),
+            SharedVar::stack("fmt_scratch", 128, &["redis", "nginx", "sqlite"]),
+            SharedVar::stat("locale_tab", 256, &["redis", "nginx"]),
+            SharedVar::stat("atexit_list", 64, &["redis"]),
+        ])
+        .with_entry_points(&[
+            "nl_strlen", "nl_memchr", "nl_atoi", "nl_itoa", "nl_memcpy",
+            "nl_listen", "nl_accept", "nl_recv", "nl_send",
+            "nl_open", "nl_close", "nl_read", "nl_write", "nl_lseek",
+            "nl_fsync", "nl_unlink", "nl_stat", "nl_time",
+        ])
+        .with_patch(130, 42)
+}

@@ -1,0 +1,206 @@
+//! Faults raised by the simulated machine and the safety mechanisms above it.
+//!
+//! A fault is the simulation's analogue of a hardware exception or a
+//! hardening-detected violation: crossing a compartment boundary without the
+//! right protection key, jumping to a non-registered entry point (CFI),
+//! tripping a KASan redzone, overflowing under UBSan, or smashing a canary.
+//! Components in FlexOS observe faults as `Result` errors, which lets tests
+//! "compromise" a component and assert that damage is contained (§6, §7).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::addr::Addr;
+use crate::key::{Access, ProtKey};
+
+/// A machine or safety-mechanism fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// The MMU denied an access because the current PKRU does not grant the
+    /// page's protection key — the core MPK isolation event (§4.1).
+    ProtectionKey {
+        /// Faulting address.
+        addr: Addr,
+        /// Key of the page that was touched.
+        key: ProtKey,
+        /// Whether the access was a load or a store.
+        access: Access,
+    },
+    /// An access touched an address with no mapped page behind it.
+    Unmapped {
+        /// Faulting address.
+        addr: Addr,
+    },
+    /// An access ran past the end of the simulated physical memory.
+    OutOfBounds {
+        /// Faulting address.
+        addr: Addr,
+        /// Length of the attempted access.
+        len: u64,
+    },
+    /// More protection keys were requested than the hardware offers; caps
+    /// MPK images at 15 compartments plus the shared domain (§4.1).
+    KeyExhausted {
+        /// The key index that was requested.
+        requested: u8,
+    },
+    /// A call gate refused a transition because the target is not a legal
+    /// entry point of the callee compartment (the gates' CFI property,
+    /// §4.1/§4.2).
+    IllegalEntryPoint {
+        /// Name of the function that was called.
+        entry: String,
+        /// Compartment that was entered.
+        compartment: String,
+    },
+    /// A domain attempted a gate transition that no gate was built for; in a
+    /// real image this code path would not exist after the toolchain ran.
+    NoGate {
+        /// Caller compartment.
+        from: String,
+        /// Callee compartment.
+        to: String,
+    },
+    /// Address sanitizer detected an access to poisoned memory (redzone or
+    /// quarantined free block) in a hardened compartment (§4.5).
+    Kasan {
+        /// Faulting address.
+        addr: Addr,
+        /// Human-readable description, e.g. "heap-buffer-overflow".
+        what: &'static str,
+    },
+    /// Undefined-behaviour sanitizer trapped an operation (§4.5).
+    Ubsan {
+        /// Description of the trapped operation, e.g. "i64 add overflow".
+        what: &'static str,
+    },
+    /// A stack-protector canary was clobbered (§4.5).
+    CanarySmashed {
+        /// The thread whose stack frame was smashed.
+        thread: u32,
+    },
+    /// A shared-data whitelist denied access: the variable is shared, but
+    /// not with the requesting compartment (§3.1 data ownership).
+    NotWhitelisted {
+        /// Variable that was accessed.
+        variable: String,
+        /// Compartment that attempted the access.
+        compartment: String,
+    },
+    /// The W^X static scan found a stray `wrpkru` in component text, which
+    /// the MPK backend must reject at build time (§4.1).
+    WxViolation {
+        /// Component whose text contained the instruction.
+        component: String,
+    },
+    /// An allocator was asked to free an address it does not own, or to
+    /// free an address twice.
+    BadFree {
+        /// The offending address.
+        addr: Addr,
+    },
+    /// A resource was exhausted (stack registry slots, RPC ring space, ...).
+    ResourceExhausted {
+        /// Which resource ran out.
+        what: &'static str,
+    },
+    /// Configuration was internally inconsistent and cannot be built.
+    InvalidConfig {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::ProtectionKey { addr, key, access } => {
+                write!(f, "protection-key fault: {access} at {addr} (page tagged {key})")
+            }
+            Fault::Unmapped { addr } => write!(f, "unmapped address {addr}"),
+            Fault::OutOfBounds { addr, len } => {
+                write!(f, "access out of simulated memory at {addr} (+{len})")
+            }
+            Fault::KeyExhausted { requested } => {
+                write!(f, "protection key {requested} requested but hardware offers 16")
+            }
+            Fault::IllegalEntryPoint { entry, compartment } => {
+                write!(f, "gate refused entry: `{entry}` is not an entry point of compartment `{compartment}`")
+            }
+            Fault::NoGate { from, to } => {
+                write!(f, "no gate instantiated between `{from}` and `{to}`")
+            }
+            Fault::Kasan { addr, what } => write!(f, "KASan: {what} at {addr}"),
+            Fault::Ubsan { what } => write!(f, "UBSan trap: {what}"),
+            Fault::CanarySmashed { thread } => {
+                write!(f, "stack protector: canary smashed on thread {thread}")
+            }
+            Fault::NotWhitelisted { variable, compartment } => {
+                write!(f, "shared variable `{variable}` is not whitelisted for compartment `{compartment}`")
+            }
+            Fault::WxViolation { component } => {
+                write!(f, "W^X scan: stray wrpkru in component `{component}` text")
+            }
+            Fault::BadFree { addr } => write!(f, "free of unowned or already-freed address {addr}"),
+            Fault::ResourceExhausted { what } => write!(f, "resource exhausted: {what}"),
+            Fault::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for Fault {}
+
+impl Fault {
+    /// `true` for faults that represent an *isolation* event (the kind a
+    /// compromised compartment triggers), as opposed to build-time errors.
+    pub fn is_isolation_fault(&self) -> bool {
+        matches!(
+            self,
+            Fault::ProtectionKey { .. }
+                | Fault::IllegalEntryPoint { .. }
+                | Fault::Kasan { .. }
+                | Fault::Ubsan { .. }
+                | Fault::CanarySmashed { .. }
+                | Fault::NotWhitelisted { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let f = Fault::ProtectionKey {
+            addr: Addr::new(0x5000),
+            key: ProtKey::new(4).unwrap(),
+            access: Access::Write,
+        };
+        let s = f.to_string();
+        assert!(s.contains("0x5000"));
+        assert!(s.contains("pkey4"));
+        assert!(s.contains("write"));
+    }
+
+    #[test]
+    fn isolation_fault_classification() {
+        assert!(Fault::Kasan {
+            addr: Addr::NULL,
+            what: "x"
+        }
+        .is_isolation_fault());
+        assert!(!Fault::ResourceExhausted { what: "rings" }.is_isolation_fault());
+        assert!(!Fault::InvalidConfig {
+            reason: "dup".into()
+        }
+        .is_isolation_fault());
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(Fault::Unmapped { addr: Addr::NULL });
+    }
+}

@@ -1,0 +1,271 @@
+//! Address-space layout: named regions with guard gaps.
+//!
+//! The FlexOS toolchain generates linker scripts that give each compartment
+//! its own `.text`/`.data`/`.rodata`/`.bss` sections plus private heap and
+//! stacks (§3.1, §4.1). This module is the simulated equivalent: a region
+//! map that carves the simulated address space into named, page-aligned,
+//! key-tagged regions separated by unmapped guard pages so that stray
+//! accesses land on [`crate::fault::Fault::Unmapped`].
+
+use std::fmt;
+
+use crate::addr::{Addr, PAGE_SIZE};
+use crate::fault::Fault;
+use crate::key::ProtKey;
+
+/// What a region is used for; reported in the generated linker script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RegionKind {
+    /// Component code (simulated; holds no bytes but occupies layout space).
+    Text,
+    /// Initialized data section.
+    Data,
+    /// Read-only data section.
+    Rodata,
+    /// Zero-initialized data section.
+    Bss,
+    /// A compartment-private heap.
+    Heap,
+    /// A shared heap used for cross-compartment communication.
+    SharedHeap,
+    /// A thread stack (lower half: private stack; upper half: DSS).
+    Stack,
+    /// Shared-memory RPC rings for the EPT backend.
+    RpcRing,
+    /// Anything else.
+    Other,
+}
+
+impl fmt::Display for RegionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RegionKind::Text => ".text",
+            RegionKind::Data => ".data",
+            RegionKind::Rodata => ".rodata",
+            RegionKind::Bss => ".bss",
+            RegionKind::Heap => "heap",
+            RegionKind::SharedHeap => "shared-heap",
+            RegionKind::Stack => "stack",
+            RegionKind::RpcRing => "rpc-ring",
+            RegionKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, contiguous, page-aligned region of the simulated address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    name: String,
+    base: Addr,
+    pages: u64,
+    key: ProtKey,
+    kind: RegionKind,
+}
+
+impl Region {
+    /// Region name (e.g. `"comp1/.data"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// First address of the region.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Size in pages.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> u64 {
+        self.pages * PAGE_SIZE as u64
+    }
+
+    /// `true` if the region holds zero pages.
+    pub fn is_empty(&self) -> bool {
+        self.pages == 0
+    }
+
+    /// One past the last address.
+    pub fn end(&self) -> Addr {
+        self.base + self.len()
+    }
+
+    /// Protection key tagged on the region's pages.
+    pub fn key(&self) -> ProtKey {
+        self.key
+    }
+
+    /// The region's purpose.
+    pub fn kind(&self) -> RegionKind {
+        self.kind
+    }
+
+    /// `true` if `addr` falls within the region.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+/// Sequential region allocator over the simulated address space.
+///
+/// Regions are handed out in address order, each preceded by one unmapped
+/// guard page. The map retains every allocation for linker-script
+/// generation and debugging.
+#[derive(Debug)]
+pub struct RegionMap {
+    next: Addr,
+    limit: Addr,
+    regions: Vec<Region>,
+}
+
+/// Number of unmapped guard pages between consecutive regions.
+pub const GUARD_PAGES: u64 = 1;
+
+impl RegionMap {
+    /// Creates a map covering `[PAGE_SIZE, memory_bytes)`; the null page is
+    /// never handed out.
+    pub fn new(memory_bytes: u64) -> Self {
+        RegionMap {
+            next: Addr::new(PAGE_SIZE as u64),
+            limit: Addr::new(memory_bytes),
+            regions: Vec::new(),
+        }
+    }
+
+    /// Reserves a region of `pages` pages tagged `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::ResourceExhausted`] when the simulated address space
+    /// is full.
+    pub fn reserve(
+        &mut self,
+        name: impl Into<String>,
+        pages: u64,
+        key: ProtKey,
+        kind: RegionKind,
+    ) -> Result<Region, Fault> {
+        let base = self.next + GUARD_PAGES * PAGE_SIZE as u64;
+        let end = base
+            .checked_add(pages * PAGE_SIZE as u64)
+            .ok_or(Fault::ResourceExhausted {
+                what: "simulated address space",
+            })?;
+        if end > self.limit {
+            return Err(Fault::ResourceExhausted {
+                what: "simulated address space",
+            });
+        }
+        let region = Region {
+            name: name.into(),
+            base,
+            pages,
+            key,
+            kind,
+        };
+        self.next = end;
+        self.regions.push(region.clone());
+        Ok(region)
+    }
+
+    /// All regions reserved so far, in address order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Finds the region containing `addr`, if any.
+    pub fn find(&self, addr: Addr) -> Option<&Region> {
+        self.regions.iter().find(|r| r.contains(addr))
+    }
+
+    /// Finds a region by name.
+    pub fn find_by_name(&self, name: &str) -> Option<&Region> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// Renders the layout as a GNU-ld-flavoured linker script, the artifact
+    /// the FlexOS toolchain generates per backend (§3.2 step 3).
+    pub fn linker_script(&self) -> String {
+        let mut out = String::from("/* generated by the FlexOS toolchain */\nSECTIONS\n{\n");
+        for r in &self.regions {
+            out.push_str(&format!(
+                "  . = {:#x};\n  {} ({}, {}) : {{ *({}) }} /* {} pages */\n",
+                r.base.raw(),
+                r.name,
+                r.kind,
+                r.key,
+                r.name,
+                r.pages
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap_and_are_guarded() {
+        let mut map = RegionMap::new(1 << 24);
+        let k = ProtKey::DEFAULT;
+        let a = map.reserve("a", 4, k, RegionKind::Heap).unwrap();
+        let b = map.reserve("b", 2, k, RegionKind::Stack).unwrap();
+        assert!(a.end() <= b.base());
+        // The guard gap is at least one page.
+        assert!(b.base() - a.end() >= PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn never_hands_out_null_page() {
+        let mut map = RegionMap::new(1 << 20);
+        let r = map
+            .reserve("first", 1, ProtKey::DEFAULT, RegionKind::Data)
+            .unwrap();
+        assert!(r.base().raw() >= 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn exhaustion_faults() {
+        let mut map = RegionMap::new(8 * PAGE_SIZE as u64);
+        assert!(matches!(
+            map.reserve("big", 100, ProtKey::DEFAULT, RegionKind::Heap),
+            Err(Fault::ResourceExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn find_and_contains() {
+        let mut map = RegionMap::new(1 << 22);
+        let r = map
+            .reserve("comp1/heap", 4, ProtKey::new(2).unwrap(), RegionKind::Heap)
+            .unwrap();
+        assert!(r.contains(r.base() + 100));
+        assert!(!r.contains(r.end()));
+        assert_eq!(map.find(r.base() + 5).unwrap().name(), "comp1/heap");
+        assert!(map.find_by_name("comp1/heap").is_some());
+        assert!(map.find_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn linker_script_mentions_every_region() {
+        let mut map = RegionMap::new(1 << 22);
+        map.reserve("comp1/.data", 1, ProtKey::new(1).unwrap(), RegionKind::Data)
+            .unwrap();
+        map.reserve("comp2/.bss", 2, ProtKey::new(2).unwrap(), RegionKind::Bss)
+            .unwrap();
+        let script = map.linker_script();
+        assert!(script.contains("comp1/.data"));
+        assert!(script.contains("comp2/.bss"));
+        assert!(script.contains("pkey1"));
+        assert!(script.contains("pkey2"));
+        assert!(script.starts_with("/* generated by the FlexOS toolchain */"));
+    }
+}

@@ -1,0 +1,190 @@
+//! The aggregate simulated machine.
+
+use std::cell::{Ref, RefCell, RefMut};
+use std::rc::Rc;
+
+use crate::addr::PAGE_SIZE;
+use crate::clock::CycleClock;
+use crate::cost::CostModel;
+use crate::fault::Fault;
+use crate::key::ProtKey;
+use crate::layout::{Region, RegionKind, RegionMap};
+use crate::mem::Memory;
+
+/// The simulated machine: memory + layout + clock + cost model.
+///
+/// `Machine` is the single piece of mutable world state the whole
+/// simulation shares; it is held behind [`Rc`] and uses interior mutability
+/// because the simulation is strictly single-(host-)threaded — virtual
+/// threads are multiplexed cooperatively in virtual time.
+///
+/// ```
+/// use flexos_machine::{Machine, key::{Pkru, ProtKey}};
+///
+/// # fn main() -> Result<(), flexos_machine::fault::Fault> {
+/// let machine = Machine::new(Machine::DEFAULT_MEM_BYTES);
+/// let heap = machine.map_region("heap", 16, ProtKey::new(1)?)?;
+/// machine.clock().advance(machine.cost().mpk_dss_gate);
+/// machine.memory_mut().write(heap.base(), &[1, 2, 3], &Pkru::ALL_ACCESS)?;
+/// assert_eq!(machine.clock().now(), 108);
+/// # Ok(()) }
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    memory: RefCell<Memory>,
+    layout: RefCell<RegionMap>,
+    clock: CycleClock,
+    cost: CostModel,
+}
+
+impl Machine {
+    /// Default simulated memory size (256 MiB), enough for every experiment
+    /// in the paper's evaluation.
+    pub const DEFAULT_MEM_BYTES: u64 = 256 * 1024 * 1024;
+
+    /// Creates a machine with `mem_bytes` of simulated memory and the
+    /// paper-calibrated [`CostModel`].
+    pub fn new(mem_bytes: u64) -> Rc<Self> {
+        Self::with_cost_model(mem_bytes, CostModel::default())
+    }
+
+    /// Creates a machine with an explicit cost model (used by ablation
+    /// benches that perturb individual constants).
+    pub fn with_cost_model(mem_bytes: u64, cost: CostModel) -> Rc<Self> {
+        Rc::new(Machine {
+            memory: RefCell::new(Memory::new(mem_bytes)),
+            layout: RefCell::new(RegionMap::new(mem_bytes)),
+            clock: CycleClock::new(),
+            cost,
+        })
+    }
+
+    /// The virtual cycle clock.
+    pub fn clock(&self) -> &CycleClock {
+        &self.clock
+    }
+
+    /// The calibrated cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Borrows the simulated memory immutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory is currently mutably borrowed (a simulation bug).
+    pub fn memory(&self) -> Ref<'_, Memory> {
+        self.memory.borrow()
+    }
+
+    /// Borrows the simulated memory mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory is currently borrowed (a simulation bug).
+    pub fn memory_mut(&self) -> RefMut<'_, Memory> {
+        self.memory.borrow_mut()
+    }
+
+    /// Borrows the region map.
+    pub fn layout(&self) -> Ref<'_, RegionMap> {
+        self.layout.borrow()
+    }
+
+    /// Reserves and maps a new region of `pages` pages tagged `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::ResourceExhausted`] if the address space is full.
+    pub fn map_region(
+        &self,
+        name: impl Into<String>,
+        pages: u64,
+        key: ProtKey,
+    ) -> Result<Region, Fault> {
+        self.map_region_kind(name, pages, key, RegionKind::Other)
+    }
+
+    /// Like [`Machine::map_region`] with an explicit [`RegionKind`] for the
+    /// generated linker script.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::ResourceExhausted`] if the address space is full.
+    pub fn map_region_kind(
+        &self,
+        name: impl Into<String>,
+        pages: u64,
+        key: ProtKey,
+        kind: RegionKind,
+    ) -> Result<Region, Fault> {
+        let region = self.layout.borrow_mut().reserve(name, pages, key, kind)?;
+        self.memory
+            .borrow_mut()
+            .map(region.base(), region.pages(), key)?;
+        Ok(region)
+    }
+
+    /// Re-tags a mapped region with a new protection key (simulated
+    /// `pkey_mprotect`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Memory::set_key`] faults.
+    pub fn set_region_key(&self, region: &Region, key: ProtKey) -> Result<(), Fault> {
+        self.memory
+            .borrow_mut()
+            .set_key(region.base(), region.pages(), key)
+    }
+
+    /// Total simulated memory in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        self.memory.borrow().size()
+    }
+
+    /// Bytes of simulated memory in whole pages helper.
+    pub fn pages(&self) -> u64 {
+        self.memory_bytes() / PAGE_SIZE as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Pkru;
+
+    #[test]
+    fn map_region_is_usable() {
+        let m = Machine::new(4 * 1024 * 1024);
+        let r = m.map_region("r", 2, ProtKey::new(5).unwrap()).unwrap();
+        let pkru = Pkru::permit_only(&[ProtKey::new(5).unwrap()]);
+        m.memory_mut().write(r.base(), b"ok", &pkru).unwrap();
+        assert_eq!(m.memory().read_vec(r.base(), 2, &pkru).unwrap(), b"ok");
+    }
+
+    #[test]
+    fn regions_recorded_in_layout() {
+        let m = Machine::new(4 * 1024 * 1024);
+        m.map_region_kind("comp1/heap", 1, ProtKey::DEFAULT, RegionKind::Heap)
+            .unwrap();
+        assert!(m.layout().find_by_name("comp1/heap").is_some());
+        assert!(m.layout().linker_script().contains("comp1/heap"));
+    }
+
+    #[test]
+    fn set_region_key_changes_enforcement() {
+        let m = Machine::new(4 * 1024 * 1024);
+        let r = m.map_region("r", 1, ProtKey::new(1).unwrap()).unwrap();
+        m.set_region_key(&r, ProtKey::new(2).unwrap()).unwrap();
+        let old = Pkru::permit_only(&[ProtKey::new(1).unwrap()]);
+        assert!(m.memory().read_vec(r.base(), 1, &old).is_err());
+    }
+
+    #[test]
+    fn clock_and_cost_are_shared() {
+        let m = Machine::new(1024 * 1024);
+        m.clock().advance(m.cost().ept_rpc_gate);
+        assert_eq!(m.clock().now(), 462);
+    }
+}

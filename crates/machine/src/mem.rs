@@ -1,0 +1,428 @@
+//! Paged simulated memory with per-page protection keys.
+//!
+//! This is the enforcement point of the whole simulation: every load and
+//! store names the [`Pkru`] of the executing domain, and the access is
+//! checked against the protection key of **every page it touches** before
+//! any byte moves — the same check the MMU performs per access under Intel
+//! MPK (§4.1). Compartment data really lives here (Redis values, pbufs,
+//! ramfs blocks, B-tree pages), so a compartment without the right key
+//! *cannot* read another compartment's state, it faults.
+
+use std::fmt;
+
+use crate::addr::{Addr, PAGE_SIZE};
+use crate::fault::Fault;
+use crate::key::{Access, Pkru, ProtKey};
+
+/// One simulated page frame.
+///
+/// Frames are zero-fill-on-demand: `data` stays unallocated (in host terms)
+/// until first written, which keeps multi-hundred-MiB simulated address
+/// spaces cheap.
+#[derive(Debug, Clone, Default)]
+struct PageFrame {
+    key: ProtKey,
+    mapped: bool,
+    data: Option<Box<[u8]>>,
+}
+
+impl PageFrame {
+    fn bytes_mut(&mut self) -> &mut [u8] {
+        self.data
+            .get_or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice())
+    }
+}
+
+/// The simulated physical memory: an array of pages, each tagged with a
+/// protection key.
+pub struct Memory {
+    frames: Vec<PageFrame>,
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mapped = self.frames.iter().filter(|p| p.mapped).count();
+        f.debug_struct("Memory")
+            .field("pages", &self.frames.len())
+            .field("mapped_pages", &mapped)
+            .finish()
+    }
+}
+
+impl Memory {
+    /// Creates a memory of `bytes` bytes (rounded up to whole pages).
+    pub fn new(bytes: u64) -> Self {
+        let pages = crate::addr::pages_for(bytes) as usize;
+        Memory {
+            frames: vec![PageFrame::default(); pages],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u64 {
+        (self.frames.len() * PAGE_SIZE) as u64
+    }
+
+    /// Maps `pages` pages starting at `base` (page-aligned) and tags them
+    /// with `key`. Boot-time operation; requires no PKRU (the boot code is
+    /// TCB, §3.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::OutOfBounds`] if the range exceeds physical memory.
+    pub fn map(&mut self, base: Addr, pages: u64, key: ProtKey) -> Result<(), Fault> {
+        debug_assert_eq!(base.page_offset(), 0, "map base must be page-aligned");
+        let first = base.page_index();
+        let last = first
+            .checked_add(pages)
+            .filter(|&end| end <= self.frames.len() as u64)
+            .ok_or(Fault::OutOfBounds {
+                addr: base,
+                len: pages * PAGE_SIZE as u64,
+            })?;
+        for frame in &mut self.frames[first as usize..last as usize] {
+            frame.mapped = true;
+            frame.key = key;
+        }
+        Ok(())
+    }
+
+    /// Re-tags an already-mapped page range with a new key. This is the
+    /// simulated `pkey_mprotect`; the MPK backend uses it at boot to protect
+    /// per-compartment data/bss sections (§4.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::Unmapped`] if any page in range is unmapped.
+    pub fn set_key(&mut self, base: Addr, pages: u64, key: ProtKey) -> Result<(), Fault> {
+        let first = base.page_index() as usize;
+        let last = first + pages as usize;
+        if last > self.frames.len() {
+            return Err(Fault::OutOfBounds {
+                addr: base,
+                len: pages * PAGE_SIZE as u64,
+            });
+        }
+        for (i, frame) in self.frames[first..last].iter_mut().enumerate() {
+            if !frame.mapped {
+                return Err(Fault::Unmapped {
+                    addr: Addr::new(((first + i) * PAGE_SIZE) as u64),
+                });
+            }
+            frame.key = key;
+        }
+        Ok(())
+    }
+
+    /// Returns the protection key of the page containing `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::Unmapped`] for unmapped addresses.
+    pub fn key_of(&self, addr: Addr) -> Result<ProtKey, Fault> {
+        let frame = self
+            .frames
+            .get(addr.page_index() as usize)
+            .ok_or(Fault::OutOfBounds { addr, len: 1 })?;
+        if !frame.mapped {
+            return Err(Fault::Unmapped { addr });
+        }
+        Ok(frame.key)
+    }
+
+    fn check_range(
+        &self,
+        addr: Addr,
+        len: u64,
+        pkru: &Pkru,
+        kind: Access,
+    ) -> Result<(), Fault> {
+        if len == 0 {
+            return Ok(());
+        }
+        let end = addr.checked_add(len - 1).ok_or(Fault::OutOfBounds { addr, len })?;
+        let first = addr.page_index();
+        let last = end.page_index();
+        if last >= self.frames.len() as u64 {
+            return Err(Fault::OutOfBounds { addr, len });
+        }
+        for page in first..=last {
+            let frame = &self.frames[page as usize];
+            let page_addr = Addr::new(page * PAGE_SIZE as u64);
+            if !frame.mapped {
+                return Err(Fault::Unmapped { addr: page_addr });
+            }
+            if !pkru.allows(frame.key, kind) {
+                return Err(Fault::ProtectionKey {
+                    addr: if page == first { addr } else { page_addr },
+                    key: frame.key,
+                    access: kind,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes at `addr` under `pkru`.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::ProtectionKey`] if any touched page's key is not readable
+    /// under `pkru`; [`Fault::Unmapped`]/[`Fault::OutOfBounds`] for bad
+    /// addresses.
+    pub fn read(&self, addr: Addr, buf: &mut [u8], pkru: &Pkru) -> Result<(), Fault> {
+        self.check_range(addr, buf.len() as u64, pkru, Access::Read)?;
+        let mut copied = 0usize;
+        let mut cur = addr;
+        while copied < buf.len() {
+            let frame = &self.frames[cur.page_index() as usize];
+            let off = cur.page_offset();
+            let take = (PAGE_SIZE - off).min(buf.len() - copied);
+            match &frame.data {
+                Some(data) => buf[copied..copied + take].copy_from_slice(&data[off..off + take]),
+                None => buf[copied..copied + take].fill(0),
+            }
+            copied += take;
+            cur = cur + take as u64;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `addr` into a fresh `Vec` under `pkru`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Memory::read`].
+    pub fn read_vec(&self, addr: Addr, len: u64, pkru: &Pkru) -> Result<Vec<u8>, Fault> {
+        let mut buf = vec![0u8; len as usize];
+        self.read(addr, &mut buf, pkru)?;
+        Ok(buf)
+    }
+
+    /// Writes `buf` at `addr` under `pkru`.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::ProtectionKey`] if any touched page's key is not writable
+    /// under `pkru`; [`Fault::Unmapped`]/[`Fault::OutOfBounds`] for bad
+    /// addresses.
+    pub fn write(&mut self, addr: Addr, buf: &[u8], pkru: &Pkru) -> Result<(), Fault> {
+        self.check_range(addr, buf.len() as u64, pkru, Access::Write)?;
+        let mut copied = 0usize;
+        let mut cur = addr;
+        while copied < buf.len() {
+            let page = cur.page_index() as usize;
+            let off = cur.page_offset();
+            let take = (PAGE_SIZE - off).min(buf.len() - copied);
+            let data = self.frames[page].bytes_mut();
+            data[off..off + take].copy_from_slice(&buf[copied..copied + take]);
+            copied += take;
+            cur = cur + take as u64;
+        }
+        Ok(())
+    }
+
+    /// Fills `len` bytes at `addr` with `byte` under `pkru`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Memory::write`].
+    pub fn fill(&mut self, addr: Addr, len: u64, byte: u8, pkru: &Pkru) -> Result<(), Fault> {
+        self.check_range(addr, len, pkru, Access::Write)?;
+        let mut remaining = len;
+        let mut cur = addr;
+        while remaining > 0 {
+            let page = cur.page_index() as usize;
+            let off = cur.page_offset();
+            let take = (PAGE_SIZE - off).min(remaining as usize);
+            self.frames[page].bytes_mut()[off..off + take].fill(byte);
+            remaining -= take as u64;
+            cur = cur + take as u64;
+        }
+        Ok(())
+    }
+
+    /// Copies `len` bytes from `src` to `dst` under a single `pkru` (the
+    /// copier must be allowed to read `src` and write `dst`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Memory::read`] / [`Memory::write`].
+    pub fn copy(&mut self, src: Addr, dst: Addr, len: u64, pkru: &Pkru) -> Result<(), Fault> {
+        let data = self.read_vec(src, len, pkru)?;
+        self.write(dst, &data, pkru)
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Memory::read`].
+    pub fn read_u64(&self, addr: Addr, pkru: &Pkru) -> Result<u64, Fault> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b, pkru)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Memory::write`].
+    pub fn write_u64(&mut self, addr: Addr, value: u64, pkru: &Pkru) -> Result<(), Fault> {
+        self.write(addr, &value.to_le_bytes(), pkru)
+    }
+
+    /// Reads a little-endian `u32` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Memory::read`].
+    pub fn read_u32(&self, addr: Addr, pkru: &Pkru) -> Result<u32, Fault> {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b, pkru)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u32` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Memory::write`].
+    pub fn write_u32(&mut self, addr: Addr, value: u32, pkru: &Pkru) -> Result<(), Fault> {
+        self.write(addr, &value.to_le_bytes(), pkru)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_with_region(key: ProtKey) -> (Memory, Addr) {
+        let mut mem = Memory::new(64 * PAGE_SIZE as u64);
+        let base = Addr::new(PAGE_SIZE as u64); // skip null page
+        mem.map(base, 8, key).unwrap();
+        (mem, base)
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let key = ProtKey::new(1).unwrap();
+        let (mut mem, base) = mem_with_region(key);
+        let pkru = Pkru::permit_only(&[key]);
+        mem.write(base + 100, b"flexos", &pkru).unwrap();
+        assert_eq!(mem.read_vec(base + 100, 6, &pkru).unwrap(), b"flexos");
+    }
+
+    #[test]
+    fn zero_fill_on_demand() {
+        let key = ProtKey::new(1).unwrap();
+        let (mem, base) = mem_with_region(key);
+        let pkru = Pkru::permit_only(&[key]);
+        assert_eq!(mem.read_vec(base, 16, &pkru).unwrap(), vec![0u8; 16]);
+    }
+
+    #[test]
+    fn cross_page_access_checks_every_page() {
+        let k1 = ProtKey::new(1).unwrap();
+        let k2 = ProtKey::new(2).unwrap();
+        let mut mem = Memory::new(64 * PAGE_SIZE as u64);
+        let base = Addr::new(PAGE_SIZE as u64);
+        mem.map(base, 1, k1).unwrap();
+        mem.map(base + PAGE_SIZE as u64, 1, k2).unwrap();
+
+        // A write straddling both pages must fail if we only hold k1.
+        let pkru = Pkru::permit_only(&[k1]);
+        let straddle = base + (PAGE_SIZE as u64 - 2);
+        let err = mem.write(straddle, &[1, 2, 3, 4], &pkru).unwrap_err();
+        assert!(matches!(err, Fault::ProtectionKey { key, .. } if key == k2));
+
+        // Holding both keys, it succeeds.
+        let both = Pkru::permit_only(&[k1, k2]);
+        mem.write(straddle, &[1, 2, 3, 4], &both).unwrap();
+        assert_eq!(mem.read_vec(straddle, 4, &both).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn foreign_key_faults() {
+        let key = ProtKey::new(3).unwrap();
+        let (mut mem, base) = mem_with_region(key);
+        let stranger = Pkru::permit_only(&[ProtKey::new(4).unwrap()]);
+        assert!(matches!(
+            mem.read_vec(base, 1, &stranger),
+            Err(Fault::ProtectionKey { .. })
+        ));
+        assert!(matches!(
+            mem.write(base, b"x", &stranger),
+            Err(Fault::ProtectionKey { .. })
+        ));
+    }
+
+    #[test]
+    fn read_only_key_permits_reads_only() {
+        let key = ProtKey::new(3).unwrap();
+        let (mut mem, base) = mem_with_region(key);
+        // Initialize with full access, then drop to read-only.
+        mem.write(base, b"ro", &Pkru::ALL_ACCESS).unwrap();
+        let mut pkru = Pkru::NO_ACCESS;
+        pkru.permit_read_only(key);
+        assert_eq!(mem.read_vec(base, 2, &pkru).unwrap(), b"ro");
+        assert!(mem.write(base, b"xx", &pkru).is_err());
+    }
+
+    #[test]
+    fn unmapped_and_oob_fault() {
+        let mem = Memory::new(16 * PAGE_SIZE as u64);
+        let pkru = Pkru::ALL_ACCESS;
+        assert!(matches!(
+            mem.read_vec(Addr::new(PAGE_SIZE as u64), 1, &pkru),
+            Err(Fault::Unmapped { .. })
+        ));
+        assert!(matches!(
+            mem.read_vec(Addr::new(1 << 40), 1, &pkru),
+            Err(Fault::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn set_key_retags() {
+        let k1 = ProtKey::new(1).unwrap();
+        let k2 = ProtKey::new(2).unwrap();
+        let (mut mem, base) = mem_with_region(k1);
+        mem.set_key(base, 8, k2).unwrap();
+        assert_eq!(mem.key_of(base).unwrap(), k2);
+        let old = Pkru::permit_only(&[k1]);
+        assert!(mem.read_vec(base, 1, &old).is_err());
+    }
+
+    #[test]
+    fn fill_and_copy() {
+        let key = ProtKey::new(1).unwrap();
+        let (mut mem, base) = mem_with_region(key);
+        let pkru = Pkru::permit_only(&[key]);
+        mem.fill(base, 32, 0xAB, &pkru).unwrap();
+        mem.copy(base, base + 64, 32, &pkru).unwrap();
+        assert_eq!(mem.read_vec(base + 64, 32, &pkru).unwrap(), vec![0xAB; 32]);
+    }
+
+    #[test]
+    fn scalar_accessors() {
+        let key = ProtKey::new(1).unwrap();
+        let (mut mem, base) = mem_with_region(key);
+        let pkru = Pkru::permit_only(&[key]);
+        mem.write_u64(base, 0xDEAD_BEEF_CAFE_F00D, &pkru).unwrap();
+        assert_eq!(mem.read_u64(base, &pkru).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+        mem.write_u32(base + 8, 0x1234_5678, &pkru).unwrap();
+        assert_eq!(mem.read_u32(base + 8, &pkru).unwrap(), 0x1234_5678);
+    }
+
+    #[test]
+    fn zero_length_access_is_ok() {
+        let key = ProtKey::new(1).unwrap();
+        let (mut mem, base) = mem_with_region(key);
+        let pkru = Pkru::NO_ACCESS;
+        // Zero-length accesses touch no pages and cannot fault.
+        assert!(mem.read(base, &mut [], &pkru).is_ok());
+        assert!(mem.write(base, &[], &pkru).is_ok());
+    }
+}

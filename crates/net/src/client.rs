@@ -1,0 +1,281 @@
+//! Host-side TCP client: the load generator.
+//!
+//! Models redis-benchmark / wrk / the iPerf client running on dedicated
+//! host cores (§6's testbed setup): it speaks real TCP-lite to the stack
+//! through the NIC — full handshake, sequenced data, ACK processing —
+//! but its own cycles are free, exactly like the paper's client cores.
+
+use flexos_machine::fault::Fault;
+
+use crate::stack::NetStack;
+use crate::tcp::{Segment, FLAG_ACK, FLAG_FIN, FLAG_PSH, FLAG_SYN, MSS};
+
+/// A client-side TCP connection.
+#[derive(Debug)]
+pub struct TcpClient {
+    src_port: u16,
+    dst_port: u16,
+    snd_nxt: u32,
+    rcv_nxt: u32,
+    established: bool,
+    /// Reassembled bytes received from the server.
+    rx: Vec<u8>,
+}
+
+impl TcpClient {
+    /// Opens a connection to `dst_port` with a full three-way handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::InvalidConfig`] if the server does not answer with a
+    /// SYN-ACK (e.g. nothing listens on the port); stack faults propagate.
+    pub fn connect(stack: &NetStack, src_port: u16, dst_port: u16) -> Result<TcpClient, Fault> {
+        let iss = 0x2000_0000u32;
+        let mut client = TcpClient {
+            src_port,
+            dst_port,
+            snd_nxt: iss,
+            rcv_nxt: 0,
+            established: false,
+            rx: Vec::new(),
+        };
+        stack.client_inject(
+            Segment::control(src_port, dst_port, iss, 0, FLAG_SYN).to_bytes(),
+        );
+        stack.service()?;
+        client.drain(stack)?;
+        if !client.established {
+            return Err(Fault::InvalidConfig {
+                reason: format!("no SYN-ACK from port {dst_port}"),
+            });
+        }
+        // Final ACK of the handshake.
+        stack.client_inject(
+            Segment::control(
+                src_port,
+                dst_port,
+                client.snd_nxt,
+                client.rcv_nxt,
+                FLAG_ACK,
+            )
+            .to_bytes(),
+        );
+        stack.service()?;
+        Ok(client)
+    }
+
+    /// Sends `data` to the server (segmenting at MSS) and lets the stack
+    /// process it.
+    ///
+    /// # Errors
+    ///
+    /// Stack faults propagate.
+    pub fn send(&mut self, stack: &NetStack, data: &[u8]) -> Result<(), Fault> {
+        for chunk in data.chunks(MSS) {
+            let seg = Segment {
+                src_port: self.src_port,
+                dst_port: self.dst_port,
+                seq: self.snd_nxt,
+                ack: self.rcv_nxt,
+                flags: FLAG_ACK | FLAG_PSH,
+                window: 65535,
+                payload: chunk.to_vec(),
+            };
+            self.snd_nxt = self.snd_nxt.wrapping_add(chunk.len() as u32);
+            stack.client_inject(seg.to_bytes());
+            stack.service()?;
+            self.drain(stack)?;
+        }
+        Ok(())
+    }
+
+    /// Collects and processes every frame the server transmitted;
+    /// reassembled payload accumulates in the client's receive buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::InvalidConfig`] on malformed frames (should not happen —
+    /// the server computes checksums).
+    pub fn drain(&mut self, stack: &NetStack) -> Result<(), Fault> {
+        for frame in stack.client_collect() {
+            let seg = Segment::parse(&frame)?;
+            if seg.dst_port != self.src_port {
+                continue; // other connections' traffic
+            }
+            if seg.has(FLAG_SYN) && seg.has(FLAG_ACK) {
+                self.rcv_nxt = seg.seq.wrapping_add(1);
+                self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                self.established = true;
+                continue;
+            }
+            if !seg.payload.is_empty() {
+                if seg.seq == self.rcv_nxt {
+                    self.rcv_nxt = self.rcv_nxt.wrapping_add(seg.payload.len() as u32);
+                    self.rx.extend_from_slice(&seg.payload);
+                    // ACK the data.
+                    stack.client_inject(
+                        Segment::control(
+                            self.src_port,
+                            self.dst_port,
+                            self.snd_nxt,
+                            self.rcv_nxt,
+                            FLAG_ACK,
+                        )
+                        .to_bytes(),
+                    );
+                }
+                continue;
+            }
+            if seg.has(FLAG_FIN) {
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Takes everything received so far.
+    pub fn take_received(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.rx)
+    }
+
+    /// Bytes received and not yet taken.
+    pub fn received_len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// `true` after the handshake completed.
+    pub fn is_established(&self) -> bool {
+        self.established
+    }
+
+    /// Closes the connection with FIN.
+    ///
+    /// # Errors
+    ///
+    /// Stack faults propagate.
+    pub fn close(&mut self, stack: &NetStack) -> Result<(), Fault> {
+        stack.client_inject(
+            Segment::control(
+                self.src_port,
+                self.dst_port,
+                self.snd_nxt,
+                self.rcv_nxt,
+                FLAG_FIN | FLAG_ACK,
+            )
+            .to_bytes(),
+        );
+        self.snd_nxt = self.snd_nxt.wrapping_add(1);
+        stack.service()?;
+        self.drain(stack)?;
+        self.established = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexos_core::backend::NoneBackend;
+    use flexos_core::config::SafetyConfig;
+    use flexos_core::image::ImageBuilder;
+    use flexos_machine::Machine;
+    use std::rc::Rc;
+
+    fn stack() -> Rc<NetStack> {
+        let machine = Machine::new(Machine::DEFAULT_MEM_BYTES);
+        let mut b = ImageBuilder::new(machine, SafetyConfig::none());
+        let id = b.register(crate::component()).unwrap();
+        let image = b.build(&[&NoneBackend]).unwrap();
+        Rc::new(NetStack::new(image.env, id))
+    }
+
+    fn serve(stack: &NetStack, port: u16) -> crate::socket::SocketHandle {
+        let env = stack.component_id();
+        let _ = env;
+        let sock = stack.socket();
+        stack.bind(sock, port).unwrap();
+        stack.listen(sock).unwrap();
+        sock
+    }
+
+    #[test]
+    fn handshake_establishes_and_accepts() {
+        let stack = stack();
+        let listener = serve(&stack, 6379);
+        let client = TcpClient::connect(&stack, 50000, 6379).unwrap();
+        assert!(client.is_established());
+        let conn = stack.accept(listener);
+        assert!(conn.is_some(), "handshake queues the connection");
+    }
+
+    #[test]
+    fn connect_to_dead_port_fails() {
+        let stack = stack();
+        assert!(TcpClient::connect(&stack, 50000, 9999).is_err());
+    }
+
+    #[test]
+    fn data_flows_client_to_server_and_back() {
+        let stack = stack();
+        let listener = serve(&stack, 6379);
+        let mut client = TcpClient::connect(&stack, 50000, 6379).unwrap();
+        let conn = stack.accept(listener).unwrap();
+
+        client.send(&stack, b"PING").unwrap();
+        let got = stack
+            .env_run_recv(conn, 64)
+            .expect("server sees client bytes");
+        assert_eq!(got, b"PING");
+
+        // Server replies; client reassembles.
+        stack.env_run_send(conn, b"+PONG\r\n").unwrap();
+        client.drain(&stack).unwrap();
+        assert_eq!(client.take_received(), b"+PONG\r\n");
+    }
+
+    #[test]
+    fn large_transfers_are_segmented_and_reassembled() {
+        let stack = stack();
+        let listener = serve(&stack, 5001);
+        let mut client = TcpClient::connect(&stack, 40000, 5001).unwrap();
+        let conn = stack.accept(listener).unwrap();
+
+        let blob: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        client.send(&stack, &blob).unwrap();
+        let mut got = Vec::new();
+        while got.len() < blob.len() {
+            let chunk = stack.env_run_recv(conn, 4096).unwrap();
+            if chunk.is_empty() {
+                break;
+            }
+            got.extend_from_slice(&chunk);
+        }
+        assert_eq!(got, blob, "10 KB survives MSS segmentation in order");
+    }
+
+    #[test]
+    fn two_connections_do_not_mix() {
+        let stack = stack();
+        let listener = serve(&stack, 80);
+        let mut c1 = TcpClient::connect(&stack, 40001, 80).unwrap();
+        let s1 = stack.accept(listener).unwrap();
+        let mut c2 = TcpClient::connect(&stack, 40002, 80).unwrap();
+        let s2 = stack.accept(listener).unwrap();
+
+        c1.send(&stack, b"from-c1").unwrap();
+        c2.send(&stack, b"from-c2").unwrap();
+        assert_eq!(stack.env_run_recv(s1, 64).unwrap(), b"from-c1");
+        assert_eq!(stack.env_run_recv(s2, 64).unwrap(), b"from-c2");
+    }
+
+    #[test]
+    fn fin_reaches_eof() {
+        let stack = stack();
+        let listener = serve(&stack, 80);
+        let mut client = TcpClient::connect(&stack, 40000, 80).unwrap();
+        let conn = stack.accept(listener).unwrap();
+        assert!(!stack.at_eof(conn));
+        client.close(&stack).unwrap();
+        assert!(stack.at_eof(conn));
+    }
+}

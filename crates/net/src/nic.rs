@@ -1,0 +1,114 @@
+//! The simulated NIC: a loopback device between the OS and the
+//! benchmark client.
+//!
+//! The paper's testbed dedicates separate host cores to the load
+//! generators (redis-benchmark, wrk, the iPerf client); their cycles do
+//! not count against the system under test. The simulation mirrors that:
+//! the *client side* of the NIC (inject/collect) is free, while the
+//! *stack side* (rx pop, tx push) charges DMA-ish per-byte costs to the
+//! lwip component.
+
+use std::collections::VecDeque;
+
+/// Queue depth of each direction.
+pub const QUEUE_DEPTH: usize = 1024;
+
+/// NIC counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicStats {
+    /// Frames received by the stack.
+    pub rx_frames: u64,
+    /// Frames sent by the stack.
+    pub tx_frames: u64,
+    /// Frames dropped because the rx queue was full.
+    pub rx_dropped: u64,
+}
+
+/// The simulated loopback NIC.
+#[derive(Debug, Default)]
+pub struct SimNic {
+    rx: VecDeque<Vec<u8>>,
+    tx: VecDeque<Vec<u8>>,
+    stats: NicStats,
+}
+
+impl SimNic {
+    /// Creates an idle NIC.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // --- client (host) side: free -------------------------------------
+
+    /// Client side: places a frame on the wire towards the OS. Returns
+    /// `false` (dropping the frame) when the queue is full.
+    pub fn client_inject(&mut self, frame: Vec<u8>) -> bool {
+        if self.rx.len() >= QUEUE_DEPTH {
+            self.stats.rx_dropped += 1;
+            return false;
+        }
+        self.rx.push_back(frame);
+        true
+    }
+
+    /// Client side: collects everything the OS transmitted.
+    pub fn client_collect(&mut self) -> Vec<Vec<u8>> {
+        self.tx.drain(..).collect()
+    }
+
+    // --- stack side -----------------------------------------------------
+
+    /// Stack side: takes the next received frame, if any.
+    pub fn rx_pop(&mut self) -> Option<Vec<u8>> {
+        let frame = self.rx.pop_front();
+        if frame.is_some() {
+            self.stats.rx_frames += 1;
+        }
+        frame
+    }
+
+    /// Stack side: queues a frame for transmission.
+    pub fn tx_push(&mut self, frame: Vec<u8>) {
+        self.stats.tx_frames += 1;
+        self.tx.push_back(frame);
+    }
+
+    /// Frames waiting to be processed by the stack.
+    pub fn rx_pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> NicStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_flow_both_ways() {
+        let mut nic = SimNic::new();
+        assert!(nic.client_inject(vec![1, 2, 3]));
+        assert_eq!(nic.rx_pending(), 1);
+        assert_eq!(nic.rx_pop(), Some(vec![1, 2, 3]));
+        assert_eq!(nic.rx_pop(), None);
+        nic.tx_push(vec![4, 5]);
+        assert_eq!(nic.client_collect(), vec![vec![4, 5]]);
+        assert!(nic.client_collect().is_empty());
+        assert_eq!(nic.stats().rx_frames, 1);
+        assert_eq!(nic.stats().tx_frames, 1);
+    }
+
+    #[test]
+    fn full_queue_drops() {
+        let mut nic = SimNic::new();
+        for i in 0..QUEUE_DEPTH {
+            assert!(nic.client_inject(vec![i as u8]));
+        }
+        assert!(!nic.client_inject(vec![0xFF]));
+        assert_eq!(nic.stats().rx_dropped, 1);
+    }
+}

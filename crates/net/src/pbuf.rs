@@ -1,0 +1,80 @@
+//! Packet buffers in simulated memory.
+//!
+//! lwip stages every payload in pbufs; in FlexOS these live on the lwip
+//! compartment's heap (the `pbuf_pool` shared annotation whitelists the
+//! libc and the applications, so delivery does not need extra copies
+//! through the global shared heap when configurations allow it).
+
+use std::rc::Rc;
+
+use flexos_core::env::Env;
+use flexos_machine::addr::Addr;
+use flexos_machine::fault::Fault;
+
+/// One packet buffer holding `len` payload bytes at `addr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pbuf {
+    /// Payload address in simulated memory.
+    pub addr: Addr,
+    /// Payload length.
+    pub len: u64,
+}
+
+/// Allocates and frees pbufs on the current compartment's heap.
+#[derive(Debug)]
+pub struct PbufPool {
+    env: Rc<Env>,
+    allocated: u64,
+    freed: u64,
+}
+
+impl PbufPool {
+    /// Creates the pool.
+    pub fn new(env: Rc<Env>) -> Self {
+        PbufPool {
+            env,
+            allocated: 0,
+            freed: 0,
+        }
+    }
+
+    /// Allocates a pbuf and copies `data` into it.
+    ///
+    /// # Errors
+    ///
+    /// Heap exhaustion or protection faults.
+    pub fn alloc_copy(&mut self, data: &[u8]) -> Result<Pbuf, Fault> {
+        let addr = self.env.malloc(data.len().max(1) as u64)?;
+        self.env.mem_write(addr, data)?;
+        self.allocated += 1;
+        Ok(Pbuf {
+            addr,
+            len: data.len() as u64,
+        })
+    }
+
+    /// Reads a pbuf's payload back.
+    ///
+    /// # Errors
+    ///
+    /// Protection faults if the current domain cannot read the pbuf.
+    pub fn read(&self, pbuf: Pbuf) -> Result<Vec<u8>, Fault> {
+        self.env.mem_read_vec(pbuf.addr, pbuf.len)
+    }
+
+    /// Releases a pbuf.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::BadFree`] on double release.
+    pub fn free(&mut self, pbuf: Pbuf) -> Result<(), Fault> {
+        self.env.free(pbuf.addr)?;
+        self.freed += 1;
+        Ok(())
+    }
+
+    /// Live pbuf count (leak detection).
+    pub fn live(&self) -> u64 {
+        self.allocated - self.freed
+    }
+}

@@ -1,0 +1,510 @@
+//! The lwip component: NIC servicing, TCP processing, socket API.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use flexos_core::component::ComponentId;
+use flexos_core::env::{Env, Work};
+use flexos_machine::fault::Fault;
+
+use crate::nic::SimNic;
+use crate::socket::{Socket, SocketHandle, SocketKind};
+use crate::tcp::{Segment, Tcb, TcpState, FLAG_ACK, FLAG_FIN, FLAG_PSH, FLAG_SYN, MSS};
+
+/// Default receive-ring capacity per connection.
+pub const RX_RING_BYTES: u64 = 64 * 1024;
+
+/// Initial send sequence number the server side uses (deterministic).
+const SERVER_ISS: u32 = 0x1000_0000;
+
+/// Stack counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Segments processed from the NIC.
+    pub rx_segments: u64,
+    /// Segments transmitted.
+    pub tx_segments: u64,
+    /// Payload bytes delivered to sockets.
+    pub rx_bytes: u64,
+    /// Payload bytes sent.
+    pub tx_bytes: u64,
+    /// Frames dropped on checksum/parse failure.
+    pub rx_errors: u64,
+    /// `recv` calls served.
+    pub recvs: u64,
+    /// `send` calls served.
+    pub sends: u64,
+    /// `poll` calls served.
+    pub polls: u64,
+}
+
+/// The lwip component state.
+pub struct NetStack {
+    env: Rc<Env>,
+    id: ComponentId,
+    nic: RefCell<SimNic>,
+    sockets: RefCell<Vec<Socket>>,
+    /// `(local_port, remote_port)` → connection socket.
+    conns: RefCell<HashMap<(u16, u16), SocketHandle>>,
+    /// TCP control blocks, parallel to `conns`.
+    tcbs: RefCell<HashMap<(u16, u16), Tcb>>,
+    listeners: RefCell<HashMap<u16, SocketHandle>>,
+    stats: Cell<NetStats>,
+}
+
+impl std::fmt::Debug for NetStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetStack")
+            .field("stats", &self.stats.get())
+            .finish()
+    }
+}
+
+/// Per-segment protocol processing cycles (header parse, PCB lookup,
+/// state machine) — calibrated with the Figure 6/9 profiles.
+const SEGMENT_CYCLES: u64 = 75;
+/// Per-socket-API-call cycles.
+const SOCKCALL_CYCLES: u64 = 28;
+/// Extra per-byte factor for checksumming (on top of the memory-touch
+/// charges the rings and NIC already pay).
+const CSUM_PER_BYTE: f64 = 1.15;
+
+impl NetStack {
+    /// Creates the stack (`id` must be lwip's id in the image).
+    pub fn new(env: Rc<Env>, id: ComponentId) -> Self {
+        NetStack {
+            env,
+            id,
+            nic: RefCell::new(SimNic::new()),
+            sockets: RefCell::new(Vec::new()),
+            conns: RefCell::new(HashMap::new()),
+            tcbs: RefCell::new(HashMap::new()),
+            listeners: RefCell::new(HashMap::new()),
+            stats: Cell::new(NetStats::default()),
+        }
+    }
+
+    /// This component's id in the image.
+    pub fn component_id(&self) -> ComponentId {
+        self.id
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats.get()
+    }
+
+    /// Resets the counters (between benchmark phases).
+    pub fn reset_stats(&self) {
+        self.stats.set(NetStats::default());
+    }
+
+    fn charge_sockcall(&self) {
+        self.env.compute(Work {
+            cycles: SOCKCALL_CYCLES,
+            alu_ops: 8,
+            frames: 2,
+            mem_accesses: 5,
+            ..Work::default()
+        });
+    }
+
+    fn charge_segment(&self, payload_len: usize) {
+        self.env.compute(Work {
+            cycles: SEGMENT_CYCLES + (payload_len as f64 * CSUM_PER_BYTE) as u64,
+            alu_ops: 20 + payload_len as u64 / 4,
+            frames: 4,
+            mem_accesses: 12 + payload_len as u64 / 8,
+            indirect_calls: 1,
+            ..Work::default()
+        });
+    }
+
+    // --- socket API (entry points) -------------------------------------
+
+    /// Creates a socket.
+    pub fn socket(&self) -> SocketHandle {
+        self.charge_sockcall();
+        let mut socks = self.sockets.borrow_mut();
+        socks.push(Socket::new());
+        SocketHandle((socks.len() - 1) as u32)
+    }
+
+    /// Binds a socket to a local port.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::InvalidConfig`] if the port is taken or the handle is bad.
+    pub fn bind(&self, sock: SocketHandle, port: u16) -> Result<(), Fault> {
+        self.charge_sockcall();
+        if self.listeners.borrow().contains_key(&port) {
+            return Err(Fault::InvalidConfig {
+                reason: format!("port {port} already bound"),
+            });
+        }
+        let mut socks = self.sockets.borrow_mut();
+        let s = socks.get_mut(sock.0 as usize).ok_or(Fault::InvalidConfig {
+            reason: format!("bad socket {sock:?}"),
+        })?;
+        s.port = port;
+        Ok(())
+    }
+
+    /// Starts listening.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::InvalidConfig`] for unbound/bad sockets.
+    pub fn listen(&self, sock: SocketHandle) -> Result<(), Fault> {
+        self.charge_sockcall();
+        let port = {
+            let socks = self.sockets.borrow();
+            let s = socks.get(sock.0 as usize).ok_or(Fault::InvalidConfig {
+                reason: format!("bad socket {sock:?}"),
+            })?;
+            if s.port == 0 {
+                return Err(Fault::InvalidConfig {
+                    reason: "listen on unbound socket".to_string(),
+                });
+            }
+            s.port
+        };
+        self.listeners.borrow_mut().insert(port, sock);
+        Ok(())
+    }
+
+    /// Accepts a completed connection, if one is queued.
+    pub fn accept(&self, sock: SocketHandle) -> Option<SocketHandle> {
+        self.charge_sockcall();
+        self.sockets
+            .borrow_mut()
+            .get_mut(sock.0 as usize)?
+            .accept_queue
+            .pop_front()
+    }
+
+    /// Services the NIC: parses, checksum-verifies and processes every
+    /// pending frame; delivers payload into socket rings. Returns the
+    /// number of segments processed.
+    ///
+    /// # Errors
+    ///
+    /// Memory faults touching pbufs/rings (isolation violations).
+    pub fn poll(&self) -> Result<u32, Fault> {
+        let mut processed = 0u32;
+        let mut stats = self.stats.get();
+        stats.polls += 1;
+        loop {
+            let frame = match self.nic.borrow_mut().rx_pop() {
+                Some(f) => f,
+                None => break,
+            };
+            // NIC DMA + parse + checksum over the whole frame.
+            self.env
+                .machine()
+                .clock()
+                .advance_f64(frame.len() as f64 * self.env.machine().cost().mem_per_byte);
+            let seg = match Segment::parse(&frame) {
+                Ok(seg) => seg,
+                Err(_) => {
+                    stats.rx_errors += 1;
+                    continue;
+                }
+            };
+            self.charge_segment(seg.payload.len());
+            stats.rx_segments += 1;
+            self.stats.set(stats);
+            self.process_segment(seg)?;
+            stats = self.stats.get();
+            processed += 1;
+        }
+        self.stats.set(stats);
+        Ok(processed)
+    }
+
+    fn process_segment(&self, seg: Segment) -> Result<(), Fault> {
+        let key = (seg.dst_port, seg.src_port);
+        // New connection?
+        if seg.has(FLAG_SYN) && !seg.has(FLAG_ACK) {
+            let listener = match self.listeners.borrow().get(&seg.dst_port) {
+                Some(&l) => l,
+                None => return Ok(()), // no listener: drop (no RST needed here)
+            };
+            let conn_sock = {
+                let sock = Socket::connection(&self.env, seg.dst_port, seg.src_port, RX_RING_BYTES)?;
+                let mut socks = self.sockets.borrow_mut();
+                socks.push(sock);
+                SocketHandle((socks.len() - 1) as u32)
+            };
+            let tcb = Tcb::from_syn(seg.dst_port, seg.src_port, seg.seq, SERVER_ISS);
+            self.transmit(Segment::control(
+                seg.dst_port,
+                seg.src_port,
+                tcb.snd_nxt,
+                tcb.rcv_nxt,
+                FLAG_SYN | FLAG_ACK,
+            ));
+            self.tcbs.borrow_mut().insert(key, tcb);
+            self.conns.borrow_mut().insert(key, conn_sock);
+            // Remember which listener to queue the socket on once the
+            // handshake completes.
+            let _ = listener;
+            return Ok(());
+        }
+
+        let mut tcbs = self.tcbs.borrow_mut();
+        let tcb = match tcbs.get_mut(&key) {
+            Some(t) => t,
+            None => return Ok(()), // unknown connection: drop
+        };
+        match tcb.state {
+            TcpState::SynRcvd => {
+                if seg.has(FLAG_ACK) && seg.ack == tcb.snd_nxt.wrapping_add(1) {
+                    tcb.state = TcpState::Established;
+                    tcb.snd_nxt = tcb.snd_nxt.wrapping_add(1);
+                    let conn = self.conns.borrow()[&key];
+                    if let Some(&listener) = self.listeners.borrow().get(&seg.dst_port) {
+                        if let Some(l) = self.sockets.borrow_mut().get_mut(listener.0 as usize) {
+                            l.accept_queue.push_back(conn);
+                        }
+                    }
+                }
+            }
+            TcpState::Established => {
+                if !seg.payload.is_empty() {
+                    if seg.seq == tcb.rcv_nxt {
+                        tcb.rcv_nxt = tcb.rcv_nxt.wrapping_add(seg.payload.len() as u32);
+                        let conn = self.conns.borrow()[&key];
+                        let pushed = {
+                            let mut socks = self.sockets.borrow_mut();
+                            let s = socks
+                                .get_mut(conn.0 as usize)
+                                .expect("conn socket exists");
+                            s.rx.as_mut()
+                                .expect("connection has rx ring")
+                                .push(&self.env, &seg.payload)?
+                        };
+                        let mut stats = self.stats.get();
+                        stats.rx_bytes += pushed;
+                        self.stats.set(stats);
+                        let (snd, rcv) = (tcb.snd_nxt, tcb.rcv_nxt);
+                        drop(tcbs);
+                        self.transmit(Segment::control(
+                            seg.dst_port,
+                            seg.src_port,
+                            snd,
+                            rcv,
+                            FLAG_ACK,
+                        ));
+                        return Ok(());
+                    }
+                    // Out-of-order: drop and re-ACK the expected sequence.
+                    let (snd, rcv) = (tcb.snd_nxt, tcb.rcv_nxt);
+                    drop(tcbs);
+                    self.transmit(Segment::control(
+                        seg.dst_port,
+                        seg.src_port,
+                        snd,
+                        rcv,
+                        FLAG_ACK,
+                    ));
+                    return Ok(());
+                }
+                if seg.has(FLAG_FIN) {
+                    tcb.rcv_nxt = tcb.rcv_nxt.wrapping_add(1);
+                    tcb.state = TcpState::CloseWait;
+                    let conn = self.conns.borrow()[&key];
+                    if let Some(s) = self.sockets.borrow_mut().get_mut(conn.0 as usize) {
+                        s.peer_closed = true;
+                    }
+                    let (snd, rcv) = (tcb.snd_nxt, tcb.rcv_nxt);
+                    drop(tcbs);
+                    self.transmit(Segment::control(
+                        seg.dst_port,
+                        seg.src_port,
+                        snd,
+                        rcv,
+                        FLAG_ACK,
+                    ));
+                    return Ok(());
+                }
+                // Pure ACK: nothing to do (no retransmit queue to clear in
+                // the lite model).
+            }
+            TcpState::Listen | TcpState::CloseWait | TcpState::Closed => {}
+        }
+        Ok(())
+    }
+
+    fn transmit(&self, seg: Segment) {
+        self.charge_segment(seg.payload.len());
+        let frame = seg.to_bytes();
+        self.env
+            .machine()
+            .clock()
+            .advance_f64(frame.len() as f64 * self.env.machine().cost().mem_per_byte);
+        let mut stats = self.stats.get();
+        stats.tx_segments += 1;
+        self.stats.set(stats);
+        self.nic.borrow_mut().tx_push(frame);
+    }
+
+    /// Non-blocking receive: drains up to `maxlen` buffered bytes. Returns
+    /// an empty vector when nothing is buffered (blocking lives in the
+    /// libc wrapper — see the crate docs).
+    ///
+    /// # Errors
+    ///
+    /// Bad-handle faults; memory faults reading the ring.
+    pub fn recv(&self, sock: SocketHandle, maxlen: u64) -> Result<Vec<u8>, Fault> {
+        self.charge_sockcall();
+        let mut stats = self.stats.get();
+        stats.recvs += 1;
+        self.stats.set(stats);
+        let mut socks = self.sockets.borrow_mut();
+        let s = socks.get_mut(sock.0 as usize).ok_or(Fault::InvalidConfig {
+            reason: format!("bad socket {sock:?}"),
+        })?;
+        match &mut s.rx {
+            Some(rx) => rx.pop(&self.env, maxlen),
+            None => Err(Fault::InvalidConfig {
+                reason: "recv on listening socket".to_string(),
+            }),
+        }
+    }
+
+    /// Sends `data` on a connection, segmenting at [`MSS`].
+    ///
+    /// # Errors
+    ///
+    /// Bad-handle faults.
+    pub fn send(&self, sock: SocketHandle, data: &[u8]) -> Result<u64, Fault> {
+        self.charge_sockcall();
+        let (local, peer) = {
+            let socks = self.sockets.borrow();
+            let s = socks.get(sock.0 as usize).ok_or(Fault::InvalidConfig {
+                reason: format!("bad socket {sock:?}"),
+            })?;
+            if s.kind != SocketKind::Connection {
+                return Err(Fault::InvalidConfig {
+                    reason: "send on listening socket".to_string(),
+                });
+            }
+            (s.port, s.peer_port)
+        };
+        let key = (local, peer);
+        for chunk in data.chunks(MSS) {
+            let (seq, ack) = {
+                let mut tcbs = self.tcbs.borrow_mut();
+                let tcb = tcbs.get_mut(&key).ok_or(Fault::InvalidConfig {
+                    reason: "send on connection without TCB".to_string(),
+                })?;
+                let seq = tcb.snd_nxt;
+                tcb.snd_nxt = tcb.snd_nxt.wrapping_add(chunk.len() as u32);
+                (seq, tcb.rcv_nxt)
+            };
+            self.transmit(Segment {
+                src_port: local,
+                dst_port: peer,
+                seq,
+                ack,
+                flags: FLAG_ACK | FLAG_PSH,
+                window: 65535,
+                payload: chunk.to_vec(),
+            });
+        }
+        let mut stats = self.stats.get();
+        stats.sends += 1;
+        stats.tx_bytes += data.len() as u64;
+        self.stats.set(stats);
+        Ok(data.len() as u64)
+    }
+
+    /// Bytes currently buffered on a connection (the libc wrapper's
+    /// "would recv block?" probe).
+    pub fn rx_available(&self, sock: SocketHandle) -> u64 {
+        self.sockets
+            .borrow()
+            .get(sock.0 as usize)
+            .and_then(|s| s.rx.as_ref().map(|r| r.len()))
+            .unwrap_or(0)
+    }
+
+    /// `true` once the peer closed and all data was drained.
+    pub fn at_eof(&self, sock: SocketHandle) -> bool {
+        self.sockets
+            .borrow()
+            .get(sock.0 as usize)
+            .map(|s| s.peer_closed && s.rx.as_ref().map(|r| r.is_empty()).unwrap_or(true))
+            .unwrap_or(true)
+    }
+
+    /// Closes a connection (sends FIN).
+    ///
+    /// # Errors
+    ///
+    /// Bad-handle faults.
+    pub fn close(&self, sock: SocketHandle) -> Result<(), Fault> {
+        self.charge_sockcall();
+        let (local, peer) = {
+            let socks = self.sockets.borrow();
+            match socks.get(sock.0 as usize) {
+                Some(s) if s.kind == SocketKind::Connection => (s.port, s.peer_port),
+                _ => return Ok(()),
+            }
+        };
+        let key = (local, peer);
+        if let Some(tcb) = self.tcbs.borrow_mut().get_mut(&key) {
+            let seq = tcb.snd_nxt;
+            tcb.snd_nxt = tcb.snd_nxt.wrapping_add(1);
+            tcb.state = TcpState::Closed;
+            let ack = tcb.rcv_nxt;
+            self.transmit(Segment::control(local, peer, seq, ack, FLAG_FIN | FLAG_ACK));
+        }
+        Ok(())
+    }
+
+    // --- host-side access for clients/drivers ---------------------------
+
+    /// Client-side frame injection (free; models traffic from the load
+    /// generator's dedicated cores).
+    pub fn client_inject(&self, frame: Vec<u8>) -> bool {
+        self.nic.borrow_mut().client_inject(frame)
+    }
+
+    /// Client-side collection of transmitted frames (free).
+    pub fn client_collect(&self) -> Vec<Vec<u8>> {
+        self.nic.borrow_mut().client_collect()
+    }
+
+    /// Host-side servicing helper: runs [`NetStack::poll`] *as* the lwip
+    /// component (used by test clients to model NIC interrupt servicing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetStack::poll`] faults.
+    pub fn service(&self) -> Result<u32, Fault> {
+        self.env.run_as(self.id, || self.poll())
+    }
+
+    /// Host-side helper: [`NetStack::recv`] executed as the lwip
+    /// component (tests and drivers that sit outside the image).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetStack::recv`] faults.
+    pub fn env_run_recv(&self, sock: SocketHandle, maxlen: u64) -> Result<Vec<u8>, Fault> {
+        self.env.run_as(self.id, || self.recv(sock, maxlen))
+    }
+
+    /// Host-side helper: [`NetStack::send`] executed as the lwip
+    /// component.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetStack::send`] faults.
+    pub fn env_run_send(&self, sock: SocketHandle, data: &[u8]) -> Result<u64, Fault> {
+        self.env.run_as(self.id, || self.send(sock, data))
+    }
+}

@@ -1,0 +1,232 @@
+//! TCP-lite segments and connection state.
+//!
+//! A 20-byte header (ports, seq/ack, flags, window, checksum, length)
+//! carrying up to [`MSS`] payload bytes. The state machine covers the
+//! paths the evaluation exercises: passive open (three-way handshake),
+//! established in-order data transfer with acknowledgments, and FIN
+//! teardown.
+
+use flexos_machine::fault::Fault;
+
+use crate::checksum::checksum;
+
+/// Segment header length in bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// Maximum segment payload (Ethernet-ish MTU minus headers).
+pub const MSS: usize = 1460;
+
+/// SYN flag.
+pub const FLAG_SYN: u8 = 0x01;
+/// ACK flag.
+pub const FLAG_ACK: u8 = 0x02;
+/// FIN flag.
+pub const FLAG_FIN: u8 = 0x04;
+/// RST flag.
+pub const FLAG_RST: u8 = 0x08;
+/// PSH flag.
+pub const FLAG_PSH: u8 = 0x10;
+
+/// A parsed TCP-lite segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte.
+    pub seq: u32,
+    /// Acknowledgment number (next expected byte).
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: u8,
+    /// Advertised receive window.
+    pub window: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Segment {
+    /// Builds a flags-only segment.
+    pub fn control(src: u16, dst: u16, seq: u32, ack: u32, flags: u8) -> Segment {
+        Segment {
+            src_port: src,
+            dst_port: dst,
+            seq,
+            ack,
+            flags,
+            window: 65535,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Serializes to wire format with a valid checksum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MSS`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        assert!(self.payload.len() <= MSS, "payload exceeds MSS");
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.push(self.flags);
+        out.push(0);
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        let sum = checksum(&out);
+        out[16..18].copy_from_slice(&sum.to_be_bytes());
+        out
+    }
+
+    /// Parses and checksum-verifies a frame.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::InvalidConfig`] for truncated frames or checksum failures
+    /// (the stack drops these and counts them).
+    pub fn parse(frame: &[u8]) -> Result<Segment, Fault> {
+        if frame.len() < HEADER_LEN {
+            return Err(Fault::InvalidConfig {
+                reason: format!("truncated frame: {} bytes", frame.len()),
+            });
+        }
+        let mut zeroed = frame.to_vec();
+        zeroed[16] = 0;
+        zeroed[17] = 0;
+        let wire_sum = u16::from_be_bytes([frame[16], frame[17]]);
+        if checksum(&zeroed) != wire_sum {
+            return Err(Fault::InvalidConfig {
+                reason: "checksum mismatch".to_string(),
+            });
+        }
+        let len = u16::from_be_bytes([frame[18], frame[19]]) as usize;
+        if frame.len() < HEADER_LEN + len {
+            return Err(Fault::InvalidConfig {
+                reason: "payload shorter than length field".to_string(),
+            });
+        }
+        Ok(Segment {
+            src_port: u16::from_be_bytes([frame[0], frame[1]]),
+            dst_port: u16::from_be_bytes([frame[2], frame[3]]),
+            seq: u32::from_be_bytes([frame[4], frame[5], frame[6], frame[7]]),
+            ack: u32::from_be_bytes([frame[8], frame[9], frame[10], frame[11]]),
+            flags: frame[12],
+            window: u16::from_be_bytes([frame[14], frame[15]]),
+            payload: frame[HEADER_LEN..HEADER_LEN + len].to_vec(),
+        })
+    }
+
+    /// `true` if the given flag is set.
+    pub fn has(&self, flag: u8) -> bool {
+        self.flags & flag != 0
+    }
+}
+
+/// Connection state (the subset of RFC 793 the evaluation exercises).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TcpState {
+    /// Passive open, waiting for SYN.
+    Listen,
+    /// SYN received, SYN-ACK sent.
+    SynRcvd,
+    /// Data transfer.
+    Established,
+    /// Peer sent FIN.
+    CloseWait,
+    /// Fully closed.
+    Closed,
+}
+
+/// Per-connection control block.
+#[derive(Debug, Clone)]
+pub struct Tcb {
+    /// Connection state.
+    pub state: TcpState,
+    /// Local (server) port.
+    pub local_port: u16,
+    /// Remote (client) port.
+    pub remote_port: u16,
+    /// Next sequence number expected from the peer.
+    pub rcv_nxt: u32,
+    /// Next sequence number we will send.
+    pub snd_nxt: u32,
+}
+
+impl Tcb {
+    /// Creates a control block in [`TcpState::SynRcvd`] after a SYN.
+    pub fn from_syn(local_port: u16, remote_port: u16, peer_seq: u32, iss: u32) -> Tcb {
+        Tcb {
+            state: TcpState::SynRcvd,
+            local_port,
+            remote_port,
+            rcv_nxt: peer_seq.wrapping_add(1),
+            snd_nxt: iss,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialize_parse_roundtrip() {
+        let seg = Segment {
+            src_port: 50000,
+            dst_port: 6379,
+            seq: 1000,
+            ack: 2000,
+            flags: FLAG_ACK | FLAG_PSH,
+            window: 4096,
+            payload: b"GET mykey".to_vec(),
+        };
+        let wire = seg.to_bytes();
+        let parsed = Segment::parse(&wire).unwrap();
+        assert_eq!(seg, parsed);
+    }
+
+    #[test]
+    fn corrupted_frame_rejected() {
+        let seg = Segment::control(1, 2, 0, 0, FLAG_SYN);
+        let mut wire = seg.to_bytes();
+        wire[4] ^= 0xFF; // flip sequence bits
+        assert!(Segment::parse(&wire).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        assert!(Segment::parse(&[0u8; 10]).is_err());
+        // Length field larger than actual payload.
+        let seg = Segment {
+            payload: b"xyz".to_vec(),
+            ..Segment::control(1, 2, 0, 0, 0)
+        };
+        let mut wire = seg.to_bytes();
+        wire.truncate(HEADER_LEN + 1);
+        // Restore checksum validity is impossible after truncation; parse
+        // must fail either on checksum or on the length check.
+        assert!(Segment::parse(&wire).is_err());
+    }
+
+    #[test]
+    fn tcb_from_syn_acknowledges_one() {
+        let tcb = Tcb::from_syn(80, 50001, 999, 5000);
+        assert_eq!(tcb.state, TcpState::SynRcvd);
+        assert_eq!(tcb.rcv_nxt, 1000);
+        assert_eq!(tcb.snd_nxt, 5000);
+    }
+
+    #[test]
+    fn max_payload_enforced() {
+        let seg = Segment {
+            payload: vec![0u8; MSS],
+            ..Segment::control(1, 2, 0, 0, 0)
+        };
+        assert_eq!(seg.to_bytes().len(), HEADER_LEN + MSS);
+    }
+}

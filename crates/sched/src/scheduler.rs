@@ -1,0 +1,271 @@
+//! The cooperative scheduler.
+//!
+//! Deterministic, cooperative, virtual-time scheduling: threads are
+//! bookkeeping objects (the simulation multiplexes them explicitly), the
+//! ready queue is round-robin, and every operation charges calibrated
+//! work. Crucially, the component exposes the **thread-creation hook** of
+//! the backend API (§3.2): the MPK backend registers a hook that switches
+//! each new thread to the right protection domain.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use flexos_core::compartment::CompartmentId;
+use flexos_core::component::ComponentId;
+use flexos_core::env::{Env, Work};
+use flexos_machine::fault::Fault;
+
+use crate::stack::{StackRegistry, ThreadStack};
+use crate::thread::{Thread, ThreadId, ThreadState};
+
+/// Hook invoked when a thread is created (backend API, §3.2).
+pub type ThreadCreateHook = Box<dyn Fn(&Env, CompartmentId)>;
+
+/// Scheduler statistics for the evaluation harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Threads created.
+    pub spawned: u64,
+    /// Voluntary yields served.
+    pub yields: u64,
+    /// Block operations.
+    pub blocks: u64,
+    /// Wake operations.
+    pub wakes: u64,
+    /// Context switches performed.
+    pub switches: u64,
+}
+
+/// The uksched component.
+pub struct Scheduler {
+    env: Rc<Env>,
+    id: ComponentId,
+    threads: RefCell<Vec<Thread>>,
+    ready: RefCell<VecDeque<ThreadId>>,
+    current: Cell<Option<ThreadId>>,
+    registry: RefCell<StackRegistry>,
+    hooks: RefCell<Vec<ThreadCreateHook>>,
+    stats: Cell<SchedStats>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("threads", &self.threads.borrow().len())
+            .field("stats", &self.stats.get())
+            .finish()
+    }
+}
+
+/// Cycles charged per scheduler operation (run-queue manipulation and the
+/// context-switch primitive); calibrated alongside the Figure 6 profiles.
+const SPAWN_CYCLES: u64 = 180;
+const YIELD_CYCLES: u64 = 72;
+const BLOCK_CYCLES: u64 = 45;
+const WAKE_CYCLES: u64 = 40;
+const CURRENT_CYCLES: u64 = 18;
+
+impl Scheduler {
+    /// Creates the scheduler component (`id` must be uksched's id in the
+    /// image).
+    pub fn new(env: Rc<Env>, id: ComponentId) -> Self {
+        Scheduler {
+            env,
+            id,
+            threads: RefCell::new(Vec::new()),
+            ready: RefCell::new(VecDeque::new()),
+            current: Cell::new(None),
+            registry: RefCell::new(StackRegistry::new()),
+            hooks: RefCell::new(Vec::new()),
+            stats: Cell::new(SchedStats::default()),
+        }
+    }
+
+    /// This component's id in the image.
+    pub fn component_id(&self) -> ComponentId {
+        self.id
+    }
+
+    /// Registers a thread-creation hook (backends call this at boot).
+    pub fn add_thread_create_hook(&self, hook: ThreadCreateHook) {
+        self.hooks.borrow_mut().push(hook);
+    }
+
+    /// Spawns a thread homed in `compartment`; allocates its stack there
+    /// (per the image's data-sharing strategy) and fires backend hooks.
+    ///
+    /// # Errors
+    ///
+    /// Stack-allocation faults from the machine.
+    pub fn spawn(
+        &self,
+        name: &str,
+        compartment: CompartmentId,
+    ) -> Result<(ThreadId, ThreadStack), Fault> {
+        let id = ThreadId(self.threads.borrow().len() as u32);
+        let stack = self
+            .registry
+            .borrow_mut()
+            .allocate(&self.env, compartment, id)?;
+        self.threads
+            .borrow_mut()
+            .push(Thread::new(id, name, compartment));
+        self.ready.borrow_mut().push_back(id);
+        self.env.compute(Work {
+            cycles: SPAWN_CYCLES,
+            frames: 3,
+            alu_ops: 12,
+            mem_accesses: 10,
+            ..Work::default()
+        });
+        for hook in self.hooks.borrow().iter() {
+            hook(&self.env, compartment);
+        }
+        let mut s = self.stats.get();
+        s.spawned += 1;
+        self.stats.set(s);
+        Ok((id, stack))
+    }
+
+    /// Ensures `thread` has a stack in `compartment` (gates allocate
+    /// lazily on first crossing into a new compartment).
+    ///
+    /// # Errors
+    ///
+    /// Stack-allocation faults from the machine.
+    pub fn stack_for(
+        &self,
+        thread: ThreadId,
+        compartment: CompartmentId,
+    ) -> Result<ThreadStack, Fault> {
+        if let Some(stack) = self.registry.borrow_mut().lookup(compartment, thread) {
+            return Ok(stack);
+        }
+        self.registry
+            .borrow_mut()
+            .allocate(&self.env, compartment, thread)
+    }
+
+    /// Voluntarily yields: the current thread goes to the back of the
+    /// ready queue and the next ready thread runs.
+    pub fn yield_now(&self) -> Option<ThreadId> {
+        self.env.compute(Work {
+            cycles: YIELD_CYCLES,
+            frames: 3,
+            alu_ops: 14,
+            mem_accesses: 12,
+            ..Work::default()
+        });
+        let mut s = self.stats.get();
+        s.yields += 1;
+        if let Some(cur) = self.current.get() {
+            if self.state_of(cur) == Some(ThreadState::Running) {
+                self.set_state(cur, ThreadState::Ready);
+                self.ready.borrow_mut().push_back(cur);
+            }
+        }
+        let next = self.pick_next();
+        if next.is_some() {
+            s.switches += 1;
+        }
+        self.stats.set(s);
+        next
+    }
+
+    /// Blocks a thread (e.g. empty socket receive buffer).
+    pub fn block(&self, thread: ThreadId) {
+        self.env.compute(Work {
+            cycles: BLOCK_CYCLES,
+            frames: 2,
+            alu_ops: 6,
+            mem_accesses: 5,
+            ..Work::default()
+        });
+        self.set_state(thread, ThreadState::Blocked);
+        self.ready.borrow_mut().retain(|&t| t != thread);
+        if self.current.get() == Some(thread) {
+            self.current.set(None);
+            self.pick_next();
+        }
+        let mut s = self.stats.get();
+        s.blocks += 1;
+        self.stats.set(s);
+    }
+
+    /// Wakes a blocked thread.
+    pub fn wake(&self, thread: ThreadId) {
+        self.env.compute(Work {
+            cycles: WAKE_CYCLES,
+            frames: 2,
+            alu_ops: 5,
+            mem_accesses: 5,
+            ..Work::default()
+        });
+        if self.state_of(thread) == Some(ThreadState::Blocked) {
+            self.set_state(thread, ThreadState::Ready);
+            self.ready.borrow_mut().push_back(thread);
+        }
+        let mut s = self.stats.get();
+        s.wakes += 1;
+        self.stats.set(s);
+    }
+
+    /// The running thread, if any.
+    pub fn current(&self) -> Option<ThreadId> {
+        self.env.compute(Work {
+            cycles: CURRENT_CYCLES,
+            alu_ops: 4,
+            frames: 1,
+            mem_accesses: 3,
+            ..Work::default()
+        });
+        self.current.get()
+    }
+
+    /// Terminates a thread.
+    pub fn exit(&self, thread: ThreadId) {
+        self.set_state(thread, ThreadState::Exited);
+        self.ready.borrow_mut().retain(|&t| t != thread);
+        if self.current.get() == Some(thread) {
+            self.current.set(None);
+        }
+    }
+
+    /// Thread state lookup (test/introspection; charges nothing).
+    pub fn state_of(&self, thread: ThreadId) -> Option<ThreadState> {
+        self.threads
+            .borrow()
+            .get(thread.0 as usize)
+            .map(|t| t.state)
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> SchedStats {
+        self.stats.get()
+    }
+
+    /// Number of stacks in the registry (one per thread per compartment
+    /// that thread has entered).
+    pub fn registered_stacks(&self) -> usize {
+        self.registry.borrow().len()
+    }
+
+    fn pick_next(&self) -> Option<ThreadId> {
+        let next = self.ready.borrow_mut().pop_front();
+        if let Some(tid) = next {
+            self.set_state(tid, ThreadState::Running);
+            self.current.set(Some(tid));
+            if let Some(t) = self.threads.borrow_mut().get_mut(tid.0 as usize) {
+                t.switches += 1;
+            }
+        }
+        next
+    }
+
+    fn set_state(&self, thread: ThreadId, state: ThreadState) {
+        if let Some(t) = self.threads.borrow_mut().get_mut(thread.0 as usize) {
+            t.state = state;
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-compartment thread stacks and the stack registry (§4.1).
+//!
+//! The full MPK gate uses one call stack per thread per compartment; each
+//! compartment's *stack registry* maps threads to their local stack so the
+//! gate can switch stacks fast. With the DSS strategy the stack region is
+//! doubled and the upper half is re-keyed into the shared domain at
+//! creation time.
+
+use std::collections::HashMap;
+
+use flexos_core::compartment::{CompartmentId, DataSharing};
+use flexos_core::env::Env;
+use flexos_core::image::SHARED_KEY_INDEX;
+use flexos_machine::addr::Addr;
+use flexos_machine::fault::Fault;
+use flexos_machine::key::ProtKey;
+use flexos_machine::layout::RegionKind;
+
+use crate::dss::{STACK_PAGES, STACK_SIZE};
+use crate::thread::ThreadId;
+
+/// One thread stack inside one compartment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadStack {
+    /// Base of the (possibly doubled) stack region.
+    pub base: Addr,
+    /// `true` if the region is doubled with a DSS upper half.
+    pub has_dss: bool,
+}
+
+impl ThreadStack {
+    /// Initial stack pointer (stacks grow down from the top of the private
+    /// half).
+    pub fn initial_sp(&self) -> Addr {
+        self.base + STACK_SIZE
+    }
+}
+
+/// Maps `(compartment, thread)` to that thread's local stack (§4.1).
+#[derive(Debug, Default)]
+pub struct StackRegistry {
+    stacks: HashMap<(CompartmentId, ThreadId), ThreadStack>,
+    /// Lookups served (the gate's stack-switch path).
+    lookups: u64,
+}
+
+impl StackRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates (maps) a stack for `thread` in `compartment`, applying
+    /// the image's data-sharing strategy: under [`DataSharing::Dss`] the
+    /// region is doubled and its upper half re-keyed to the shared domain;
+    /// under [`DataSharing::SharedStack`] the whole stack is placed in the
+    /// shared domain (the "-light" configuration).
+    ///
+    /// # Errors
+    ///
+    /// Address-space exhaustion faults from the machine.
+    pub fn allocate(
+        &mut self,
+        env: &Env,
+        compartment: CompartmentId,
+        thread: ThreadId,
+    ) -> Result<ThreadStack, Fault> {
+        if let Some(stack) = self.stacks.get(&(compartment, thread)) {
+            return Ok(*stack);
+        }
+        let machine = env.machine();
+        let dom = env.domain(compartment);
+        let sharing = env.data_sharing();
+        let isolated = env.compartment_count() > 1;
+        let shared_key = if isolated {
+            ProtKey::new(SHARED_KEY_INDEX)?
+        } else {
+            ProtKey::DEFAULT
+        };
+        let stack = match sharing {
+            DataSharing::Dss => {
+                // Doubled stack: private lower half, shared DSS upper half
+                // (Figure 4's layout).
+                let region = machine.map_region_kind(
+                    format!("{}/{}/stack+dss", dom.name, thread),
+                    2 * STACK_PAGES,
+                    dom.key,
+                    RegionKind::Stack,
+                )?;
+                machine
+                    .memory_mut()
+                    .set_key(region.base() + STACK_SIZE, STACK_PAGES, shared_key)?;
+                ThreadStack {
+                    base: region.base(),
+                    has_dss: true,
+                }
+            }
+            DataSharing::SharedStack => {
+                let region = machine.map_region_kind(
+                    format!("{}/{}/stack-shared", dom.name, thread),
+                    STACK_PAGES,
+                    shared_key,
+                    RegionKind::Stack,
+                )?;
+                ThreadStack {
+                    base: region.base(),
+                    has_dss: false,
+                }
+            }
+            DataSharing::HeapConversion => {
+                let region = machine.map_region_kind(
+                    format!("{}/{}/stack", dom.name, thread),
+                    STACK_PAGES,
+                    dom.key,
+                    RegionKind::Stack,
+                )?;
+                ThreadStack {
+                    base: region.base(),
+                    has_dss: false,
+                }
+            }
+        };
+        self.stacks.insert((compartment, thread), stack);
+        Ok(stack)
+    }
+
+    /// The gate's stack-switch lookup: the stack `thread` uses inside
+    /// `compartment`.
+    pub fn lookup(&mut self, compartment: CompartmentId, thread: ThreadId) -> Option<ThreadStack> {
+        self.lookups += 1;
+        self.stacks.get(&(compartment, thread)).copied()
+    }
+
+    /// Number of stacks registered.
+    pub fn len(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// `true` if no stacks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.stacks.is_empty()
+    }
+
+    /// Lookups served so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+}

@@ -1,0 +1,70 @@
+//! Thread objects.
+
+use std::fmt;
+
+use flexos_core::compartment::CompartmentId;
+
+/// Identifier of a scheduler thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread{}", self.0)
+    }
+}
+
+/// Lifecycle state of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadState {
+    /// Runnable, waiting in the ready queue.
+    Ready,
+    /// Currently executing.
+    Running,
+    /// Blocked (e.g. on a socket receive buffer or an RPC ring).
+    Blocked,
+    /// Finished.
+    Exited,
+}
+
+/// One cooperative thread.
+#[derive(Debug, Clone)]
+pub struct Thread {
+    /// The thread's id.
+    pub id: ThreadId,
+    /// Human-readable name (e.g. `"redis-worker-0"`).
+    pub name: String,
+    /// Compartment the thread was created in (its home domain; gates may
+    /// temporarily run it in others, using the stack registry).
+    pub home: CompartmentId,
+    /// Current lifecycle state.
+    pub state: ThreadState,
+    /// Number of times the thread has been context-switched in.
+    pub switches: u64,
+}
+
+impl Thread {
+    /// Creates a ready thread.
+    pub fn new(id: ThreadId, name: impl Into<String>, home: CompartmentId) -> Self {
+        Thread {
+            id,
+            name: name.into(),
+            home,
+            state: ThreadState::Ready,
+            switches: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_thread_is_ready() {
+        let t = Thread::new(ThreadId(3), "worker", CompartmentId(1));
+        assert_eq!(t.state, ThreadState::Ready);
+        assert_eq!(t.id.to_string(), "thread3");
+        assert_eq!(t.switches, 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Ready-made safety configurations for the paper's standard scenarios.
+//!
+//! The evaluation keeps returning to a handful of shapes: everything flat
+//! (NONE), one component isolated behind MPK (the Figure 6 two-compartment
+//! strategies), the filesystem isolated behind EPT (Figure 10 EPT2), and
+//! the filesystem + time split (Figure 10 MPK3). These constructors build
+//! them without repeating builder boilerplate.
+
+use flexos_core::compartment::{CompartmentSpec, DataSharing, Mechanism};
+use flexos_core::config::SafetyConfig;
+use flexos_core::hardening::Hardening;
+use flexos_machine::fault::Fault;
+
+/// Flat, no isolation (vanilla Unikraft / "FlexOS NONE").
+pub fn none() -> SafetyConfig {
+    SafetyConfig::none()
+}
+
+/// Two MPK compartments: `isolated` components in their own compartment,
+/// everything else in the default one. `sharing` picks light vs DSS gates.
+///
+/// # Errors
+///
+/// Propagates configuration validation faults.
+pub fn mpk2(isolated: &[&str], sharing: DataSharing) -> Result<SafetyConfig, Fault> {
+    let mut b = SafetyConfig::builder()
+        .compartment(CompartmentSpec::new("comp1", Mechanism::IntelMpk).default_compartment())
+        .compartment(CompartmentSpec::new("comp2", Mechanism::IntelMpk))
+        .data_sharing(sharing);
+    for lib in isolated {
+        b = b.place(lib, "comp2");
+    }
+    b.build()
+}
+
+/// Three MPK compartments: the Figure 10 MPK3 scenario when called as
+/// `mpk3(&["vfscore", "ramfs"], &["uktime"])` — filesystem | time | rest.
+///
+/// # Errors
+///
+/// Propagates configuration validation faults.
+pub fn mpk3(
+    second: &[&str],
+    third: &[&str],
+    sharing: DataSharing,
+) -> Result<SafetyConfig, Fault> {
+    let mut b = SafetyConfig::builder()
+        .compartment(CompartmentSpec::new("comp1", Mechanism::IntelMpk).default_compartment())
+        .compartment(CompartmentSpec::new("comp2", Mechanism::IntelMpk))
+        .compartment(CompartmentSpec::new("comp3", Mechanism::IntelMpk))
+        .data_sharing(sharing);
+    for lib in second {
+        b = b.place(lib, "comp2");
+    }
+    for lib in third {
+        b = b.place(lib, "comp3");
+    }
+    b.build()
+}
+
+/// Two EPT compartments (VMs): `isolated` components in their own VM —
+/// the Figure 9/10 EPT2 scenario.
+///
+/// # Errors
+///
+/// Propagates configuration validation faults.
+pub fn ept2(isolated: &[&str]) -> Result<SafetyConfig, Fault> {
+    let mut b = SafetyConfig::builder()
+        .compartment(CompartmentSpec::new("vm-main", Mechanism::VmEpt).default_compartment())
+        .compartment(CompartmentSpec::new("vm-iso", Mechanism::VmEpt));
+    for lib in isolated {
+        b = b.place(lib, "vm-iso");
+    }
+    b.build()
+}
+
+/// Applies per-component hardening overrides to an existing configuration
+/// (the Figure 6 sweep varies hardening per component).
+pub fn with_component_hardening(
+    mut config: SafetyConfig,
+    hardened: &[(&str, Hardening)],
+) -> SafetyConfig {
+    for (name, h) in hardened {
+        config.component_hardening.insert(name.to_string(), *h);
+    }
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpk2_isolates_requested_components() {
+        let cfg = mpk2(&["lwip"], DataSharing::Dss).unwrap();
+        assert_eq!(cfg.compartment_count(), 2);
+        assert_eq!(cfg.placement("lwip"), 1);
+        assert_eq!(cfg.placement("redis"), 0);
+    }
+
+    #[test]
+    fn mpk3_matches_figure_10_shape() {
+        let cfg = mpk3(&["vfscore", "ramfs"], &["uktime"], DataSharing::Dss).unwrap();
+        assert_eq!(cfg.compartment_count(), 3);
+        assert_eq!(cfg.placement("vfscore"), 1);
+        assert_eq!(cfg.placement("ramfs"), 1, "ramfs stays with vfscore (§4.4)");
+        assert_eq!(cfg.placement("uktime"), 2);
+        assert_eq!(cfg.placement("sqlite"), 0);
+    }
+
+    #[test]
+    fn ept2_uses_vms() {
+        let cfg = ept2(&["vfscore", "ramfs"]).unwrap();
+        assert_eq!(cfg.dominant_mechanism(), Mechanism::VmEpt);
+    }
+
+    #[test]
+    fn hardening_overrides_apply() {
+        let cfg = with_component_hardening(none(), &[("lwip", Hardening::FIG6_BUNDLE)]);
+        assert_eq!(cfg.hardening_of("lwip"), Hardening::FIG6_BUNDLE);
+        assert_eq!(cfg.hardening_of("redis"), Hardening::NONE);
+    }
+}

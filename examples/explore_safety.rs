@@ -1,0 +1,53 @@
+//! §5 partial safety ordering, end to end: generate the Figure 6 space
+//! (on a reduced strategy set for speed), measure each configuration,
+//! build the poset, prune under a budget, and print the stars.
+//!
+//! ```sh
+//! cargo run --example explore_safety [budget_req_per_sec]
+//! ```
+
+use flexos::prelude::*;
+use flexos_apps::workloads::run_redis_gets;
+use flexos_explore::{fig6_space, prune_and_star, Poset};
+
+fn main() -> Result<(), Fault> {
+    let budget: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800_000.0);
+
+    // Measure a 20-point slice of the space (strategies A+B, all
+    // hardening masks) to keep the example quick.
+    let space = fig6_space("redis");
+    let slice: Vec<_> = space.into_iter().take(32).collect();
+    println!("measuring {} configurations...", slice.len());
+    let mut perf = Vec::new();
+    for point in &slice {
+        let os = SystemBuilder::new(point.config.clone())
+            .app(flexos_apps::redis_component())
+            .build()?;
+        let m = run_redis_gets(&os, 5, 30)?;
+        perf.push(m.ops_per_sec);
+    }
+
+    let poset = Poset::from_fig6(&slice, &perf);
+    poset.check_axioms().expect("sound partial order");
+    let report = prune_and_star(&poset, budget);
+
+    println!(
+        "\nbudget {:.0} req/s: {} survive, {} pruned, {} starred",
+        budget,
+        report.surviving.len(),
+        report.pruned(slice.len()),
+        report.stars.len()
+    );
+    for &s in &report.stars {
+        println!(
+            "  * {:>9.0} req/s  {}",
+            poset.node(s).performance,
+            poset.node(s).label
+        );
+    }
+    println!("\npick any star: it is a safest-available configuration at this budget.");
+    Ok(())
+}

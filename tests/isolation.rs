@@ -1,0 +1,200 @@
+//! Integration tests: the isolation properties the paper claims, verified
+//! end-to-end on built images.
+
+use flexos::prelude::*;
+use flexos_core::compartment::DataSharing;
+use flexos_machine::key::ProtKey;
+use flexos_sched::dss::{shadow_of, STACK_SIZE};
+
+fn redis_mpk2() -> FlexOs {
+    SystemBuilder::new(configs::mpk2(&["lwip"], DataSharing::Dss).unwrap())
+        .app(flexos_apps::redis_component())
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn compromised_component_cannot_read_foreign_compartment() {
+    // §7 "Quickly Isolate Exploitable Libraries": place lwip in its own
+    // compartment; a compromised lwip cannot read Redis' keyspace.
+    let os = redis_mpk2();
+    let env = &os.env;
+    let redis = os.app_ids[0];
+    let lwip = env.component_id("lwip").unwrap();
+
+    // Redis stores a secret on its private heap.
+    let secret_addr = env
+        .run_as(redis, || {
+            let addr = env.malloc(64)?;
+            env.mem_write(addr, b"session-key-0xDEADBEEF")?;
+            Ok::<_, Fault>(addr)
+        })
+        .unwrap();
+
+    // "Compromised" lwip tries to exfiltrate it: MPK faults.
+    env.run_as(lwip, || {
+        let err = env.mem_read_vec(secret_addr, 22).unwrap_err();
+        assert!(matches!(err, Fault::ProtectionKey { .. }), "got {err}");
+    });
+
+    // Redis itself still reads it fine.
+    env.run_as(redis, || {
+        assert_eq!(env.mem_read_vec(secret_addr, 22).unwrap(), b"session-key-0xDEADBEEF");
+    });
+}
+
+#[test]
+fn gates_are_the_only_legal_entries() {
+    let os = redis_mpk2();
+    let env = &os.env;
+    let redis = os.app_ids[0];
+    let lwip = env.component_id("lwip").unwrap();
+    env.run_as(redis, || {
+        // Registered entry point: fine.
+        env.call(lwip, "lwip_recv", || Ok(())).unwrap();
+        // Internal function: the gate's CFI property refuses it.
+        let err = env.call(lwip, "lwip_internal_timer", || Ok(())).unwrap_err();
+        assert!(matches!(err, Fault::IllegalEntryPoint { .. }));
+    });
+}
+
+#[test]
+fn dss_shares_exactly_the_shadow_half() {
+    // Figure 4: private lower half, shared DSS upper half.
+    let os = redis_mpk2();
+    let env = &os.env;
+    let redis = os.app_ids[0];
+    let lwip = env.component_id("lwip").unwrap();
+    let lwip_comp = env.compartment_of(lwip);
+
+    // Spawn a thread homed in lwip's compartment; its stack is doubled.
+    let (_tid, stack) = env
+        .run_as(env.component_id("uksched").unwrap(), || {
+            os.sched.spawn("lwip-worker", lwip_comp)
+        })
+        .unwrap();
+    assert!(stack.has_dss);
+
+    // lwip writes a stack variable and its shadow.
+    let var = stack.base + 128;
+    let shadow = shadow_of(var);
+    assert_eq!(shadow, var + STACK_SIZE);
+    env.run_as(lwip, || {
+        env.mem_write(var, b"private").unwrap();
+        env.mem_write(shadow, b"shared!").unwrap();
+    });
+
+    // Redis (another compartment) can read the shadow, not the private
+    // variable.
+    env.run_as(redis, || {
+        assert_eq!(env.mem_read_vec(shadow, 7).unwrap(), b"shared!");
+        let err = env.mem_read_vec(var, 7).unwrap_err();
+        assert!(matches!(err, Fault::ProtectionKey { .. }));
+    });
+}
+
+#[test]
+fn shared_heap_is_reachable_by_all_compartments() {
+    let os = redis_mpk2();
+    let env = &os.env;
+    let redis = os.app_ids[0];
+    let lwip = env.component_id("lwip").unwrap();
+    let addr = env.run_as(redis, || env.malloc_shared(32)).unwrap();
+    env.run_as(redis, || env.mem_write(addr, b"rpc-args").unwrap());
+    env.run_as(lwip, || {
+        assert_eq!(env.mem_read_vec(addr, 8).unwrap(), b"rpc-args");
+    });
+}
+
+#[test]
+fn ept_vms_duplicate_tcb_and_check_entries() {
+    let os = SystemBuilder::new(configs::ept2(&["vfscore", "ramfs"]).unwrap())
+        .app(flexos_apps::sqlite_component())
+        .build()
+        .unwrap();
+    // One VM per compartment, each with the full 5-member TCB (§4.2).
+    assert_eq!(os.vm_images.len(), 2);
+    for vm in &os.vm_images {
+        assert_eq!(vm.tcb_members.len(), 5);
+    }
+    assert!(os.report.tcb.duplicated_per_compartment);
+
+    // RPC server refuses non-entry functions.
+    let env = &os.env;
+    let app = os.app_ids[0];
+    let vfs = env.component_id("vfscore").unwrap();
+    env.run_as(app, || {
+        let err = env.call(vfs, "vfs_backdoor", || Ok(())).unwrap_err();
+        assert!(matches!(err, Fault::IllegalEntryPoint { .. }));
+    });
+}
+
+#[test]
+fn kasan_detects_overflow_in_hardened_compartment_only() {
+    let mut config = configs::mpk2(&["lwip"], DataSharing::Dss).unwrap();
+    config
+        .component_hardening
+        .insert("lwip".into(), Hardening::FIG6_BUNDLE);
+    let os = SystemBuilder::new(config)
+        .app(flexos_apps::redis_component())
+        .build()
+        .unwrap();
+    let env = &os.env;
+    let lwip = env.component_id("lwip").unwrap();
+    env.run_as(lwip, || {
+        let addr = env.malloc(32).unwrap();
+        // In-bounds: fine. One past the end: KASan redzone.
+        env.mem_write(addr, &[0u8; 32]).unwrap();
+        let err = env.mem_write(addr + 32, &[1]).unwrap_err();
+        assert!(matches!(err, Fault::Kasan { .. }), "got {err}");
+    });
+}
+
+#[test]
+fn whitelists_hold_across_the_built_image() {
+    let os = redis_mpk2();
+    let env = &os.env;
+    let redis = os.app_ids[0];
+    // lwip's pbuf pool is whitelisted for newlib and the apps...
+    env.run_as(redis, || {
+        assert!(env.shared_var("lwip::pbuf_pool").is_ok());
+    });
+    // ...but lwip's uktime-only tick counter is not redis-accessible.
+    env.run_as(redis, || {
+        let err = env.shared_var("lwip::tcp_ticks").unwrap_err();
+        assert!(matches!(err, Fault::NotWhitelisted { .. }));
+    });
+}
+
+#[test]
+fn same_compartment_config_has_zero_gate_overhead() {
+    // Figure 3 step 3': merging everything yields plain calls.
+    let os = SystemBuilder::new(configs::none())
+        .app(flexos_apps::redis_component())
+        .build()
+        .unwrap();
+    let env = &os.env;
+    let redis = os.app_ids[0];
+    let lwip = env.component_id("lwip").unwrap();
+    env.run_as(redis, || {
+        let t0 = env.machine().clock().now();
+        env.call(lwip, "lwip_poll", || Ok(())).unwrap();
+        assert_eq!(env.machine().clock().now() - t0, 2);
+    });
+    assert_eq!(env.gates().total_crossings(), 0);
+}
+
+#[test]
+fn sections_are_keyed_per_compartment() {
+    let os = redis_mpk2();
+    let script = os.report.linker_script.clone();
+    assert!(script.contains("comp1/heap"));
+    assert!(script.contains("comp2/heap"));
+    assert!(script.contains("shared/heap"));
+    // comp2 (lwip) pages carry a different key than comp1 pages.
+    let env = &os.env;
+    let k1 = env.domain(flexos_core::compartment::CompartmentId(0)).key;
+    let k2 = env.domain(flexos_core::compartment::CompartmentId(1)).key;
+    assert_ne!(k1, k2);
+    assert_ne!(k1, ProtKey::new(15).unwrap());
+}

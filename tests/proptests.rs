@@ -1,0 +1,206 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use flexos::prelude::*;
+use flexos_alloc::{lea::Lea, tlsf::Tlsf, RegionAlloc};
+use flexos_explore::{fig6_space, Poset};
+use flexos_machine::addr::Addr;
+use flexos_machine::key::{Access, Pkru, ProtKey};
+use flexos_machine::mem::Memory;
+
+/// An allocator action for the churn property.
+#[derive(Debug, Clone)]
+enum Action {
+    Alloc(u64),
+    FreeNth(usize),
+}
+
+fn actions() -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..4096).prop_map(Action::Alloc),
+            (0usize..64).prop_map(Action::FreeNth),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tlsf_never_overlaps_and_keeps_tiling(ops in actions()) {
+        let mut tlsf = Tlsf::new(Addr::new(0x10000), 1 << 20);
+        let mut live: Vec<(Addr, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                Action::Alloc(size) => {
+                    if let Ok(addr) = tlsf.alloc(size, 16) {
+                        let len = tlsf.size_of(addr).expect("live block has a size");
+                        for &(other, olen) in &live {
+                            prop_assert!(
+                                addr.raw() + len <= other.raw()
+                                    || other.raw() + olen <= addr.raw(),
+                                "overlap: {addr} and {other}"
+                            );
+                        }
+                        live.push((addr, len));
+                    }
+                }
+                Action::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let (addr, _) = live.swap_remove(n % live.len());
+                        tlsf.free(addr).expect("live block frees");
+                    }
+                }
+            }
+            tlsf.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        }
+    }
+
+    #[test]
+    fn lea_roundtrips_and_keeps_tiling(ops in actions()) {
+        let mut lea = Lea::new(Addr::new(0x10000), 1 << 20);
+        let mut live: Vec<Addr> = Vec::new();
+        for op in ops {
+            match op {
+                Action::Alloc(size) => {
+                    if let Ok(addr) = lea.alloc(size, 16) {
+                        live.push(addr);
+                    }
+                }
+                Action::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let addr = live.swap_remove(n % live.len());
+                        lea.free(addr).expect("live block frees");
+                    }
+                }
+            }
+            lea.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        }
+        for addr in live {
+            lea.free(addr).expect("cleanup");
+        }
+        prop_assert_eq!(lea.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn memory_enforces_keys_for_arbitrary_accesses(
+        page in 1u64..63,
+        off in 0u64..4096,
+        len in 1u64..64,
+        my_key in 0u8..16,
+        page_key in 0u8..16,
+    ) {
+        let mut mem = Memory::new(64 * 4096);
+        let base = Addr::new(page * 4096);
+        mem.map(base, 1, ProtKey::new(page_key).unwrap()).unwrap();
+        let pkru = Pkru::permit_only(&[ProtKey::new(my_key).unwrap()]);
+        let addr = base + (off % (4096 - len));
+        let allowed = my_key == page_key;
+        let write = mem.write(addr, &vec![0xAB; len as usize], &pkru);
+        prop_assert_eq!(write.is_ok(), allowed);
+        let read = mem.read_vec(addr, len, &pkru);
+        prop_assert_eq!(read.is_ok(), allowed);
+    }
+
+    #[test]
+    fn pkru_encode_decode_roundtrip(bits in any::<u32>()) {
+        let pkru = Pkru::decode(bits);
+        prop_assert_eq!(Pkru::decode(pkru.encode()), pkru);
+        // Semantics preserved: every key's permissions survive.
+        for i in 0..16u8 {
+            let k = ProtKey::new(i).unwrap();
+            prop_assert_eq!(
+                pkru.allows(k, Access::Read),
+                Pkru::decode(pkru.encode()).allows(k, Access::Read)
+            );
+        }
+    }
+
+    #[test]
+    fn resp_roundtrips(args in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 0..64), 1..6)) {
+        let refs: Vec<&[u8]> = args.iter().map(|a| a.as_slice()).collect();
+        let wire = flexos_apps::resp::encode_request(&refs);
+        let (req, used) = flexos_apps::resp::decode_request(&wire)
+            .expect("valid wire")
+            .expect("complete");
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(req.argv, args);
+    }
+
+    #[test]
+    fn tcp_segments_roundtrip(
+        src in 1u16..u16::MAX, dst in 1u16..u16::MAX,
+        seq in any::<u32>(), ack in any::<u32>(),
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        use flexos::net::tcp::{Segment, FLAG_ACK, FLAG_PSH};
+        let seg = Segment {
+            src_port: src, dst_port: dst, seq, ack,
+            flags: FLAG_ACK | FLAG_PSH, window: 1024,
+            payload,
+        };
+        let parsed = Segment::parse(&seg.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(parsed, seg);
+    }
+
+    #[test]
+    fn corrupted_frames_never_parse(
+        payload in prop::collection::vec(any::<u8>(), 0..128),
+        flip in 0usize..128,
+        bit in 0u8..8,
+    ) {
+        use flexos::net::tcp::Segment;
+        let seg = Segment::control(100, 200, 1, 2, 0x02);
+        let mut wire = {
+            let mut s = seg;
+            s.payload = payload;
+            s.to_bytes()
+        };
+        let idx = flip % wire.len();
+        wire[idx] ^= 1 << bit;
+        // Either the flip is detected, or parsing reproduces a segment
+        // that re-serializes to the flipped bytes (checksum field flip).
+        if let Ok(parsed) = Segment::parse(&wire) {
+            prop_assert_eq!(&parsed.to_bytes()[..16], &wire[..16]);
+        }
+    }
+
+    #[test]
+    fn poset_axioms_hold_on_random_subsets(indices in prop::collection::btree_set(0usize..80, 2..12)) {
+        let space = fig6_space("redis");
+        let perf: Vec<f64> = (0..space.len()).map(|i| (i * 13 % 97) as f64).collect();
+        let poset = Poset::from_fig6(&space, &perf);
+        let keep: Vec<usize> = indices.into_iter().collect();
+        let maximal = poset.maximal_among(&keep);
+        prop_assert!(!maximal.is_empty(), "non-empty subsets have maxima");
+        for &m in &maximal {
+            for &other in &keep {
+                prop_assert!(!poset.lt(m, other), "maximal {m} dominated by {other}");
+            }
+        }
+    }
+
+    #[test]
+    fn config_parser_never_panics(text in "[ -~\n]{0,256}") {
+        // Arbitrary printable input: parse may fail, must not panic.
+        let _ = SafetyConfig::parse_str(&text);
+    }
+
+    #[test]
+    fn sql_parser_never_panics(text in "[ -~]{0,120}") {
+        let _ = flexos_apps::sqlite::sql::parse(&text);
+    }
+
+    #[test]
+    fn dss_shadow_math_is_linear(off in 0u64..32768) {
+        use flexos_sched::dss::{shadow_of, STACK_SIZE};
+        let base = Addr::new(0x100000);
+        let var = base + off;
+        prop_assert_eq!(shadow_of(var) - var, STACK_SIZE);
+        prop_assert_eq!(shadow_of(var).offset_from(base), off + STACK_SIZE);
+    }
+}
