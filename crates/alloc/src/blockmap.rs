@@ -152,7 +152,11 @@ impl BlockMap {
 
     /// Sum of live payload bytes.
     pub fn live_bytes(&self) -> u64 {
-        self.blocks.values().filter(|b| !b.free).map(|b| b.size).sum()
+        self.blocks
+            .values()
+            .filter(|b| !b.free)
+            .map(|b| b.size)
+            .sum()
     }
 
     /// Checks the structural invariants: blocks tile the region with no
@@ -214,7 +218,13 @@ mod tests {
     fn take_splits() {
         let mut m = BlockMap::new(BASE, SIZE);
         m.take(BASE, 64);
-        assert_eq!(m.get(BASE), Some(Block { size: 64, free: false }));
+        assert_eq!(
+            m.get(BASE),
+            Some(Block {
+                size: 64,
+                free: false
+            })
+        );
         assert_eq!(
             m.get(BASE + 64),
             Some(Block {
@@ -255,10 +265,7 @@ mod tests {
     #[test]
     fn free_of_unknown_address_rejected() {
         let mut m = BlockMap::new(BASE, SIZE);
-        assert!(matches!(
-            m.release(BASE + 8),
-            Err(Fault::BadFree { .. })
-        ));
+        assert!(matches!(m.release(BASE + 8), Err(Fault::BadFree { .. })));
     }
 
     #[test]

@@ -43,9 +43,9 @@ impl RegionAlloc for Bump {
         let align = align.max(MIN_ALIGN);
         let addr = self.next.align_up(align);
         let want = size.max(1).next_multiple_of(MIN_ALIGN);
-        let end = addr.checked_add(want).ok_or(Fault::ResourceExhausted {
-            what: "bump arena",
-        })?;
+        let end = addr
+            .checked_add(want)
+            .ok_or(Fault::ResourceExhausted { what: "bump arena" })?;
         if end > self.base + self.size {
             return Err(Fault::ResourceExhausted { what: "bump arena" });
         }

@@ -117,7 +117,11 @@ impl Heap {
         };
         let payload = addr + pad_lo;
         let slow = self.alloc.last_was_slow_path();
-        let mut cycles = if slow { cost.malloc_slow } else { cost.malloc_fast };
+        let mut cycles = if slow {
+            cost.malloc_slow
+        } else {
+            cost.malloc_fast
+        };
         if slow {
             cycles += self.extra_slow_cycles;
         }
@@ -302,7 +306,13 @@ mod tests {
         let a = h.malloc(32).unwrap();
         h.free(a).unwrap();
         let err = h.kasan_check(a, 1, Access::Read).unwrap_err();
-        assert!(matches!(err, Fault::Kasan { what: "use-after-free", .. }));
+        assert!(matches!(
+            err,
+            Fault::Kasan {
+                what: "use-after-free",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -178,9 +178,21 @@ mod tests {
         k.on_alloc(a, 64);
         assert!(k.check(a, 64, Access::Read).is_ok());
         let over = k.check(a + 64, 1, Access::Read).unwrap_err();
-        assert!(matches!(over, Fault::Kasan { what: "heap-buffer-overflow", .. }));
+        assert!(matches!(
+            over,
+            Fault::Kasan {
+                what: "heap-buffer-overflow",
+                ..
+            }
+        ));
         let under = k.check(a - 8, 1, Access::Write).unwrap_err();
-        assert!(matches!(under, Fault::Kasan { what: "heap-buffer-overflow", .. }));
+        assert!(matches!(
+            under,
+            Fault::Kasan {
+                what: "heap-buffer-overflow",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -190,7 +202,13 @@ mod tests {
         k.on_alloc(a, 64);
         k.on_free(a, 64);
         let err = k.check(a, 1, Access::Read).unwrap_err();
-        assert!(matches!(err, Fault::Kasan { what: "use-after-free", .. }));
+        assert!(matches!(
+            err,
+            Fault::Kasan {
+                what: "use-after-free",
+                ..
+            }
+        ));
         assert_eq!(k.reports(), 1);
     }
 

@@ -140,7 +140,9 @@ impl RegionAlloc for Tlsf {
         let (ffl, fsl, exact) = self.find_class(fl, sl).ok_or(Fault::ResourceExhausted {
             what: "TLSF heap region",
         })?;
-        let raw = *self.free_lists[ffl][fsl].last().expect("bitmap said non-empty");
+        let raw = *self.free_lists[ffl][fsl]
+            .last()
+            .expect("bitmap said non-empty");
         let addr = Addr::new(raw);
         let blk = self.blocks.get(addr).expect("filed block exists");
         debug_assert!(blk.free && blk.size >= want);

@@ -40,7 +40,10 @@ impl Dict {
     ///
     /// Panics if `capacity` is not a power of two.
     pub fn with_capacity(env: Rc<Env>, capacity: u64) -> Result<Dict, Fault> {
-        assert!(capacity.is_power_of_two(), "capacity must be a power of two");
+        assert!(
+            capacity.is_power_of_two(),
+            "capacity must be a power of two"
+        );
         let buckets = env.malloc(capacity * BUCKET_BYTES)?;
         // Zero the bucket array (state = EMPTY).
         let zeros = vec![0u8; (capacity * BUCKET_BYTES) as usize];
@@ -228,7 +231,8 @@ mod tests {
     fn env() -> Rc<Env> {
         let machine = Machine::new(Machine::DEFAULT_MEM_BYTES);
         let mut b = ImageBuilder::new(machine, SafetyConfig::none());
-        b.register(Component::new("redis", ComponentKind::App)).unwrap();
+        b.register(Component::new("redis", ComponentKind::App))
+            .unwrap();
         b.build(&[&NoneBackend]).unwrap().env
     }
 

@@ -63,18 +63,42 @@ pub fn nginx_component() -> Component {
     // Nginx's pools/buffers/config are heavily shared with the I/O path;
     // the port annotates 36 variables (Table 1).
     for (i, name) in [
-        "ngx_cycle", "ngx_pool_head", "ngx_conf_ctx", "ngx_listening",
-        "ngx_connections", "ngx_event_list", "ngx_posted_events",
-        "ngx_accept_mutex", "ngx_http_headers_in", "ngx_http_headers_out",
-        "ngx_output_chain", "ngx_request_pool", "ngx_log_file",
-        "ngx_open_file_cache", "ngx_hash_keys", "ngx_mime_types",
-        "ngx_server_conf", "ngx_location_tree", "ngx_variables",
-        "ngx_regex_cache", "ngx_resolver_state", "ngx_event_timer_rbtree",
-        "ngx_process_slot", "ngx_channel_fds", "ngx_shutdown_flag",
-        "ngx_reconfigure_flag", "ngx_temp_buf", "ngx_chain_free",
-        "ngx_busy_bufs", "ngx_keepalive_queue", "ngx_http_log_vars",
-        "ngx_errlog_buf", "ngx_sendfile_ctx", "ngx_writev_iovs",
-        "ngx_recv_buf_meta", "ngx_last_modified_cache",
+        "ngx_cycle",
+        "ngx_pool_head",
+        "ngx_conf_ctx",
+        "ngx_listening",
+        "ngx_connections",
+        "ngx_event_list",
+        "ngx_posted_events",
+        "ngx_accept_mutex",
+        "ngx_http_headers_in",
+        "ngx_http_headers_out",
+        "ngx_output_chain",
+        "ngx_request_pool",
+        "ngx_log_file",
+        "ngx_open_file_cache",
+        "ngx_hash_keys",
+        "ngx_mime_types",
+        "ngx_server_conf",
+        "ngx_location_tree",
+        "ngx_variables",
+        "ngx_regex_cache",
+        "ngx_resolver_state",
+        "ngx_event_timer_rbtree",
+        "ngx_process_slot",
+        "ngx_channel_fds",
+        "ngx_shutdown_flag",
+        "ngx_reconfigure_flag",
+        "ngx_temp_buf",
+        "ngx_chain_free",
+        "ngx_busy_bufs",
+        "ngx_keepalive_queue",
+        "ngx_http_log_vars",
+        "ngx_errlog_buf",
+        "ngx_sendfile_ctx",
+        "ngx_writev_iovs",
+        "ngx_recv_buf_meta",
+        "ngx_last_modified_cache",
     ]
     .iter()
     .enumerate()
@@ -101,12 +125,30 @@ pub fn sqlite_component() -> Component {
     let wl = &["newlib", "vfscore"][..];
     let mut vars = Vec::new();
     for (i, name) in [
-        "sqlite3_config_ptr", "pager_state", "pcache_header", "wal_index_hdr",
-        "journal_hdr_buf", "db_handle_list", "vfs_registration", "mem_methods",
-        "mutex_methods", "pcache_methods", "btree_shared_cache", "schema_cache",
-        "stmt_journal_buf", "lookaside_meta", "scratch_meta", "page1_cache",
-        "temp_space", "savepoint_stack", "busy_handler_state", "collation_list",
-        "vdbe_op_array", "bind_param_buf", "result_set_buf", "error_msg_buf",
+        "sqlite3_config_ptr",
+        "pager_state",
+        "pcache_header",
+        "wal_index_hdr",
+        "journal_hdr_buf",
+        "db_handle_list",
+        "vfs_registration",
+        "mem_methods",
+        "mutex_methods",
+        "pcache_methods",
+        "btree_shared_cache",
+        "schema_cache",
+        "stmt_journal_buf",
+        "lookaside_meta",
+        "scratch_meta",
+        "page1_cache",
+        "temp_space",
+        "savepoint_stack",
+        "busy_handler_state",
+        "collation_list",
+        "vdbe_op_array",
+        "bind_param_buf",
+        "result_set_buf",
+        "error_msg_buf",
     ]
     .iter()
     .enumerate()

@@ -85,7 +85,9 @@ impl NginxServer {
     pub fn start(&self) -> Result<(), Fault> {
         self.env.run_as(self.id, || {
             let page = http::welcome_page();
-            let fd = self.libc.open("/usr/share/nginx/index.html", OpenFlags::CREATE)?;
+            let fd = self
+                .libc
+                .open("/usr/share/nginx/index.html", OpenFlags::CREATE)?;
             self.libc.write(fd, &page)?;
             self.libc.lseek(fd, 0)?;
             let cached = self.libc.read(fd, page.len() as u64)?;
@@ -128,15 +130,17 @@ impl NginxServer {
         let ticks = self.loop_ticks.get() + 1;
         self.loop_ticks.set(ticks);
         if ticks % 4 == 0 {
-            self.env.call(self.sched.component_id(), "uksched_yield", || {
-                self.sched.yield_now();
-                Ok(())
-            })?;
+            self.env
+                .call(self.sched.component_id(), "uksched_yield", || {
+                    self.sched.yield_now();
+                    Ok(())
+                })?;
         } else {
-            self.env.call(self.sched.component_id(), "uksched_current", || {
-                self.sched.current();
-                Ok(())
-            })?;
+            self.env
+                .call(self.sched.component_id(), "uksched_current", || {
+                    self.sched.current();
+                    Ok(())
+                })?;
         }
         self.env.compute(Work {
             cycles: 80,
@@ -162,7 +166,10 @@ impl NginxServer {
         // header loop — one memchr per header line).
         let mut scan_from = 0usize;
         for _ in 0..4 {
-            match self.libc.memchr(&buffered[scan_from.min(buffered.len())..], b'\n')? {
+            match self
+                .libc
+                .memchr(&buffered[scan_from.min(buffered.len())..], b'\n')?
+            {
                 Some(rel) => scan_from += rel + 1,
                 None => break,
             }
@@ -182,9 +189,7 @@ impl NginxServer {
         });
 
         let mut stats = self.stats.get();
-        if request.method == "GET"
-            && (request.path == "/" || request.path == "/index.html")
-        {
+        if request.method == "GET" && (request.path == "/" || request.path == "/index.html") {
             let body = self.cached_page.borrow().clone();
             // Response assembly: itoa for Content-Length, memcpy of head
             // and body into the output chain (ngx_output_chain).

@@ -126,14 +126,16 @@ impl RedisServer {
     fn serve_one_inner(&self, conn: SocketHandle) -> Result<bool, Fault> {
         // Event-loop bookkeeping: the beforeSleep()/serverCron() pattern —
         // Redis touches the scheduler every iteration (R↔S edge).
-        self.env.call(self.sched.component_id(), "uksched_yield", || {
-            self.sched.yield_now();
-            Ok(())
-        })?;
-        self.env.call(self.sched.component_id(), "uksched_current", || {
-            self.sched.current();
-            Ok(())
-        })?;
+        self.env
+            .call(self.sched.component_id(), "uksched_yield", || {
+                self.sched.yield_now();
+                Ok(())
+            })?;
+        self.env
+            .call(self.sched.component_id(), "uksched_current", || {
+                self.sched.current();
+                Ok(())
+            })?;
         self.env.compute(Work {
             cycles: 170,
             alu_ops: 55,

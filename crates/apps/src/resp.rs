@@ -121,7 +121,10 @@ mod tests {
         let wire = encode_request(&[b"SET", b"key:1", b"value-abc"]);
         let (req, used) = decode_request(&wire).unwrap().unwrap();
         assert_eq!(used, wire.len());
-        assert_eq!(req.argv, vec![b"SET".to_vec(), b"key:1".to_vec(), b"value-abc".to_vec()]);
+        assert_eq!(
+            req.argv,
+            vec![b"SET".to_vec(), b"key:1".to_vec(), b"value-abc".to_vec()]
+        );
     }
 
     #[test]

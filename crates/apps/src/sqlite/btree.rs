@@ -102,7 +102,10 @@ fn write_interior(entries: &[(u32, i64)]) -> Vec<u8> {
 }
 
 fn leaf_bytes(cells: &[RowRecord]) -> usize {
-    HDR + cells.iter().map(|c| cell_size(c.payload.len())).sum::<usize>()
+    HDR + cells
+        .iter()
+        .map(|c| cell_size(c.payload.len()))
+        .sum::<usize>()
 }
 
 /// The B+tree handle: a root page number inside a pager.
@@ -360,7 +363,10 @@ impl BTree {
 fn max_rowid(pager: &mut Pager, pgno: u32) -> Result<i64, Fault> {
     let page = pager.read_page(pgno)?;
     match page[0] {
-        LEAF => Ok(leaf_cells(&page).last().map(|c| c.rowid).unwrap_or(i64::MIN)),
+        LEAF => Ok(leaf_cells(&page)
+            .last()
+            .map(|c| c.rowid)
+            .unwrap_or(i64::MIN)),
         INTERIOR => Ok(interior_entries(&page).last().expect("non-empty").1),
         _ => Err(Fault::InvalidConfig {
             reason: "corrupt b-tree page".to_string(),

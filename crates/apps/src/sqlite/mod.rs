@@ -203,7 +203,11 @@ impl Sqlite {
                     ..ExecResult::none()
                 })
             }),
-            Stmt::Select { table, count, rowid } => self.autocommit(|this| {
+            Stmt::Select {
+                table,
+                count,
+                rowid,
+            } => self.autocommit(|this| {
                 let idx = this.require_table(&table)?;
                 let tree = this.tables.borrow()[idx].tree;
                 if count {
@@ -247,10 +251,7 @@ impl Sqlite {
         result
     }
 
-    fn autocommit<R>(
-        &self,
-        f: impl FnOnce(&Self) -> Result<R, Fault>,
-    ) -> Result<R, Fault> {
+    fn autocommit<R>(&self, f: impl FnOnce(&Self) -> Result<R, Fault>) -> Result<R, Fault> {
         let explicit = *self.explicit_txn.borrow();
         if !explicit {
             self.pager.borrow_mut().begin()?;

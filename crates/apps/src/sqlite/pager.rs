@@ -166,7 +166,8 @@ impl Pager {
         // RESERVED-lock probe before touching the file (lock emulation).
         let _ = self.libc.file_size(&self.db_path)?;
         // newlib emulates pread as lseek + read + lseek-restore.
-        self.libc.lseek(self.db_fd, pgno as u64 * PAGE_SIZE as u64)?;
+        self.libc
+            .lseek(self.db_fd, pgno as u64 * PAGE_SIZE as u64)?;
         let mut data = self.libc.read(self.db_fd, PAGE_SIZE as u64)?;
         self.libc.lseek(self.db_fd, 0)?;
         data.resize(PAGE_SIZE, 0);
@@ -246,7 +247,8 @@ impl Pager {
         let dirty = std::mem::take(&mut self.dirty);
         for (pgno, data) in &dirty {
             // newlib pwrite emulation: lseek + write + lseek-restore.
-            self.libc.lseek(self.db_fd, *pgno as u64 * PAGE_SIZE as u64)?;
+            self.libc
+                .lseek(self.db_fd, *pgno as u64 * PAGE_SIZE as u64)?;
             self.libc.write(self.db_fd, data)?;
             self.libc.lseek(self.db_fd, 0)?;
             self.stats.page_writes += 1;
@@ -256,7 +258,8 @@ impl Pager {
         }
         // Change counter on page 0 (SQLite bumps bytes 24..28 of page 1).
         self.libc.lseek(self.db_fd, 24)?;
-        self.libc.write(self.db_fd, &self.stats.commits.to_be_bytes())?;
+        self.libc
+            .write(self.db_fd, &self.stats.commits.to_be_bytes())?;
         self.libc.fsync(self.db_fd)?;
         self.stats.syncs += 1;
         // Retire the journal.
@@ -282,7 +285,8 @@ impl Pager {
     pub fn rollback(&mut self) -> Result<(), Fault> {
         let journaled = std::mem::take(&mut self.journaled);
         for (pgno, original) in journaled {
-            self.libc.lseek(self.db_fd, pgno as u64 * PAGE_SIZE as u64)?;
+            self.libc
+                .lseek(self.db_fd, pgno as u64 * PAGE_SIZE as u64)?;
             self.libc.write(self.db_fd, &original)?;
         }
         if let Some(journal_fd) = self.journal_fd.take() {

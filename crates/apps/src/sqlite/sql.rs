@@ -65,15 +65,14 @@ pub fn lex(sql: &str) -> Result<Vec<Token>, Fault> {
                     i += 1;
                 }
                 let text = &sql[start..i];
-                out.push(Token::Int(text.parse().map_err(|_| {
-                    bad(format!("bad integer `{text}`"))
-                })?));
+                out.push(Token::Int(
+                    text.parse()
+                        .map_err(|_| bad(format!("bad integer `{text}`")))?,
+                ));
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token::Ident(sql[start..i].to_uppercase()));
@@ -249,7 +248,11 @@ impl Parser {
                 } else {
                     None
                 };
-                Stmt::Select { table, count, rowid }
+                Stmt::Select {
+                    table,
+                    count,
+                    rowid,
+                }
             }
             "DELETE" => {
                 self.expect_ident("FROM")?;

@@ -68,17 +68,9 @@ pub fn install_redis(os: &FlexOs) -> Result<Rc<RedisServer>, Fault> {
 /// # Errors
 ///
 /// Substrate faults; protocol errors.
-pub fn run_redis_gets(
-    os: &FlexOs,
-    warmup: u64,
-    measured: u64,
-) -> Result<RunMetrics, Fault> {
+pub fn run_redis_gets(os: &FlexOs, warmup: u64, measured: u64) -> Result<RunMetrics, Fault> {
     let server = install_redis(os)?;
-    server.preload(&[
-        (b"key:0", b"xxx"),
-        (b"key:1", b"yyy"),
-        (b"key:2", b"zzz"),
-    ])?;
+    server.preload(&[(b"key:0", b"xxx"), (b"key:1", b"yyy"), (b"key:2", b"zzz")])?;
     let mut client = TcpClient::connect(&os.net, 50_000, REDIS_PORT)?;
     let conn = server.accept()?.ok_or(Fault::InvalidConfig {
         reason: "redis: handshake did not queue a connection".to_string(),
@@ -129,11 +121,7 @@ pub fn install_nginx(os: &FlexOs) -> Result<Rc<NginxServer>, Fault> {
 /// # Errors
 ///
 /// Substrate faults; protocol errors.
-pub fn run_nginx_gets(
-    os: &FlexOs,
-    warmup: u64,
-    measured: u64,
-) -> Result<RunMetrics, Fault> {
+pub fn run_nginx_gets(os: &FlexOs, warmup: u64, measured: u64) -> Result<RunMetrics, Fault> {
     let server = install_nginx(os)?;
     let mut client = TcpClient::connect(&os.net, 51_000, NGINX_PORT)?;
     let conn = server.accept()?.ok_or(Fault::InvalidConfig {

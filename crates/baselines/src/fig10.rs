@@ -85,10 +85,7 @@ fn overlay(run: &SqliteRun, cost: &CostModel, extra_cycles: i64) -> f64 {
     cost.cycles_to_seconds(total.max(0) as u64)
 }
 
-fn build_and_run(
-    config: flexos_core::config::SafetyConfig,
-    n: u64,
-) -> Result<SqliteRun, Fault> {
+fn build_and_run(config: flexos_core::config::SafetyConfig, n: u64) -> Result<SqliteRun, Fault> {
     let os = SystemBuilder::new(config)
         .app(flexos_apps::sqlite_component())
         .build()?;
@@ -120,7 +117,11 @@ pub fn run_fig10(n: u64) -> Result<Vec<Fig10Row>, Fault> {
     let unikraft_kvm = overlay(&none_run, &cost, -(n as i64) * cost.flexos_image_tax as i64);
     let unikraft_linuxu = overlay(&none_run, &cost, vfs * cost.linuxu_op_tax as i64);
     let linux = overlay(&none_run, &cost, vfs * cost.syscall_kpti as i64);
-    let sel4 = overlay(&none_run, &cost, (vfs + time_q) * cost.sel4_genode_ipc as i64);
+    let sel4 = overlay(
+        &none_run,
+        &cost,
+        (vfs + time_q) * cost.sel4_genode_ipc as i64,
+    );
     let cubicle_none = overlay(
         &none_run,
         &cost,

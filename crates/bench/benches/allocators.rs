@@ -1,9 +1,9 @@
-//! Criterion bench: allocator ablation (TLSF vs Lea vs bump) and the
-//! Figure 11a data-sharing strategies.
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Bench: allocator ablation (TLSF vs Lea vs bump) and the Figure 11a
+//! data-sharing strategies. Uses `flexos_bench::harness` (no crates.io
+//! access in the build environment, so no criterion).
 
 use flexos_alloc::{bump::Bump, lea::Lea, tlsf::Tlsf, RegionAlloc};
+use flexos_bench::harness::Criterion;
 use flexos_machine::addr::Addr;
 
 fn churn<A: RegionAlloc>(alloc: &mut A) {
@@ -27,14 +27,12 @@ fn allocators(c: &mut Criterion) {
         b.iter_batched(
             || Tlsf::new(Addr::new(0x10000), 1 << 20),
             |mut t| churn(&mut t),
-            criterion::BatchSize::SmallInput,
         )
     });
     c.bench_function("alloc/lea-churn", |b| {
         b.iter_batched(
             || Lea::new(Addr::new(0x10000), 1 << 20),
             |mut l| churn(&mut l),
-            criterion::BatchSize::SmallInput,
         )
     });
     c.bench_function("alloc/bump-fill", |b| {
@@ -45,14 +43,11 @@ fn allocators(c: &mut Criterion) {
                     a.alloc(64, 16).expect("alloc");
                 }
             },
-            criterion::BatchSize::SmallInput,
         )
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = allocators
+fn main() {
+    let mut c = Criterion::default().sample_size(20);
+    allocators(&mut c);
 }
-criterion_main!(benches);

@@ -1,10 +1,11 @@
-//! Criterion bench: gate flavours (the Figure 11b ablation).
+//! Bench: gate flavours (the Figure 11b ablation). Uses
+//! `flexos_bench::harness` (no crates.io access in the build
+//! environment, so no criterion).
 //!
 //! Measures *host-side* execution cost of each gate flavour while also
 //! asserting the *virtual* cycle charges match the calibrated constants.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use flexos_bench::harness::Criterion;
 use flexos_core::compartment::DataSharing;
 use flexos_core::config::SafetyConfig;
 use flexos_system::{configs, SystemBuilder};
@@ -36,26 +37,25 @@ fn bench_gate(c: &mut Criterion, name: &str, config: SafetyConfig, expected_cycl
     });
 }
 
-fn gates(c: &mut Criterion) {
-    bench_gate(c, "gate/direct-call", configs::none(), 2);
+fn main() {
+    let mut c = Criterion::default().sample_size(20);
+    bench_gate(&mut c, "gate/direct-call", configs::none(), 2);
     bench_gate(
-        c,
+        &mut c,
         "gate/mpk-light",
         configs::mpk2(&["lwip"], DataSharing::SharedStack).expect("cfg"),
         62,
     );
     bench_gate(
-        c,
+        &mut c,
         "gate/mpk-dss",
         configs::mpk2(&["lwip"], DataSharing::Dss).expect("cfg"),
         108,
     );
-    bench_gate(c, "gate/ept-rpc", configs::ept2(&["lwip"]).expect("cfg"), 462);
+    bench_gate(
+        &mut c,
+        "gate/ept-rpc",
+        configs::ept2(&["lwip"]).expect("cfg"),
+        462,
+    );
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = gates
-}
-criterion_main!(benches);

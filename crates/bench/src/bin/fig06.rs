@@ -18,16 +18,17 @@ fn main() {
         println!("{:>10}  {}", fmt_rate(perf[i]), space[i].label);
     }
 
-    let baseline = perf
-        .iter()
-        .cloned()
-        .fold(f64::MIN, f64::max);
+    let baseline = perf.iter().cloned().fold(f64::MIN, f64::max);
     let slowest = perf.iter().cloned().fold(f64::MAX, f64::min);
     let under20 = perf.iter().filter(|&&p| baseline / p < 1.20).count();
     let under45 = perf.iter().filter(|&&p| baseline / p < 1.45).count();
     println!("\n# summary");
-    println!("fastest: {}  slowest: {}  span: {:.1}x",
-        fmt_rate(baseline), fmt_rate(slowest), baseline / slowest);
+    println!(
+        "fastest: {}  slowest: {}  span: {:.1}x",
+        fmt_rate(baseline),
+        fmt_rate(slowest),
+        baseline / slowest
+    );
     println!("configs <20% overhead: {under20}   configs <45% overhead: {under45}");
     println!("# paper (redis): span 4.1x (292k..1199k); (nginx): 9 configs <20%, 32 <45%");
 }

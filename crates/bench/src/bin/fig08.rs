@@ -28,7 +28,11 @@ fn main() {
     );
     println!("\n# starred (safest configurations meeting the budget):");
     for &s in &report.stars {
-        println!("  * {:>10}  {}", fmt_rate(poset.node(s).performance), poset.node(s).label);
+        println!(
+            "  * {:>10}  {}",
+            fmt_rate(poset.node(s).performance),
+            poset.node(s).label
+        );
     }
     println!(
         "\n# paper: 80 -> 5 starred configurations at 500k req/s; here: 80 -> {}",

@@ -33,8 +33,11 @@ fn main() {
             buf,
         )
         .expect("light");
-        let dss = run(configs::mpk2(&ISOLATED, DataSharing::Dss).expect("cfg"), buf)
-            .expect("dss");
+        let dss = run(
+            configs::mpk2(&ISOLATED, DataSharing::Dss).expect("cfg"),
+            buf,
+        )
+        .expect("dss");
         let ept = run(configs::ept2(&ISOLATED).expect("cfg"), buf).expect("ept");
         // Unikraft == FlexOS without the flexibility layer: identical
         // hot path, no gate metadata ("you only pay for what you get").

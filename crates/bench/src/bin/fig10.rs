@@ -11,14 +11,21 @@ fn main() {
     let rows = run_fig10(n).expect("fig10 runs");
 
     println!("# Figure 10: time for {n} INSERT transactions (seconds)");
-    println!("{:>22} {:>8} {:>10} {:>10}", "system", "profile", "seconds", "source");
+    println!(
+        "{:>22} {:>8} {:>10} {:>10}",
+        "system", "profile", "seconds", "source"
+    );
     for row in &rows {
         println!(
             "{:>22} {:>8} {:>10.3} {:>10}",
             row.system.to_string(),
             row.profile.to_string(),
             row.seconds,
-            if row.simulated { "simulated" } else { "overlay" }
+            if row.simulated {
+                "simulated"
+            } else {
+                "overlay"
+            }
         );
     }
     println!("\n# paper:       Unikraft .052/.702  FlexOS .054/.106/.173");

@@ -45,7 +45,10 @@ fn measure(sharing: DataSharing, buffers: u32) -> Result<u64, Fault> {
 
 fn main() {
     println!("# Figure 11a: shared stack allocation latency (cycles)");
-    println!("{:>9} {:>8} {:>8} {:>14}", "buffers", "heap", "DSS", "shared-stack");
+    println!(
+        "{:>9} {:>8} {:>8} {:>14}",
+        "buffers", "heap", "DSS", "shared-stack"
+    );
     for buffers in 1..=3 {
         let heap = measure(DataSharing::HeapConversion, buffers).expect("heap");
         let dss = measure(DataSharing::Dss, buffers).expect("dss");

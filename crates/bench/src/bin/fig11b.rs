@@ -42,6 +42,12 @@ fn main() {
     println!("{:>16} {:>9} {:>8}", "MPK-light", light, 62);
     println!("{:>16} {:>9} {:>8}", "MPK-dss", dss, 108);
     println!("{:>16} {:>9} {:>8}", "EPT", ept, 462);
-    println!("{:>16} {:>9} {:>8}", "syscall (KPTI)", cost.syscall_kpti, 470);
-    println!("{:>16} {:>9} {:>8}", "syscall-nokpti", cost.syscall_nokpti, 146);
+    println!(
+        "{:>16} {:>9} {:>8}",
+        "syscall (KPTI)", cost.syscall_kpti, 470
+    );
+    println!(
+        "{:>16} {:>9} {:>8}",
+        "syscall-nokpti", cost.syscall_nokpti, 146
+    );
 }

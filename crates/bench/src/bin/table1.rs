@@ -13,7 +13,10 @@ fn row(label: &str, c: &Component) {
 
 fn main() {
     println!("# Table 1: porting effort per component");
-    println!("{:>28} {:>13} {:>12}", "Libs/Apps", "Patch size", "Shared vars");
+    println!(
+        "{:>28} {:>13} {:>12}",
+        "Libs/Apps", "Patch size", "Shared vars"
+    );
     row("TCP/IP stack (LwIP)", &flexos_net::component());
     row("scheduler (uksched)", &flexos_sched::component());
     // The filesystem row covers both components (ramfs, vfscore).

@@ -14,8 +14,9 @@
 //! | `fig11b` | Figure 11b: gate latencies |
 //! | `table1` | Table 1: porting effort |
 //!
-//! Criterion benches (`cargo bench`) cover the microbenchmarks plus
-//! allocator/gate ablations.
+//! `cargo bench` covers the microbenchmarks plus allocator/gate
+//! ablations via the self-contained [`harness`] module (the build
+//! environment has no crates.io access, so no criterion).
 
 use flexos_apps::workloads::{run_nginx_gets, run_redis_gets, RunMetrics};
 use flexos_explore::Fig6Point;
@@ -74,6 +75,95 @@ pub fn plain_instance() -> Result<FlexOs, Fault> {
     SystemBuilder::new(flexos_system::configs::none())
         .app(flexos_apps::redis_component())
         .build()
+}
+
+/// A minimal timing harness with a criterion-shaped API.
+///
+/// The container image cannot reach crates.io, so `cargo bench` targets
+/// use this instead of criterion: same `bench_function` / `iter` /
+/// `iter_batched` surface, wall-clock medians over a fixed sample
+/// count, plain-text report lines.
+pub mod harness {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    /// Iterations batched into one timing sample.
+    const BATCH: u32 = 64;
+
+    /// Entry point mirroring `criterion::Criterion`.
+    pub struct Criterion {
+        samples: usize,
+    }
+
+    impl Default for Criterion {
+        fn default() -> Self {
+            Criterion { samples: 20 }
+        }
+    }
+
+    impl Criterion {
+        /// Sets how many timing samples each benchmark takes.
+        #[must_use]
+        pub fn sample_size(mut self, samples: usize) -> Self {
+            self.samples = samples.max(3);
+            self
+        }
+
+        /// Times `routine` and prints a `name: median ns/iter` row.
+        pub fn bench_function(&mut self, name: &str, mut routine: impl FnMut(&mut Bencher)) {
+            let mut b = Bencher {
+                samples: self.samples,
+                ns_per_iter: Vec::new(),
+            };
+            routine(&mut b);
+            let mut ns = b.ns_per_iter;
+            ns.sort_unstable_by(f64::total_cmp);
+            let median = ns.get(ns.len() / 2).copied().unwrap_or(0.0);
+            println!(
+                "bench {name:<28} {median:>12.1} ns/iter ({} samples)",
+                ns.len()
+            );
+        }
+    }
+
+    /// Per-benchmark timing state mirroring `criterion::Bencher`.
+    pub struct Bencher {
+        samples: usize,
+        ns_per_iter: Vec<f64>,
+    }
+
+    impl Bencher {
+        /// Times `routine` alone, batched to amortize timer overhead.
+        pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+            for _ in 0..self.samples {
+                let t0 = Instant::now();
+                for _ in 0..BATCH {
+                    black_box(routine());
+                }
+                let dt = t0.elapsed();
+                self.ns_per_iter
+                    .push(dt.as_nanos() as f64 / f64::from(BATCH));
+            }
+        }
+
+        /// Times `routine` over fresh `setup()` state, excluding setup.
+        pub fn iter_batched<S, O>(
+            &mut self,
+            mut setup: impl FnMut() -> S,
+            mut routine: impl FnMut(S) -> O,
+        ) {
+            for _ in 0..self.samples {
+                let inputs: Vec<S> = (0..BATCH).map(|_| setup()).collect();
+                let t0 = Instant::now();
+                for input in inputs {
+                    black_box(routine(input));
+                }
+                let dt = t0.elapsed();
+                self.ns_per_iter
+                    .push(dt.as_nanos() as f64 / f64::from(BATCH));
+            }
+        }
+    }
 }
 
 /// Formats a rate as the paper's `292.0k` / `1.2M`-style labels.

@@ -7,12 +7,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::hardening::Hardening;
 
 /// Index of a compartment within an image (compartment 0 is the default).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CompartmentId(pub u8);
 
 impl fmt::Display for CompartmentId {
@@ -27,7 +25,7 @@ impl fmt::Display for CompartmentId {
 /// Unikraft); the baseline mechanisms (`PageTable`, `Syscall`,
 /// `CubicleOs`) exist so the Figure 10 comparison systems can be expressed
 /// in the same configuration language.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum Mechanism {
     /// No hardware isolation (single flat domain).
@@ -84,7 +82,7 @@ impl fmt::Display for Mechanism {
 
 /// How shared *stack* data crosses compartments (§4.1 "Data Ownership" and
 /// the Data Shadow Stack design of Figure 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DataSharing {
     /// Doubled stacks with a shared upper half; references to shared stack
     /// variables are rewritten to `*(&var + STACK_SIZE)`. The paper's
@@ -124,7 +122,7 @@ impl fmt::Display for DataSharing {
 }
 
 /// Build-time description of one compartment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompartmentSpec {
     /// Compartment name from the configuration file (e.g. `comp1`).
     pub name: String,

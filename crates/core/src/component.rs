@@ -12,10 +12,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a registered component within an image.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ComponentId(pub u16);
 
 impl fmt::Display for ComponentId {
@@ -26,7 +24,7 @@ impl fmt::Display for ComponentId {
 
 /// Storage class of an annotated shared variable; each class gets a
 /// different data-sharing strategy at build time (§3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VarStorage {
     /// Statically allocated (placed in a shared section).
     Static,
@@ -38,7 +36,7 @@ pub enum VarStorage {
 
 /// One `__shared(...)` annotation: a variable shared with a whitelist of
 /// other components (§3.1 "Data Ownership Approach").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SharedVar {
     /// Symbol name, e.g. `errmsg`.
     pub name: String,
@@ -80,7 +78,7 @@ impl SharedVar {
 }
 
 /// Patch-size metadata from porting a component (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PortingPatch {
     /// Lines added by the port (including automatic gate replacements).
     pub added: u32,
@@ -95,7 +93,7 @@ impl fmt::Display for PortingPatch {
 }
 
 /// Broad classification of a component, used by the TCB analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ComponentKind {
     /// Core kernel library that is part of the trusted computing base
     /// (boot, memory manager, scheduler, interrupt handling, backend).
@@ -109,7 +107,7 @@ pub enum ComponentKind {
 }
 
 /// A ported component: name, annotations, entry points, patch metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Component {
     /// Component (micro-library) name, e.g. `"lwip"`.
     pub name: String,
@@ -252,7 +250,9 @@ mod tests {
     fn registry_assigns_sequential_ids() {
         let mut r = ComponentRegistry::new();
         let a = r.register(Component::new("a", ComponentKind::App)).unwrap();
-        let b = r.register(Component::new("b", ComponentKind::Kernel)).unwrap();
+        let b = r
+            .register(Component::new("b", ComponentKind::Kernel))
+            .unwrap();
         assert_eq!(a, ComponentId(0));
         assert_eq!(b, ComponentId(1));
         assert_eq!(r.lookup("b"), Some(b));

@@ -24,15 +24,13 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use flexos_machine::fault::Fault;
 
 use crate::compartment::{CompartmentSpec, DataSharing, Mechanism};
 use crate::hardening::Hardening;
 
 /// A complete build-time safety configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SafetyConfig {
     /// Compartments in declaration order; index = [`CompartmentId`] value.
     ///
@@ -165,7 +163,11 @@ impl fmt::Display for SafetyConfig {
                 writeln!(f, "    default: True")?;
             }
             if !c.hardening.is_none() {
-                writeln!(f, "    hardening: [{}]", c.hardening.to_string().replace('+', ", "))?;
+                writeln!(
+                    f,
+                    "    hardening: [{}]",
+                    c.hardening.to_string().replace('+', ", ")
+                )?;
             }
         }
         writeln!(f, "libraries:")?;
@@ -250,8 +252,7 @@ fn parse(text: &str) -> Result<SafetyConfig, Fault> {
         if trimmed.is_empty() {
             continue;
         }
-        let err_at =
-            |msg: &str| invalid(format!("line {}: {msg}: `{raw}`", lineno + 1));
+        let err_at = |msg: &str| invalid(format!("line {}: {msg}: `{raw}`", lineno + 1));
 
         if trimmed == "compartments:" {
             section = Section::Compartments;
@@ -408,8 +409,7 @@ libraries:
 
     #[test]
     fn rejects_duplicate_placement() {
-        let bad =
-            "compartments:\n- c1:\n    default: True\nlibraries:\n- lwip: c1\n- lwip: c1\n";
+        let bad = "compartments:\n- c1:\n    default: True\nlibraries:\n- lwip: c1\n- lwip: c1\n";
         assert!(SafetyConfig::parse_str(bad).is_err());
     }
 
@@ -443,10 +443,9 @@ libraries:
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn display_parse_roundtrip() {
         let cfg = SafetyConfig::parse_str(PAPER_SNIPPET).unwrap();
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: SafetyConfig = serde_json::from_str(&json).unwrap();
+        let back = SafetyConfig::parse_str(&cfg.to_string()).unwrap();
         assert_eq!(cfg, back);
     }
 }

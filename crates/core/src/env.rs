@@ -472,7 +472,9 @@ impl Env {
         self.machine
             .clock()
             .advance_f64(data.len() as f64 * self.machine.cost().mem_per_byte);
-        self.machine.memory_mut().write(addr, data, &self.pkru.get())
+        self.machine
+            .memory_mut()
+            .write(addr, data, &self.pkru.get())
     }
 
     /// Reads a little-endian `u64`.

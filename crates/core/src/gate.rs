@@ -12,14 +12,12 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use flexos_machine::cost::CostModel;
 
 use crate::compartment::{CompartmentId, DataSharing, Mechanism};
 
 /// The concrete implementation a gate was instantiated to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum GateKind {
     /// Same compartment: a plain (inlined) function call.
@@ -67,7 +65,11 @@ impl GateKind {
     /// strategy. Mixed-mechanism pairs take the *stronger* (costlier)
     /// mechanism's gate, since both domains must be protected.
     pub fn between(from: Mechanism, to: Mechanism, sharing: DataSharing) -> GateKind {
-        let stronger = if from.strength() >= to.strength() { from } else { to };
+        let stronger = if from.strength() >= to.strength() {
+            from
+        } else {
+            to
+        };
         match stronger {
             Mechanism::None => GateKind::DirectCall,
             Mechanism::IntelMpk => match sharing {
@@ -185,7 +187,9 @@ impl GateTable {
 
     /// Iterates the instantiated non-direct gates (for the transform
     /// report).
-    pub fn instantiated(&self) -> impl Iterator<Item = (CompartmentId, CompartmentId, GateKind)> + '_ {
+    pub fn instantiated(
+        &self,
+    ) -> impl Iterator<Item = (CompartmentId, CompartmentId, GateKind)> + '_ {
         self.kinds.iter().enumerate().flat_map(|(i, row)| {
             row.iter().enumerate().filter_map(move |(j, &k)| {
                 k.crosses_domain()
@@ -214,7 +218,10 @@ mod tests {
     fn gate_selection_by_mechanism() {
         use DataSharing as DS;
         use Mechanism as M;
-        assert_eq!(GateKind::between(M::None, M::None, DS::Dss), GateKind::DirectCall);
+        assert_eq!(
+            GateKind::between(M::None, M::None, DS::Dss),
+            GateKind::DirectCall
+        );
         assert_eq!(
             GateKind::between(M::IntelMpk, M::IntelMpk, DS::Dss),
             GateKind::MpkDss
@@ -223,7 +230,10 @@ mod tests {
             GateKind::between(M::IntelMpk, M::IntelMpk, DS::SharedStack),
             GateKind::MpkLight
         );
-        assert_eq!(GateKind::between(M::VmEpt, M::VmEpt, DS::Dss), GateKind::EptRpc);
+        assert_eq!(
+            GateKind::between(M::VmEpt, M::VmEpt, DS::Dss),
+            GateKind::EptRpc
+        );
         // Mixed MPK/EPT: the stronger mechanism's gate wins.
         assert_eq!(
             GateKind::between(M::IntelMpk, M::VmEpt, DS::Dss),

@@ -9,10 +9,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A set of software hardening mechanisms applied to one component.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Hardening {
     /// Control-flow integrity (indirect-call target checks).
     pub cfi: bool,
@@ -167,8 +165,14 @@ mod tests {
     #[test]
     fn display_lists_mechanisms() {
         assert_eq!(Hardening::NONE.to_string(), "none");
-        assert_eq!(Hardening::FULL.to_string(), "cfi+kasan+ubsan+stack-protector");
-        assert_eq!(Hardening::FIG6_BUNDLE.to_string(), "kasan+ubsan+stack-protector");
+        assert_eq!(
+            Hardening::FULL.to_string(),
+            "cfi+kasan+ubsan+stack-protector"
+        );
+        assert_eq!(
+            Hardening::FIG6_BUNDLE.to_string(),
+            "kasan+ubsan+stack-protector"
+        );
     }
 
     #[test]

@@ -31,8 +31,6 @@ use flexos_machine::key::{Pkru, ProtKey};
 use flexos_machine::layout::RegionKind;
 use flexos_machine::Machine;
 
-use serde::{Deserialize, Serialize};
-
 use crate::backend::IsolationBackend;
 use crate::compartment::{CompartmentId, Mechanism};
 use crate::component::{Component, ComponentId, ComponentRegistry, VarStorage};
@@ -49,7 +47,7 @@ pub const SHARED_KEY_INDEX: u8 = 15;
 pub const MPK_MAX_COMPARTMENTS: usize = 14;
 
 /// What the toolchain did, for inspection and the Table 1/§3.1 claims.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TransformReport {
     /// The generated linker script.
     pub linker_script: String,
@@ -166,8 +164,8 @@ impl ImageBuilder {
             backend.validate(config, &self.registry)?;
         }
         let isolated = mechanisms.iter().any(|m| *m != Mechanism::None);
-        let uses_mpk = mechanisms.contains(&Mechanism::IntelMpk)
-            || mechanisms.contains(&Mechanism::CubicleOs);
+        let uses_mpk =
+            mechanisms.contains(&Mechanism::IntelMpk) || mechanisms.contains(&Mechanism::CubicleOs);
         if uses_mpk && config.compartment_count() > MPK_MAX_COMPARTMENTS {
             return Err(Fault::InvalidConfig {
                 reason: format!(
@@ -244,7 +242,11 @@ impl ImageBuilder {
         let shared_region = self.machine.map_region_kind(
             "shared/heap",
             self.shared_heap_pages,
-            if isolated { shared_key } else { ProtKey::DEFAULT },
+            if isolated {
+                shared_key
+            } else {
+                ProtKey::DEFAULT
+            },
             RegionKind::SharedHeap,
         )?;
         let shared_heap = Rc::new(RefCellHeap::new(Heap::new(
@@ -497,9 +499,7 @@ mod tests {
         let machine = Machine::new(Machine::DEFAULT_MEM_BYTES);
         let mut builder = ImageBuilder::new(machine, two_comp_config());
         builder
-            .register(
-                Component::new("app", ComponentKind::App).with_entry_points(&["app_main"]),
-            )
+            .register(Component::new("app", ComponentKind::App).with_entry_points(&["app_main"]))
             .unwrap();
         builder
             .register(
@@ -540,8 +540,7 @@ mod tests {
             // FIG6-hardened).
             assert_eq!(
                 elapsed,
-                env.machine().cost().mpk_dss_gate
-                    + env.machine().cost().stack_protector_frame
+                env.machine().cost().mpk_dss_gate + env.machine().cost().stack_protector_frame
             );
         });
         assert_eq!(env.gates().total_crossings(), 1);
@@ -554,9 +553,7 @@ mod tests {
         let app = env.component_id("app").unwrap();
         let lwip = env.component_id("lwip").unwrap();
         env.run_as(app, || {
-            let err = env
-                .call(lwip, "lwip_internal_fn", || Ok(()))
-                .unwrap_err();
+            let err = env.call(lwip, "lwip_internal_fn", || Ok(())).unwrap_err();
             assert!(matches!(err, Fault::IllegalEntryPoint { .. }));
         });
     }
@@ -614,8 +611,11 @@ mod tests {
         let mut builder = ImageBuilder::new(machine, config);
         builder
             .register(
-                Component::new("a", ComponentKind::App)
-                    .with_shared(SharedVar::stat("table", 64, &["b"])),
+                Component::new("a", ComponentKind::App).with_shared(SharedVar::stat(
+                    "table",
+                    64,
+                    &["b"],
+                )),
             )
             .unwrap();
         builder
@@ -734,9 +734,7 @@ mod tests {
             .register(Component::new("app", ComponentKind::App))
             .unwrap();
         builder
-            .register(
-                Component::new("srv", ComponentKind::Kernel).with_entry_points(&["srv_fn"]),
-            )
+            .register(Component::new("srv", ComponentKind::Kernel).with_entry_points(&["srv_fn"]))
             .unwrap();
         let image = builder.build(&[&TestMpk]).unwrap();
         let env = Rc::clone(&image.env);

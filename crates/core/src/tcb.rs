@@ -9,8 +9,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The five TCB member categories of §3.3.
 pub const TCB_MEMBERS: [&str; 5] = [
     "early-boot",
@@ -25,7 +23,7 @@ pub const TCB_MEMBERS: [&str; 5] = [
 pub const CORE_TCB_LOC: u32 = 850;
 
 /// Per-image TCB accounting, included in the transform report.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TcbReport {
     /// Member categories present in the image.
     pub members: Vec<String>,

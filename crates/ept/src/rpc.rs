@@ -130,6 +130,11 @@ impl RpcRing {
         let at = self.entry_addr(tail);
         let status_word = mem.read_u64(at + 24, pkru)?;
         if status_word != status::REQUEST {
+            // A fresh (zeroed) slot is EMPTY; a retired one is DONE.
+            debug_assert!(
+                status_word == status::EMPTY || status_word == status::DONE,
+                "corrupt RPC slot status {status_word}"
+            );
             return Ok(None);
         }
         Ok(Some(RpcRequest {
@@ -166,7 +171,12 @@ impl RpcRing {
     /// # Errors
     ///
     /// Protection faults if `pkru` does not map the shared region.
-    pub fn fetch_reply(&self, machine: &Machine, pkru: &Pkru, slot: u64) -> Result<Option<u64>, Fault> {
+    pub fn fetch_reply(
+        &self,
+        machine: &Machine,
+        pkru: &Pkru,
+        slot: u64,
+    ) -> Result<Option<u64>, Fault> {
         let mem = machine.memory();
         let at = self.entry_addr(slot);
         if mem.read_u64(at + 24, pkru)? != status::DONE {

@@ -91,8 +91,7 @@ impl Strategy {
         let coarse = blocks(self);
         let fine = blocks(other);
         // Every fine block must be a subset of some coarse block.
-        fine.iter()
-            .all(|f| coarse.iter().any(|c| f & c == *f))
+        fine.iter().all(|f| coarse.iter().any(|c| f & c == *f))
     }
 }
 

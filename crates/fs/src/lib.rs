@@ -41,8 +41,15 @@ pub fn vfscore_component() -> Component {
             SharedVar::stat("vfs_sync_epoch", 8, &["ramfs"]),
         ])
         .with_entry_points(&[
-            "vfs_open", "vfs_close", "vfs_read", "vfs_write", "vfs_lseek",
-            "vfs_fsync", "vfs_unlink", "vfs_stat", "vfs_truncate",
+            "vfs_open",
+            "vfs_close",
+            "vfs_read",
+            "vfs_write",
+            "vfs_lseek",
+            "vfs_fsync",
+            "vfs_unlink",
+            "vfs_stat",
+            "vfs_truncate",
         ])
         .with_patch(110, 25)
 }
@@ -58,8 +65,12 @@ pub fn ramfs_component() -> Component {
             SharedVar::stat("ramfs_free_hint", 8, &["vfscore"]),
         ])
         .with_entry_points(&[
-            "ramfs_lookup", "ramfs_create", "ramfs_read_block",
-            "ramfs_write_block", "ramfs_remove", "ramfs_resize",
+            "ramfs_lookup",
+            "ramfs_create",
+            "ramfs_read_block",
+            "ramfs_write_block",
+            "ramfs_remove",
+            "ramfs_resize",
         ])
         .with_patch(38, 12)
 }

@@ -83,7 +83,9 @@ pub struct Vfs {
 
 impl std::fmt::Debug for Vfs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Vfs").field("stats", &self.stats.get()).finish()
+        f.debug_struct("Vfs")
+            .field("stats", &self.stats.get())
+            .finish()
     }
 }
 

@@ -58,7 +58,9 @@ pub struct Newlib {
 
 impl std::fmt::Debug for Newlib {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Newlib").field("stats", &self.stats.get()).finish()
+        f.debug_struct("Newlib")
+            .field("stats", &self.stats.get())
+            .finish()
     }
 }
 
@@ -243,8 +245,9 @@ impl Newlib {
             let net = Rc::clone(&self.net);
             self.env
                 .call(net.component_id(), "lwip_poll", || net.poll().map(|_| ()))?;
-            self.env
-                .call(net.component_id(), "lwip_accept", || Ok(net.accept(listener)))
+            self.env.call(net.component_id(), "lwip_accept", || {
+                Ok(net.accept(listener))
+            })
         })
     }
 
@@ -421,7 +424,8 @@ impl Newlib {
         self.bump(|st| st.file_calls += 1);
         self.env.call(self.id, "nl_close", || {
             let vfs = Rc::clone(&self.vfs);
-            self.env.call(vfs.component_id(), "vfs_close", || vfs.close(fd))
+            self.env
+                .call(vfs.component_id(), "vfs_close", || vfs.close(fd))
         })
     }
 
@@ -434,7 +438,8 @@ impl Newlib {
         self.bump(|st| st.file_calls += 1);
         self.env.call(self.id, "nl_read", || {
             let vfs = Rc::clone(&self.vfs);
-            self.env.call(vfs.component_id(), "vfs_read", || vfs.read(fd, len))
+            self.env
+                .call(vfs.component_id(), "vfs_read", || vfs.read(fd, len))
         })
     }
 
@@ -475,7 +480,8 @@ impl Newlib {
         self.bump(|st| st.file_calls += 1);
         self.env.call(self.id, "nl_fsync", || {
             let vfs = Rc::clone(&self.vfs);
-            self.env.call(vfs.component_id(), "vfs_fsync", || vfs.fsync(fd))
+            self.env
+                .call(vfs.component_id(), "vfs_fsync", || vfs.fsync(fd))
         })
     }
 
@@ -502,8 +508,9 @@ impl Newlib {
         self.bump(|st| st.file_calls += 1);
         self.env.call(self.id, "nl_stat", || {
             let vfs = Rc::clone(&self.vfs);
-            self.env
-                .call(vfs.component_id(), "vfs_stat", || vfs.stat(path).map(|s| s.size))
+            self.env.call(vfs.component_id(), "vfs_stat", || {
+                vfs.stat(path).map(|s| s.size)
+            })
         })
     }
 
@@ -529,18 +536,44 @@ impl Newlib {
 pub fn component() -> Component {
     Component::new("newlib", ComponentKind::UserLib)
         .with_shared_vars([
-            SharedVar::stat("errno_global", 4, &["redis", "nginx", "iperf", "sqlite", "lwip"]),
-            SharedVar::heap("stdio_buffers", 4096, &["redis", "nginx", "iperf", "sqlite"]),
-            SharedVar::heap("malloc_arena_meta", 512, &["redis", "nginx", "iperf", "sqlite"]),
+            SharedVar::stat(
+                "errno_global",
+                4,
+                &["redis", "nginx", "iperf", "sqlite", "lwip"],
+            ),
+            SharedVar::heap(
+                "stdio_buffers",
+                4096,
+                &["redis", "nginx", "iperf", "sqlite"],
+            ),
+            SharedVar::heap(
+                "malloc_arena_meta",
+                512,
+                &["redis", "nginx", "iperf", "sqlite"],
+            ),
             SharedVar::stack("fmt_scratch", 128, &["redis", "nginx", "sqlite"]),
             SharedVar::stat("locale_tab", 256, &["redis", "nginx"]),
             SharedVar::stat("atexit_list", 64, &["redis"]),
         ])
         .with_entry_points(&[
-            "nl_strlen", "nl_memchr", "nl_atoi", "nl_itoa", "nl_memcpy",
-            "nl_listen", "nl_accept", "nl_recv", "nl_send",
-            "nl_open", "nl_close", "nl_read", "nl_write", "nl_lseek",
-            "nl_fsync", "nl_unlink", "nl_stat", "nl_time",
+            "nl_strlen",
+            "nl_memchr",
+            "nl_atoi",
+            "nl_itoa",
+            "nl_memcpy",
+            "nl_listen",
+            "nl_accept",
+            "nl_recv",
+            "nl_send",
+            "nl_open",
+            "nl_close",
+            "nl_read",
+            "nl_write",
+            "nl_lseek",
+            "nl_fsync",
+            "nl_unlink",
+            "nl_stat",
+            "nl_time",
         ])
         .with_patch(130, 42)
 }

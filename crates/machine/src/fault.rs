@@ -116,14 +116,20 @@ impl fmt::Display for Fault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Fault::ProtectionKey { addr, key, access } => {
-                write!(f, "protection-key fault: {access} at {addr} (page tagged {key})")
+                write!(
+                    f,
+                    "protection-key fault: {access} at {addr} (page tagged {key})"
+                )
             }
             Fault::Unmapped { addr } => write!(f, "unmapped address {addr}"),
             Fault::OutOfBounds { addr, len } => {
                 write!(f, "access out of simulated memory at {addr} (+{len})")
             }
             Fault::KeyExhausted { requested } => {
-                write!(f, "protection key {requested} requested but hardware offers 16")
+                write!(
+                    f,
+                    "protection key {requested} requested but hardware offers 16"
+                )
             }
             Fault::IllegalEntryPoint { entry, compartment } => {
                 write!(f, "gate refused entry: `{entry}` is not an entry point of compartment `{compartment}`")
@@ -136,7 +142,10 @@ impl fmt::Display for Fault {
             Fault::CanarySmashed { thread } => {
                 write!(f, "stack protector: canary smashed on thread {thread}")
             }
-            Fault::NotWhitelisted { variable, compartment } => {
+            Fault::NotWhitelisted {
+                variable,
+                compartment,
+            } => {
                 write!(f, "shared variable `{variable}` is not whitelisted for compartment `{compartment}`")
             }
             Fault::WxViolation { component } => {

@@ -130,17 +130,13 @@ impl Memory {
         Ok(frame.key)
     }
 
-    fn check_range(
-        &self,
-        addr: Addr,
-        len: u64,
-        pkru: &Pkru,
-        kind: Access,
-    ) -> Result<(), Fault> {
+    fn check_range(&self, addr: Addr, len: u64, pkru: &Pkru, kind: Access) -> Result<(), Fault> {
         if len == 0 {
             return Ok(());
         }
-        let end = addr.checked_add(len - 1).ok_or(Fault::OutOfBounds { addr, len })?;
+        let end = addr
+            .checked_add(len - 1)
+            .ok_or(Fault::OutOfBounds { addr, len })?;
         let first = addr.page_index();
         let last = end.page_index();
         if last >= self.frames.len() as u64 {

@@ -35,28 +35,61 @@ impl MpkGate {
             MpkGate::Full => {
                 let wrpkru = model.wrpkru;
                 vec![
-                    GateStep { name: "save caller registers", cycles: 14 },
-                    GateStep { name: "zero non-argument registers", cycles: 6 },
-                    GateStep { name: "load function arguments", cycles: 2 },
-                    GateStep { name: "save stack pointer", cycles: 2 },
-                    GateStep { name: "wrpkru (enter callee domain)", cycles: wrpkru },
-                    GateStep { name: "stack-registry lookup + switch", cycles: 8 },
-                    GateStep { name: "call instruction", cycles: model.function_call },
-                    GateStep { name: "return: wrpkru (exit domain)", cycles: wrpkru },
+                    GateStep {
+                        name: "save caller registers",
+                        cycles: 14,
+                    },
+                    GateStep {
+                        name: "zero non-argument registers",
+                        cycles: 6,
+                    },
+                    GateStep {
+                        name: "load function arguments",
+                        cycles: 2,
+                    },
+                    GateStep {
+                        name: "save stack pointer",
+                        cycles: 2,
+                    },
+                    GateStep {
+                        name: "wrpkru (enter callee domain)",
+                        cycles: wrpkru,
+                    },
+                    GateStep {
+                        name: "stack-registry lookup + switch",
+                        cycles: 8,
+                    },
+                    GateStep {
+                        name: "call instruction",
+                        cycles: model.function_call,
+                    },
+                    GateStep {
+                        name: "return: wrpkru (exit domain)",
+                        cycles: wrpkru,
+                    },
                     GateStep {
                         name: "return: restore stack + registers",
-                        cycles: model
-                            .mpk_dss_gate
-                            .saturating_sub(14 + 6 + 2 + 2 + wrpkru + 8 + model.function_call + wrpkru),
+                        cycles: model.mpk_dss_gate.saturating_sub(
+                            14 + 6 + 2 + 2 + wrpkru + 8 + model.function_call + wrpkru,
+                        ),
                     },
                 ]
             }
             MpkGate::Light => {
                 let wrpkru = model.wrpkru;
                 vec![
-                    GateStep { name: "wrpkru (enter callee domain)", cycles: wrpkru },
-                    GateStep { name: "call instruction", cycles: model.function_call },
-                    GateStep { name: "return: wrpkru (exit domain)", cycles: wrpkru },
+                    GateStep {
+                        name: "wrpkru (enter callee domain)",
+                        cycles: wrpkru,
+                    },
+                    GateStep {
+                        name: "call instruction",
+                        cycles: model.function_call,
+                    },
+                    GateStep {
+                        name: "return: wrpkru (exit domain)",
+                        cycles: wrpkru,
+                    },
                 ]
             }
         }

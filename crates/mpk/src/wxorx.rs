@@ -78,7 +78,10 @@ mod tests {
 
     #[test]
     fn synthesized_text_is_deterministic() {
-        assert_eq!(synthesize_text("redis", 4096), synthesize_text("redis", 4096));
+        assert_eq!(
+            synthesize_text("redis", 4096),
+            synthesize_text("redis", 4096)
+        );
         assert_ne!(synthesize_text("redis", 64), synthesize_text("nginx", 64));
     }
 

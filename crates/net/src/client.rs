@@ -39,9 +39,7 @@ impl TcpClient {
             established: false,
             rx: Vec::new(),
         };
-        stack.client_inject(
-            Segment::control(src_port, dst_port, iss, 0, FLAG_SYN).to_bytes(),
-        );
+        stack.client_inject(Segment::control(src_port, dst_port, iss, 0, FLAG_SYN).to_bytes());
         stack.service()?;
         client.drain(stack)?;
         if !client.established {
@@ -51,14 +49,8 @@ impl TcpClient {
         }
         // Final ACK of the handshake.
         stack.client_inject(
-            Segment::control(
-                src_port,
-                dst_port,
-                client.snd_nxt,
-                client.rcv_nxt,
-                FLAG_ACK,
-            )
-            .to_bytes(),
+            Segment::control(src_port, dst_port, client.snd_nxt, client.rcv_nxt, FLAG_ACK)
+                .to_bytes(),
         );
         stack.service()?;
         Ok(client)

@@ -66,8 +66,14 @@ pub fn component() -> Component {
     Component::new("lwip", ComponentKind::Kernel)
         .with_shared_vars(vars)
         .with_entry_points(&[
-            "lwip_socket", "lwip_bind", "lwip_listen", "lwip_accept",
-            "lwip_recv", "lwip_send", "lwip_poll", "lwip_close",
+            "lwip_socket",
+            "lwip_bind",
+            "lwip_listen",
+            "lwip_accept",
+            "lwip_recv",
+            "lwip_send",
+            "lwip_poll",
+            "lwip_close",
         ])
         .with_patch(542, 275)
 }

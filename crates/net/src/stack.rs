@@ -232,7 +232,8 @@ impl NetStack {
                 None => return Ok(()), // no listener: drop (no RST needed here)
             };
             let conn_sock = {
-                let sock = Socket::connection(&self.env, seg.dst_port, seg.src_port, RX_RING_BYTES)?;
+                let sock =
+                    Socket::connection(&self.env, seg.dst_port, seg.src_port, RX_RING_BYTES)?;
                 let mut socks = self.sockets.borrow_mut();
                 socks.push(sock);
                 SocketHandle((socks.len() - 1) as u32)
@@ -278,9 +279,7 @@ impl NetStack {
                         let conn = self.conns.borrow()[&key];
                         let pushed = {
                             let mut socks = self.sockets.borrow_mut();
-                            let s = socks
-                                .get_mut(conn.0 as usize)
-                                .expect("conn socket exists");
+                            let s = socks.get_mut(conn.0 as usize).expect("conn socket exists");
                             s.rx.as_mut()
                                 .expect("connection has rx ring")
                                 .push(&self.env, &seg.payload)?

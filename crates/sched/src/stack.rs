@@ -87,9 +87,11 @@ impl StackRegistry {
                     dom.key,
                     RegionKind::Stack,
                 )?;
-                machine
-                    .memory_mut()
-                    .set_key(region.base() + STACK_SIZE, STACK_PAGES, shared_key)?;
+                machine.memory_mut().set_key(
+                    region.base() + STACK_SIZE,
+                    STACK_PAGES,
+                    shared_key,
+                )?;
                 ThreadStack {
                     base: region.base(),
                     has_dss: true,

@@ -158,12 +158,9 @@ impl SystemBuilder {
         };
 
         // Boot: spawn the main thread homed where the first app lives.
-        let home = app_ids
-            .first()
-            .map(|&id| env.compartment_of(id))
-            .unwrap_or(flexos_core::compartment::CompartmentId(
-                self.config.default_compartment() as u8,
-            ));
+        let home = app_ids.first().map(|&id| env.compartment_of(id)).unwrap_or(
+            flexos_core::compartment::CompartmentId(self.config.default_compartment() as u8),
+        );
         let (main_thread, _) = env.run_as(sched_id, || sched.spawn("main", home))?;
 
         Ok(FlexOs {
@@ -230,7 +227,10 @@ impl FlexOs {
     ///
     /// Panics if no application component was registered.
     pub fn run_app<R>(&self, f: impl FnOnce() -> R) -> R {
-        let app = *self.app_ids.first().expect("an app component is registered");
+        let app = *self
+            .app_ids
+            .first()
+            .expect("an app component is registered");
         self.env.run_as(app, f)
     }
 

@@ -39,11 +39,7 @@ pub fn mpk2(isolated: &[&str], sharing: DataSharing) -> Result<SafetyConfig, Fau
 /// # Errors
 ///
 /// Propagates configuration validation faults.
-pub fn mpk3(
-    second: &[&str],
-    third: &[&str],
-    sharing: DataSharing,
-) -> Result<SafetyConfig, Fault> {
+pub fn mpk3(second: &[&str], third: &[&str], sharing: DataSharing) -> Result<SafetyConfig, Fault> {
     let mut b = SafetyConfig::builder()
         .compartment(CompartmentSpec::new("comp1", Mechanism::IntelMpk).default_compartment())
         .compartment(CompartmentSpec::new("comp2", Mechanism::IntelMpk))

@@ -24,8 +24,8 @@
 //! ```
 
 pub mod builder;
+pub mod configs;
 #[cfg(test)]
 mod tests;
-pub mod configs;
 
 pub use builder::{FlexOs, SystemBuilder};

@@ -12,7 +12,9 @@ fn standard_component_set_is_registered() {
         .app(Component::new("demo", ComponentKind::App))
         .build()
         .unwrap();
-    for name in ["uksched", "uktime", "vfscore", "ramfs", "lwip", "newlib", "demo"] {
+    for name in [
+        "uksched", "uktime", "vfscore", "ramfs", "lwip", "newlib", "demo",
+    ] {
         assert!(os.component(name).is_some(), "{name} missing");
     }
     assert_eq!(os.app_ids.len(), 1);
@@ -57,7 +59,10 @@ fn ept_configs_generate_vm_inventory() {
         .build()
         .unwrap();
     assert_eq!(os.vm_images.len(), 2);
-    assert!(os.vm_images.iter().any(|vm| vm.libraries.contains(&"ramfs".to_string())));
+    assert!(os
+        .vm_images
+        .iter()
+        .any(|vm| vm.libraries.contains(&"ramfs".to_string())));
 }
 
 #[test]
@@ -76,10 +81,12 @@ fn alloc_surcharge_knob_reaches_every_heap() {
 
 #[test]
 fn report_survives_the_full_standard_build() {
-    let os = SystemBuilder::new(configs::mpk3(&["vfscore", "ramfs"], &["uktime"], DataSharing::Dss).unwrap())
-        .app(Component::new("demo", ComponentKind::App))
-        .build()
-        .unwrap();
+    let os = SystemBuilder::new(
+        configs::mpk3(&["vfscore", "ramfs"], &["uktime"], DataSharing::Dss).unwrap(),
+    )
+    .app(Component::new("demo", ComponentKind::App))
+    .build()
+    .unwrap();
     assert_eq!(os.report.compartments.len(), 3);
     // 3 compartments -> 6 directed cross-domain gates.
     assert_eq!(os.report.gates.len(), 6);

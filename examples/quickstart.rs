@@ -40,13 +40,11 @@ fn main() -> Result<(), Fault> {
         env.mem_write(addr, b"top-secret-value")?;
         Ok::<_, Fault>(addr)
     })?;
-    env.run_as(lwip, || {
-        match env.mem_read_vec(secret, 16) {
-            Err(Fault::ProtectionKey { .. }) => {
-                println!("lwip -> redis heap: protection-key fault (as MPK guarantees)");
-            }
-            other => println!("unexpected: {other:?}"),
+    env.run_as(lwip, || match env.mem_read_vec(secret, 16) {
+        Err(Fault::ProtectionKey { .. }) => {
+            println!("lwip -> redis heap: protection-key fault (as MPK guarantees)");
         }
+        other => println!("unexpected: {other:?}"),
     });
 
     // 4. The toolchain's artifacts are inspectable, like the paper's

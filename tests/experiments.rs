@@ -72,8 +72,7 @@ fn isolation_for_free_lwip_and_sched_cuts_compose() {
     // §6.1: lwip never talks to the scheduler, so the 3-compartment
     // config costs only a few points more than the 2-compartment one.
     let two = redis_throughput(configs::mpk2(&["uksched", "lwip"], DataSharing::Dss).unwrap());
-    let three =
-        redis_throughput(configs::mpk3(&["uksched"], &["lwip"], DataSharing::Dss).unwrap());
+    let three = redis_throughput(configs::mpk3(&["uksched"], &["lwip"], DataSharing::Dss).unwrap());
     let delta = (two / three - 1.0).abs();
     assert!(delta < 0.08, "B+C composition delta {delta:.3}");
 }
@@ -133,11 +132,20 @@ fn fig10_ordering_holds() {
 
     assert!(none < mpk3 && mpk3 < ept2, "NONE < MPK3 < EPT2");
     // "FlexOS with EPT2 performs almost identically to Linux" (§6.4).
-    assert!((ept2 / linux - 1.0).abs() < 0.25, "EPT2 {ept2} vs Linux {linux}");
+    assert!(
+        (ept2 / linux - 1.0).abs() < 0.25,
+        "EPT2 {ept2} vs Linux {linux}"
+    );
     assert!(sel4 > ept2, "seL4 slower than EPT2");
-    assert!(cub_none > sel4, "CubicleOS linuxu base slowest of the bases");
+    assert!(
+        cub_none > sel4,
+        "CubicleOS linuxu base slowest of the bases"
+    );
     // "Compared to CubicleOS, FlexOS is an order of magnitude faster".
-    assert!(cub_mpk3 / mpk3 > 5.0, "CubicleOS MPK3 {cub_mpk3} vs FlexOS {mpk3}");
+    assert!(
+        cub_mpk3 / mpk3 > 5.0,
+        "CubicleOS MPK3 {cub_mpk3} vs FlexOS {mpk3}"
+    );
     // CubicleOS NONE beats the Unikraft linuxu baseline (Lea allocator).
     let uk_linuxu = sec("linuxu", "NONE");
     assert!(cub_none < uk_linuxu);
@@ -182,7 +190,10 @@ fn sqlite_crossing_counts_drive_the_mpk3_overhead() {
         (20.0..80.0).contains(&vfs_per_txn),
         "vfs ops/txn {vfs_per_txn}"
     );
-    assert!(time_per_txn > 0.5 * vfs_per_txn, "time queries track vfs ops");
+    assert!(
+        time_per_txn > 0.5 * vfs_per_txn,
+        "time queries track vfs ops"
+    );
 }
 
 #[test]

@@ -39,7 +39,10 @@ fn compromised_component_cannot_read_foreign_compartment() {
 
     // Redis itself still reads it fine.
     env.run_as(redis, || {
-        assert_eq!(env.mem_read_vec(secret_addr, 22).unwrap(), b"session-key-0xDEADBEEF");
+        assert_eq!(
+            env.mem_read_vec(secret_addr, 22).unwrap(),
+            b"session-key-0xDEADBEEF"
+        );
     });
 }
 
@@ -53,7 +56,9 @@ fn gates_are_the_only_legal_entries() {
         // Registered entry point: fine.
         env.call(lwip, "lwip_recv", || Ok(())).unwrap();
         // Internal function: the gate's CFI property refuses it.
-        let err = env.call(lwip, "lwip_internal_timer", || Ok(())).unwrap_err();
+        let err = env
+            .call(lwip, "lwip_internal_timer", || Ok(()))
+            .unwrap_err();
         assert!(matches!(err, Fault::IllegalEntryPoint { .. }));
     });
 }

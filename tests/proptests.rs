@@ -1,6 +1,10 @@
-//! Property-based tests over the core data structures and invariants.
-
-use proptest::prelude::*;
+//! Randomized property tests over the core data structures and invariants.
+//!
+//! The container image has no access to crates.io, so instead of
+//! `proptest` these use a small deterministic xorshift PRNG: every
+//! property is exercised over many generated cases from a fixed seed,
+//! which keeps runs reproducible while still sweeping a wide input
+//! space. Shrinking is lost; determinism is gained.
 
 use flexos::prelude::*;
 use flexos_alloc::{lea::Lea, tlsf::Tlsf, RegionAlloc};
@@ -9,6 +13,34 @@ use flexos_machine::addr::Addr;
 use flexos_machine::key::{Access, Pkru, ProtKey};
 use flexos_machine::mem::Memory;
 
+/// Deterministic xorshift64* generator; good enough to churn data
+/// structures, not meant for anything cryptographic.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish value in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+}
+
 /// An allocator action for the churn property.
 #[derive(Debug, Clone)]
 enum Action {
@@ -16,21 +48,24 @@ enum Action {
     FreeNth(usize),
 }
 
-fn actions() -> impl Strategy<Value = Vec<Action>> {
-    prop::collection::vec(
-        prop_oneof![
-            (1u64..4096).prop_map(Action::Alloc),
-            (0usize..64).prop_map(Action::FreeNth),
-        ],
-        1..120,
-    )
+fn actions(rng: &mut Rng) -> Vec<Action> {
+    let n = rng.range(1, 120) as usize;
+    (0..n)
+        .map(|_| {
+            if rng.next() % 2 == 0 {
+                Action::Alloc(rng.range(1, 4096))
+            } else {
+                Action::FreeNth(rng.range(0, 64) as usize)
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn tlsf_never_overlaps_and_keeps_tiling(ops in actions()) {
+#[test]
+fn tlsf_never_overlaps_and_keeps_tiling() {
+    let mut rng = Rng::new(0x7153_f001);
+    for _case in 0..64 {
+        let ops = actions(&mut rng);
         let mut tlsf = Tlsf::new(Addr::new(0x10000), 1 << 20);
         let mut live: Vec<(Addr, u64)> = Vec::new();
         for op in ops {
@@ -39,9 +74,8 @@ proptest! {
                     if let Ok(addr) = tlsf.alloc(size, 16) {
                         let len = tlsf.size_of(addr).expect("live block has a size");
                         for &(other, olen) in &live {
-                            prop_assert!(
-                                addr.raw() + len <= other.raw()
-                                    || other.raw() + olen <= addr.raw(),
+                            assert!(
+                                addr.raw() + len <= other.raw() || other.raw() + olen <= addr.raw(),
                                 "overlap: {addr} and {other}"
                             );
                         }
@@ -55,12 +89,16 @@ proptest! {
                     }
                 }
             }
-            tlsf.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            tlsf.check_invariants().expect("tlsf invariants hold");
         }
     }
+}
 
-    #[test]
-    fn lea_roundtrips_and_keeps_tiling(ops in actions()) {
+#[test]
+fn lea_roundtrips_and_keeps_tiling() {
+    let mut rng = Rng::new(0x1ea0_f002);
+    for _case in 0..64 {
+        let ops = actions(&mut rng);
         let mut lea = Lea::new(Addr::new(0x10000), 1 << 20);
         let mut live: Vec<Addr> = Vec::new();
         for op in ops {
@@ -77,22 +115,25 @@ proptest! {
                     }
                 }
             }
-            lea.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            lea.check_invariants().expect("lea invariants hold");
         }
         for addr in live {
             lea.free(addr).expect("cleanup");
         }
-        prop_assert_eq!(lea.allocated_bytes(), 0);
+        assert_eq!(lea.allocated_bytes(), 0);
     }
+}
 
-    #[test]
-    fn memory_enforces_keys_for_arbitrary_accesses(
-        page in 1u64..63,
-        off in 0u64..4096,
-        len in 1u64..64,
-        my_key in 0u8..16,
-        page_key in 0u8..16,
-    ) {
+#[test]
+fn memory_enforces_keys_for_arbitrary_accesses() {
+    let mut rng = Rng::new(0x4e40_f003);
+    for _case in 0..128 {
+        let page = rng.range(1, 63);
+        let len = rng.range(1, 64);
+        let off = rng.range(0, 4096);
+        let my_key = rng.range(0, 16) as u8;
+        let page_key = rng.range(0, 16) as u8;
+
         let mut mem = Memory::new(64 * 4096);
         let base = Addr::new(page * 4096);
         mem.map(base, 1, ProtKey::new(page_key).unwrap()).unwrap();
@@ -100,60 +141,83 @@ proptest! {
         let addr = base + (off % (4096 - len));
         let allowed = my_key == page_key;
         let write = mem.write(addr, &vec![0xAB; len as usize], &pkru);
-        prop_assert_eq!(write.is_ok(), allowed);
+        assert_eq!(write.is_ok(), allowed);
         let read = mem.read_vec(addr, len, &pkru);
-        prop_assert_eq!(read.is_ok(), allowed);
+        assert_eq!(read.is_ok(), allowed);
     }
+}
 
-    #[test]
-    fn pkru_encode_decode_roundtrip(bits in any::<u32>()) {
+#[test]
+fn pkru_encode_decode_roundtrip() {
+    let mut rng = Rng::new(0x9c20_f004);
+    for _case in 0..256 {
+        let bits = rng.next() as u32;
         let pkru = Pkru::decode(bits);
-        prop_assert_eq!(Pkru::decode(pkru.encode()), pkru);
+        assert_eq!(Pkru::decode(pkru.encode()), pkru);
         // Semantics preserved: every key's permissions survive.
         for i in 0..16u8 {
             let k = ProtKey::new(i).unwrap();
-            prop_assert_eq!(
+            assert_eq!(
                 pkru.allows(k, Access::Read),
                 Pkru::decode(pkru.encode()).allows(k, Access::Read)
             );
         }
     }
+}
 
-    #[test]
-    fn resp_roundtrips(args in prop::collection::vec(
-        prop::collection::vec(any::<u8>(), 0..64), 1..6)) {
+#[test]
+fn resp_roundtrips() {
+    let mut rng = Rng::new(0x4e57_f005);
+    for _case in 0..128 {
+        let argc = rng.range(1, 6) as usize;
+        let args: Vec<Vec<u8>> = (0..argc)
+            .map(|_| {
+                let len = rng.range(0, 64) as usize;
+                rng.bytes(len)
+            })
+            .collect();
         let refs: Vec<&[u8]> = args.iter().map(|a| a.as_slice()).collect();
         let wire = flexos_apps::resp::encode_request(&refs);
         let (req, used) = flexos_apps::resp::decode_request(&wire)
             .expect("valid wire")
             .expect("complete");
-        prop_assert_eq!(used, wire.len());
-        prop_assert_eq!(req.argv, args);
+        assert_eq!(used, wire.len());
+        assert_eq!(req.argv, args);
     }
+}
 
-    #[test]
-    fn tcp_segments_roundtrip(
-        src in 1u16..u16::MAX, dst in 1u16..u16::MAX,
-        seq in any::<u32>(), ack in any::<u32>(),
-        payload in prop::collection::vec(any::<u8>(), 0..512),
-    ) {
-        use flexos::net::tcp::{Segment, FLAG_ACK, FLAG_PSH};
+#[test]
+fn tcp_segments_roundtrip() {
+    use flexos::net::tcp::{Segment, FLAG_ACK, FLAG_PSH};
+    let mut rng = Rng::new(0x7c90_f006);
+    for _case in 0..128 {
         let seg = Segment {
-            src_port: src, dst_port: dst, seq, ack,
-            flags: FLAG_ACK | FLAG_PSH, window: 1024,
-            payload,
+            src_port: rng.range(1, u64::from(u16::MAX)) as u16,
+            dst_port: rng.range(1, u64::from(u16::MAX)) as u16,
+            seq: rng.next() as u32,
+            ack: rng.next() as u32,
+            flags: FLAG_ACK | FLAG_PSH,
+            window: 1024,
+            payload: {
+                let len = rng.range(0, 512) as usize;
+                rng.bytes(len)
+            },
         };
         let parsed = Segment::parse(&seg.to_bytes()).expect("roundtrip");
-        prop_assert_eq!(parsed, seg);
+        assert_eq!(parsed, seg);
     }
+}
 
-    #[test]
-    fn corrupted_frames_never_parse(
-        payload in prop::collection::vec(any::<u8>(), 0..128),
-        flip in 0usize..128,
-        bit in 0u8..8,
-    ) {
-        use flexos::net::tcp::Segment;
+#[test]
+fn corrupted_frames_never_parse() {
+    use flexos::net::tcp::Segment;
+    let mut rng = Rng::new(0xc0f5_f007);
+    for _case in 0..128 {
+        let payload_len = rng.range(0, 128) as usize;
+        let payload = rng.bytes(payload_len);
+        let flip = rng.range(0, 128) as usize;
+        let bit = rng.range(0, 8) as u8;
+
         let seg = Segment::control(100, 200, 1, 2, 0x02);
         let mut wire = {
             let mut s = seg;
@@ -165,42 +229,77 @@ proptest! {
         // Either the flip is detected, or parsing reproduces a segment
         // that re-serializes to the flipped bytes (checksum field flip).
         if let Ok(parsed) = Segment::parse(&wire) {
-            prop_assert_eq!(&parsed.to_bytes()[..16], &wire[..16]);
+            assert_eq!(&parsed.to_bytes()[..16], &wire[..16]);
         }
     }
+}
 
-    #[test]
-    fn poset_axioms_hold_on_random_subsets(indices in prop::collection::btree_set(0usize..80, 2..12)) {
-        let space = fig6_space("redis");
-        let perf: Vec<f64> = (0..space.len()).map(|i| (i * 13 % 97) as f64).collect();
-        let poset = Poset::from_fig6(&space, &perf);
-        let keep: Vec<usize> = indices.into_iter().collect();
+#[test]
+fn poset_axioms_hold_on_random_subsets() {
+    let space = fig6_space("redis");
+    let perf: Vec<f64> = (0..space.len()).map(|i| (i * 13 % 97) as f64).collect();
+    let poset = Poset::from_fig6(&space, &perf);
+    let mut rng = Rng::new(0x9053_f008);
+    for _case in 0..64 {
+        let count = rng.range(2, 12) as usize;
+        let mut keep: Vec<usize> = Vec::new();
+        while keep.len() < count {
+            let idx = rng.range(0, 80) as usize;
+            if !keep.contains(&idx) {
+                keep.push(idx);
+            }
+        }
+        keep.sort_unstable();
         let maximal = poset.maximal_among(&keep);
-        prop_assert!(!maximal.is_empty(), "non-empty subsets have maxima");
+        assert!(!maximal.is_empty(), "non-empty subsets have maxima");
         for &m in &maximal {
             for &other in &keep {
-                prop_assert!(!poset.lt(m, other), "maximal {m} dominated by {other}");
+                assert!(!poset.lt(m, other), "maximal {m} dominated by {other}");
             }
         }
     }
+}
 
-    #[test]
-    fn config_parser_never_panics(text in "[ -~\n]{0,256}") {
-        // Arbitrary printable input: parse may fail, must not panic.
+#[test]
+fn config_parser_never_panics() {
+    let mut rng = Rng::new(0xc0f1_f009);
+    for _case in 0..256 {
+        // Arbitrary printable-ish input: parse may fail, must not panic.
+        let len = rng.range(0, 256) as usize;
+        let text: String = (0..len)
+            .map(|_| {
+                // Mostly printable ASCII with a sprinkling of newlines.
+                match rng.range(0, 12) {
+                    0 => '\n',
+                    _ => (rng.range(0x20, 0x7f) as u8) as char,
+                }
+            })
+            .collect();
         let _ = SafetyConfig::parse_str(&text);
     }
+}
 
-    #[test]
-    fn sql_parser_never_panics(text in "[ -~]{0,120}") {
+#[test]
+fn sql_parser_never_panics() {
+    let mut rng = Rng::new(0x5015_f00a);
+    for _case in 0..256 {
+        let len = rng.range(0, 120) as usize;
+        let text: String = (0..len)
+            .map(|_| (rng.range(0x20, 0x7f) as u8) as char)
+            .collect();
         let _ = flexos_apps::sqlite::sql::parse(&text);
     }
+}
 
-    #[test]
-    fn dss_shadow_math_is_linear(off in 0u64..32768) {
-        use flexos_sched::dss::{shadow_of, STACK_SIZE};
+#[test]
+fn dss_shadow_math_is_linear() {
+    use flexos_sched::dss::{shadow_of, STACK_SIZE};
+    let mut rng = Rng::new(0xd550_f00b);
+    for _case in 0..256 {
+        let off = rng.range(0, 32768);
         let base = Addr::new(0x100000);
         let var = base + off;
-        prop_assert_eq!(shadow_of(var) - var, STACK_SIZE);
-        prop_assert_eq!(shadow_of(var).offset_from(base), off + STACK_SIZE);
+        assert_eq!(shadow_of(var) - var, STACK_SIZE);
+        assert_eq!(shadow_of(var).offset_from(base), off + STACK_SIZE);
     }
 }
