@@ -118,7 +118,6 @@ impl RegionAlloc for Lea {
         // bin), splitting the remainder.
         let candidate = self
             .best_fit(want)
-            .map(|(s, a)| (s, a))
             .or_else(|| {
                 // Scan larger small bins for a block to split.
                 small_bin_index(want).and_then(|start| {

@@ -15,6 +15,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use flexos_core::component::ComponentId;
+use flexos_core::entry::CallTarget;
 use flexos_core::env::{Env, Work};
 use flexos_fs::OpenFlags;
 use flexos_libc::Newlib;
@@ -42,6 +43,10 @@ pub struct NginxServer {
     id: ComponentId,
     libc: Rc<Newlib>,
     sched: Rc<Scheduler>,
+    /// `uksched_yield`, resolved once (one full yield every few ticks).
+    sched_yield: CallTarget,
+    /// `uksched_current`, resolved once (the cheap per-tick touch).
+    sched_current: CallTarget,
     listener: Cell<Option<SocketHandle>>,
     /// Open-file cache: the welcome page, loaded via the VFS at startup.
     cached_page: RefCell<Vec<u8>>,
@@ -53,11 +58,15 @@ pub struct NginxServer {
 impl NginxServer {
     /// Creates the server (`id` must be the nginx component's id).
     pub fn new(env: Rc<Env>, id: ComponentId, libc: Rc<Newlib>, sched: Rc<Scheduler>) -> Self {
+        let sched_yield = sched.entries().yield_now;
+        let sched_current = sched.entries().current;
         NginxServer {
             env,
             id,
             libc,
             sched,
+            sched_yield,
+            sched_current,
             listener: Cell::new(None),
             cached_page: RefCell::new(Vec::new()),
             pending: RefCell::new(Vec::new()),
@@ -129,18 +138,16 @@ impl NginxServer {
         // reason Figure 6's scheduler effects are mild for Nginx.
         let ticks = self.loop_ticks.get() + 1;
         self.loop_ticks.set(ticks);
-        if ticks % 4 == 0 {
-            self.env
-                .call(self.sched.component_id(), "uksched_yield", || {
-                    self.sched.yield_now();
-                    Ok(())
-                })?;
+        if ticks.is_multiple_of(4) {
+            self.env.call_resolved(self.sched_yield, || {
+                self.sched.yield_now();
+                Ok(())
+            })?;
         } else {
-            self.env
-                .call(self.sched.component_id(), "uksched_current", || {
-                    self.sched.current();
-                    Ok(())
-                })?;
+            self.env.call_resolved(self.sched_current, || {
+                self.sched.current();
+                Ok(())
+            })?;
         }
         self.env.compute(Work {
             cycles: 80,
@@ -148,7 +155,6 @@ impl NginxServer {
             frames: 5,
             indirect_calls: 2,
             mem_accesses: 20,
-            ..Work::default()
         });
 
         // Edge-triggered read: no scheduler blocking on the hot path.
@@ -185,7 +191,6 @@ impl NginxServer {
             frames: 8,
             indirect_calls: 3,
             mem_accesses: 40,
-            ..Work::default()
         });
 
         let mut stats = self.stats.get();

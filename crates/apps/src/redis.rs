@@ -16,6 +16,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use flexos_core::component::ComponentId;
+use flexos_core::entry::CallTarget;
 use flexos_core::env::{Env, Work};
 use flexos_libc::Newlib;
 use flexos_machine::fault::Fault;
@@ -42,6 +43,10 @@ pub struct RedisServer {
     id: ComponentId,
     libc: Rc<Newlib>,
     sched: Rc<Scheduler>,
+    /// `uksched_yield`, resolved once (the R↔S beforeSleep edge).
+    sched_yield: CallTarget,
+    /// `uksched_current`, resolved once.
+    sched_current: CallTarget,
     dict: RefCell<Dict>,
     listener: Cell<Option<SocketHandle>>,
     pending: RefCell<Vec<u8>>,
@@ -64,11 +69,15 @@ impl RedisServer {
         sched: Rc<Scheduler>,
     ) -> Result<Self, Fault> {
         let dict = env.run_as(id, || Dict::with_capacity(Rc::clone(&env), 16384))?;
+        let sched_yield = sched.entries().yield_now;
+        let sched_current = sched.entries().current;
         Ok(RedisServer {
             env,
             id,
             libc,
             sched,
+            sched_yield,
+            sched_current,
             dict: RefCell::new(dict),
             listener: Cell::new(None),
             pending: RefCell::new(Vec::new()),
@@ -126,23 +135,20 @@ impl RedisServer {
     fn serve_one_inner(&self, conn: SocketHandle) -> Result<bool, Fault> {
         // Event-loop bookkeeping: the beforeSleep()/serverCron() pattern —
         // Redis touches the scheduler every iteration (R↔S edge).
-        self.env
-            .call(self.sched.component_id(), "uksched_yield", || {
-                self.sched.yield_now();
-                Ok(())
-            })?;
-        self.env
-            .call(self.sched.component_id(), "uksched_current", || {
-                self.sched.current();
-                Ok(())
-            })?;
+        self.env.call_resolved(self.sched_yield, || {
+            self.sched.yield_now();
+            Ok(())
+        })?;
+        self.env.call_resolved(self.sched_current, || {
+            self.sched.current();
+            Ok(())
+        })?;
         self.env.compute(Work {
             cycles: 170,
             alu_ops: 55,
             frames: 9,
             indirect_calls: 3,
             mem_accesses: 40,
-            ..Work::default()
         });
 
         // Blocking read until one full RESP request is buffered.
@@ -190,7 +196,6 @@ impl RedisServer {
             frames: 12,
             mem_accesses: 30 + buf.len().min(128) as u64 / 2,
             indirect_calls: 4,
-            ..Work::default()
         });
         resp::decode_request(buf)
     }
@@ -207,7 +212,6 @@ impl RedisServer {
             frames: 11,
             indirect_calls: 4,
             mem_accesses: 48,
-            ..Work::default()
         });
         let cmd = argv[0].to_ascii_uppercase();
         let mut s = self.stats.get();

@@ -129,7 +129,6 @@ impl Sqlite {
             frames: 80,
             indirect_calls: 24,
             mem_accesses: 300 + 2 * sql.len() as u64,
-            ..Work::default()
         });
         // Statement-lifetime allocations: token array, parse-tree nodes,
         // the VDBE program, a cell buffer — real sqlite churns its
@@ -188,7 +187,6 @@ impl Sqlite {
                     frames: 60,
                     indirect_calls: 10 + 2 * values.len() as u64,
                     mem_accesses: 420,
-                    ..Work::default()
                 });
                 let (rowid, tree) = {
                     let tables = this.tables.borrow();

@@ -9,6 +9,7 @@
 
 use std::rc::Rc;
 
+use flexos_core::gate::GATE_KIND_COUNT;
 use flexos_machine::fault::Fault;
 use flexos_net::TcpClient;
 use flexos_system::FlexOs;
@@ -218,6 +219,12 @@ pub struct SqliteRun {
     pub alloc_slow_hits: u64,
     /// Allocator operations (malloc+free) across all heaps.
     pub alloc_ops: u64,
+    /// Total cross-domain gate traversals in the measured loop.
+    pub total_crossings: u64,
+    /// Traversals by gate kind (index =
+    /// [`flexos_core::gate::GateKind::index`]), snapshotted from the
+    /// dense counters through the transform report.
+    pub crossings_by_kind: [u64; GATE_KIND_COUNT],
 }
 
 /// Installs a SQLite engine over `/db.sqlite`.
@@ -256,6 +263,11 @@ pub fn run_sqlite_inserts(os: &FlexOs, n: u64) -> Result<SqliteRun, Fault> {
     }
     let cycles = os.cycles() - start;
     let alloc1 = os.env.total_alloc_stats();
+    let breakdown = os.report.crossing_breakdown(&os.env);
+    let mut crossings_by_kind = [0u64; GATE_KIND_COUNT];
+    for &(kind, count) in &breakdown.by_kind {
+        crossings_by_kind[kind.index()] = count;
+    }
     Ok(SqliteRun {
         txns: n,
         cycles,
@@ -264,5 +276,7 @@ pub fn run_sqlite_inserts(os: &FlexOs, n: u64) -> Result<SqliteRun, Fault> {
         time_queries: os.time.queries() - time_q0,
         alloc_slow_hits: alloc1.slow_hits - alloc0.slow_hits,
         alloc_ops: alloc1.total_ops() - alloc0.total_ops(),
+        total_crossings: breakdown.total_crossings,
+        crossings_by_kind,
     })
 }

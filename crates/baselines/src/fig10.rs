@@ -92,6 +92,16 @@ fn build_and_run(config: flexos_core::config::SafetyConfig, n: u64) -> Result<Sq
     run_sqlite_inserts(&os, n)
 }
 
+/// Figure 10 results plus the per-profile simulated runs (crossing
+/// breakdowns included) for reporting.
+#[derive(Debug, Clone)]
+pub struct Fig10Detail {
+    /// The nine bars in figure order.
+    pub rows: Vec<Fig10Row>,
+    /// The fully simulated FlexOS runs, per isolation profile.
+    pub simulated: Vec<(IsolationProfile, SqliteRun)>,
+}
+
 /// Runs the full Figure 10 experiment with `n` INSERT transactions
 /// (the paper uses 5000) and returns the nine bars in figure order.
 ///
@@ -99,6 +109,16 @@ fn build_and_run(config: flexos_core::config::SafetyConfig, n: u64) -> Result<Sq
 ///
 /// Configuration or substrate faults.
 pub fn run_fig10(n: u64) -> Result<Vec<Fig10Row>, Fault> {
+    run_fig10_detailed(n).map(|d| d.rows)
+}
+
+/// [`run_fig10`] with the simulated [`SqliteRun`]s attached, so harnesses
+/// can report per-gate-kind crossing counts without re-deriving them.
+///
+/// # Errors
+///
+/// Configuration or substrate faults.
+pub fn run_fig10_detailed(n: u64) -> Result<Fig10Detail, Fault> {
     let cost = CostModel::default();
 
     // --- fully simulated FlexOS rows --------------------------------
@@ -134,7 +154,7 @@ pub fn run_fig10(n: u64) -> Result<Vec<Fig10Row>, Fault> {
             + (vfs + time_q) * cost.cubicleos_transition as i64,
     );
 
-    Ok(vec![
+    let rows = vec![
         Fig10Row {
             system: SystemUnderTest::UnikraftKvm,
             profile: IsolationProfile::None,
@@ -189,7 +209,15 @@ pub fn run_fig10(n: u64) -> Result<Vec<Fig10Row>, Fault> {
             seconds: cubicle_mpk3,
             simulated: false,
         },
-    ])
+    ];
+    Ok(Fig10Detail {
+        rows,
+        simulated: vec![
+            (IsolationProfile::None, none_run),
+            (IsolationProfile::Mpk3, mpk3_run),
+            (IsolationProfile::Ept2, ept2_run),
+        ],
+    })
 }
 
 #[cfg(test)]

@@ -22,4 +22,6 @@
 
 pub mod fig10;
 
-pub use fig10::{run_fig10, Fig10Row, IsolationProfile, SystemUnderTest};
+pub use fig10::{
+    run_fig10, run_fig10_detailed, Fig10Detail, Fig10Row, IsolationProfile, SystemUnderTest,
+};

@@ -18,12 +18,13 @@ fn bench_gate(c: &mut Criterion, name: &str, config: SafetyConfig, expected_cycl
     let env = std::rc::Rc::clone(&os.env);
     let app = os.app_ids[0];
     let lwip = env.component_id("lwip").expect("lwip");
+    let poll = env.resolve(lwip, "lwip_poll");
 
     // Verify the virtual charge once.
     env.run_as(app, || {
-        env.call(lwip, "lwip_poll", || Ok(())).expect("warm");
+        env.call_resolved(poll, || Ok(())).expect("warm");
         let t0 = env.machine().clock().now();
-        env.call(lwip, "lwip_poll", || Ok(())).expect("call");
+        env.call_resolved(poll, || Ok(())).expect("call");
         let elapsed = env.machine().clock().now() - t0;
         assert_eq!(elapsed, expected_cycles, "virtual charge for {name}");
     });
@@ -31,7 +32,7 @@ fn bench_gate(c: &mut Criterion, name: &str, config: SafetyConfig, expected_cycl
     c.bench_function(name, |b| {
         b.iter(|| {
             env.run_as(app, || {
-                env.call(lwip, "lwip_poll", || Ok(())).expect("call");
+                env.call_resolved(poll, || Ok(())).expect("call");
             })
         })
     });

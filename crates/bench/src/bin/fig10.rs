@@ -1,6 +1,7 @@
 //! Figure 10: SQLite 5000-INSERT comparison across systems.
 
-use flexos_baselines::run_fig10;
+use flexos_baselines::run_fig10_detailed;
+use flexos_core::gate::GateKind;
 
 fn main() {
     let n: u64 = std::env::args()
@@ -8,14 +9,15 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(5000);
     eprintln!("running the {n}-INSERT SQLite workload on 3 FlexOS images...");
-    let rows = run_fig10(n).expect("fig10 runs");
+    let detail = run_fig10_detailed(n).expect("fig10 runs");
+    let rows = &detail.rows;
 
     println!("# Figure 10: time for {n} INSERT transactions (seconds)");
     println!(
         "{:>22} {:>8} {:>10} {:>10}",
         "system", "profile", "seconds", "source"
     );
-    for row in &rows {
+    for row in rows {
         println!(
             "{:>22} {:>8} {:>10.3} {:>10}",
             row.system.to_string(),
@@ -26,6 +28,20 @@ fn main() {
             } else {
                 "overlay"
             }
+        );
+    }
+    println!("\n# gate crossings per simulated run (dense per-kind counters):");
+    for (profile, run) in &detail.simulated {
+        let parts: Vec<String> = GateKind::ALL
+            .iter()
+            .filter(|k| run.crossings_by_kind[k.index()] > 0)
+            .map(|k| format!("{k}={}", run.crossings_by_kind[k.index()]))
+            .collect();
+        println!(
+            "# {:>6}: total={} {}",
+            profile.to_string(),
+            run.total_crossings,
+            parts.join(" ")
         );
     }
     println!("\n# paper:       Unikraft .052/.702  FlexOS .054/.106/.173");

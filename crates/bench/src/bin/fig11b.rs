@@ -8,7 +8,8 @@ use flexos_machine::fault::Fault;
 use flexos_system::{configs, SystemBuilder};
 
 /// Measures the round-trip latency of one empty cross-component call in
-/// the given configuration (averaged over rounds).
+/// the given configuration (averaged over rounds). The target is
+/// resolved once; the measured loop is the pure mechanism cost.
 fn measure(config: SafetyConfig) -> Result<u64, Fault> {
     let os = SystemBuilder::new(config)
         .app(flexos_apps::redis_component())
@@ -16,13 +17,14 @@ fn measure(config: SafetyConfig) -> Result<u64, Fault> {
     let env = &os.env;
     let app = os.app_ids[0];
     let lwip = env.component_id("lwip").expect("lwip registered");
+    let poll = env.resolve(lwip, "lwip_poll");
     const ROUNDS: u64 = 64;
     env.run_as(app, || -> Result<u64, Fault> {
         // Warm once (EPT ring setup etc.).
-        env.call(lwip, "lwip_poll", || Ok(()))?;
+        env.call_resolved(poll, || Ok(()))?;
         let start = env.machine().clock().now();
         for _ in 0..ROUNDS {
-            env.call(lwip, "lwip_poll", || Ok(()))?;
+            env.call_resolved(poll, || Ok(()))?;
         }
         Ok((env.machine().clock().now() - start) / ROUNDS)
     })

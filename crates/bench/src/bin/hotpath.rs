@@ -1,0 +1,137 @@
+//! `hotpath`: host-side cost of the resolved cross-compartment call path.
+//!
+//! Drives ~1M cross-compartment calls through each instantiable
+//! [`GateKind`] using a [`CallTarget`] resolved once, and prints a single
+//! JSON line with per-gate host nanoseconds per call and the virtual
+//! cycles charged — the perf trajectory future PRs track in
+//! `BENCH_hotpath.json`:
+//!
+//! ```text
+//! {"bench":"hotpath","calls_per_gate":1000000,"gates":{"mpk-dss":{"ns_per_call":..,"virtual_cycles":..},...}}
+//! ```
+//!
+//! Set `HOTPATH_CALLS` to override the per-gate call count.
+
+use std::time::Instant;
+
+use flexos_core::compartment::{CompartmentSpec, DataSharing, Mechanism};
+use flexos_core::config::SafetyConfig;
+use flexos_core::entry::CallTarget;
+use flexos_core::gate::GateKind;
+use flexos_system::{configs, SystemBuilder};
+
+/// One measured gate flavour.
+struct GateRun {
+    kind: GateKind,
+    ns_per_call: f64,
+    virtual_cycles: u64,
+}
+
+/// Two compartments with lwip isolated under `mechanism`.
+fn two_comp(mechanism: Mechanism, sharing: DataSharing) -> SafetyConfig {
+    SafetyConfig::builder()
+        .compartment(CompartmentSpec::new("comp1", mechanism).default_compartment())
+        .compartment(CompartmentSpec::new("comp2", mechanism))
+        .place("lwip", "comp2")
+        .data_sharing(sharing)
+        .build()
+        .expect("two-compartment config")
+}
+
+fn measure(kind: GateKind, config: SafetyConfig, calls: u64) -> GateRun {
+    let os = SystemBuilder::new(config)
+        .app(flexos_apps::redis_component())
+        .build()
+        .expect("image builds");
+    let env = std::rc::Rc::clone(&os.env);
+    let app = os.app_ids[0];
+    let lwip = env.component_id("lwip").expect("lwip registered");
+
+    // Resolve once — the build-time half of the gate. The measured loop
+    // below is the pure mechanism cost: index arithmetic + Cell bumps.
+    let target: CallTarget = env.resolve(lwip, "lwip_poll");
+
+    env.run_as(app, || {
+        env.call_resolved(target, || Ok(())).expect("warm");
+        assert_eq!(
+            env.gates()
+                .desc(env.compartment_of(app), env.compartment_of(lwip))
+                .kind,
+            kind,
+            "config instantiates the expected gate"
+        );
+    });
+    env.reset_counters();
+
+    let v0 = env.machine().clock().now();
+    let host0 = Instant::now();
+    env.run_as(app, || {
+        for _ in 0..calls {
+            env.call_resolved(target, || Ok(())).expect("call");
+        }
+    });
+    let host_ns = host0.elapsed().as_nanos() as f64;
+    let virtual_cycles = env.machine().clock().now() - v0;
+
+    // (The zero-allocation guarantee itself is asserted by the counting
+    // global allocator in `tests/hotpath_alloc.rs`.)
+    let expected_crossings = if kind.crosses_domain() { calls } else { 0 };
+    assert_eq!(env.gates().total_crossings(), expected_crossings);
+
+    GateRun {
+        kind,
+        ns_per_call: host_ns / calls as f64,
+        virtual_cycles,
+    }
+}
+
+fn main() {
+    let calls: u64 = std::env::var("HOTPATH_CALLS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+
+    let runs = [
+        measure(GateKind::DirectCall, configs::none(), calls),
+        measure(
+            GateKind::MpkLight,
+            configs::mpk2(&["lwip"], DataSharing::SharedStack).expect("cfg"),
+            calls,
+        ),
+        measure(
+            GateKind::MpkDss,
+            configs::mpk2(&["lwip"], DataSharing::Dss).expect("cfg"),
+            calls,
+        ),
+        measure(
+            GateKind::EptRpc,
+            configs::ept2(&["lwip"]).expect("cfg"),
+            calls,
+        ),
+        measure(
+            GateKind::MicrokernelIpc,
+            two_comp(Mechanism::PageTable, DataSharing::Dss),
+            calls,
+        ),
+        measure(
+            GateKind::CubicleTrap,
+            two_comp(Mechanism::CubicleOs, DataSharing::Dss),
+            calls,
+        ),
+    ];
+
+    let gates: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "\"{}\":{{\"ns_per_call\":{:.1},\"virtual_cycles\":{}}}",
+                r.kind, r.ns_per_call, r.virtual_cycles
+            )
+        })
+        .collect();
+    println!(
+        "{{\"bench\":\"hotpath\",\"calls_per_gate\":{},\"gates\":{{{}}}}}",
+        calls,
+        gates.join(",")
+    );
+}

@@ -1,6 +1,11 @@
-//! Table 1: porting effort — patch sizes and shared-variable counts.
+//! Table 1: porting effort — patch sizes and shared-variable counts,
+//! plus the boundary traffic the ported components generate (per-gate
+//! crossing breakdown of a reference Redis run, from the dense counters
+//! via `TransformReport::crossing_breakdown`).
 
+use flexos_core::compartment::DataSharing;
 use flexos_core::component::Component;
+use flexos_system::{configs, SystemBuilder};
 
 fn row(label: &str, c: &Component) {
     println!(
@@ -40,4 +45,22 @@ fn main() {
     println!("\n# paper: LwIP +542/-275 (23), uksched +48/-8 (5), fs +148/-37 (12),");
     println!("#        uktime +10/-9 (0), Redis +279/-90 (16), Nginx +470/-85 (36),");
     println!("#        SQLite +199/-145 (24), iPerf +15/-14 (4)");
+
+    // Boundary traffic: what the ported components' entry points carry in
+    // a reference run (Redis, lwip isolated, 60 GETs).
+    let os = SystemBuilder::new(configs::mpk2(&["lwip"], DataSharing::Dss).expect("cfg"))
+        .app(flexos_apps::redis_component())
+        .build()
+        .expect("image builds");
+    flexos_apps::workloads::run_redis_gets(&os, 5, 60).expect("redis runs");
+    let bd = os.report.crossing_breakdown(&os.env);
+    println!("\n# boundary traffic, 60 Redis GETs with lwip isolated:");
+    let parts: Vec<String> = bd.by_kind.iter().map(|(k, c)| format!("{k}={c}")).collect();
+    println!(
+        "#   crossings total={} {} direct={} cfi-violations={}",
+        bd.total_crossings,
+        parts.join(" "),
+        bd.direct_calls,
+        bd.cfi_violations
+    );
 }

@@ -8,10 +8,20 @@
 //! Every substrate component holds an `Rc<Env>` and interacts with the
 //! world exclusively through it:
 //!
-//! * [`Env::call`] — the abstract gate of §3.1. Same compartment → plain
-//!   call (2 cycles); across compartments → the configured mechanism's
-//!   gate: cost charged, crossing counted, entry point CFI-checked, PKRU
-//!   switched, registers saved/scrubbed (full MPK/EPT gates).
+//! * [`Env::resolve`] + [`Env::call_resolved`] — the abstract gate of
+//!   §3.1, split the way the paper splits it: *resolution* (component →
+//!   compartment, entry name → interned [`EntryId`]) happens once, when a
+//!   component wires itself up; the *call* is pure index arithmetic over
+//!   the flattened gate-descriptor row and dense `Cell` counters — zero
+//!   heap allocation, no `RefCell<GateTable>` borrow. Same compartment →
+//!   plain call (2 cycles); across compartments → the configured
+//!   mechanism's gate: entry point CFI-checked *first* (rejections charge
+//!   nothing and count as `cfi_violations`), then cost charged, crossing
+//!   counted, PKRU switched, registers saved/scrubbed (full MPK/EPT
+//!   gates).
+//! * [`Env::call`] — thin `&str` wrapper over the same path; it resolves
+//!   through the image's intern table on every call (one hash lookup, no
+//!   allocation) so external code can migrate incrementally.
 //! * [`Env::mem_read`] / [`Env::mem_write`] — simulated-memory access
 //!   under the *current* domain's PKRU; touching another compartment's
 //!   pages faults exactly as MPK would. KASan-hardened components also get
@@ -27,7 +37,7 @@
 //!   annotated variables.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use flexos_alloc::Heap;
@@ -39,6 +49,7 @@ use flexos_machine::Machine;
 
 use crate::compartment::{CompartmentId, DataSharing, Mechanism};
 use crate::component::{ComponentId, ComponentRegistry};
+use crate::entry::{CallTarget, EntryId, EntryTable};
 use crate::gate::{GateKind, GateTable};
 use crate::hardening::Hardening;
 
@@ -107,8 +118,11 @@ pub struct ComponentStats {
 }
 
 /// Hook invoked on every cross-domain gate traversal; the EPT backend uses
-/// it to drive its shared-memory RPC rings.
-pub type CrossingHook = Box<dyn Fn(&Env, CompartmentId, CompartmentId, &str) -> Result<(), Fault>>;
+/// it to drive its shared-memory RPC rings. The entry point arrives as its
+/// interned [`EntryId`] (resolve the name via [`Env::entry_name`] off the
+/// hot path if needed).
+pub type CrossingHook =
+    Box<dyn Fn(&Env, CompartmentId, CompartmentId, EntryId) -> Result<(), Fault>>;
 
 /// The image runtime. See the module docs for the full tour.
 pub struct Env {
@@ -118,15 +132,15 @@ pub struct Env {
     hardening: Vec<Hardening>,
     domains: Vec<DomainState>,
     data_sharing: DataSharing,
-    gates: RefCell<GateTable>,
-    entries: HashSet<(CompartmentId, String)>,
+    gates: GateTable,
+    entries: EntryTable,
     shared_vars: HashMap<String, SharedVarPlacement>,
     heaps: Vec<Rc<RefCell<Heap>>>,
     shared_heap: Rc<RefCell<Heap>>,
     cur: Cell<ComponentId>,
     pkru: Cell<Pkru>,
     regs: RefCell<RegisterFile>,
-    stats: RefCell<Vec<ComponentStats>>,
+    stats: Vec<Cell<ComponentStats>>,
     crossing_hook: RefCell<Option<CrossingHook>>,
     call_depth: Cell<u32>,
 }
@@ -155,10 +169,10 @@ pub struct EnvParts {
     pub domains: Vec<DomainState>,
     /// Data-sharing strategy for stack variables.
     pub data_sharing: DataSharing,
-    /// Instantiated gate matrix.
+    /// Instantiated gate matrix (pre-computed per-pair costs).
     pub gates: GateTable,
-    /// Legal entry points per compartment.
-    pub entries: HashSet<(CompartmentId, String)>,
+    /// Interned entry points + per-compartment CFI bitsets.
+    pub entries: EntryTable,
     /// Placements of `__shared` variables.
     pub shared_vars: HashMap<String, SharedVarPlacement>,
     /// Private heap per compartment.
@@ -178,7 +192,7 @@ impl Env {
             hardening: parts.hardening,
             domains: parts.domains,
             data_sharing: parts.data_sharing,
-            gates: RefCell::new(parts.gates),
+            gates: parts.gates,
             entries: parts.entries,
             shared_vars: parts.shared_vars,
             heaps: parts.heaps,
@@ -186,7 +200,9 @@ impl Env {
             cur: Cell::new(ComponentId(0)),
             pkru: Cell::new(Pkru::ALL_ACCESS),
             regs: RefCell::new(RegisterFile::new()),
-            stats: RefCell::new(vec![ComponentStats::default(); n]),
+            stats: (0..n)
+                .map(|_| Cell::new(ComponentStats::default()))
+                .collect(),
             crossing_hook: RefCell::new(None),
             call_depth: Cell::new(0),
         })
@@ -245,21 +261,26 @@ impl Env {
     }
 
     /// Gate matrix and crossing counters.
-    pub fn gates(&self) -> std::cell::Ref<'_, GateTable> {
-        self.gates.borrow()
+    pub fn gates(&self) -> &GateTable {
+        &self.gates
+    }
+
+    /// The image's interned entry-point table (CFI bitsets included).
+    pub fn entries(&self) -> &EntryTable {
+        &self.entries
     }
 
     /// Resets the gate crossing counters (between benchmark phases).
     pub fn reset_counters(&self) {
-        self.gates.borrow_mut().reset_counters();
-        for s in self.stats.borrow_mut().iter_mut() {
-            *s = ComponentStats::default();
+        self.gates.reset_counters();
+        for s in &self.stats {
+            s.set(ComponentStats::default());
         }
     }
 
     /// Per-component statistics snapshot.
     pub fn component_stats(&self, comp: ComponentId) -> ComponentStats {
-        self.stats.borrow()[comp.0 as usize]
+        self.stats[comp.0 as usize].get()
     }
 
     /// Installs the cross-domain hook (EPT RPC rings).
@@ -288,9 +309,38 @@ impl Env {
         out
     }
 
+    /// Resolves an abstract gate target once: component → compartment,
+    /// entry name → interned [`EntryId`]. This is the build-time half of
+    /// the §3.1 gate split into a value; keep the returned [`CallTarget`]
+    /// and call through [`Env::call_resolved`] on hot paths.
+    ///
+    /// Unknown entry names resolve too (they are interned so faults can
+    /// name them) — the resulting target is rejected by the CFI check on
+    /// every cross-compartment call.
+    pub fn resolve(&self, to: ComponentId, entry: &str) -> CallTarget {
+        CallTarget {
+            component: to,
+            compartment: self.compartment_of(to),
+            entry: self.entries.resolve(entry),
+        }
+    }
+
+    /// The interned name behind an [`EntryId`] (for hooks and reports;
+    /// not needed on the call path).
+    pub fn entry_name(&self, entry: EntryId) -> Rc<str> {
+        self.entries.name(entry)
+    }
+
     /// The abstract call gate: invokes `entry` of `to`, running `f` as the
     /// callee. Assumes `arg_count = 2` registers carry arguments; use
     /// [`Env::call_with_args`] to model a different arity.
+    ///
+    /// This is the thin `&str` wrapper over [`Env::call_resolved`]: it
+    /// re-resolves the target through the image's intern table on every
+    /// call — one hash lookup, allocation-free once the name has been
+    /// interned (first sight of an unregistered name interns it, bounded
+    /// by [`crate::entry::RUNTIME_INTERN_CAP`]). Components with hot
+    /// boundaries should resolve once at construction time instead.
     ///
     /// # Errors
     ///
@@ -303,7 +353,7 @@ impl Env {
         entry: &str,
         f: impl FnOnce() -> Result<R, Fault>,
     ) -> Result<R, Fault> {
-        self.call_with_args(to, entry, 2, f)
+        self.call_resolved_with_args(self.resolve(to, entry), 2, f)
     }
 
     /// [`Env::call`] with an explicit count of argument registers; the full
@@ -319,30 +369,67 @@ impl Env {
         arg_count: usize,
         f: impl FnOnce() -> Result<R, Fault>,
     ) -> Result<R, Fault> {
+        self.call_resolved_with_args(self.resolve(to, entry), arg_count, f)
+    }
+
+    /// The abstract call gate over a pre-resolved [`CallTarget`], with the
+    /// default `arg_count = 2`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Env::call_resolved_with_args`].
+    pub fn call_resolved<R>(
+        &self,
+        target: CallTarget,
+        f: impl FnOnce() -> Result<R, Fault>,
+    ) -> Result<R, Fault> {
+        self.call_resolved_with_args(target, 2, f)
+    }
+
+    /// The resolved-gate hot path: one flattened gate-descriptor read, a
+    /// bitset CFI check, `Cell` counter bumps, and the clock charge — no
+    /// heap allocation and no `RefCell<GateTable>` borrow anywhere on the
+    /// success path.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::IllegalEntryPoint`] if the crossing targets a function not
+    /// registered as an entry point of the callee compartment (the gates'
+    /// CFI property). Rejected calls charge **no** cycles and record a
+    /// `cfi_violations` tick instead of a crossing: the gate never
+    /// executes, so the clock must not advance (the callee was never
+    /// entered). Also surfaces whatever the crossing hook or `f` return.
+    pub fn call_resolved_with_args<R>(
+        &self,
+        target: CallTarget,
+        arg_count: usize,
+        f: impl FnOnce() -> Result<R, Fault>,
+    ) -> Result<R, Fault> {
         let from = self.cur.get();
         let from_dom = self.compartment_of(from);
-        let to_dom = self.compartment_of(to);
+        let to = target.component;
+        let to_dom = target.compartment;
         let cost = self.machine.cost();
 
-        let kind = {
-            let mut gates = self.gates.borrow_mut();
-            let kind = gates.kind(from_dom, to_dom);
-            gates.record(from_dom, to_dom);
-            kind
-        };
-        self.machine.clock().advance(kind.cost(cost));
+        let desc = self.gates.desc(from_dom, to_dom);
+        let kind = desc.kind;
 
         let saved_regs = if kind.crosses_domain() {
-            // CFI: compartments can only be entered through registered
-            // entry points (§4.1/§4.2).
-            if !self.entries.contains(&(to_dom, entry.to_string())) {
+            // CFI first: compartments can only be entered through
+            // registered entry points (§4.1/§4.2). An illegal target is
+            // refused *before* the gate executes — nothing is charged and
+            // no crossing is recorded.
+            if !self.entries.is_legal(to_dom, target.entry) {
+                self.gates.record_cfi_violation();
                 return Err(Fault::IllegalEntryPoint {
-                    entry: entry.to_string(),
+                    entry: self.entries.name(target.entry).to_string(),
                     compartment: self.domains[to_dom.0 as usize].name.clone(),
                 });
             }
+            self.machine.clock().advance(desc.cost);
+            self.gates.record(from_dom, to_dom);
             if let Some(hook) = self.crossing_hook.borrow().as_ref() {
-                hook(self, from_dom, to_dom, entry)?;
+                hook(self, from_dom, to_dom, target.entry)?;
             }
             // Full gates isolate the register set; the light gate shares it
             // (ERIM-style, lesser guarantees, §4.1).
@@ -355,6 +442,8 @@ impl Env {
                 Some(saved)
             }
         } else {
+            self.machine.clock().advance(desc.cost);
+            self.gates.record(from_dom, to_dom);
             None
         };
 
@@ -379,8 +468,10 @@ impl Env {
             self.machine.clock().advance(entry_cycles);
         }
         {
-            let mut stats = self.stats.borrow_mut();
-            stats[to.0 as usize].calls_in += 1;
+            let stats = &self.stats[to.0 as usize];
+            let mut s = stats.get();
+            s.calls_in += 1;
+            stats.set(s);
         }
 
         let result = f();
@@ -416,7 +507,10 @@ impl Env {
             cycles += work.mem_accesses * cost.kasan_check;
         }
         self.machine.clock().advance(cycles);
-        self.stats.borrow_mut()[comp.0 as usize].cycles += cycles;
+        let stats = &self.stats[comp.0 as usize];
+        let mut s = stats.get();
+        s.cycles += cycles;
+        stats.set(s);
     }
 
     // --- memory -----------------------------------------------------------

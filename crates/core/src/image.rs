@@ -17,7 +17,9 @@
 //!    its owner's private section when the whitelist stays within one
 //!    compartment, in a restricted-group section when spare protection
 //!    keys allow (§4.1), else on the global shared section;
-//! 6. registers legal gate entry points (the gates' CFI property);
+//! 6. interns every legal gate entry point into the image's dense
+//!    [`crate::entry::EntryTable`] and builds the per-compartment CFI
+//!    bitsets (the gates' CFI property, resolved once — never per call);
 //! 7. produces a [`TransformReport`] recording everything it did — the
 //!    inspectable artifact the paper praises source-level transforms for.
 
@@ -35,8 +37,9 @@ use crate::backend::IsolationBackend;
 use crate::compartment::{CompartmentId, Mechanism};
 use crate::component::{Component, ComponentId, ComponentRegistry, VarStorage};
 use crate::config::SafetyConfig;
+use crate::entry::EntryTable;
 use crate::env::{DomainState, Env, EnvParts, SharedVarPlacement};
-use crate::gate::{GateKind, GateTable};
+use crate::gate::{CrossingBreakdown, GateKind, GateTable};
 use crate::tcb::TcbReport;
 
 /// Protection key reserved for the shared communication domain (§4.1).
@@ -62,6 +65,18 @@ pub struct TransformReport {
     pub tcb: TcbReport,
     /// Compartment names in id order.
     pub compartments: Vec<String>,
+}
+
+impl TransformReport {
+    /// Per-[`GateKind`] crossing breakdown of the live image described by
+    /// this report — a convenience forwarder to
+    /// [`crate::gate::GateTable::breakdown`] on `env`'s dense per-kind
+    /// counters, so the fig10/table1 harnesses report gate traffic next
+    /// to the build-time gate list without re-deriving totals from the
+    /// `n×n` matrix.
+    pub fn crossing_breakdown(&self, env: &Env) -> CrossingBreakdown {
+        env.gates().breakdown()
+    }
 }
 
 /// A built FlexOS image: the runtime [`Env`] plus the transform report.
@@ -256,7 +271,10 @@ impl ImageBuilder {
         )));
 
         // -- step 4: gate instantiation -----------------------------------
-        let mut gates = GateTable::new(n_comps);
+        // Costs are pre-computed per pair from the machine's calibrated
+        // model: the runtime charges an indexed constant, never consults
+        // the model again.
+        let mut gates = GateTable::with_model(n_comps, self.machine.cost().clone());
         for i in 0..n_comps {
             for j in 0..n_comps {
                 if i == j {
@@ -378,13 +396,19 @@ impl ImageBuilder {
         }
 
         // -- step 6: entry points ------------------------------------------
-        let mut entries = HashSet::new();
+        // Intern every registered entry point and mark it legal in its
+        // compartment's dense CFI bitset. This is the moment the paper's
+        // "gates are instantiated at build time" claim lands for names:
+        // nothing string-shaped survives onto the call path.
+        let mut entry_builder = EntryTable::builder(n_comps);
         for (id, component) in self.registry.iter() {
             let dom = comp_of[id.0 as usize];
             for entry in &component.entry_points {
-                entries.insert((dom, entry.clone()));
+                let eid = entry_builder.intern(entry);
+                entry_builder.permit(dom, eid);
             }
         }
+        let entries = entry_builder.build();
 
         // -- step 7: report + env ------------------------------------------
         let gates_list: Vec<(String, String, String)> = gates
@@ -556,6 +580,74 @@ mod tests {
             let err = env.call(lwip, "lwip_internal_fn", || Ok(())).unwrap_err();
             assert!(matches!(err, Fault::IllegalEntryPoint { .. }));
         });
+    }
+
+    #[test]
+    fn rejected_calls_charge_nothing_and_count_as_violations() {
+        // Regression: the gate used to charge its cost and record the
+        // crossing *before* the CFI entry-point check, so an
+        // `IllegalEntryPoint` rejection still advanced the clock and
+        // inflated `total_crossings`. Rejections must be free and land in
+        // the dedicated `cfi_violations` counter instead.
+        let image = build_two_comp();
+        let env = &image.env;
+        let app = env.component_id("app").unwrap();
+        let lwip = env.component_id("lwip").unwrap();
+        env.run_as(app, || {
+            let t0 = env.machine().clock().now();
+            let err = env.call(lwip, "lwip_internal_fn", || Ok(())).unwrap_err();
+            assert!(matches!(err, Fault::IllegalEntryPoint { .. }));
+            assert_eq!(env.machine().clock().now(), t0, "rejection is free");
+        });
+        assert_eq!(env.gates().total_crossings(), 0);
+        assert_eq!(env.gates().cfi_violations(), 1);
+        // A legal call afterwards behaves normally.
+        env.run_as(app, || {
+            env.call(lwip, "lwip_recv", || Ok(())).unwrap();
+        });
+        assert_eq!(env.gates().total_crossings(), 1);
+        assert_eq!(env.gates().cfi_violations(), 1);
+        // reset_counters clears the violation count too.
+        env.reset_counters();
+        assert_eq!(env.gates().cfi_violations(), 0);
+    }
+
+    #[test]
+    fn resolved_targets_match_the_string_path() {
+        let image = build_two_comp();
+        let env = &image.env;
+        let app = env.component_id("app").unwrap();
+        let lwip = env.component_id("lwip").unwrap();
+        let target = env.resolve(lwip, "lwip_recv");
+        assert_eq!(target.component, lwip);
+        assert_eq!(target.compartment, env.compartment_of(lwip));
+        env.run_as(app, || {
+            let t0 = env.machine().clock().now();
+            env.call_resolved(target, || Ok(())).unwrap();
+            let resolved_cost = env.machine().clock().now() - t0;
+            let t1 = env.machine().clock().now();
+            env.call(lwip, "lwip_recv", || Ok(())).unwrap();
+            assert_eq!(env.machine().clock().now() - t1, resolved_cost);
+        });
+        assert_eq!(env.gates().total_crossings(), 2);
+    }
+
+    #[test]
+    fn report_breakdown_tracks_kind_counters() {
+        let image = build_two_comp();
+        let env = &image.env;
+        let app = env.component_id("app").unwrap();
+        let lwip = env.component_id("lwip").unwrap();
+        env.run_as(app, || {
+            env.call(lwip, "lwip_recv", || Ok(())).unwrap();
+            env.call(lwip, "lwip_send", || Ok(())).unwrap();
+            env.call(app, "app_main", || Ok(())).unwrap();
+        });
+        let bd = image.report.crossing_breakdown(env);
+        assert_eq!(bd.by_kind, vec![(GateKind::MpkDss, 2)]);
+        assert_eq!(bd.total_crossings, 2);
+        assert_eq!(bd.direct_calls, 1);
+        assert_eq!(bd.cfi_violations, 0);
     }
 
     #[test]

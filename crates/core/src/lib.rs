@@ -6,8 +6,10 @@
 //!
 //! * the **compartmentalization API** — [`component::Component`]
 //!   descriptors with `__shared` annotations ([`component::SharedVar`])
-//!   and legal entry points, abstract call gates ([`env::Env::call`]),
-//!   and whitelist-checked shared data (§3.1);
+//!   and legal entry points, abstract call gates resolved once at build
+//!   time ([`env::Env::resolve`] → [`entry::CallTarget`] →
+//!   [`env::Env::call_resolved`], with [`env::Env::call`] as the `&str`
+//!   wrapper), and whitelist-checked shared data (§3.1);
 //! * the **safety configuration** — [`config::SafetyConfig`], buildable
 //!   programmatically or parsed from the paper's configuration-file format
 //!   (§3);
@@ -42,6 +44,7 @@ pub mod backend;
 pub mod compartment;
 pub mod component;
 pub mod config;
+pub mod entry;
 pub mod env;
 pub mod gate;
 pub mod hardening;
@@ -56,8 +59,9 @@ pub mod prelude {
         Component, ComponentId, ComponentKind, ComponentRegistry, SharedVar, VarStorage,
     };
     pub use crate::config::{SafetyConfig, SafetyConfigBuilder};
+    pub use crate::entry::{CallTarget, EntryId, EntryTable};
     pub use crate::env::{Env, StackShare, Work};
-    pub use crate::gate::{GateKind, GateTable};
+    pub use crate::gate::{CrossingBreakdown, GateDesc, GateKind, GateTable};
     pub use crate::hardening::Hardening;
     pub use crate::image::{Image, ImageBuilder, TransformReport};
     pub use crate::tcb::TcbReport;

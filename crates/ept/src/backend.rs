@@ -112,6 +112,12 @@ impl IsolationBackend for EptBackend {
         }
 
         // The crossing hook drives the rings on every EPT gate traversal.
+        // It receives the interned `EntryId`; the build-time address hash
+        // the ring carries is precomputed here, indexed by id — the hook
+        // never touches the name string on the hot path.
+        let entry_hashes: Vec<u64> = (0..env.entries().built_len())
+            .map(|i| entry_hash(&env.entry_name(flexos_core::entry::EntryId(i as u32))))
+            .collect();
         let hook_state = Rc::clone(&self.state);
         env.set_crossing_hook(Box::new(move |env, _from, to, entry| {
             let state = hook_state.borrow();
@@ -124,7 +130,13 @@ impl IsolationBackend for EptBackend {
             // Ring traffic runs under a shared-domain PKRU: the RPC area is
             // the one region both sides map.
             let ring_pkru = Pkru::permit_only(&[ProtKey::new(SHARED_KEY_INDEX)?]);
-            let hash = entry_hash(entry);
+            // Runtime-interned ids (beyond the precomputed table) are
+            // illegal everywhere and never reach the hook; hash them
+            // lazily anyway for robustness.
+            let hash = match entry_hashes.get(entry.0 as usize) {
+                Some(&h) => h,
+                None => entry_hash(&env.entry_name(entry)),
+            };
             let slot = ring.push_request(machine, &ring_pkru, hash, 0, 0)?;
             // Callee VM's server: busy-wait pickup, legality check, execute.
             let req = ring
@@ -142,7 +154,7 @@ impl IsolationBackend for EptBackend {
             drop(state);
             if !legal {
                 return Err(Fault::IllegalEntryPoint {
-                    entry: entry.to_string(),
+                    entry: env.entry_name(entry).to_string(),
                     compartment: env.domain(to).name.clone(),
                 });
             }

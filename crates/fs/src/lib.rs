@@ -22,7 +22,7 @@ pub mod vfs;
 
 pub use fd::{Fd, FdTable, OpenFile, OpenFlags};
 pub use ramfs::RamFs;
-pub use vfs::{FileStat, Vfs, VfsStats};
+pub use vfs::{FileStat, Vfs, VfsEntries, VfsStats};
 
 use flexos_core::prelude::*;
 

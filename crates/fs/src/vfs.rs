@@ -11,6 +11,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use flexos_core::component::ComponentId;
+use flexos_core::entry::CallTarget;
 use flexos_core::env::{Env, Work};
 use flexos_machine::fault::Fault;
 use flexos_time::TimeSubsystem;
@@ -69,12 +70,49 @@ impl VfsStats {
     }
 }
 
+/// vfscore's own gate entry points, resolved once at construction (the
+/// libc gates file I/O through these handles).
+#[derive(Debug, Clone, Copy)]
+pub struct VfsEntries {
+    /// `vfs_open`.
+    pub open: CallTarget,
+    /// `vfs_close`.
+    pub close: CallTarget,
+    /// `vfs_read`.
+    pub read: CallTarget,
+    /// `vfs_write`.
+    pub write: CallTarget,
+    /// `vfs_lseek`.
+    pub lseek: CallTarget,
+    /// `vfs_fsync`.
+    pub fsync: CallTarget,
+    /// `vfs_unlink`.
+    pub unlink: CallTarget,
+    /// `vfs_stat`.
+    pub stat: CallTarget,
+    /// `vfs_truncate`.
+    pub truncate: CallTarget,
+}
+
+/// The ramfs and uktime targets the vfs itself gates through, resolved
+/// once (two crossings per operation: node/block work + timestamping).
+#[derive(Debug, Clone, Copy)]
+struct VfsTargets {
+    ramfs_lookup: CallTarget,
+    ramfs_create: CallTarget,
+    ramfs_read_block: CallTarget,
+    ramfs_write_block: CallTarget,
+    ramfs_remove: CallTarget,
+    ramfs_resize: CallTarget,
+    time_wall: CallTarget,
+}
+
 /// The vfscore component.
 pub struct Vfs {
     env: Rc<Env>,
     id: ComponentId,
-    ramfs_id: ComponentId,
-    time_id: ComponentId,
+    entries: VfsEntries,
+    targets: VfsTargets,
     ramfs: RefCell<RamFs>,
     time: Rc<TimeSubsystem>,
     fds: RefCell<FdTable>,
@@ -107,11 +145,31 @@ impl Vfs {
         time: Rc<TimeSubsystem>,
     ) -> Self {
         let ramfs = RamFs::new(Rc::clone(&env));
+        let entries = VfsEntries {
+            open: env.resolve(id, "vfs_open"),
+            close: env.resolve(id, "vfs_close"),
+            read: env.resolve(id, "vfs_read"),
+            write: env.resolve(id, "vfs_write"),
+            lseek: env.resolve(id, "vfs_lseek"),
+            fsync: env.resolve(id, "vfs_fsync"),
+            unlink: env.resolve(id, "vfs_unlink"),
+            stat: env.resolve(id, "vfs_stat"),
+            truncate: env.resolve(id, "vfs_truncate"),
+        };
+        let targets = VfsTargets {
+            ramfs_lookup: env.resolve(ramfs_id, "ramfs_lookup"),
+            ramfs_create: env.resolve(ramfs_id, "ramfs_create"),
+            ramfs_read_block: env.resolve(ramfs_id, "ramfs_read_block"),
+            ramfs_write_block: env.resolve(ramfs_id, "ramfs_write_block"),
+            ramfs_remove: env.resolve(ramfs_id, "ramfs_remove"),
+            ramfs_resize: env.resolve(ramfs_id, "ramfs_resize"),
+            time_wall: env.resolve(time_id, "uktime_wall"),
+        };
         Vfs {
             env,
             id,
-            ramfs_id,
-            time_id,
+            entries,
+            targets,
             ramfs: RefCell::new(ramfs),
             time,
             fds: RefCell::new(FdTable::new()),
@@ -122,6 +180,11 @@ impl Vfs {
     /// This component's id (vfscore).
     pub fn component_id(&self) -> ComponentId {
         self.id
+    }
+
+    /// The component's gate entry points, resolved at construction time.
+    pub fn entries(&self) -> &VfsEntries {
+        &self.entries
     }
 
     /// Operation counters.
@@ -135,10 +198,11 @@ impl Vfs {
     }
 
     fn now_ns(&self) -> Result<u64, Fault> {
-        // fs → time gate: the MPK3 crossing of Figure 10.
+        // fs → time gate: the MPK3 crossing of Figure 10, through the
+        // target resolved at construction.
         let time = Rc::clone(&self.time);
         self.env
-            .call(self.time_id, "uktime_wall", move || Ok(time.wall_ns()))
+            .call_resolved(self.targets.time_wall, move || Ok(time.wall_ns()))
     }
 
     fn charge_op(&self) {
@@ -173,7 +237,7 @@ impl Vfs {
         }
         if !exists || flags.truncate {
             let norm2 = norm.clone();
-            self.env.call(self.ramfs_id, "ramfs_create", || {
+            self.env.call_resolved(self.targets.ramfs_create, || {
                 self.ramfs.borrow_mut().create(&norm2, flags.truncate)
             })?;
         }
@@ -218,7 +282,7 @@ impl Vfs {
         };
         let data = {
             let path = path.clone();
-            self.env.call(self.ramfs_id, "ramfs_read_block", || {
+            self.env.call_resolved(self.targets.ramfs_read_block, || {
                 self.ramfs.borrow_mut().read(&path, offset, len)
             })?
         };
@@ -248,7 +312,7 @@ impl Vfs {
         }
         let written = {
             let path = path.clone();
-            self.env.call(self.ramfs_id, "ramfs_write_block", || {
+            self.env.call_resolved(self.targets.ramfs_write_block, || {
                 self.ramfs.borrow_mut().write(&path, offset, data)
             })?
         };
@@ -305,7 +369,7 @@ impl Vfs {
         self.charge_op();
         let norm = normalize(path);
         let norm2 = norm.clone();
-        self.env.call(self.ramfs_id, "ramfs_remove", || {
+        self.env.call_resolved(self.targets.ramfs_remove, || {
             self.ramfs.borrow_mut().remove(&norm2)
         })?;
         let _ = self.now_ns()?;
@@ -325,7 +389,7 @@ impl Vfs {
         let norm = normalize(path);
         let size = {
             let norm = norm.clone();
-            self.env.call(self.ramfs_id, "ramfs_lookup", || {
+            self.env.call_resolved(self.targets.ramfs_lookup, || {
                 self.ramfs.borrow_mut().size(&norm)
             })?
         };
@@ -349,7 +413,7 @@ impl Vfs {
         self.charge_op();
         let norm = normalize(path);
         let norm2 = norm.clone();
-        self.env.call(self.ramfs_id, "ramfs_resize", || {
+        self.env.call_resolved(self.targets.ramfs_resize, || {
             self.ramfs.borrow_mut().truncate(&norm2, size)
         })?;
         let now = self.now_ns()?;

@@ -18,19 +18,24 @@
 //!   calls the scheduler on the hot path.
 //!
 //! Every public method performs the abstract-gate dance: the *caller's*
-//! component is current when [`flexos_core::env::Env::call`] fires, so
-//! crossings are attributed to the right boundary automatically.
+//! component is current when [`flexos_core::env::Env::call_resolved`]
+//! fires, so crossings are attributed to the right boundary
+//! automatically. All targets — the libc's own `nl_*` entries and the
+//! lwip/vfs/uksched/uktime entries it fronts — are resolved once when
+//! the libc is wired up ([`flexos_core::entry::CallTarget`] handles);
+//! the per-call path performs no string hashing and no allocation.
 
 use std::cell::Cell;
 use std::rc::Rc;
 
 use flexos_core::component::ComponentId;
+use flexos_core::entry::CallTarget;
 use flexos_core::env::{Env, Work};
 use flexos_core::prelude::{Component, ComponentKind, SharedVar};
-use flexos_fs::{Fd, OpenFlags, Vfs};
+use flexos_fs::{Fd, OpenFlags, Vfs, VfsEntries};
 use flexos_machine::fault::Fault;
-use flexos_net::{NetStack, SocketHandle};
-use flexos_sched::Scheduler;
+use flexos_net::{NetEntries, NetStack, SocketHandle};
+use flexos_sched::{SchedEntries, Scheduler};
 
 /// Counters over the libc boundary (calibration introspection).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,6 +50,56 @@ pub struct LibcStats {
     pub recv_yields: u64,
 }
 
+/// newlib's own gate entry points, resolved once at construction — the
+/// app↔libc boundary is the hottest edge in every Figure 6 profile, so
+/// nothing string-shaped may survive onto it.
+#[derive(Debug, Clone, Copy)]
+struct NewlibEntries {
+    strlen: CallTarget,
+    memchr: CallTarget,
+    atoi: CallTarget,
+    itoa: CallTarget,
+    memcpy: CallTarget,
+    listen: CallTarget,
+    accept: CallTarget,
+    recv: CallTarget,
+    send: CallTarget,
+    open: CallTarget,
+    close: CallTarget,
+    read: CallTarget,
+    write: CallTarget,
+    lseek: CallTarget,
+    fsync: CallTarget,
+    unlink: CallTarget,
+    stat: CallTarget,
+    time: CallTarget,
+}
+
+impl NewlibEntries {
+    fn resolve(env: &Env, id: ComponentId) -> Self {
+        NewlibEntries {
+            strlen: env.resolve(id, "nl_strlen"),
+            memchr: env.resolve(id, "nl_memchr"),
+            atoi: env.resolve(id, "nl_atoi"),
+            itoa: env.resolve(id, "nl_itoa"),
+            memcpy: env.resolve(id, "nl_memcpy"),
+            listen: env.resolve(id, "nl_listen"),
+            accept: env.resolve(id, "nl_accept"),
+            recv: env.resolve(id, "nl_recv"),
+            send: env.resolve(id, "nl_send"),
+            open: env.resolve(id, "nl_open"),
+            close: env.resolve(id, "nl_close"),
+            read: env.resolve(id, "nl_read"),
+            write: env.resolve(id, "nl_write"),
+            lseek: env.resolve(id, "nl_lseek"),
+            fsync: env.resolve(id, "nl_fsync"),
+            unlink: env.resolve(id, "nl_unlink"),
+            stat: env.resolve(id, "nl_stat"),
+            time: env.resolve(id, "nl_time"),
+        }
+    }
+}
+
 /// The newlib component.
 pub struct Newlib {
     env: Rc<Env>,
@@ -52,7 +107,11 @@ pub struct Newlib {
     net: Rc<NetStack>,
     vfs: Rc<Vfs>,
     sched: Rc<Scheduler>,
-    time_id: ComponentId,
+    entries: NewlibEntries,
+    net_gates: NetEntries,
+    vfs_gates: VfsEntries,
+    sched_gates: SchedEntries,
+    time_wall: CallTarget,
     stats: Cell<LibcStats>,
 }
 
@@ -78,13 +137,22 @@ impl Newlib {
         sched: Rc<Scheduler>,
         time_id: ComponentId,
     ) -> Self {
+        let entries = NewlibEntries::resolve(&env, id);
+        let net_gates = *net.entries();
+        let vfs_gates = *vfs.entries();
+        let sched_gates = *sched.entries();
+        let time_wall = env.resolve(time_id, "uktime_wall");
         Newlib {
             env,
             id,
             net,
             vfs,
             sched,
-            time_id,
+            entries,
+            net_gates,
+            vfs_gates,
+            sched_gates,
+            time_wall,
             stats: Cell::new(LibcStats::default()),
         }
     }
@@ -114,7 +182,7 @@ impl Newlib {
     /// Gate faults (illegal entry, isolation violations).
     pub fn strlen(&self, s: &[u8]) -> Result<usize, Fault> {
         self.bump(|st| st.str_calls += 1);
-        self.env.call(self.id, "nl_strlen", || {
+        self.env.call_resolved(self.entries.strlen, || {
             self.env.compute(Work {
                 cycles: 6 + s.len() as u64 / 8,
                 alu_ops: s.len() as u64 / 8 + 1,
@@ -133,7 +201,7 @@ impl Newlib {
     /// Gate faults.
     pub fn memchr(&self, hay: &[u8], needle: u8) -> Result<Option<usize>, Fault> {
         self.bump(|st| st.str_calls += 1);
-        self.env.call(self.id, "nl_memchr", || {
+        self.env.call_resolved(self.entries.memchr, || {
             let pos = hay.iter().position(|&b| b == needle);
             let scanned = pos.map(|p| p + 1).unwrap_or(hay.len());
             self.env.compute(Work {
@@ -154,7 +222,7 @@ impl Newlib {
     /// Gate faults; [`Fault::InvalidConfig`] on non-numeric input.
     pub fn atoi(&self, s: &[u8]) -> Result<i64, Fault> {
         self.bump(|st| st.str_calls += 1);
-        self.env.call(self.id, "nl_atoi", || {
+        self.env.call_resolved(self.entries.atoi, || {
             self.env.compute(Work {
                 cycles: 8 + s.len() as u64,
                 alu_ops: 2 * s.len() as u64 + 2,
@@ -178,7 +246,7 @@ impl Newlib {
     /// Gate faults.
     pub fn itoa(&self, value: i64) -> Result<Vec<u8>, Fault> {
         self.bump(|st| st.str_calls += 1);
-        self.env.call(self.id, "nl_itoa", || {
+        self.env.call_resolved(self.entries.itoa, || {
             let out = value.to_string().into_bytes();
             self.env.compute(Work {
                 cycles: 10 + 3 * out.len() as u64,
@@ -199,7 +267,7 @@ impl Newlib {
     /// Gate faults.
     pub fn memcpy(&self, dst: &mut Vec<u8>, src: &[u8]) -> Result<(), Fault> {
         self.bump(|st| st.str_calls += 1);
-        self.env.call(self.id, "nl_memcpy", || {
+        self.env.call_resolved(self.entries.memcpy, || {
             self.env.compute(Work {
                 cycles: 8 + (src.len() as f64 * 0.35) as u64,
                 alu_ops: src.len() as u64 / 16 + 1,
@@ -221,15 +289,15 @@ impl Newlib {
     /// Gate faults; port-in-use faults from the stack.
     pub fn listen(&self, port: u16) -> Result<SocketHandle, Fault> {
         self.bump(|st| st.io_calls += 1);
-        self.env.call(self.id, "nl_listen", || {
+        self.env.call_resolved(self.entries.listen, || {
             let net = Rc::clone(&self.net);
             let sock = self
                 .env
-                .call(net.component_id(), "lwip_socket", || Ok(net.socket()))?;
+                .call_resolved(self.net_gates.socket, || Ok(net.socket()))?;
             self.env
-                .call(net.component_id(), "lwip_bind", || net.bind(sock, port))?;
+                .call_resolved(self.net_gates.bind, || net.bind(sock, port))?;
             self.env
-                .call(net.component_id(), "lwip_listen", || net.listen(sock))?;
+                .call_resolved(self.net_gates.listen, || net.listen(sock))?;
             Ok(sock)
         })
     }
@@ -241,13 +309,12 @@ impl Newlib {
     /// Gate faults.
     pub fn accept(&self, listener: SocketHandle) -> Result<Option<SocketHandle>, Fault> {
         self.bump(|st| st.io_calls += 1);
-        self.env.call(self.id, "nl_accept", || {
+        self.env.call_resolved(self.entries.accept, || {
             let net = Rc::clone(&self.net);
             self.env
-                .call(net.component_id(), "lwip_poll", || net.poll().map(|_| ()))?;
-            self.env.call(net.component_id(), "lwip_accept", || {
-                Ok(net.accept(listener))
-            })
+                .call_resolved(self.net_gates.poll, || net.poll().map(|_| ()))?;
+            self.env
+                .call_resolved(self.net_gates.accept, || Ok(net.accept(listener)))
         })
     }
 
@@ -262,7 +329,7 @@ impl Newlib {
     /// Gate faults.
     pub fn recv(&self, sock: SocketHandle, maxlen: u64) -> Result<Vec<u8>, Fault> {
         self.bump(|st| st.io_calls += 1);
-        self.env.call(self.id, "nl_recv", || {
+        self.env.call_resolved(self.entries.recv, || {
             // fd-table lookup, sockaddr staging, iovec setup.
             self.env.compute(Work {
                 cycles: 95,
@@ -270,12 +337,11 @@ impl Newlib {
                 frames: 6,
                 indirect_calls: 2,
                 mem_accesses: 22,
-                ..Work::default()
             });
             let net = Rc::clone(&self.net);
             let sched = Rc::clone(&self.sched);
             // Blocking-path prologue: current-thread check.
-            self.env.call(sched.component_id(), "uksched_current", || {
+            self.env.call_resolved(self.sched_gates.current, || {
                 sched.current();
                 Ok(())
             })?;
@@ -284,11 +350,11 @@ impl Newlib {
                 // ring occupancy without a gate; poll only when empty.
                 if net.rx_available(sock) == 0 {
                     self.env
-                        .call(net.component_id(), "lwip_poll", || net.poll().map(|_| ()))?;
+                        .call_resolved(self.net_gates.poll, || net.poll().map(|_| ()))?;
                 }
                 let data = self
                     .env
-                    .call(net.component_id(), "lwip_recv", || net.recv(sock, maxlen))?;
+                    .call_resolved(self.net_gates.recv, || net.recv(sock, maxlen))?;
                 if !data.is_empty() {
                     // Copy into the caller's buffer (recv(2) semantics).
                     self.env.compute(Work {
@@ -299,7 +365,7 @@ impl Newlib {
                         ..Work::default()
                     });
                     // Cooperative yield point after blocking I/O completes.
-                    self.env.call(sched.component_id(), "uksched_yield", || {
+                    self.env.call_resolved(self.sched_gates.yield_now, || {
                         sched.yield_now();
                         Ok(())
                     })?;
@@ -310,7 +376,7 @@ impl Newlib {
                 }
                 // Empty buffer: cooperative blocking through the scheduler.
                 self.bump(|st| st.recv_yields += 1);
-                self.env.call(sched.component_id(), "uksched_yield", || {
+                self.env.call_resolved(self.sched_gates.yield_now, || {
                     sched.yield_now();
                     Ok(())
                 })?;
@@ -328,15 +394,15 @@ impl Newlib {
     /// Gate faults.
     pub fn recv_nowait(&self, sock: SocketHandle, maxlen: u64) -> Result<Vec<u8>, Fault> {
         self.bump(|st| st.io_calls += 1);
-        self.env.call(self.id, "nl_recv", || {
+        self.env.call_resolved(self.entries.recv, || {
             let net = Rc::clone(&self.net);
             if net.rx_available(sock) == 0 {
                 self.env
-                    .call(net.component_id(), "lwip_poll", || net.poll().map(|_| ()))?;
+                    .call_resolved(self.net_gates.poll, || net.poll().map(|_| ()))?;
             }
             let data = self
                 .env
-                .call(net.component_id(), "lwip_recv", || net.recv(sock, maxlen))?;
+                .call_resolved(self.net_gates.recv, || net.recv(sock, maxlen))?;
             // Copy into the caller's buffer (recv(2) semantics).
             self.env.compute(Work {
                 cycles: 20 + (data.len() as f64 * 0.7) as u64,
@@ -358,7 +424,7 @@ impl Newlib {
     /// Gate faults.
     pub fn send(&self, sock: SocketHandle, data: &[u8]) -> Result<u64, Fault> {
         self.bump(|st| st.io_calls += 1);
-        self.env.call(self.id, "nl_send", || {
+        self.env.call_resolved(self.entries.send, || {
             // fd-table lookup, iovec setup, copy-out staging.
             self.env.compute(Work {
                 cycles: 80 + (data.len() as f64 * 0.25) as u64,
@@ -366,18 +432,17 @@ impl Newlib {
                 frames: 5,
                 indirect_calls: 2,
                 mem_accesses: 18 + data.len() as u64 / 8,
-                ..Work::default()
             });
             let net = Rc::clone(&self.net);
             let sched = Rc::clone(&self.sched);
             let n = self
                 .env
-                .call(net.component_id(), "lwip_send", || net.send(sock, data))?;
-            self.env.call(sched.component_id(), "uksched_current", || {
+                .call_resolved(self.net_gates.send, || net.send(sock, data))?;
+            self.env.call_resolved(self.sched_gates.current, || {
                 sched.current();
                 Ok(())
             })?;
-            self.env.call(sched.component_id(), "uksched_yield", || {
+            self.env.call_resolved(self.sched_gates.yield_now, || {
                 sched.yield_now();
                 Ok(())
             })?;
@@ -392,10 +457,10 @@ impl Newlib {
     /// Gate faults.
     pub fn send_nowait(&self, sock: SocketHandle, data: &[u8]) -> Result<u64, Fault> {
         self.bump(|st| st.io_calls += 1);
-        self.env.call(self.id, "nl_send", || {
+        self.env.call_resolved(self.entries.send, || {
             let net = Rc::clone(&self.net);
             self.env
-                .call(net.component_id(), "lwip_send", || net.send(sock, data))
+                .call_resolved(self.net_gates.send, || net.send(sock, data))
         })
     }
 
@@ -408,10 +473,10 @@ impl Newlib {
     /// Gate faults; vfs faults.
     pub fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd, Fault> {
         self.bump(|st| st.file_calls += 1);
-        self.env.call(self.id, "nl_open", || {
+        self.env.call_resolved(self.entries.open, || {
             let vfs = Rc::clone(&self.vfs);
             self.env
-                .call(vfs.component_id(), "vfs_open", || vfs.open(path, flags))
+                .call_resolved(self.vfs_gates.open, || vfs.open(path, flags))
         })
     }
 
@@ -422,10 +487,10 @@ impl Newlib {
     /// Gate faults; vfs faults.
     pub fn close(&self, fd: Fd) -> Result<(), Fault> {
         self.bump(|st| st.file_calls += 1);
-        self.env.call(self.id, "nl_close", || {
+        self.env.call_resolved(self.entries.close, || {
             let vfs = Rc::clone(&self.vfs);
             self.env
-                .call(vfs.component_id(), "vfs_close", || vfs.close(fd))
+                .call_resolved(self.vfs_gates.close, || vfs.close(fd))
         })
     }
 
@@ -436,10 +501,10 @@ impl Newlib {
     /// Gate faults; vfs faults.
     pub fn read(&self, fd: Fd, len: u64) -> Result<Vec<u8>, Fault> {
         self.bump(|st| st.file_calls += 1);
-        self.env.call(self.id, "nl_read", || {
+        self.env.call_resolved(self.entries.read, || {
             let vfs = Rc::clone(&self.vfs);
             self.env
-                .call(vfs.component_id(), "vfs_read", || vfs.read(fd, len))
+                .call_resolved(self.vfs_gates.read, || vfs.read(fd, len))
         })
     }
 
@@ -450,10 +515,10 @@ impl Newlib {
     /// Gate faults; vfs faults.
     pub fn write(&self, fd: Fd, data: &[u8]) -> Result<u64, Fault> {
         self.bump(|st| st.file_calls += 1);
-        self.env.call(self.id, "nl_write", || {
+        self.env.call_resolved(self.entries.write, || {
             let vfs = Rc::clone(&self.vfs);
             self.env
-                .call(vfs.component_id(), "vfs_write", || vfs.write(fd, data))
+                .call_resolved(self.vfs_gates.write, || vfs.write(fd, data))
         })
     }
 
@@ -464,10 +529,10 @@ impl Newlib {
     /// Gate faults; vfs faults.
     pub fn lseek(&self, fd: Fd, offset: u64) -> Result<(), Fault> {
         self.bump(|st| st.file_calls += 1);
-        self.env.call(self.id, "nl_lseek", || {
+        self.env.call_resolved(self.entries.lseek, || {
             let vfs = Rc::clone(&self.vfs);
             self.env
-                .call(vfs.component_id(), "vfs_lseek", || vfs.lseek(fd, offset))
+                .call_resolved(self.vfs_gates.lseek, || vfs.lseek(fd, offset))
         })
     }
 
@@ -478,10 +543,10 @@ impl Newlib {
     /// Gate faults; vfs faults.
     pub fn fsync(&self, fd: Fd) -> Result<(), Fault> {
         self.bump(|st| st.file_calls += 1);
-        self.env.call(self.id, "nl_fsync", || {
+        self.env.call_resolved(self.entries.fsync, || {
             let vfs = Rc::clone(&self.vfs);
             self.env
-                .call(vfs.component_id(), "vfs_fsync", || vfs.fsync(fd))
+                .call_resolved(self.vfs_gates.fsync, || vfs.fsync(fd))
         })
     }
 
@@ -492,10 +557,10 @@ impl Newlib {
     /// Gate faults; vfs faults.
     pub fn unlink(&self, path: &str) -> Result<(), Fault> {
         self.bump(|st| st.file_calls += 1);
-        self.env.call(self.id, "nl_unlink", || {
+        self.env.call_resolved(self.entries.unlink, || {
             let vfs = Rc::clone(&self.vfs);
             self.env
-                .call(vfs.component_id(), "vfs_unlink", || vfs.unlink(path))
+                .call_resolved(self.vfs_gates.unlink, || vfs.unlink(path))
         })
     }
 
@@ -506,11 +571,10 @@ impl Newlib {
     /// Gate faults; vfs faults.
     pub fn file_size(&self, path: &str) -> Result<u64, Fault> {
         self.bump(|st| st.file_calls += 1);
-        self.env.call(self.id, "nl_stat", || {
+        self.env.call_resolved(self.entries.stat, || {
             let vfs = Rc::clone(&self.vfs);
-            self.env.call(vfs.component_id(), "vfs_stat", || {
-                vfs.stat(path).map(|s| s.size)
-            })
+            self.env
+                .call_resolved(self.vfs_gates.stat, || vfs.stat(path).map(|s| s.size))
         })
     }
 
@@ -523,9 +587,9 @@ impl Newlib {
     pub fn wall_ns(&self, time: &Rc<flexos_time::TimeSubsystem>) -> Result<u64, Fault> {
         self.bump(|st| st.str_calls += 1);
         let time = Rc::clone(time);
-        self.env.call(self.id, "nl_time", || {
+        self.env.call_resolved(self.entries.time, || {
             self.env
-                .call(self.time_id, "uktime_wall", move || Ok(time.wall_ns()))
+                .call_resolved(self.time_wall, move || Ok(time.wall_ns()))
         })
     }
 }

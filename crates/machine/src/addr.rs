@@ -145,7 +145,7 @@ impl From<Addr> for u64 {
 
 /// Number of pages needed to hold `bytes` bytes.
 pub const fn pages_for(bytes: u64) -> u64 {
-    (bytes + PAGE_SIZE as u64 - 1) / PAGE_SIZE as u64
+    bytes.div_ceil(PAGE_SIZE as u64)
 }
 
 #[cfg(test)]

@@ -179,7 +179,7 @@ impl Memory {
                 None => buf[copied..copied + take].fill(0),
             }
             copied += take;
-            cur = cur + take as u64;
+            cur += take as u64;
         }
         Ok(())
     }
@@ -213,7 +213,7 @@ impl Memory {
             let data = self.frames[page].bytes_mut();
             data[off..off + take].copy_from_slice(&buf[copied..copied + take]);
             copied += take;
-            cur = cur + take as u64;
+            cur += take as u64;
         }
         Ok(())
     }
@@ -233,7 +233,7 @@ impl Memory {
             let take = (PAGE_SIZE - off).min(remaining as usize);
             self.frames[page].bytes_mut()[off..off + take].fill(byte);
             remaining -= take as u64;
-            cur = cur + take as u64;
+            cur += take as u64;
         }
         Ok(())
     }

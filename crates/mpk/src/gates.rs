@@ -6,6 +6,7 @@
 //! The step lists below document where the Figure 11b latencies come from
 //! and feed the gate-ablation bench.
 
+use flexos_core::gate::GateKind;
 use flexos_machine::cost::CostModel;
 
 /// One step of a gate crossing, with its cycle share.
@@ -28,6 +29,15 @@ pub enum MpkGate {
 }
 
 impl MpkGate {
+    /// The [`GateKind`] this flavour instantiates to — the kind whose
+    /// pre-computed cost the image's gate-descriptor row carries.
+    pub fn kind(&self) -> GateKind {
+        match self {
+            MpkGate::Full => GateKind::MpkDss,
+            MpkGate::Light => GateKind::MpkLight,
+        }
+    }
+
     /// The ordered steps of one round-trip crossing (§4.1 steps 1-7 plus
     /// the reverse path), summing exactly to the Figure 11b latency.
     pub fn steps(&self, model: &CostModel) -> Vec<GateStep> {
@@ -126,6 +136,22 @@ mod tests {
         let full = MpkGate::Full.total(&m) as f64;
         let speedup = (full - light) / light;
         assert!((0.6..=0.9).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn step_totals_match_the_precomputed_descriptor_costs() {
+        // The "instantiate once, pay the mechanism cost" story: the cost
+        // the image's flattened gate-descriptor row charges per crossing
+        // is exactly the sum of the gate's documented steps.
+        use flexos_core::compartment::CompartmentId;
+        use flexos_core::gate::GateTable;
+        let m = CostModel::default();
+        let mut table = GateTable::with_model(2, m.clone());
+        let (a, b) = (CompartmentId(0), CompartmentId(1));
+        for gate in [MpkGate::Full, MpkGate::Light] {
+            table.set(a, b, gate.kind());
+            assert_eq!(table.desc(a, b).cost, gate.total(&m), "{gate:?}");
+        }
     }
 
     #[test]

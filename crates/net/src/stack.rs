@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use flexos_core::component::ComponentId;
+use flexos_core::entry::CallTarget;
 use flexos_core::env::{Env, Work};
 use flexos_machine::fault::Fault;
 
@@ -39,10 +40,49 @@ pub struct NetStats {
     pub polls: u64,
 }
 
+/// lwip's gate entry points, resolved once when the stack is wired up
+/// (the resolve-once pattern: callers gate through these handles instead
+/// of re-resolving `"lwip_*"` strings per call).
+#[derive(Debug, Clone, Copy)]
+pub struct NetEntries {
+    /// `lwip_socket`.
+    pub socket: CallTarget,
+    /// `lwip_bind`.
+    pub bind: CallTarget,
+    /// `lwip_listen`.
+    pub listen: CallTarget,
+    /// `lwip_accept`.
+    pub accept: CallTarget,
+    /// `lwip_recv`.
+    pub recv: CallTarget,
+    /// `lwip_send`.
+    pub send: CallTarget,
+    /// `lwip_poll`.
+    pub poll: CallTarget,
+    /// `lwip_close`.
+    pub close: CallTarget,
+}
+
+impl NetEntries {
+    fn resolve(env: &Env, id: ComponentId) -> Self {
+        NetEntries {
+            socket: env.resolve(id, "lwip_socket"),
+            bind: env.resolve(id, "lwip_bind"),
+            listen: env.resolve(id, "lwip_listen"),
+            accept: env.resolve(id, "lwip_accept"),
+            recv: env.resolve(id, "lwip_recv"),
+            send: env.resolve(id, "lwip_send"),
+            poll: env.resolve(id, "lwip_poll"),
+            close: env.resolve(id, "lwip_close"),
+        }
+    }
+}
+
 /// The lwip component state.
 pub struct NetStack {
     env: Rc<Env>,
     id: ComponentId,
+    entries: NetEntries,
     nic: RefCell<SimNic>,
     sockets: RefCell<Vec<Socket>>,
     /// `(local_port, remote_port)` → connection socket.
@@ -73,9 +113,11 @@ const CSUM_PER_BYTE: f64 = 1.15;
 impl NetStack {
     /// Creates the stack (`id` must be lwip's id in the image).
     pub fn new(env: Rc<Env>, id: ComponentId) -> Self {
+        let entries = NetEntries::resolve(&env, id);
         NetStack {
             env,
             id,
+            entries,
             nic: RefCell::new(SimNic::new()),
             sockets: RefCell::new(Vec::new()),
             conns: RefCell::new(HashMap::new()),
@@ -88,6 +130,11 @@ impl NetStack {
     /// This component's id in the image.
     pub fn component_id(&self) -> ComponentId {
         self.id
+    }
+
+    /// The stack's gate entry points, resolved at construction time.
+    pub fn entries(&self) -> &NetEntries {
+        &self.entries
     }
 
     /// Counters.
@@ -117,7 +164,6 @@ impl NetStack {
             frames: 4,
             mem_accesses: 12 + payload_len as u64 / 8,
             indirect_calls: 1,
-            ..Work::default()
         });
     }
 

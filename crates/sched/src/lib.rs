@@ -19,7 +19,7 @@ pub mod stack;
 pub mod thread;
 
 pub use dss::{shadow_of, STACK_PAGES, STACK_SIZE};
-pub use scheduler::{SchedStats, Scheduler};
+pub use scheduler::{SchedEntries, SchedStats, Scheduler};
 pub use stack::{StackRegistry, ThreadStack};
 pub use thread::{Thread, ThreadId, ThreadState};
 

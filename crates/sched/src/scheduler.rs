@@ -13,6 +13,7 @@ use std::rc::Rc;
 
 use flexos_core::compartment::CompartmentId;
 use flexos_core::component::ComponentId;
+use flexos_core::entry::CallTarget;
 use flexos_core::env::{Env, Work};
 use flexos_machine::fault::Fault;
 
@@ -37,10 +38,44 @@ pub struct SchedStats {
     pub switches: u64,
 }
 
+/// uksched's gate entry points, resolved once when the scheduler is
+/// wired up. The blocking-socket paths in the libc and the app event
+/// loops gate through these handles on every iteration — the hottest
+/// edges of Figure 6 — so nothing string-shaped survives there.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedEntries {
+    /// `uksched_spawn`.
+    pub spawn: CallTarget,
+    /// `uksched_yield`.
+    pub yield_now: CallTarget,
+    /// `uksched_block`.
+    pub block: CallTarget,
+    /// `uksched_wake`.
+    pub wake: CallTarget,
+    /// `uksched_current`.
+    pub current: CallTarget,
+    /// `uksched_exit`.
+    pub exit: CallTarget,
+}
+
+impl SchedEntries {
+    fn resolve(env: &Env, id: ComponentId) -> Self {
+        SchedEntries {
+            spawn: env.resolve(id, "uksched_spawn"),
+            yield_now: env.resolve(id, "uksched_yield"),
+            block: env.resolve(id, "uksched_block"),
+            wake: env.resolve(id, "uksched_wake"),
+            current: env.resolve(id, "uksched_current"),
+            exit: env.resolve(id, "uksched_exit"),
+        }
+    }
+}
+
 /// The uksched component.
 pub struct Scheduler {
     env: Rc<Env>,
     id: ComponentId,
+    entries: SchedEntries,
     threads: RefCell<Vec<Thread>>,
     ready: RefCell<VecDeque<ThreadId>>,
     current: Cell<Option<ThreadId>>,
@@ -70,9 +105,11 @@ impl Scheduler {
     /// Creates the scheduler component (`id` must be uksched's id in the
     /// image).
     pub fn new(env: Rc<Env>, id: ComponentId) -> Self {
+        let entries = SchedEntries::resolve(&env, id);
         Scheduler {
             env,
             id,
+            entries,
             threads: RefCell::new(Vec::new()),
             ready: RefCell::new(VecDeque::new()),
             current: Cell::new(None),
@@ -85,6 +122,11 @@ impl Scheduler {
     /// This component's id in the image.
     pub fn component_id(&self) -> ComponentId {
         self.id
+    }
+
+    /// The scheduler's gate entry points, resolved at construction time.
+    pub fn entries(&self) -> &SchedEntries {
+        &self.entries
     }
 
     /// Registers a thread-creation hook (backends call this at boot).

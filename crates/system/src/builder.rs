@@ -7,6 +7,7 @@ use flexos_core::backend::{CubicleBackend, IsolationBackend, NoneBackend, PageTa
 use flexos_core::compartment::Mechanism;
 use flexos_core::component::{Component, ComponentId};
 use flexos_core::config::SafetyConfig;
+use flexos_core::entry::CallTarget;
 use flexos_core::env::Env;
 use flexos_core::image::{ImageBuilder, TransformReport};
 use flexos_ept::{EptBackend, VmImage};
@@ -219,6 +220,15 @@ impl FlexOs {
     /// Looks up a component id by name.
     pub fn component(&self, name: &str) -> Option<ComponentId> {
         self.env.component_id(name)
+    }
+
+    /// Resolves a gate target by component name — the resolve-once
+    /// pattern for application code: fetch the [`CallTarget`] handle at
+    /// setup time and gate through [`flexos_core::env::Env::call_resolved`]
+    /// on hot paths. Returns `None` for unknown component names.
+    pub fn resolve(&self, component: &str, entry: &str) -> Option<CallTarget> {
+        self.component(component)
+            .map(|id| self.env.resolve(id, entry))
     }
 
     /// Runs `f` in the context of the (first) application component.

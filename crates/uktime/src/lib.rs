@@ -14,6 +14,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use flexos_core::component::ComponentId;
+use flexos_core::entry::CallTarget;
 use flexos_core::env::{Env, Work};
 use flexos_core::prelude::{Component, ComponentKind};
 
@@ -24,20 +25,40 @@ pub const BOOT_EPOCH_NS: u64 = 1_700_000_000_000_000_000;
 /// Cycles charged per time query (TSC read + scaling).
 const QUERY_CYCLES: u64 = 18;
 
+/// uktime's gate entry points, resolved once at construction. The
+/// vfs → uktime timestamp crossing (Figure 10's MPK3 driver) gates
+/// through [`TimeEntries::wall`] rather than re-resolving a string.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeEntries {
+    /// `uktime_monotonic`.
+    pub monotonic: CallTarget,
+    /// `uktime_wall`.
+    pub wall: CallTarget,
+    /// `uktime_sleep`.
+    pub sleep: CallTarget,
+}
+
 /// The uktime component.
 #[derive(Debug)]
 pub struct TimeSubsystem {
     env: Rc<Env>,
     id: ComponentId,
+    entries: TimeEntries,
     queries: Cell<u64>,
 }
 
 impl TimeSubsystem {
     /// Creates the component (`id` must be uktime's id in the image).
     pub fn new(env: Rc<Env>, id: ComponentId) -> Self {
+        let entries = TimeEntries {
+            monotonic: env.resolve(id, "uktime_monotonic"),
+            wall: env.resolve(id, "uktime_wall"),
+            sleep: env.resolve(id, "uktime_sleep"),
+        };
         TimeSubsystem {
             env,
             id,
+            entries,
             queries: Cell::new(0),
         }
     }
@@ -45,6 +66,11 @@ impl TimeSubsystem {
     /// This component's id in the image.
     pub fn component_id(&self) -> ComponentId {
         self.id
+    }
+
+    /// The component's gate entry points, resolved at construction time.
+    pub fn entries(&self) -> &TimeEntries {
+        &self.entries
     }
 
     /// Monotonic nanoseconds since boot, derived from the cycle clock.

@@ -52,7 +52,7 @@ fn actions(rng: &mut Rng) -> Vec<Action> {
     let n = rng.range(1, 120) as usize;
     (0..n)
         .map(|_| {
-            if rng.next() % 2 == 0 {
+            if rng.next().is_multiple_of(2) {
                 Action::Alloc(rng.range(1, 4096))
             } else {
                 Action::FreeNth(rng.range(0, 64) as usize)
@@ -288,6 +288,101 @@ fn sql_parser_never_panics() {
             .map(|_| (rng.range(0x20, 0x7f) as u8) as char)
             .collect();
         let _ = flexos_apps::sqlite::sql::parse(&text);
+    }
+}
+
+#[test]
+fn resolved_and_string_call_paths_are_equivalent() {
+    // ISSUE 2: the `&str` wrapper path (`Env::call`) and the pre-resolved
+    // `CallTarget` path (`Env::call_resolved`) must produce identical
+    // faults, crossing counts, CFI-violation counts, and virtual-clock
+    // readings across random configurations and entry sequences.
+    use flexos_core::compartment::DataSharing;
+
+    let components = ["lwip", "uksched", "vfscore", "uktime", "newlib"];
+    let entries = [
+        "lwip_poll",
+        "lwip_recv",
+        "uksched_yield",
+        "uksched_current",
+        "vfs_read",
+        "uktime_wall",
+        "nl_strlen",
+        // Illegal everywhere: internal functions and typos.
+        "lwip_internal_timer",
+        "vfs_backdoor",
+        "uksched_yeild",
+    ];
+
+    let mut rng = Rng::new(0xca11_f00c);
+    for _case in 0..24 {
+        let sharing = match rng.range(0, 3) {
+            0 => DataSharing::Dss,
+            1 => DataSharing::SharedStack,
+            _ => DataSharing::HeapConversion,
+        };
+        let config = match rng.range(0, 4) {
+            0 => configs::none(),
+            1 => configs::mpk2(&["lwip"], sharing).unwrap(),
+            2 => configs::mpk2(&["lwip", "uksched"], sharing).unwrap(),
+            _ => configs::mpk3(&["uksched"], &["lwip", "vfscore", "ramfs"], sharing).unwrap(),
+        };
+        let build = || {
+            SystemBuilder::new(config.clone())
+                .app(flexos_apps::redis_component())
+                .build()
+                .unwrap()
+        };
+        let by_str = build();
+        let by_target = build();
+
+        // The same random (caller, callee, entry) sequence on both images.
+        let calls: Vec<(usize, usize)> = (0..rng.range(4, 40))
+            .map(|_| {
+                (
+                    rng.range(0, components.len() as u64) as usize,
+                    rng.range(0, entries.len() as u64) as usize,
+                )
+            })
+            .collect();
+
+        let run = |os: &FlexOs, resolved: bool| -> (Vec<bool>, u64, u64, u64, u64) {
+            let env = &os.env;
+            let app = os.app_ids[0];
+            // The resolved arm follows the real resolve-once pattern: all
+            // handles are resolved up front (as `NewlibEntries` et al. do)
+            // and held across the whole call sequence.
+            let targets: Vec<Vec<flexos_core::entry::CallTarget>> = components
+                .iter()
+                .map(|c| {
+                    let to = env.component_id(c).unwrap();
+                    entries.iter().map(|e| env.resolve(to, e)).collect()
+                })
+                .collect();
+            let mut faults = Vec::new();
+            env.run_as(app, || {
+                for &(comp_idx, entry_idx) in &calls {
+                    let outcome = if resolved {
+                        env.call_resolved(targets[comp_idx][entry_idx], || Ok(()))
+                    } else {
+                        let to = env.component_id(components[comp_idx]).unwrap();
+                        env.call(to, entries[entry_idx], || Ok(()))
+                    };
+                    faults.push(outcome.is_err());
+                }
+            });
+            (
+                faults,
+                env.gates().total_crossings(),
+                env.gates().direct_calls(),
+                env.gates().cfi_violations(),
+                env.machine().clock().now(),
+            )
+        };
+
+        let a = run(&by_str, false);
+        let b = run(&by_target, true);
+        assert_eq!(a, b, "paths diverged (sharing {sharing:?})");
     }
 }
 

@@ -33,7 +33,7 @@ fn prelude_carries_the_core_types() -> Result<(), Fault> {
         .app(flexos::apps::redis_component())
         .build()?;
     assert_eq!(os.env.compartment_count(), 1);
-    let _machine: &Machine = &os.env.machine();
+    let _machine: &Machine = os.env.machine();
     Ok(())
 }
 
