@@ -547,10 +547,18 @@ impl Env {
 
     /// Reads `len` bytes into a fresh vector.
     ///
+    /// The length is validated against the machine's memory size before
+    /// the vector is allocated: a corrupted length field read *out of*
+    /// simulated memory faults cleanly instead of triggering an
+    /// arbitrarily large host-side allocation.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`Env::mem_read`].
     pub fn mem_read_vec(&self, addr: Addr, len: u64) -> Result<Vec<u8>, Fault> {
+        if len > self.machine.memory_bytes() {
+            return Err(Fault::OutOfBounds { addr, len });
+        }
         let mut buf = vec![0u8; len as usize];
         self.mem_read(addr, &mut buf)?;
         Ok(buf)

@@ -190,6 +190,12 @@ impl Memory {
     ///
     /// Same conditions as [`Memory::read`].
     pub fn read_vec(&self, addr: Addr, len: u64, pkru: &Pkru) -> Result<Vec<u8>, Fault> {
+        // Validate against the memory size *before* allocating: a
+        // corrupted length field read out of simulated memory must fault
+        // cleanly, not trigger an arbitrarily large host allocation.
+        if len > self.size() {
+            return Err(Fault::OutOfBounds { addr, len });
+        }
         let mut buf = vec![0u8; len as usize];
         self.read(addr, &mut buf, pkru)?;
         Ok(buf)
@@ -241,12 +247,46 @@ impl Memory {
     /// Copies `len` bytes from `src` to `dst` under a single `pkru` (the
     /// copier must be allowed to read `src` and write `dst`).
     ///
+    /// The copy proceeds page-pair-wise through a stack staging buffer:
+    /// one rights check per range up front, then chunked moves bounded
+    /// by both pages' remainders — **no intermediate host `Vec`** (the
+    /// previous implementation round-tripped the whole range through the
+    /// host heap). Ranges must not overlap (`memcpy`, not `memmove`,
+    /// semantics; the substrates' uses never overlap).
+    ///
     /// # Errors
     ///
     /// Same conditions as [`Memory::read`] / [`Memory::write`].
     pub fn copy(&mut self, src: Addr, dst: Addr, len: u64, pkru: &Pkru) -> Result<(), Fault> {
-        let data = self.read_vec(src, len, pkru)?;
-        self.write(dst, &data, pkru)
+        if len == 0 {
+            return Ok(());
+        }
+        self.check_range(src, len, pkru, Access::Read)?;
+        self.check_range(dst, len, pkru, Access::Write)?;
+        debug_assert!(
+            src.raw() + len <= dst.raw() || dst.raw() + len <= src.raw(),
+            "Memory::copy ranges overlap (memcpy semantics; see docs)"
+        );
+        let mut staging = [0u8; PAGE_SIZE];
+        let mut done = 0u64;
+        while done < len {
+            let s = src + done;
+            let d = dst + done;
+            let soff = s.page_offset();
+            let doff = d.page_offset();
+            let take = (PAGE_SIZE - soff)
+                .min(PAGE_SIZE - doff)
+                .min((len - done) as usize);
+            let spage = s.page_index() as usize;
+            match &self.frames[spage].data {
+                Some(data) => staging[..take].copy_from_slice(&data[soff..soff + take]),
+                None => staging[..take].fill(0),
+            }
+            let dpage = d.page_index() as usize;
+            self.frames[dpage].bytes_mut()[doff..doff + take].copy_from_slice(&staging[..take]);
+            done += take as u64;
+        }
+        Ok(())
     }
 
     /// Reads a little-endian `u64` at `addr`.
@@ -410,6 +450,87 @@ mod tests {
         assert_eq!(mem.read_u64(base, &pkru).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
         mem.write_u32(base + 8, 0x1234_5678, &pkru).unwrap();
         assert_eq!(mem.read_u32(base + 8, &pkru).unwrap(), 0x1234_5678);
+    }
+
+    #[test]
+    fn huge_read_vec_faults_before_allocating() {
+        // A corrupted length field (e.g. a dict bucket's val_len read out
+        // of simulated memory) must produce a clean fault, not a
+        // multi-gigabyte host allocation.
+        let mem = Memory::new(16 * PAGE_SIZE as u64);
+        let pkru = Pkru::ALL_ACCESS;
+        assert!(matches!(
+            mem.read_vec(Addr::new(0), u64::MAX, &pkru),
+            Err(Fault::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            mem.read_vec(Addr::new(0), 1 << 40, &pkru),
+            Err(Fault::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn copy_crosses_pages_correctly() {
+        // Regression test for the page-pair-wise copy: misaligned source
+        // and destination spanning several pages, bytes verified exactly.
+        let key = ProtKey::new(1).unwrap();
+        let (mut mem, base) = mem_with_region(key);
+        let pkru = Pkru::permit_only(&[key]);
+        let pattern: Vec<u8> = (0..3 * PAGE_SIZE + 77).map(|i| (i % 251) as u8).collect();
+        let src = base + 13;
+        let dst = base + 4 * PAGE_SIZE as u64 + 501;
+        mem.write(src, &pattern, &pkru).unwrap();
+        mem.copy(src, dst, pattern.len() as u64, &pkru).unwrap();
+        assert_eq!(
+            mem.read_vec(dst, pattern.len() as u64, &pkru).unwrap(),
+            pattern
+        );
+    }
+
+    #[test]
+    fn copy_respects_rights_on_both_ranges() {
+        let k1 = ProtKey::new(1).unwrap();
+        let k2 = ProtKey::new(2).unwrap();
+        let mut mem = Memory::new(64 * PAGE_SIZE as u64);
+        let src = Addr::new(PAGE_SIZE as u64);
+        let dst = Addr::new(3 * PAGE_SIZE as u64);
+        mem.map(src, 1, k1).unwrap();
+        mem.map(dst, 1, k2).unwrap();
+        mem.write(src, b"secret", &Pkru::ALL_ACCESS).unwrap();
+
+        // Reader holds only the source key: the destination write faults.
+        let only_src = Pkru::permit_only(&[k1]);
+        assert!(matches!(
+            mem.copy(src, dst, 6, &only_src),
+            Err(Fault::ProtectionKey {
+                access: Access::Write,
+                ..
+            })
+        ));
+        // Holder of only the destination key cannot read the source.
+        let only_dst = Pkru::permit_only(&[k2]);
+        assert!(matches!(
+            mem.copy(src, dst, 6, &only_dst),
+            Err(Fault::ProtectionKey {
+                access: Access::Read,
+                ..
+            })
+        ));
+        // Both keys: the copy lands.
+        let both = Pkru::permit_only(&[k1, k2]);
+        mem.copy(src, dst, 6, &both).unwrap();
+        assert_eq!(mem.read_vec(dst, 6, &both).unwrap(), b"secret");
+    }
+
+    #[test]
+    fn copy_from_zero_page_reads_zeros() {
+        let key = ProtKey::new(1).unwrap();
+        let (mut mem, base) = mem_with_region(key);
+        let pkru = Pkru::permit_only(&[key]);
+        // Destination pre-filled, source never written: copy zero-fills.
+        mem.fill(base + 64, 16, 0xFF, &pkru).unwrap();
+        mem.copy(base, base + 64, 16, &pkru).unwrap();
+        assert_eq!(mem.read_vec(base + 64, 16, &pkru).unwrap(), vec![0u8; 16]);
     }
 
     #[test]
