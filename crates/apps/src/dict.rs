@@ -120,8 +120,8 @@ impl Dict {
         if key_len as usize != key.len() {
             return Ok(false);
         }
-        let stored = self.env.mem_read_vec(Addr::new(key_addr), key_len as u64)?;
-        Ok(stored == key)
+        // Rights-checked in-place compare: no host allocation per probe.
+        self.env.mem_compare(Addr::new(key_addr), key)
     }
 
     /// Inserts or replaces `key` → `value`.
@@ -180,13 +180,28 @@ impl Dict {
     ///
     /// Protection faults from a foreign compartment.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, Fault> {
+        let mut out = Vec::new();
+        Ok(self.get_into(key, &mut out)?.map(|_| out))
+    }
+
+    /// Looks up `key`, **appending** the value to `out` — the
+    /// reusable-buffer twin of [`Dict::get`]: with a recycled `out`, a
+    /// steady-state probe-and-read performs zero host allocations.
+    /// Returns the value length on a hit.
+    ///
+    /// # Errors
+    ///
+    /// Protection faults from a foreign compartment.
+    pub fn get_into(&self, key: &[u8], out: &mut Vec<u8>) -> Result<Option<u64>, Fault> {
         let mut idx = self.hash(key);
         for _ in 0..self.capacity {
             let (kaddr, vaddr, klen, vlen, state) = self.read_bucket(idx)?;
             match state {
                 STATE_EMPTY => return Ok(None),
                 STATE_USED if self.key_matches(kaddr, klen, key)? => {
-                    return Ok(Some(self.env.mem_read_vec(Addr::new(vaddr), vlen as u64)?));
+                    self.env
+                        .mem_read_into(Addr::new(vaddr), u64::from(vlen), out)?;
+                    return Ok(Some(u64::from(vlen)));
                 }
                 _ => idx = idx.wrapping_add(1),
             }

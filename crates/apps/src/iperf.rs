@@ -6,7 +6,7 @@
 //! size to `recv`, so the crossings-per-byte ratio — and therefore the
 //! batching behaviour of Figure 9 — is set directly by the buffer size.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use flexos_core::component::ComponentId;
@@ -25,6 +25,8 @@ pub struct IperfServer {
     libc: Rc<Newlib>,
     listener: Cell<Option<SocketHandle>>,
     bytes_received: Cell<u64>,
+    /// Reusable receive buffer (the iperf client reuses one buffer too).
+    rx_scratch: RefCell<Vec<u8>>,
 }
 
 impl std::fmt::Debug for IperfServer {
@@ -44,6 +46,7 @@ impl IperfServer {
             libc,
             listener: Cell::new(None),
             bytes_received: Cell::new(0),
+            rx_scratch: RefCell::new(Vec::new()),
         }
     }
 
@@ -72,7 +75,7 @@ impl IperfServer {
     /// Stack faults; accept-before-start errors.
     pub fn accept(&self) -> Result<Option<SocketHandle>, Fault> {
         self.env.run_as(self.id, || {
-            let listener = self.listener.get().ok_or(Fault::InvalidConfig {
+            let listener = self.listener.get().ok_or_else(|| Fault::InvalidConfig {
                 reason: "iperf: accept before start".to_string(),
             })?;
             self.libc.accept(listener)
@@ -88,9 +91,10 @@ impl IperfServer {
     pub fn drain(&self, conn: SocketHandle, buf_size: u64) -> Result<u64, Fault> {
         self.env.run_as(self.id, || {
             let mut got = 0u64;
+            let mut chunk = self.rx_scratch.borrow_mut();
             loop {
-                let chunk = self.libc.recv(conn, buf_size)?;
-                if chunk.is_empty() {
+                let n = self.libc.recv_into(conn, buf_size, &mut chunk)?;
+                if n == 0 {
                     break;
                 }
                 // Per-buffer accounting the real iperf does: byte counter
@@ -102,7 +106,7 @@ impl IperfServer {
                     mem_accesses: 4,
                     ..Work::default()
                 });
-                got += chunk.len() as u64;
+                got += n;
             }
             self.bytes_received.set(self.bytes_received.get() + got);
             Ok(got)

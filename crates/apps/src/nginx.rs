@@ -51,6 +51,10 @@ pub struct NginxServer {
     /// Open-file cache: the welcome page, loaded via the VFS at startup.
     cached_page: RefCell<Vec<u8>>,
     pending: RefCell<Vec<u8>>,
+    /// Reusable response assembly buffer (ngx_output_chain staging).
+    response_scratch: RefCell<Vec<u8>>,
+    /// Reusable socket receive buffer.
+    rx_scratch: RefCell<Vec<u8>>,
     stats: Cell<NginxStats>,
     loop_ticks: Cell<u64>,
 }
@@ -70,6 +74,8 @@ impl NginxServer {
             listener: Cell::new(None),
             cached_page: RefCell::new(Vec::new()),
             pending: RefCell::new(Vec::new()),
+            response_scratch: RefCell::new(Vec::new()),
+            rx_scratch: RefCell::new(Vec::new()),
             stats: Cell::new(NginxStats::default()),
             loop_ticks: Cell::new(0),
         }
@@ -115,7 +121,7 @@ impl NginxServer {
     /// Stack faults; start-before-accept configuration errors.
     pub fn accept(&self) -> Result<Option<SocketHandle>, Fault> {
         self.env.run_as(self.id, || {
-            let listener = self.listener.get().ok_or(Fault::InvalidConfig {
+            let listener = self.listener.get().ok_or_else(|| Fault::InvalidConfig {
                 reason: "nginx: accept before start".to_string(),
             })?;
             self.libc.accept(listener)
@@ -158,31 +164,36 @@ impl NginxServer {
         });
 
         // Edge-triggered read: no scheduler blocking on the hot path.
-        let chunk = self.libc.recv_nowait(conn, 8192)?;
-        if chunk.is_empty() && self.pending.borrow().is_empty() {
-            return Ok(false);
-        }
         {
+            let mut chunk = self.rx_scratch.borrow_mut();
+            let got = self.libc.recv_nowait_into(conn, 8192, &mut chunk)?;
+            if got == 0 && self.pending.borrow().is_empty() {
+                return Ok(false);
+            }
             let mut pending = self.pending.borrow_mut();
             self.libc.memcpy(&mut pending, &chunk)?;
         }
-        let buffered = self.pending.borrow().clone();
+        // Parse straight out of the pending buffer — no per-iteration
+        // clone of the buffered bytes.
+        let (request, used) = {
+            let buffered = self.pending.borrow();
 
-        // Header scanning through libc (ngx_http_parse_request_line +
-        // header loop — one memchr per header line).
-        let mut scan_from = 0usize;
-        for _ in 0..4 {
-            match self
-                .libc
-                .memchr(&buffered[scan_from.min(buffered.len())..], b'\n')?
-            {
-                Some(rel) => scan_from += rel + 1,
-                None => break,
+            // Header scanning through libc (ngx_http_parse_request_line +
+            // header loop — one memchr per header line).
+            let mut scan_from = 0usize;
+            for _ in 0..4 {
+                match self
+                    .libc
+                    .memchr(&buffered[scan_from.min(buffered.len())..], b'\n')?
+                {
+                    Some(rel) => scan_from += rel + 1,
+                    None => break,
+                }
             }
-        }
-        let (request, used) = match http::parse_request(&buffered)? {
-            Some(parsed) => parsed,
-            None => return Ok(true), // incomplete head: stay registered
+            match http::parse_request(&buffered)? {
+                Some(parsed) => parsed,
+                None => return Ok(true), // incomplete head: stay registered
+            }
         };
         self.pending.borrow_mut().drain(..used);
         self.env.compute(Work {
@@ -195,12 +206,15 @@ impl NginxServer {
 
         let mut stats = self.stats.get();
         if request.method == "GET" && (request.path == "/" || request.path == "/index.html") {
-            let body = self.cached_page.borrow().clone();
             // Response assembly: itoa for Content-Length, memcpy of head
-            // and body into the output chain (ngx_output_chain).
-            self.libc.itoa(body.len() as i64)?;
+            // and body into the (reused) output chain buffer — the body
+            // comes straight from the open-file cache, no clone.
+            let body = self.cached_page.borrow();
+            let mut digits = [0u8; flexos_libc::ITOA_BUF];
+            self.libc.itoa_digits(body.len() as i64, &mut digits)?;
             let head = http::response_head(body.len(), request.keep_alive);
-            let mut response = Vec::with_capacity(head.len() + body.len());
+            let mut response = self.response_scratch.borrow_mut();
+            response.clear();
             self.libc.memcpy(&mut response, &head)?;
             self.libc.memcpy(&mut response, &body)?;
             self.libc.send_nowait(conn, &response)?;

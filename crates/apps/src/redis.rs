@@ -18,7 +18,7 @@ use std::rc::Rc;
 use flexos_core::component::ComponentId;
 use flexos_core::entry::CallTarget;
 use flexos_core::env::{Env, Work};
-use flexos_libc::Newlib;
+use flexos_libc::{Newlib, ITOA_BUF};
 use flexos_machine::fault::Fault;
 use flexos_net::SocketHandle;
 use flexos_sched::Scheduler;
@@ -50,6 +50,15 @@ pub struct RedisServer {
     dict: RefCell<Dict>,
     listener: Cell<Option<SocketHandle>>,
     pending: RefCell<Vec<u8>>,
+    /// Reusable parse target — argument buffers retain their capacity
+    /// across requests, so steady-state parsing allocates nothing.
+    req_scratch: RefCell<resp::RespRequest>,
+    /// Reusable reply build buffer.
+    reply_scratch: RefCell<Vec<u8>>,
+    /// Reusable value staging buffer (dict value → reply memcpy source).
+    val_scratch: RefCell<Vec<u8>>,
+    /// Reusable socket receive buffer.
+    rx_scratch: RefCell<Vec<u8>>,
     stats: Cell<RedisStats>,
 }
 
@@ -81,6 +90,10 @@ impl RedisServer {
             dict: RefCell::new(dict),
             listener: Cell::new(None),
             pending: RefCell::new(Vec::new()),
+            req_scratch: RefCell::new(resp::RespRequest::new()),
+            reply_scratch: RefCell::new(Vec::new()),
+            val_scratch: RefCell::new(Vec::new()),
+            rx_scratch: RefCell::new(Vec::new()),
             stats: Cell::new(RedisStats::default()),
         })
     }
@@ -115,7 +128,7 @@ impl RedisServer {
     /// Stack faults; no-listener configuration errors.
     pub fn accept(&self) -> Result<Option<SocketHandle>, Fault> {
         self.env.run_as(self.id, || {
-            let listener = self.listener.get().ok_or(Fault::InvalidConfig {
+            let listener = self.listener.get().ok_or_else(|| Fault::InvalidConfig {
                 reason: "redis: accept before start".to_string(),
             })?;
             self.libc.accept(listener)
@@ -151,22 +164,39 @@ impl RedisServer {
             mem_accesses: 40,
         });
 
-        // Blocking read until one full RESP request is buffered.
+        // Blocking read until one full RESP request is buffered. Every
+        // buffer on this loop — pending bytes, the parsed request, the
+        // staged value, the reply — is reused across requests, so a
+        // steady-state GET performs zero host allocations end to end
+        // (asserted by `tests/hotpath_alloc.rs`).
         loop {
-            let buffered = self.pending.borrow().clone();
-            if !buffered.is_empty() {
-                if let Some((req, used)) = self.parse_with_libc(&buffered)? {
-                    self.pending.borrow_mut().drain(..used);
-                    let reply = self.execute(&req)?;
-                    self.libc.send(conn, &reply)?;
-                    let mut s = self.stats.get();
-                    s.commands += 1;
-                    self.stats.set(s);
-                    return Ok(true);
+            let used = {
+                let pending = self.pending.borrow();
+                if pending.is_empty() {
+                    None
+                } else {
+                    self.parse_with_libc(&pending, &mut self.req_scratch.borrow_mut())?
                 }
+            };
+            if let Some(used) = used {
+                let mut pending = self.pending.borrow_mut();
+                if used == pending.len() {
+                    pending.clear(); // common case: whole buffer consumed
+                } else {
+                    pending.drain(..used);
+                }
+                drop(pending);
+                let req = self.req_scratch.borrow();
+                let mut reply = self.reply_scratch.borrow_mut();
+                self.execute(&req, &mut reply)?;
+                self.libc.send(conn, &reply)?;
+                let mut s = self.stats.get();
+                s.commands += 1;
+                self.stats.set(s);
+                return Ok(true);
             }
-            let chunk = self.libc.recv(conn, 4096)?;
-            if chunk.is_empty() {
+            let mut chunk = self.rx_scratch.borrow_mut();
+            if self.libc.recv_into(conn, 4096, &mut chunk)? == 0 {
                 return Ok(false); // EOF or starved
             }
             let mut pending = self.pending.borrow_mut();
@@ -175,8 +205,13 @@ impl RedisServer {
     }
 
     /// RESP parse, issuing the libc string calls real Redis makes
-    /// (sdssplitlen/memchr/atoi chatter — the R↔N hot edge).
-    fn parse_with_libc(&self, buf: &[u8]) -> Result<Option<(resp::RespRequest, usize)>, Fault> {
+    /// (sdssplitlen/memchr/atoi chatter — the R↔N hot edge). Fills `req`
+    /// in place and returns the bytes consumed.
+    fn parse_with_libc(
+        &self,
+        buf: &[u8],
+        req: &mut resp::RespRequest,
+    ) -> Result<Option<usize>, Fault> {
         // Header line scan.
         self.libc.memchr(buf, b'\n')?;
         // Argument-count and first-bulk-length parses.
@@ -197,13 +232,17 @@ impl RedisServer {
             mem_accesses: 30 + buf.len().min(128) as u64 / 2,
             indirect_calls: 4,
         });
-        resp::decode_request(buf)
+        resp::decode_request_into(buf, req)
     }
 
-    fn execute(&self, req: &resp::RespRequest) -> Result<Vec<u8>, Fault> {
+    /// Executes one command, building the reply into the reusable
+    /// `reply` buffer (cleared first).
+    fn execute(&self, req: &resp::RespRequest, reply: &mut Vec<u8>) -> Result<(), Fault> {
+        reply.clear();
         let argv = &req.argv;
         if argv.is_empty() {
-            return Ok(resp::error_reply("empty command"));
+            reply.extend_from_slice(&resp::error_reply("empty command"));
+            return Ok(());
         }
         // Command dispatch (table lookup + indirect call in real Redis).
         self.env.compute(Work {
@@ -213,41 +252,43 @@ impl RedisServer {
             indirect_calls: 4,
             mem_accesses: 48,
         });
-        let cmd = argv[0].to_ascii_uppercase();
+        let cmd = &argv[0];
         let mut s = self.stats.get();
-        let reply = match cmd.as_slice() {
-            b"PING" => resp::pong_reply(),
-            b"SET" if argv.len() == 3 => {
-                self.dict.borrow_mut().set(&argv[1], &argv[2])?;
-                resp::ok_reply()
-            }
-            b"GET" if argv.len() == 2 => match self.dict.borrow().get(&argv[1])? {
-                Some(value) => {
+        if cmd.eq_ignore_ascii_case(b"GET") && argv.len() == 2 {
+            let mut value = self.val_scratch.borrow_mut();
+            value.clear();
+            match self.dict.borrow().get_into(&argv[1], &mut value)? {
+                Some(_) => {
                     s.hits += 1;
                     // Reply building through libc: itoa for the length
-                    // header + memcpy of the payload.
-                    let len_digits = self.libc.itoa(value.len() as i64)?;
-                    let mut reply = Vec::with_capacity(value.len() + len_digits.len() + 5);
+                    // header + memcpy of the payload — all into reused
+                    // buffers.
+                    let mut digits = [0u8; ITOA_BUF];
+                    let n = self.libc.itoa_digits(value.len() as i64, &mut digits)?;
                     reply.push(b'$');
-                    self.libc.memcpy(&mut reply, &len_digits)?;
+                    self.libc.memcpy(reply, &digits[..n])?;
                     reply.extend_from_slice(b"\r\n");
-                    self.libc.memcpy(&mut reply, &value)?;
+                    self.libc.memcpy(reply, &value)?;
                     reply.extend_from_slice(b"\r\n");
-                    reply
                 }
                 None => {
                     s.misses += 1;
-                    resp::nil_reply()
+                    reply.extend_from_slice(b"$-1\r\n");
                 }
-            },
-            b"DEL" if argv.len() == 2 => {
-                let existed = self.dict.borrow_mut().del(&argv[1])?;
-                resp::int_reply(existed as i64)
             }
-            _ => resp::error_reply("unknown command"),
-        };
+        } else if cmd.eq_ignore_ascii_case(b"SET") && argv.len() == 3 {
+            self.dict.borrow_mut().set(&argv[1], &argv[2])?;
+            reply.extend_from_slice(b"+OK\r\n");
+        } else if cmd.eq_ignore_ascii_case(b"PING") {
+            reply.extend_from_slice(b"+PONG\r\n");
+        } else if cmd.eq_ignore_ascii_case(b"DEL") && argv.len() == 2 {
+            let existed = self.dict.borrow_mut().del(&argv[1])?;
+            reply.extend_from_slice(&resp::int_reply(existed as i64));
+        } else {
+            reply.extend_from_slice(&resp::error_reply("unknown command"));
+        }
         self.stats.set(s);
-        Ok(reply)
+        Ok(())
     }
 
     /// Direct keyspace access for test setup (bypasses the protocol, still

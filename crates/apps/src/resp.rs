@@ -7,10 +7,21 @@
 use flexos_machine::fault::Fault;
 
 /// A parsed RESP request: the argument vector of one command.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Reusable: [`decode_request_into`] refills an existing request in
+/// place, retaining every argument buffer's capacity, so a steady-state
+/// parse loop performs zero host allocations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RespRequest {
     /// Command arguments (`argv[0]` is the command name).
     pub argv: Vec<Vec<u8>>,
+}
+
+impl RespRequest {
+    /// An empty request to be filled by [`decode_request_into`].
+    pub fn new() -> RespRequest {
+        RespRequest::default()
+    }
 }
 
 /// Encodes a request as a RESP array of bulk strings (what
@@ -33,6 +44,20 @@ pub fn encode_request(argv: &[&[u8]]) -> Vec<u8> {
 /// [`Fault::InvalidConfig`] on protocol violations (bad type byte,
 /// non-numeric lengths).
 pub fn decode_request(buf: &[u8]) -> Result<Option<(RespRequest, usize)>, Fault> {
+    let mut req = RespRequest::new();
+    Ok(decode_request_into(buf, &mut req)?.map(|used| (req, used)))
+}
+
+/// [`decode_request`] into a reusable request: `req`'s argument buffers
+/// are refilled in place (capacities retained), so steady-state parsing
+/// allocates nothing. Returns the bytes consumed, or `None` if the
+/// buffer is incomplete (in which case `req`'s contents are unspecified).
+///
+/// # Errors
+///
+/// [`Fault::InvalidConfig`] on protocol violations (bad type byte,
+/// non-numeric lengths).
+pub fn decode_request_into(buf: &[u8], req: &mut RespRequest) -> Result<Option<usize>, Fault> {
     let bad = |what: &str| Fault::InvalidConfig {
         reason: format!("RESP protocol error: {what}"),
     };
@@ -46,8 +71,8 @@ pub fn decode_request(buf: &[u8]) -> Result<Option<(RespRequest, usize)>, Fault>
     }
     let argc: usize = parse_int(&buf[pos + 1..line.0]).ok_or_else(|| bad("bad array length"))?;
     pos = line.1;
-    let mut argv = Vec::with_capacity(argc);
-    for _ in 0..argc {
+    req.argv.truncate(argc);
+    for i in 0..argc {
         let line = match read_line(buf, pos) {
             Some(l) => l,
             None => return Ok(None),
@@ -60,23 +85,48 @@ pub fn decode_request(buf: &[u8]) -> Result<Option<(RespRequest, usize)>, Fault>
         if buf.len() < pos + len + 2 {
             return Ok(None);
         }
-        argv.push(buf[pos..pos + len].to_vec());
+        if req.argv.len() <= i {
+            req.argv.push(Vec::with_capacity(len));
+        }
+        let arg = &mut req.argv[i];
+        arg.clear();
+        arg.extend_from_slice(&buf[pos..pos + len]);
         if &buf[pos + len..pos + len + 2] != b"\r\n" {
             return Err(bad("bulk string not CRLF-terminated"));
         }
         pos += len + 2;
     }
-    Ok(Some((RespRequest { argv }, pos)))
+    Ok(Some(pos))
 }
 
 fn read_line(buf: &[u8], from: usize) -> Option<(usize, usize)> {
     // Returns (index of '\r', index after '\n').
-    let rel = buf[from..].windows(2).position(|w| w == b"\r\n")?;
-    Some((from + rel, from + rel + 2))
+    let mut at = from;
+    loop {
+        let rel = buf[at..].iter().position(|&b| b == b'\r')?;
+        let cr = at + rel;
+        match buf.get(cr + 1) {
+            Some(b'\n') => return Some((cr, cr + 2)),
+            Some(_) => at = cr + 1,
+            None => return None,
+        }
+    }
 }
 
 fn parse_int(digits: &[u8]) -> Option<usize> {
-    std::str::from_utf8(digits).ok()?.parse().ok()
+    // Manual digit fold — str::parse's UTF-8 validation costs more than
+    // the 1-3 digit fields RESP carries.
+    if digits.is_empty() {
+        return None;
+    }
+    let mut value = 0usize;
+    for &b in digits {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        value = value.checked_mul(10)?.checked_add(usize::from(b - b'0'))?;
+    }
+    Some(value)
 }
 
 /// `+OK\r\n`.
@@ -148,6 +198,21 @@ mod tests {
         assert_eq!(req.argv[1], b"a");
         let (req2, _) = decode_request(&wire[used..]).unwrap().unwrap();
         assert_eq!(req2.argv[1], b"b");
+    }
+
+    #[test]
+    fn decode_into_reuses_buffers() {
+        let mut req = RespRequest::new();
+        let first = encode_request(&[b"SET", b"key", b"a-rather-long-value"]);
+        assert!(decode_request_into(&first, &mut req).unwrap().is_some());
+        assert_eq!(req.argv.len(), 3);
+        // A second, smaller request refills the same buffers in place.
+        let second = encode_request(&[b"GET", b"key"]);
+        let used = decode_request_into(&second, &mut req).unwrap().unwrap();
+        assert_eq!(used, second.len());
+        assert_eq!(req.argv, vec![b"GET".to_vec(), b"key".to_vec()]);
+        let (owned, _) = decode_request(&second).unwrap().unwrap();
+        assert_eq!(owned.argv, req.argv);
     }
 
     #[test]

@@ -275,7 +275,7 @@ impl Sqlite {
     }
 
     fn require_table(&self, name: &str) -> Result<usize, Fault> {
-        self.find_table(name).ok_or(Fault::InvalidConfig {
+        self.find_table(name).ok_or_else(|| Fault::InvalidConfig {
             reason: format!("no such table `{name}`"),
         })
     }

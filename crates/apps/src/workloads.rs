@@ -50,7 +50,7 @@ fn metrics(os: &FlexOs, ops: u64, cycles: u64) -> RunMetrics {
 ///
 /// Missing component or substrate faults.
 pub fn install_redis(os: &FlexOs) -> Result<Rc<RedisServer>, Fault> {
-    let id = os.component("redis").ok_or(Fault::InvalidConfig {
+    let id = os.component("redis").ok_or_else(|| Fault::InvalidConfig {
         reason: "image has no `redis` component".to_string(),
     })?;
     let server = Rc::new(RedisServer::new(
@@ -73,7 +73,7 @@ pub fn run_redis_gets(os: &FlexOs, warmup: u64, measured: u64) -> Result<RunMetr
     let server = install_redis(os)?;
     server.preload(&[(b"key:0", b"xxx"), (b"key:1", b"yyy"), (b"key:2", b"zzz")])?;
     let mut client = TcpClient::connect(&os.net, 50_000, REDIS_PORT)?;
-    let conn = server.accept()?.ok_or(Fault::InvalidConfig {
+    let conn = server.accept()?.ok_or_else(|| Fault::InvalidConfig {
         reason: "redis: handshake did not queue a connection".to_string(),
     })?;
 
@@ -82,8 +82,8 @@ pub fn run_redis_gets(os: &FlexOs, warmup: u64, measured: u64) -> Result<RunMetr
         client.send(&os.net, &request)?;
         server.serve_one(conn)?;
         client.drain(&os.net)?;
-        let reply = client.take_received();
-        debug_assert_eq!(reply, b"$3\r\nyyy\r\n", "GET must hit");
+        debug_assert_eq!(client.received(), b"$3\r\nyyy\r\n", "GET must hit");
+        client.clear_received();
         Ok(())
     };
     for _ in 0..warmup {
@@ -104,7 +104,7 @@ pub fn run_redis_gets(os: &FlexOs, warmup: u64, measured: u64) -> Result<RunMetr
 ///
 /// Missing component or substrate faults.
 pub fn install_nginx(os: &FlexOs) -> Result<Rc<NginxServer>, Fault> {
-    let id = os.component("nginx").ok_or(Fault::InvalidConfig {
+    let id = os.component("nginx").ok_or_else(|| Fault::InvalidConfig {
         reason: "image has no `nginx` component".to_string(),
     })?;
     let server = Rc::new(NginxServer::new(
@@ -125,7 +125,7 @@ pub fn install_nginx(os: &FlexOs) -> Result<Rc<NginxServer>, Fault> {
 pub fn run_nginx_gets(os: &FlexOs, warmup: u64, measured: u64) -> Result<RunMetrics, Fault> {
     let server = install_nginx(os)?;
     let mut client = TcpClient::connect(&os.net, 51_000, NGINX_PORT)?;
-    let conn = server.accept()?.ok_or(Fault::InvalidConfig {
+    let conn = server.accept()?.ok_or_else(|| Fault::InvalidConfig {
         reason: "nginx: handshake did not queue a connection".to_string(),
     })?;
 
@@ -134,9 +134,12 @@ pub fn run_nginx_gets(os: &FlexOs, warmup: u64, measured: u64) -> Result<RunMetr
         client.send(&os.net, request)?;
         server.serve_one(conn)?;
         client.drain(&os.net)?;
-        let reply = client.take_received();
-        debug_assert!(reply.starts_with(b"HTTP/1.1 200 OK"), "must serve 200");
-        debug_assert!(reply.len() > 612, "head + 612-byte body");
+        debug_assert!(
+            client.received().starts_with(b"HTTP/1.1 200 OK"),
+            "must serve 200"
+        );
+        debug_assert!(client.received_len() > 612, "head + 612-byte body");
+        client.clear_received();
         Ok(())
     };
     for _ in 0..warmup {
@@ -156,7 +159,7 @@ pub fn run_nginx_gets(os: &FlexOs, warmup: u64, measured: u64) -> Result<RunMetr
 ///
 /// Missing component or substrate faults.
 pub fn install_iperf(os: &FlexOs) -> Result<Rc<IperfServer>, Fault> {
-    let id = os.component("iperf").ok_or(Fault::InvalidConfig {
+    let id = os.component("iperf").ok_or_else(|| Fault::InvalidConfig {
         reason: "image has no `iperf` component".to_string(),
     })?;
     let server = Rc::new(IperfServer::new(
@@ -177,7 +180,7 @@ pub fn install_iperf(os: &FlexOs) -> Result<Rc<IperfServer>, Fault> {
 pub fn run_iperf(os: &FlexOs, recv_buf: u64, total_bytes: u64) -> Result<f64, Fault> {
     let server = install_iperf(os)?;
     let mut client = TcpClient::connect(&os.net, 52_000, IPERF_PORT)?;
-    let conn = server.accept()?.ok_or(Fault::InvalidConfig {
+    let conn = server.accept()?.ok_or_else(|| Fault::InvalidConfig {
         reason: "iperf: handshake did not queue a connection".to_string(),
     })?;
 
@@ -233,7 +236,7 @@ pub struct SqliteRun {
 ///
 /// Missing component or substrate faults.
 pub fn install_sqlite(os: &FlexOs) -> Result<Rc<Sqlite>, Fault> {
-    let id = os.component("sqlite").ok_or(Fault::InvalidConfig {
+    let id = os.component("sqlite").ok_or_else(|| Fault::InvalidConfig {
         reason: "image has no `sqlite` component".to_string(),
     })?;
     let db = Sqlite::open(Rc::clone(&os.env), id, Rc::clone(&os.libc), "/db.sqlite")?;

@@ -1,0 +1,217 @@
+//! `datapath`: host-side cost of the simulated memory data path.
+//!
+//! Where `hotpath` tracks the control plane (gate crossings), this
+//! binary tracks the data plane: how many host nanoseconds one unit of
+//! *workload data movement* costs through the simulated machine —
+//! steady-state Redis GETs, Nginx GETs, iPerf KiB, and raw dict probes.
+//! Prints a single JSON line that is checked in as `BENCH_datapath.json`
+//! so perf regressions are visible in review:
+//!
+//! ```text
+//! {"bench":"datapath","ops":...,"paths":{"redis-get":{"ns_per_op":..,"cycles_per_op":..},...}}
+//! ```
+//!
+//! Set `DATAPATH_OPS` to override the per-path operation count (CI uses
+//! a reduced count; the checked-in numbers use the default).
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use flexos_apps::dict::Dict;
+use flexos_apps::iperf::IPERF_PORT;
+use flexos_apps::nginx::NGINX_PORT;
+use flexos_apps::redis::REDIS_PORT;
+use flexos_apps::resp;
+use flexos_apps::workloads::{install_iperf, install_nginx, install_redis};
+use flexos_core::backend::NoneBackend;
+use flexos_core::config::SafetyConfig;
+use flexos_core::image::ImageBuilder;
+use flexos_core::prelude::{Component, ComponentKind};
+use flexos_machine::Machine;
+use flexos_net::TcpClient;
+use flexos_system::{configs, FlexOs, SystemBuilder};
+
+/// One measured data path.
+struct PathRun {
+    name: &'static str,
+    ns_per_op: f64,
+    cycles_per_op: u64,
+}
+
+fn build(app: flexos_core::prelude::Component) -> FlexOs {
+    SystemBuilder::new(configs::none())
+        .app(app)
+        .build()
+        .expect("image builds")
+}
+
+/// Steady-state Redis GET: one request/reply round trip on a warmed
+/// connection (the Figure 6 measured unit).
+fn redis_get(ops: u64) -> PathRun {
+    let os = build(flexos_apps::redis_component());
+    let server = install_redis(&os).expect("redis installs");
+    server
+        .preload(&[(b"key:0", b"xxx"), (b"key:1", b"yyy"), (b"key:2", b"zzz")])
+        .expect("preload");
+    let mut client = TcpClient::connect(&os.net, 50_000, REDIS_PORT).expect("connect");
+    let conn = server.accept().expect("accept").expect("conn queued");
+    let request = resp::encode_request(&[b"GET", b"key:1"]);
+
+    let run_one = |client: &mut TcpClient| {
+        client.send(&os.net, &request).expect("send");
+        server.serve_one(conn).expect("serve");
+        client.drain(&os.net).expect("drain");
+        assert!(client.received_len() > 0, "GET must reply");
+        client.clear_received();
+    };
+    for _ in 0..(ops / 10).max(50) {
+        run_one(&mut client);
+    }
+    let v0 = os.cycles();
+    let host0 = Instant::now();
+    for _ in 0..ops {
+        run_one(&mut client);
+    }
+    PathRun {
+        name: "redis-get",
+        ns_per_op: host0.elapsed().as_nanos() as f64 / ops as f64,
+        cycles_per_op: (os.cycles() - v0) / ops,
+    }
+}
+
+/// Steady-state Nginx GET of the 612-byte welcome page over keep-alive.
+fn nginx_get(ops: u64) -> PathRun {
+    let os = build(flexos_apps::nginx_component());
+    let server = install_nginx(&os).expect("nginx installs");
+    let mut client = TcpClient::connect(&os.net, 51_000, NGINX_PORT).expect("connect");
+    let conn = server.accept().expect("accept").expect("conn queued");
+    let request = b"GET /index.html HTTP/1.1\r\nHost: flexos\r\nConnection: keep-alive\r\n\r\n";
+
+    let run_one = |client: &mut TcpClient| {
+        client.send(&os.net, request).expect("send");
+        server.serve_one(conn).expect("serve");
+        client.drain(&os.net).expect("drain");
+        assert!(client.received_len() > 612, "must serve the page");
+        client.clear_received();
+    };
+    for _ in 0..(ops / 10).max(50) {
+        run_one(&mut client);
+    }
+    let v0 = os.cycles();
+    let host0 = Instant::now();
+    for _ in 0..ops {
+        run_one(&mut client);
+    }
+    PathRun {
+        name: "nginx-get",
+        ns_per_op: host0.elapsed().as_nanos() as f64 / ops as f64,
+        cycles_per_op: (os.cycles() - v0) / ops,
+    }
+}
+
+/// iPerf stream cost per KiB moved (8 KiB client chunks, 16 KiB server
+/// buffers — the saturated right edge of Figure 9).
+fn iperf_kib(ops: u64) -> PathRun {
+    let os = build(flexos_apps::iperf_component());
+    let server = install_iperf(&os).expect("iperf installs");
+    let mut client = TcpClient::connect(&os.net, 52_000, IPERF_PORT).expect("connect");
+    let conn = server.accept().expect("accept").expect("conn queued");
+    let chunk = vec![0xA5u8; 8 * 1024];
+
+    let total_bytes = (ops * 1024).max(64 * 1024);
+    client.send(&os.net, &chunk[..1024]).expect("warm");
+    server.drain(conn, 16 * 1024).expect("warm drain");
+
+    let v0 = os.cycles();
+    let host0 = Instant::now();
+    let mut sent = 0u64;
+    let mut received = 0u64;
+    while sent < total_bytes {
+        let take = chunk.len().min((total_bytes - sent) as usize);
+        client.send(&os.net, &chunk[..take]).expect("send");
+        sent += take as u64;
+        received += server.drain(conn, 16 * 1024).expect("drain");
+    }
+    assert_eq!(received, total_bytes, "stream arrives in full");
+    let kib = total_bytes / 1024;
+    PathRun {
+        name: "iperf-kib",
+        ns_per_op: host0.elapsed().as_nanos() as f64 / kib as f64,
+        cycles_per_op: (os.cycles() - v0) / kib,
+    }
+}
+
+/// Raw dict probe: one `Dict::get` hit against a 4096-key keyspace in
+/// simulated memory — the innermost loop of every Redis GET.
+fn dict_probe(ops: u64) -> PathRun {
+    let machine = Machine::new(Machine::DEFAULT_MEM_BYTES);
+    let mut b = ImageBuilder::new(Rc::clone(&machine), SafetyConfig::none());
+    b.register(Component::new("redis", ComponentKind::App))
+        .expect("register");
+    let env = b.build(&[&NoneBackend]).expect("build").env;
+    let redis = env.component_id("redis").expect("redis id");
+
+    env.run_as(redis, || {
+        let mut dict = Dict::with_capacity(Rc::clone(&env), 8192).expect("dict");
+        let mut keys = Vec::new();
+        for i in 0..4096u32 {
+            let key = format!("key:{i:06}");
+            dict.set(key.as_bytes(), b"value-payload-xyz").expect("set");
+            keys.push(key.into_bytes());
+        }
+        let mut out = Vec::new();
+        for i in 0..200u64 {
+            out.clear();
+            let hit = dict
+                .get_into(&keys[(i % 4096) as usize], &mut out)
+                .expect("probe");
+            assert!(hit.is_some());
+        }
+        let v0 = machine.clock().now();
+        let host0 = Instant::now();
+        for i in 0..ops {
+            out.clear();
+            let hit = dict
+                .get_into(
+                    &keys[(i.wrapping_mul(2654435761) % 4096) as usize],
+                    &mut out,
+                )
+                .expect("probe");
+            assert!(hit.is_some(), "probe must hit");
+        }
+        PathRun {
+            name: "dict-probe",
+            ns_per_op: host0.elapsed().as_nanos() as f64 / ops as f64,
+            cycles_per_op: (machine.clock().now() - v0) / ops,
+        }
+    })
+}
+
+fn main() {
+    let ops: u64 = std::env::var("DATAPATH_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+
+    let runs = [
+        redis_get(ops),
+        nginx_get(ops),
+        iperf_kib(ops),
+        dict_probe(ops * 10),
+    ];
+
+    let paths: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "\"{}\":{{\"ns_per_op\":{:.1},\"cycles_per_op\":{}}}",
+                r.name, r.ns_per_op, r.cycles_per_op
+            )
+        })
+        .collect();
+    println!(
+        "{{\"bench\":\"datapath\",\"ops\":{},\"paths\":{{{}}}}}",
+        ops,
+        paths.join(",")
+    );
+}

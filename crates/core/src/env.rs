@@ -137,12 +137,15 @@ pub struct Env {
     shared_vars: HashMap<String, SharedVarPlacement>,
     heaps: Vec<Rc<RefCell<Heap>>>,
     shared_heap: Rc<RefCell<Heap>>,
+    /// `true` if any component in the image is KASan-hardened; when
+    /// `false` (most configurations) the per-access shadow filter is a
+    /// single flag test.
+    kasan_any: bool,
     cur: Cell<ComponentId>,
     pkru: Cell<Pkru>,
     regs: RefCell<RegisterFile>,
     stats: Vec<Cell<ComponentStats>>,
     crossing_hook: RefCell<Option<CrossingHook>>,
-    call_depth: Cell<u32>,
 }
 
 impl std::fmt::Debug for Env {
@@ -185,6 +188,7 @@ impl Env {
     /// Assembles the runtime from built parts (called by the toolchain).
     pub fn from_parts(parts: EnvParts) -> Rc<Env> {
         let n = parts.registry.len();
+        let kasan_any = parts.hardening.iter().any(|h| h.kasan);
         Rc::new(Env {
             machine: parts.machine,
             registry: parts.registry,
@@ -197,6 +201,7 @@ impl Env {
             shared_vars: parts.shared_vars,
             heaps: parts.heaps,
             shared_heap: parts.shared_heap,
+            kasan_any,
             cur: Cell::new(ComponentId(0)),
             pkru: Cell::new(Pkru::ALL_ACCESS),
             regs: RefCell::new(RegisterFile::new()),
@@ -204,7 +209,6 @@ impl Env {
                 .map(|_| Cell::new(ComponentStats::default()))
                 .collect(),
             crossing_hook: RefCell::new(None),
-            call_depth: Cell::new(0),
         })
     }
 
@@ -409,12 +413,32 @@ impl Env {
         let from_dom = self.compartment_of(from);
         let to = target.component;
         let to_dom = target.compartment;
-        let cost = self.machine.cost();
 
         let desc = self.gates.desc(from_dom, to_dom);
         let kind = desc.kind;
 
-        let saved_regs = if kind.crosses_domain() {
+        if !kind.crosses_domain() {
+            // Same-compartment fast path: a plain call. No PKRU touch, no
+            // register save, no CFI — charge, count, run as the callee.
+            self.machine.clock().advance(desc.cost);
+            self.gates.record_direct();
+            self.cur.set(to);
+            let callee_h = self.hardening[to.0 as usize];
+            if callee_h.stack_protector {
+                self.machine
+                    .clock()
+                    .advance(self.machine.cost().stack_protector_frame);
+            }
+            let stats = &self.stats[to.0 as usize];
+            let mut s = stats.get();
+            s.calls_in += 1;
+            stats.set(s);
+            let result = f();
+            self.cur.set(from);
+            return result;
+        }
+
+        let saved_regs = {
             // CFI first: compartments can only be entered through
             // registered entry points (§4.1/§4.2). An illegal target is
             // refused *before* the gate executes — nothing is charged and
@@ -427,7 +451,7 @@ impl Env {
                 });
             }
             self.machine.clock().advance(desc.cost);
-            self.gates.record(from_dom, to_dom);
+            self.gates.record_crossing(from_dom, to_dom, kind);
             if let Some(hook) = self.crossing_hook.borrow().as_ref() {
                 hook(self, from_dom, to_dom, target.entry)?;
             }
@@ -441,31 +465,27 @@ impl Env {
                 regs.clear_non_args(arg_count);
                 Some(saved)
             }
-        } else {
-            self.machine.clock().advance(desc.cost);
-            self.gates.record(from_dom, to_dom);
-            None
         };
 
         // Install the callee context.
         let prev_pkru = self.pkru.get();
-        if kind.crosses_domain() {
-            self.pkru.set(self.domains[to_dom.0 as usize].pkru);
-        }
+        self.pkru.set(self.domains[to_dom.0 as usize].pkru);
         self.cur.set(to);
-        self.call_depth.set(self.call_depth.get() + 1);
 
         // Callee-side hardening charges on entry.
         let callee_h = self.hardening[to.0 as usize];
-        let mut entry_cycles = 0;
-        if callee_h.stack_protector {
-            entry_cycles += cost.stack_protector_frame;
-        }
-        if callee_h.cfi && kind.crosses_domain() {
-            entry_cycles += cost.cfi_check;
-        }
-        if entry_cycles > 0 {
-            self.machine.clock().advance(entry_cycles);
+        if callee_h.stack_protector || callee_h.cfi {
+            let cost = self.machine.cost();
+            let mut entry_cycles = 0;
+            if callee_h.stack_protector {
+                entry_cycles += cost.stack_protector_frame;
+            }
+            if callee_h.cfi {
+                entry_cycles += cost.cfi_check;
+            }
+            if entry_cycles > 0 {
+                self.machine.clock().advance(entry_cycles);
+            }
         }
         {
             let stats = &self.stats[to.0 as usize];
@@ -478,7 +498,6 @@ impl Env {
 
         // Return path: restore caller context (the gate executes the same
         // steps in reverse, §4.1; the cost constant covers the round trip).
-        self.call_depth.set(self.call_depth.get() - 1);
         self.cur.set(from);
         self.pkru.set(prev_pkru);
         if let Some(saved) = saved_regs {
@@ -489,6 +508,7 @@ impl Env {
 
     /// Charges modeled compute work for the current component, applying
     /// the instruction-mix surcharges of its hardening set.
+    #[inline]
     pub fn compute(&self, work: Work) {
         let comp = self.cur.get();
         let h = self.hardening[comp.0 as usize];
@@ -515,8 +535,9 @@ impl Env {
 
     // --- memory -----------------------------------------------------------
 
+    #[inline]
     fn kasan_filter(&self, addr: Addr, len: u64, kind: Access) -> Result<(), Fault> {
-        if !self.hardening[self.cur.get().0 as usize].kasan {
+        if !self.kasan_any || !self.hardening[self.cur.get().0 as usize].kasan {
             return Ok(());
         }
         let dom = self.compartment_of(self.cur.get());
@@ -537,11 +558,10 @@ impl Env {
     /// [`Fault::ProtectionKey`] when the current compartment does not hold
     /// the page's key — the MPK isolation event; [`Fault::Kasan`] under
     /// KASan hardening for redzone/quarantine hits.
+    #[inline]
     pub fn mem_read(&self, addr: Addr, buf: &mut [u8]) -> Result<(), Fault> {
         self.kasan_filter(addr, buf.len() as u64, Access::Read)?;
-        self.machine
-            .clock()
-            .advance_f64(buf.len() as f64 * self.machine.cost().mem_per_byte);
+        self.machine.charge_mem_bytes(buf.len() as u64);
         self.machine.memory().read(addr, buf, &self.pkru.get())
     }
 
@@ -564,16 +584,90 @@ impl Env {
         Ok(buf)
     }
 
+    /// Reads `len` bytes and **appends** them to `out` — the
+    /// reusable-buffer twin of [`Env::mem_read_vec`]: once `out`'s
+    /// capacity has converged, steady-state reads perform zero host
+    /// allocations.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Env::mem_read`]; on error `out` is truncated
+    /// back to its original length.
+    pub fn mem_read_into(&self, addr: Addr, len: u64, out: &mut Vec<u8>) -> Result<(), Fault> {
+        if len > self.machine.memory_bytes() {
+            return Err(Fault::OutOfBounds { addr, len });
+        }
+        let start = out.len();
+        out.resize(start + len as usize, 0);
+        match self.mem_read(addr, &mut out[start..]) {
+            Ok(()) => Ok(()),
+            Err(fault) => {
+                out.truncate(start);
+                Err(fault)
+            }
+        }
+    }
+
+    /// Runs `f` over the bytes at `addr..addr+len` **without copying**:
+    /// one borrowed chunk per touched page. Charges and faults exactly
+    /// like [`Env::mem_read`] of the same range.
+    ///
+    /// `f` must not touch simulated memory itself (the machine's memory
+    /// is borrowed for the duration of the walk).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Env::mem_read`].
+    pub fn mem_read_with(&self, addr: Addr, len: u64, f: impl FnMut(&[u8])) -> Result<(), Fault> {
+        self.kasan_filter(addr, len, Access::Read)?;
+        self.machine.charge_mem_bytes(len);
+        self.machine
+            .memory()
+            .with_bytes(addr, len, &self.pkru.get(), f)
+    }
+
+    /// Compares simulated memory at `addr` with `bytes`, without copying
+    /// or allocating — the rights-checked `memcmp` behind dict key
+    /// probes. Charges and faults exactly like an [`Env::mem_read`] of
+    /// the same length.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Env::mem_read`].
+    #[inline]
+    pub fn mem_compare(&self, addr: Addr, bytes: &[u8]) -> Result<bool, Fault> {
+        self.kasan_filter(addr, bytes.len() as u64, Access::Read)?;
+        self.machine.charge_mem_bytes(bytes.len() as u64);
+        self.machine.memory().compare(addr, bytes, &self.pkru.get())
+    }
+
+    /// Copies `len` bytes from `src` to `dst` inside simulated memory —
+    /// page-pair-wise, with no host allocation. Charges one read side
+    /// plus one write side, exactly like an [`Env::mem_read`] followed by
+    /// an [`Env::mem_write`] of the same length.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Env::mem_read`] / [`Env::mem_write`].
+    pub fn mem_copy(&self, src: Addr, dst: Addr, len: u64) -> Result<(), Fault> {
+        self.kasan_filter(src, len, Access::Read)?;
+        self.machine.charge_mem_bytes(len);
+        self.kasan_filter(dst, len, Access::Write)?;
+        self.machine.charge_mem_bytes(len);
+        self.machine
+            .memory_mut()
+            .copy(src, dst, len, &self.pkru.get())
+    }
+
     /// Writes simulated memory under the current domain's PKRU.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Env::mem_read`].
+    #[inline]
     pub fn mem_write(&self, addr: Addr, data: &[u8]) -> Result<(), Fault> {
         self.kasan_filter(addr, data.len() as u64, Access::Write)?;
-        self.machine
-            .clock()
-            .advance_f64(data.len() as f64 * self.machine.cost().mem_per_byte);
+        self.machine.charge_mem_bytes(data.len() as u64);
         self.machine
             .memory_mut()
             .write(addr, data, &self.pkru.get())
@@ -691,9 +785,12 @@ impl Env {
     /// [`Fault::NotWhitelisted`] when the current component is not allowed;
     /// [`Fault::InvalidConfig`] for unknown variable names.
     pub fn shared_var(&self, name: &str) -> Result<&SharedVarPlacement, Fault> {
-        let var = self.shared_vars.get(name).ok_or(Fault::InvalidConfig {
-            reason: format!("unknown shared variable `{name}`"),
-        })?;
+        let var = self
+            .shared_vars
+            .get(name)
+            .ok_or_else(|| Fault::InvalidConfig {
+                reason: format!("unknown shared variable `{name}`"),
+            })?;
         let me = self.cur.get();
         if var.owner == me || var.allowed.contains(&me) {
             Ok(var)

@@ -281,14 +281,29 @@ impl GateTable {
         let idx = self.idx(from, to);
         let kind = self.kinds[idx];
         if kind.crosses_domain() {
-            let cell = &self.crossings[idx];
-            cell.set(cell.get() + 1);
-            let per_kind = &self.by_kind[kind.index()];
-            per_kind.set(per_kind.get() + 1);
-            self.total_crossings.set(self.total_crossings.get() + 1);
+            self.record_crossing(from, to, kind);
         } else {
-            self.direct_calls.set(self.direct_calls.get() + 1);
+            self.record_direct();
         }
+    }
+
+    /// Records a same-domain direct call — one counter bump, no
+    /// descriptor lookup (the caller already holds the [`GateDesc`]).
+    #[inline]
+    pub fn record_direct(&self) {
+        self.direct_calls.set(self.direct_calls.get() + 1);
+    }
+
+    /// Records a cross-domain traversal of a gate the caller has already
+    /// resolved to `kind` (skips re-reading the descriptor).
+    #[inline]
+    pub fn record_crossing(&self, from: CompartmentId, to: CompartmentId, kind: GateKind) {
+        debug_assert!(kind.crosses_domain());
+        let cell = &self.crossings[self.idx(from, to)];
+        cell.set(cell.get() + 1);
+        let per_kind = &self.by_kind[kind.index()];
+        per_kind.set(per_kind.get() + 1);
+        self.total_crossings.set(self.total_crossings.get() + 1);
     }
 
     /// Records a call refused by the CFI entry-point check. Rejected

@@ -98,7 +98,7 @@ impl FdTable {
         self.slots
             .get(fd.0 as usize)
             .and_then(Option::as_ref)
-            .ok_or(Fault::InvalidConfig {
+            .ok_or_else(|| Fault::InvalidConfig {
                 reason: format!("bad file descriptor {fd}"),
             })
     }
@@ -112,7 +112,7 @@ impl FdTable {
         self.slots
             .get_mut(fd.0 as usize)
             .and_then(Option::as_mut)
-            .ok_or(Fault::InvalidConfig {
+            .ok_or_else(|| Fault::InvalidConfig {
                 reason: format!("bad file descriptor {fd}"),
             })
     }
@@ -126,7 +126,7 @@ impl FdTable {
         self.slots
             .get_mut(fd.0 as usize)
             .and_then(Option::take)
-            .ok_or(Fault::InvalidConfig {
+            .ok_or_else(|| Fault::InvalidConfig {
                 reason: format!("bad file descriptor {fd}"),
             })
     }

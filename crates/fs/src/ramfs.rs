@@ -79,9 +79,12 @@ impl RamFs {
     /// [`Fault::InvalidConfig`] when the path does not exist.
     pub fn remove(&mut self, path: &str) -> Result<(), Fault> {
         self.charge_lookup();
-        let node = self.nodes.remove(path).ok_or(Fault::InvalidConfig {
-            reason: format!("no such file `{path}`"),
-        })?;
+        let node = self
+            .nodes
+            .remove(path)
+            .ok_or_else(|| Fault::InvalidConfig {
+                reason: format!("no such file `{path}`"),
+            })?;
         for b in node.blocks {
             self.env.free(b)?;
         }
@@ -98,7 +101,7 @@ impl RamFs {
         self.nodes
             .get(path)
             .map(|n| n.size)
-            .ok_or(Fault::InvalidConfig {
+            .ok_or_else(|| Fault::InvalidConfig {
                 reason: format!("no such file `{path}`"),
             })
     }
@@ -112,7 +115,7 @@ impl RamFs {
         self.nodes
             .get(path)
             .map(|n| (n.mtime_ns, n.atime_ns))
-            .ok_or(Fault::InvalidConfig {
+            .ok_or_else(|| Fault::InvalidConfig {
                 reason: format!("no such file `{path}`"),
             })
     }
@@ -136,7 +139,7 @@ impl RamFs {
     /// current domain cannot read the filesystem heap.
     pub fn read(&mut self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>, Fault> {
         self.charge_lookup();
-        let node = self.nodes.get(path).ok_or(Fault::InvalidConfig {
+        let node = self.nodes.get(path).ok_or_else(|| Fault::InvalidConfig {
             reason: format!("no such file `{path}`"),
         })?;
         if offset >= node.size {
@@ -210,9 +213,12 @@ impl RamFs {
     /// [`Fault::InvalidConfig`] for missing paths.
     pub fn truncate(&mut self, path: &str, size: u64) -> Result<(), Fault> {
         self.charge_lookup();
-        let node = self.nodes.get_mut(path).ok_or(Fault::InvalidConfig {
-            reason: format!("no such file `{path}`"),
-        })?;
+        let node = self
+            .nodes
+            .get_mut(path)
+            .ok_or_else(|| Fault::InvalidConfig {
+                reason: format!("no such file `{path}`"),
+            })?;
         let keep = (size.div_ceil(BLOCK_SIZE)) as usize;
         let drop_blocks: Vec<Addr> = node.blocks.split_off(keep.min(node.blocks.len()));
         node.size = node.size.min(size);

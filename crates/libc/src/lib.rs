@@ -50,6 +50,32 @@ pub struct LibcStats {
     pub recv_yields: u64,
 }
 
+/// Per-field interior-mutable counters behind [`LibcStats`]; every libc
+/// call bumps exactly one `Cell<u64>` instead of copy-modify-writing the
+/// whole struct.
+#[derive(Debug, Default)]
+struct LibcStatsCells {
+    str_calls: Cell<u64>,
+    io_calls: Cell<u64>,
+    file_calls: Cell<u64>,
+    recv_yields: Cell<u64>,
+}
+
+impl LibcStatsCells {
+    fn bump(cell: &Cell<u64>) {
+        cell.set(cell.get() + 1);
+    }
+
+    fn snapshot(&self) -> LibcStats {
+        LibcStats {
+            str_calls: self.str_calls.get(),
+            io_calls: self.io_calls.get(),
+            file_calls: self.file_calls.get(),
+            recv_yields: self.recv_yields.get(),
+        }
+    }
+}
+
 /// newlib's own gate entry points, resolved once at construction — the
 /// app↔libc boundary is the hottest edge in every Figure 6 profile, so
 /// nothing string-shaped may survive onto it.
@@ -112,13 +138,13 @@ pub struct Newlib {
     vfs_gates: VfsEntries,
     sched_gates: SchedEntries,
     time_wall: CallTarget,
-    stats: Cell<LibcStats>,
+    stats: LibcStatsCells,
 }
 
 impl std::fmt::Debug for Newlib {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Newlib")
-            .field("stats", &self.stats.get())
+            .field("stats", &self.stats.snapshot())
             .finish()
     }
 }
@@ -126,6 +152,9 @@ impl std::fmt::Debug for Newlib {
 /// Attempts a blocking recv makes before giving up (each failed attempt
 /// yields to the scheduler — the N↔S hot edge).
 const RECV_RETRIES: u32 = 3;
+
+/// Digits buffer size for [`Newlib::itoa_digits`] (`i64::MIN` plus sign).
+pub const ITOA_BUF: usize = 20;
 
 impl Newlib {
     /// Creates the libc bound to the kernel components it fronts.
@@ -153,7 +182,7 @@ impl Newlib {
             vfs_gates,
             sched_gates,
             time_wall,
-            stats: Cell::new(LibcStats::default()),
+            stats: LibcStatsCells::default(),
         }
     }
 
@@ -164,13 +193,7 @@ impl Newlib {
 
     /// Counter snapshot.
     pub fn stats(&self) -> LibcStats {
-        self.stats.get()
-    }
-
-    fn bump(&self, f: impl FnOnce(&mut LibcStats)) {
-        let mut s = self.stats.get();
-        f(&mut s);
-        self.stats.set(s);
+        self.stats.snapshot()
     }
 
     // --- string/memory helpers (the app↔libc hot chatter) ---------------
@@ -181,7 +204,7 @@ impl Newlib {
     ///
     /// Gate faults (illegal entry, isolation violations).
     pub fn strlen(&self, s: &[u8]) -> Result<usize, Fault> {
-        self.bump(|st| st.str_calls += 1);
+        LibcStatsCells::bump(&self.stats.str_calls);
         self.env.call_resolved(self.entries.strlen, || {
             self.env.compute(Work {
                 cycles: 6 + s.len() as u64 / 8,
@@ -200,7 +223,7 @@ impl Newlib {
     ///
     /// Gate faults.
     pub fn memchr(&self, hay: &[u8], needle: u8) -> Result<Option<usize>, Fault> {
-        self.bump(|st| st.str_calls += 1);
+        LibcStatsCells::bump(&self.stats.str_calls);
         self.env.call_resolved(self.entries.memchr, || {
             let pos = hay.iter().position(|&b| b == needle);
             let scanned = pos.map(|p| p + 1).unwrap_or(hay.len());
@@ -221,7 +244,7 @@ impl Newlib {
     ///
     /// Gate faults; [`Fault::InvalidConfig`] on non-numeric input.
     pub fn atoi(&self, s: &[u8]) -> Result<i64, Fault> {
-        self.bump(|st| st.str_calls += 1);
+        LibcStatsCells::bump(&self.stats.str_calls);
         self.env.call_resolved(self.entries.atoi, || {
             self.env.compute(Work {
                 cycles: 8 + s.len() as u64,
@@ -230,12 +253,52 @@ impl Newlib {
                 mem_accesses: s.len() as u64,
                 ..Work::default()
             });
-            let txt = std::str::from_utf8(s).map_err(|_| Fault::InvalidConfig {
-                reason: "atoi: not utf-8".to_string(),
-            })?;
-            txt.trim().parse().map_err(|_| Fault::InvalidConfig {
-                reason: format!("atoi: `{txt}` is not a number"),
-            })
+            // Manual digit fold on the fast path (str::parse's UTF-8 and
+            // trim machinery measurably outweighs the whole parse for
+            // the 1-3 digit fields RESP carries).
+            let trimmed = {
+                let mut t = s;
+                while let [b, rest @ ..] = t {
+                    if b.is_ascii_whitespace() {
+                        t = rest;
+                    } else {
+                        break;
+                    }
+                }
+                while let [rest @ .., b] = t {
+                    if b.is_ascii_whitespace() {
+                        t = rest;
+                    } else {
+                        break;
+                    }
+                }
+                t
+            };
+            let bad = || {
+                let txt = String::from_utf8_lossy(s);
+                Fault::InvalidConfig {
+                    reason: format!("atoi: `{txt}` is not a number"),
+                }
+            };
+            let (negative, digits) = match trimmed {
+                [b'-', rest @ ..] => (true, rest),
+                [b'+', rest @ ..] => (false, rest),
+                other => (false, other),
+            };
+            if digits.is_empty() {
+                return Err(bad());
+            }
+            let mut value = 0i64;
+            for &b in digits {
+                if !b.is_ascii_digit() {
+                    return Err(bad());
+                }
+                value = value
+                    .checked_mul(10)
+                    .and_then(|v| v.checked_add(i64::from(b - b'0')))
+                    .ok_or_else(bad)?;
+            }
+            Ok(if negative { -value } else { value })
         })
     }
 
@@ -245,17 +308,46 @@ impl Newlib {
     ///
     /// Gate faults.
     pub fn itoa(&self, value: i64) -> Result<Vec<u8>, Fault> {
-        self.bump(|st| st.str_calls += 1);
+        let mut buf = [0u8; ITOA_BUF];
+        let n = self.itoa_digits(value, &mut buf)?;
+        Ok(buf[..n].to_vec())
+    }
+
+    /// `itoa` into a caller-provided stack buffer: formats `value` into
+    /// `buf` and returns the digit count — identical gate and cycle
+    /// charges to [`Newlib::itoa`], zero host allocations.
+    ///
+    /// # Errors
+    ///
+    /// Gate faults.
+    pub fn itoa_digits(&self, value: i64, buf: &mut [u8; ITOA_BUF]) -> Result<usize, Fault> {
+        LibcStatsCells::bump(&self.stats.str_calls);
         self.env.call_resolved(self.entries.itoa, || {
-            let out = value.to_string().into_bytes();
+            let mut cursor = ITOA_BUF;
+            let negative = value < 0;
+            let mut rest = value.unsigned_abs();
+            loop {
+                cursor -= 1;
+                buf[cursor] = b'0' + (rest % 10) as u8;
+                rest /= 10;
+                if rest == 0 {
+                    break;
+                }
+            }
+            if negative {
+                cursor -= 1;
+                buf[cursor] = b'-';
+            }
+            let len = ITOA_BUF - cursor;
+            buf.copy_within(cursor.., 0);
             self.env.compute(Work {
-                cycles: 10 + 3 * out.len() as u64,
-                alu_ops: 4 * out.len() as u64,
+                cycles: 10 + 3 * len as u64,
+                alu_ops: 4 * len as u64,
                 frames: 1,
-                mem_accesses: out.len() as u64,
+                mem_accesses: len as u64,
                 ..Work::default()
             });
-            Ok(out)
+            Ok(len)
         })
     }
 
@@ -266,7 +358,7 @@ impl Newlib {
     ///
     /// Gate faults.
     pub fn memcpy(&self, dst: &mut Vec<u8>, src: &[u8]) -> Result<(), Fault> {
-        self.bump(|st| st.str_calls += 1);
+        LibcStatsCells::bump(&self.stats.str_calls);
         self.env.call_resolved(self.entries.memcpy, || {
             self.env.compute(Work {
                 cycles: 8 + (src.len() as f64 * 0.35) as u64,
@@ -288,7 +380,7 @@ impl Newlib {
     ///
     /// Gate faults; port-in-use faults from the stack.
     pub fn listen(&self, port: u16) -> Result<SocketHandle, Fault> {
-        self.bump(|st| st.io_calls += 1);
+        LibcStatsCells::bump(&self.stats.io_calls);
         self.env.call_resolved(self.entries.listen, || {
             let net = Rc::clone(&self.net);
             let sock = self
@@ -308,7 +400,7 @@ impl Newlib {
     ///
     /// Gate faults.
     pub fn accept(&self, listener: SocketHandle) -> Result<Option<SocketHandle>, Fault> {
-        self.bump(|st| st.io_calls += 1);
+        LibcStatsCells::bump(&self.stats.io_calls);
         self.env.call_resolved(self.entries.accept, || {
             let net = Rc::clone(&self.net);
             self.env
@@ -328,7 +420,28 @@ impl Newlib {
     ///
     /// Gate faults.
     pub fn recv(&self, sock: SocketHandle, maxlen: u64) -> Result<Vec<u8>, Fault> {
-        self.bump(|st| st.io_calls += 1);
+        let mut out = Vec::new();
+        self.recv_into(sock, maxlen, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Newlib::recv`] into a caller-provided buffer: `out` is cleared
+    /// and receives up to `maxlen` bytes; returns how many arrived (0 at
+    /// EOF or after the retry budget). Identical gate traffic and cycle
+    /// charges to [`Newlib::recv`], zero host allocations once `out`'s
+    /// capacity has converged.
+    ///
+    /// # Errors
+    ///
+    /// Gate faults.
+    pub fn recv_into(
+        &self,
+        sock: SocketHandle,
+        maxlen: u64,
+        out: &mut Vec<u8>,
+    ) -> Result<u64, Fault> {
+        out.clear();
+        LibcStatsCells::bump(&self.stats.io_calls);
         self.env.call_resolved(self.entries.recv, || {
             // fd-table lookup, sockaddr staging, iovec setup.
             self.env.compute(Work {
@@ -338,8 +451,8 @@ impl Newlib {
                 indirect_calls: 2,
                 mem_accesses: 22,
             });
-            let net = Rc::clone(&self.net);
-            let sched = Rc::clone(&self.sched);
+            let net = &self.net;
+            let sched = &self.sched;
             // Blocking-path prologue: current-thread check.
             self.env.call_resolved(self.sched_gates.current, || {
                 sched.current();
@@ -352,16 +465,16 @@ impl Newlib {
                     self.env
                         .call_resolved(self.net_gates.poll, || net.poll().map(|_| ()))?;
                 }
-                let data = self
+                let got = self
                     .env
-                    .call_resolved(self.net_gates.recv, || net.recv(sock, maxlen))?;
-                if !data.is_empty() {
+                    .call_resolved(self.net_gates.recv, || net.recv_into(sock, maxlen, out))?;
+                if got > 0 {
                     // Copy into the caller's buffer (recv(2) semantics).
                     self.env.compute(Work {
-                        cycles: 20 + (data.len() as f64 * 0.7) as u64,
-                        alu_ops: data.len() as u64 / 16 + 4,
+                        cycles: 20 + (got as f64 * 0.7) as u64,
+                        alu_ops: got / 16 + 4,
                         frames: 2,
-                        mem_accesses: data.len() as u64 / 8 + 4,
+                        mem_accesses: got / 8 + 4,
                         ..Work::default()
                     });
                     // Cooperative yield point after blocking I/O completes.
@@ -369,19 +482,19 @@ impl Newlib {
                         sched.yield_now();
                         Ok(())
                     })?;
-                    return Ok(data);
+                    return Ok(got);
                 }
                 if net.at_eof(sock) {
-                    return Ok(Vec::new());
+                    return Ok(0);
                 }
                 // Empty buffer: cooperative blocking through the scheduler.
-                self.bump(|st| st.recv_yields += 1);
+                LibcStatsCells::bump(&self.stats.recv_yields);
                 self.env.call_resolved(self.sched_gates.yield_now, || {
                     sched.yield_now();
                     Ok(())
                 })?;
             }
-            Ok(Vec::new())
+            Ok(0)
         })
     }
 
@@ -393,25 +506,44 @@ impl Newlib {
     ///
     /// Gate faults.
     pub fn recv_nowait(&self, sock: SocketHandle, maxlen: u64) -> Result<Vec<u8>, Fault> {
-        self.bump(|st| st.io_calls += 1);
+        let mut out = Vec::new();
+        self.recv_nowait_into(sock, maxlen, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Newlib::recv_nowait`] into a caller-provided buffer (cleared
+    /// first); returns how many bytes arrived. Identical charges, zero
+    /// host allocations once `out`'s capacity has converged.
+    ///
+    /// # Errors
+    ///
+    /// Gate faults.
+    pub fn recv_nowait_into(
+        &self,
+        sock: SocketHandle,
+        maxlen: u64,
+        out: &mut Vec<u8>,
+    ) -> Result<u64, Fault> {
+        out.clear();
+        LibcStatsCells::bump(&self.stats.io_calls);
         self.env.call_resolved(self.entries.recv, || {
-            let net = Rc::clone(&self.net);
+            let net = &self.net;
             if net.rx_available(sock) == 0 {
                 self.env
                     .call_resolved(self.net_gates.poll, || net.poll().map(|_| ()))?;
             }
-            let data = self
+            let got = self
                 .env
-                .call_resolved(self.net_gates.recv, || net.recv(sock, maxlen))?;
+                .call_resolved(self.net_gates.recv, || net.recv_into(sock, maxlen, out))?;
             // Copy into the caller's buffer (recv(2) semantics).
             self.env.compute(Work {
-                cycles: 20 + (data.len() as f64 * 0.7) as u64,
-                alu_ops: data.len() as u64 / 16 + 4,
+                cycles: 20 + (got as f64 * 0.7) as u64,
+                alu_ops: got / 16 + 4,
                 frames: 2,
-                mem_accesses: data.len() as u64 / 8 + 4,
+                mem_accesses: got / 8 + 4,
                 ..Work::default()
             });
-            Ok(data)
+            Ok(got)
         })
     }
 
@@ -423,7 +555,7 @@ impl Newlib {
     ///
     /// Gate faults.
     pub fn send(&self, sock: SocketHandle, data: &[u8]) -> Result<u64, Fault> {
-        self.bump(|st| st.io_calls += 1);
+        LibcStatsCells::bump(&self.stats.io_calls);
         self.env.call_resolved(self.entries.send, || {
             // fd-table lookup, iovec setup, copy-out staging.
             self.env.compute(Work {
@@ -433,8 +565,8 @@ impl Newlib {
                 indirect_calls: 2,
                 mem_accesses: 18 + data.len() as u64 / 8,
             });
-            let net = Rc::clone(&self.net);
-            let sched = Rc::clone(&self.sched);
+            let net = &self.net;
+            let sched = &self.sched;
             let n = self
                 .env
                 .call_resolved(self.net_gates.send, || net.send(sock, data))?;
@@ -456,7 +588,7 @@ impl Newlib {
     ///
     /// Gate faults.
     pub fn send_nowait(&self, sock: SocketHandle, data: &[u8]) -> Result<u64, Fault> {
-        self.bump(|st| st.io_calls += 1);
+        LibcStatsCells::bump(&self.stats.io_calls);
         self.env.call_resolved(self.entries.send, || {
             let net = Rc::clone(&self.net);
             self.env
@@ -472,7 +604,7 @@ impl Newlib {
     ///
     /// Gate faults; vfs faults.
     pub fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd, Fault> {
-        self.bump(|st| st.file_calls += 1);
+        LibcStatsCells::bump(&self.stats.file_calls);
         self.env.call_resolved(self.entries.open, || {
             let vfs = Rc::clone(&self.vfs);
             self.env
@@ -486,7 +618,7 @@ impl Newlib {
     ///
     /// Gate faults; vfs faults.
     pub fn close(&self, fd: Fd) -> Result<(), Fault> {
-        self.bump(|st| st.file_calls += 1);
+        LibcStatsCells::bump(&self.stats.file_calls);
         self.env.call_resolved(self.entries.close, || {
             let vfs = Rc::clone(&self.vfs);
             self.env
@@ -500,7 +632,7 @@ impl Newlib {
     ///
     /// Gate faults; vfs faults.
     pub fn read(&self, fd: Fd, len: u64) -> Result<Vec<u8>, Fault> {
-        self.bump(|st| st.file_calls += 1);
+        LibcStatsCells::bump(&self.stats.file_calls);
         self.env.call_resolved(self.entries.read, || {
             let vfs = Rc::clone(&self.vfs);
             self.env
@@ -514,7 +646,7 @@ impl Newlib {
     ///
     /// Gate faults; vfs faults.
     pub fn write(&self, fd: Fd, data: &[u8]) -> Result<u64, Fault> {
-        self.bump(|st| st.file_calls += 1);
+        LibcStatsCells::bump(&self.stats.file_calls);
         self.env.call_resolved(self.entries.write, || {
             let vfs = Rc::clone(&self.vfs);
             self.env
@@ -528,7 +660,7 @@ impl Newlib {
     ///
     /// Gate faults; vfs faults.
     pub fn lseek(&self, fd: Fd, offset: u64) -> Result<(), Fault> {
-        self.bump(|st| st.file_calls += 1);
+        LibcStatsCells::bump(&self.stats.file_calls);
         self.env.call_resolved(self.entries.lseek, || {
             let vfs = Rc::clone(&self.vfs);
             self.env
@@ -542,7 +674,7 @@ impl Newlib {
     ///
     /// Gate faults; vfs faults.
     pub fn fsync(&self, fd: Fd) -> Result<(), Fault> {
-        self.bump(|st| st.file_calls += 1);
+        LibcStatsCells::bump(&self.stats.file_calls);
         self.env.call_resolved(self.entries.fsync, || {
             let vfs = Rc::clone(&self.vfs);
             self.env
@@ -556,7 +688,7 @@ impl Newlib {
     ///
     /// Gate faults; vfs faults.
     pub fn unlink(&self, path: &str) -> Result<(), Fault> {
-        self.bump(|st| st.file_calls += 1);
+        LibcStatsCells::bump(&self.stats.file_calls);
         self.env.call_resolved(self.entries.unlink, || {
             let vfs = Rc::clone(&self.vfs);
             self.env
@@ -570,7 +702,7 @@ impl Newlib {
     ///
     /// Gate faults; vfs faults.
     pub fn file_size(&self, path: &str) -> Result<u64, Fault> {
-        self.bump(|st| st.file_calls += 1);
+        LibcStatsCells::bump(&self.stats.file_calls);
         self.env.call_resolved(self.entries.stat, || {
             let vfs = Rc::clone(&self.vfs);
             self.env
@@ -585,7 +717,7 @@ impl Newlib {
     ///
     /// Gate faults.
     pub fn wall_ns(&self, time: &Rc<flexos_time::TimeSubsystem>) -> Result<u64, Fault> {
-        self.bump(|st| st.str_calls += 1);
+        LibcStatsCells::bump(&self.stats.str_calls);
         let time = Rc::clone(time);
         self.env.call_resolved(self.entries.time, || {
             self.env

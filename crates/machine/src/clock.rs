@@ -34,11 +34,13 @@ impl CycleClock {
     }
 
     /// Current cycle count.
+    #[inline]
     pub fn now(&self) -> u64 {
         self.cycles.get()
     }
 
     /// Advances the clock by `cycles`.
+    #[inline]
     pub fn advance(&self, cycles: u64) {
         self.cycles.set(self.cycles.get() + cycles);
     }

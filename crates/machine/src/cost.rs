@@ -158,6 +158,66 @@ impl Default for CostModel {
     }
 }
 
+/// Lengths covered by a [`ByteCostTable`]'s precomputed entries (16 KiB —
+/// the largest per-op transfer any workload performs; rarer longer
+/// transfers fall back to the float formula, which is what the table was
+/// built from, so results are identical either way).
+pub const BYTE_COST_TABLE_LEN: usize = 16 * 1024 + 1;
+
+/// Precomputed integer cycle charges for a fractional per-byte cost.
+///
+/// Per-byte costs like [`CostModel::mem_per_byte`] are fractional, and
+/// the pre-PR data path charged them with a floating-point multiply and
+/// round **per access** — measurable host-side overhead on a path that
+/// runs hundreds of times per simulated request. The table fixes the
+/// charge for every transfer length once, at [`CostModel`] construction
+/// time, so the hot path pays one bounds check and one array load.
+///
+/// Entries are the *exact* values `(len as f64 * per_byte).round()`
+/// produced before, bit for bit — a pure fixed-point recomputation
+/// cannot reproduce IEEE double rounding at exact-half boundaries (e.g.
+/// `5 × 0.7`), and the figure outputs are required to stay
+/// byte-identical. `tests/datapath_diff.rs` asserts the equivalence over
+/// the whole table and beyond.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ByteCostTable {
+    per_byte: f64,
+    table: Box<[u32]>,
+}
+
+impl ByteCostTable {
+    /// Precomputes the charge table for `per_byte` cycles per byte.
+    pub fn new(per_byte: f64) -> Self {
+        let table = (0..BYTE_COST_TABLE_LEN)
+            .map(|len| (len as f64 * per_byte).round() as u32)
+            .collect();
+        ByteCostTable { per_byte, table }
+    }
+
+    /// The cycle charge for moving `len` bytes.
+    #[inline]
+    pub fn cycles(&self, len: u64) -> u64 {
+        match self.table.get(len as usize) {
+            Some(&cycles) => u64::from(cycles),
+            None => (len as f64 * self.per_byte).round() as u64,
+        }
+    }
+
+    /// The fractional per-byte cost the table was built from.
+    pub fn per_byte(&self) -> f64 {
+        self.per_byte
+    }
+}
+
+impl CostModel {
+    /// The precomputed charge table for [`CostModel::mem_per_byte`] (one
+    /// side of a simulated-memory access). [`crate::Machine`] builds one
+    /// at construction and charges every data-path byte through it.
+    pub fn mem_cost_table(&self) -> ByteCostTable {
+        ByteCostTable::new(self.mem_per_byte)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +259,20 @@ mod tests {
         // 16384 bytes in 69,013 cycles ≈ 4.18 Gb/s (iPerf saturation point).
         let g = m.gbps(16384, 69_013);
         assert!((g - 4.18).abs() < 0.01, "got {g}");
+    }
+
+    #[test]
+    fn byte_cost_table_matches_the_float_formula() {
+        for per_byte in [0.7f64, 4.2, 1.15, 0.35] {
+            let table = ByteCostTable::new(per_byte);
+            for len in 0..(2 * BYTE_COST_TABLE_LEN as u64) {
+                assert_eq!(
+                    table.cycles(len),
+                    (len as f64 * per_byte).round() as u64,
+                    "per_byte {per_byte} len {len}"
+                );
+            }
+        }
     }
 
     #[test]

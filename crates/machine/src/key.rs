@@ -149,6 +149,7 @@ impl Pkru {
     }
 
     /// Returns `true` if `kind` accesses to pages tagged `key` are allowed.
+    #[inline]
     pub fn allows(&self, key: ProtKey, kind: Access) -> bool {
         let bit = 1u16 << key.0;
         if self.access_disable & bit != 0 {

@@ -5,7 +5,7 @@ use std::rc::Rc;
 
 use crate::addr::PAGE_SIZE;
 use crate::clock::CycleClock;
-use crate::cost::CostModel;
+use crate::cost::{ByteCostTable, CostModel};
 use crate::fault::Fault;
 use crate::key::ProtKey;
 use crate::layout::{Region, RegionKind, RegionMap};
@@ -35,6 +35,7 @@ pub struct Machine {
     layout: RefCell<RegionMap>,
     clock: CycleClock,
     cost: CostModel,
+    mem_costs: ByteCostTable,
 }
 
 impl Machine {
@@ -55,6 +56,7 @@ impl Machine {
             memory: RefCell::new(Memory::new(mem_bytes)),
             layout: RefCell::new(RegionMap::new(mem_bytes)),
             clock: CycleClock::new(),
+            mem_costs: cost.mem_cost_table(),
             cost,
         })
     }
@@ -62,6 +64,19 @@ impl Machine {
     /// The virtual cycle clock.
     pub fn clock(&self) -> &CycleClock {
         &self.clock
+    }
+
+    /// Charges the per-byte cost of touching `len` bytes of simulated
+    /// memory (one side of a copy) — the integer fast path that replaced
+    /// the per-access float multiply; see [`ByteCostTable`].
+    #[inline]
+    pub fn charge_mem_bytes(&self, len: u64) {
+        self.clock.advance(self.mem_costs.cycles(len));
+    }
+
+    /// The machine's precomputed per-byte charge table.
+    pub fn mem_costs(&self) -> &ByteCostTable {
+        &self.mem_costs
     }
 
     /// The calibrated cost model.
@@ -74,6 +89,7 @@ impl Machine {
     /// # Panics
     ///
     /// Panics if the memory is currently mutably borrowed (a simulation bug).
+    #[inline]
     pub fn memory(&self) -> Ref<'_, Memory> {
         self.memory.borrow()
     }
@@ -83,6 +99,7 @@ impl Machine {
     /// # Panics
     ///
     /// Panics if the memory is currently borrowed (a simulation bug).
+    #[inline]
     pub fn memory_mut(&self) -> RefMut<'_, Memory> {
         self.memory.borrow_mut()
     }
@@ -186,5 +203,19 @@ mod tests {
         let m = Machine::new(1024 * 1024);
         m.clock().advance(m.cost().ept_rpc_gate);
         assert_eq!(m.clock().now(), 462);
+    }
+
+    #[test]
+    fn charge_mem_bytes_matches_the_float_charge() {
+        let m = Machine::new(1024 * 1024);
+        for len in [0u64, 1, 5, 32, 45, 1460, 4096, 16384, 100_000] {
+            let before = m.clock().now();
+            m.charge_mem_bytes(len);
+            assert_eq!(
+                m.clock().now() - before,
+                (len as f64 * m.cost().mem_per_byte).round() as u64,
+                "len {len}"
+            );
+        }
     }
 }

@@ -3,16 +3,49 @@
 //! This is the enforcement point of the whole simulation: every load and
 //! store names the [`Pkru`] of the executing domain, and the access is
 //! checked against the protection key of **every page it touches** before
-//! any byte moves — the same check the MMU performs per access under Intel
-//! MPK (§4.1). Compartment data really lives here (Redis values, pbufs,
-//! ramfs blocks, B-tree pages), so a compartment without the right key
-//! *cannot* read another compartment's state, it faults.
+//! any byte of that page moves — the same check the MMU performs per
+//! access under Intel MPK (§4.1). Compartment data really lives here
+//! (Redis values, pbufs, ramfs blocks, B-tree pages), so a compartment
+//! without the right key *cannot* read another compartment's state, it
+//! faults.
+//!
+//! # The fast data path
+//!
+//! Every access fuses the rights check and the copy into a **single page
+//! walk**: each touched page is checked (mapped? key readable/writable
+//! under this PKRU?) and then its bytes move, before the walk advances.
+//! Accesses that stay within one page — the overwhelmingly common case
+//! for dict buckets, RESP payloads, and ring chunks — take a dedicated
+//! fast path: one bounds compare, one rights check, one
+//! `copy_from_slice`.
+//!
+//! Like the hardware, an access that faults on a later page of a
+//! multi-page range leaves the earlier pages already written: MPK raises
+//! `#PF` at the faulting access, not transactionally. (The pre-PR
+//! implementation checked the whole range up front; the byte-identical
+//! differential test in `tests/datapath_diff.rs` pins the new,
+//! hardware-like semantics against a byte-at-a-time reference.)
+//!
+//! A one-entry **access-rights cache** (a software TLB) short-circuits
+//! the per-page check entirely when the same `(page, PKRU)` pair hits
+//! repeatedly — exactly the pattern of a Redis GET probing one dict
+//! bucket, or a socket ring draining one page. The cache is tagged with
+//! an *epoch* that [`Memory::map`] and [`Memory::set_key`] bump, so
+//! re-keying a page (simulated `pkey_mprotect`) can never let a stale
+//! rights decision through; PKRU switches need no invalidation because
+//! the PKRU value itself is part of the tag.
 
+use std::cell::Cell;
 use std::fmt;
 
 use crate::addr::{Addr, PAGE_SIZE};
 use crate::fault::Fault;
 use crate::key::{Access, Pkru, ProtKey};
+
+/// Shared backing for reads of mapped-but-never-written pages (the
+/// borrowed-read API hands out slices of this instead of materializing
+/// zero-filled frames).
+static ZERO_PAGE: [u8; PAGE_SIZE] = [0u8; PAGE_SIZE];
 
 /// One simulated page frame.
 ///
@@ -31,12 +64,42 @@ impl PageFrame {
         self.data
             .get_or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice())
     }
+
+    /// The frame's readable bytes: its data, or the shared zero page.
+    fn bytes(&self) -> &[u8] {
+        match &self.data {
+            Some(data) => data,
+            None => &ZERO_PAGE,
+        }
+    }
+}
+
+/// The one-entry access-rights cache (see the module docs). `page` is
+/// `u64::MAX` when empty.
+#[derive(Debug, Clone, Copy)]
+struct RightsEntry {
+    epoch: u64,
+    page: u64,
+    pkru: Pkru,
+    write_ok: bool,
+}
+
+impl RightsEntry {
+    const EMPTY: RightsEntry = RightsEntry {
+        epoch: 0,
+        page: u64::MAX,
+        pkru: Pkru::NO_ACCESS,
+        write_ok: false,
+    };
 }
 
 /// The simulated physical memory: an array of pages, each tagged with a
 /// protection key.
 pub struct Memory {
     frames: Vec<PageFrame>,
+    /// Bumped by [`Memory::map`]/[`Memory::set_key`]; tags `rights_cache`.
+    epoch: Cell<u64>,
+    rights_cache: Cell<RightsEntry>,
 }
 
 impl fmt::Debug for Memory {
@@ -55,6 +118,8 @@ impl Memory {
         let pages = crate::addr::pages_for(bytes) as usize;
         Memory {
             frames: vec![PageFrame::default(); pages],
+            epoch: Cell::new(0),
+            rights_cache: Cell::new(RightsEntry::EMPTY),
         }
     }
 
@@ -84,12 +149,15 @@ impl Memory {
             frame.mapped = true;
             frame.key = key;
         }
+        self.bump_epoch();
         Ok(())
     }
 
     /// Re-tags an already-mapped page range with a new key. This is the
     /// simulated `pkey_mprotect`; the MPK backend uses it at boot to protect
-    /// per-compartment data/bss sections (§4.1).
+    /// per-compartment data/bss sections (§4.1). Invalidates the
+    /// access-rights cache (epoch bump) so stale rights never survive a
+    /// re-keying.
     ///
     /// # Errors
     ///
@@ -111,7 +179,12 @@ impl Memory {
             }
             frame.key = key;
         }
+        self.bump_epoch();
         Ok(())
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.set(self.epoch.get() + 1);
     }
 
     /// Returns the protection key of the page containing `addr`.
@@ -130,54 +203,105 @@ impl Memory {
         Ok(frame.key)
     }
 
-    fn check_range(&self, addr: Addr, len: u64, pkru: &Pkru, kind: Access) -> Result<(), Fault> {
-        if len == 0 {
-            return Ok(());
-        }
+    /// Validates the overall bounds of a non-empty access and returns its
+    /// `(first, last)` page indices. No per-page work happens here — that
+    /// is fused into the walk itself.
+    #[inline]
+    fn range_pages(&self, addr: Addr, len: u64) -> Result<(u64, u64), Fault> {
+        debug_assert!(len > 0);
+        // `ok_or_else`, not `ok_or`: a `Fault` (a 48-byte enum with
+        // `String` variants) must not be constructed and dropped on the
+        // success path of every single access.
+        #[allow(clippy::unnecessary_lazy_evaluations)]
         let end = addr
             .checked_add(len - 1)
-            .ok_or(Fault::OutOfBounds { addr, len })?;
+            .ok_or_else(|| Fault::OutOfBounds { addr, len })?;
         let first = addr.page_index();
         let last = end.page_index();
         if last >= self.frames.len() as u64 {
             return Err(Fault::OutOfBounds { addr, len });
         }
-        for page in first..=last {
-            let frame = &self.frames[page as usize];
-            let page_addr = Addr::new(page * PAGE_SIZE as u64);
-            if !frame.mapped {
-                return Err(Fault::Unmapped { addr: page_addr });
-            }
-            if !pkru.allows(frame.key, kind) {
-                return Err(Fault::ProtectionKey {
-                    addr: if page == first { addr } else { page_addr },
-                    key: frame.key,
-                    access: kind,
-                });
+        Ok((first, last))
+    }
+
+    /// The per-page rights check, memoized through the one-entry
+    /// access-rights cache. `first_page`/`range_addr` reproduce the fault
+    /// addressing convention: a protection-key fault on the range's first
+    /// page names the access address, later pages name the page base.
+    #[inline]
+    fn check_page(
+        &self,
+        page: u64,
+        first_page: u64,
+        range_addr: Addr,
+        pkru: &Pkru,
+        kind: Access,
+    ) -> Result<(), Fault> {
+        let cached = self.rights_cache.get();
+        if cached.page == page && cached.epoch == self.epoch.get() && cached.pkru == *pkru {
+            match kind {
+                Access::Read => return Ok(()),
+                Access::Write if cached.write_ok => return Ok(()),
+                Access::Write => {} // cached read-only: recheck below
             }
         }
+        let frame = &self.frames[page as usize];
+        if !frame.mapped {
+            return Err(Fault::Unmapped {
+                addr: Addr::new(page * PAGE_SIZE as u64),
+            });
+        }
+        if !pkru.allows(frame.key, kind) {
+            return Err(Fault::ProtectionKey {
+                addr: if page == first_page {
+                    range_addr
+                } else {
+                    Addr::new(page * PAGE_SIZE as u64)
+                },
+                key: frame.key,
+                access: kind,
+            });
+        }
+        self.rights_cache.set(RightsEntry {
+            epoch: self.epoch.get(),
+            page,
+            pkru: *pkru,
+            write_ok: pkru.allows(frame.key, Access::Write),
+        });
         Ok(())
     }
 
-    /// Reads `buf.len()` bytes at `addr` under `pkru`.
+    /// Reads `buf.len()` bytes at `addr` under `pkru`: a single fused
+    /// check-and-copy page walk, with a one-page fast path.
     ///
     /// # Errors
     ///
     /// [`Fault::ProtectionKey`] if any touched page's key is not readable
     /// under `pkru`; [`Fault::Unmapped`]/[`Fault::OutOfBounds`] for bad
     /// addresses.
+    #[inline]
     pub fn read(&self, addr: Addr, buf: &mut [u8], pkru: &Pkru) -> Result<(), Fault> {
-        self.check_range(addr, buf.len() as u64, pkru, Access::Read)?;
+        let len = buf.len();
+        if len == 0 {
+            return Ok(());
+        }
+        let (first, last) = self.range_pages(addr, len as u64)?;
+        if first == last {
+            // Same-page fast path: one frame, one rights check, one copy.
+            self.check_page(first, first, addr, pkru, Access::Read)?;
+            let off = addr.page_offset();
+            buf.copy_from_slice(&self.frames[first as usize].bytes()[off..off + len]);
+            return Ok(());
+        }
         let mut copied = 0usize;
         let mut cur = addr;
-        while copied < buf.len() {
-            let frame = &self.frames[cur.page_index() as usize];
+        while copied < len {
+            let page = cur.page_index();
+            self.check_page(page, first, addr, pkru, Access::Read)?;
             let off = cur.page_offset();
-            let take = (PAGE_SIZE - off).min(buf.len() - copied);
-            match &frame.data {
-                Some(data) => buf[copied..copied + take].copy_from_slice(&data[off..off + take]),
-                None => buf[copied..copied + take].fill(0),
-            }
+            let take = (PAGE_SIZE - off).min(len - copied);
+            buf[copied..copied + take]
+                .copy_from_slice(&self.frames[page as usize].bytes()[off..off + take]);
             copied += take;
             cur += take as u64;
         }
@@ -186,13 +310,15 @@ impl Memory {
 
     /// Reads `len` bytes at `addr` into a fresh `Vec` under `pkru`.
     ///
+    /// The length is validated against the memory size *before* the
+    /// buffer is allocated, so a corrupted length field read out of
+    /// simulated memory produces a clean [`Fault::OutOfBounds`] instead
+    /// of an arbitrarily large host-side allocation.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`Memory::read`].
     pub fn read_vec(&self, addr: Addr, len: u64, pkru: &Pkru) -> Result<Vec<u8>, Fault> {
-        // Validate against the memory size *before* allocating: a
-        // corrupted length field read out of simulated memory must fault
-        // cleanly, not trigger an arbitrarily large host allocation.
         if len > self.size() {
             return Err(Fault::OutOfBounds { addr, len });
         }
@@ -201,23 +327,100 @@ impl Memory {
         Ok(buf)
     }
 
-    /// Writes `buf` at `addr` under `pkru`.
+    /// Runs `f` over the bytes of `addr..addr+len` **without copying**:
+    /// one borrowed slice per touched page (never-written pages yield the
+    /// shared zero page). The rights check is the same fused walk as
+    /// [`Memory::read`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Memory::read`]; `f` is not called for pages
+    /// past the faulting one.
+    pub fn with_bytes(
+        &self,
+        addr: Addr,
+        len: u64,
+        pkru: &Pkru,
+        mut f: impl FnMut(&[u8]),
+    ) -> Result<(), Fault> {
+        if len == 0 {
+            return Ok(());
+        }
+        let (first, _) = self.range_pages(addr, len)?;
+        let mut done = 0u64;
+        let mut cur = addr;
+        while done < len {
+            let page = cur.page_index();
+            self.check_page(page, first, addr, pkru, Access::Read)?;
+            let off = cur.page_offset();
+            let take = (PAGE_SIZE - off).min((len - done) as usize);
+            f(&self.frames[page as usize].bytes()[off..off + take]);
+            done += take as u64;
+            cur += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Compares the bytes at `addr..addr+bytes.len()` with `bytes` under
+    /// `pkru`, without copying or allocating — the rights-checked
+    /// `memcmp` behind dict key probes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Memory::read`] of the same range.
+    pub fn compare(&self, addr: Addr, bytes: &[u8], pkru: &Pkru) -> Result<bool, Fault> {
+        let len = bytes.len();
+        if len == 0 {
+            return Ok(true);
+        }
+        let (first, last) = self.range_pages(addr, len as u64)?;
+        if first == last {
+            // Same-page fast path (every dict key probe): one check, one
+            // memcmp.
+            self.check_page(first, first, addr, pkru, Access::Read)?;
+            let off = addr.page_offset();
+            return Ok(&self.frames[first as usize].bytes()[off..off + len] == bytes);
+        }
+        let mut equal = true;
+        let mut checked = 0usize;
+        self.with_bytes(addr, len as u64, pkru, |chunk| {
+            equal &= chunk == &bytes[checked..checked + chunk.len()];
+            checked += chunk.len();
+        })?;
+        Ok(equal)
+    }
+
+    /// Writes `buf` at `addr` under `pkru`: the same fused single walk as
+    /// [`Memory::read`].
     ///
     /// # Errors
     ///
     /// [`Fault::ProtectionKey`] if any touched page's key is not writable
     /// under `pkru`; [`Fault::Unmapped`]/[`Fault::OutOfBounds`] for bad
-    /// addresses.
+    /// addresses. A fault on a later page leaves earlier pages written
+    /// (hardware semantics; see the module docs).
+    #[inline]
     pub fn write(&mut self, addr: Addr, buf: &[u8], pkru: &Pkru) -> Result<(), Fault> {
-        self.check_range(addr, buf.len() as u64, pkru, Access::Write)?;
+        let len = buf.len();
+        if len == 0 {
+            return Ok(());
+        }
+        let (first, last) = self.range_pages(addr, len as u64)?;
+        if first == last {
+            self.check_page(first, first, addr, pkru, Access::Write)?;
+            let off = addr.page_offset();
+            self.frames[first as usize].bytes_mut()[off..off + len].copy_from_slice(buf);
+            return Ok(());
+        }
         let mut copied = 0usize;
         let mut cur = addr;
-        while copied < buf.len() {
-            let page = cur.page_index() as usize;
+        while copied < len {
+            let page = cur.page_index();
+            self.check_page(page, first, addr, pkru, Access::Write)?;
             let off = cur.page_offset();
-            let take = (PAGE_SIZE - off).min(buf.len() - copied);
-            let data = self.frames[page].bytes_mut();
-            data[off..off + take].copy_from_slice(&buf[copied..copied + take]);
+            let take = (PAGE_SIZE - off).min(len - copied);
+            self.frames[page as usize].bytes_mut()[off..off + take]
+                .copy_from_slice(&buf[copied..copied + take]);
             copied += take;
             cur += take as u64;
         }
@@ -230,14 +433,18 @@ impl Memory {
     ///
     /// Same conditions as [`Memory::write`].
     pub fn fill(&mut self, addr: Addr, len: u64, byte: u8, pkru: &Pkru) -> Result<(), Fault> {
-        self.check_range(addr, len, pkru, Access::Write)?;
+        if len == 0 {
+            return Ok(());
+        }
+        let (first, _) = self.range_pages(addr, len)?;
         let mut remaining = len;
         let mut cur = addr;
         while remaining > 0 {
-            let page = cur.page_index() as usize;
+            let page = cur.page_index();
+            self.check_page(page, first, addr, pkru, Access::Write)?;
             let off = cur.page_offset();
             let take = (PAGE_SIZE - off).min(remaining as usize);
-            self.frames[page].bytes_mut()[off..off + take].fill(byte);
+            self.frames[page as usize].bytes_mut()[off..off + take].fill(byte);
             remaining -= take as u64;
             cur += take as u64;
         }
@@ -247,22 +454,24 @@ impl Memory {
     /// Copies `len` bytes from `src` to `dst` under a single `pkru` (the
     /// copier must be allowed to read `src` and write `dst`).
     ///
-    /// The copy proceeds page-pair-wise through a stack staging buffer:
-    /// one rights check per range up front, then chunked moves bounded
-    /// by both pages' remainders — **no intermediate host `Vec`** (the
-    /// previous implementation round-tripped the whole range through the
-    /// host heap). Ranges must not overlap (`memcpy`, not `memmove`,
-    /// semantics; the substrates' uses never overlap).
+    /// The copy proceeds page-pair-wise through a stack staging buffer —
+    /// **no host heap allocation**, and one rights check per touched
+    /// `(src, dst)` page pair (amortized to one per page by the rights
+    /// cache). Overlapping ranges copy forward, chunk by chunk
+    /// (`memcpy`, not `memmove`, semantics — like the hardware, and like
+    /// the substrates' uses, which never overlap).
     ///
     /// # Errors
     ///
-    /// Same conditions as [`Memory::read`] / [`Memory::write`].
+    /// Same conditions as [`Memory::read`] / [`Memory::write`]; a fault
+    /// mid-copy leaves earlier chunks written.
     pub fn copy(&mut self, src: Addr, dst: Addr, len: u64, pkru: &Pkru) -> Result<(), Fault> {
         if len == 0 {
             return Ok(());
         }
-        self.check_range(src, len, pkru, Access::Read)?;
-        self.check_range(dst, len, pkru, Access::Write)?;
+        let (sfirst, _) = self.range_pages(src, len)?;
+        let (dfirst, _) = self.range_pages(dst, len)?;
+        // Both ranges are in bounds here, so the arithmetic cannot wrap.
         debug_assert!(
             src.raw() + len <= dst.raw() || dst.raw() + len <= src.raw(),
             "Memory::copy ranges overlap (memcpy semantics; see docs)"
@@ -277,13 +486,14 @@ impl Memory {
             let take = (PAGE_SIZE - soff)
                 .min(PAGE_SIZE - doff)
                 .min((len - done) as usize);
-            let spage = s.page_index() as usize;
-            match &self.frames[spage].data {
-                Some(data) => staging[..take].copy_from_slice(&data[soff..soff + take]),
-                None => staging[..take].fill(0),
-            }
-            let dpage = d.page_index() as usize;
-            self.frames[dpage].bytes_mut()[doff..doff + take].copy_from_slice(&staging[..take]);
+            let spage = s.page_index();
+            self.check_page(spage, sfirst, src, pkru, Access::Read)?;
+            staging[..take]
+                .copy_from_slice(&self.frames[spage as usize].bytes()[soff..soff + take]);
+            let dpage = d.page_index();
+            self.check_page(dpage, dfirst, dst, pkru, Access::Write)?;
+            self.frames[dpage as usize].bytes_mut()[doff..doff + take]
+                .copy_from_slice(&staging[..take]);
             done += take as u64;
         }
         Ok(())
@@ -407,6 +617,21 @@ mod tests {
     }
 
     #[test]
+    fn read_after_failed_write_is_not_poisoned_by_the_cache() {
+        // A read-only PKRU populates the cache via a read, then a write
+        // to the same page must still fault (the cached entry records
+        // write_ok = false and falls through to the real check).
+        let key = ProtKey::new(3).unwrap();
+        let (mut mem, base) = mem_with_region(key);
+        let mut pkru = Pkru::NO_ACCESS;
+        pkru.permit_read_only(key);
+        assert!(mem.read_vec(base, 2, &pkru).is_ok());
+        assert!(mem.write(base, b"xx", &pkru).is_err());
+        // And the failed write must not have poisoned reads either.
+        assert!(mem.read_vec(base, 2, &pkru).is_ok());
+    }
+
+    #[test]
     fn unmapped_and_oob_fault() {
         let mem = Memory::new(16 * PAGE_SIZE as u64);
         let pkru = Pkru::ALL_ACCESS;
@@ -418,38 +643,6 @@ mod tests {
             mem.read_vec(Addr::new(1 << 40), 1, &pkru),
             Err(Fault::OutOfBounds { .. })
         ));
-    }
-
-    #[test]
-    fn set_key_retags() {
-        let k1 = ProtKey::new(1).unwrap();
-        let k2 = ProtKey::new(2).unwrap();
-        let (mut mem, base) = mem_with_region(k1);
-        mem.set_key(base, 8, k2).unwrap();
-        assert_eq!(mem.key_of(base).unwrap(), k2);
-        let old = Pkru::permit_only(&[k1]);
-        assert!(mem.read_vec(base, 1, &old).is_err());
-    }
-
-    #[test]
-    fn fill_and_copy() {
-        let key = ProtKey::new(1).unwrap();
-        let (mut mem, base) = mem_with_region(key);
-        let pkru = Pkru::permit_only(&[key]);
-        mem.fill(base, 32, 0xAB, &pkru).unwrap();
-        mem.copy(base, base + 64, 32, &pkru).unwrap();
-        assert_eq!(mem.read_vec(base + 64, 32, &pkru).unwrap(), vec![0xAB; 32]);
-    }
-
-    #[test]
-    fn scalar_accessors() {
-        let key = ProtKey::new(1).unwrap();
-        let (mut mem, base) = mem_with_region(key);
-        let pkru = Pkru::permit_only(&[key]);
-        mem.write_u64(base, 0xDEAD_BEEF_CAFE_F00D, &pkru).unwrap();
-        assert_eq!(mem.read_u64(base, &pkru).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
-        mem.write_u32(base + 8, 0x1234_5678, &pkru).unwrap();
-        assert_eq!(mem.read_u32(base + 8, &pkru).unwrap(), 0x1234_5678);
     }
 
     #[test]
@@ -467,6 +660,48 @@ mod tests {
             mem.read_vec(Addr::new(0), 1 << 40, &pkru),
             Err(Fault::OutOfBounds { .. })
         ));
+    }
+
+    #[test]
+    fn set_key_retags() {
+        let k1 = ProtKey::new(1).unwrap();
+        let k2 = ProtKey::new(2).unwrap();
+        let (mut mem, base) = mem_with_region(k1);
+        mem.set_key(base, 8, k2).unwrap();
+        assert_eq!(mem.key_of(base).unwrap(), k2);
+        let old = Pkru::permit_only(&[k1]);
+        assert!(mem.read_vec(base, 1, &old).is_err());
+    }
+
+    #[test]
+    fn set_key_invalidates_the_rights_cache() {
+        // Warm the cache with a successful access, re-key the page, and
+        // verify the *same* (page, pkru) pair now faults: the epoch bump
+        // must defeat the memoized rights decision.
+        let k1 = ProtKey::new(1).unwrap();
+        let k2 = ProtKey::new(2).unwrap();
+        let (mut mem, base) = mem_with_region(k1);
+        let pkru = Pkru::permit_only(&[k1]);
+        mem.write(base, b"warm", &pkru).unwrap();
+        assert_eq!(mem.read_vec(base, 4, &pkru).unwrap(), b"warm");
+        mem.set_key(base, 1, k2).unwrap();
+        assert!(mem.read_vec(base, 4, &pkru).is_err());
+        assert!(mem.write(base, b"cold", &pkru).is_err());
+        // The rightful owner reads the old bytes.
+        assert_eq!(
+            mem.read_vec(base, 4, &Pkru::permit_only(&[k2])).unwrap(),
+            b"warm"
+        );
+    }
+
+    #[test]
+    fn fill_and_copy() {
+        let key = ProtKey::new(1).unwrap();
+        let (mut mem, base) = mem_with_region(key);
+        let pkru = Pkru::permit_only(&[key]);
+        mem.fill(base, 32, 0xAB, &pkru).unwrap();
+        mem.copy(base, base + 64, 32, &pkru).unwrap();
+        assert_eq!(mem.read_vec(base + 64, 32, &pkru).unwrap(), vec![0xAB; 32]);
     }
 
     #[test]
@@ -534,6 +769,54 @@ mod tests {
     }
 
     #[test]
+    fn compare_matches_read_semantics() {
+        let key = ProtKey::new(1).unwrap();
+        let (mut mem, base) = mem_with_region(key);
+        let pkru = Pkru::permit_only(&[key]);
+        let data: Vec<u8> = (0..PAGE_SIZE + 100).map(|i| (i % 241) as u8).collect();
+        let at = base + (PAGE_SIZE as u64 - 50); // straddles a page boundary
+        mem.write(at, &data, &pkru).unwrap();
+        assert!(mem.compare(at, &data, &pkru).unwrap());
+        let mut tweaked = data.clone();
+        tweaked[PAGE_SIZE / 2] ^= 0x80;
+        assert!(!mem.compare(at, &tweaked, &pkru).unwrap());
+        // Untouched memory compares equal to zeros.
+        assert!(mem.compare(base + 2048, &[0u8; 64], &pkru).unwrap());
+        // Foreign PKRU faults rather than answering.
+        let stranger = Pkru::permit_only(&[ProtKey::new(5).unwrap()]);
+        assert!(mem.compare(at, &data, &stranger).is_err());
+    }
+
+    #[test]
+    fn with_bytes_visits_borrowed_chunks() {
+        let key = ProtKey::new(1).unwrap();
+        let (mut mem, base) = mem_with_region(key);
+        let pkru = Pkru::permit_only(&[key]);
+        let at = base + (PAGE_SIZE as u64 - 3);
+        mem.write(at, b"abcdef", &pkru).unwrap();
+        let mut seen = Vec::new();
+        let mut chunks = 0;
+        mem.with_bytes(at, 6, &pkru, |c| {
+            seen.extend_from_slice(c);
+            chunks += 1;
+        })
+        .unwrap();
+        assert_eq!(seen, b"abcdef");
+        assert_eq!(chunks, 2, "one borrowed chunk per touched page");
+    }
+
+    #[test]
+    fn scalar_accessors() {
+        let key = ProtKey::new(1).unwrap();
+        let (mut mem, base) = mem_with_region(key);
+        let pkru = Pkru::permit_only(&[key]);
+        mem.write_u64(base, 0xDEAD_BEEF_CAFE_F00D, &pkru).unwrap();
+        assert_eq!(mem.read_u64(base, &pkru).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+        mem.write_u32(base + 8, 0x1234_5678, &pkru).unwrap();
+        assert_eq!(mem.read_u32(base + 8, &pkru).unwrap(), 0x1234_5678);
+    }
+
+    #[test]
     fn zero_length_access_is_ok() {
         let key = ProtKey::new(1).unwrap();
         let (mut mem, base) = mem_with_region(key);
@@ -541,5 +824,7 @@ mod tests {
         // Zero-length accesses touch no pages and cannot fault.
         assert!(mem.read(base, &mut [], &pkru).is_ok());
         assert!(mem.write(base, &[], &pkru).is_ok());
+        assert!(mem.copy(base, base + 64, 0, &pkru).is_ok());
+        assert!(mem.compare(base, &[], &pkru).is_ok());
     }
 }

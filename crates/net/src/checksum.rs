@@ -33,6 +33,33 @@ pub fn verify(data_with_checksum: &[u8]) -> bool {
     checksum(data_with_checksum) == 0
 }
 
+/// Computes [`checksum`] as if the two bytes at `skip` were zero — the
+/// in-place verification of a frame's embedded checksum field, with no
+/// host-side copy of the frame (the pre-PR path cloned every received
+/// frame just to zero those two bytes).
+pub fn checksum_omitting(data: &[u8], skip: usize) -> u16 {
+    // Sum everything word-wise (the fast path), then subtract the two
+    // skipped bytes' contributions: a byte at an even index is the high
+    // byte of its big-endian word, at an odd index the low byte.
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    for i in [skip, skip + 1] {
+        if let Some(&byte) = data.get(i) {
+            sum -= u32::from(byte) << if i % 2 == 0 { 8 } else { 0 };
+        }
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,5 +89,22 @@ mod tests {
     #[test]
     fn empty_is_all_ones() {
         assert_eq!(checksum(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn omitting_matches_a_zeroed_copy() {
+        let data: Vec<u8> = (0..37u8).map(|i| i.wrapping_mul(73)).collect();
+        for skip in [0usize, 3, 16, 35, 36] {
+            let mut zeroed = data.clone();
+            zeroed[skip] = 0;
+            if skip + 1 < zeroed.len() {
+                zeroed[skip + 1] = 0;
+            }
+            assert_eq!(
+                checksum_omitting(&data, skip),
+                checksum(&zeroed),
+                "skip {skip}"
+            );
+        }
     }
 }

@@ -8,9 +8,15 @@
 use flexos_machine::fault::Fault;
 
 use crate::stack::NetStack;
-use crate::tcp::{Segment, FLAG_ACK, FLAG_FIN, FLAG_PSH, FLAG_SYN, MSS};
+use crate::tcp::{write_frame, SegmentView, FLAG_ACK, FLAG_FIN, FLAG_PSH, FLAG_SYN, MSS};
 
 /// A client-side TCP connection.
+///
+/// All framing goes through a reusable scratch buffer and the NIC's
+/// frame pool, so a steady-state request/reply loop performs zero host
+/// allocations on the client side (the load generator's cycles are free,
+/// but its host allocations would still pollute end-to-end alloc
+/// measurements).
 #[derive(Debug)]
 pub struct TcpClient {
     src_port: u16,
@@ -20,9 +26,26 @@ pub struct TcpClient {
     established: bool,
     /// Reassembled bytes received from the server.
     rx: Vec<u8>,
+    /// Scratch buffer outgoing frames are built in.
+    tx_frame: Vec<u8>,
 }
 
 impl TcpClient {
+    /// Builds a frame in the scratch buffer and injects it.
+    fn inject(&mut self, stack: &NetStack, seq: u32, ack: u32, flags: u8, payload: &[u8]) {
+        write_frame(
+            &mut self.tx_frame,
+            self.src_port,
+            self.dst_port,
+            seq,
+            ack,
+            flags,
+            65535,
+            payload,
+        );
+        stack.client_inject_bytes(&self.tx_frame);
+    }
+
     /// Opens a connection to `dst_port` with a full three-way handshake.
     ///
     /// # Errors
@@ -38,8 +61,9 @@ impl TcpClient {
             rcv_nxt: 0,
             established: false,
             rx: Vec::new(),
+            tx_frame: Vec::new(),
         };
-        stack.client_inject(Segment::control(src_port, dst_port, iss, 0, FLAG_SYN).to_bytes());
+        client.inject(stack, iss, 0, FLAG_SYN, &[]);
         stack.service()?;
         client.drain(stack)?;
         if !client.established {
@@ -48,10 +72,7 @@ impl TcpClient {
             });
         }
         // Final ACK of the handshake.
-        stack.client_inject(
-            Segment::control(src_port, dst_port, client.snd_nxt, client.rcv_nxt, FLAG_ACK)
-                .to_bytes(),
-        );
+        client.inject(stack, client.snd_nxt, client.rcv_nxt, FLAG_ACK, &[]);
         stack.service()?;
         Ok(client)
     }
@@ -64,17 +85,9 @@ impl TcpClient {
     /// Stack faults propagate.
     pub fn send(&mut self, stack: &NetStack, data: &[u8]) -> Result<(), Fault> {
         for chunk in data.chunks(MSS) {
-            let seg = Segment {
-                src_port: self.src_port,
-                dst_port: self.dst_port,
-                seq: self.snd_nxt,
-                ack: self.rcv_nxt,
-                flags: FLAG_ACK | FLAG_PSH,
-                window: 65535,
-                payload: chunk.to_vec(),
-            };
+            let seq = self.snd_nxt;
             self.snd_nxt = self.snd_nxt.wrapping_add(chunk.len() as u32);
-            stack.client_inject(seg.to_bytes());
+            self.inject(stack, seq, self.rcv_nxt, FLAG_ACK | FLAG_PSH, chunk);
             stack.service()?;
             self.drain(stack)?;
         }
@@ -83,51 +96,65 @@ impl TcpClient {
 
     /// Collects and processes every frame the server transmitted;
     /// reassembled payload accumulates in the client's receive buffer.
+    /// Frame buffers return to the NIC pool once processed.
     ///
     /// # Errors
     ///
     /// [`Fault::InvalidConfig`] on malformed frames (should not happen —
     /// the server computes checksums).
     pub fn drain(&mut self, stack: &NetStack) -> Result<(), Fault> {
-        for frame in stack.client_collect() {
-            let seg = Segment::parse(&frame)?;
-            if seg.dst_port != self.src_port {
-                continue; // other connections' traffic
-            }
-            if seg.has(FLAG_SYN) && seg.has(FLAG_ACK) {
-                self.rcv_nxt = seg.seq.wrapping_add(1);
-                self.snd_nxt = self.snd_nxt.wrapping_add(1);
-                self.established = true;
-                continue;
-            }
-            if !seg.payload.is_empty() {
-                if seg.seq == self.rcv_nxt {
-                    self.rcv_nxt = self.rcv_nxt.wrapping_add(seg.payload.len() as u32);
-                    self.rx.extend_from_slice(&seg.payload);
-                    // ACK the data.
-                    stack.client_inject(
-                        Segment::control(
-                            self.src_port,
-                            self.dst_port,
-                            self.snd_nxt,
-                            self.rcv_nxt,
-                            FLAG_ACK,
-                        )
-                        .to_bytes(),
-                    );
-                }
-                continue;
-            }
-            if seg.has(FLAG_FIN) {
-                self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
-            }
+        while let Some(frame) = stack.client_take_tx() {
+            let outcome = self.process_frame(stack, &frame);
+            stack.client_recycle(frame);
+            outcome?;
         }
         Ok(())
     }
 
-    /// Takes everything received so far.
+    fn process_frame(&mut self, stack: &NetStack, frame: &[u8]) -> Result<(), Fault> {
+        // Receive-checksum offload: the load generator's NIC verifies;
+        // only the system under test spends host time on checksums.
+        let seg = SegmentView::parse_offloaded(frame)?;
+        if seg.dst_port != self.src_port {
+            return Ok(()); // other connections' traffic
+        }
+        if seg.has(FLAG_SYN) && seg.has(FLAG_ACK) {
+            self.rcv_nxt = seg.seq.wrapping_add(1);
+            self.snd_nxt = self.snd_nxt.wrapping_add(1);
+            self.established = true;
+            return Ok(());
+        }
+        if !seg.payload.is_empty() {
+            if seg.seq == self.rcv_nxt {
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(seg.payload.len() as u32);
+                self.rx.extend_from_slice(seg.payload);
+                // ACK the data.
+                self.inject(stack, self.snd_nxt, self.rcv_nxt, FLAG_ACK, &[]);
+            }
+            return Ok(());
+        }
+        if seg.has(FLAG_FIN) {
+            self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+        }
+        Ok(())
+    }
+
+    /// Takes everything received so far, surrendering the buffer. Prefer
+    /// [`TcpClient::received`] + [`TcpClient::clear_received`] in loops:
+    /// they keep the buffer's capacity, so steady-state iterations do not
+    /// re-allocate it.
     pub fn take_received(&mut self) -> Vec<u8> {
         std::mem::take(&mut self.rx)
+    }
+
+    /// Everything received and not yet cleared, borrowed.
+    pub fn received(&self) -> &[u8] {
+        &self.rx
+    }
+
+    /// Clears the receive buffer, keeping its capacity.
+    pub fn clear_received(&mut self) {
+        self.rx.clear();
     }
 
     /// Bytes received and not yet taken.
@@ -146,16 +173,7 @@ impl TcpClient {
     ///
     /// Stack faults propagate.
     pub fn close(&mut self, stack: &NetStack) -> Result<(), Fault> {
-        stack.client_inject(
-            Segment::control(
-                self.src_port,
-                self.dst_port,
-                self.snd_nxt,
-                self.rcv_nxt,
-                FLAG_FIN | FLAG_ACK,
-            )
-            .to_bytes(),
-        );
+        self.inject(stack, self.snd_nxt, self.rcv_nxt, FLAG_FIN | FLAG_ACK, &[]);
         self.snd_nxt = self.snd_nxt.wrapping_add(1);
         stack.service()?;
         self.drain(stack)?;

@@ -28,7 +28,10 @@ pub use client::TcpClient;
 pub use nic::SimNic;
 pub use socket::{SocketHandle, SocketKind};
 pub use stack::{NetEntries, NetStack, NetStats};
-pub use tcp::{Segment, TcpState, FLAG_ACK, FLAG_FIN, FLAG_PSH, FLAG_RST, FLAG_SYN, MSS};
+pub use tcp::{
+    write_frame, Segment, SegmentView, TcpState, FLAG_ACK, FLAG_FIN, FLAG_PSH, FLAG_RST, FLAG_SYN,
+    MSS,
+};
 
 use flexos_core::prelude::*;
 

@@ -13,6 +13,10 @@ use std::collections::VecDeque;
 /// Queue depth of each direction.
 pub const QUEUE_DEPTH: usize = 1024;
 
+/// Recycled frame buffers kept around (enough for every in-flight frame
+/// of the workloads; beyond this, returned buffers are simply dropped).
+const POOL_DEPTH: usize = 64;
+
 /// NIC counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NicStats {
@@ -25,10 +29,16 @@ pub struct NicStats {
 }
 
 /// The simulated loopback NIC.
+///
+/// Frame buffers are **pooled**: consumed frames return to a free list
+/// via [`SimNic::recycle`] and are reused by [`SimNic::inject_from`] /
+/// [`SimNic::take_buf`], so a steady-state request/reply exchange moves
+/// frames with zero host allocations.
 #[derive(Debug, Default)]
 pub struct SimNic {
     rx: VecDeque<Vec<u8>>,
     tx: VecDeque<Vec<u8>>,
+    pool: Vec<Vec<u8>>,
     stats: NicStats,
 }
 
@@ -36,6 +46,19 @@ impl SimNic {
     /// Creates an idle NIC.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty frame buffer from the pool (or a fresh one).
+    pub fn take_buf(&mut self) -> Vec<u8> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a consumed frame's buffer to the pool.
+    pub fn recycle(&mut self, mut frame: Vec<u8>) {
+        if self.pool.len() < POOL_DEPTH {
+            frame.clear();
+            self.pool.push(frame);
+        }
     }
 
     // --- client (host) side: free -------------------------------------
@@ -51,9 +74,29 @@ impl SimNic {
         true
     }
 
+    /// Client side: copies `bytes` into a pooled buffer and places it on
+    /// the wire — the no-alloc twin of [`SimNic::client_inject`].
+    pub fn inject_from(&mut self, bytes: &[u8]) -> bool {
+        if self.rx.len() >= QUEUE_DEPTH {
+            self.stats.rx_dropped += 1;
+            return false;
+        }
+        let mut frame = self.take_buf();
+        frame.extend_from_slice(bytes);
+        self.rx.push_back(frame);
+        true
+    }
+
     /// Client side: collects everything the OS transmitted.
     pub fn client_collect(&mut self) -> Vec<Vec<u8>> {
         self.tx.drain(..).collect()
+    }
+
+    /// Client side: takes the next transmitted frame, if any. Return the
+    /// buffer with [`SimNic::recycle`] once processed to keep the
+    /// steady-state path allocation-free.
+    pub fn tx_pop(&mut self) -> Option<Vec<u8>> {
+        self.tx.pop_front()
     }
 
     // --- stack side -----------------------------------------------------
@@ -100,6 +143,23 @@ mod tests {
         assert!(nic.client_collect().is_empty());
         assert_eq!(nic.stats().rx_frames, 1);
         assert_eq!(nic.stats().tx_frames, 1);
+    }
+
+    #[test]
+    fn pooled_frames_recycle() {
+        let mut nic = SimNic::new();
+        assert!(nic.inject_from(b"abc"));
+        let frame = nic.rx_pop().unwrap();
+        assert_eq!(frame, b"abc");
+        let cap = frame.capacity();
+        let ptr = frame.as_ptr();
+        nic.recycle(frame);
+        // The next pooled frame (of no greater size) reuses the buffer.
+        assert!(nic.inject_from(b"def"));
+        let frame = nic.rx_pop().unwrap();
+        assert_eq!(frame, b"def");
+        assert!(frame.capacity() >= cap);
+        assert_eq!(frame.as_ptr(), ptr, "buffer was reused, not reallocated");
     }
 
     #[test]

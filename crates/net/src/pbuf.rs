@@ -62,6 +62,35 @@ impl PbufPool {
         self.env.mem_read_vec(pbuf.addr, pbuf.len)
     }
 
+    /// Reads a pbuf's payload, appending it to `out` — the
+    /// reusable-buffer twin of [`PbufPool::read`] (zero host allocations
+    /// once `out`'s capacity has converged).
+    ///
+    /// # Errors
+    ///
+    /// Protection faults if the current domain cannot read the pbuf.
+    pub fn read_into(&self, pbuf: Pbuf, out: &mut Vec<u8>) -> Result<(), Fault> {
+        self.env.mem_read_into(pbuf.addr, pbuf.len, out)
+    }
+
+    /// Copies one pbuf's payload into another, entirely inside simulated
+    /// memory (page-pair-wise, no host staging buffer) — the pbuf move
+    /// lwip performs when handing payloads between layers.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::InvalidConfig`] if `dst` is shorter than `src`;
+    /// protection faults if the current domain cannot read `src` or
+    /// write `dst`.
+    pub fn move_payload(&self, src: Pbuf, dst: Pbuf) -> Result<(), Fault> {
+        if dst.len < src.len {
+            return Err(Fault::InvalidConfig {
+                reason: format!("pbuf move: {} bytes into {}", src.len, dst.len),
+            });
+        }
+        self.env.mem_copy(src.addr, dst.addr, src.len)
+    }
+
     /// Releases a pbuf.
     ///
     /// # Errors
@@ -76,5 +105,65 @@ impl PbufPool {
     /// Live pbuf count (leak detection).
     pub fn live(&self) -> u64 {
         self.allocated - self.freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexos_core::backend::NoneBackend;
+    use flexos_core::config::SafetyConfig;
+    use flexos_core::image::ImageBuilder;
+    use flexos_core::prelude::{Component, ComponentKind};
+    use flexos_machine::Machine;
+
+    fn env() -> Rc<Env> {
+        let machine = Machine::new(Machine::DEFAULT_MEM_BYTES);
+        let mut b = ImageBuilder::new(machine, SafetyConfig::none());
+        b.register(Component::new("lwip", ComponentKind::Kernel))
+            .unwrap();
+        b.build(&[&NoneBackend]).unwrap().env
+    }
+
+    #[test]
+    fn alloc_read_move_free_roundtrip() {
+        let env = env();
+        let lwip = env.component_id("lwip").unwrap();
+        env.run_as(lwip, || {
+            let mut pool = PbufPool::new(Rc::clone(&env));
+            let src = pool.alloc_copy(b"payload-bytes").unwrap();
+            let dst = pool.alloc_copy(&[0u8; 16]).unwrap();
+            assert_eq!(pool.live(), 2);
+
+            // Borrowed read through the Env-level no-copy API.
+            let mut seen = Vec::new();
+            env.mem_read_with(src.addr, src.len, |chunk| seen.extend_from_slice(chunk))
+                .unwrap();
+            assert_eq!(seen, b"payload-bytes");
+
+            // Simulated-memory move (no host staging Vec), then read back
+            // into a reused buffer.
+            pool.move_payload(src, dst).unwrap();
+            let mut out = Vec::new();
+            pool.read_into(
+                Pbuf {
+                    addr: dst.addr,
+                    len: src.len,
+                },
+                &mut out,
+            )
+            .unwrap();
+            assert_eq!(out, b"payload-bytes");
+            assert_eq!(pool.read(src).unwrap(), out);
+
+            // A too-small destination is refused.
+            let tiny = pool.alloc_copy(b"xy").unwrap();
+            assert!(pool.move_payload(src, tiny).is_err());
+
+            pool.free(src).unwrap();
+            pool.free(dst).unwrap();
+            pool.free(tiny).unwrap();
+            assert_eq!(pool.live(), 0);
+        });
     }
 }

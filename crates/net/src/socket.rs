@@ -28,6 +28,10 @@ pub enum SocketKind {
 pub struct SockBuf {
     base: Addr,
     cap: u64,
+    /// `cap - 1` when `cap` is a power of two (the default ring size is):
+    /// lets the wrap computation be a mask instead of a `u64` division on
+    /// every push/pop chunk.
+    mask: Option<u64>,
     head: u64, // total bytes ever written
     tail: u64, // total bytes ever read
 }
@@ -43,9 +47,18 @@ impl SockBuf {
         Ok(SockBuf {
             base,
             cap,
+            mask: cap.is_power_of_two().then(|| cap - 1),
             head: 0,
             tail: 0,
         })
+    }
+
+    #[inline]
+    fn wrap(&self, pos: u64) -> u64 {
+        match self.mask {
+            Some(mask) => pos & mask,
+            None => pos % self.cap,
+        }
     }
 
     /// Bytes available to read.
@@ -72,7 +85,7 @@ impl SockBuf {
         let take = (data.len() as u64).min(self.space());
         let mut written = 0u64;
         while written < take {
-            let pos = (self.head + written) % self.cap;
+            let pos = self.wrap(self.head + written);
             let chunk = (self.cap - pos).min(take - written);
             env.mem_write(
                 self.base + pos,
@@ -90,17 +103,31 @@ impl SockBuf {
     ///
     /// Protection faults if the current domain cannot read the ring.
     pub fn pop(&mut self, env: &Env, maxlen: u64) -> Result<Vec<u8>, Fault> {
+        let mut out = Vec::new();
+        self.pop_into(env, maxlen, &mut out)?;
+        Ok(out)
+    }
+
+    /// Removes up to `maxlen` bytes, appending them to `out` — the
+    /// reusable-buffer twin of [`SockBuf::pop`]: ring bytes land in the
+    /// caller's buffer straight from simulated memory, with zero host
+    /// allocations once `out`'s capacity has converged. Returns the
+    /// number of bytes popped.
+    ///
+    /// # Errors
+    ///
+    /// Protection faults if the current domain cannot read the ring.
+    pub fn pop_into(&mut self, env: &Env, maxlen: u64, out: &mut Vec<u8>) -> Result<u64, Fault> {
         let take = maxlen.min(self.len());
-        let mut out = Vec::with_capacity(take as usize);
         let mut read = 0u64;
         while read < take {
-            let pos = (self.tail + read) % self.cap;
+            let pos = self.wrap(self.tail + read);
             let chunk = (self.cap - pos).min(take - read);
-            out.extend_from_slice(&env.mem_read_vec(self.base + pos, chunk)?);
+            env.mem_read_into(self.base + pos, chunk, out)?;
             read += chunk;
         }
         self.tail += take;
-        Ok(out)
+        Ok(take)
     }
 }
 

@@ -2,6 +2,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::rc::Rc;
 
 use flexos_core::component::ComponentId;
@@ -11,7 +12,9 @@ use flexos_machine::fault::Fault;
 
 use crate::nic::SimNic;
 use crate::socket::{Socket, SocketHandle, SocketKind};
-use crate::tcp::{Segment, Tcb, TcpState, FLAG_ACK, FLAG_FIN, FLAG_PSH, FLAG_SYN, MSS};
+use crate::tcp::{
+    write_frame, SegmentView, Tcb, TcpState, FLAG_ACK, FLAG_FIN, FLAG_PSH, FLAG_SYN, MSS,
+};
 
 /// Default receive-ring capacity per connection.
 pub const RX_RING_BYTES: u64 = 64 * 1024;
@@ -78,6 +81,87 @@ impl NetEntries {
     }
 }
 
+/// A multiplicative hasher for the stack's port-keyed tables. The PCB
+/// lookup sits on every segment's path; SipHash (std's default) costs
+/// more host time than the whole simulated state machine, and port pairs
+/// need no DoS resistance here — the "attacker" is our own benchmark
+/// client.
+#[derive(Default)]
+pub struct PortHasher(u64);
+
+impl Hasher for PortHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+    }
+
+    fn write_u16(&mut self, value: u16) {
+        self.0 = (self.0 ^ u64::from(value)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        // Finalizing xorshift so low bits (what hashbrown indexes with)
+        // depend on every input bit.
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        h
+    }
+}
+
+type PortMap<K, V> = HashMap<K, V, BuildHasherDefault<PortHasher>>;
+
+/// Interior-mutable per-field counters behind [`NetStats`]. The stack
+/// bumps individual `Cell<u64>`s on the hot path instead of
+/// copy-modify-writing the whole 64-byte stats struct per event.
+#[derive(Debug, Default)]
+struct NetStatsCells {
+    rx_segments: Cell<u64>,
+    tx_segments: Cell<u64>,
+    rx_bytes: Cell<u64>,
+    tx_bytes: Cell<u64>,
+    rx_errors: Cell<u64>,
+    recvs: Cell<u64>,
+    sends: Cell<u64>,
+    polls: Cell<u64>,
+}
+
+impl NetStatsCells {
+    fn bump(cell: &Cell<u64>) {
+        cell.set(cell.get() + 1);
+    }
+
+    fn add(cell: &Cell<u64>, n: u64) {
+        cell.set(cell.get() + n);
+    }
+
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            rx_segments: self.rx_segments.get(),
+            tx_segments: self.tx_segments.get(),
+            rx_bytes: self.rx_bytes.get(),
+            tx_bytes: self.tx_bytes.get(),
+            rx_errors: self.rx_errors.get(),
+            recvs: self.recvs.get(),
+            sends: self.sends.get(),
+            polls: self.polls.get(),
+        }
+    }
+
+    fn reset(&self) {
+        self.rx_segments.set(0);
+        self.tx_segments.set(0);
+        self.rx_bytes.set(0);
+        self.tx_bytes.set(0);
+        self.rx_errors.set(0);
+        self.recvs.set(0);
+        self.sends.set(0);
+        self.polls.set(0);
+    }
+}
+
 /// The lwip component state.
 pub struct NetStack {
     env: Rc<Env>,
@@ -86,17 +170,17 @@ pub struct NetStack {
     nic: RefCell<SimNic>,
     sockets: RefCell<Vec<Socket>>,
     /// `(local_port, remote_port)` → connection socket.
-    conns: RefCell<HashMap<(u16, u16), SocketHandle>>,
+    conns: RefCell<PortMap<(u16, u16), SocketHandle>>,
     /// TCP control blocks, parallel to `conns`.
-    tcbs: RefCell<HashMap<(u16, u16), Tcb>>,
-    listeners: RefCell<HashMap<u16, SocketHandle>>,
-    stats: Cell<NetStats>,
+    tcbs: RefCell<PortMap<(u16, u16), Tcb>>,
+    listeners: RefCell<PortMap<u16, SocketHandle>>,
+    stats: NetStatsCells,
 }
 
 impl std::fmt::Debug for NetStack {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetStack")
-            .field("stats", &self.stats.get())
+            .field("stats", &self.stats.snapshot())
             .finish()
     }
 }
@@ -120,10 +204,10 @@ impl NetStack {
             entries,
             nic: RefCell::new(SimNic::new()),
             sockets: RefCell::new(Vec::new()),
-            conns: RefCell::new(HashMap::new()),
-            tcbs: RefCell::new(HashMap::new()),
-            listeners: RefCell::new(HashMap::new()),
-            stats: Cell::new(NetStats::default()),
+            conns: RefCell::new(PortMap::default()),
+            tcbs: RefCell::new(PortMap::default()),
+            listeners: RefCell::new(PortMap::default()),
+            stats: NetStatsCells::default(),
         }
     }
 
@@ -139,12 +223,12 @@ impl NetStack {
 
     /// Counters.
     pub fn stats(&self) -> NetStats {
-        self.stats.get()
+        self.stats.snapshot()
     }
 
     /// Resets the counters (between benchmark phases).
     pub fn reset_stats(&self) {
-        self.stats.set(NetStats::default());
+        self.stats.reset();
     }
 
     fn charge_sockcall(&self) {
@@ -158,8 +242,16 @@ impl NetStack {
     }
 
     fn charge_segment(&self, payload_len: usize) {
+        // Same charge either way ((0.0 * CSUM_PER_BYTE) as u64 == 0);
+        // the branch only spares control segments the host-side float
+        // conversion.
+        let csum_cycles = if payload_len == 0 {
+            0
+        } else {
+            (payload_len as f64 * CSUM_PER_BYTE) as u64
+        };
         self.env.compute(Work {
-            cycles: SEGMENT_CYCLES + (payload_len as f64 * CSUM_PER_BYTE) as u64,
+            cycles: SEGMENT_CYCLES + csum_cycles,
             alu_ops: 20 + payload_len as u64 / 4,
             frames: 4,
             mem_accesses: 12 + payload_len as u64 / 8,
@@ -190,9 +282,11 @@ impl NetStack {
             });
         }
         let mut socks = self.sockets.borrow_mut();
-        let s = socks.get_mut(sock.0 as usize).ok_or(Fault::InvalidConfig {
-            reason: format!("bad socket {sock:?}"),
-        })?;
+        let s = socks
+            .get_mut(sock.0 as usize)
+            .ok_or_else(|| Fault::InvalidConfig {
+                reason: format!("bad socket {sock:?}"),
+            })?;
         s.port = port;
         Ok(())
     }
@@ -206,9 +300,11 @@ impl NetStack {
         self.charge_sockcall();
         let port = {
             let socks = self.sockets.borrow();
-            let s = socks.get(sock.0 as usize).ok_or(Fault::InvalidConfig {
-                reason: format!("bad socket {sock:?}"),
-            })?;
+            let s = socks
+                .get(sock.0 as usize)
+                .ok_or_else(|| Fault::InvalidConfig {
+                    reason: format!("bad socket {sock:?}"),
+                })?;
             if s.port == 0 {
                 return Err(Fault::InvalidConfig {
                     reason: "listen on unbound socket".to_string(),
@@ -239,37 +335,35 @@ impl NetStack {
     /// Memory faults touching pbufs/rings (isolation violations).
     pub fn poll(&self) -> Result<u32, Fault> {
         let mut processed = 0u32;
-        let mut stats = self.stats.get();
-        stats.polls += 1;
+        NetStatsCells::bump(&self.stats.polls);
         loop {
             let frame = match self.nic.borrow_mut().rx_pop() {
                 Some(f) => f,
                 None => break,
             };
             // NIC DMA + parse + checksum over the whole frame.
-            self.env
-                .machine()
-                .clock()
-                .advance_f64(frame.len() as f64 * self.env.machine().cost().mem_per_byte);
-            let seg = match Segment::parse(&frame) {
+            self.env.machine().charge_mem_bytes(frame.len() as u64);
+            // Zero-copy parse: the payload stays borrowed from the frame
+            // all the way into the socket ring.
+            let seg = match SegmentView::parse(&frame) {
                 Ok(seg) => seg,
                 Err(_) => {
-                    stats.rx_errors += 1;
+                    NetStatsCells::bump(&self.stats.rx_errors);
+                    self.nic.borrow_mut().recycle(frame);
                     continue;
                 }
             };
             self.charge_segment(seg.payload.len());
-            stats.rx_segments += 1;
-            self.stats.set(stats);
-            self.process_segment(seg)?;
-            stats = self.stats.get();
+            NetStatsCells::bump(&self.stats.rx_segments);
+            let outcome = self.process_segment(seg);
+            self.nic.borrow_mut().recycle(frame);
+            outcome?;
             processed += 1;
         }
-        self.stats.set(stats);
         Ok(processed)
     }
 
-    fn process_segment(&self, seg: Segment) -> Result<(), Fault> {
+    fn process_segment(&self, seg: SegmentView<'_>) -> Result<(), Fault> {
         let key = (seg.dst_port, seg.src_port);
         // New connection?
         if seg.has(FLAG_SYN) && !seg.has(FLAG_ACK) {
@@ -285,13 +379,14 @@ impl NetStack {
                 SocketHandle((socks.len() - 1) as u32)
             };
             let tcb = Tcb::from_syn(seg.dst_port, seg.src_port, seg.seq, SERVER_ISS);
-            self.transmit(Segment::control(
+            self.transmit_parts(
                 seg.dst_port,
                 seg.src_port,
                 tcb.snd_nxt,
                 tcb.rcv_nxt,
                 FLAG_SYN | FLAG_ACK,
-            ));
+                &[],
+            );
             self.tcbs.borrow_mut().insert(key, tcb);
             self.conns.borrow_mut().insert(key, conn_sock);
             // Remember which listener to queue the socket on once the
@@ -328,32 +423,18 @@ impl NetStack {
                             let s = socks.get_mut(conn.0 as usize).expect("conn socket exists");
                             s.rx.as_mut()
                                 .expect("connection has rx ring")
-                                .push(&self.env, &seg.payload)?
+                                .push(&self.env, seg.payload)?
                         };
-                        let mut stats = self.stats.get();
-                        stats.rx_bytes += pushed;
-                        self.stats.set(stats);
+                        NetStatsCells::add(&self.stats.rx_bytes, pushed);
                         let (snd, rcv) = (tcb.snd_nxt, tcb.rcv_nxt);
                         drop(tcbs);
-                        self.transmit(Segment::control(
-                            seg.dst_port,
-                            seg.src_port,
-                            snd,
-                            rcv,
-                            FLAG_ACK,
-                        ));
+                        self.transmit_parts(seg.dst_port, seg.src_port, snd, rcv, FLAG_ACK, &[]);
                         return Ok(());
                     }
                     // Out-of-order: drop and re-ACK the expected sequence.
                     let (snd, rcv) = (tcb.snd_nxt, tcb.rcv_nxt);
                     drop(tcbs);
-                    self.transmit(Segment::control(
-                        seg.dst_port,
-                        seg.src_port,
-                        snd,
-                        rcv,
-                        FLAG_ACK,
-                    ));
+                    self.transmit_parts(seg.dst_port, seg.src_port, snd, rcv, FLAG_ACK, &[]);
                     return Ok(());
                 }
                 if seg.has(FLAG_FIN) {
@@ -365,13 +446,7 @@ impl NetStack {
                     }
                     let (snd, rcv) = (tcb.snd_nxt, tcb.rcv_nxt);
                     drop(tcbs);
-                    self.transmit(Segment::control(
-                        seg.dst_port,
-                        seg.src_port,
-                        snd,
-                        rcv,
-                        FLAG_ACK,
-                    ));
+                    self.transmit_parts(seg.dst_port, seg.src_port, snd, rcv, FLAG_ACK, &[]);
                     return Ok(());
                 }
                 // Pure ACK: nothing to do (no retransmit queue to clear in
@@ -382,17 +457,17 @@ impl NetStack {
         Ok(())
     }
 
-    fn transmit(&self, seg: Segment) {
-        self.charge_segment(seg.payload.len());
-        let frame = seg.to_bytes();
-        self.env
-            .machine()
-            .clock()
-            .advance_f64(frame.len() as f64 * self.env.machine().cost().mem_per_byte);
-        let mut stats = self.stats.get();
-        stats.tx_segments += 1;
-        self.stats.set(stats);
-        self.nic.borrow_mut().tx_push(frame);
+    /// Frames a segment into a pooled NIC buffer and queues it — the
+    /// zero-allocation transmit path (no `Segment` with an owned payload
+    /// is ever materialized).
+    fn transmit_parts(&self, src: u16, dst: u16, seq: u32, ack: u32, flags: u8, payload: &[u8]) {
+        self.charge_segment(payload.len());
+        let mut nic = self.nic.borrow_mut();
+        let mut frame = nic.take_buf();
+        write_frame(&mut frame, src, dst, seq, ack, flags, 65535, payload);
+        self.env.machine().charge_mem_bytes(frame.len() as u64);
+        NetStatsCells::bump(&self.stats.tx_segments);
+        nic.tx_push(frame);
     }
 
     /// Non-blocking receive: drains up to `maxlen` buffered bytes. Returns
@@ -403,16 +478,35 @@ impl NetStack {
     ///
     /// Bad-handle faults; memory faults reading the ring.
     pub fn recv(&self, sock: SocketHandle, maxlen: u64) -> Result<Vec<u8>, Fault> {
+        let mut out = Vec::new();
+        self.recv_into(sock, maxlen, &mut out)?;
+        Ok(out)
+    }
+
+    /// Non-blocking receive into a caller-provided buffer: drains up to
+    /// `maxlen` buffered bytes, appending them to `out`, and returns how
+    /// many arrived — the reusable-buffer twin of [`NetStack::recv`]
+    /// (zero host allocations once `out`'s capacity has converged).
+    ///
+    /// # Errors
+    ///
+    /// Bad-handle faults; memory faults reading the ring.
+    pub fn recv_into(
+        &self,
+        sock: SocketHandle,
+        maxlen: u64,
+        out: &mut Vec<u8>,
+    ) -> Result<u64, Fault> {
         self.charge_sockcall();
-        let mut stats = self.stats.get();
-        stats.recvs += 1;
-        self.stats.set(stats);
+        NetStatsCells::bump(&self.stats.recvs);
         let mut socks = self.sockets.borrow_mut();
-        let s = socks.get_mut(sock.0 as usize).ok_or(Fault::InvalidConfig {
-            reason: format!("bad socket {sock:?}"),
-        })?;
+        let s = socks
+            .get_mut(sock.0 as usize)
+            .ok_or_else(|| Fault::InvalidConfig {
+                reason: format!("bad socket {sock:?}"),
+            })?;
         match &mut s.rx {
-            Some(rx) => rx.pop(&self.env, maxlen),
+            Some(rx) => rx.pop_into(&self.env, maxlen, out),
             None => Err(Fault::InvalidConfig {
                 reason: "recv on listening socket".to_string(),
             }),
@@ -428,9 +522,11 @@ impl NetStack {
         self.charge_sockcall();
         let (local, peer) = {
             let socks = self.sockets.borrow();
-            let s = socks.get(sock.0 as usize).ok_or(Fault::InvalidConfig {
-                reason: format!("bad socket {sock:?}"),
-            })?;
+            let s = socks
+                .get(sock.0 as usize)
+                .ok_or_else(|| Fault::InvalidConfig {
+                    reason: format!("bad socket {sock:?}"),
+                })?;
             if s.kind != SocketKind::Connection {
                 return Err(Fault::InvalidConfig {
                     reason: "send on listening socket".to_string(),
@@ -442,27 +538,17 @@ impl NetStack {
         for chunk in data.chunks(MSS) {
             let (seq, ack) = {
                 let mut tcbs = self.tcbs.borrow_mut();
-                let tcb = tcbs.get_mut(&key).ok_or(Fault::InvalidConfig {
+                let tcb = tcbs.get_mut(&key).ok_or_else(|| Fault::InvalidConfig {
                     reason: "send on connection without TCB".to_string(),
                 })?;
                 let seq = tcb.snd_nxt;
                 tcb.snd_nxt = tcb.snd_nxt.wrapping_add(chunk.len() as u32);
                 (seq, tcb.rcv_nxt)
             };
-            self.transmit(Segment {
-                src_port: local,
-                dst_port: peer,
-                seq,
-                ack,
-                flags: FLAG_ACK | FLAG_PSH,
-                window: 65535,
-                payload: chunk.to_vec(),
-            });
+            self.transmit_parts(local, peer, seq, ack, FLAG_ACK | FLAG_PSH, chunk);
         }
-        let mut stats = self.stats.get();
-        stats.sends += 1;
-        stats.tx_bytes += data.len() as u64;
-        self.stats.set(stats);
+        NetStatsCells::bump(&self.stats.sends);
+        NetStatsCells::add(&self.stats.tx_bytes, data.len() as u64);
         Ok(data.len() as u64)
     }
 
@@ -505,7 +591,7 @@ impl NetStack {
             tcb.snd_nxt = tcb.snd_nxt.wrapping_add(1);
             tcb.state = TcpState::Closed;
             let ack = tcb.rcv_nxt;
-            self.transmit(Segment::control(local, peer, seq, ack, FLAG_FIN | FLAG_ACK));
+            self.transmit_parts(local, peer, seq, ack, FLAG_FIN | FLAG_ACK, &[]);
         }
         Ok(())
     }
@@ -518,9 +604,28 @@ impl NetStack {
         self.nic.borrow_mut().client_inject(frame)
     }
 
+    /// Client-side frame injection from a borrowed slice into a pooled
+    /// NIC buffer — the no-alloc twin of [`NetStack::client_inject`].
+    pub fn client_inject_bytes(&self, bytes: &[u8]) -> bool {
+        self.nic.borrow_mut().inject_from(bytes)
+    }
+
     /// Client-side collection of transmitted frames (free).
     pub fn client_collect(&self) -> Vec<Vec<u8>> {
         self.nic.borrow_mut().client_collect()
+    }
+
+    /// Client side: takes the next transmitted frame, if any. Hand the
+    /// buffer back with [`NetStack::client_recycle`] once processed so
+    /// the frame pool stays warm.
+    pub fn client_take_tx(&self) -> Option<Vec<u8>> {
+        self.nic.borrow_mut().tx_pop()
+    }
+
+    /// Returns a frame buffer obtained from [`NetStack::client_take_tx`]
+    /// to the NIC's pool.
+    pub fn client_recycle(&self, frame: Vec<u8>) {
+        self.nic.borrow_mut().recycle(frame)
     }
 
     /// Host-side servicing helper: runs [`NetStack::poll`] *as* the lwip

@@ -38,6 +38,33 @@ pub struct SchedStats {
     pub switches: u64,
 }
 
+/// Per-field interior-mutable counters behind [`SchedStats`] (the yield
+/// path bumps one `Cell<u64>` instead of copying the whole struct).
+#[derive(Debug, Default)]
+struct SchedStatsCells {
+    spawned: Cell<u64>,
+    yields: Cell<u64>,
+    blocks: Cell<u64>,
+    wakes: Cell<u64>,
+    switches: Cell<u64>,
+}
+
+impl SchedStatsCells {
+    fn bump(cell: &Cell<u64>) {
+        cell.set(cell.get() + 1);
+    }
+
+    fn snapshot(&self) -> SchedStats {
+        SchedStats {
+            spawned: self.spawned.get(),
+            yields: self.yields.get(),
+            blocks: self.blocks.get(),
+            wakes: self.wakes.get(),
+            switches: self.switches.get(),
+        }
+    }
+}
+
 /// uksched's gate entry points, resolved once when the scheduler is
 /// wired up. The blocking-socket paths in the libc and the app event
 /// loops gate through these handles on every iteration — the hottest
@@ -81,14 +108,14 @@ pub struct Scheduler {
     current: Cell<Option<ThreadId>>,
     registry: RefCell<StackRegistry>,
     hooks: RefCell<Vec<ThreadCreateHook>>,
-    stats: Cell<SchedStats>,
+    stats: SchedStatsCells,
 }
 
 impl std::fmt::Debug for Scheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Scheduler")
             .field("threads", &self.threads.borrow().len())
-            .field("stats", &self.stats.get())
+            .field("stats", &self.stats.snapshot())
             .finish()
     }
 }
@@ -115,7 +142,7 @@ impl Scheduler {
             current: Cell::new(None),
             registry: RefCell::new(StackRegistry::new()),
             hooks: RefCell::new(Vec::new()),
-            stats: Cell::new(SchedStats::default()),
+            stats: SchedStatsCells::default(),
         }
     }
 
@@ -164,9 +191,7 @@ impl Scheduler {
         for hook in self.hooks.borrow().iter() {
             hook(&self.env, compartment);
         }
-        let mut s = self.stats.get();
-        s.spawned += 1;
-        self.stats.set(s);
+        SchedStatsCells::bump(&self.stats.spawned);
         Ok((id, stack))
     }
 
@@ -199,19 +224,28 @@ impl Scheduler {
             mem_accesses: 12,
             ..Work::default()
         });
-        let mut s = self.stats.get();
-        s.yields += 1;
+        SchedStatsCells::bump(&self.stats.yields);
+        // One borrow of each structure for the whole operation (requeue
+        // current + dispatch next) — this runs twice per Redis request.
+        let mut threads = self.threads.borrow_mut();
+        let mut ready = self.ready.borrow_mut();
         if let Some(cur) = self.current.get() {
-            if self.state_of(cur) == Some(ThreadState::Running) {
-                self.set_state(cur, ThreadState::Ready);
-                self.ready.borrow_mut().push_back(cur);
+            if let Some(t) = threads.get_mut(cur.0 as usize) {
+                if t.state == ThreadState::Running {
+                    t.state = ThreadState::Ready;
+                    ready.push_back(cur);
+                }
             }
         }
-        let next = self.pick_next();
-        if next.is_some() {
-            s.switches += 1;
+        let next = ready.pop_front();
+        if let Some(tid) = next {
+            if let Some(t) = threads.get_mut(tid.0 as usize) {
+                t.state = ThreadState::Running;
+                t.switches += 1;
+            }
+            self.current.set(Some(tid));
+            SchedStatsCells::bump(&self.stats.switches);
         }
-        self.stats.set(s);
         next
     }
 
@@ -230,9 +264,7 @@ impl Scheduler {
             self.current.set(None);
             self.pick_next();
         }
-        let mut s = self.stats.get();
-        s.blocks += 1;
-        self.stats.set(s);
+        SchedStatsCells::bump(&self.stats.blocks);
     }
 
     /// Wakes a blocked thread.
@@ -248,9 +280,7 @@ impl Scheduler {
             self.set_state(thread, ThreadState::Ready);
             self.ready.borrow_mut().push_back(thread);
         }
-        let mut s = self.stats.get();
-        s.wakes += 1;
-        self.stats.set(s);
+        SchedStatsCells::bump(&self.stats.wakes);
     }
 
     /// The running thread, if any.
@@ -284,7 +314,7 @@ impl Scheduler {
 
     /// Statistics snapshot.
     pub fn stats(&self) -> SchedStats {
-        self.stats.get()
+        self.stats.snapshot()
     }
 
     /// Number of stacks in the registry (one per thread per compartment

@@ -1,0 +1,424 @@
+//! Differential property test for the fast simulated data path (ISSUE 3).
+//!
+//! The fused single-walk `Memory` operations — same-page fast paths,
+//! the one-entry access-rights cache with epoch invalidation, the
+//! page-pair-wise `copy`, the in-place `compare` — are pinned against a
+//! **byte-at-a-time reference implementation** with the obvious
+//! semantics: check the byte's page, then move the byte. Over random
+//! page layouts, keys, PKRUs, and access patterns (including re-keying
+//! mid-stream, which must invalidate the rights cache), both
+//! implementations must produce identical bytes, identical faults —
+//! same variant, same addresses — and identical partial effects on
+//! failure.
+//!
+//! A second property pins the integer per-byte charge table against the
+//! pre-refactor float formula, cycle for cycle.
+
+use flexos_machine::addr::{Addr, PAGE_SIZE};
+use flexos_machine::cost::{ByteCostTable, CostModel};
+use flexos_machine::fault::Fault;
+use flexos_machine::key::{Access, Pkru, ProtKey};
+use flexos_machine::mem::Memory;
+use flexos_machine::Machine;
+
+/// Deterministic xorshift64* generator (same idiom as `tests/proptests.rs`).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+}
+
+const REF_PAGES: u64 = 64;
+
+/// The byte-at-a-time reference memory: per-byte page check, then the
+/// byte moves. Faults use the production addressing convention (a
+/// protection-key fault on the range's first page names the access
+/// address, later pages the page base; unmapped pages always the page
+/// base) so `Fault` values compare equal structurally.
+struct RefMem {
+    key: Vec<ProtKey>,
+    mapped: Vec<bool>,
+    data: Vec<u8>,
+}
+
+impl RefMem {
+    fn new() -> RefMem {
+        RefMem {
+            key: vec![ProtKey::DEFAULT; REF_PAGES as usize],
+            mapped: vec![false; REF_PAGES as usize],
+            data: vec![0u8; (REF_PAGES as usize) * PAGE_SIZE],
+        }
+    }
+
+    fn map(&mut self, base: Addr, pages: u64, key: ProtKey) -> Result<(), Fault> {
+        let first = base.page_index();
+        let last = first
+            .checked_add(pages)
+            .filter(|&end| end <= REF_PAGES)
+            .ok_or(Fault::OutOfBounds {
+                addr: base,
+                len: pages * PAGE_SIZE as u64,
+            })?;
+        for page in first..last {
+            self.mapped[page as usize] = true;
+            self.key[page as usize] = key;
+        }
+        Ok(())
+    }
+
+    fn set_key(&mut self, base: Addr, pages: u64, key: ProtKey) -> Result<(), Fault> {
+        let first = base.page_index() as usize;
+        let last = first + pages as usize;
+        if last > REF_PAGES as usize {
+            return Err(Fault::OutOfBounds {
+                addr: base,
+                len: pages * PAGE_SIZE as u64,
+            });
+        }
+        for page in first..last {
+            if !self.mapped[page] {
+                return Err(Fault::Unmapped {
+                    addr: Addr::new((page * PAGE_SIZE) as u64),
+                });
+            }
+            self.key[page] = key;
+        }
+        Ok(())
+    }
+
+    /// The up-front whole-range bounds check both implementations share.
+    fn bounds(&self, addr: Addr, len: u64) -> Result<(), Fault> {
+        if len == 0 {
+            return Ok(());
+        }
+        let end = addr
+            .checked_add(len - 1)
+            .ok_or(Fault::OutOfBounds { addr, len })?;
+        if end.page_index() >= REF_PAGES {
+            return Err(Fault::OutOfBounds { addr, len });
+        }
+        Ok(())
+    }
+
+    /// Per-byte page check with the production fault-addressing rule.
+    fn check_byte(&self, at: Addr, range: Addr, pkru: &Pkru, kind: Access) -> Result<(), Fault> {
+        let page = at.page_index();
+        let page_addr = Addr::new(page * PAGE_SIZE as u64);
+        if !self.mapped[page as usize] {
+            return Err(Fault::Unmapped { addr: page_addr });
+        }
+        if !pkru.allows(self.key[page as usize], kind) {
+            return Err(Fault::ProtectionKey {
+                addr: if page == range.page_index() {
+                    range
+                } else {
+                    page_addr
+                },
+                key: self.key[page as usize],
+                access: kind,
+            });
+        }
+        Ok(())
+    }
+
+    fn read(&self, addr: Addr, buf: &mut [u8], pkru: &Pkru) -> Result<(), Fault> {
+        self.bounds(addr, buf.len() as u64)?;
+        for (i, out) in buf.iter_mut().enumerate() {
+            let at = addr + i as u64;
+            self.check_byte(at, addr, pkru, Access::Read)?;
+            *out = self.data[at.raw() as usize];
+        }
+        Ok(())
+    }
+
+    fn write(&mut self, addr: Addr, buf: &[u8], pkru: &Pkru) -> Result<(), Fault> {
+        self.bounds(addr, buf.len() as u64)?;
+        for (i, &byte) in buf.iter().enumerate() {
+            let at = addr + i as u64;
+            self.check_byte(at, addr, pkru, Access::Write)?;
+            self.data[at.raw() as usize] = byte;
+        }
+        Ok(())
+    }
+
+    fn fill(&mut self, addr: Addr, len: u64, byte: u8, pkru: &Pkru) -> Result<(), Fault> {
+        self.bounds(addr, len)?;
+        for i in 0..len {
+            let at = addr + i;
+            self.check_byte(at, addr, pkru, Access::Write)?;
+            self.data[at.raw() as usize] = byte;
+        }
+        Ok(())
+    }
+
+    fn compare(&self, addr: Addr, bytes: &[u8], pkru: &Pkru) -> Result<bool, Fault> {
+        self.bounds(addr, bytes.len() as u64)?;
+        let mut equal = true;
+        for (i, &byte) in bytes.iter().enumerate() {
+            let at = addr + i as u64;
+            self.check_byte(at, addr, pkru, Access::Read)?;
+            equal &= self.data[at.raw() as usize] == byte;
+        }
+        Ok(equal)
+    }
+
+    fn copy(&mut self, src: Addr, dst: Addr, len: u64, pkru: &Pkru) -> Result<(), Fault> {
+        self.bounds(src, len)?;
+        self.bounds(dst, len)?;
+        // Byte-at-a-time forward copy: read side checked, then write
+        // side, then the byte moves — matching the chunked production
+        // copy, whose chunks are bounded by both pages' remainders (so
+        // the first byte of each chunk faults identically).
+        for i in 0..len {
+            let s = src + i;
+            let d = dst + i;
+            self.check_byte(s, src, pkru, Access::Read)?;
+            let byte = self.data[s.raw() as usize];
+            self.check_byte(d, dst, pkru, Access::Write)?;
+            self.data[d.raw() as usize] = byte;
+        }
+        Ok(())
+    }
+
+    /// Full-content dump for divergence detection.
+    fn dump(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+fn random_pkru(rng: &mut Rng) -> Pkru {
+    match rng.range(0, 4) {
+        0 => Pkru::ALL_ACCESS,
+        1 => {
+            let k = ProtKey::new(rng.range(0, 8) as u8).unwrap();
+            Pkru::permit_only(&[k])
+        }
+        2 => {
+            let a = ProtKey::new(rng.range(0, 8) as u8).unwrap();
+            let b = ProtKey::new(rng.range(0, 8) as u8).unwrap();
+            let mut p = Pkru::permit_only(&[a, b]);
+            if rng.next().is_multiple_of(2) {
+                p.permit_read_only(ProtKey::new(rng.range(0, 8) as u8).unwrap());
+            }
+            p
+        }
+        _ => {
+            let mut p = Pkru::NO_ACCESS;
+            p.permit_read_only(ProtKey::new(rng.range(0, 8) as u8).unwrap());
+            p
+        }
+    }
+}
+
+fn random_addr(rng: &mut Rng) -> Addr {
+    match rng.range(0, 16) {
+        // Occasionally aim out of bounds or near overflow.
+        0 => Addr::new(rng.range(
+            REF_PAGES * PAGE_SIZE as u64,
+            REF_PAGES * PAGE_SIZE as u64 * 2,
+        )),
+        1 => Addr::new(u64::MAX - rng.range(0, 4096)),
+        _ => Addr::new(rng.range(0, REF_PAGES * PAGE_SIZE as u64)),
+    }
+}
+
+fn random_len(rng: &mut Rng) -> u64 {
+    match rng.range(0, 4) {
+        0 => rng.range(0, 16),                                        // tiny / zero
+        1 => rng.range(16, 256),                                      // same-page mostly
+        2 => rng.range(PAGE_SIZE as u64 - 32, PAGE_SIZE as u64 + 32), // straddling
+        _ => rng.range(1, 4 * PAGE_SIZE as u64),                      // multi-page
+    }
+}
+
+#[test]
+fn fast_path_matches_byte_at_a_time_reference() {
+    let mut rng = Rng::new(0xDA7A_9A74);
+    for case in 0..120 {
+        let mut mem = Memory::new(REF_PAGES * PAGE_SIZE as u64);
+        let mut refm = RefMem::new();
+
+        // Random layout: a handful of regions with random keys; some of
+        // the address space stays unmapped.
+        for _ in 0..rng.range(2, 6) {
+            let base = Addr::new(rng.range(0, REF_PAGES) * PAGE_SIZE as u64);
+            let pages = rng.range(1, 9);
+            let key = ProtKey::new(rng.range(0, 8) as u8).unwrap();
+            assert_eq!(
+                mem.map(base, pages, key),
+                refm.map(base, pages, key),
+                "case {case}: map divergence"
+            );
+        }
+
+        // Seed contents through the TCB view.
+        for _ in 0..4 {
+            let addr = Addr::new(rng.range(0, (REF_PAGES - 4) * PAGE_SIZE as u64));
+            let seed_len = rng.range(1, 2 * PAGE_SIZE as u64) as usize;
+            let data = rng.bytes(seed_len);
+            let a = mem.write(addr, &data, &Pkru::ALL_ACCESS);
+            let b = refm.write(addr, &data, &Pkru::ALL_ACCESS);
+            assert_eq!(a, b, "case {case}: seed write divergence");
+        }
+
+        for op in 0..48 {
+            let pkru = random_pkru(&mut rng);
+            match rng.range(0, 7) {
+                0 => {
+                    let addr = random_addr(&mut rng);
+                    let len = random_len(&mut rng) as usize;
+                    let mut got = vec![0u8; len];
+                    let mut want = vec![0u8; len];
+                    let a = mem.read(addr, &mut got, &pkru);
+                    let b = refm.read(addr, &mut want, &pkru);
+                    assert_eq!(a, b, "case {case} op {op}: read fault divergence");
+                    assert_eq!(got, want, "case {case} op {op}: read bytes divergence");
+                }
+                1 => {
+                    let addr = random_addr(&mut rng);
+                    let len = random_len(&mut rng);
+                    let a = mem.read_vec(addr, len, &pkru);
+                    let mut want = vec![0u8; len.min(1 << 20) as usize];
+                    let b = refm.read(addr, &mut want, &pkru).map(|()| want);
+                    match (a, b) {
+                        (Ok(got), Ok(want)) => {
+                            assert_eq!(got, want, "case {case} op {op}: read_vec bytes")
+                        }
+                        (Err(ea), Err(eb)) => {
+                            assert_eq!(ea, eb, "case {case} op {op}: read_vec fault")
+                        }
+                        (a, b) => panic!("case {case} op {op}: read_vec divergence {a:?} vs {b:?}"),
+                    }
+                }
+                2 => {
+                    let addr = random_addr(&mut rng);
+                    let write_len = random_len(&mut rng) as usize;
+                    let data = rng.bytes(write_len);
+                    let a = mem.write(addr, &data, &pkru);
+                    let b = refm.write(addr, &data, &pkru);
+                    assert_eq!(a, b, "case {case} op {op}: write fault divergence");
+                }
+                3 => {
+                    let addr = random_addr(&mut rng);
+                    let len = random_len(&mut rng);
+                    let byte = rng.next() as u8;
+                    let a = mem.fill(addr, len, byte, &pkru);
+                    let b = refm.fill(addr, len, byte, &pkru);
+                    assert_eq!(a, b, "case {case} op {op}: fill fault divergence");
+                }
+                4 => {
+                    // Non-overlapping copy (the production copy is
+                    // memcpy-flavoured; overlap is documented out).
+                    let len = random_len(&mut rng).min(2 * PAGE_SIZE as u64);
+                    let src = random_addr(&mut rng);
+                    let dst_raw = src
+                        .raw()
+                        .wrapping_add(len + rng.range(0, 8 * PAGE_SIZE as u64));
+                    let dst = Addr::new(dst_raw);
+                    let a = mem.copy(src, dst, len, &pkru);
+                    let b = refm.copy(src, dst, len, &pkru);
+                    assert_eq!(a, b, "case {case} op {op}: copy fault divergence");
+                }
+                5 => {
+                    let addr = random_addr(&mut rng);
+                    let cmp_len = random_len(&mut rng) as usize;
+                    let bytes = rng.bytes(cmp_len);
+                    let a = mem.compare(addr, &bytes, &pkru);
+                    let b = refm.compare(addr, &bytes, &pkru);
+                    assert_eq!(a, b, "case {case} op {op}: compare divergence");
+                }
+                _ => {
+                    // Re-key a range: the rights cache's epoch must
+                    // invalidate, so subsequent ops (above) with the same
+                    // PKRU diverge nowhere.
+                    let base = Addr::new(rng.range(0, REF_PAGES) * PAGE_SIZE as u64);
+                    let pages = rng.range(1, 6);
+                    let key = ProtKey::new(rng.range(0, 8) as u8).unwrap();
+                    let a = mem.set_key(base, pages, key);
+                    let b = refm.set_key(base, pages, key);
+                    assert_eq!(a, b, "case {case} op {op}: set_key divergence");
+                }
+            }
+        }
+
+        // Full-content equivalence at the end of the case: every partial
+        // write either implementation performed must match.
+        let dump = mem.read_vec(
+            Addr::new(0),
+            REF_PAGES * PAGE_SIZE as u64,
+            &Pkru::ALL_ACCESS,
+        );
+        match dump {
+            Ok(bytes) => assert_eq!(bytes, refm.dump(), "case {case}: final content divergence"),
+            Err(_) => {
+                // Some page never mapped: compare the mapped prefix
+                // page-by-page instead.
+                for page in 0..REF_PAGES {
+                    let base = Addr::new(page * PAGE_SIZE as u64);
+                    if let Ok(bytes) = mem.read_vec(base, PAGE_SIZE as u64, &Pkru::ALL_ACCESS) {
+                        let at = (page as usize) * PAGE_SIZE;
+                        assert_eq!(
+                            bytes,
+                            &refm.dump()[at..at + PAGE_SIZE],
+                            "case {case}: page {page} content divergence"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn clock_charges_match_the_pre_refactor_float_formula() {
+    // The integer byte-cost table replaced a per-access
+    // `advance_f64(len * mem_per_byte)`; totals must agree to the cycle,
+    // including the IEEE double-rounding corner cases at exact halves
+    // (e.g. len ≡ 5 mod 10 with mem_per_byte = 0.7).
+    let machine = Machine::new(1024 * 1024);
+    let per_byte = machine.cost().mem_per_byte;
+    let mut rng = Rng::new(0xC10C_C0DE);
+    let mut expected = 0u64;
+    let before = machine.clock().now();
+    for _ in 0..50_000 {
+        let len = match rng.range(0, 3) {
+            0 => rng.range(0, 64),
+            1 => rng.range(0, 20_000),
+            _ => rng.range(0, 100_000),
+        };
+        machine.charge_mem_bytes(len);
+        expected += (len as f64 * per_byte).round() as u64;
+    }
+    assert_eq!(machine.clock().now() - before, expected);
+
+    // And exhaustively over the whole precomputed table plus overflow
+    // region into the float fallback.
+    let table = ByteCostTable::new(per_byte);
+    for len in 0..(flexos_machine::cost::BYTE_COST_TABLE_LEN as u64 + 4096) {
+        assert_eq!(
+            table.cycles(len),
+            (len as f64 * per_byte).round() as u64,
+            "len {len}"
+        );
+    }
+    assert_eq!(per_byte, CostModel::default().mem_per_byte);
+}

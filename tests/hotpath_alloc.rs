@@ -94,6 +94,51 @@ fn resolved_mpk_light_calls_do_not_allocate() {
 }
 
 #[test]
+fn steady_state_redis_get_is_allocation_free_end_to_end() {
+    // The whole data path of ISSUE 3: client frame framing and NIC
+    // injection, lwip poll/parse/ring-push, the libc's blocking recv,
+    // RESP parse, the dict probe (rights-checked compare + value read),
+    // reply build, send, and the client's drain+ACK — all through reused
+    // buffers and pooled frames. After warm-up, a GET must not touch the
+    // host heap at all.
+    let os = SystemBuilder::new(configs::mpk2(&["lwip"], DataSharing::Dss).unwrap())
+        .app(flexos_apps::redis_component())
+        .build()
+        .unwrap();
+    let server = flexos_apps::workloads::install_redis(&os).unwrap();
+    server.preload(&[(b"key:1", b"yyy")]).unwrap();
+    let mut client =
+        flexos_net::TcpClient::connect(&os.net, 50_000, flexos_apps::redis::REDIS_PORT).unwrap();
+    let conn = server.accept().unwrap().expect("handshake queues conn");
+    let request = flexos_apps::resp::encode_request(&[b"GET", b"key:1"]);
+
+    let run_one = |client: &mut flexos_net::TcpClient| {
+        client.send(&os.net, &request).unwrap();
+        server.serve_one(conn).unwrap();
+        client.drain(&os.net).unwrap();
+        assert_eq!(client.received(), b"$3\r\nyyy\r\n", "GET must hit");
+        client.clear_received();
+    };
+    // Warm every reusable buffer, scratch Vec, and the NIC frame pool,
+    // and sweep the 64 KiB socket ring through one full wrap so all of
+    // its zero-fill-on-demand pages are materialized (each page faults
+    // in — one host allocation — the first time the ring cursor crosses
+    // it, exactly like anonymous memory faulting in on first touch).
+    for _ in 0..3000 {
+        run_one(&mut client);
+    }
+    let before = allocations();
+    for _ in 0..200 {
+        run_one(&mut client);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "steady-state Redis GET allocated on the host heap"
+    );
+}
+
+#[test]
 fn str_wrapper_resolves_without_allocating_after_first_use() {
     // The thin `&str` wrapper re-resolves through the intern table each
     // call: one hash lookup, no allocation once the name is interned.
