@@ -135,8 +135,17 @@ impl RedisServer {
         })
     }
 
-    /// One event-loop iteration on a connection: blocking-recv a request,
-    /// execute it, send the reply. Returns `false` at EOF.
+    /// One event-loop iteration on a connection: blocking-recv until at
+    /// least one full request is buffered, then **drain every buffered
+    /// request** — parse, execute, reply — before returning (real Redis
+    /// processes a client's whole input buffer per `aeMain` tick, which
+    /// is what makes `redis-benchmark -P` pipelining pay: one
+    /// yield/cron round and one recv chain serve `P` commands). Returns
+    /// `false` at EOF.
+    ///
+    /// Unpipelined clients buffer at most one request, so for them a
+    /// tick is exactly one request — the pre-pipelining behaviour,
+    /// cycle for cycle.
     ///
     /// # Errors
     ///
@@ -164,11 +173,15 @@ impl RedisServer {
             mem_accesses: 40,
         });
 
-        // Blocking read until one full RESP request is buffered. Every
-        // buffer on this loop — pending bytes, the parsed request, the
-        // staged value, the reply — is reused across requests, so a
-        // steady-state GET performs zero host allocations end to end
-        // (asserted by `tests/hotpath_alloc.rs`).
+        // Blocking read until one full RESP request is buffered, then
+        // drain the buffer: `decode_request_into` parses one request at
+        // a time out of a multi-request buffer, so the drain loop keeps
+        // consuming until the buffer is empty or a request is
+        // incomplete. Every buffer on this loop — pending bytes, the
+        // parsed request, the staged value, the reply — is reused across
+        // requests, so a steady-state GET performs zero host allocations
+        // end to end (asserted by `tests/hotpath_alloc.rs`).
+        let mut served_any = false;
         loop {
             let used = {
                 let pending = self.pending.borrow();
@@ -193,6 +206,12 @@ impl RedisServer {
                 let mut s = self.stats.get();
                 s.commands += 1;
                 self.stats.set(s);
+                served_any = true;
+                continue; // drain any further buffered requests
+            }
+            if served_any {
+                // Buffer exhausted (or holds a partial request the next
+                // tick will finish): the tick is over.
                 return Ok(true);
             }
             let mut chunk = self.rx_scratch.borrow_mut();

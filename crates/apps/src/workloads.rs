@@ -63,38 +63,115 @@ pub fn install_redis(os: &FlexOs) -> Result<Rc<RedisServer>, Fault> {
     Ok(server)
 }
 
-/// redis-benchmark-style GET loop: connects, preloads `key:0..n_keys`,
-/// then performs `warmup + measured` GETs, returning measured metrics.
+/// Parameters of the generalized redis-benchmark loop (the knobs the
+/// real tool exposes as `-r`-style keyspace size and `-P` pipelining).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedisBench {
+    /// Keys preloaded as `key:0..keyspace` before the measured loop.
+    /// Like redis-benchmark without `-r`, every GET targets the *same*
+    /// key (`key:1`), so the keyspace size changes dict occupancy (chain
+    /// lengths, simulated-memory footprint) without changing the request
+    /// stream. Must be at least 2 so `key:1` exists.
+    pub keyspace: u64,
+    /// Requests sent back-to-back per batch (`redis-benchmark -P`). The
+    /// server drains the whole batch in one event-loop tick, so depth
+    /// changes the crossings-per-request ratio exactly like iPerf's
+    /// buffer-size sweep.
+    pub pipeline: u64,
+    /// GETs performed before measurement starts.
+    pub warmup: u64,
+    /// GETs measured.
+    pub measured: u64,
+}
+
+/// redis-benchmark-style GET loop: connects, preloads 3 keys, then
+/// performs `warmup + measured` unpipelined GETs, returning measured
+/// metrics. (The Figure 6 workload; shorthand for [`run_redis_bench`]
+/// with `keyspace: 3, pipeline: 1`.)
 ///
 /// # Errors
 ///
 /// Substrate faults; protocol errors.
 pub fn run_redis_gets(os: &FlexOs, warmup: u64, measured: u64) -> Result<RunMetrics, Fault> {
+    run_redis_bench(
+        os,
+        RedisBench {
+            keyspace: 3,
+            pipeline: 1,
+            warmup,
+            measured,
+        },
+    )
+}
+
+/// The generalized redis-benchmark loop (keyspace-size and
+/// pipeline-depth axes). At `keyspace: 3, pipeline: 1` this reproduces
+/// the original Figure 6 GET loop cycle for cycle: same preloaded
+/// key/value bytes, same request stream, one request per event-loop
+/// tick.
+///
+/// A batch sends `pipeline` requests in one client write, then ticks the
+/// server until the whole batch is served; each tick drains every
+/// buffered request, so deep pipelines amortize the per-tick
+/// scheduler/cron crossings over many commands.
+///
+/// # Errors
+///
+/// Substrate faults; protocol errors.
+pub fn run_redis_bench(os: &FlexOs, bench: RedisBench) -> Result<RunMetrics, Fault> {
+    debug_assert!(bench.keyspace >= 2, "key:1 must exist");
+    debug_assert!(bench.pipeline >= 1);
     let server = install_redis(os)?;
-    server.preload(&[(b"key:0", b"xxx"), (b"key:1", b"yyy"), (b"key:2", b"zzz")])?;
+    // Values cycle x/y/z so the 3-key preload is byte-identical to the
+    // historical `key:0=xxx, key:1=yyy, key:2=zzz` fixture. (Host-side
+    // key formatting is off the measured path; counters reset below.)
+    for i in 0..bench.keyspace {
+        let key = format!("key:{i}");
+        let value = [b'x' + (i % 3) as u8; 3];
+        server.preload(&[(key.as_bytes(), &value)])?;
+    }
     let mut client = TcpClient::connect(&os.net, 50_000, REDIS_PORT)?;
     let conn = server.accept()?.ok_or_else(|| Fault::InvalidConfig {
         reason: "redis: handshake did not queue a connection".to_string(),
     })?;
 
-    let request = resp::encode_request(&[b"GET", b"key:1"]);
-    let run_one = |client: &mut TcpClient| -> Result<(), Fault> {
+    let one_request = resp::encode_request(&[b"GET", b"key:1"]);
+    let mut request = Vec::new();
+    let mut expected = Vec::new();
+    for _ in 0..bench.pipeline {
+        request.extend_from_slice(&one_request);
+        expected.extend_from_slice(b"$3\r\nyyy\r\n");
+    }
+    let run_batch = |client: &mut TcpClient| -> Result<(), Fault> {
         client.send(&os.net, &request)?;
-        server.serve_one(conn)?;
+        let target = server.stats().commands + bench.pipeline;
+        while server.stats().commands < target {
+            if !server.serve_one(conn)? {
+                return Err(Fault::InvalidConfig {
+                    reason: "redis: connection starved mid-batch".to_string(),
+                });
+            }
+        }
         client.drain(&os.net)?;
-        debug_assert_eq!(client.received(), b"$3\r\nyyy\r\n", "GET must hit");
+        debug_assert_eq!(client.received(), &expected[..], "GETs must hit");
         client.clear_received();
         Ok(())
     };
-    for _ in 0..warmup {
-        run_one(&mut client)?;
+    let batches = |ops: u64| ops.div_ceil(bench.pipeline);
+    for _ in 0..batches(bench.warmup) {
+        run_batch(&mut client)?;
     }
     os.env.reset_counters();
     let start = os.cycles();
-    for _ in 0..measured {
-        run_one(&mut client)?;
+    let measured_batches = batches(bench.measured);
+    for _ in 0..measured_batches {
+        run_batch(&mut client)?;
     }
-    Ok(metrics(os, measured, os.cycles() - start))
+    Ok(metrics(
+        os,
+        measured_batches * bench.pipeline,
+        os.cycles() - start,
+    ))
 }
 
 /// Installs an Nginx server and returns it started (welcome page written
@@ -178,6 +255,24 @@ pub fn install_iperf(os: &FlexOs) -> Result<Rc<IperfServer>, Fault> {
 ///
 /// Substrate faults.
 pub fn run_iperf(os: &FlexOs, recv_buf: u64, total_bytes: u64) -> Result<f64, Fault> {
+    // On success the stream arrived in full, so `total_bytes` is the
+    // exact byte count (`ops` is KiB, rounded).
+    let m = run_iperf_metrics(os, recv_buf, total_bytes)?;
+    Ok(os.env.machine().cost().gbps(total_bytes, m.cycles))
+}
+
+/// [`run_iperf`] reporting [`RunMetrics`] instead of Gb/s: `ops` is the
+/// KiB moved, `ops_per_sec` the KiB/s rate (the sweep engine's uniform
+/// metric shape).
+///
+/// # Errors
+///
+/// Substrate faults.
+pub fn run_iperf_metrics(
+    os: &FlexOs,
+    recv_buf: u64,
+    total_bytes: u64,
+) -> Result<RunMetrics, Fault> {
     let server = install_iperf(os)?;
     let mut client = TcpClient::connect(&os.net, 52_000, IPERF_PORT)?;
     let conn = server.accept()?.ok_or_else(|| Fault::InvalidConfig {
@@ -201,7 +296,7 @@ pub fn run_iperf(os: &FlexOs, recv_buf: u64, total_bytes: u64) -> Result<f64, Fa
     }
     let cycles = os.cycles() - start;
     debug_assert_eq!(received, total_bytes, "stream must arrive in full");
-    Ok(os.env.machine().cost().gbps(received, cycles))
+    Ok(metrics(os, received.div_ceil(1024), cycles))
 }
 
 /// Counters captured from a SQLite run, used by the Figure 10 baseline

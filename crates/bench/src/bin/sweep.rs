@@ -1,0 +1,168 @@
+//! `sweep`: parallel exploration of a named configuration space.
+//!
+//! The front end of the `flexos_sweep` engine: sweeps a space
+//! thread-per-worker, optionally re-runs it serially to *prove* the
+//! parallel results bit-identical (and to measure the speedup), runs
+//! the generalized Figure 8 star report, and prints a single JSON
+//! summary line to stdout — the payload checked in as
+//! `BENCH_sweep.json`. Star/spread details go to stderr.
+//!
+//! ```text
+//! sweep [--space full|quick|fig6-redis|fig6-nginx] [--threads N]
+//!       [--budget-frac F] [--verify] [--csv PATH]
+//! ```
+//!
+//! Environment: `SWEEP_THREADS` (worker count; also the `--threads`
+//! default), `SWEEP_WARMUP` / `SWEEP_MEASURED` (per-point operation
+//! counts — CI runs a reduced multi-threaded sweep with `--verify` and
+//! **fails on serial/parallel divergence** via the nonzero exit).
+//!
+//! Exit status: `0` on success, `2` on bad usage, `3` when `--verify`
+//! detects serial/parallel divergence.
+
+use std::time::Instant;
+
+use flexos_bench::fmt_rate;
+use flexos_sweep::{emit, engine, report, SpaceSpec};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Args {
+    space: String,
+    threads: usize,
+    budget_frac: f64,
+    verify: bool,
+    csv: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        space: "full".to_string(),
+        threads: engine::sweep_threads(),
+        budget_frac: 0.8,
+        verify: false,
+        csv: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--space" => args.space = value("--space")?,
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--budget-frac" => {
+                args.budget_frac = value("--budget-frac")?
+                    .parse()
+                    .map_err(|e| format!("bad --budget-frac: {e}"))?;
+            }
+            "--verify" => args.verify = true,
+            "--csv" => args.csv = Some(value("--csv")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            eprintln!("usage: sweep [--space NAME] [--threads N] [--budget-frac F] [--verify] [--csv PATH]");
+            std::process::exit(2);
+        }
+    };
+    let warmup = env_u64("SWEEP_WARMUP", 200);
+    let measured = env_u64("SWEEP_MEASURED", 2000);
+    let spec = match SpaceSpec::named(&args.space, warmup, measured) {
+        Some(s) => s,
+        None => {
+            eprintln!(
+                "sweep: unknown space `{}` (try full, quick, fig6-redis, fig6-nginx)",
+                args.space
+            );
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "sweeping `{}`: {} points x {} measured ops, {} worker(s)...",
+        spec.name,
+        spec.len(),
+        spec.measured,
+        args.threads
+    );
+    let t0 = Instant::now();
+    let results = engine::run_parallel(&spec, args.threads).expect("sweep runs");
+    let parallel_s = t0.elapsed().as_secs_f64();
+    eprintln!("parallel sweep: {parallel_s:.2}s");
+
+    let (serial_s, verified) = if args.verify {
+        let t0 = Instant::now();
+        let serial = engine::run_serial(&spec).expect("serial sweep runs");
+        let serial_s = t0.elapsed().as_secs_f64();
+        let identical = serial == results;
+        eprintln!(
+            "serial reference: {serial_s:.2}s; parallel results {}",
+            if identical {
+                "bit-identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+        (Some(serial_s), Some(identical))
+    } else {
+        (None, None)
+    };
+
+    let points: Vec<_> = spec.points().collect();
+    let (poset, stars) = report::star_report(&points, &results, args.budget_frac);
+    eprintln!(
+        "budget {:.0}% of per-workload best: {} survive, {} pruned, {} starred",
+        args.budget_frac * 100.0,
+        stars.surviving.len(),
+        stars.pruned(points.len()),
+        stars.stars.len()
+    );
+    for &s in stars.stars.iter().take(12) {
+        let r = &results[s];
+        eprintln!(
+            "  * {:>10}  {}",
+            fmt_rate(r.ops_per_sec),
+            poset.node(s).label
+        );
+    }
+    if stars.stars.len() > 12 {
+        eprintln!("  ... and {} more", stars.stars.len() - 12);
+    }
+
+    if let Some(path) = &args.csv {
+        std::fs::write(path, emit::csv(&points, &results)).expect("csv written");
+        eprintln!("wrote {path}");
+    }
+
+    let summary = emit::summary(
+        &spec,
+        &results,
+        emit::RunTiming {
+            threads: args.threads,
+            parallel_s,
+            serial_s,
+            verified,
+        },
+        args.budget_frac,
+        &stars,
+    );
+    println!("{}", summary.to_json());
+    if verified == Some(false) {
+        std::process::exit(3);
+    }
+}

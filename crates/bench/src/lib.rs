@@ -13,6 +13,7 @@
 //! | `fig11a` | Figure 11a: shared stack-allocation latencies |
 //! | `fig11b` | Figure 11b: gate latencies |
 //! | `table1` | Table 1: porting effort |
+//! | `sweep` | parallel exploration of a named `flexos_sweep` space |
 //!
 //! `cargo bench` covers the microbenchmarks plus allocator/gate
 //! ablations via the self-contained [`harness`] module (the build
@@ -75,15 +76,26 @@ pub fn run_fig6_point(app: &str, point: &Fig6Point) -> Result<RunMetrics, Fault>
 /// Runs the full 80-point sweep for `app`, returning throughputs aligned
 /// with `flexos_explore::fig6_space(app)`.
 ///
+/// Since the `flexos_sweep` engine landed this goes wide: the space is
+/// swept thread-per-worker (`SWEEP_THREADS` workers, defaulting to the
+/// host's parallelism). Per-point results are a pure function of the
+/// point, so the output is bit-identical to the historical serial loop
+/// — `tests/sweep_determinism.rs` pins the equivalence against
+/// [`run_fig6_point`].
+///
 /// # Errors
 ///
 /// Configuration or substrate faults.
 pub fn run_fig6_sweep(app: &str) -> Result<Vec<f64>, Fault> {
-    let space = flexos_explore::fig6_space(app);
-    space
-        .iter()
-        .map(|point| run_fig6_point(app, point).map(|m| m.ops_per_sec))
-        .collect()
+    if !matches!(app, "redis" | "nginx") {
+        return Err(Fault::InvalidConfig {
+            reason: format!("unknown fig6 app `{app}`"),
+        });
+    }
+    let (warmup, measured) = fig6_counts();
+    let spec = flexos_sweep::SpaceSpec::fig6(app, warmup, measured);
+    let results = flexos_sweep::engine::run(&spec)?;
+    Ok(results.into_iter().map(|r| r.ops_per_sec).collect())
 }
 
 /// Builds a plain FlexOS instance for microbenchmarks.

@@ -1,7 +1,6 @@
 //! The EPT backend's [`IsolationBackend`] implementation.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use flexos_core::backend::IsolationBackend;
@@ -22,11 +21,29 @@ pub struct EptBackend {
     state: Rc<RefCell<EptState>>,
 }
 
+/// Per-image EPT state, laid out for the crossing hot path the same way
+/// the gate table is: **dense vectors indexed by compartment id** and a
+/// **sorted entry-hash table per VM**, all precomputed at boot. A
+/// crossing is one `RefCell` borrow, two `Vec` index loads, and a
+/// binary search — no `HashMap`/`HashSet` SipHash work, no PKRU
+/// reconstruction, and no host allocation (pinned end to end by
+/// `tests/hotpath_alloc.rs`).
 #[derive(Debug, Default)]
 struct EptState {
-    rings: HashMap<u8, RpcRing>,
-    legal_entries: HashSet<(u8, u64)>,
-    pools: HashMap<u8, RpcServerPool>,
+    /// Ring of the callee VM, indexed by compartment id (`None` for
+    /// non-EPT compartments).
+    rings: Vec<Option<RpcRing>>,
+    /// Legal entry-point hashes per compartment, sorted for binary
+    /// search (the RPC server's function-pointer check).
+    legal_entries: Vec<Vec<u64>>,
+    /// Server pool per compartment, indexed like `rings`.
+    pools: Vec<Option<RpcServerPool>>,
+    /// `EntryId` → build-time address hash, precomputed for every
+    /// entry interned at image build.
+    entry_hashes: Vec<u64>,
+    /// The shared-domain PKRU ring traffic runs under (the RPC area is
+    /// the one region both sides map), built once at boot.
+    ring_pkru: Pkru,
 }
 
 impl EptBackend {
@@ -40,8 +57,9 @@ impl EptBackend {
         self.state
             .borrow()
             .pools
-            .get(&comp.0)
-            .map(|p| p.serviced())
+            .get(comp.0 as usize)
+            .and_then(Option::as_ref)
+            .map(RpcServerPool::serviced)
             .unwrap_or(0)
     }
 
@@ -51,8 +69,9 @@ impl EptBackend {
         self.state
             .borrow()
             .pools
-            .get(&comp.0)
-            .map(|p| p.refused())
+            .get(comp.0 as usize)
+            .and_then(Option::as_ref)
+            .map(RpcServerPool::refused)
             .unwrap_or(0)
     }
 }
@@ -83,9 +102,18 @@ impl IsolationBackend for EptBackend {
         let shared_key = ProtKey::new(SHARED_KEY_INDEX)?;
         let mut state = self.state.borrow_mut();
 
+        let compartments = env.compartment_count();
+        state.rings = vec![None; compartments];
+        state.legal_entries = vec![Vec::new(); compartments];
+        state.pools = (0..compartments).map(|_| None).collect();
+        // Ring traffic runs under a shared-domain PKRU: the RPC area is
+        // the one region both sides map. Built once here, reused on
+        // every crossing.
+        state.ring_pkru = Pkru::permit_only(&[shared_key]);
+
         // One RPC ring + server pool per VM, in shared memory mapped at the
         // same address in every compartment (§4.2 "Data Ownership").
-        for i in 0..env.compartment_count() {
+        for i in 0..compartments {
             let dom = env.domain(CompartmentId(i as u8));
             if dom.mechanism != Mechanism::VmEpt {
                 continue;
@@ -96,44 +124,47 @@ impl IsolationBackend for EptBackend {
                 shared_key,
                 RegionKind::RpcRing,
             )?;
-            state.rings.insert(i as u8, RpcRing::new(region.base()));
-            state
-                .pools
-                .insert(i as u8, RpcServerPool::new((0..2).collect()));
+            state.rings[i] = Some(RpcRing::new(region.base()));
+            state.pools[i] = Some(RpcServerPool::new((0..2).collect()));
         }
 
         // Legal entry table: every registered entry point's build-time
-        // address (hash), per compartment. The server checks against this.
+        // address (hash), per compartment, sorted so the server's check
+        // is a binary search over a dense row.
         for (id, component) in env.registry().iter() {
             let dom = env.compartment_of(id);
             for entry in &component.entry_points {
-                state.legal_entries.insert((dom.0, entry_hash(entry)));
+                state.legal_entries[dom.0 as usize].push(entry_hash(entry));
             }
+        }
+        for row in &mut state.legal_entries {
+            row.sort_unstable();
+            row.dedup();
         }
 
         // The crossing hook drives the rings on every EPT gate traversal.
         // It receives the interned `EntryId`; the build-time address hash
         // the ring carries is precomputed here, indexed by id — the hook
         // never touches the name string on the hot path.
-        let entry_hashes: Vec<u64> = (0..env.entries().built_len())
+        state.entry_hashes = (0..env.entries().built_len())
             .map(|i| entry_hash(&env.entry_name(flexos_core::entry::EntryId(i as u32))))
             .collect();
+        drop(state);
         let hook_state = Rc::clone(&self.state);
         env.set_crossing_hook(Box::new(move |env, _from, to, entry| {
-            let state = hook_state.borrow();
-            let ring = match state.rings.get(&to.0) {
-                Some(ring) => *ring,
+            // One borrow for the whole crossing; everything consulted
+            // below is a precomputed dense load (see `EptState`).
+            let mut state = hook_state.borrow_mut();
+            let ring = match state.rings.get(to.0 as usize).copied().flatten() {
+                Some(ring) => ring,
                 None => return Ok(()), // callee not EPT-isolated
             };
-            drop(state);
             let machine = env.machine();
-            // Ring traffic runs under a shared-domain PKRU: the RPC area is
-            // the one region both sides map.
-            let ring_pkru = Pkru::permit_only(&[ProtKey::new(SHARED_KEY_INDEX)?]);
+            let ring_pkru = state.ring_pkru;
             // Runtime-interned ids (beyond the precomputed table) are
             // illegal everywhere and never reach the hook; hash them
             // lazily anyway for robustness.
-            let hash = match entry_hashes.get(entry.0 as usize) {
+            let hash = match state.entry_hashes.get(entry.0 as usize) {
                 Some(&h) => h,
                 None => entry_hash(&env.entry_name(entry)),
             };
@@ -142,9 +173,10 @@ impl IsolationBackend for EptBackend {
             let req = ring
                 .pop_request(machine, &ring_pkru)?
                 .ok_or(Fault::ResourceExhausted { what: "RPC ring" })?;
-            let mut state = hook_state.borrow_mut();
-            let legal = state.legal_entries.contains(&(to.0, req.entry));
-            if let Some(pool) = state.pools.get_mut(&to.0) {
+            let legal = state.legal_entries[to.0 as usize]
+                .binary_search(&req.entry)
+                .is_ok();
+            if let Some(pool) = state.pools[to.0 as usize].as_mut() {
                 if legal {
                     pool.record_serviced();
                 } else {

@@ -22,4 +22,4 @@ pub mod space;
 
 pub use budget::{prune_and_star, StarReport};
 pub use poset::{ConfigNode, Poset};
-pub use space::{fig6_space, Fig6Point, Strategy, FIG6_COMPONENTS};
+pub use space::{fig6_config, fig6_space, Fig6Point, Strategy, FIG6_COMPONENTS};

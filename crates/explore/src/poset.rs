@@ -26,6 +26,28 @@ pub struct Poset {
 }
 
 impl Poset {
+    /// Builds a poset over arbitrary labeled nodes from a safety order
+    /// predicate: `leq(a, b)` must hold exactly when node `a` is
+    /// probabilistically at most as safe as node `b` under the §5
+    /// assumptions. The predicate is evaluated over every ordered pair
+    /// and materialized into the dense relation matrix; callers are
+    /// responsible for it actually being a partial order
+    /// ([`Poset::check_axioms`] verifies).
+    ///
+    /// This is the generalized entry point the sweep engine uses to
+    /// order spaces that vary isolation mechanism and workload axes
+    /// beyond the fixed Figure 6 shape.
+    pub fn new(nodes: Vec<ConfigNode>, leq_fn: impl Fn(usize, usize) -> bool) -> Poset {
+        let n = nodes.len();
+        let mut leq = vec![vec![false; n]; n];
+        for (a, row) in leq.iter_mut().enumerate() {
+            for (b, slot) in row.iter_mut().enumerate() {
+                *slot = leq_fn(a, b);
+            }
+        }
+        Poset { nodes, leq }
+    }
+
     /// Builds the poset over the Figure 6 space with measured
     /// `performance[i]` per point.
     ///
@@ -43,14 +65,7 @@ impl Poset {
                 performance: performance[i],
             })
             .collect();
-        let n = points.len();
-        let mut leq = vec![vec![false; n]; n];
-        for a in 0..n {
-            for b in 0..n {
-                leq[a][b] = fig6_leq(&points[a], &points[b]);
-            }
-        }
-        Poset { nodes, leq }
+        Poset::new(nodes, |a, b| fig6_leq(&points[a], &points[b]))
     }
 
     /// Number of configurations.

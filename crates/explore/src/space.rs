@@ -126,39 +126,53 @@ impl Fig6Point {
     }
 }
 
+/// Builds the configuration for one point of the (generalized) Figure 6
+/// space: `strategy`'s partition over DSS-shared compartments guarded by
+/// `mechanism`, with hardening mask `mask` over [`FIG6_COMPONENTS`]
+/// (the application row resolving to `app`). Single-compartment
+/// strategies always build [`Mechanism::None`] — an unsplit image has
+/// no boundary for a mechanism to guard.
+///
+/// This is the one copy of the Figure 6 construction rules; both
+/// [`fig6_space`] (with [`Mechanism::IntelMpk`]) and the `flexos_sweep`
+/// space generator call it.
+pub fn fig6_config(app: &str, strategy: Strategy, mechanism: Mechanism, mask: u8) -> SafetyConfig {
+    let mut builder = SafetyConfig::builder().data_sharing(DataSharing::Dss);
+    for c in 0..strategy.compartments() {
+        let mut spec = CompartmentSpec::new(
+            format!("comp{}", c + 1),
+            if strategy.compartments() == 1 {
+                Mechanism::None
+            } else {
+                mechanism
+            },
+        );
+        if c == 0 {
+            spec = spec.default_compartment();
+        }
+        builder = builder.compartment(spec);
+    }
+    for (component, comp_idx) in strategy.partition(app) {
+        if comp_idx > 0 {
+            builder = builder.place(&component, &format!("comp{}", comp_idx + 1));
+        }
+    }
+    for (i, row) in FIG6_COMPONENTS.iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            let name = if *row == "app" { app } else { row };
+            builder = builder.harden_component(name, Hardening::FIG6_BUNDLE);
+        }
+    }
+    builder.build().expect("generated config is valid")
+}
+
 /// Generates the 80-configuration Figure 6 space for application `app`
 /// ("redis" or "nginx"): 5 strategies × 2⁴ hardening masks, MPK + DSS.
 pub fn fig6_space(app: &str) -> Vec<Fig6Point> {
     let mut out = Vec::with_capacity(80);
     for strategy in Strategy::ALL {
         for mask in 0u8..16 {
-            let mut builder = SafetyConfig::builder().data_sharing(DataSharing::Dss);
-            for c in 0..strategy.compartments() {
-                let mut spec = CompartmentSpec::new(
-                    format!("comp{}", c + 1),
-                    if strategy.compartments() == 1 {
-                        Mechanism::None
-                    } else {
-                        Mechanism::IntelMpk
-                    },
-                );
-                if c == 0 {
-                    spec = spec.default_compartment();
-                }
-                builder = builder.compartment(spec);
-            }
-            for (component, comp_idx) in strategy.partition(app) {
-                if comp_idx > 0 {
-                    builder = builder.place(&component, &format!("comp{}", comp_idx + 1));
-                }
-            }
-            for (i, row) in FIG6_COMPONENTS.iter().enumerate() {
-                if mask & (1 << i) != 0 {
-                    let name = if *row == "app" { app } else { row };
-                    builder = builder.harden_component(name, Hardening::FIG6_BUNDLE);
-                }
-            }
-            let config = builder.build().expect("generated config is valid");
+            let config = fig6_config(app, strategy, Mechanism::IntelMpk, mask);
             let dots: String = (0..4)
                 .map(|i| if mask & (1 << i) != 0 { '•' } else { '◦' })
                 .collect();

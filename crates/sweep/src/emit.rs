@@ -1,0 +1,227 @@
+//! Result emission: the `BENCH_sweep.json` summary line and CSV point
+//! dumps (no serde in the build environment — plain formatting, like
+//! the other `BENCH_*.json` emitters).
+
+use flexos_explore::StarReport;
+
+use crate::engine::PointResult;
+use crate::space::{SpaceSpec, SweepPoint};
+
+/// Renders the sweep as CSV, one row per point (header included):
+/// `index,app,workload,mechanism,strategy,compartments,hardening_mask,ops,cycles,ops_per_sec`.
+///
+/// # Panics
+///
+/// Panics if `results.len() != points.len()`.
+pub fn csv(points: &[SweepPoint], results: &[PointResult]) -> String {
+    assert_eq!(points.len(), results.len(), "one result per point");
+    let mut out = String::from(
+        "index,app,workload,mechanism,strategy,compartments,hardening_mask,ops,cycles,ops_per_sec\n",
+    );
+    for (p, r) in points.iter().zip(results) {
+        out.push_str(&format!(
+            "{},{},{},{:?},{:?},{},{},{},{},{:.1}\n",
+            p.index,
+            p.workload.app(),
+            p.workload.label(),
+            p.mechanism,
+            p.strategy,
+            p.strategy.compartments(),
+            p.hardening_mask,
+            r.ops,
+            r.cycles,
+            r.ops_per_sec,
+        ));
+    }
+    out
+}
+
+/// The `BENCH_sweep.json` payload: what ran, how it was parallelized,
+/// and whether the parallel run reproduced the serial one.
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// Space name.
+    pub space: String,
+    /// Points swept.
+    pub points: usize,
+    /// Worker threads used for the parallel run.
+    pub threads: usize,
+    /// Host cores visible to the process.
+    pub cores: usize,
+    /// Per-point warmup operations.
+    pub warmup: u64,
+    /// Per-point measured operations.
+    pub measured: u64,
+    /// Wall-clock seconds of the serial reference run (when taken).
+    pub serial_s: Option<f64>,
+    /// Wall-clock seconds of the parallel run.
+    pub parallel_s: f64,
+    /// `Some(true)` when a serial reference run was bit-identical to
+    /// the parallel run; `Some(false)` on divergence; `None` when no
+    /// reference was taken.
+    pub verified: Option<bool>,
+    /// Total virtual cycles across all points (a whole-space
+    /// determinism digest: any per-point divergence moves it).
+    pub total_cycles: u64,
+    /// Fractional performance budget applied for the star report.
+    pub budget_frac: f64,
+    /// Configurations surviving the budget.
+    pub surviving: usize,
+    /// Starred (maximal surviving) configurations.
+    pub stars: usize,
+}
+
+impl SweepSummary {
+    /// Serial-over-parallel wall-clock speedup (when a serial reference
+    /// was taken).
+    pub fn speedup(&self) -> Option<f64> {
+        self.serial_s
+            .filter(|_| self.parallel_s > 0.0)
+            .map(|s| s / self.parallel_s)
+    }
+
+    /// The single-line JSON rendering.
+    pub fn to_json(&self) -> String {
+        let fmt_opt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.3}"),
+            None => "null".to_string(),
+        };
+        let verified = match self.verified {
+            Some(true) => "true",
+            Some(false) => "false",
+            None => "null",
+        };
+        format!(
+            concat!(
+                "{{\"bench\":\"sweep\",\"space\":\"{}\",\"points\":{},",
+                "\"threads\":{},\"cores\":{},\"warmup\":{},\"measured\":{},",
+                "\"serial_s\":{},\"parallel_s\":{:.3},\"speedup\":{},",
+                "\"verified\":{},\"total_cycles\":{},",
+                "\"budget_frac\":{},\"surviving\":{},\"stars\":{}}}"
+            ),
+            self.space,
+            self.points,
+            self.threads,
+            self.cores,
+            self.warmup,
+            self.measured,
+            fmt_opt(self.serial_s),
+            self.parallel_s,
+            fmt_opt(self.speedup()),
+            verified,
+            self.total_cycles,
+            self.budget_frac,
+            self.surviving,
+            self.stars,
+        )
+    }
+}
+
+/// Sums the virtual cycles of a result set (the determinism digest).
+pub fn total_cycles(results: &[PointResult]) -> u64 {
+    results.iter().map(|r| r.cycles).sum()
+}
+
+/// How a sweep was executed, wall-clock-wise (input to [`summary`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RunTiming {
+    /// Worker threads used for the parallel run.
+    pub threads: usize,
+    /// Wall-clock seconds of the parallel run.
+    pub parallel_s: f64,
+    /// Wall-clock seconds of the serial reference run, when taken.
+    pub serial_s: Option<f64>,
+    /// Whether the serial reference matched bit-for-bit (when taken).
+    pub verified: Option<bool>,
+}
+
+/// Convenience: emission inputs assembled from a finished run.
+///
+/// # Panics
+///
+/// Panics if `results.len() != spec.len()`.
+pub fn summary(
+    spec: &SpaceSpec,
+    results: &[PointResult],
+    timing: RunTiming,
+    budget_frac: f64,
+    report: &StarReport,
+) -> SweepSummary {
+    assert_eq!(results.len(), spec.len(), "one result per point");
+    SweepSummary {
+        space: spec.name.clone(),
+        points: results.len(),
+        threads: timing.threads,
+        cores: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        warmup: spec.warmup,
+        measured: spec.measured,
+        serial_s: timing.serial_s,
+        parallel_s: timing.parallel_s,
+        verified: timing.verified,
+        total_cycles: total_cycles(results),
+        budget_frac,
+        surviving: report.surviving.len(),
+        stars: report.stars.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_results(n: usize) -> Vec<PointResult> {
+        (0..n)
+            .map(|i| PointResult {
+                index: i,
+                label: format!("p{i}"),
+                ops: 10,
+                cycles: 100 + i as u64,
+                ops_per_sec: 1000.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_point() {
+        let spec = SpaceSpec::quick(1, 4);
+        let points: Vec<_> = spec.points().collect();
+        let results = fake_results(points.len());
+        let out = csv(&points, &results);
+        assert_eq!(out.lines().count(), points.len() + 1);
+        assert!(out.starts_with("index,app,workload"));
+    }
+
+    #[test]
+    fn json_summary_is_well_formed() {
+        let s = SweepSummary {
+            space: "quick".into(),
+            points: 72,
+            threads: 4,
+            cores: 4,
+            warmup: 50,
+            measured: 500,
+            serial_s: Some(8.0),
+            parallel_s: 2.0,
+            verified: Some(true),
+            total_cycles: 123456,
+            budget_frac: 0.8,
+            surviving: 30,
+            stars: 5,
+        };
+        let json = s.to_json();
+        assert_eq!(s.speedup(), Some(4.0));
+        assert!(json.contains("\"speedup\":4.000"));
+        assert!(json.contains("\"verified\":true"));
+        assert!(json.contains("\"total_cycles\":123456"));
+        // Balanced braces, single line.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn digest_sums_cycles() {
+        assert_eq!(total_cycles(&fake_results(3)), 100 + 101 + 102);
+    }
+}

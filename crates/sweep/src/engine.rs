@@ -1,0 +1,214 @@
+//! The thread-per-worker sweep executor.
+//!
+//! Every point of a [`SpaceSpec`] is an independent experiment: build
+//! an image for the point's configuration, drive its workload, read
+//! the virtual clock. The simulation is single-threaded by design
+//! (`Rc`-based machine state), so parallelism comes from **instances,
+//! not sharing**: each worker thread mints points from the shared spec
+//! and builds a private [`Machine`](flexos_machine::Machine) per point.
+//! No simulation state ever crosses a thread boundary — only the
+//! [`PointResult`]s — which is what makes the parallel sweep
+//! *deterministic*: a point's virtual-cycle outcome is a pure function
+//! of the point, so worker count and scheduling order cannot perturb
+//! it. `tests/sweep_determinism.rs` holds the engine to that claim.
+//!
+//! Workers self-schedule from an atomic cursor (dynamic load balancing:
+//! EPT points cost several times an MPK point host-side), and write
+//! results into per-point slots, so output order is always enumeration
+//! order regardless of completion order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use flexos_apps::workloads::{
+    run_iperf_metrics, run_nginx_gets, run_redis_bench, RedisBench, RunMetrics,
+};
+use flexos_machine::fault::Fault;
+use flexos_system::SystemBuilder;
+
+use crate::space::{SpaceSpec, Workload};
+
+/// Measured outcome of one sweep point. `ops`/`cycles` are virtual
+/// (simulated) quantities and the payload of the determinism guarantee;
+/// `ops_per_sec` is derived from them at the machine's calibrated
+/// clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointResult {
+    /// Point index within the spec's enumeration.
+    pub index: usize,
+    /// The point's label (copied so reports need no spec access).
+    pub label: String,
+    /// Operations measured (requests; KiB for iPerf).
+    pub ops: u64,
+    /// Virtual cycles consumed by the measured phase.
+    pub cycles: u64,
+    /// Operations per second at the calibrated clock (KiB/s for iPerf).
+    pub ops_per_sec: f64,
+}
+
+impl PointResult {
+    fn new(index: usize, label: String, m: RunMetrics) -> PointResult {
+        PointResult {
+            index,
+            label,
+            ops: m.ops,
+            cycles: m.cycles,
+            ops_per_sec: m.ops_per_sec,
+        }
+    }
+}
+
+/// Worker count for [`run`]: the `SWEEP_THREADS` environment variable,
+/// defaulting to the host's available parallelism.
+pub fn sweep_threads() -> usize {
+    std::env::var("SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Builds and measures one point of `spec`.
+///
+/// # Errors
+///
+/// Configuration or substrate faults.
+pub fn run_point(spec: &SpaceSpec, index: usize) -> Result<PointResult, Fault> {
+    let point = spec.point(index);
+    let component = match point.workload {
+        Workload::RedisGet { .. } => flexos_apps::redis_component(),
+        Workload::NginxGet => flexos_apps::nginx_component(),
+        Workload::IperfStream { .. } => flexos_apps::iperf_component(),
+    };
+    let os = SystemBuilder::new(point.config.clone())
+        .app(component)
+        .build()?;
+    let m = match point.workload {
+        Workload::RedisGet { keyspace, pipeline } => run_redis_bench(
+            &os,
+            RedisBench {
+                keyspace: u64::from(keyspace),
+                pipeline: u64::from(pipeline),
+                warmup: spec.warmup,
+                measured: spec.measured,
+            },
+        )?,
+        Workload::NginxGet => run_nginx_gets(&os, spec.warmup, spec.measured)?,
+        // iPerf warms itself with one fixed 1 KiB chunk; `measured` is
+        // the KiB streamed.
+        Workload::IperfStream { recv_buf } => {
+            run_iperf_metrics(&os, u64::from(recv_buf), spec.measured * 1024)?
+        }
+    };
+    Ok(PointResult::new(index, point.label, m))
+}
+
+/// Runs every point of `spec` on the calling thread, in enumeration
+/// order.
+///
+/// # Errors
+///
+/// The first point fault encountered.
+pub fn run_serial(spec: &SpaceSpec) -> Result<Vec<PointResult>, Fault> {
+    (0..spec.len()).map(|i| run_point(spec, i)).collect()
+}
+
+/// Runs every point of `spec` over `threads` worker threads. Results
+/// are returned in enumeration order and are bit-identical to
+/// [`run_serial`] of the same spec, at any worker count.
+///
+/// # Errors
+///
+/// The first (by point index) fault encountered; remaining points are
+/// still executed.
+///
+/// # Panics
+///
+/// Panics if a worker thread itself panicked (a point's simulation
+/// invariant failed).
+pub fn run_parallel(spec: &SpaceSpec, threads: usize) -> Result<Vec<PointResult>, Fault> {
+    let n = spec.len();
+    if threads <= 1 || n <= 1 {
+        return run_serial(spec);
+    }
+    let threads = threads.min(n);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<PointResult, Fault>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = run_point(spec, i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index below the cursor was executed")
+        })
+        .collect()
+}
+
+/// [`run_parallel`] with [`sweep_threads`] workers.
+///
+/// # Errors
+///
+/// See [`run_parallel`].
+pub fn run(spec: &SpaceSpec) -> Result<Vec<PointResult>, Fault> {
+    run_parallel(spec, sweep_threads())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SpaceSpec;
+
+    fn tiny() -> SpaceSpec {
+        let mut spec = SpaceSpec::quick(4, 16);
+        // 2 workloads x (1 + 2x2 combos) x 1 mask = 10 points: enough
+        // shape for an engine test, small enough for the unit suite.
+        spec.workloads.truncate(2);
+        spec.strategies.truncate(3);
+        spec.hardening_masks = vec![0b0001];
+        spec
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_on_a_tiny_space() {
+        let spec = tiny();
+        let serial = run_serial(&spec).unwrap();
+        let parallel = run_parallel(&spec, 4).unwrap();
+        assert_eq!(serial.len(), spec.len());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn results_are_in_enumeration_order_and_nonzero() {
+        let spec = tiny();
+        let results = run_parallel(&spec, 3).unwrap();
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert!(r.cycles > 0);
+            assert!(r.ops > 0);
+            assert!(r.ops_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn thread_knob_parses_and_clamps() {
+        // No env manipulation (tests run threaded); just the default.
+        assert!(sweep_threads() >= 1);
+    }
+}

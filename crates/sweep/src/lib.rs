@@ -1,0 +1,44 @@
+//! # flexos-sweep — the parallel configuration-exploration engine
+//!
+//! FlexOS's central bet (§5) is that isolation flexibility only pays
+//! off if the enormous configuration space can be explored
+//! *automatically*. The Figure 6 harness explored a fixed, hand-rolled
+//! 80-point slice of it, one configuration at a time. This crate turns
+//! exploration into a subsystem of its own:
+//!
+//! * [`SpaceSpec`] — a declarative configuration space: isolation
+//!   mechanism × compartmentalization strategy × per-component
+//!   hardening × application × workload parameters (keyspace size,
+//!   RESP pipeline depth, iPerf receive-buffer size). Named spaces
+//!   scale from the original Figure 6 sweep ([`SpaceSpec::fig6`], 80
+//!   points, bit-compatible with the historical results) to the full
+//!   product space ([`SpaceSpec::full`], 1440 points).
+//! * [`engine`] — a thread-per-worker executor. Every point is an
+//!   independent simulation (each worker builds its own `Rc`-based
+//!   [`Machine`](flexos_machine::Machine) per point), so the sweep
+//!   parallelizes embarrassingly **and deterministically**: the
+//!   virtual-cycle results of a parallel run are bit-identical to a
+//!   serial run of the same spec, at any worker count
+//!   (`tests/sweep_determinism.rs` pins this).
+//! * [`report`] — the §5 partial safety ordering generalized beyond
+//!   Figure 6's fixed shape: points are comparable when they share a
+//!   workload and dominate each other in partition refinement,
+//!   hardening, *and* mechanism strength; budget pruning and Figure
+//!   8-style stars then run over the whole space.
+//! * [`emit`] — JSON summaries (the checked-in `BENCH_sweep.json`) and
+//!   CSV point dumps for downstream plotting.
+//!
+//! The `sweep` binary in `flexos_bench` drives all of this from the
+//! command line; `SWEEP_THREADS`, `SWEEP_WARMUP`, and `SWEEP_MEASURED`
+//! tune worker count and per-point traffic (CI runs a reduced,
+//! multi-threaded sweep and fails on serial/parallel divergence).
+
+pub mod emit;
+pub mod engine;
+pub mod report;
+pub mod space;
+
+pub use emit::{csv, SweepSummary};
+pub use engine::{run_parallel, run_point, run_serial, sweep_threads, PointResult};
+pub use report::{mechanism_rank, star_report, sweep_leq, sweep_poset};
+pub use space::{SpaceSpec, SweepPoint, Workload};

@@ -1,0 +1,209 @@
+//! The §5 partial safety ordering, generalized to the sweep space.
+//!
+//! Figure 6's order compared two dimensions (partition refinement and
+//! per-component hardening) because mechanism and data sharing were
+//! pinned across that space. The sweep space un-pins the mechanism, so
+//! the order gains §5's assumption 4 — *the strength of the isolation
+//! mechanism* — and a scoping rule: points are only comparable when
+//! they drive the **same workload** (safety statements about a Redis
+//! image say nothing about an iPerf image; normalized performance is
+//! not transferable either, which Figure 7's off-diagonal scatter is
+//! all about).
+//!
+//! Budgets over a heterogeneous space are expressed as a *fraction of
+//! the workload's best configuration* (requests/s and KiB/s do not
+//! share a scale), after which pruning and star extraction are the
+//! stock `flexos_explore` machinery over the generalized poset.
+
+use std::collections::HashMap;
+
+use flexos_core::compartment::Mechanism;
+use flexos_explore::{prune_and_star, ConfigNode, Poset, StarReport};
+
+use crate::engine::PointResult;
+use crate::space::{SweepPoint, Workload};
+
+/// Total strength order over isolation mechanisms (§5 assumption 4),
+/// stronger = larger. The modeling choices: Cubicle's trap-based MPK
+/// beats nothing-at-all but not inline MPK gates' W^X guarantees; page
+/// tables (separate address spaces) beat intra-address-space keys; EPT
+/// (separate address spaces *and* separate EPT roots per VM) tops the
+/// scale.
+pub fn mechanism_rank(m: Mechanism) -> u8 {
+    match m {
+        Mechanism::None => 0,
+        Mechanism::CubicleOs => 1,
+        Mechanism::IntelMpk => 2,
+        Mechanism::PageTable => 3,
+        Mechanism::VmEpt => 4,
+        _ => 0,
+    }
+}
+
+/// The generalized safety order: `a ≤ b` (a at most as safe as b) iff
+/// the points share a workload and `b` dominates `a` in partition
+/// refinement, per-component hardening, and mechanism strength.
+pub fn sweep_leq(a: &SweepPoint, b: &SweepPoint) -> bool {
+    a.workload == b.workload
+        && a.strategy.refined_by(&b.strategy)
+        && a.hardened_subset_of(b)
+        && mechanism_rank(a.mechanism) <= mechanism_rank(b.mechanism)
+}
+
+/// Builds the poset over measured sweep points. Node performance is
+/// the point's metric normalized to its workload group's maximum, so a
+/// single fractional budget applies across heterogeneous workloads.
+///
+/// # Panics
+///
+/// Panics if `results.len() != points.len()`.
+pub fn sweep_poset(points: &[SweepPoint], results: &[PointResult]) -> Poset {
+    assert_eq!(points.len(), results.len(), "one result per point");
+    let mut group_max: HashMap<Workload, f64> = HashMap::new();
+    for (p, r) in points.iter().zip(results) {
+        let best = group_max.entry(p.workload).or_insert(f64::MIN);
+        *best = best.max(r.ops_per_sec);
+    }
+    let nodes = points
+        .iter()
+        .zip(results)
+        .enumerate()
+        .map(|(i, (p, r))| ConfigNode {
+            index: i,
+            label: p.label.clone(),
+            performance: r.ops_per_sec / group_max[&p.workload],
+        })
+        .collect();
+    Poset::new(nodes, |a, b| sweep_leq(&points[a], &points[b]))
+}
+
+/// Prunes the measured space under `budget_frac` (a fraction of each
+/// workload's best configuration, e.g. `0.8`) and stars the safest
+/// survivors — the Figure 8 star report over the generalized space.
+///
+/// # Panics
+///
+/// Panics if `results.len() != points.len()`.
+pub fn star_report(
+    points: &[SweepPoint],
+    results: &[PointResult],
+    budget_frac: f64,
+) -> (Poset, StarReport) {
+    let poset = sweep_poset(points, results);
+    let report = prune_and_star(&poset, budget_frac);
+    (poset, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{SpaceSpec, Workload};
+    use flexos_explore::Strategy;
+
+    fn points_of(spec: &SpaceSpec) -> Vec<SweepPoint> {
+        spec.points().collect()
+    }
+
+    /// Deterministic synthetic results: performance falls with
+    /// compartments, hardening, and mechanism strength — a monotone
+    /// labeling that makes star extraction predictable.
+    fn synthetic_results(points: &[SweepPoint]) -> Vec<PointResult> {
+        points
+            .iter()
+            .map(|p| {
+                let penalty = 0.08 * (p.strategy.compartments() as f64 - 1.0)
+                    + 0.05 * f64::from(p.hardening_mask.count_ones())
+                    + 0.10 * f64::from(mechanism_rank(p.mechanism));
+                let ops_per_sec = 1_000_000.0 * (1.0 - penalty / 2.0);
+                PointResult {
+                    index: p.index,
+                    label: p.label.clone(),
+                    ops: 100,
+                    cycles: 1000,
+                    ops_per_sec,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn order_axioms_hold_on_the_quick_space() {
+        let spec = SpaceSpec::quick(1, 4);
+        let points = points_of(&spec);
+        let results = synthetic_results(&points);
+        let poset = sweep_poset(&points, &results);
+        poset.check_axioms().unwrap();
+    }
+
+    #[test]
+    fn workloads_are_never_comparable() {
+        let spec = SpaceSpec::quick(1, 4);
+        let points = points_of(&spec);
+        for a in &points {
+            for b in &points {
+                if a.workload != b.workload {
+                    assert!(!sweep_leq(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ept_dominates_mpk_at_equal_shape() {
+        let spec = SpaceSpec::quick(1, 4);
+        let points = points_of(&spec);
+        let mpk = points
+            .iter()
+            .find(|p| {
+                p.mechanism == Mechanism::IntelMpk
+                    && p.strategy == Strategy::ThreeWay
+                    && p.hardening_mask == 0
+            })
+            .unwrap();
+        let ept = points
+            .iter()
+            .find(|p| {
+                p.mechanism == Mechanism::VmEpt
+                    && p.strategy == Strategy::ThreeWay
+                    && p.hardening_mask == 0
+                    && p.workload == mpk.workload
+            })
+            .unwrap();
+        assert!(sweep_leq(mpk, ept));
+        assert!(!sweep_leq(ept, mpk));
+    }
+
+    #[test]
+    fn stars_meet_the_fractional_budget_and_are_maximal() {
+        let spec = SpaceSpec::quick(1, 4);
+        let points = points_of(&spec);
+        let results = synthetic_results(&points);
+        let (poset, report) = star_report(&points, &results, 0.8);
+        assert!(!report.stars.is_empty());
+        assert!(report.pruned(points.len()) > 0, "budget must bite");
+        for &s in &report.stars {
+            assert!(poset.node(s).performance >= 0.8);
+            for &o in &report.surviving {
+                assert!(!poset.lt(s, o), "star {s} dominated by survivor {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_workload_normalization_tops_out_at_one() {
+        let spec = SpaceSpec::quick(1, 4);
+        let points = points_of(&spec);
+        let results = synthetic_results(&points);
+        let poset = sweep_poset(&points, &results);
+        for w in [
+            Workload::NginxGet,
+            Workload::IperfStream { recv_buf: 16384 },
+        ] {
+            let best = (0..points.len())
+                .filter(|&i| points[i].workload == w)
+                .map(|i| poset.node(i).performance)
+                .fold(f64::MIN, f64::max);
+            assert!((best - 1.0).abs() < 1e-12);
+        }
+    }
+}

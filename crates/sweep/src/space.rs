@@ -1,0 +1,343 @@
+//! The generalized configuration space.
+//!
+//! Figure 6 varied two axes (compartmentalization strategy ×
+//! per-component hardening) with everything else pinned. A
+//! [`SpaceSpec`] opens the rest: the isolation mechanism behind the
+//! compartment boundaries (MPK gates vs EPT RPC rings vs none), the
+//! application, and the workload's own parameters — the axes OSmosis
+//! models as first-class dimensions of the isolation design space and
+//! XOS exposes per application. The old 80-point sweep is the named
+//! [`SpaceSpec::fig6`] subset; [`SpaceSpec::full`] is the 1440-point
+//! product the parallel engine exists for.
+//!
+//! Points are *generated on demand* ([`SpaceSpec::point`]): a spec is a
+//! few vectors of axis values, never a materialized list of thousands
+//! of configs, so worker threads can mint their own points from a
+//! shared `&SpaceSpec` without cloning configuration trees around.
+
+use flexos_core::compartment::Mechanism;
+use flexos_core::config::SafetyConfig;
+use flexos_explore::Strategy;
+
+/// One application workload, with its sweepable parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// redis-benchmark GET loop: `keyspace` preloaded keys, `pipeline`
+    /// requests per batch (`-P`).
+    RedisGet {
+        /// Keys preloaded before the measured loop.
+        keyspace: u32,
+        /// Requests per pipelined batch.
+        pipeline: u32,
+    },
+    /// wrk-style keep-alive GETs of the 612-byte welcome page.
+    NginxGet,
+    /// iPerf stream drained with `recv_buf`-byte buffers.
+    IperfStream {
+        /// Server receive-buffer size in bytes.
+        recv_buf: u32,
+    },
+}
+
+impl Workload {
+    /// The application component this workload drives.
+    pub fn app(&self) -> &'static str {
+        match self {
+            Workload::RedisGet { .. } => "redis",
+            Workload::NginxGet => "nginx",
+            Workload::IperfStream { .. } => "iperf",
+        }
+    }
+
+    /// Short label fragment (`redis k3 P1`, `nginx`, `iperf b16384`).
+    pub fn label(&self) -> String {
+        match self {
+            Workload::RedisGet { keyspace, pipeline } => {
+                format!("redis k{keyspace} P{pipeline}")
+            }
+            Workload::NginxGet => "nginx".to_string(),
+            Workload::IperfStream { recv_buf } => format!("iperf b{recv_buf}"),
+        }
+    }
+}
+
+/// A declarative configuration space: the cartesian product of its axis
+/// vectors, minus the mechanism axis collapsing for single-compartment
+/// strategies (an unsplit image has no boundary for a mechanism to
+/// guard, exactly like the Figure 6 generator's `Mechanism::None`
+/// special case — emitting one point per mechanism there would create
+/// indistinguishable duplicates and break the poset's antisymmetry).
+///
+/// Enumeration order is workload-major, then strategy, then mechanism,
+/// then hardening mask — chosen so [`SpaceSpec::fig6`] enumerates its
+/// 80 points in exactly the historical `fig6_space` order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceSpec {
+    /// Space name (reports, `BENCH_sweep.json`).
+    pub name: String,
+    /// Workload axis (also fixes the application per point).
+    pub workloads: Vec<Workload>,
+    /// Isolation mechanism guarding compartment boundaries.
+    pub mechanisms: Vec<Mechanism>,
+    /// Compartmentalization strategies (Figure 8's A..E shapes).
+    pub strategies: Vec<Strategy>,
+    /// Per-component hardening masks over
+    /// [`flexos_explore::FIG6_COMPONENTS`].
+    pub hardening_masks: Vec<u8>,
+    /// Operations (requests / KiB) driven before measurement, per point.
+    pub warmup: u64,
+    /// Operations measured, per point.
+    pub measured: u64,
+}
+
+/// One generated point of a [`SpaceSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Index within the spec's enumeration.
+    pub index: usize,
+    /// The workload driven against the built image.
+    pub workload: Workload,
+    /// Compartmentalization strategy.
+    pub strategy: Strategy,
+    /// *Effective* mechanism: the axis value, or [`Mechanism::None`]
+    /// for single-compartment strategies (no boundary to guard).
+    pub mechanism: Mechanism,
+    /// Bit `i` hardens `FIG6_COMPONENTS[i]` with the Figure 6 bundle.
+    pub hardening_mask: u8,
+    /// The buildable configuration.
+    pub config: SafetyConfig,
+    /// Human-readable label.
+    pub label: String,
+}
+
+impl SweepPoint {
+    /// Per-component hardening set for safety-order comparison.
+    pub fn hardened_subset_of(&self, other: &SweepPoint) -> bool {
+        self.hardening_mask & other.hardening_mask == self.hardening_mask
+    }
+}
+
+impl SpaceSpec {
+    /// The original Figure 6 space for `app` ("redis" or "nginx"):
+    /// MPK + DSS, 5 strategies × 16 hardening masks = 80 points, in the
+    /// historical order, driving the historical workload (3-key
+    /// keyspace, no pipelining / plain nginx GETs).
+    pub fn fig6(app: &str, warmup: u64, measured: u64) -> SpaceSpec {
+        SpaceSpec {
+            name: format!("fig6-{app}"),
+            workloads: vec![match app {
+                "nginx" => Workload::NginxGet,
+                _ => Workload::RedisGet {
+                    keyspace: 3,
+                    pipeline: 1,
+                },
+            }],
+            mechanisms: vec![Mechanism::IntelMpk],
+            strategies: Strategy::ALL.to_vec(),
+            hardening_masks: (0u8..16).collect(),
+            warmup,
+            measured,
+        }
+    }
+
+    /// The full product space: 10 workloads (redis keyspace × pipeline,
+    /// nginx, three iPerf buffer sizes) × {MPK, EPT} × 5 strategies ×
+    /// 16 hardening masks = 1440 points (the mechanism axis collapses
+    /// for the single-compartment strategy).
+    pub fn full(warmup: u64, measured: u64) -> SpaceSpec {
+        let mut workloads = Vec::new();
+        for keyspace in [3u32, 1024] {
+            for pipeline in [1u32, 4, 16] {
+                workloads.push(Workload::RedisGet { keyspace, pipeline });
+            }
+        }
+        workloads.push(Workload::NginxGet);
+        for recv_buf in [4096u32, 16384, 65536] {
+            workloads.push(Workload::IperfStream { recv_buf });
+        }
+        SpaceSpec {
+            name: "full".to_string(),
+            workloads,
+            mechanisms: vec![Mechanism::IntelMpk, Mechanism::VmEpt],
+            strategies: Strategy::ALL.to_vec(),
+            hardening_masks: (0u8..16).collect(),
+            warmup,
+            measured,
+        }
+    }
+
+    /// A small space for CI and determinism tests: 4 workloads ×
+    /// {MPK, EPT} × 5 strategies × 2 masks = 72 points.
+    pub fn quick(warmup: u64, measured: u64) -> SpaceSpec {
+        SpaceSpec {
+            name: "quick".to_string(),
+            workloads: vec![
+                Workload::RedisGet {
+                    keyspace: 3,
+                    pipeline: 1,
+                },
+                Workload::RedisGet {
+                    keyspace: 64,
+                    pipeline: 8,
+                },
+                Workload::NginxGet,
+                Workload::IperfStream { recv_buf: 16384 },
+            ],
+            mechanisms: vec![Mechanism::IntelMpk, Mechanism::VmEpt],
+            strategies: Strategy::ALL.to_vec(),
+            hardening_masks: vec![0b0000, 0b1111],
+            warmup,
+            measured,
+        }
+    }
+
+    /// Resolves a named space (`fig6-redis`, `fig6-nginx`, `quick`,
+    /// `full`).
+    pub fn named(name: &str, warmup: u64, measured: u64) -> Option<SpaceSpec> {
+        match name {
+            "fig6-redis" => Some(SpaceSpec::fig6("redis", warmup, measured)),
+            "fig6-nginx" => Some(SpaceSpec::fig6("nginx", warmup, measured)),
+            "quick" => Some(SpaceSpec::quick(warmup, measured)),
+            "full" => Some(SpaceSpec::full(warmup, measured)),
+            _ => None,
+        }
+    }
+
+    /// The (strategy, effective mechanism) combinations, in enumeration
+    /// order — the mechanism axis collapses to [`Mechanism::None`] for
+    /// single-compartment strategies.
+    fn combos(&self) -> Vec<(Strategy, Mechanism)> {
+        let mut out = Vec::new();
+        for &s in &self.strategies {
+            if s.compartments() == 1 {
+                out.push((s, Mechanism::None));
+            } else {
+                for &m in &self.mechanisms {
+                    out.push((s, m));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of points in the space.
+    pub fn len(&self) -> usize {
+        self.workloads.len() * self.combos().len() * self.hardening_masks.len()
+    }
+
+    /// `true` when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Generates point `index` (workload-major, then strategy, then
+    /// mechanism, then hardening mask).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn point(&self, index: usize) -> SweepPoint {
+        let combos = self.combos();
+        let masks = self.hardening_masks.len();
+        let per_workload = combos.len() * masks;
+        let workload = self.workloads[index / per_workload];
+        let (strategy, mechanism) = combos[(index % per_workload) / masks];
+        let mask = self.hardening_masks[index % masks];
+        let app = workload.app();
+        // The one copy of the Figure 6 construction rules, mechanism
+        // parameterized (`flexos_explore::fig6_space` shares it).
+        let config = flexos_explore::fig6_config(app, strategy, mechanism, mask);
+        let dots: String = (0..4)
+            .map(|i| if mask & (1 << i) != 0 { '•' } else { '◦' })
+            .collect();
+        let mech = match mechanism {
+            Mechanism::None => "none",
+            Mechanism::IntelMpk => "mpk",
+            Mechanism::VmEpt => "ept",
+            Mechanism::PageTable => "pt",
+            _ => "cubicle",
+        };
+        SweepPoint {
+            index,
+            workload,
+            strategy,
+            mechanism,
+            hardening_mask: mask,
+            config,
+            label: format!(
+                "[{dots}] {} · {mech} · {}",
+                strategy.label(app),
+                workload.label()
+            ),
+        }
+    }
+
+    /// Iterates every point (allocates each lazily).
+    pub fn points(&self) -> impl Iterator<Item = SweepPoint> + '_ {
+        (0..self.len()).map(|i| self.point(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_subset_matches_the_historical_space() {
+        for app in ["redis", "nginx"] {
+            let spec = SpaceSpec::fig6(app, 5, 20);
+            let old = flexos_explore::fig6_space(app);
+            assert_eq!(spec.len(), old.len());
+            for (i, legacy) in old.iter().enumerate() {
+                let p = spec.point(i);
+                assert_eq!(p.strategy, legacy.strategy, "{app} point {i}");
+                assert_eq!(p.hardening_mask, legacy.hardening_mask, "{app} point {i}");
+                assert_eq!(p.config, legacy.config, "{app} point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_space_exceeds_a_thousand_points() {
+        let spec = SpaceSpec::full(5, 20);
+        assert!(spec.len() >= 1000, "got {}", spec.len());
+        assert_eq!(spec.len(), 1440);
+    }
+
+    #[test]
+    fn single_compartment_strategies_collapse_the_mechanism_axis() {
+        let spec = SpaceSpec::quick(5, 20);
+        let mut seen = std::collections::HashSet::new();
+        for p in spec.points() {
+            assert!(
+                seen.insert((p.workload, p.strategy, p.mechanism, p.hardening_mask)),
+                "duplicate point {}",
+                p.label
+            );
+            if p.strategy.compartments() == 1 {
+                assert_eq!(p.mechanism, Mechanism::None);
+            }
+        }
+        assert_eq!(seen.len(), spec.len());
+    }
+
+    #[test]
+    fn ept_points_build_vm_configs() {
+        let spec = SpaceSpec::quick(5, 20);
+        let ept = spec
+            .points()
+            .find(|p| p.mechanism == Mechanism::VmEpt)
+            .expect("quick space has EPT points");
+        assert_eq!(ept.config.dominant_mechanism(), Mechanism::VmEpt);
+    }
+
+    #[test]
+    fn indexing_is_total_and_in_range() {
+        let spec = SpaceSpec::quick(5, 20);
+        assert!(!spec.is_empty());
+        assert_eq!(spec.points().count(), spec.len());
+        for (i, p) in spec.points().enumerate() {
+            assert_eq!(p.index, i);
+        }
+    }
+}

@@ -44,6 +44,7 @@ pub use flexos_machine as machine;
 pub use flexos_mpk as mpk;
 pub use flexos_net as net;
 pub use flexos_sched as sched;
+pub use flexos_sweep as sweep;
 pub use flexos_system as system;
 pub use flexos_time as time;
 

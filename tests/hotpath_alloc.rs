@@ -139,6 +139,74 @@ fn steady_state_redis_get_is_allocation_free_end_to_end() {
 }
 
 #[test]
+fn resolved_ept_rpc_calls_do_not_allocate() {
+    // The EPT crossing hook drives a full shared-memory RPC round trip
+    // (ring push, server pop, legality check, completion) per gate
+    // traversal. Since the dense-state rework it is one `RefCell`
+    // borrow over precomputed vectors — the ring PKRU, the `EntryId` →
+    // hash table, and the sorted legal-entry rows are all built at
+    // boot — so the crossing performs zero host allocations.
+    let os = SystemBuilder::new(configs::ept2(&["lwip"]).unwrap())
+        .app(flexos_apps::redis_component())
+        .build()
+        .unwrap();
+    let env = std::rc::Rc::clone(&os.env);
+    let app = os.app_ids[0];
+    let lwip = env.component_id("lwip").unwrap();
+    let cross = env.resolve(lwip, "lwip_poll");
+    env.run_as(app, || {
+        // Warm: first ring touches fault in their zero-fill pages.
+        env.call_resolved(cross, || Ok(())).unwrap();
+        let before = allocations();
+        for _ in 0..10_000 {
+            env.call_resolved(cross, || Ok(())).unwrap();
+        }
+        assert_eq!(
+            allocations() - before,
+            0,
+            "EPT RPC crossing allocated on the host heap"
+        );
+    });
+    assert_eq!(env.gates().total_crossings(), 10_001);
+}
+
+#[test]
+fn steady_state_redis_get_over_ept_is_allocation_free_end_to_end() {
+    // The EPT twin of the MPK test above: the whole GET data path plus
+    // one RPC-ring round trip per crossing must stay off the host heap.
+    let os = SystemBuilder::new(configs::ept2(&["lwip"]).unwrap())
+        .app(flexos_apps::redis_component())
+        .build()
+        .unwrap();
+    let server = flexos_apps::workloads::install_redis(&os).unwrap();
+    server.preload(&[(b"key:1", b"yyy")]).unwrap();
+    let mut client =
+        flexos_net::TcpClient::connect(&os.net, 50_000, flexos_apps::redis::REDIS_PORT).unwrap();
+    let conn = server.accept().unwrap().expect("handshake queues conn");
+    let request = flexos_apps::resp::encode_request(&[b"GET", b"key:1"]);
+
+    let run_one = |client: &mut flexos_net::TcpClient| {
+        client.send(&os.net, &request).unwrap();
+        server.serve_one(conn).unwrap();
+        client.drain(&os.net).unwrap();
+        assert_eq!(client.received(), b"$3\r\nyyy\r\n", "GET must hit");
+        client.clear_received();
+    };
+    for _ in 0..3000 {
+        run_one(&mut client);
+    }
+    let before = allocations();
+    for _ in 0..200 {
+        run_one(&mut client);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "steady-state Redis GET over EPT allocated on the host heap"
+    );
+}
+
+#[test]
 fn str_wrapper_resolves_without_allocating_after_first_use() {
     // The thin `&str` wrapper re-resolves through the intern table each
     // call: one hash lookup, no allocation once the name is interned.
