@@ -42,6 +42,27 @@ impl HeapKind {
             HeapKind::Bump => Box::new(Bump::new(base, size)),
         }
     }
+
+    /// Parses the configuration-file spelling (`tlsf`, `lea`, `bump`) —
+    /// the per-compartment `allocator:` key of the safety configuration.
+    pub fn parse(name: &str) -> Option<HeapKind> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "tlsf" => Some(HeapKind::Tlsf),
+            "lea" | "dlmalloc" => Some(HeapKind::Lea),
+            "bump" => Some(HeapKind::Bump),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for HeapKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HeapKind::Tlsf => "tlsf",
+            HeapKind::Lea => "lea",
+            HeapKind::Bump => "bump",
+        })
+    }
 }
 
 /// A heap bound to a simulated-memory region.
@@ -251,6 +272,15 @@ mod tests {
             .map_region("test-heap", 256, ProtKey::new(1).unwrap())
             .unwrap();
         Heap::new(machine, region, kind)
+    }
+
+    #[test]
+    fn kind_parse_roundtrips_the_display_spelling() {
+        for kind in [HeapKind::Tlsf, HeapKind::Lea, HeapKind::Bump] {
+            assert_eq!(HeapKind::parse(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(HeapKind::parse("dlmalloc"), Some(HeapKind::Lea));
+        assert_eq!(HeapKind::parse("slab"), None);
     }
 
     #[test]

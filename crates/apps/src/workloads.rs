@@ -63,25 +63,65 @@ pub fn install_redis(os: &FlexOs) -> Result<Rc<RedisServer>, Fault> {
     Ok(server)
 }
 
+/// Key-selection pattern of the benchmark client (the hit/miss-mix
+/// axis; redis-benchmark's `-r`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KeyPattern {
+    /// Every GET targets the same hot key (`key:1`) — redis-benchmark
+    /// without `-r`, and the byte-identical historical Figure 6 stream.
+    #[default]
+    HotKey,
+    /// Each GET draws a key index uniformly from `[0, space)` on a
+    /// deterministic xorshift64* PRNG seeded with `seed`: same seed,
+    /// same request stream, same virtual cycles — randomized keys
+    /// without giving up sweep determinism. Indices at or beyond the
+    /// preloaded keyspace miss (`$-1` replies), so `space >
+    /// keyspace` dials in a miss mix of `1 - keyspace/space`.
+    Uniform {
+        /// Exclusive upper bound of drawn key indices (clamped to at
+        /// least 1).
+        space: u64,
+        /// PRNG seed (any value; an internal bit is forced nonzero).
+        seed: u64,
+    },
+}
+
 /// Parameters of the generalized redis-benchmark loop (the knobs the
 /// real tool exposes as `-r`-style keyspace size and `-P` pipelining).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RedisBench {
     /// Keys preloaded as `key:0..keyspace` before the measured loop.
-    /// Like redis-benchmark without `-r`, every GET targets the *same*
-    /// key (`key:1`), so the keyspace size changes dict occupancy (chain
-    /// lengths, simulated-memory footprint) without changing the request
-    /// stream. Must be at least 2 so `key:1` exists.
+    /// With the default [`KeyPattern::HotKey`] every GET targets the
+    /// *same* key (`key:1`), so the keyspace size changes dict
+    /// occupancy (chain lengths, simulated-memory footprint) without
+    /// changing the request stream. Must be at least 2 so `key:1`
+    /// exists.
     pub keyspace: u64,
     /// Requests sent back-to-back per batch (`redis-benchmark -P`). The
     /// server drains the whole batch in one event-loop tick, so depth
     /// changes the crossings-per-request ratio exactly like iPerf's
     /// buffer-size sweep.
     pub pipeline: u64,
+    /// Which keys the client asks for.
+    pub pattern: KeyPattern,
     /// GETs performed before measurement starts.
     pub warmup: u64,
     /// GETs measured.
     pub measured: u64,
+}
+
+impl Default for RedisBench {
+    /// The historical Figure 6 shape: 3 preloaded keys, no pipelining,
+    /// hot-key GETs (set `warmup`/`measured` yourself).
+    fn default() -> Self {
+        RedisBench {
+            keyspace: 3,
+            pipeline: 1,
+            pattern: KeyPattern::HotKey,
+            warmup: 0,
+            measured: 0,
+        }
+    }
 }
 
 /// redis-benchmark-style GET loop: connects, preloads 3 keys, then
@@ -96,19 +136,40 @@ pub fn run_redis_gets(os: &FlexOs, warmup: u64, measured: u64) -> Result<RunMetr
     run_redis_bench(
         os,
         RedisBench {
-            keyspace: 3,
-            pipeline: 1,
             warmup,
             measured,
+            ..RedisBench::default()
         },
     )
 }
 
-/// The generalized redis-benchmark loop (keyspace-size and
-/// pipeline-depth axes). At `keyspace: 3, pipeline: 1` this reproduces
-/// the original Figure 6 GET loop cycle for cycle: same preloaded
-/// key/value bytes, same request stream, one request per event-loop
-/// tick.
+/// The value preloaded for `key:{i}` — cycling x/y/z so the 3-key
+/// preload stays byte-identical to the historical `xxx/yyy/zzz`
+/// fixture. Shared by the preload loop and the uniform-mode
+/// expected-reply builder so the two can never desynchronize.
+fn preload_value(i: u64) -> [u8; 3] {
+    [b'x' + (i % 3) as u8; 3]
+}
+
+/// One step of the xorshift64* PRNG behind [`KeyPattern::Uniform`].
+fn xorshift64star(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// The generalized redis-benchmark loop (keyspace-size, pipeline-depth,
+/// and key-pattern axes). At the [`RedisBench::default`] shape
+/// (`keyspace: 3, pipeline: 1`, hot key) this reproduces the original
+/// Figure 6 GET loop cycle for cycle: same preloaded key/value bytes,
+/// same request stream, one request per event-loop tick.
+/// [`KeyPattern::Uniform`] opens the hit/miss-mix axis on a
+/// deterministic PRNG (misses reply `$-1` and stay cheaper than hits —
+/// no value copy — so the mix moves cycles/op without breaking
+/// run-to-run determinism).
 ///
 /// A batch sends `pipeline` requests in one client write, then ticks the
 /// server until the whole batch is served; each tick drains every
@@ -127,23 +188,55 @@ pub fn run_redis_bench(os: &FlexOs, bench: RedisBench) -> Result<RunMetrics, Fau
     // key formatting is off the measured path; counters reset below.)
     for i in 0..bench.keyspace {
         let key = format!("key:{i}");
-        let value = [b'x' + (i % 3) as u8; 3];
-        server.preload(&[(key.as_bytes(), &value)])?;
+        server.preload(&[(key.as_bytes(), &preload_value(i))])?;
     }
     let mut client = TcpClient::connect(&os.net, 50_000, REDIS_PORT)?;
     let conn = server.accept()?.ok_or_else(|| Fault::InvalidConfig {
         reason: "redis: handshake did not queue a connection".to_string(),
     })?;
 
+    // Hot-key batches are built once — the byte-identical historical
+    // request stream. Uniform batches are rebuilt per batch from the
+    // PRNG; that formatting is host-side client work, off the measured
+    // virtual clock (client cores are free in the paper's testbed).
     let one_request = resp::encode_request(&[b"GET", b"key:1"]);
     let mut request = Vec::new();
     let mut expected = Vec::new();
-    for _ in 0..bench.pipeline {
-        request.extend_from_slice(&one_request);
-        expected.extend_from_slice(b"$3\r\nyyy\r\n");
+    if bench.pattern == KeyPattern::HotKey {
+        for _ in 0..bench.pipeline {
+            request.extend_from_slice(&one_request);
+            expected.extend_from_slice(b"$3\r\nyyy\r\n");
+        }
     }
-    let run_batch = |client: &mut TcpClient| -> Result<(), Fault> {
-        client.send(&os.net, &request)?;
+    let mut rng = match bench.pattern {
+        // Force a nonzero state (xorshift has an all-zero fixed point)
+        // without disturbing low seed bits.
+        KeyPattern::Uniform { seed, .. } => seed | (1 << 63),
+        KeyPattern::HotKey => 0,
+    };
+    let run_batch = |client: &mut TcpClient,
+                     request: &mut Vec<u8>,
+                     expected: &mut Vec<u8>,
+                     rng: &mut u64|
+     -> Result<(), Fault> {
+        if let KeyPattern::Uniform { space, .. } = bench.pattern {
+            let space = space.max(1);
+            request.clear();
+            expected.clear();
+            for _ in 0..bench.pipeline {
+                let i = xorshift64star(rng) % space;
+                let key = format!("key:{i}");
+                request.extend_from_slice(&resp::encode_request(&[b"GET", key.as_bytes()]));
+                if i < bench.keyspace {
+                    expected.extend_from_slice(b"$3\r\n");
+                    expected.extend_from_slice(&preload_value(i));
+                    expected.extend_from_slice(b"\r\n");
+                } else {
+                    expected.extend_from_slice(b"$-1\r\n");
+                }
+            }
+        }
+        client.send(&os.net, request)?;
         let target = server.stats().commands + bench.pipeline;
         while server.stats().commands < target {
             if !server.serve_one(conn)? {
@@ -153,19 +246,23 @@ pub fn run_redis_bench(os: &FlexOs, bench: RedisBench) -> Result<RunMetrics, Fau
             }
         }
         client.drain(&os.net)?;
-        debug_assert_eq!(client.received(), &expected[..], "GETs must hit");
+        debug_assert_eq!(
+            client.received(),
+            &expected[..],
+            "replies must match the key pattern"
+        );
         client.clear_received();
         Ok(())
     };
     let batches = |ops: u64| ops.div_ceil(bench.pipeline);
     for _ in 0..batches(bench.warmup) {
-        run_batch(&mut client)?;
+        run_batch(&mut client, &mut request, &mut expected, &mut rng)?;
     }
     os.env.reset_counters();
     let start = os.cycles();
     let measured_batches = batches(bench.measured);
     for _ in 0..measured_batches {
-        run_batch(&mut client)?;
+        run_batch(&mut client, &mut request, &mut expected, &mut rng)?;
     }
     Ok(metrics(
         os,

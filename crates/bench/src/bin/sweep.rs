@@ -9,8 +9,14 @@
 //!
 //! ```text
 //! sweep [--space full|quick|fig6-redis|fig6-nginx] [--threads N]
-//!       [--budget-frac F] [--verify] [--csv PATH]
+//!       [--budget-frac F] [--budget "WORKLOAD=F"]... [--verify]
+//!       [--csv PATH]
 //! ```
+//!
+//! `--budget` entries override the uniform `--budget-frac` for single
+//! workload groups (matched by workload label, e.g. `redis k3 P1`,
+//! `nginx`, `iperf b16384`) — the per-workload budget *vector* of the
+//! generalized §5 report.
 //!
 //! Environment: `SWEEP_THREADS` (worker count; also the `--threads`
 //! default), `SWEEP_WARMUP` / `SWEEP_MEASURED` (per-point operation
@@ -36,6 +42,7 @@ struct Args {
     space: String,
     threads: usize,
     budget_frac: f64,
+    budget_overrides: Vec<(String, f64)>,
     verify: bool,
     csv: Option<String>,
 }
@@ -45,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         space: "full".to_string(),
         threads: engine::sweep_threads(),
         budget_frac: 0.8,
+        budget_overrides: Vec::new(),
         verify: false,
         csv: None,
     };
@@ -63,6 +71,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --budget-frac: {e}"))?;
             }
+            "--budget" => {
+                let entry = value("--budget")?;
+                let (workload, frac) = entry
+                    .rsplit_once('=')
+                    .ok_or_else(|| format!("bad --budget `{entry}` (want WORKLOAD=F)"))?;
+                let frac = frac
+                    .parse()
+                    .map_err(|e| format!("bad --budget fraction: {e}"))?;
+                args.budget_overrides.push((workload.to_string(), frac));
+            }
             "--verify" => args.verify = true,
             "--csv" => args.csv = Some(value("--csv")?),
             other => return Err(format!("unknown flag `{other}`")),
@@ -76,7 +94,10 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("sweep: {e}");
-            eprintln!("usage: sweep [--space NAME] [--threads N] [--budget-frac F] [--verify] [--csv PATH]");
+            eprintln!(
+                "usage: sweep [--space NAME] [--threads N] [--budget-frac F] \
+                 [--budget WORKLOAD=F]... [--verify] [--csv PATH]"
+            );
             std::process::exit(2);
         }
     };
@@ -124,10 +145,29 @@ fn main() {
     };
 
     let points: Vec<_> = spec.points().collect();
-    let (poset, stars) = report::star_report(&points, &results, args.budget_frac);
+    let mut budgets = report::BudgetVector::uniform(args.budget_frac);
+    for (label, frac) in &args.budget_overrides {
+        match spec.workloads.iter().find(|w| &w.label() == label) {
+            Some(&w) => budgets = budgets.with(w, *frac),
+            None => {
+                eprintln!(
+                    "sweep: no workload labeled `{label}` in space `{}` (have: {})",
+                    spec.name,
+                    spec.workloads
+                        .iter()
+                        .map(|w| w.label())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let (poset, stars) = report::star_report_vec(&points, &results, &budgets);
     eprintln!(
-        "budget {:.0}% of per-workload best: {} survive, {} pruned, {} starred",
+        "budget {:.0}% of per-workload best ({} override(s)): {} survive, {} pruned, {} starred",
         args.budget_frac * 100.0,
+        budgets.per_workload.len(),
         stars.surviving.len(),
         stars.pruned(points.len()),
         stars.stars.len()

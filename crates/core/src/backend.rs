@@ -25,8 +25,12 @@ pub trait IsolationBackend {
     /// The mechanism this backend implements.
     fn mechanism(&self) -> Mechanism;
 
-    /// Gate flavour instantiated between two compartments of this
-    /// mechanism, given the image's data-sharing strategy.
+    /// Gate flavour instantiated for a boundary whose **callee**
+    /// compartment uses `sharing`. The toolchain calls this once per
+    /// directed compartment pair with the callee's resolved
+    /// [`crate::compartment::IsolationProfile`], so one image can mix
+    /// gate flavours (e.g. MPK-light into a shared-stack compartment
+    /// next to MPK-DSS into a DSS one).
     fn gate_kind(&self, sharing: DataSharing) -> GateKind;
 
     /// Build-time validation (e.g. MPK's 15-compartment limit and W^X

@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use flexos_alloc::HeapKind;
+
 use crate::hardening::Hardening;
 
 /// Index of a compartment within an image (compartment 0 is the default).
@@ -65,6 +67,17 @@ impl Mechanism {
             Mechanism::VmEpt => 4,
         }
     }
+
+    /// The stronger of two mechanisms (ties keep `self`) — the rule the
+    /// toolchain uses to pick which side's backend guards a
+    /// mixed-mechanism boundary, since both domains must be protected.
+    pub fn stronger(self, other: Mechanism) -> Mechanism {
+        if self.strength() >= other.strength() {
+            self
+        } else {
+            other
+        }
+    }
 }
 
 impl fmt::Display for Mechanism {
@@ -100,12 +113,37 @@ pub enum DataSharing {
 
 impl DataSharing {
     /// Relative data-isolation strength for partial safety ordering
-    /// (§5, assumption 2).
+    /// (§5, assumption 2). The order is **total and injective** so that
+    /// configurations differing only in their data-sharing strategy
+    /// never tie (a tie would break the poset's antisymmetry once
+    /// data sharing varies per compartment):
+    ///
+    /// * `SharedStack` (0) exposes the *entire* call stack to every
+    ///   compartment — the weakest point, as §6.3 states outright.
+    /// * `HeapConversion` (1) narrows exposure to the converted
+    ///   variables, but parks them on the long-lived global shared heap
+    ///   where stale allocations outlive their call frame.
+    /// * `Dss` (2) keeps the same narrow exposure *and* stack
+    ///   discipline: shadow slots die with the frame (Figure 4), so
+    ///   shared data has no dangling-lifetime window. This is the §5
+    ///   modeling choice behind ranking DSS above heap conversion; the
+    ///   paper itself only fixes `Dss > SharedStack`.
     pub fn strength(&self) -> u8 {
         match self {
             DataSharing::SharedStack => 0,
-            DataSharing::Dss => 1,
             DataSharing::HeapConversion => 1,
+            DataSharing::Dss => 2,
+        }
+    }
+
+    /// Parses the configuration-file spelling (`dss`, `heap-conversion`,
+    /// `shared-stack`).
+    pub fn parse(name: &str) -> Option<DataSharing> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "dss" => Some(DataSharing::Dss),
+            "heap-conversion" => Some(DataSharing::HeapConversion),
+            "shared-stack" => Some(DataSharing::SharedStack),
+            _ => None,
         }
     }
 }
@@ -121,7 +159,41 @@ impl fmt::Display for DataSharing {
     }
 }
 
+/// The *resolved* per-compartment isolation profile (§3, P2): every
+/// boundary-local decision the toolchain makes for one compartment, in
+/// one value. Where [`CompartmentSpec`] carries *requested* axes (with
+/// `None` meaning "inherit the image default"), an `IsolationProfile`
+/// is what the resolution produced — the form the runtime
+/// ([`crate::env::Env::profile_of`]) and reports consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IsolationProfile {
+    /// How shared stack data crosses *into* this compartment (selects
+    /// the gate flavour of every boundary whose callee this is).
+    pub data_sharing: DataSharing,
+    /// Allocator policy of this compartment's private heap.
+    pub allocator: HeapKind,
+    /// Compartment-wide hardening (components may override).
+    pub hardening: Hardening,
+}
+
+impl Default for IsolationProfile {
+    fn default() -> Self {
+        IsolationProfile {
+            data_sharing: DataSharing::default(),
+            allocator: HeapKind::Tlsf,
+            hardening: Hardening::NONE,
+        }
+    }
+}
+
 /// Build-time description of one compartment.
+///
+/// The data-sharing and allocator axes are per-compartment *overrides*:
+/// `None` inherits the image-wide default
+/// ([`crate::config::SafetyConfig::default_data_sharing`] /
+/// [`crate::config::SafetyConfig::default_allocator`]), so a
+/// configuration that never mentions them behaves exactly like the old
+/// global-knob API.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompartmentSpec {
     /// Compartment name from the configuration file (e.g. `comp1`).
@@ -134,16 +206,25 @@ pub struct CompartmentSpec {
     /// `true` for the default compartment, which receives components the
     /// configuration does not place explicitly.
     pub default: bool,
+    /// Data-sharing strategy for boundaries into this compartment
+    /// (`None`: image default).
+    pub data_sharing: Option<DataSharing>,
+    /// Allocator policy for this compartment's private heap
+    /// (`None`: image default).
+    pub allocator: Option<HeapKind>,
 }
 
 impl CompartmentSpec {
-    /// Creates a compartment spec with no hardening.
+    /// Creates a compartment spec with no hardening and inherited
+    /// data-sharing/allocator axes.
     pub fn new(name: impl Into<String>, mechanism: Mechanism) -> Self {
         CompartmentSpec {
             name: name.into(),
             mechanism,
             hardening: Hardening::NONE,
             default: false,
+            data_sharing: None,
+            allocator: None,
         }
     }
 
@@ -157,6 +238,40 @@ impl CompartmentSpec {
     pub fn with_hardening(mut self, hardening: Hardening) -> Self {
         self.hardening = hardening;
         self
+    }
+
+    /// Overrides the data-sharing strategy for this compartment's
+    /// boundaries (callee side).
+    pub fn with_data_sharing(mut self, sharing: DataSharing) -> Self {
+        self.data_sharing = Some(sharing);
+        self
+    }
+
+    /// Overrides the allocator policy of this compartment's private heap.
+    pub fn with_allocator(mut self, allocator: HeapKind) -> Self {
+        self.allocator = Some(allocator);
+        self
+    }
+
+    /// Sets all three profile axes at once.
+    pub fn with_profile(mut self, profile: IsolationProfile) -> Self {
+        self.data_sharing = Some(profile.data_sharing);
+        self.allocator = Some(profile.allocator);
+        self.hardening = profile.hardening;
+        self
+    }
+
+    /// Resolves this spec's profile against image-wide defaults.
+    pub fn profile_with(
+        &self,
+        default_sharing: DataSharing,
+        default_allocator: HeapKind,
+    ) -> IsolationProfile {
+        IsolationProfile {
+            data_sharing: self.data_sharing.unwrap_or(default_sharing),
+            allocator: self.allocator.unwrap_or(default_allocator),
+            hardening: self.hardening,
+        }
     }
 }
 
@@ -186,6 +301,59 @@ mod tests {
         assert!(Mechanism::IntelMpk.strength() > Mechanism::None.strength());
         // DSS is "more secure than fully sharing the stack" (§6.3).
         assert!(DataSharing::Dss.strength() > DataSharing::SharedStack.strength());
+    }
+
+    #[test]
+    fn data_sharing_strengths_are_injective() {
+        // HeapConversion and Dss must not tie (poset antisymmetry once
+        // data sharing varies per compartment); the documented §5
+        // modeling choice ranks DSS above heap conversion.
+        let all = [
+            DataSharing::SharedStack,
+            DataSharing::HeapConversion,
+            DataSharing::Dss,
+        ];
+        for a in all {
+            for b in all {
+                assert_eq!(a.strength() == b.strength(), a == b, "{a} vs {b}");
+            }
+        }
+        assert!(DataSharing::Dss.strength() > DataSharing::HeapConversion.strength());
+        assert!(DataSharing::HeapConversion.strength() > DataSharing::SharedStack.strength());
+    }
+
+    #[test]
+    fn data_sharing_parse_roundtrip() {
+        for s in [
+            DataSharing::Dss,
+            DataSharing::HeapConversion,
+            DataSharing::SharedStack,
+        ] {
+            assert_eq!(DataSharing::parse(&s.to_string()), Some(s));
+        }
+        assert_eq!(DataSharing::parse("mmap"), None);
+    }
+
+    #[test]
+    fn profiles_resolve_against_defaults() {
+        let spec = CompartmentSpec::new("c", Mechanism::IntelMpk);
+        let p = spec.profile_with(DataSharing::Dss, HeapKind::Tlsf);
+        assert_eq!(p, IsolationProfile::default());
+
+        let spec = CompartmentSpec::new("c", Mechanism::IntelMpk)
+            .with_data_sharing(DataSharing::SharedStack)
+            .with_allocator(HeapKind::Lea);
+        let p = spec.profile_with(DataSharing::Dss, HeapKind::Tlsf);
+        assert_eq!(p.data_sharing, DataSharing::SharedStack);
+        assert_eq!(p.allocator, HeapKind::Lea);
+
+        let full = IsolationProfile {
+            data_sharing: DataSharing::HeapConversion,
+            allocator: HeapKind::Bump,
+            hardening: Hardening::FIG6_BUNDLE,
+        };
+        let spec = CompartmentSpec::new("c", Mechanism::IntelMpk).with_profile(full);
+        assert_eq!(spec.profile_with(DataSharing::Dss, HeapKind::Tlsf), full);
     }
 
     #[test]

@@ -24,12 +24,19 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use flexos_alloc::HeapKind;
 use flexos_machine::fault::Fault;
 
-use crate::compartment::{CompartmentSpec, DataSharing, Mechanism};
+use crate::compartment::{CompartmentSpec, DataSharing, IsolationProfile, Mechanism};
 use crate::hardening::Hardening;
 
 /// A complete build-time safety configuration.
+///
+/// Data sharing and allocator are **per-compartment axes** resolved
+/// through [`IsolationProfile`]s: each [`CompartmentSpec`] may override
+/// them, and the image-wide defaults below cover the compartments that
+/// don't — so the paper's verbatim snippet (which never mentions
+/// either) still parses and behaves exactly like the old global knob.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SafetyConfig {
     /// Compartments in declaration order; index = [`CompartmentId`] value.
@@ -41,8 +48,13 @@ pub struct SafetyConfig {
     /// Per-component hardening overrides (Figure 6 varies hardening per
     /// component; compartment-wide hardening is the default).
     pub component_hardening: BTreeMap<String, Hardening>,
-    /// Data-sharing strategy for shared stack variables.
-    pub data_sharing: DataSharing,
+    /// Default data-sharing strategy for compartments without their own
+    /// (the old image-global knob, kept as the inherited default).
+    pub default_data_sharing: DataSharing,
+    /// Default allocator policy for compartments without their own;
+    /// `None` defers to the toolchain ([`HeapKind::Tlsf`], overridable
+    /// via `ImageBuilder::heap_kind`).
+    pub default_allocator: Option<HeapKind>,
 }
 
 impl SafetyConfig {
@@ -133,6 +145,55 @@ impl SafetyConfig {
         self.compartments.len()
     }
 
+    /// The resolved [`IsolationProfile`] of compartment `comp` (by
+    /// index): per-compartment overrides where present, image defaults
+    /// otherwise (allocator falling back to the toolchain's
+    /// [`HeapKind::Tlsf`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comp` is out of range.
+    pub fn profile_of(&self, comp: usize) -> IsolationProfile {
+        self.compartments[comp].profile_with(
+            self.default_data_sharing,
+            self.default_allocator.unwrap_or(HeapKind::Tlsf),
+        )
+    }
+
+    /// Data-sharing strategy of compartment `comp`'s boundaries
+    /// (callee side), after default resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comp` is out of range.
+    pub fn data_sharing_of(&self, comp: usize) -> DataSharing {
+        self.compartments[comp]
+            .data_sharing
+            .unwrap_or(self.default_data_sharing)
+    }
+
+    /// Allocator of compartment `comp`'s private heap, when the
+    /// configuration pins one (`None` defers to the toolchain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comp` is out of range.
+    pub fn allocator_of(&self, comp: usize) -> Option<HeapKind> {
+        self.compartments[comp].allocator.or(self.default_allocator)
+    }
+
+    /// Derived image-wide data-sharing view: the *default compartment's*
+    /// resolved strategy. On configurations that never override the axis
+    /// per compartment this is exactly the old global knob; mixed images
+    /// should ask [`SafetyConfig::data_sharing_of`] per boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unvalidated configuration with no default compartment.
+    pub fn data_sharing(&self) -> DataSharing {
+        self.data_sharing_of(self.default_compartment())
+    }
+
     /// Strongest mechanism used by any compartment (for reporting).
     pub fn dominant_mechanism(&self) -> Mechanism {
         self.compartments
@@ -155,6 +216,14 @@ impl SafetyConfig {
 
 impl fmt::Display for SafetyConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Top-level (unindented) keys are the image-wide defaults;
+        // the same keys indented under a compartment are its overrides.
+        if self.default_data_sharing != DataSharing::default() {
+            writeln!(f, "data_sharing: {}", self.default_data_sharing)?;
+        }
+        if let Some(kind) = self.default_allocator {
+            writeln!(f, "allocator: {kind}")?;
+        }
         writeln!(f, "compartments:")?;
         for c in &self.compartments {
             writeln!(f, "- {}:", c.name)?;
@@ -168,6 +237,12 @@ impl fmt::Display for SafetyConfig {
                     "    hardening: [{}]",
                     c.hardening.to_string().replace('+', ", ")
                 )?;
+            }
+            if let Some(sharing) = c.data_sharing {
+                writeln!(f, "    data_sharing: {sharing}")?;
+            }
+            if let Some(kind) = c.allocator {
+                writeln!(f, "    allocator: {kind}")?;
             }
         }
         writeln!(f, "libraries:")?;
@@ -185,6 +260,7 @@ pub struct SafetyConfigBuilder {
     libraries: Vec<(String, String)>,
     component_hardening: BTreeMap<String, Hardening>,
     data_sharing: DataSharing,
+    default_allocator: Option<HeapKind>,
 }
 
 impl SafetyConfigBuilder {
@@ -208,9 +284,18 @@ impl SafetyConfigBuilder {
         self
     }
 
-    /// Chooses the shared-stack-data strategy.
+    /// Chooses the *default* shared-stack-data strategy — compartments
+    /// that carry their own [`CompartmentSpec::data_sharing`] override
+    /// keep it (order-independent with respect to `compartment` calls).
     pub fn data_sharing(mut self, sharing: DataSharing) -> Self {
         self.data_sharing = sharing;
+        self
+    }
+
+    /// Chooses the default allocator policy for per-compartment heaps
+    /// without their own [`CompartmentSpec::allocator`] override.
+    pub fn default_allocator(mut self, kind: HeapKind) -> Self {
+        self.default_allocator = Some(kind);
         self
     }
 
@@ -224,7 +309,8 @@ impl SafetyConfigBuilder {
             compartments: self.compartments,
             libraries: self.libraries,
             component_hardening: self.component_hardening,
-            data_sharing: self.data_sharing,
+            default_data_sharing: self.data_sharing,
+            default_allocator: self.default_allocator,
         };
         config.validate()?;
         Ok(config)
@@ -245,6 +331,7 @@ fn parse(text: &str) -> Result<SafetyConfig, Fault> {
     let mut compartments: Vec<CompartmentSpec> = Vec::new();
     let mut libraries = Vec::new();
     let mut data_sharing = DataSharing::default();
+    let mut default_allocator = None;
 
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim_end();
@@ -262,14 +349,23 @@ fn parse(text: &str) -> Result<SafetyConfig, Fault> {
             section = Section::Libraries;
             continue;
         }
-        if let Some(value) = trimmed.strip_prefix("data_sharing:") {
-            data_sharing = match value.trim() {
-                "dss" => DataSharing::Dss,
-                "heap-conversion" => DataSharing::HeapConversion,
-                "shared-stack" => DataSharing::SharedStack,
-                other => return Err(err_at(&format!("unknown data sharing `{other}`"))),
-            };
-            continue;
+        // Unindented `data_sharing:` / `allocator:` lines are image-wide
+        // defaults; indented under a compartment they are that
+        // compartment's profile overrides (handled in the section match).
+        let top_level = line.len() == trimmed.len();
+        if top_level {
+            if let Some(value) = trimmed.strip_prefix("data_sharing:") {
+                data_sharing = DataSharing::parse(value)
+                    .ok_or_else(|| err_at(&format!("unknown data sharing `{}`", value.trim())))?;
+                continue;
+            }
+            if let Some(value) = trimmed.strip_prefix("allocator:") {
+                default_allocator = Some(
+                    HeapKind::parse(value)
+                        .ok_or_else(|| err_at(&format!("unknown allocator `{}`", value.trim())))?,
+                );
+                continue;
+            }
         }
 
         match section {
@@ -310,6 +406,18 @@ fn parse(text: &str) -> Result<SafetyConfig, Fault> {
                                 comp.hardening = comp.hardening.union(&h);
                             }
                         }
+                        "data_sharing" => {
+                            comp.data_sharing =
+                                Some(DataSharing::parse(value).ok_or_else(|| {
+                                    err_at(&format!("unknown data sharing `{value}`"))
+                                })?);
+                        }
+                        "allocator" => {
+                            comp.allocator =
+                                Some(HeapKind::parse(value).ok_or_else(|| {
+                                    err_at(&format!("unknown allocator `{value}`"))
+                                })?);
+                        }
                         other => return Err(err_at(&format!("unknown key `{other}`"))),
                     }
                 }
@@ -331,7 +439,8 @@ fn parse(text: &str) -> Result<SafetyConfig, Fault> {
         compartments,
         libraries,
         component_hardening: BTreeMap::new(),
-        data_sharing,
+        default_data_sharing: data_sharing,
+        default_allocator,
     };
     config.validate()?;
     Ok(config)
@@ -425,8 +534,70 @@ libraries:
             .unwrap();
         assert_eq!(cfg.hardening_of("lwip"), Hardening::FIG6_BUNDLE);
         assert_eq!(cfg.hardening_of("uksched"), Hardening::NONE);
-        assert_eq!(cfg.data_sharing, DataSharing::SharedStack);
+        assert_eq!(cfg.data_sharing(), DataSharing::SharedStack);
+        assert_eq!(cfg.data_sharing_of(0), DataSharing::SharedStack);
+        assert_eq!(cfg.data_sharing_of(1), DataSharing::SharedStack);
         assert_eq!(cfg.dominant_mechanism(), Mechanism::IntelMpk);
+    }
+
+    #[test]
+    fn per_compartment_profiles_parse_and_display() {
+        let text = "\
+data_sharing: heap-conversion
+allocator: lea
+compartments:
+- comp1:
+    mechanism: intel-mpk
+    default: True
+- comp2:
+    mechanism: intel-mpk
+    data_sharing: shared-stack
+    allocator: bump
+libraries:
+- lwip: comp2
+";
+        let cfg = SafetyConfig::parse_str(text).unwrap();
+        assert_eq!(cfg.default_data_sharing, DataSharing::HeapConversion);
+        assert_eq!(cfg.default_allocator, Some(HeapKind::Lea));
+        assert_eq!(cfg.data_sharing_of(0), DataSharing::HeapConversion);
+        assert_eq!(cfg.data_sharing_of(1), DataSharing::SharedStack);
+        assert_eq!(cfg.allocator_of(0), Some(HeapKind::Lea));
+        assert_eq!(cfg.allocator_of(1), Some(HeapKind::Bump));
+        assert_eq!(cfg.data_sharing(), DataSharing::HeapConversion);
+        let p1 = cfg.profile_of(1);
+        assert_eq!(p1.data_sharing, DataSharing::SharedStack);
+        assert_eq!(p1.allocator, HeapKind::Bump);
+        // Display emits the profile keys and reparses to the same config.
+        let back = SafetyConfig::parse_str(&cfg.to_string()).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn rejects_unknown_profile_values() {
+        let bad = "compartments:\n- c1:\n    default: True\n    data_sharing: mmap\n";
+        assert!(SafetyConfig::parse_str(bad).is_err());
+        let bad = "compartments:\n- c1:\n    default: True\n    allocator: slab\n";
+        assert!(SafetyConfig::parse_str(bad).is_err());
+        let bad = "allocator: slab\ncompartments:\n- c1:\n    default: True\n";
+        assert!(SafetyConfig::parse_str(bad).is_err());
+    }
+
+    #[test]
+    fn global_defaults_resolve_into_unset_compartments() {
+        let cfg = SafetyConfig::builder()
+            .compartment(CompartmentSpec::new("c1", Mechanism::IntelMpk).default_compartment())
+            .compartment(
+                CompartmentSpec::new("c2", Mechanism::IntelMpk)
+                    .with_data_sharing(DataSharing::SharedStack),
+            )
+            .data_sharing(DataSharing::HeapConversion)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.data_sharing_of(0), DataSharing::HeapConversion);
+        assert_eq!(cfg.data_sharing_of(1), DataSharing::SharedStack);
+        // No allocator anywhere: the toolchain decides.
+        assert_eq!(cfg.allocator_of(0), None);
+        assert_eq!(cfg.profile_of(0).allocator, HeapKind::Tlsf);
     }
 
     #[test]

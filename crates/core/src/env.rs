@@ -47,7 +47,7 @@ use flexos_machine::fault::Fault;
 use flexos_machine::key::{Access, Pkru, ProtKey};
 use flexos_machine::Machine;
 
-use crate::compartment::{CompartmentId, DataSharing, Mechanism};
+use crate::compartment::{CompartmentId, DataSharing, IsolationProfile, Mechanism};
 use crate::component::{ComponentId, ComponentRegistry};
 use crate::entry::{CallTarget, EntryId, EntryTable};
 use crate::gate::{GateKind, GateTable};
@@ -131,7 +131,7 @@ pub struct Env {
     comp_of: Vec<CompartmentId>,
     hardening: Vec<Hardening>,
     domains: Vec<DomainState>,
-    data_sharing: DataSharing,
+    profiles: Vec<IsolationProfile>,
     gates: GateTable,
     entries: EntryTable,
     shared_vars: HashMap<String, SharedVarPlacement>,
@@ -153,7 +153,7 @@ impl std::fmt::Debug for Env {
         f.debug_struct("Env")
             .field("components", &self.registry.len())
             .field("compartments", &self.domains.len())
-            .field("data_sharing", &self.data_sharing)
+            .field("profiles", &self.profiles)
             .finish()
     }
 }
@@ -170,8 +170,8 @@ pub struct EnvParts {
     pub hardening: Vec<Hardening>,
     /// Runtime domain state per compartment.
     pub domains: Vec<DomainState>,
-    /// Data-sharing strategy for stack variables.
-    pub data_sharing: DataSharing,
+    /// Resolved per-compartment isolation profiles.
+    pub profiles: Vec<IsolationProfile>,
     /// Instantiated gate matrix (pre-computed per-pair costs).
     pub gates: GateTable,
     /// Interned entry points + per-compartment CFI bitsets.
@@ -195,7 +195,7 @@ impl Env {
             comp_of: parts.comp_of,
             hardening: parts.hardening,
             domains: parts.domains,
-            data_sharing: parts.data_sharing,
+            profiles: parts.profiles,
             gates: parts.gates,
             entries: parts.entries,
             shared_vars: parts.shared_vars,
@@ -249,9 +249,30 @@ impl Env {
         self.domains.len()
     }
 
-    /// The configured stack-data sharing strategy.
+    /// The resolved isolation profile of a compartment.
+    pub fn profile_of(&self, comp: CompartmentId) -> IsolationProfile {
+        self.profiles[comp.0 as usize]
+    }
+
+    /// The data-sharing strategy of one compartment's boundaries
+    /// (callee side): crossings *into* `comp` use this flavour, and
+    /// `comp`'s thread stacks are laid out for it.
+    pub fn data_sharing_of(&self, comp: CompartmentId) -> DataSharing {
+        self.profiles[comp.0 as usize].data_sharing
+    }
+
+    /// The allocator policy of one compartment's private heap.
+    pub fn heap_kind_of(&self, comp: CompartmentId) -> flexos_alloc::HeapKind {
+        self.profiles[comp.0 as usize].allocator
+    }
+
+    /// The stack-data sharing strategy of the *currently executing*
+    /// compartment (per-compartment since the profile redesign; on
+    /// images that never override the axis this is the old global
+    /// value). Boundary-local code should prefer
+    /// [`Env::data_sharing_of`].
     pub fn data_sharing(&self) -> DataSharing {
-        self.data_sharing
+        self.data_sharing_of(self.compartment_of(self.cur.get()))
     }
 
     /// The component currently executing.
@@ -809,8 +830,9 @@ impl Env {
 
     // --- stack data sharing (Figure 11a) -----------------------------------
 
-    /// Models allocating one shared stack variable under the image's
-    /// data-sharing strategy, returning the cycles it cost: DSS and shared
+    /// Models allocating one shared stack variable under the *current
+    /// compartment's* data-sharing strategy, returning the cycles it
+    /// cost: DSS and shared
     /// stacks are compiler bookkeeping (stack speed); heap conversion pays
     /// a full shared-heap malloc (§4.1 "Data Shadow Stacks", Figure 11a).
     ///
@@ -820,7 +842,7 @@ impl Env {
     /// heap.
     pub fn stack_share_alloc(&self, size: u64) -> Result<StackShare, Fault> {
         let cost = self.machine.cost();
-        match self.data_sharing {
+        match self.data_sharing() {
             DataSharing::Dss | DataSharing::SharedStack => {
                 self.machine.clock().advance(cost.stack_alloc);
                 Ok(StackShare::Stack)

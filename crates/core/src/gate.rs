@@ -102,12 +102,7 @@ impl GateKind {
     /// strategy. Mixed-mechanism pairs take the *stronger* (costlier)
     /// mechanism's gate, since both domains must be protected.
     pub fn between(from: Mechanism, to: Mechanism, sharing: DataSharing) -> GateKind {
-        let stronger = if from.strength() >= to.strength() {
-            from
-        } else {
-            to
-        };
-        match stronger {
+        match from.stronger(to) {
             Mechanism::None => GateKind::DirectCall,
             Mechanism::IntelMpk => match sharing {
                 DataSharing::SharedStack => GateKind::MpkLight,

@@ -34,7 +34,7 @@ use flexos_machine::layout::RegionKind;
 use flexos_machine::Machine;
 
 use crate::backend::IsolationBackend;
-use crate::compartment::{CompartmentId, Mechanism};
+use crate::compartment::{CompartmentId, DataSharing, IsolationProfile, Mechanism};
 use crate::component::{Component, ComponentId, ComponentRegistry, VarStorage};
 use crate::config::SafetyConfig;
 use crate::entry::EntryTable;
@@ -65,6 +65,10 @@ pub struct TransformReport {
     pub tcb: TcbReport,
     /// Compartment names in id order.
     pub compartments: Vec<String>,
+    /// Resolved per-compartment isolation profiles, in id order (the
+    /// data-sharing strategy and heap allocator each compartment ended
+    /// up with after default resolution).
+    pub profiles: Vec<IsolationProfile>,
 }
 
 impl TransformReport {
@@ -144,8 +148,10 @@ impl ImageBuilder {
         self
     }
 
-    /// Chooses the allocator policy for every heap (TLSF by default; the
-    /// CubicleOS baseline uses Lea, §6.4).
+    /// Chooses the *fallback* allocator policy for heaps the
+    /// configuration does not pin (TLSF by default; the CubicleOS
+    /// baseline uses Lea, §6.4). Compartments whose resolved
+    /// [`IsolationProfile`] names an allocator keep their own.
     pub fn heap_kind(&mut self, kind: HeapKind) -> &mut Self {
         self.heap_kind = kind;
         self
@@ -223,6 +229,21 @@ impl ImageBuilder {
             hardening.push(config.hardening_of(&component.name));
         }
 
+        // Resolved per-compartment profiles: configuration overrides
+        // first, image defaults next, the builder's fallback allocator
+        // last. These drive heap construction, gate selection, and land
+        // verbatim in the runtime `Env` and the transform report.
+        let profiles: Vec<IsolationProfile> = config
+            .compartments
+            .iter()
+            .map(|spec| {
+                spec.profile_with(
+                    config.default_data_sharing,
+                    config.default_allocator.unwrap_or(self.heap_kind),
+                )
+            })
+            .collect();
+
         let mut heaps = Vec::with_capacity(n_comps);
         for (i, dom) in domains.iter().enumerate() {
             for (section, kind) in [
@@ -243,7 +264,7 @@ impl ImageBuilder {
                 dom.key,
                 RegionKind::Heap,
             )?;
-            let mut heap = Heap::new(Rc::clone(&self.machine), region, self.heap_kind);
+            let mut heap = Heap::new(Rc::clone(&self.machine), region, profiles[i].allocator);
             let compartment_has_kasan = self
                 .registry
                 .iter()
@@ -264,27 +285,39 @@ impl ImageBuilder {
             },
             RegionKind::SharedHeap,
         )?;
+        // The shared communication heap follows the image-wide default
+        // allocator (it belongs to no single compartment's profile).
         let shared_heap = Rc::new(RefCellHeap::new(Heap::new(
             Rc::clone(&self.machine),
             shared_region,
-            self.heap_kind,
+            config.default_allocator.unwrap_or(self.heap_kind),
         )));
 
         // -- step 4: gate instantiation -----------------------------------
         // Costs are pre-computed per pair from the machine's calibrated
         // model: the runtime charges an indexed constant, never consults
         // the model again.
+        // The gate flavour is chosen per *callee* compartment: a crossing
+        // into compartment `j` uses `j`'s data-sharing strategy (the DSS
+        // vs light vs conversion choice protects the callee's stack
+        // data), so MPK-light and MPK-DSS boundaries coexist in one
+        // image. The stronger mechanism's backend instantiates the gate
+        // (both domains must be protected); `GateKind::between` is the
+        // rule when no backend covers the pair (e.g. flat pairs).
         let mut gates = GateTable::with_model(n_comps, self.machine.cost().clone());
         for i in 0..n_comps {
-            for j in 0..n_comps {
+            for (j, callee_profile) in profiles.iter().enumerate() {
                 if i == j {
                     continue;
                 }
-                let kind = GateKind::between(
-                    config.compartments[i].mechanism,
-                    config.compartments[j].mechanism,
-                    config.data_sharing,
-                );
+                let from = config.compartments[i].mechanism;
+                let to = config.compartments[j].mechanism;
+                let callee_sharing = callee_profile.data_sharing;
+                let kind = backends
+                    .iter()
+                    .find(|b| b.mechanism() == from.stronger(to))
+                    .map(|b| b.gate_kind(callee_sharing))
+                    .unwrap_or_else(|| GateKind::between(from, to, callee_sharing));
                 gates.set(CompartmentId(i as u8), CompartmentId(j as u8), kind);
             }
         }
@@ -331,10 +364,18 @@ impl ImageBuilder {
                     )?;
                     (region.base(), region.name().to_string())
                 } else if var.storage == VarStorage::Stack {
-                    // Stack-allocated shared data: DSS / conversion at
-                    // runtime; reserve its shadow slot on the shared heap.
+                    // Stack-allocated shared data: handled at runtime by
+                    // the owner compartment's data-sharing strategy; the
+                    // shadow slot reserved on the shared heap is labeled
+                    // with that strategy (DSS shadow slot, converted heap
+                    // cell, or the shared-stack window).
                     let addr = shared_heap.borrow_mut().malloc(var.size)?;
-                    (addr, "shared/heap (dss-shadow)".to_string())
+                    let label = match profiles[owner_dom.0 as usize].data_sharing {
+                        DataSharing::Dss => "shared/heap (dss-shadow)",
+                        DataSharing::HeapConversion => "shared/heap (heap-conversion)",
+                        DataSharing::SharedStack => "shared/heap (stack-window)",
+                    };
+                    (addr, label.to_string())
                 } else {
                     // Cross-compartment static: try a restricted group
                     // section keyed by the exact whitelist; fall back to
@@ -441,6 +482,7 @@ impl ImageBuilder {
             generated_loc,
             tcb: TcbReport::new(backend_loc, duplicated, n_comps as u32),
             compartments: config.compartments.iter().map(|c| c.name.clone()).collect(),
+            profiles: profiles.clone(),
         };
 
         let env = Env::from_parts(EnvParts {
@@ -449,7 +491,7 @@ impl ImageBuilder {
             comp_of,
             hardening,
             domains,
-            data_sharing: config.data_sharing,
+            profiles,
             gates,
             entries,
             shared_vars,

@@ -54,7 +54,9 @@ pub mod tcb;
 /// Convenient re-exports of the types almost every user needs.
 pub mod prelude {
     pub use crate::backend::{CubicleBackend, IsolationBackend, NoneBackend, PageTableBackend};
-    pub use crate::compartment::{CompartmentId, CompartmentSpec, DataSharing, Mechanism};
+    pub use crate::compartment::{
+        CompartmentId, CompartmentSpec, DataSharing, IsolationProfile, Mechanism,
+    };
     pub use crate::component::{
         Component, ComponentId, ComponentKind, ComponentRegistry, SharedVar, VarStorage,
     };

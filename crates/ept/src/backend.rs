@@ -86,6 +86,10 @@ impl IsolationBackend for EptBackend {
     }
 
     fn gate_kind(&self, _sharing: DataSharing) -> GateKind {
+        // EPT boundaries are always shared-memory RPC: the callee's
+        // data-sharing profile shapes its stack layout (see
+        // `flexos_sched::stack`), not the gate flavour — VMs cannot
+        // share stacks at all (§4.2).
         GateKind::EptRpc
     }
 

@@ -28,12 +28,27 @@ impl StarReport {
 
 /// Prunes `poset` under `budget` and stars the safest survivors.
 pub fn prune_and_star(poset: &Poset, budget: f64) -> StarReport {
+    prune_and_star_by(poset, budget, |_| budget)
+}
+
+/// [`prune_and_star`] with a *per-node* budget: node `i` survives when
+/// its performance meets `budget_of(i)`. This is the primitive behind
+/// budget **vectors** over heterogeneous spaces — one fractional budget
+/// per workload group, each applied to the nodes driving that workload
+/// — while star extraction stays the stock maximal-element computation.
+/// `representative` is the budget recorded in the report (callers pass
+/// their default fraction).
+pub fn prune_and_star_by(
+    poset: &Poset,
+    representative: f64,
+    budget_of: impl Fn(usize) -> f64,
+) -> StarReport {
     let surviving: Vec<usize> = (0..poset.len())
-        .filter(|&i| poset.node(i).performance >= budget)
+        .filter(|&i| poset.node(i).performance >= budget_of(i))
         .collect();
     let stars = poset.maximal_among(&surviving);
     StarReport {
-        budget,
+        budget: representative,
         surviving,
         stars,
     }
@@ -103,6 +118,25 @@ mod tests {
         let report = prune_and_star(&poset, 2.0);
         assert!(report.stars.is_empty());
         assert_eq!(report.pruned(points.len()), points.len());
+    }
+
+    #[test]
+    fn per_node_budgets_prune_independently() {
+        let points = fig6_space("redis");
+        let perf: Vec<f64> = (0..points.len()).map(|i| i as f64).collect();
+        let poset = Poset::from_fig6(&points, &perf);
+        // Even indices need >= 40, odd indices >= 10.
+        let report = prune_and_star_by(&poset, 0.0, |i| if i % 2 == 0 { 40.0 } else { 10.0 });
+        for &s in &report.surviving {
+            assert!(perf[s] >= if s % 2 == 0 { 40.0 } else { 10.0 });
+        }
+        assert!(report.surviving.contains(&11));
+        assert!(!report.surviving.contains(&8));
+        // The uniform wrapper is the constant-vector special case.
+        let uniform = prune_and_star(&poset, 40.0);
+        let by = prune_and_star_by(&poset, 40.0, |_| 40.0);
+        assert_eq!(uniform.surviving, by.surviving);
+        assert_eq!(uniform.stars, by.stars);
     }
 
     #[test]

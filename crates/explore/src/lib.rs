@@ -20,6 +20,6 @@ pub mod budget;
 pub mod poset;
 pub mod space;
 
-pub use budget::{prune_and_star, StarReport};
+pub use budget::{prune_and_star, prune_and_star_by, StarReport};
 pub use poset::{ConfigNode, Poset};
-pub use space::{fig6_config, fig6_space, Fig6Point, Strategy, FIG6_COMPONENTS};
+pub use space::{fig6_config, fig6_space, profiled_config, Fig6Point, Strategy, FIG6_COMPONENTS};

@@ -6,6 +6,7 @@
 //! bundle, on/off per component) = 5 × 2⁴ = **80 configurations** per
 //! application, exactly the sweep of §6.1.
 
+use flexos_alloc::HeapKind;
 use flexos_core::compartment::{CompartmentSpec, DataSharing, Mechanism};
 use flexos_core::config::SafetyConfig;
 use flexos_core::hardening::Hardening;
@@ -133,20 +134,53 @@ impl Fig6Point {
 /// strategies always build [`Mechanism::None`] — an unsplit image has
 /// no boundary for a mechanism to guard.
 ///
-/// This is the one copy of the Figure 6 construction rules; both
-/// [`fig6_space`] (with [`Mechanism::IntelMpk`]) and the `flexos_sweep`
-/// space generator call it.
+/// This is the one copy of the Figure 6 construction rules, pinned to
+/// the historical axes ([`DataSharing::Dss`], [`HeapKind::Tlsf`]); the
+/// `flexos_sweep` space generator goes through [`profiled_config`] to
+/// open the data-sharing and allocator dimensions.
 pub fn fig6_config(app: &str, strategy: Strategy, mechanism: Mechanism, mask: u8) -> SafetyConfig {
-    let mut builder = SafetyConfig::builder().data_sharing(DataSharing::Dss);
+    profiled_config(
+        app,
+        strategy,
+        mechanism,
+        mask,
+        DataSharing::Dss,
+        HeapKind::Tlsf,
+    )
+}
+
+/// [`fig6_config`] with the per-image data-sharing and allocator axes
+/// opened (the `flexos_sweep` profile dimensions): every compartment of
+/// the point inherits `sharing` and `allocator` as its isolation
+/// profile.
+///
+/// Single-compartment strategies collapse the *mechanism* **and**
+/// *data-sharing* axes to their defaults — an unsplit image has no
+/// boundary for either to act on, so distinct axis values would mint
+/// behaviourally near-identical points that tie in every §5 safety
+/// dimension and break the poset's antisymmetry (the same collapse the
+/// sweep engine applied to mechanisms since PR 4). The allocator axis
+/// never collapses: heap behaviour is real even in a flat image
+/// (Figure 10's baseline inversion is an allocator effect).
+pub fn profiled_config(
+    app: &str,
+    strategy: Strategy,
+    mechanism: Mechanism,
+    mask: u8,
+    sharing: DataSharing,
+    allocator: HeapKind,
+) -> SafetyConfig {
+    let single = strategy.compartments() == 1;
+    let (mechanism, sharing) = if single {
+        (Mechanism::None, DataSharing::default())
+    } else {
+        (mechanism, sharing)
+    };
+    let mut builder = SafetyConfig::builder()
+        .data_sharing(sharing)
+        .default_allocator(allocator);
     for c in 0..strategy.compartments() {
-        let mut spec = CompartmentSpec::new(
-            format!("comp{}", c + 1),
-            if strategy.compartments() == 1 {
-                Mechanism::None
-            } else {
-                mechanism
-            },
-        );
+        let mut spec = CompartmentSpec::new(format!("comp{}", c + 1), mechanism);
         if c == 0 {
             spec = spec.default_compartment();
         }
@@ -236,6 +270,70 @@ mod tests {
             .map(|p| p.hardening_mask)
             .collect();
         assert_eq!(masks.len(), 16);
+    }
+
+    #[test]
+    fn profiled_config_opens_the_new_axes() {
+        let cfg = profiled_config(
+            "redis",
+            Strategy::SplitLwip,
+            Mechanism::IntelMpk,
+            0,
+            DataSharing::SharedStack,
+            HeapKind::Lea,
+        );
+        assert_eq!(cfg.data_sharing(), DataSharing::SharedStack);
+        assert_eq!(cfg.default_allocator, Some(HeapKind::Lea));
+        assert_eq!(cfg.profile_of(1).allocator, HeapKind::Lea);
+        // The pinned fig6 axes are the (Dss, Tlsf) special case.
+        let pinned = fig6_config("redis", Strategy::SplitLwip, Mechanism::IntelMpk, 0);
+        assert_eq!(
+            pinned,
+            profiled_config(
+                "redis",
+                Strategy::SplitLwip,
+                Mechanism::IntelMpk,
+                0,
+                DataSharing::Dss,
+                HeapKind::Tlsf,
+            )
+        );
+    }
+
+    #[test]
+    fn single_compartment_points_collapse_mechanism_and_sharing() {
+        // No boundary: data-sharing (and mechanism) axis values must not
+        // mint distinguishable configs — the antisymmetry collapse.
+        let a = profiled_config(
+            "redis",
+            Strategy::Together,
+            Mechanism::VmEpt,
+            3,
+            DataSharing::SharedStack,
+            HeapKind::Lea,
+        );
+        let b = profiled_config(
+            "redis",
+            Strategy::Together,
+            Mechanism::IntelMpk,
+            3,
+            DataSharing::HeapConversion,
+            HeapKind::Lea,
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.dominant_mechanism(), Mechanism::None);
+        assert_eq!(a.data_sharing(), DataSharing::Dss);
+        // The allocator axis stays open: heap behaviour is real even
+        // in a flat image.
+        let c = profiled_config(
+            "redis",
+            Strategy::Together,
+            Mechanism::IntelMpk,
+            3,
+            DataSharing::Dss,
+            HeapKind::Tlsf,
+        );
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -46,6 +46,10 @@ impl IsolationBackend for MpkBackend {
     }
 
     fn gate_kind(&self, sharing: DataSharing) -> GateKind {
+        // `sharing` is the *callee* compartment's profile axis: the
+        // light gate is only safe when the callee shares its whole
+        // stack; DSS and heap conversion both need the full gate's
+        // stack switch + register scrub.
         match sharing {
             DataSharing::SharedStack => GateKind::MpkLight,
             DataSharing::Dss | DataSharing::HeapConversion => GateKind::MpkDss,

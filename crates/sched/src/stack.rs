@@ -51,10 +51,13 @@ impl StackRegistry {
     }
 
     /// Allocates (maps) a stack for `thread` in `compartment`, applying
-    /// the image's data-sharing strategy: under [`DataSharing::Dss`] the
-    /// region is doubled and its upper half re-keyed to the shared domain;
-    /// under [`DataSharing::SharedStack`] the whole stack is placed in the
-    /// shared domain (the "-light" configuration).
+    /// **that compartment's** data-sharing profile (stack placement is a
+    /// boundary-local decision since the per-compartment profile
+    /// redesign): under [`DataSharing::Dss`] the region is doubled and
+    /// its upper half re-keyed to the shared domain; under
+    /// [`DataSharing::SharedStack`] the whole stack is placed in the
+    /// shared domain (the "-light" configuration). A single image may
+    /// mix all three layouts, one per compartment.
     ///
     /// # Errors
     ///
@@ -70,7 +73,7 @@ impl StackRegistry {
         }
         let machine = env.machine();
         let dom = env.domain(compartment);
-        let sharing = env.data_sharing();
+        let sharing = env.data_sharing_of(compartment);
         let isolated = env.compartment_count() > 1;
         let shared_key = if isolated {
             ProtKey::new(SHARED_KEY_INDEX)?

@@ -8,7 +8,7 @@ use crate::engine::PointResult;
 use crate::space::{SpaceSpec, SweepPoint};
 
 /// Renders the sweep as CSV, one row per point (header included):
-/// `index,app,workload,mechanism,strategy,compartments,hardening_mask,ops,cycles,ops_per_sec`.
+/// `index,app,workload,mechanism,strategy,compartments,data_sharing,allocator,hardening_mask,ops,cycles,ops_per_sec`.
 ///
 /// # Panics
 ///
@@ -16,17 +16,20 @@ use crate::space::{SpaceSpec, SweepPoint};
 pub fn csv(points: &[SweepPoint], results: &[PointResult]) -> String {
     assert_eq!(points.len(), results.len(), "one result per point");
     let mut out = String::from(
-        "index,app,workload,mechanism,strategy,compartments,hardening_mask,ops,cycles,ops_per_sec\n",
+        "index,app,workload,mechanism,strategy,compartments,data_sharing,allocator,\
+         hardening_mask,ops,cycles,ops_per_sec\n",
     );
     for (p, r) in points.iter().zip(results) {
         out.push_str(&format!(
-            "{},{},{},{:?},{:?},{},{},{},{},{:.1}\n",
+            "{},{},{},{:?},{:?},{},{},{},{},{},{},{:.1}\n",
             p.index,
             p.workload.app(),
             p.workload.label(),
             p.mechanism,
             p.strategy,
             p.strategy.compartments(),
+            p.data_sharing,
+            p.allocator,
             p.hardening_mask,
             r.ops,
             r.cycles,

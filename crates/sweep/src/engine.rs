@@ -95,6 +95,7 @@ pub fn run_point(spec: &SpaceSpec, index: usize) -> Result<PointResult, Fault> {
                 pipeline: u64::from(pipeline),
                 warmup: spec.warmup,
                 measured: spec.measured,
+                ..RedisBench::default()
             },
         )?,
         Workload::NginxGet => run_nginx_gets(&os, spec.warmup, spec.measured)?,

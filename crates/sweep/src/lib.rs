@@ -7,12 +7,13 @@
 //! exploration into a subsystem of its own:
 //!
 //! * [`SpaceSpec`] — a declarative configuration space: isolation
-//!   mechanism × compartmentalization strategy × per-component
-//!   hardening × application × workload parameters (keyspace size,
-//!   RESP pipeline depth, iPerf receive-buffer size). Named spaces
-//!   scale from the original Figure 6 sweep ([`SpaceSpec::fig6`], 80
-//!   points, bit-compatible with the historical results) to the full
-//!   product space ([`SpaceSpec::full`], 1440 points).
+//!   mechanism × compartmentalization strategy × data-sharing profile
+//!   × heap-allocator profile × per-component hardening × application
+//!   × workload parameters (keyspace size, RESP pipeline depth, iPerf
+//!   receive-buffer size). Named spaces scale from the original
+//!   Figure 6 sweep ([`SpaceSpec::fig6`], 80 points, bit-compatible
+//!   with the historical results) to the full product space
+//!   ([`SpaceSpec::full`], 8000 points over all six axes).
 //! * [`engine`] — a thread-per-worker executor. Every point is an
 //!   independent simulation (each worker builds its own `Rc`-based
 //!   [`Machine`](flexos_machine::Machine) per point), so the sweep
@@ -22,9 +23,11 @@
 //!   (`tests/sweep_determinism.rs` pins this).
 //! * [`report`] — the §5 partial safety ordering generalized beyond
 //!   Figure 6's fixed shape: points are comparable when they share a
-//!   workload and dominate each other in partition refinement,
-//!   hardening, *and* mechanism strength; budget pruning and Figure
-//!   8-style stars then run over the whole space.
+//!   workload and an allocator, and dominate each other in partition
+//!   refinement, hardening, mechanism strength, *and* data-sharing
+//!   strength; budget pruning (scalar or per-workload
+//!   [`report::BudgetVector`]) and Figure 8-style stars then run over
+//!   the whole space.
 //! * [`emit`] — JSON summaries (the checked-in `BENCH_sweep.json`) and
 //!   CSV point dumps for downstream plotting.
 //!
@@ -40,5 +43,7 @@ pub mod space;
 
 pub use emit::{csv, SweepSummary};
 pub use engine::{run_parallel, run_point, run_serial, sweep_threads, PointResult};
-pub use report::{mechanism_rank, star_report, sweep_leq, sweep_poset};
+pub use report::{
+    mechanism_rank, star_report, star_report_vec, sweep_leq, sweep_poset, BudgetVector,
+};
 pub use space::{SpaceSpec, SweepPoint, Workload};

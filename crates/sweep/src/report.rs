@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 
 use flexos_core::compartment::Mechanism;
-use flexos_explore::{prune_and_star, ConfigNode, Poset, StarReport};
+use flexos_explore::{prune_and_star, prune_and_star_by, ConfigNode, Poset, StarReport};
 
 use crate::engine::PointResult;
 use crate::space::{SweepPoint, Workload};
@@ -41,13 +41,36 @@ pub fn mechanism_rank(m: Mechanism) -> u8 {
 }
 
 /// The generalized safety order: `a ≤ b` (a at most as safe as b) iff
-/// the points share a workload and `b` dominates `a` in partition
-/// refinement, per-component hardening, and mechanism strength.
+/// the points share a workload **and an allocator**, and `b` dominates
+/// `a` in partition refinement, per-component hardening, mechanism
+/// strength, and data-sharing strength (§5 assumption 2, now a live
+/// dimension since data sharing varies per compartment profile).
+///
+/// The allocator is a *scoping* rule, not a safety dimension: §5 makes
+/// no safety claim about TLSF vs Lea, so points differing only there
+/// are incomparable — treating them as equal would tie two distinct
+/// configurations in both directions and break antisymmetry. Data
+/// sharing, by contrast, is ordered: `DataSharing::strength` is
+/// injective (shared-stack < heap-conversion < DSS), so the axis can
+/// never produce such a tie.
 pub fn sweep_leq(a: &SweepPoint, b: &SweepPoint) -> bool {
+    // A single-compartment point has no boundary, so its *collapsed*
+    // data-sharing value (Dss — deliberately chosen for config/byte
+    // compatibility, but the top of the strength order) must not block
+    // the "unsplit baseline ≤ any split" edges: for ordering purposes
+    // a boundary-less point sits at the bottom of the data-sharing
+    // dimension, exactly as its mechanism collapse already lands on
+    // the rank-0 bottom (`Mechanism::None`). Antisymmetry is safe:
+    // a split never refines down to an unsplit partition, so the
+    // exemption can only add edges out of single-compartment points.
+    let sharing_dominated =
+        a.strategy.compartments() == 1 || a.data_sharing.strength() <= b.data_sharing.strength();
     a.workload == b.workload
+        && a.allocator == b.allocator
         && a.strategy.refined_by(&b.strategy)
         && a.hardened_subset_of(b)
         && mechanism_rank(a.mechanism) <= mechanism_rank(b.mechanism)
+        && sharing_dominated
 }
 
 /// Builds the poset over measured sweep points. Node performance is
@@ -91,6 +114,65 @@ pub fn star_report(
 ) -> (Poset, StarReport) {
     let poset = sweep_poset(points, results);
     let report = prune_and_star(&poset, budget_frac);
+    (poset, report)
+}
+
+/// A per-workload budget *vector*: one fractional budget per workload
+/// group, with `default_frac` covering workloads without their own
+/// entry. Budgets remain fractions of each workload's best
+/// configuration (the normalized node metric), so heterogeneous
+/// workloads keep their own scales — the vector just lets a deployment
+/// demand, say, 90% of peak Redis but accept 60% of peak iPerf.
+#[derive(Debug, Clone)]
+pub struct BudgetVector {
+    /// Budget applied to workloads without an explicit entry.
+    pub default_frac: f64,
+    /// `(workload, fraction)` overrides.
+    pub per_workload: Vec<(Workload, f64)>,
+}
+
+impl BudgetVector {
+    /// A uniform vector (every workload at `frac`).
+    pub fn uniform(frac: f64) -> BudgetVector {
+        BudgetVector {
+            default_frac: frac,
+            per_workload: Vec::new(),
+        }
+    }
+
+    /// Adds (or replaces) one workload's budget.
+    pub fn with(mut self, workload: Workload, frac: f64) -> BudgetVector {
+        self.per_workload.retain(|(w, _)| *w != workload);
+        self.per_workload.push((workload, frac));
+        self
+    }
+
+    /// The budget applied to `workload`.
+    pub fn budget_for(&self, workload: Workload) -> f64 {
+        self.per_workload
+            .iter()
+            .find(|(w, _)| *w == workload)
+            .map(|&(_, f)| f)
+            .unwrap_or(self.default_frac)
+    }
+}
+
+/// [`star_report`] under a per-workload [`BudgetVector`]: each point
+/// must meet *its workload's* fraction of that workload's best
+/// configuration to survive; star extraction is unchanged.
+///
+/// # Panics
+///
+/// Panics if `results.len() != points.len()`.
+pub fn star_report_vec(
+    points: &[SweepPoint],
+    results: &[PointResult],
+    budgets: &BudgetVector,
+) -> (Poset, StarReport) {
+    let poset = sweep_poset(points, results);
+    let report = prune_and_star_by(&poset, budgets.default_frac, |i| {
+        budgets.budget_for(points[i].workload)
+    });
     (poset, report)
 }
 
@@ -167,10 +249,117 @@ mod tests {
                     && p.strategy == Strategy::ThreeWay
                     && p.hardening_mask == 0
                     && p.workload == mpk.workload
+                    && p.data_sharing == mpk.data_sharing
+                    && p.allocator == mpk.allocator
             })
             .unwrap();
         assert!(sweep_leq(mpk, ept));
         assert!(!sweep_leq(ept, mpk));
+    }
+
+    #[test]
+    fn dss_dominates_shared_stack_at_equal_shape() {
+        let spec = SpaceSpec::quick(1, 4);
+        let points = points_of(&spec);
+        let light = points
+            .iter()
+            .find(|p| {
+                p.data_sharing == flexos_core::compartment::DataSharing::SharedStack
+                    && p.strategy == Strategy::ThreeWay
+                    && p.hardening_mask == 0
+            })
+            .unwrap();
+        let dss = points
+            .iter()
+            .find(|p| {
+                p.data_sharing == flexos_core::compartment::DataSharing::Dss
+                    && p.strategy == light.strategy
+                    && p.hardening_mask == 0
+                    && p.mechanism == light.mechanism
+                    && p.workload == light.workload
+                    && p.allocator == light.allocator
+            })
+            .unwrap();
+        assert!(sweep_leq(light, dss));
+        assert!(!sweep_leq(dss, light));
+    }
+
+    #[test]
+    fn unsplit_baseline_sits_below_every_split_of_its_workload() {
+        // Regression: the single-compartment collapse pins the config's
+        // data-sharing to Dss (strength top); the order must still put
+        // the boundary-less baseline below splits of *weaker* sharing
+        // (shared-stack), as it was before the data-sharing dimension
+        // existed.
+        let spec = SpaceSpec::quick(1, 4);
+        let points = points_of(&spec);
+        for together in points.iter().filter(|p| p.strategy.compartments() == 1) {
+            for split in points.iter().filter(|p| {
+                p.strategy.compartments() > 1
+                    && p.workload == together.workload
+                    && p.allocator == together.allocator
+                    && together.hardened_subset_of(p)
+            }) {
+                assert!(
+                    sweep_leq(together, split),
+                    "{} must be <= {}",
+                    together.label,
+                    split.label
+                );
+                assert!(!sweep_leq(split, together));
+            }
+        }
+    }
+
+    #[test]
+    fn allocators_scope_comparability() {
+        // No §5 safety claim orders TLSF vs Lea: points differing only
+        // in allocator must be incomparable (in either direction), or
+        // antisymmetry would break.
+        let spec = SpaceSpec::quick(1, 4);
+        let points = points_of(&spec);
+        for a in &points {
+            for b in &points {
+                if a.allocator != b.allocator {
+                    assert!(!sweep_leq(a, b), "{} vs {}", a.label, b.label);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_vectors_prune_per_workload() {
+        let spec = SpaceSpec::quick(1, 4);
+        let points = points_of(&spec);
+        let results = synthetic_results(&points);
+        // Demanding redis k3, lenient everywhere else.
+        let strict = Workload::RedisGet {
+            keyspace: 3,
+            pipeline: 1,
+        };
+        let budgets = BudgetVector::uniform(0.5).with(strict, 0.95);
+        assert!((budgets.budget_for(strict) - 0.95).abs() < 1e-12);
+        assert!((budgets.budget_for(Workload::NginxGet) - 0.5).abs() < 1e-12);
+        let (poset, report) = star_report_vec(&points, &results, &budgets);
+        assert!(!report.stars.is_empty());
+        for &s in &report.surviving {
+            let needed = budgets.budget_for(points[s].workload);
+            assert!(poset.node(s).performance >= needed, "survivor {s}");
+        }
+        // The strict workload must lose survivors relative to a uniform
+        // 0.5 budget; the lenient ones must keep exactly theirs.
+        let (_, uniform) = star_report_vec(&points, &results, &BudgetVector::uniform(0.5));
+        let count = |r: &flexos_explore::StarReport, w: Workload| {
+            r.surviving
+                .iter()
+                .filter(|&&i| points[i].workload == w)
+                .count()
+        };
+        assert!(count(&report, strict) < count(&uniform, strict));
+        assert_eq!(
+            count(&report, Workload::NginxGet),
+            count(&uniform, Workload::NginxGet)
+        );
     }
 
     #[test]

@@ -4,10 +4,12 @@
 //! per-component hardening) with everything else pinned. A
 //! [`SpaceSpec`] opens the rest: the isolation mechanism behind the
 //! compartment boundaries (MPK gates vs EPT RPC rings vs none), the
-//! application, and the workload's own parameters — the axes OSmosis
-//! models as first-class dimensions of the isolation design space and
-//! XOS exposes per application. The old 80-point sweep is the named
-//! [`SpaceSpec::fig6`] subset; [`SpaceSpec::full`] is the 1440-point
+//! per-compartment isolation profile axes (data-sharing strategy and
+//! heap allocator, swept image-uniformly), the application, and the
+//! workload's own parameters — the axes OSmosis models as first-class
+//! dimensions of the isolation design space and XOS exposes per
+//! application. The old 80-point sweep is the named
+//! [`SpaceSpec::fig6`] subset; [`SpaceSpec::full`] is the 8000-point
 //! product the parallel engine exists for.
 //!
 //! Points are *generated on demand* ([`SpaceSpec::point`]): a spec is a
@@ -15,7 +17,8 @@
 //! of configs, so worker threads can mint their own points from a
 //! shared `&SpaceSpec` without cloning configuration trees around.
 
-use flexos_core::compartment::Mechanism;
+use flexos_alloc::HeapKind;
+use flexos_core::compartment::{DataSharing, Mechanism};
 use flexos_core::config::SafetyConfig;
 use flexos_explore::Strategy;
 
@@ -62,15 +65,19 @@ impl Workload {
 }
 
 /// A declarative configuration space: the cartesian product of its axis
-/// vectors, minus the mechanism axis collapsing for single-compartment
-/// strategies (an unsplit image has no boundary for a mechanism to
-/// guard, exactly like the Figure 6 generator's `Mechanism::None`
-/// special case — emitting one point per mechanism there would create
-/// indistinguishable duplicates and break the poset's antisymmetry).
+/// vectors, minus the mechanism **and data-sharing** axes collapsing
+/// for single-compartment strategies (an unsplit image has no boundary
+/// for either to act on, exactly like the Figure 6 generator's
+/// `Mechanism::None` special case — emitting one point per axis value
+/// there would create indistinguishable duplicates and break the
+/// poset's antisymmetry). The allocator axis never collapses: heap
+/// behaviour is real even in a flat image.
 ///
 /// Enumeration order is workload-major, then strategy, then mechanism,
-/// then hardening mask — chosen so [`SpaceSpec::fig6`] enumerates its
-/// 80 points in exactly the historical `fig6_space` order.
+/// then data sharing, then allocator, then hardening mask — chosen so
+/// [`SpaceSpec::fig6`] (which pins the profile axes to one value each)
+/// enumerates its 80 points in exactly the historical `fig6_space`
+/// order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpaceSpec {
     /// Space name (reports, `BENCH_sweep.json`).
@@ -81,6 +88,11 @@ pub struct SpaceSpec {
     pub mechanisms: Vec<Mechanism>,
     /// Compartmentalization strategies (Figure 8's A..E shapes).
     pub strategies: Vec<Strategy>,
+    /// Data-sharing profile applied to every compartment of a point
+    /// (the per-compartment axis, swept image-uniformly).
+    pub data_sharings: Vec<DataSharing>,
+    /// Heap-allocator profile applied to every compartment of a point.
+    pub allocators: Vec<HeapKind>,
     /// Per-component hardening masks over
     /// [`flexos_explore::FIG6_COMPONENTS`].
     pub hardening_masks: Vec<u8>,
@@ -102,6 +114,12 @@ pub struct SweepPoint {
     /// *Effective* mechanism: the axis value, or [`Mechanism::None`]
     /// for single-compartment strategies (no boundary to guard).
     pub mechanism: Mechanism,
+    /// *Effective* data-sharing profile: the axis value, or the default
+    /// ([`DataSharing::Dss`]) for single-compartment strategies (no
+    /// boundary to cross).
+    pub data_sharing: DataSharing,
+    /// Heap-allocator profile of every compartment in the point.
+    pub allocator: HeapKind,
     /// Bit `i` hardens `FIG6_COMPONENTS[i]` with the Figure 6 bundle.
     pub hardening_mask: u8,
     /// The buildable configuration.
@@ -119,9 +137,11 @@ impl SweepPoint {
 
 impl SpaceSpec {
     /// The original Figure 6 space for `app` ("redis" or "nginx"):
-    /// MPK + DSS, 5 strategies × 16 hardening masks = 80 points, in the
-    /// historical order, driving the historical workload (3-key
-    /// keyspace, no pipelining / plain nginx GETs).
+    /// MPK + DSS + TLSF, 5 strategies × 16 hardening masks = 80 points,
+    /// in the historical order, driving the historical workload (3-key
+    /// keyspace, no pipelining / plain nginx GETs). The profile axes
+    /// are pinned to one value each, so the enumeration is
+    /// config-equal to the pre-profile space.
     pub fn fig6(app: &str, warmup: u64, measured: u64) -> SpaceSpec {
         SpaceSpec {
             name: format!("fig6-{app}"),
@@ -134,6 +154,8 @@ impl SpaceSpec {
             }],
             mechanisms: vec![Mechanism::IntelMpk],
             strategies: Strategy::ALL.to_vec(),
+            data_sharings: vec![DataSharing::Dss],
+            allocators: vec![HeapKind::Tlsf],
             hardening_masks: (0u8..16).collect(),
             warmup,
             measured,
@@ -142,8 +164,10 @@ impl SpaceSpec {
 
     /// The full product space: 10 workloads (redis keyspace × pipeline,
     /// nginx, three iPerf buffer sizes) × {MPK, EPT} × 5 strategies ×
-    /// 16 hardening masks = 1440 points (the mechanism axis collapses
-    /// for the single-compartment strategy).
+    /// 3 data-sharing profiles × 2 allocators × 16 hardening masks =
+    /// **8000 points** (the mechanism and data-sharing axes collapse
+    /// for the single-compartment strategy: 1 + 4×2×3 = 25 shape
+    /// combos per workload).
     pub fn full(warmup: u64, measured: u64) -> SpaceSpec {
         let mut workloads = Vec::new();
         for keyspace in [3u32, 1024] {
@@ -160,14 +184,22 @@ impl SpaceSpec {
             workloads,
             mechanisms: vec![Mechanism::IntelMpk, Mechanism::VmEpt],
             strategies: Strategy::ALL.to_vec(),
+            data_sharings: vec![
+                DataSharing::Dss,
+                DataSharing::HeapConversion,
+                DataSharing::SharedStack,
+            ],
+            allocators: vec![HeapKind::Tlsf, HeapKind::Lea],
             hardening_masks: (0u8..16).collect(),
             warmup,
             measured,
         }
     }
 
-    /// A small space for CI and determinism tests: 4 workloads ×
-    /// {MPK, EPT} × 5 strategies × 2 masks = 72 points.
+    /// A small space for CI and determinism tests that still covers
+    /// every axis *kind*: 4 workloads × {MPK, EPT} × 5 strategies ×
+    /// {DSS, shared-stack} × {TLSF, Lea} × 2 masks = 272 points
+    /// (1 + 4×2×2 = 17 shape combos per workload).
     pub fn quick(warmup: u64, measured: u64) -> SpaceSpec {
         SpaceSpec {
             name: "quick".to_string(),
@@ -185,6 +217,8 @@ impl SpaceSpec {
             ],
             mechanisms: vec![Mechanism::IntelMpk, Mechanism::VmEpt],
             strategies: Strategy::ALL.to_vec(),
+            data_sharings: vec![DataSharing::Dss, DataSharing::SharedStack],
+            allocators: vec![HeapKind::Tlsf, HeapKind::Lea],
             hardening_masks: vec![0b0000, 0b1111],
             warmup,
             measured,
@@ -203,17 +237,19 @@ impl SpaceSpec {
         }
     }
 
-    /// The (strategy, effective mechanism) combinations, in enumeration
-    /// order — the mechanism axis collapses to [`Mechanism::None`] for
-    /// single-compartment strategies.
-    fn combos(&self) -> Vec<(Strategy, Mechanism)> {
+    /// The (strategy, effective mechanism, effective data-sharing)
+    /// combinations, in enumeration order — both boundary-local axes
+    /// collapse to their defaults for single-compartment strategies.
+    fn combos(&self) -> Vec<(Strategy, Mechanism, DataSharing)> {
         let mut out = Vec::new();
         for &s in &self.strategies {
             if s.compartments() == 1 {
-                out.push((s, Mechanism::None));
+                out.push((s, Mechanism::None, DataSharing::default()));
             } else {
                 for &m in &self.mechanisms {
-                    out.push((s, m));
+                    for &ds in &self.data_sharings {
+                        out.push((s, m, ds));
+                    }
                 }
             }
         }
@@ -222,7 +258,10 @@ impl SpaceSpec {
 
     /// Number of points in the space.
     pub fn len(&self) -> usize {
-        self.workloads.len() * self.combos().len() * self.hardening_masks.len()
+        self.workloads.len()
+            * self.combos().len()
+            * self.allocators.len()
+            * self.hardening_masks.len()
     }
 
     /// `true` when any axis is empty.
@@ -231,7 +270,8 @@ impl SpaceSpec {
     }
 
     /// Generates point `index` (workload-major, then strategy, then
-    /// mechanism, then hardening mask).
+    /// mechanism, then data sharing, then allocator, then hardening
+    /// mask).
     ///
     /// # Panics
     ///
@@ -239,14 +279,25 @@ impl SpaceSpec {
     pub fn point(&self, index: usize) -> SweepPoint {
         let combos = self.combos();
         let masks = self.hardening_masks.len();
-        let per_workload = combos.len() * masks;
+        let allocs = self.allocators.len();
+        let per_workload = combos.len() * allocs * masks;
         let workload = self.workloads[index / per_workload];
-        let (strategy, mechanism) = combos[(index % per_workload) / masks];
+        let rem = index % per_workload;
+        let (strategy, mechanism, data_sharing) = combos[rem / (allocs * masks)];
+        let allocator = self.allocators[(rem % (allocs * masks)) / masks];
         let mask = self.hardening_masks[index % masks];
         let app = workload.app();
-        // The one copy of the Figure 6 construction rules, mechanism
-        // parameterized (`flexos_explore::fig6_space` shares it).
-        let config = flexos_explore::fig6_config(app, strategy, mechanism, mask);
+        // The one copy of the Figure 6 construction rules, profile
+        // parameterized (`flexos_explore::fig6_space` shares it through
+        // the pinned-axes wrapper).
+        let config = flexos_explore::profiled_config(
+            app,
+            strategy,
+            mechanism,
+            mask,
+            data_sharing,
+            allocator,
+        );
         let dots: String = (0..4)
             .map(|i| if mask & (1 << i) != 0 { '•' } else { '◦' })
             .collect();
@@ -262,10 +313,12 @@ impl SpaceSpec {
             workload,
             strategy,
             mechanism,
+            data_sharing,
+            allocator,
             hardening_mask: mask,
             config,
             label: format!(
-                "[{dots}] {} · {mech} · {}",
+                "[{dots}] {} · {mech} · {data_sharing} · {allocator} · {}",
                 strategy.label(app),
                 workload.label()
             ),
@@ -298,27 +351,59 @@ mod tests {
     }
 
     #[test]
-    fn full_space_exceeds_a_thousand_points() {
+    fn full_space_covers_the_profile_axes() {
+        // ISSUE 5 acceptance: the full space enumerates >= 4320 points
+        // including the data-sharing x allocator axes.
         let spec = SpaceSpec::full(5, 20);
-        assert!(spec.len() >= 1000, "got {}", spec.len());
-        assert_eq!(spec.len(), 1440);
+        assert!(spec.len() >= 4320, "got {}", spec.len());
+        assert_eq!(spec.len(), 8000);
+        assert!(spec.data_sharings.len() >= 3);
+        assert!(spec.allocators.len() >= 2);
     }
 
     #[test]
-    fn single_compartment_strategies_collapse_the_mechanism_axis() {
+    fn single_compartment_strategies_collapse_boundary_axes() {
         let spec = SpaceSpec::quick(5, 20);
         let mut seen = std::collections::HashSet::new();
         for p in spec.points() {
             assert!(
-                seen.insert((p.workload, p.strategy, p.mechanism, p.hardening_mask)),
+                seen.insert((
+                    p.workload,
+                    p.strategy,
+                    p.mechanism,
+                    p.data_sharing,
+                    p.allocator,
+                    p.hardening_mask
+                )),
                 "duplicate point {}",
                 p.label
             );
             if p.strategy.compartments() == 1 {
                 assert_eq!(p.mechanism, Mechanism::None);
+                assert_eq!(p.data_sharing, DataSharing::Dss);
             }
         }
         assert_eq!(seen.len(), spec.len());
+    }
+
+    #[test]
+    fn profile_axes_reach_the_generated_configs() {
+        let spec = SpaceSpec::quick(5, 20);
+        let light = spec
+            .points()
+            .find(|p| p.data_sharing == DataSharing::SharedStack && p.allocator == HeapKind::Lea)
+            .expect("quick space has a shared-stack + Lea point");
+        assert_eq!(
+            light.config.data_sharing(),
+            DataSharing::SharedStack,
+            "{}",
+            light.label
+        );
+        assert_eq!(light.config.default_allocator, Some(HeapKind::Lea));
+        for c in 0..light.config.compartment_count() {
+            assert_eq!(light.config.data_sharing_of(c), DataSharing::SharedStack);
+            assert_eq!(light.config.profile_of(c).allocator, HeapKind::Lea);
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! the filesystem + time split (Figure 10 MPK3). These constructors build
 //! them without repeating builder boilerplate.
 
-use flexos_core::compartment::{CompartmentSpec, DataSharing, Mechanism};
+use flexos_core::compartment::{CompartmentSpec, DataSharing, IsolationProfile, Mechanism};
 use flexos_core::config::SafetyConfig;
 use flexos_core::hardening::Hardening;
 use flexos_machine::fault::Fault;
@@ -52,6 +52,57 @@ pub fn mpk3(second: &[&str], third: &[&str], sharing: DataSharing) -> Result<Saf
         b = b.place(lib, "comp3");
     }
     b.build()
+}
+
+/// Two MPK compartments with *distinct* per-compartment isolation
+/// profiles: `main` applies to the default compartment, `iso` to the
+/// compartment holding `isolated`. This is the mixed-boundary shape the
+/// profile redesign exists for — e.g. a shared-stack (MPK-light) network
+/// compartment next to a DSS-gated scheduler in one image.
+///
+/// # Errors
+///
+/// Propagates configuration validation faults.
+pub fn mpk2_profiled(
+    isolated: &[&str],
+    main: IsolationProfile,
+    iso: IsolationProfile,
+) -> Result<SafetyConfig, Fault> {
+    let mut b = SafetyConfig::builder()
+        .compartment(
+            CompartmentSpec::new("comp1", Mechanism::IntelMpk)
+                .default_compartment()
+                .with_profile(main),
+        )
+        .compartment(CompartmentSpec::new("comp2", Mechanism::IntelMpk).with_profile(iso));
+    for lib in isolated {
+        b = b.place(lib, "comp2");
+    }
+    b.build()
+}
+
+/// Applies a per-compartment profile override to an existing
+/// configuration (by compartment name).
+///
+/// # Errors
+///
+/// [`Fault::InvalidConfig`] for unknown compartment names.
+pub fn with_compartment_profile(
+    mut config: SafetyConfig,
+    compartment: &str,
+    profile: IsolationProfile,
+) -> Result<SafetyConfig, Fault> {
+    let spec = config
+        .compartments
+        .iter_mut()
+        .find(|c| c.name == compartment)
+        .ok_or_else(|| Fault::InvalidConfig {
+            reason: format!("unknown compartment `{compartment}`"),
+        })?;
+    spec.data_sharing = Some(profile.data_sharing);
+    spec.allocator = Some(profile.allocator);
+    spec.hardening = profile.hardening;
+    Ok(config)
 }
 
 /// Two EPT compartments (VMs): `isolated` components in their own VM —
@@ -102,6 +153,24 @@ mod tests {
         assert_eq!(cfg.placement("ramfs"), 1, "ramfs stays with vfscore (§4.4)");
         assert_eq!(cfg.placement("uktime"), 2);
         assert_eq!(cfg.placement("sqlite"), 0);
+    }
+
+    #[test]
+    fn mpk2_profiled_carries_both_profiles() {
+        use flexos_alloc::HeapKind;
+        let main = IsolationProfile::default();
+        let iso = IsolationProfile {
+            data_sharing: DataSharing::SharedStack,
+            allocator: HeapKind::Lea,
+            hardening: Hardening::NONE,
+        };
+        let cfg = mpk2_profiled(&["lwip"], main, iso).unwrap();
+        assert_eq!(cfg.profile_of(0), main);
+        assert_eq!(cfg.profile_of(1), iso);
+        assert_eq!(cfg.data_sharing_of(1), DataSharing::SharedStack);
+        let cfg = with_compartment_profile(cfg, "comp2", main).unwrap();
+        assert_eq!(cfg.profile_of(1), main);
+        assert!(with_compartment_profile(cfg, "ghost", main).is_err());
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Per-compartment isolation profiles, end to end (ISSUE 5 tentpole):
+//! configuration round-trips over per-compartment `data_sharing:` /
+//! `allocator:` keys, mixed gate flavours coexisting in one image,
+//! per-compartment stack layouts, and per-compartment heap allocators.
+
+use std::rc::Rc;
+
+use flexos::prelude::*;
+use flexos_alloc::HeapKind;
+use flexos_core::compartment::{CompartmentId, DataSharing, IsolationProfile};
+
+fn light_profile() -> IsolationProfile {
+    IsolationProfile {
+        data_sharing: DataSharing::SharedStack,
+        allocator: HeapKind::Lea,
+        hardening: Hardening::NONE,
+    }
+}
+
+/// A two-compartment MPK config with distinct per-compartment profiles:
+/// DSS+TLSF default compartment, shared-stack+Lea `lwip` compartment.
+fn mixed_config() -> SafetyConfig {
+    configs::mpk2_profiled(&["lwip"], IsolationProfile::default(), light_profile()).unwrap()
+}
+
+#[test]
+fn parse_builder_parse_equivalence_over_profiles() {
+    let text = "\
+data_sharing: heap-conversion
+compartments:
+- comp1:
+    mechanism: intel-mpk
+    default: True
+- comp2:
+    mechanism: intel-mpk
+    hardening: [cfi]
+    data_sharing: shared-stack
+    allocator: lea
+libraries:
+- lwip: comp2
+";
+    let parsed = SafetyConfig::parse_str(text).unwrap();
+    let built = SafetyConfig::builder()
+        .compartment(CompartmentSpec::new("comp1", Mechanism::IntelMpk).default_compartment())
+        .compartment(
+            CompartmentSpec::new("comp2", Mechanism::IntelMpk)
+                .with_hardening(Hardening {
+                    cfi: true,
+                    ..Hardening::NONE
+                })
+                .with_data_sharing(DataSharing::SharedStack)
+                .with_allocator(HeapKind::Lea),
+        )
+        .place("lwip", "comp2")
+        .data_sharing(DataSharing::HeapConversion)
+        .build()
+        .unwrap();
+    assert_eq!(parsed, built);
+    // Display → parse_str closes the loop for both construction routes.
+    assert_eq!(SafetyConfig::parse_str(&parsed.to_string()).unwrap(), built);
+    assert_eq!(SafetyConfig::parse_str(&built.to_string()).unwrap(), parsed);
+    // And the resolved profiles agree.
+    assert_eq!(parsed.data_sharing_of(0), DataSharing::HeapConversion);
+    assert_eq!(parsed.data_sharing_of(1), DataSharing::SharedStack);
+    assert_eq!(parsed.allocator_of(1), Some(HeapKind::Lea));
+}
+
+#[test]
+fn mixed_gates_coexist_in_one_image() {
+    // Callee-side gate selection: crossings *into* the shared-stack
+    // compartment take the light gate, crossings back into the DSS
+    // compartment take the full gate — in the same GateTable.
+    let os = SystemBuilder::new(mixed_config())
+        .app(flexos_apps::redis_component())
+        .build()
+        .unwrap();
+    let env = Rc::clone(&os.env);
+    let (c1, c2) = (CompartmentId(0), CompartmentId(1));
+    assert_eq!(env.gates().kind(c1, c2), GateKind::MpkLight);
+    assert_eq!(env.gates().kind(c2, c1), GateKind::MpkDss);
+    // The transform report lists both flavours.
+    let kinds: Vec<&str> = os.report.gates.iter().map(|(_, _, k)| k.as_str()).collect();
+    assert!(kinds.contains(&"mpk-light"), "{kinds:?}");
+    assert!(kinds.contains(&"mpk-dss"), "{kinds:?}");
+
+    // Drive both directions and check the per-kind counters.
+    let app = env.component_id("redis").unwrap();
+    let lwip = env.component_id("lwip").unwrap();
+    let sched = env.component_id("uksched").unwrap();
+    let env2 = Rc::clone(&env);
+    env.run_as(app, move || {
+        env2.call(lwip, "lwip_poll", || {
+            // From inside the lwip compartment, cross back into comp1.
+            env2.call(sched, "uksched_yield", || Ok(())).map(|_| ())
+        })
+        .unwrap();
+    });
+    let bd = env.gates().breakdown();
+    assert_eq!(env.gates().crossings_of_kind(GateKind::MpkLight), 1);
+    assert_eq!(env.gates().crossings_of_kind(GateKind::MpkDss), 1);
+    assert_eq!(bd.total_crossings, 2);
+    // And the gate costs follow the flavour (62 vs 108).
+    let cost = env.machine().cost();
+    assert_eq!(env.gates().desc(c1, c2).cost, cost.mpk_light_gate);
+    assert_eq!(env.gates().desc(c2, c1).cost, cost.mpk_dss_gate);
+}
+
+#[test]
+fn stack_layouts_follow_the_compartment_profile() {
+    let os = SystemBuilder::new(mixed_config())
+        .app(flexos_apps::redis_component())
+        .build()
+        .unwrap();
+    let sched_id = os.component("uksched").unwrap();
+    let (dss_stack, shared_stack) = os.env.run_as(sched_id, || {
+        let (_, a) = os.sched.spawn("in-dss", CompartmentId(0)).unwrap();
+        let (_, b) = os.sched.spawn("in-light", CompartmentId(1)).unwrap();
+        (a, b)
+    });
+    assert!(dss_stack.has_dss, "DSS compartment gets a doubled stack");
+    assert!(!shared_stack.has_dss, "shared-stack compartment does not");
+    let script = os.env.machine().layout().linker_script();
+    assert!(script.contains("stack+dss"), "{script}");
+    assert!(script.contains("stack-shared"), "{script}");
+}
+
+#[test]
+fn heap_allocators_follow_the_compartment_profile() {
+    let os = SystemBuilder::new(mixed_config())
+        .app(flexos_apps::redis_component())
+        .build()
+        .unwrap();
+    assert_eq!(os.env.heap_kind_of(CompartmentId(0)), HeapKind::Tlsf);
+    assert_eq!(os.env.heap_kind_of(CompartmentId(1)), HeapKind::Lea);
+    let lwip = os.component("lwip").unwrap();
+    let kind = os.env.run_as(lwip, || os.env.heap().borrow().kind());
+    assert_eq!(kind, HeapKind::Lea);
+    let redis = os.component("redis").unwrap();
+    let kind = os.env.run_as(redis, || os.env.heap().borrow().kind());
+    assert_eq!(kind, HeapKind::Tlsf);
+    // Profiles surface identically through Env and the report.
+    assert_eq!(os.env.profile_of(CompartmentId(1)), light_profile());
+    assert_eq!(os.report.profiles[1], light_profile());
+}
+
+#[test]
+fn default_profiles_reproduce_the_global_knob() {
+    // A config that never mentions the per-compartment axes must build
+    // the same image shape as the old single-knob API.
+    let global = configs::mpk2(&["lwip"], DataSharing::SharedStack).unwrap();
+    assert_eq!(global.data_sharing(), DataSharing::SharedStack);
+    for c in 0..global.compartment_count() {
+        assert_eq!(global.data_sharing_of(c), DataSharing::SharedStack);
+        assert_eq!(global.allocator_of(c), None);
+    }
+    let os = SystemBuilder::new(global)
+        .app(flexos_apps::redis_component())
+        .build()
+        .unwrap();
+    // One global SharedStack: every cross-compartment gate is light.
+    assert!(os.report.gates.iter().all(|(_, _, k)| k == "mpk-light"));
+    assert_eq!(os.env.heap_kind_of(CompartmentId(0)), HeapKind::Tlsf);
+}

@@ -87,6 +87,7 @@ fn pipelining_amortizes_per_tick_crossings() {
                 pipeline,
                 warmup: 16,
                 measured: 160,
+                ..RedisBench::default()
             },
         )
         .unwrap()
