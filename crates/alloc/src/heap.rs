@@ -133,6 +133,9 @@ impl Heap {
         let addr = match self.alloc.alloc(size + pad_lo + pad_hi, align) {
             Ok(a) => a,
             Err(e) => {
+                // Refusals charge no cycles, so the counter is free to
+                // bump without perturbing costed paths.
+                self.stats.exhaustions += 1;
                 return Err(e);
             }
         };

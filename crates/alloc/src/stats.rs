@@ -23,6 +23,10 @@ pub struct AllocStats {
     pub peak_live: u64,
     /// KASan redzone/use-after-free reports, when hardening is on.
     pub kasan_reports: u64,
+    /// `malloc` calls refused because the heap could not satisfy them —
+    /// the observable of an allocator-exhaustion DoS (the refusal charges
+    /// no cycles, so counting it never perturbs costed paths).
+    pub exhaustions: u64,
 }
 
 impl AllocStats {
@@ -74,6 +78,7 @@ mod tests {
             bytes_freed: 300,
             peak_live: 900,
             kasan_reports: 0,
+            exhaustions: 0,
         };
         assert_eq!(s.total_ops(), 14);
         assert_eq!(s.live_bytes(), 700);

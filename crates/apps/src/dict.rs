@@ -29,6 +29,10 @@ pub struct Dict {
 }
 
 impl Dict {
+    /// Byte offset of the `val_len` field inside a bucket (see the bucket
+    /// layout above) — exposed so corruption tests can forge it in place.
+    pub const VAL_LEN_OFFSET: u64 = 20;
+
     /// Allocates a dictionary with `capacity` buckets (power of two) on
     /// the current compartment's heap.
     ///
@@ -202,6 +206,29 @@ impl Dict {
                     self.env
                         .mem_read_into(Addr::new(vaddr), u64::from(vlen), out)?;
                     return Ok(Some(u64::from(vlen)));
+                }
+                _ => idx = idx.wrapping_add(1),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Simulated address of the bucket holding `key`, if present — the
+    /// corruption-test hook: a test can overwrite the bucket's metadata
+    /// in simulated memory (e.g. forge [`Dict::VAL_LEN_OFFSET`]) and
+    /// assert the read path's length cap catches it.
+    ///
+    /// # Errors
+    ///
+    /// Protection faults from a foreign compartment.
+    pub fn bucket_of(&self, key: &[u8]) -> Result<Option<Addr>, Fault> {
+        let mut idx = self.hash(key);
+        for _ in 0..self.capacity {
+            let (kaddr, _vaddr, klen, _vlen, state) = self.read_bucket(idx)?;
+            match state {
+                STATE_EMPTY => return Ok(None),
+                STATE_USED if self.key_matches(kaddr, klen, key)? => {
+                    return Ok(Some(self.bucket_addr(idx)));
                 }
                 _ => idx = idx.wrapping_add(1),
             }

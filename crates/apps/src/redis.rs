@@ -326,6 +326,14 @@ impl RedisServer {
         })
     }
 
+    /// Runs `f` over the server's dictionary as the server component —
+    /// the corruption-test hook: the adversarial suite locates a bucket
+    /// ([`Dict::bucket_of`]) and forges its metadata in simulated
+    /// memory, then asserts the read path's length cap catches it.
+    pub fn with_dict<R>(&self, f: impl FnOnce(&Dict) -> R) -> R {
+        self.env.run_as(self.id, || f(&self.dict.borrow()))
+    }
+
     /// Number of keys stored.
     pub fn keyspace_len(&self) -> u64 {
         self.dict.borrow().len()

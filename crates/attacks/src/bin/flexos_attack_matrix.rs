@@ -1,0 +1,78 @@
+//! `flexos_attack_matrix` — runs the adversarial suite over a
+//! configuration grid and cross-checks outcomes against the
+//! expectation oracle and the §5 safety order.
+//!
+//! ```text
+//! flexos_attack_matrix [--space quick|full] [--quiet]
+//! ```
+//!
+//! Prints the matrix as one JSON line on stdout (machine-readable,
+//! like the sweep binary) and a human summary on stderr. Exit status:
+//! `0` when every cell matches the oracle and every order edge is
+//! monotone, `2` on any expectation or monotonicity violation, `3` on
+//! usage or infrastructure errors.
+
+use flexos_attacks::{attack_space, attack_space_quick, run_matrix};
+
+fn usage() -> i32 {
+    eprintln!("usage: flexos_attack_matrix [--space quick|full] [--quiet]");
+    3
+}
+
+fn main() {
+    let mut space = "quick".to_string();
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--space" => match args.next() {
+                Some(name) => space = name,
+                None => std::process::exit(usage()),
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!("usage: flexos_attack_matrix [--space quick|full] [--quiet]");
+                return;
+            }
+            _ => std::process::exit(usage()),
+        }
+    }
+    let spec = match space.as_str() {
+        "quick" => attack_space_quick(),
+        "full" => attack_space(),
+        _ => std::process::exit(usage()),
+    };
+    let report = match run_matrix(&spec) {
+        Ok(report) => report,
+        Err(fault) => {
+            eprintln!("attack matrix infrastructure fault: {fault}");
+            std::process::exit(3);
+        }
+    };
+    println!("{}", report.to_json());
+    if !quiet {
+        let blocked: usize = report
+            .runs
+            .iter()
+            .map(|r| r.blocked_mask.count_ones() as usize)
+            .sum();
+        eprintln!(
+            "{}: {} points x {} attacks, {} cells blocked, {} mismatches, {} order violations",
+            report.space,
+            report.runs.len(),
+            flexos_attacks::Attack::ALL.len(),
+            blocked,
+            report.mismatches.len(),
+            report.order_violations.len()
+        );
+    }
+    for m in &report.mismatches {
+        eprintln!("expectation violated: {m}");
+    }
+    for v in &report.order_violations {
+        eprintln!("monotonicity violated: {v}");
+    }
+    if !report.ok() {
+        std::process::exit(2);
+    }
+}

@@ -43,7 +43,7 @@ use std::rc::Rc;
 use flexos_alloc::Heap;
 use flexos_machine::addr::Addr;
 use flexos_machine::cpu::RegisterFile;
-use flexos_machine::fault::Fault;
+use flexos_machine::fault::{Fault, FaultKind};
 use flexos_machine::key::{Access, Pkru, ProtKey};
 use flexos_machine::Machine;
 
@@ -146,6 +146,13 @@ pub struct Env {
     regs: RefCell<RegisterFile>,
     stats: Vec<Cell<ComponentStats>>,
     crossing_hook: RefCell<Option<CrossingHook>>,
+    /// Isolation faults observed (via [`Env::observe`]) per component —
+    /// the attack-visible introspection surface of the adversarial
+    /// suite. Plain `Cell` counters: recording charges no cycles and
+    /// performs no host allocation.
+    isolation_faults: Vec<Cell<u64>>,
+    /// Kind and faulting component of the most recently observed fault.
+    last_fault: Cell<Option<(ComponentId, FaultKind)>>,
 }
 
 impl std::fmt::Debug for Env {
@@ -209,6 +216,8 @@ impl Env {
                 .map(|_| Cell::new(ComponentStats::default()))
                 .collect(),
             crossing_hook: RefCell::new(None),
+            isolation_faults: (0..n).map(|_| Cell::new(0)).collect(),
+            last_fault: Cell::new(None),
         })
     }
 
@@ -311,6 +320,46 @@ impl Env {
     /// Installs the cross-domain hook (EPT RPC rings).
     pub fn set_crossing_hook(&self, hook: CrossingHook) {
         *self.crossing_hook.borrow_mut() = Some(hook);
+    }
+
+    // --- fault introspection ----------------------------------------------
+
+    /// Passes `r` through unchanged while recording any fault it carries
+    /// against the currently executing component: the kind lands in
+    /// [`Env::last_observed_fault`] and isolation faults additionally bump
+    /// the component's [`Env::isolation_faults_of`] counter. The attack
+    /// harness wraps every adversarial access in this so outcomes can be
+    /// classified after the fact; recording is `Cell` traffic only — zero
+    /// cycles, zero host allocation — so costed paths are unperturbed.
+    pub fn observe<R>(&self, r: Result<R, Fault>) -> Result<R, Fault> {
+        if let Err(fault) = &r {
+            let comp = self.cur.get();
+            self.last_fault.set(Some((comp, fault.kind())));
+            if fault.is_isolation_fault() {
+                let cell = &self.isolation_faults[comp.0 as usize];
+                cell.set(cell.get() + 1);
+            }
+        }
+        r
+    }
+
+    /// Isolation faults observed (via [`Env::observe`]) while `comp` was
+    /// the executing component.
+    pub fn isolation_faults_of(&self, comp: ComponentId) -> u64 {
+        self.isolation_faults[comp.0 as usize].get()
+    }
+
+    /// Component and kind of the most recently observed fault, if any.
+    pub fn last_observed_fault(&self) -> Option<(ComponentId, FaultKind)> {
+        self.last_fault.get()
+    }
+
+    /// Clears the observed-fault record (between attack runs).
+    pub fn clear_observed_faults(&self) {
+        for c in &self.isolation_faults {
+            c.set(0);
+        }
+        self.last_fault.set(None);
     }
 
     /// The register file (tests verify gate scrubbing through this).
@@ -777,6 +826,7 @@ impl Env {
             total.bytes_freed += s.bytes_freed;
             total.peak_live += s.peak_live;
             total.kasan_reports += s.kasan_reports;
+            total.exhaustions += s.exhaustions;
         };
         for heap in &self.heaps {
             add(heap.borrow().stats());

@@ -74,6 +74,22 @@ impl EptBackend {
             .map(RpcServerPool::refused)
             .unwrap_or(0)
     }
+
+    /// `(serviced, refused)` totals across every VM's RPC server. The
+    /// adversarial suite asserts the refused total stays zero after a
+    /// forged-entry attempt: the caller-side CFI check rejects the call
+    /// before anything is pushed onto a ring, so the server-side
+    /// legality check is a second, unexercised line of defense.
+    pub fn rpc_totals(&self) -> (u64, u64) {
+        let state = self.state.borrow();
+        let mut serviced = 0;
+        let mut refused = 0;
+        for pool in state.pools.iter().flatten() {
+            serviced += pool.serviced();
+            refused += pool.refused();
+        }
+        (serviced, refused)
+    }
 }
 
 impl IsolationBackend for EptBackend {

@@ -160,7 +160,87 @@ impl fmt::Display for Fault {
 
 impl Error for Fault {}
 
+/// The payload-free discriminant of a [`Fault`] — what *kind* of violation
+/// fired, independent of the faulting address or component. The adversarial
+/// suite compares observed outcomes against per-configuration expectations,
+/// and expectations are naturally stated over kinds ("an out-of-bounds read
+/// must die with a protection-key fault"), not over concrete addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// [`Fault::ProtectionKey`].
+    ProtectionKey,
+    /// [`Fault::Unmapped`].
+    Unmapped,
+    /// [`Fault::OutOfBounds`].
+    OutOfBounds,
+    /// [`Fault::KeyExhausted`].
+    KeyExhausted,
+    /// [`Fault::IllegalEntryPoint`].
+    IllegalEntryPoint,
+    /// [`Fault::NoGate`].
+    NoGate,
+    /// [`Fault::Kasan`].
+    Kasan,
+    /// [`Fault::Ubsan`].
+    Ubsan,
+    /// [`Fault::CanarySmashed`].
+    CanarySmashed,
+    /// [`Fault::NotWhitelisted`].
+    NotWhitelisted,
+    /// [`Fault::WxViolation`].
+    WxViolation,
+    /// [`Fault::BadFree`].
+    BadFree,
+    /// [`Fault::ResourceExhausted`].
+    ResourceExhausted,
+    /// [`Fault::InvalidConfig`].
+    InvalidConfig,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::ProtectionKey => "protection-key",
+            FaultKind::Unmapped => "unmapped",
+            FaultKind::OutOfBounds => "out-of-bounds",
+            FaultKind::KeyExhausted => "key-exhausted",
+            FaultKind::IllegalEntryPoint => "illegal-entry-point",
+            FaultKind::NoGate => "no-gate",
+            FaultKind::Kasan => "kasan",
+            FaultKind::Ubsan => "ubsan",
+            FaultKind::CanarySmashed => "canary-smashed",
+            FaultKind::NotWhitelisted => "not-whitelisted",
+            FaultKind::WxViolation => "wx-violation",
+            FaultKind::BadFree => "bad-free",
+            FaultKind::ResourceExhausted => "resource-exhausted",
+            FaultKind::InvalidConfig => "invalid-config",
+        };
+        f.write_str(s)
+    }
+}
+
 impl Fault {
+    /// The payload-free discriminant of this fault.
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            Fault::ProtectionKey { .. } => FaultKind::ProtectionKey,
+            Fault::Unmapped { .. } => FaultKind::Unmapped,
+            Fault::OutOfBounds { .. } => FaultKind::OutOfBounds,
+            Fault::KeyExhausted { .. } => FaultKind::KeyExhausted,
+            Fault::IllegalEntryPoint { .. } => FaultKind::IllegalEntryPoint,
+            Fault::NoGate { .. } => FaultKind::NoGate,
+            Fault::Kasan { .. } => FaultKind::Kasan,
+            Fault::Ubsan { .. } => FaultKind::Ubsan,
+            Fault::CanarySmashed { .. } => FaultKind::CanarySmashed,
+            Fault::NotWhitelisted { .. } => FaultKind::NotWhitelisted,
+            Fault::WxViolation { .. } => FaultKind::WxViolation,
+            Fault::BadFree { .. } => FaultKind::BadFree,
+            Fault::ResourceExhausted { .. } => FaultKind::ResourceExhausted,
+            Fault::InvalidConfig { .. } => FaultKind::InvalidConfig,
+        }
+    }
+
     /// `true` for faults that represent an *isolation* event (the kind a
     /// compromised compartment triggers), as opposed to build-time errors.
     pub fn is_isolation_fault(&self) -> bool {
@@ -205,6 +285,28 @@ mod tests {
             reason: "dup".into()
         }
         .is_isolation_fault());
+    }
+
+    #[test]
+    fn kind_strips_the_payload() {
+        assert_eq!(
+            Fault::ProtectionKey {
+                addr: Addr::new(0x5000),
+                key: ProtKey::new(4).unwrap(),
+                access: Access::Write,
+            }
+            .kind(),
+            FaultKind::ProtectionKey
+        );
+        assert_eq!(
+            Fault::IllegalEntryPoint {
+                entry: "x".into(),
+                compartment: "c".into()
+            }
+            .kind(),
+            FaultKind::IllegalEntryPoint
+        );
+        assert_eq!(FaultKind::Kasan.to_string(), "kasan");
     }
 
     #[test]

@@ -66,9 +66,33 @@ pub fn synthesize_text(name: &str, size: usize) -> Vec<u8> {
     text
 }
 
+/// Synthesizes a component's text with a hidden `wrpkru` gadget spliced
+/// into the middle — the attacker's half of the §4.1 threat model. A
+/// compromised component that could smuggle this instruction past the
+/// toolchain would set its own PKRU and walk out of its compartment; the
+/// adversarial suite feeds the forged text to [`scan_text`] and asserts
+/// the MPK backend's build-time scan is what stops it.
+pub fn forge_gadget(name: &str, size: usize) -> Vec<u8> {
+    let mut text = synthesize_text(name, size.max(WRPKRU_OPCODE.len()));
+    let splice = text.len() / 2;
+    text[splice..splice + WRPKRU_OPCODE.len()].copy_from_slice(&WRPKRU_OPCODE);
+    text
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn forged_gadget_is_caught() {
+        let text = forge_gadget("lwip", 4096);
+        let err = scan_text("lwip", &text).unwrap_err();
+        assert!(matches!(err, Fault::WxViolation { .. }));
+        // Deterministic, and the splice is the only difference from the
+        // clean synthesized text.
+        assert_eq!(forge_gadget("lwip", 4096), forge_gadget("lwip", 4096));
+        assert_ne!(forge_gadget("lwip", 4096), synthesize_text("lwip", 4096));
+    }
 
     #[test]
     fn clean_text_passes() {

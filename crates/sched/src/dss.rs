@@ -44,6 +44,19 @@ pub fn in_dss_half(stack_base: Addr, addr: Addr) -> bool {
     addr >= stack_base + STACK_SIZE && addr < stack_base + 2 * STACK_SIZE
 }
 
+/// The private (lower) half of a doubled stack as a `[start, end)` span —
+/// what an attacker probing a victim's stack must *not* be able to touch.
+pub fn private_span(stack_base: Addr) -> (Addr, Addr) {
+    (stack_base, stack_base + STACK_SIZE)
+}
+
+/// The DSS (upper, shared) half of a doubled stack as a `[start, end)`
+/// span — shared by design; the adversarial suite probes both halves and
+/// asserts the boundary falls exactly between them.
+pub fn dss_span(stack_base: Addr) -> (Addr, Addr) {
+    (stack_base + STACK_SIZE, stack_base + 2 * STACK_SIZE)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +83,18 @@ mod tests {
         assert!(!in_private_half(base, boundary));
         assert!(in_dss_half(base, boundary));
         assert!(!in_dss_half(base, boundary + STACK_SIZE));
+    }
+
+    #[test]
+    fn spans_tile_the_doubled_stack() {
+        let base = Addr::new(0x40000);
+        let (p0, p1) = private_span(base);
+        let (d0, d1) = dss_span(base);
+        assert_eq!(p0, base);
+        assert_eq!(p1, d0, "halves abut exactly");
+        assert_eq!(d1, base + 2 * STACK_SIZE);
+        assert!(in_private_half(base, p1 - 1) && !in_private_half(base, d0));
+        assert!(in_dss_half(base, d0) && !in_dss_half(base, d1));
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod space;
 pub use emit::{csv, SweepSummary};
 pub use engine::{run_parallel, run_point, run_serial, sweep_threads, PointResult};
 pub use report::{
-    mechanism_rank, star_report, star_report_vec, sweep_leq, sweep_poset, BudgetVector,
+    mechanism_rank, star_report, star_report_vec, sweep_leq, sweep_order_pairs, sweep_poset,
+    BudgetVector,
 };
 pub use space::{SpaceSpec, SweepPoint, Workload};

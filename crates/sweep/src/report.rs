@@ -73,6 +73,23 @@ pub fn sweep_leq(a: &SweepPoint, b: &SweepPoint) -> bool {
         && sharing_dominated
 }
 
+/// Every ordered pair `(i, j)`, `i ≠ j`, with `points[i] ≤ points[j]`
+/// under [`sweep_leq`] — the safety order as an explicit edge list.
+/// Matrix-style consumers (the adversarial attack matrix) walk these
+/// edges to check that an empirical per-point property is monotone in
+/// the order (stronger point ⇒ superset of blocked attacks).
+pub fn sweep_order_pairs(points: &[SweepPoint]) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for (i, a) in points.iter().enumerate() {
+        for (j, b) in points.iter().enumerate() {
+            if i != j && sweep_leq(a, b) {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs
+}
+
 /// Builds the poset over measured sweep points. Node performance is
 /// the point's metric normalized to its workload group's maximum, so a
 /// single fractional budget applies across heterogeneous workloads.

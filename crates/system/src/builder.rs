@@ -176,7 +176,7 @@ impl SystemBuilder {
             vm_images,
             main_thread,
             _mpk: mpk,
-            _ept: ept,
+            ept,
         })
     }
 }
@@ -204,7 +204,10 @@ pub struct FlexOs {
     /// The boot thread.
     pub main_thread: ThreadId,
     _mpk: Rc<MpkBackend>,
-    _ept: Rc<EptBackend>,
+    /// The EPT backend (RPC-server counters; inert on non-EPT images).
+    /// The adversarial suite reads its refusal totals to show forged
+    /// entries are stopped by caller-side CFI before reaching a ring.
+    pub ept: Rc<EptBackend>,
 }
 
 impl std::fmt::Debug for FlexOs {

@@ -207,6 +207,135 @@ fn steady_state_redis_get_over_ept_is_allocation_free_end_to_end() {
 }
 
 #[test]
+fn steady_state_uniform_get_miss_mix_is_allocation_free() {
+    // The KeyPattern::Uniform axis mixes hits with `$-1` misses. The
+    // named workload first (its debug assertions pin every reply to
+    // the pattern), then the zero-alloc claim on a manual loop: the
+    // *server-side* miss path — probe, empty-bucket stop, `$-1` reply
+    // build, send — must stay off the host heap just like the hit
+    // path. (Uniform-mode request *construction* is client/host-side
+    // and allocates by design, so the measured loop prebuilds the
+    // request bytes.)
+    let os = SystemBuilder::new(configs::mpk2(&["lwip"], DataSharing::Dss).unwrap())
+        .app(flexos_apps::redis_component())
+        .build()
+        .unwrap();
+    let metrics = flexos_apps::workloads::run_redis_bench(
+        &os,
+        flexos_apps::workloads::RedisBench {
+            keyspace: 3,
+            pipeline: 2,
+            pattern: flexos_apps::workloads::KeyPattern::Uniform { space: 8, seed: 42 },
+            warmup: 64,
+            measured: 128,
+        },
+    )
+    .unwrap();
+    assert_eq!(metrics.ops, 128);
+
+    let os = SystemBuilder::new(configs::mpk2(&["lwip"], DataSharing::Dss).unwrap())
+        .app(flexos_apps::redis_component())
+        .build()
+        .unwrap();
+    let server = flexos_apps::workloads::install_redis(&os).unwrap();
+    server
+        .preload(&[(b"key:0", b"xxx"), (b"key:1", b"yyy"), (b"key:2", b"zzz")])
+        .unwrap();
+    let mut client =
+        flexos_net::TcpClient::connect(&os.net, 50_000, flexos_apps::redis::REDIS_PORT).unwrap();
+    let conn = server.accept().unwrap().expect("handshake queues conn");
+
+    // Six key indices over a 3-key keyspace: half the stream misses.
+    let requests: Vec<Vec<u8>> = (0..6u8)
+        .map(|i| flexos_apps::resp::encode_request(&[b"GET", format!("key:{i}").as_bytes()]))
+        .collect();
+    let replies: [&[u8]; 6] = [
+        b"$3\r\nxxx\r\n",
+        b"$3\r\nyyy\r\n",
+        b"$3\r\nzzz\r\n",
+        b"$-1\r\n",
+        b"$-1\r\n",
+        b"$-1\r\n",
+    ];
+    let mut step = 0usize;
+    let mut run_one = |client: &mut flexos_net::TcpClient| {
+        let i = step % 6;
+        step += 1;
+        client.send(&os.net, &requests[i]).unwrap();
+        server.serve_one(conn).unwrap();
+        client.drain(&os.net).unwrap();
+        assert_eq!(client.received(), replies[i], "key:{i} reply");
+        client.clear_received();
+    };
+    for _ in 0..3000 {
+        run_one(&mut client);
+    }
+    let before = allocations();
+    for _ in 0..200 {
+        run_one(&mut client);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "steady-state uniform GET (hit/miss mix) allocated on the host heap"
+    );
+    assert!(server.stats().misses > 0, "the stream must actually miss");
+}
+
+#[test]
+fn forged_val_len_faults_via_the_length_cap_without_allocating() {
+    // Attack-adjacent corruption on the reply path: forge a bucket's
+    // `val_len` to u32::MAX in simulated memory. The next GET must die
+    // in `mem_read_into`'s length cap (`OutOfBounds`) *before* the
+    // reply buffer resizes — a forged length must not become a host
+    // allocation, let alone a 4 GiB one.
+    let os = SystemBuilder::new(configs::mpk2(&["lwip"], DataSharing::Dss).unwrap())
+        .app(flexos_apps::redis_component())
+        .build()
+        .unwrap();
+    let server = flexos_apps::workloads::install_redis(&os).unwrap();
+    server.preload(&[(b"key:1", b"yyy")]).unwrap();
+    let mut client =
+        flexos_net::TcpClient::connect(&os.net, 50_000, flexos_apps::redis::REDIS_PORT).unwrap();
+    let conn = server.accept().unwrap().expect("handshake queues conn");
+    let request = flexos_apps::resp::encode_request(&[b"GET", b"key:1"]);
+
+    // Reach steady state first so every reusable buffer is warm.
+    for _ in 0..3000 {
+        client.send(&os.net, &request).unwrap();
+        server.serve_one(conn).unwrap();
+        client.drain(&os.net).unwrap();
+        assert_eq!(client.received(), b"$3\r\nyyy\r\n");
+        client.clear_received();
+    }
+
+    // Corrupt the bucket's val_len field in place.
+    let bucket = server
+        .with_dict(|d| d.bucket_of(b"key:1"))
+        .unwrap()
+        .expect("key:1 is preloaded");
+    let redis = server.component_id();
+    os.env
+        .run_as(redis, || {
+            os.env.mem_write(
+                bucket + flexos_apps::dict::Dict::VAL_LEN_OFFSET,
+                &u32::MAX.to_le_bytes(),
+            )
+        })
+        .unwrap();
+
+    let before = allocations();
+    client.send(&os.net, &request).unwrap();
+    let err = server.serve_one(conn).unwrap_err();
+    assert!(matches!(err, Fault::OutOfBounds { .. }), "got {err}");
+    assert_eq!(
+        allocations() - before,
+        0,
+        "the forged length must fault before any host allocation"
+    );
+}
+
+#[test]
 fn str_wrapper_resolves_without_allocating_after_first_use() {
     // The thin `&str` wrapper re-resolves through the intern table each
     // call: one hash lookup, no allocation once the name is interned.

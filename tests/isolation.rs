@@ -2,7 +2,8 @@
 //! end-to-end on built images.
 
 use flexos::prelude::*;
-use flexos_core::compartment::DataSharing;
+use flexos_alloc::HeapKind;
+use flexos_core::compartment::{DataSharing, IsolationProfile};
 use flexos_machine::key::ProtKey;
 use flexos_sched::dss::{shadow_of, STACK_SIZE};
 
@@ -13,89 +14,136 @@ fn redis_mpk2() -> FlexOs {
         .unwrap()
 }
 
+/// The isolation properties below hold for *any* image that puts lwip
+/// behind a real boundary, whatever the mechanism or profile mix: the
+/// plain MPK pair, an EPT VM pair, and a mixed-profile MPK pair whose
+/// compartments disagree on allocator and hardening (lwip's side keeps
+/// the DSS, which the stack property needs).
+fn lwip_isolating_images() -> Vec<(&'static str, FlexOs)> {
+    let profiled = configs::mpk2_profiled(
+        &["lwip"],
+        IsolationProfile {
+            data_sharing: DataSharing::HeapConversion,
+            allocator: HeapKind::Tlsf,
+            hardening: Hardening::NONE,
+        },
+        IsolationProfile {
+            data_sharing: DataSharing::Dss,
+            allocator: HeapKind::Lea,
+            hardening: Hardening::FIG6_BUNDLE,
+        },
+    )
+    .unwrap();
+    vec![
+        ("mpk2", redis_mpk2()),
+        (
+            "ept2",
+            SystemBuilder::new(configs::ept2(&["lwip"]).unwrap())
+                .app(flexos_apps::redis_component())
+                .build()
+                .unwrap(),
+        ),
+        (
+            "mpk2_profiled",
+            SystemBuilder::new(profiled)
+                .app(flexos_apps::redis_component())
+                .build()
+                .unwrap(),
+        ),
+    ]
+}
+
 #[test]
 fn compromised_component_cannot_read_foreign_compartment() {
     // §7 "Quickly Isolate Exploitable Libraries": place lwip in its own
-    // compartment; a compromised lwip cannot read Redis' keyspace.
-    let os = redis_mpk2();
-    let env = &os.env;
-    let redis = os.app_ids[0];
-    let lwip = env.component_id("lwip").unwrap();
+    // compartment; a compromised lwip cannot read Redis' keyspace —
+    // under MPK, EPT, and mixed per-compartment profiles alike.
+    for (name, os) in lwip_isolating_images() {
+        let env = &os.env;
+        let redis = os.app_ids[0];
+        let lwip = env.component_id("lwip").unwrap();
 
-    // Redis stores a secret on its private heap.
-    let secret_addr = env
-        .run_as(redis, || {
-            let addr = env.malloc(64)?;
-            env.mem_write(addr, b"session-key-0xDEADBEEF")?;
-            Ok::<_, Fault>(addr)
-        })
-        .unwrap();
+        // Redis stores a secret on its private heap.
+        let secret_addr = env
+            .run_as(redis, || {
+                let addr = env.malloc(64)?;
+                env.mem_write(addr, b"session-key-0xDEADBEEF")?;
+                Ok::<_, Fault>(addr)
+            })
+            .unwrap();
 
-    // "Compromised" lwip tries to exfiltrate it: MPK faults.
-    env.run_as(lwip, || {
-        let err = env.mem_read_vec(secret_addr, 22).unwrap_err();
-        assert!(matches!(err, Fault::ProtectionKey { .. }), "got {err}");
-    });
+        // "Compromised" lwip tries to exfiltrate it: the domain faults.
+        env.run_as(lwip, || {
+            let err = env.mem_read_vec(secret_addr, 22).unwrap_err();
+            assert!(matches!(err, Fault::ProtectionKey { .. }), "{name}: {err}");
+        });
 
-    // Redis itself still reads it fine.
-    env.run_as(redis, || {
-        assert_eq!(
-            env.mem_read_vec(secret_addr, 22).unwrap(),
-            b"session-key-0xDEADBEEF"
-        );
-    });
+        // Redis itself still reads it fine.
+        env.run_as(redis, || {
+            assert_eq!(
+                env.mem_read_vec(secret_addr, 22).unwrap(),
+                b"session-key-0xDEADBEEF",
+                "{name}"
+            );
+        });
+    }
 }
 
 #[test]
 fn gates_are_the_only_legal_entries() {
-    let os = redis_mpk2();
-    let env = &os.env;
-    let redis = os.app_ids[0];
-    let lwip = env.component_id("lwip").unwrap();
-    env.run_as(redis, || {
-        // Registered entry point: fine.
-        env.call(lwip, "lwip_recv", || Ok(())).unwrap();
-        // Internal function: the gate's CFI property refuses it.
-        let err = env
-            .call(lwip, "lwip_internal_timer", || Ok(()))
-            .unwrap_err();
-        assert!(matches!(err, Fault::IllegalEntryPoint { .. }));
-    });
+    for (name, os) in lwip_isolating_images() {
+        let env = &os.env;
+        let redis = os.app_ids[0];
+        let lwip = env.component_id("lwip").unwrap();
+        env.run_as(redis, || {
+            // Registered entry point: fine.
+            env.call(lwip, "lwip_recv", || Ok(())).unwrap();
+            // Internal function: the gate's CFI property refuses it.
+            let err = env
+                .call(lwip, "lwip_internal_timer", || Ok(()))
+                .unwrap_err();
+            assert!(matches!(err, Fault::IllegalEntryPoint { .. }), "{name}");
+        });
+    }
 }
 
 #[test]
 fn dss_shares_exactly_the_shadow_half() {
-    // Figure 4: private lower half, shared DSS upper half.
-    let os = redis_mpk2();
-    let env = &os.env;
-    let redis = os.app_ids[0];
-    let lwip = env.component_id("lwip").unwrap();
-    let lwip_comp = env.compartment_of(lwip);
+    // Figure 4: private lower half, shared DSS upper half. All three
+    // images keep the DSS on lwip's side of the boundary (in the
+    // profiled image only *that* compartment uses it).
+    for (name, os) in lwip_isolating_images() {
+        let env = &os.env;
+        let redis = os.app_ids[0];
+        let lwip = env.component_id("lwip").unwrap();
+        let lwip_comp = env.compartment_of(lwip);
 
-    // Spawn a thread homed in lwip's compartment; its stack is doubled.
-    let (_tid, stack) = env
-        .run_as(env.component_id("uksched").unwrap(), || {
-            os.sched.spawn("lwip-worker", lwip_comp)
-        })
-        .unwrap();
-    assert!(stack.has_dss);
+        // Spawn a thread homed in lwip's compartment; its stack is
+        // doubled.
+        let (_tid, stack) = env
+            .run_as(env.component_id("uksched").unwrap(), || {
+                os.sched.spawn("lwip-worker", lwip_comp)
+            })
+            .unwrap();
+        assert!(stack.has_dss, "{name}");
 
-    // lwip writes a stack variable and its shadow.
-    let var = stack.base + 128;
-    let shadow = shadow_of(var);
-    assert_eq!(shadow, var + STACK_SIZE);
-    env.run_as(lwip, || {
-        env.mem_write(var, b"private").unwrap();
-        env.mem_write(shadow, b"shared!").unwrap();
-    });
+        // lwip writes a stack variable and its shadow.
+        let var = stack.base + 128;
+        let shadow = shadow_of(var);
+        assert_eq!(shadow, var + STACK_SIZE);
+        env.run_as(lwip, || {
+            env.mem_write(var, b"private").unwrap();
+            env.mem_write(shadow, b"shared!").unwrap();
+        });
 
-    // Redis (another compartment) can read the shadow, not the private
-    // variable.
-    env.run_as(redis, || {
-        assert_eq!(env.mem_read_vec(shadow, 7).unwrap(), b"shared!");
-        let err = env.mem_read_vec(var, 7).unwrap_err();
-        assert!(matches!(err, Fault::ProtectionKey { .. }));
-    });
+        // Redis (another compartment) can read the shadow, not the
+        // private variable.
+        env.run_as(redis, || {
+            assert_eq!(env.mem_read_vec(shadow, 7).unwrap(), b"shared!", "{name}");
+            let err = env.mem_read_vec(var, 7).unwrap_err();
+            assert!(matches!(err, Fault::ProtectionKey { .. }), "{name}: {err}");
+        });
+    }
 }
 
 #[test]
