@@ -1,35 +1,55 @@
 //! `sweep`: parallel exploration of a named configuration space.
 //!
-//! The front end of the `flexos_sweep` engine: sweeps a space
-//! thread-per-worker, optionally re-runs it serially to *prove* the
-//! parallel results bit-identical (and to measure the speedup), runs
-//! the generalized Figure 8 star report, and prints a single JSON
-//! summary line to stdout — the payload checked in as
-//! `BENCH_sweep.json`. Star/spread details go to stderr.
+//! The front end of the `flexos_sweep` engine, in two modes:
+//!
+//! * **Exhaustive** (default): sweeps every point thread-per-worker,
+//!   optionally re-runs it serially to *prove* the parallel results
+//!   bit-identical (and to measure the speedup), runs the generalized
+//!   Figure 8 star report, and prints a single JSON summary line to
+//!   stdout — the payload checked in as `BENCH_sweep.json`.
+//! * **Lazy** (`--lazy`): measures only what the §5 partial order
+//!   cannot infer — chain covers + binary search per order scope, a
+//!   measurement memo over canonical experiments, per-workload
+//!   normalization from minimal elements. The star/pruned/budget
+//!   output is bit-identical to the exhaustive mode's;
+//!   `--verify-inference` re-measures every skipped point to check
+//!   the performance-monotonicity assumption instead of trusting it.
+//!   The only mode that makes `full-profiled` (3×10⁵ enumerated
+//!   points) affordable.
+//!
+//! Star/spread details go to stderr.
 //!
 //! ```text
-//! sweep [--space full|quick|fig6-redis|fig6-nginx] [--threads N]
-//!       [--budget-frac F] [--budget "WORKLOAD=F"]... [--verify]
-//!       [--csv PATH]
+//! sweep [--space full|full-profiled|quick|fig6-redis|fig6-nginx]
+//!       [--threads N] [--budget-frac F] [--budget "WORKLOAD=F"]...
+//!       [--verify] [--csv PATH]
+//!       [--lazy] [--verify-inference] [--pareto PATH]
+//!       [--progress] [--quiet]
 //! ```
 //!
 //! `--budget` entries override the uniform `--budget-frac` for single
 //! workload groups (matched by workload label, e.g. `redis k3 P1`,
 //! `nginx`, `iperf b16384`) — the per-workload budget *vector* of the
-//! generalized §5 report.
+//! generalized §5 report. `--pareto PATH` (lazy mode) additionally
+//! classifies the space at a ladder of uniform budget levels and
+//! writes each workload's perf × safety Pareto frontier as JSON.
+//! `--progress` prints periodic classification progress (with an ETA)
+//! to stderr; `--quiet` silences all stderr narration, including it.
 //!
 //! Environment: `SWEEP_THREADS` (worker count; also the `--threads`
 //! default), `SWEEP_WARMUP` / `SWEEP_MEASURED` (per-point operation
 //! counts — CI runs a reduced multi-threaded sweep with `--verify` and
-//! **fails on serial/parallel divergence** via the nonzero exit).
+//! a lazy `--verify-inference` pass, and **fails on divergence** via
+//! the nonzero exits).
 //!
 //! Exit status: `0` on success, `2` on bad usage, `3` when `--verify`
-//! detects serial/parallel divergence.
+//! detects serial/parallel divergence, `4` when `--verify-inference`
+//! finds statuses the order inferred wrongly.
 
 use std::time::Instant;
 
 use flexos_bench::fmt_rate;
-use flexos_sweep::{emit, engine, report, SpaceSpec};
+use flexos_sweep::{emit, engine, lazy, report, SpaceSpec};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -38,6 +58,10 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Uniform budget ladder traced by `--pareto` (dense near the top,
+/// where the frontier actually bends).
+const PARETO_FRACS: [f64; 6] = [0.5, 0.6, 0.7, 0.8, 0.9, 0.95];
+
 struct Args {
     space: String,
     threads: usize,
@@ -45,6 +69,11 @@ struct Args {
     budget_overrides: Vec<(String, f64)>,
     verify: bool,
     csv: Option<String>,
+    lazy: bool,
+    verify_inference: bool,
+    pareto: Option<String>,
+    progress: bool,
+    quiet: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +84,11 @@ fn parse_args() -> Result<Args, String> {
         budget_overrides: Vec::new(),
         verify: false,
         csv: None,
+        lazy: false,
+        verify_inference: false,
+        pareto: None,
+        progress: false,
+        quiet: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -83,68 +117,35 @@ fn parse_args() -> Result<Args, String> {
             }
             "--verify" => args.verify = true,
             "--csv" => args.csv = Some(value("--csv")?),
+            "--lazy" => args.lazy = true,
+            "--verify-inference" => {
+                args.lazy = true;
+                args.verify_inference = true;
+            }
+            "--pareto" => {
+                args.lazy = true;
+                args.pareto = Some(value("--pareto")?);
+            }
+            "--progress" => args.progress = true,
+            "--quiet" => args.quiet = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if args.lazy && args.verify {
+        return Err(
+            "--verify is the exhaustive serial reference; with --lazy use \
+                    --verify-inference"
+                .to_string(),
+        );
+    }
+    if args.lazy && args.csv.is_some() {
+        return Err("--csv needs every point measured; lazy mode skips most — drop --lazy".into());
     }
     Ok(args)
 }
 
-fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("sweep: {e}");
-            eprintln!(
-                "usage: sweep [--space NAME] [--threads N] [--budget-frac F] \
-                 [--budget WORKLOAD=F]... [--verify] [--csv PATH]"
-            );
-            std::process::exit(2);
-        }
-    };
-    let warmup = env_u64("SWEEP_WARMUP", 200);
-    let measured = env_u64("SWEEP_MEASURED", 2000);
-    let spec = match SpaceSpec::named(&args.space, warmup, measured) {
-        Some(s) => s,
-        None => {
-            eprintln!(
-                "sweep: unknown space `{}` (try full, quick, fig6-redis, fig6-nginx)",
-                args.space
-            );
-            std::process::exit(2);
-        }
-    };
-
-    eprintln!(
-        "sweeping `{}`: {} points x {} measured ops, {} worker(s)...",
-        spec.name,
-        spec.len(),
-        spec.measured,
-        args.threads
-    );
-    let t0 = Instant::now();
-    let results = engine::run_parallel(&spec, args.threads).expect("sweep runs");
-    let parallel_s = t0.elapsed().as_secs_f64();
-    eprintln!("parallel sweep: {parallel_s:.2}s");
-
-    let (serial_s, verified) = if args.verify {
-        let t0 = Instant::now();
-        let serial = engine::run_serial(&spec).expect("serial sweep runs");
-        let serial_s = t0.elapsed().as_secs_f64();
-        let identical = serial == results;
-        eprintln!(
-            "serial reference: {serial_s:.2}s; parallel results {}",
-            if identical {
-                "bit-identical"
-            } else {
-                "DIVERGED"
-            }
-        );
-        (Some(serial_s), Some(identical))
-    } else {
-        (None, None)
-    };
-
-    let points: Vec<_> = spec.points().collect();
+/// Resolves `--budget` label overrides against the spec's workloads.
+fn budget_vector(args: &Args, spec: &SpaceSpec) -> report::BudgetVector {
     let mut budgets = report::BudgetVector::uniform(args.budget_frac);
     for (label, frac) in &args.budget_overrides {
         match spec.workloads.iter().find(|w| &w.label() == label) {
@@ -163,34 +164,197 @@ fn main() {
             }
         }
     }
-    let (poset, stars) = report::star_report_vec(&points, &results, &budgets);
-    eprintln!(
-        "budget {:.0}% of per-workload best ({} override(s)): {} survive, {} pruned, {} starred",
-        args.budget_frac * 100.0,
-        budgets.per_workload.len(),
-        stars.surviving.len(),
-        stars.pruned(points.len()),
-        stars.stars.len()
-    );
-    for &s in stars.stars.iter().take(12) {
-        let r = &results[s];
+    budgets
+}
+
+fn run_lazy(args: &Args, spec: &SpaceSpec, budgets: report::BudgetVector) {
+    if !args.quiet {
         eprintln!(
-            "  * {:>10}  {}",
-            fmt_rate(r.ops_per_sec),
-            poset.node(s).label
+            "lazy sweep `{}`: {} points x {} measured ops, {} worker(s)...",
+            spec.name,
+            spec.len(),
+            spec.measured,
+            args.threads
         );
     }
-    if stars.stars.len() > 12 {
-        eprintln!("  ... and {} more", stars.stars.len() - 12);
+    let cfg = lazy::LazyConfig {
+        threads: args.threads,
+        budgets,
+        verify_inference: args.verify_inference,
+        pareto_fracs: if args.pareto.is_some() {
+            PARETO_FRACS.to_vec()
+        } else {
+            Vec::new()
+        },
+    };
+    let t0 = Instant::now();
+    let mut last_print = Instant::now();
+    let mut progress_cb = |s: &lazy::ProgressSnapshot| {
+        if last_print.elapsed().as_secs_f64() < 2.0 && s.classified < s.total {
+            return;
+        }
+        last_print = Instant::now();
+        let eta = match s.eta_s {
+            Some(e) => format!("{e:.0}s"),
+            None => "?".to_string(),
+        };
+        eprintln!(
+            "  {} / {} classified ({} executed, {} remaining), {:.1}s elapsed, eta {eta}",
+            s.classified,
+            s.total,
+            s.executed,
+            s.total - s.classified,
+            s.elapsed_s
+        );
+    };
+    let progress: Option<&mut dyn FnMut(&lazy::ProgressSnapshot)> = if args.progress && !args.quiet
+    {
+        Some(&mut progress_cb)
+    } else {
+        None
+    };
+    let outcome = lazy::lazy_sweep_all(spec, &cfg, progress).expect("lazy sweep runs");
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    if !args.quiet {
+        eprintln!(
+            "lazy sweep: {} canonical ({} duplicates collapsed), {} executed + {} inferred, \
+             {} memo hits, skip rate {:.1}%, {wall_s:.2}s",
+            outcome.stats.canonical,
+            outcome.stats.points - outcome.stats.canonical,
+            outcome.stats.measured,
+            outcome.stats.inferred,
+            outcome.stats.memo_hits,
+            outcome.stats.skip_rate() * 100.0,
+        );
+        eprintln!(
+            "budget {:.0}% of per-workload best ({} override(s)): {} survive, {} pruned, \
+             {} starred",
+            args.budget_frac * 100.0,
+            args.budget_overrides.len(),
+            outcome.surviving.len(),
+            outcome.stats.points - outcome.surviving.len(),
+            outcome.stars.len()
+        );
+        for &s in outcome.stars.iter().take(12) {
+            let r = &outcome.results[&s];
+            eprintln!("  * {:>10}  {}", fmt_rate(r.ops_per_sec), spec.label_of(s));
+        }
+        if outcome.stars.len() > 12 {
+            eprintln!("  ... and {} more", outcome.stars.len() - 12);
+        }
+        if args.verify_inference {
+            match outcome.inference_misses.len() {
+                0 => eprintln!(
+                    "verify-inference: all {} skipped statuses confirmed by measurement",
+                    outcome.stats.inferred
+                ),
+                m => {
+                    eprintln!("verify-inference: {m} INFERENCE MISSES:");
+                    for &i in outcome.inference_misses.iter().take(12) {
+                        eprintln!("  ! {}", spec.label_of(i));
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(path) = &args.pareto {
+        std::fs::write(path, emit::pareto_json(spec, &outcome.pareto)).expect("pareto written");
+        if !args.quiet {
+            eprintln!(
+                "wrote {path} ({} workloads x {} budget levels)",
+                outcome.pareto.len(),
+                PARETO_FRACS.len()
+            );
+        }
+    }
+
+    let summary = emit::LazySummary::from_outcome(
+        spec,
+        &outcome,
+        args.threads,
+        wall_s,
+        args.budget_frac,
+        args.verify_inference,
+    );
+    println!("{}", summary.to_json());
+    if !outcome.inference_misses.is_empty() {
+        std::process::exit(4);
+    }
+}
+
+fn run_exhaustive(args: &Args, spec: &SpaceSpec, budgets: report::BudgetVector) {
+    if !args.quiet {
+        eprintln!(
+            "sweeping `{}`: {} points x {} measured ops, {} worker(s)...",
+            spec.name,
+            spec.len(),
+            spec.measured,
+            args.threads
+        );
+    }
+    let t0 = Instant::now();
+    let results = engine::run_parallel(spec, args.threads).expect("sweep runs");
+    let parallel_s = t0.elapsed().as_secs_f64();
+    if !args.quiet {
+        eprintln!("parallel sweep: {parallel_s:.2}s");
+    }
+
+    let (serial_s, verified) = if args.verify {
+        let t0 = Instant::now();
+        let serial = engine::run_serial(spec).expect("serial sweep runs");
+        let serial_s = t0.elapsed().as_secs_f64();
+        let identical = serial == results;
+        if !args.quiet {
+            eprintln!(
+                "serial reference: {serial_s:.2}s; parallel results {}",
+                if identical {
+                    "bit-identical"
+                } else {
+                    "DIVERGED"
+                }
+            );
+        }
+        (Some(serial_s), Some(identical))
+    } else {
+        (None, None)
+    };
+
+    let points: Vec<_> = spec.points().collect();
+    let (poset, stars) = report::star_report_vec(&points, &results, &budgets);
+    if !args.quiet {
+        eprintln!(
+            "budget {:.0}% of per-workload best ({} override(s)): {} survive, {} pruned, \
+             {} starred",
+            args.budget_frac * 100.0,
+            budgets.per_workload.len(),
+            stars.surviving.len(),
+            stars.pruned(points.len()),
+            stars.stars.len()
+        );
+        for &s in stars.stars.iter().take(12) {
+            let r = &results[s];
+            eprintln!(
+                "  * {:>10}  {}",
+                fmt_rate(r.ops_per_sec),
+                poset.node(s).label
+            );
+        }
+        if stars.stars.len() > 12 {
+            eprintln!("  ... and {} more", stars.stars.len() - 12);
+        }
     }
 
     if let Some(path) = &args.csv {
         std::fs::write(path, emit::csv(&points, &results)).expect("csv written");
-        eprintln!("wrote {path}");
+        if !args.quiet {
+            eprintln!("wrote {path}");
+        }
     }
 
     let summary = emit::summary(
-        &spec,
+        spec,
         &results,
         emit::RunTiming {
             threads: args.threads,
@@ -204,5 +368,39 @@ fn main() {
     println!("{}", summary.to_json());
     if verified == Some(false) {
         std::process::exit(3);
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            eprintln!(
+                "usage: sweep [--space NAME] [--threads N] [--budget-frac F] \
+                 [--budget WORKLOAD=F]... [--verify] [--csv PATH] \
+                 [--lazy] [--verify-inference] [--pareto PATH] [--progress] [--quiet]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let warmup = env_u64("SWEEP_WARMUP", 200);
+    let measured = env_u64("SWEEP_MEASURED", 2000);
+    let spec = match SpaceSpec::named(&args.space, warmup, measured) {
+        Some(s) => s,
+        None => {
+            eprintln!(
+                "sweep: unknown space `{}` (try full, full-profiled, quick, fig6-redis, \
+                 fig6-nginx)",
+                args.space
+            );
+            std::process::exit(2);
+        }
+    };
+    let budgets = budget_vector(&args, &spec);
+    if args.lazy {
+        run_lazy(&args, &spec, budgets);
+    } else {
+        run_exhaustive(&args, &spec, budgets);
     }
 }

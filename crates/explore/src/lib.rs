@@ -20,6 +20,11 @@ pub mod budget;
 pub mod poset;
 pub mod space;
 
-pub use budget::{prune_and_star, prune_and_star_by, StarReport};
+pub use budget::{
+    chain_cover, lazy_classify, minimal_among, prune_and_star, prune_and_star_by,
+    LazyClassification, PointStatus, StarReport,
+};
 pub use poset::{ConfigNode, Poset};
-pub use space::{fig6_config, fig6_space, profiled_config, Fig6Point, Strategy, FIG6_COMPONENTS};
+pub use space::{
+    assigned_config, fig6_config, fig6_space, profiled_config, Fig6Point, Strategy, FIG6_COMPONENTS,
+};

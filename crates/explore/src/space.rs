@@ -53,6 +53,24 @@ impl Strategy {
         }
     }
 
+    /// Compartment index of `FIG6_COMPONENTS[component]` under this
+    /// strategy — the index-only view of [`Strategy::partition`] (the
+    /// assignment does not depend on the app name), cheap enough for
+    /// O(n²) safety-order comparisons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `component >= 4`.
+    pub fn compartment_of(&self, component: usize) -> usize {
+        match self {
+            Strategy::Together => [0, 0, 0, 0][component],
+            Strategy::SplitLwip => [0, 0, 0, 1][component],
+            Strategy::SplitSched => [0, 0, 1, 0][component],
+            Strategy::SplitApp => [0, 0, 1, 1][component],
+            Strategy::ThreeWay => [0, 0, 1, 2][component],
+        }
+    }
+
     /// Number of compartments.
     pub fn compartments(&self) -> usize {
         match self {
@@ -183,6 +201,70 @@ pub fn profiled_config(
         let mut spec = CompartmentSpec::new(format!("comp{}", c + 1), mechanism);
         if c == 0 {
             spec = spec.default_compartment();
+        }
+        builder = builder.compartment(spec);
+    }
+    for (component, comp_idx) in strategy.partition(app) {
+        if comp_idx > 0 {
+            builder = builder.place(&component, &format!("comp{}", comp_idx + 1));
+        }
+    }
+    for (i, row) in FIG6_COMPONENTS.iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            let name = if *row == "app" { app } else { row };
+            builder = builder.harden_component(name, Hardening::FIG6_BUNDLE);
+        }
+    }
+    builder.build().expect("generated config is valid")
+}
+
+/// [`profiled_config`] with a *per-compartment* profile assignment: the
+/// PR 5 config API driven to its full generality. `profiles[c]` is the
+/// `(data-sharing, allocator)` profile of compartment `c`; entries
+/// beyond `strategy.compartments()` are ignored (they are the
+/// don't-care slots a product-enumerated assignment space carries for
+/// strategies with fewer compartments — the sweep's measurement memo
+/// collapses such duplicates before anything is built).
+///
+/// Compartment 0's profile becomes the image default; other
+/// compartments carry explicit overrides, so truly mixed images
+/// (shared-stack lwip next to a DSS scheduler, TLSF next to Lea heaps)
+/// come out of one enumeration. Single-compartment strategies collapse
+/// mechanism and data-sharing exactly like [`profiled_config`] — the
+/// allocator of slot 0 stays live.
+///
+/// # Panics
+///
+/// Panics if `profiles` has fewer entries than the strategy has
+/// compartments.
+pub fn assigned_config(
+    app: &str,
+    strategy: Strategy,
+    mechanism: Mechanism,
+    mask: u8,
+    profiles: &[(DataSharing, HeapKind)],
+) -> SafetyConfig {
+    let n = strategy.compartments();
+    assert!(profiles.len() >= n, "one profile per compartment");
+    if n == 1 {
+        return profiled_config(
+            app,
+            strategy,
+            mechanism,
+            mask,
+            DataSharing::default(),
+            profiles[0].1,
+        );
+    }
+    let mut builder = SafetyConfig::builder()
+        .data_sharing(profiles[0].0)
+        .default_allocator(profiles[0].1);
+    for (c, &(sharing, allocator)) in profiles.iter().enumerate().take(n) {
+        let mut spec = CompartmentSpec::new(format!("comp{}", c + 1), mechanism);
+        if c == 0 {
+            spec = spec.default_compartment();
+        } else {
+            spec = spec.with_data_sharing(sharing).with_allocator(allocator);
         }
         builder = builder.compartment(spec);
     }
@@ -334,6 +416,52 @@ mod tests {
             HeapKind::Tlsf,
         );
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn compartment_of_matches_the_partition() {
+        for s in Strategy::ALL {
+            let part = s.partition("app");
+            for (i, (_, comp)) in part.iter().enumerate() {
+                assert_eq!(s.compartment_of(i), *comp, "{s:?} component {i}");
+            }
+            assert!((0..4).all(|i| s.compartment_of(i) < s.compartments()));
+        }
+    }
+
+    #[test]
+    fn assigned_config_collapses_to_profiled_on_uniform_assignments() {
+        let uniform = assigned_config(
+            "redis",
+            Strategy::SplitApp,
+            Mechanism::IntelMpk,
+            0b0110,
+            &[(DataSharing::SharedStack, HeapKind::Lea); 3],
+        );
+        for c in 0..uniform.compartment_count() {
+            assert_eq!(uniform.data_sharing_of(c), DataSharing::SharedStack);
+            assert_eq!(uniform.profile_of(c).allocator, HeapKind::Lea);
+        }
+        // Single compartment: sharing collapses to the default exactly
+        // like `profiled_config`; the slot-0 allocator stays live.
+        let single = assigned_config(
+            "redis",
+            Strategy::Together,
+            Mechanism::IntelMpk,
+            0,
+            &[(DataSharing::SharedStack, HeapKind::Lea); 3],
+        );
+        let expected = profiled_config(
+            "redis",
+            Strategy::Together,
+            Mechanism::IntelMpk,
+            0,
+            DataSharing::SharedStack,
+            HeapKind::Lea,
+        );
+        assert_eq!(single, expected);
+        assert_eq!(single.data_sharing_of(0), DataSharing::Dss);
+        assert_eq!(single.profile_of(0).allocator, HeapKind::Lea);
     }
 
     #[test]

@@ -1,10 +1,12 @@
-//! Result emission: the `BENCH_sweep.json` summary line and CSV point
-//! dumps (no serde in the build environment — plain formatting, like
-//! the other `BENCH_*.json` emitters).
+//! Result emission: the `BENCH_sweep.json` summary lines (exhaustive
+//! and lazy), Pareto-frontier dumps, and CSV point dumps (no serde in
+//! the build environment — plain formatting, like the other
+//! `BENCH_*.json` emitters).
 
 use flexos_explore::StarReport;
 
 use crate::engine::PointResult;
+use crate::lazy::{LazyOutcome, WorkloadPareto};
 use crate::space::{SpaceSpec, SweepPoint};
 
 /// Renders the sweep as CSV, one row per point (header included):
@@ -125,6 +127,157 @@ pub fn total_cycles(results: &[PointResult]) -> u64 {
     results.iter().map(|r| r.cycles).sum()
 }
 
+/// The `BENCH_sweep.json` payload of a **lazy** run: how much of the
+/// space was enumerated, how little of it was executed, and whether
+/// the inference was verified.
+#[derive(Debug, Clone)]
+pub struct LazySummary {
+    /// Space name.
+    pub space: String,
+    /// Enumerated points explored.
+    pub points: usize,
+    /// Distinct canonical experiments among them.
+    pub canonical: usize,
+    /// Canonical experiments actually executed.
+    pub measured: usize,
+    /// Canonical experiments classified purely by order inference.
+    pub inferred: usize,
+    /// Measurement requests served from the memo.
+    pub memo_hits: usize,
+    /// Worker threads per measurement batch.
+    pub threads: usize,
+    /// Per-point warmup operations.
+    pub warmup: u64,
+    /// Per-point measured operations.
+    pub measured_ops: u64,
+    /// Wall-clock seconds of the whole lazy run.
+    pub wall_s: f64,
+    /// Default fractional budget of the primary classification.
+    pub budget_frac: f64,
+    /// Enumerated points surviving their workload's budget.
+    pub surviving: usize,
+    /// Starred (maximal surviving canonical) configurations.
+    pub stars: usize,
+    /// `Some(miss_count)` when `--verify-inference` ran (0 = the
+    /// monotonicity assumption held everywhere); `None` otherwise.
+    pub inference_misses: Option<usize>,
+}
+
+impl LazySummary {
+    /// Assembles the summary from a finished lazy run.
+    pub fn from_outcome(
+        spec: &SpaceSpec,
+        outcome: &LazyOutcome,
+        threads: usize,
+        wall_s: f64,
+        budget_frac: f64,
+        verified: bool,
+    ) -> LazySummary {
+        LazySummary {
+            space: spec.name.clone(),
+            points: outcome.stats.points,
+            canonical: outcome.stats.canonical,
+            measured: outcome.stats.measured,
+            inferred: outcome.stats.inferred,
+            memo_hits: outcome.stats.memo_hits,
+            threads,
+            warmup: spec.warmup,
+            measured_ops: spec.measured,
+            wall_s,
+            budget_frac,
+            surviving: outcome.surviving.len(),
+            stars: outcome.stars.len(),
+            inference_misses: verified.then_some(outcome.inference_misses.len()),
+        }
+    }
+
+    /// Fraction of enumerated points that never cost an execution.
+    pub fn skip_rate(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            1.0 - self.measured as f64 / self.points as f64
+        }
+    }
+
+    /// The single-line JSON rendering.
+    pub fn to_json(&self) -> String {
+        let misses = match self.inference_misses {
+            Some(m) => m.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"bench\":\"sweep\",\"mode\":\"lazy\",\"space\":\"{}\",\"points\":{},",
+                "\"canonical\":{},\"measured\":{},\"inferred\":{},\"memo_hits\":{},",
+                "\"skip_rate\":{:.4},\"threads\":{},\"warmup\":{},\"measured_ops\":{},",
+                "\"wall_s\":{:.3},\"budget_frac\":{},\"surviving\":{},\"stars\":{},",
+                "\"inference_misses\":{}}}"
+            ),
+            self.space,
+            self.points,
+            self.canonical,
+            self.measured,
+            self.inferred,
+            self.memo_hits,
+            self.skip_rate(),
+            self.threads,
+            self.warmup,
+            self.measured_ops,
+            self.wall_s,
+            self.budget_frac,
+            self.surviving,
+            self.stars,
+            misses,
+        )
+    }
+}
+
+/// Renders per-workload Pareto frontiers as a JSON document (the
+/// `--pareto PATH` payload): one object per workload, one
+/// `{frac, surviving, stars, star_labels}` entry per budget level,
+/// star labels derived on demand from the spec.
+pub fn pareto_json(spec: &SpaceSpec, pareto: &[WorkloadPareto]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!(
+        "{{\"space\":\"{}\",\"workloads\":[",
+        esc(&spec.name)
+    ));
+    for (i, wp) in pareto.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"workload\":\"{}\",\"levels\":[",
+            esc(&wp.workload.label())
+        ));
+        for (j, level) in wp.levels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"frac\":{},\"surviving\":{},\"stars\":{},\"star_labels\":[",
+                level.frac,
+                level.surviving,
+                level.stars.len()
+            ));
+            for (k, &s) in level.stars.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\"", esc(&spec.label_of(s))));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
 /// How a sweep was executed, wall-clock-wise (input to [`summary`]).
 #[derive(Debug, Clone, Copy)]
 pub struct RunTiming {
@@ -178,7 +331,6 @@ mod tests {
         (0..n)
             .map(|i| PointResult {
                 index: i,
-                label: format!("p{i}"),
                 ops: 10,
                 cycles: 100 + i as u64,
                 ops_per_sec: 1000.0,
@@ -226,5 +378,56 @@ mod tests {
     #[test]
     fn digest_sums_cycles() {
         assert_eq!(total_cycles(&fake_results(3)), 100 + 101 + 102);
+    }
+
+    #[test]
+    fn lazy_summary_reports_skip_rate() {
+        let s = LazySummary {
+            space: "full-profiled".into(),
+            points: 311_040,
+            canonical: 104_000,
+            measured: 26_000,
+            inferred: 78_000,
+            memo_hits: 250_000,
+            threads: 4,
+            warmup: 20,
+            measured_ops: 200,
+            wall_s: 12.0,
+            budget_frac: 0.8,
+            surviving: 1000,
+            stars: 40,
+            inference_misses: Some(0),
+        };
+        assert!((s.skip_rate() - (1.0 - 26_000.0 / 311_040.0)).abs() < 1e-12);
+        let json = s.to_json();
+        assert!(json.contains("\"mode\":\"lazy\""));
+        assert!(json.contains("\"measured\":26000"));
+        assert!(json.contains("\"inferred\":78000"));
+        assert!(json.contains("\"memo_hits\":250000"));
+        assert!(json.contains("\"skip_rate\":0.9164"));
+        assert!(json.contains("\"inference_misses\":0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn pareto_json_labels_stars_from_the_spec() {
+        use crate::lazy::{ParetoLevel, WorkloadPareto};
+        let spec = SpaceSpec::quick(1, 4);
+        let w = spec.workloads[0];
+        let pareto = vec![WorkloadPareto {
+            workload: w,
+            levels: vec![ParetoLevel {
+                frac: 0.8,
+                surviving: 3,
+                stars: vec![0],
+            }],
+        }];
+        let json = pareto_json(&spec, &pareto);
+        assert!(json.contains("\"space\":\"quick\""));
+        assert!(json.contains(&format!("\"workload\":\"{}\"", w.label())));
+        assert!(json.contains("\"frac\":0.8"));
+        assert!(json.contains(&format!("\"{}\"", spec.label_of(0))));
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

@@ -17,8 +17,9 @@
 //! results into per-point slots, so output order is always enumeration
 //! order regardless of completion order.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::OnceLock;
 
 use flexos_apps::workloads::{
     run_iperf_metrics, run_nginx_gets, run_redis_bench, RedisBench, RunMetrics,
@@ -26,18 +27,18 @@ use flexos_apps::workloads::{
 use flexos_machine::fault::Fault;
 use flexos_system::SystemBuilder;
 
-use crate::space::{SpaceSpec, Workload};
+use crate::space::{CanonicalPoint, SpaceSpec, Workload};
 
 /// Measured outcome of one sweep point. `ops`/`cycles` are virtual
 /// (simulated) quantities and the payload of the determinism guarantee;
 /// `ops_per_sec` is derived from them at the machine's calibrated
-/// clock.
+/// clock. Labels are *not* stored — derive them on demand with
+/// [`SpaceSpec::label_of`], so a 10⁵-point run holds no per-point
+/// strings.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointResult {
     /// Point index within the spec's enumeration.
     pub index: usize,
-    /// The point's label (copied so reports need no spec access).
-    pub label: String,
     /// Operations measured (requests; KiB for iPerf).
     pub ops: u64,
     /// Virtual cycles consumed by the measured phase.
@@ -47,10 +48,9 @@ pub struct PointResult {
 }
 
 impl PointResult {
-    fn new(index: usize, label: String, m: RunMetrics) -> PointResult {
+    fn new(index: usize, m: RunMetrics) -> PointResult {
         PointResult {
             index,
-            label,
             ops: m.ops,
             cycles: m.cycles,
             ops_per_sec: m.ops_per_sec,
@@ -105,7 +105,7 @@ pub fn run_point(spec: &SpaceSpec, index: usize) -> Result<PointResult, Fault> {
             run_iperf_metrics(&os, u64::from(recv_buf), spec.measured * 1024)?
         }
     };
-    Ok(PointResult::new(index, point.label, m))
+    Ok(PointResult::new(index, m))
 }
 
 /// Runs every point of `spec` on the calling thread, in enumeration
@@ -118,6 +118,78 @@ pub fn run_serial(spec: &SpaceSpec) -> Result<Vec<PointResult>, Fault> {
     (0..spec.len()).map(|i| run_point(spec, i)).collect()
 }
 
+/// Runs the given point `indices` of `spec` over `threads` worker
+/// threads, returning results in `indices` order (`results[k].index ==
+/// indices[k]`), bit-identical to running them serially at any worker
+/// count. The building block behind [`run_parallel`] and the lazy
+/// engine's measurement batches.
+///
+/// Workers self-schedule positions from an atomic cursor, so each
+/// result slot has exactly one writer — the slots are once-written
+/// [`OnceLock`]s, not mutexes.
+///
+/// # Errors
+///
+/// Every requested point is executed; when any fault, the
+/// first-by-position fault is returned and the rest are logged to
+/// stderr (a sweep must never silently drop a fault).
+///
+/// # Panics
+///
+/// Panics if a worker thread itself panicked (a point's simulation
+/// invariant failed).
+pub fn run_indices(
+    spec: &SpaceSpec,
+    indices: &[usize],
+    threads: usize,
+) -> Result<Vec<PointResult>, Fault> {
+    let n = indices.len();
+    let threads = threads.clamp(1, n.max(1));
+    let slots: Vec<OnceLock<Result<PointResult, Fault>>> =
+        (0..n).map(|_| OnceLock::new()).collect();
+    if threads <= 1 {
+        for (k, &i) in indices.iter().enumerate() {
+            slots[k].set(run_point(spec, i)).expect("slot written once");
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
+                        break;
+                    }
+                    slots[k]
+                        .set(run_point(spec, indices[k]))
+                        .expect("cursor hands each position to one worker");
+                });
+            }
+        });
+    }
+    let mut results = Vec::with_capacity(n);
+    let mut first_fault: Option<Fault> = None;
+    for (k, slot) in slots.into_iter().enumerate() {
+        match slot
+            .into_inner()
+            .expect("every position below the cursor was executed")
+        {
+            Ok(r) => results.push(r),
+            Err(fault) => {
+                if first_fault.is_none() {
+                    first_fault = Some(fault);
+                } else {
+                    eprintln!("sweep: point {} faulted: {fault:?}", indices[k]);
+                }
+            }
+        }
+    }
+    match first_fault {
+        Some(fault) => Err(fault),
+        None => Ok(results),
+    }
+}
+
 /// Runs every point of `spec` over `threads` worker threads. Results
 /// are returned in enumeration order and are bit-identical to
 /// [`run_serial`] of the same spec, at any worker count.
@@ -125,7 +197,7 @@ pub fn run_serial(spec: &SpaceSpec) -> Result<Vec<PointResult>, Fault> {
 /// # Errors
 ///
 /// The first (by point index) fault encountered; remaining points are
-/// still executed.
+/// still executed and their faults logged (see [`run_indices`]).
 ///
 /// # Panics
 ///
@@ -136,30 +208,64 @@ pub fn run_parallel(spec: &SpaceSpec, threads: usize) -> Result<Vec<PointResult>
     if threads <= 1 || n <= 1 {
         return run_serial(spec);
     }
-    let threads = threads.min(n);
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<PointResult, Fault>>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let result = run_point(spec, i);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every index below the cursor was executed")
+    let indices: Vec<usize> = (0..n).collect();
+    run_indices(spec, &indices, threads)
+}
+
+/// How a memoized run spent its executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Distinct canonical experiments actually built and run.
+    pub canonical: usize,
+    /// Points served from the memo instead of a fresh execution.
+    pub hits: usize,
+}
+
+/// [`run_parallel`] with a **measurement memo**: points are grouped by
+/// their [`CanonicalPoint`] key (per-compartment-profile spaces
+/// enumerate don't-care slots, so distinct indices can describe the
+/// same experiment), each canonical experiment is built and run
+/// exactly once, and the result fans back out to every duplicate
+/// index. Because a point's outcome is a pure function of its
+/// canonical key, the fanned-out results are bit-identical to fresh
+/// runs of every index.
+///
+/// # Errors
+///
+/// See [`run_indices`].
+pub fn run_memoized(
+    spec: &SpaceSpec,
+    threads: usize,
+) -> Result<(Vec<PointResult>, MemoStats), Fault> {
+    let n = spec.len();
+    let mut rep_position: HashMap<CanonicalPoint, usize> = HashMap::new();
+    let mut representatives: Vec<usize> = Vec::new();
+    let mut assignment: Vec<usize> = Vec::with_capacity(n);
+    for i in 0..n {
+        let key = spec.shape(i).canonical();
+        let pos = *rep_position.entry(key).or_insert_with(|| {
+            representatives.push(i);
+            representatives.len() - 1
+        });
+        assignment.push(pos);
+    }
+    let rep_results = run_indices(spec, &representatives, threads)?;
+    let results = assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &pos)| {
+            let mut r = rep_results[pos].clone();
+            r.index = i;
+            r
         })
-        .collect()
+        .collect();
+    Ok((
+        results,
+        MemoStats {
+            canonical: representatives.len(),
+            hits: n - representatives.len(),
+        },
+    ))
 }
 
 /// [`run_parallel`] with [`sweep_threads`] workers.

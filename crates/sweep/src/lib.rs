@@ -28,6 +28,13 @@
 //!   strength; budget pruning (scalar or per-workload
 //!   [`report::BudgetVector`]) and Figure 8-style stars then run over
 //!   the whole space.
+//! * [`lazy`] — the order-guided lazy engine: chain covers + binary
+//!   search over each scope of the §5 order, a measurement memo over
+//!   canonical experiments, and per-workload Pareto frontiers. On
+//!   mixed-profile spaces ([`SpaceSpec::full_profiled`], 3×10⁵
+//!   enumerated points) only the points the order cannot infer are
+//!   ever executed, with `--verify-inference` re-measuring the rest to
+//!   check the monotonicity assumption rather than trust it.
 //! * [`emit`] — JSON summaries (the checked-in `BENCH_sweep.json`) and
 //!   CSV point dumps for downstream plotting.
 //!
@@ -38,13 +45,24 @@
 
 pub mod emit;
 pub mod engine;
+pub mod lazy;
 pub mod report;
 pub mod space;
 
-pub use emit::{csv, SweepSummary};
-pub use engine::{run_parallel, run_point, run_serial, sweep_threads, PointResult};
+pub use emit::{csv, pareto_json, LazySummary, SweepSummary};
+pub use engine::{
+    run_indices, run_memoized, run_parallel, run_point, run_serial, sweep_threads, MemoStats,
+    PointResult,
+};
+pub use lazy::{
+    lazy_sweep, lazy_sweep_all, LazyConfig, LazyOutcome, LazyStats, ParetoLevel, ProgressSnapshot,
+    WorkloadPareto,
+};
 pub use report::{
     mechanism_rank, star_report, star_report_vec, sweep_leq, sweep_order_pairs, sweep_poset,
     BudgetVector,
 };
-pub use space::{SpaceSpec, SweepPoint, Workload};
+pub use space::{
+    component_allocators, component_share_strengths, CanonicalPoint, PointShape, SpaceSpec,
+    SweepPoint, Workload,
+};

@@ -41,36 +41,41 @@ pub fn mechanism_rank(m: Mechanism) -> u8 {
 }
 
 /// The generalized safety order: `a ≤ b` (a at most as safe as b) iff
-/// the points share a workload **and an allocator**, and `b` dominates
-/// `a` in partition refinement, per-component hardening, mechanism
-/// strength, and data-sharing strength (§5 assumption 2, now a live
-/// dimension since data sharing varies per compartment profile).
+/// the points share a workload **and a per-component allocator
+/// assignment**, and `b` dominates `a` in partition refinement,
+/// per-component hardening, mechanism strength, and per-component
+/// data-sharing strength (§5 assumption 2, now a live dimension since
+/// data sharing varies per compartment profile).
+///
+/// Both profile dimensions are compared per *component* (the four
+/// Figure 6 rows), not per compartment: mixed-profile spaces assign
+/// profiles per compartment, and compartment indices do not line up
+/// between two strategies' partitions — but every component exists in
+/// both, inheriting its compartment's profile. On uniform spaces every
+/// component carries the same scalar, so the componentwise comparison
+/// reduces exactly to the old scalar rule (including the
+/// single-compartment exemption, encoded as the all-bottom strength
+/// vector by [`component_share_strengths`]).
 ///
 /// The allocator is a *scoping* rule, not a safety dimension: §5 makes
-/// no safety claim about TLSF vs Lea, so points differing only there
-/// are incomparable — treating them as equal would tie two distinct
-/// configurations in both directions and break antisymmetry. Data
-/// sharing, by contrast, is ordered: `DataSharing::strength` is
-/// injective (shared-stack < heap-conversion < DSS), so the axis can
-/// never produce such a tie.
+/// no safety claim about TLSF vs Lea, so points differing there for
+/// any component are incomparable — treating them as equal would tie
+/// two distinct configurations in both directions and break
+/// antisymmetry. Data sharing, by contrast, is ordered:
+/// `DataSharing::strength` is injective (shared-stack <
+/// heap-conversion < DSS), so the axis can never produce such a tie.
+///
+/// [`component_share_strengths`]: crate::space::component_share_strengths
 pub fn sweep_leq(a: &SweepPoint, b: &SweepPoint) -> bool {
-    // A single-compartment point has no boundary, so its *collapsed*
-    // data-sharing value (Dss — deliberately chosen for config/byte
-    // compatibility, but the top of the strength order) must not block
-    // the "unsplit baseline ≤ any split" edges: for ordering purposes
-    // a boundary-less point sits at the bottom of the data-sharing
-    // dimension, exactly as its mechanism collapse already lands on
-    // the rank-0 bottom (`Mechanism::None`). Antisymmetry is safe:
-    // a split never refines down to an unsplit partition, so the
-    // exemption can only add edges out of single-compartment points.
-    let sharing_dominated =
-        a.strategy.compartments() == 1 || a.data_sharing.strength() <= b.data_sharing.strength();
     a.workload == b.workload
-        && a.allocator == b.allocator
+        && a.component_allocators() == b.component_allocators()
         && a.strategy.refined_by(&b.strategy)
         && a.hardened_subset_of(b)
         && mechanism_rank(a.mechanism) <= mechanism_rank(b.mechanism)
-        && sharing_dominated
+        && a.component_share_strengths()
+            .iter()
+            .zip(b.component_share_strengths())
+            .all(|(&x, y)| x <= y)
 }
 
 /// Every ordered pair `(i, j)`, `i ≠ j`, with `points[i] ≤ points[j]`
@@ -216,7 +221,6 @@ mod tests {
                 let ops_per_sec = 1_000_000.0 * (1.0 - penalty / 2.0);
                 PointResult {
                     index: p.index,
-                    label: p.label.clone(),
                     ops: 100,
                     cycles: 1000,
                     ops_per_sec,

@@ -96,10 +96,94 @@ pub struct SpaceSpec {
     /// Per-component hardening masks over
     /// [`flexos_explore::FIG6_COMPONENTS`].
     pub hardening_masks: Vec<u8>,
+    /// When `true`, the data-sharing × allocator axes are assigned
+    /// **per compartment slot** instead of image-uniformly: the space
+    /// enumerates every `(data_sharing, allocator)` profile value for
+    /// every compartment slot (slots = the max compartment count over
+    /// the strategies), so genuinely mixed images — a shared-stack lwip
+    /// next to a DSS scheduler, TLSF next to Lea heaps — become
+    /// first-class points. Slots beyond a strategy's compartment count
+    /// are don't-cares: distinct indices can then decode to the same
+    /// canonical experiment, which the engine's measurement memo
+    /// collapses (such a space must be explored lazily, never through
+    /// the dense poset — duplicates would break antisymmetry).
+    pub per_compartment_profiles: bool,
     /// Operations (requests / KiB) driven before measurement, per point.
     pub warmup: u64,
     /// Operations measured, per point.
     pub measured: u64,
+}
+
+/// The decoded axes of one point, without the built configuration or
+/// label — the cheap view the lazy engine uses for ordering and
+/// canonicalization over 10⁵-point spaces ([`SpaceSpec::point`] costs a
+/// config-builder walk per call; [`SpaceSpec::shape`] is arithmetic
+/// plus one small `Vec`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PointShape {
+    /// Index within the spec's enumeration.
+    pub index: usize,
+    /// The workload driven against the built image.
+    pub workload: Workload,
+    /// Compartmentalization strategy.
+    pub strategy: Strategy,
+    /// Effective mechanism ([`Mechanism::None`] when single-compartment).
+    pub mechanism: Mechanism,
+    /// Bit `i` hardens `FIG6_COMPONENTS[i]`.
+    pub hardening_mask: u8,
+    /// Effective per-compartment `(data-sharing, allocator)` profiles:
+    /// exactly `strategy.compartments()` entries, don't-care slots
+    /// dropped and the single-compartment sharing collapsed — two
+    /// shapes with equal canonical fields build byte-equal configs.
+    pub profiles: Vec<(DataSharing, HeapKind)>,
+}
+
+/// The canonical experiment identity of a point: every field that
+/// reaches the built configuration or the workload driver, and nothing
+/// else (the enumeration index is *not* part of it). Points of a
+/// per-compartment-profile space that differ only in don't-care slots
+/// share a key; the measurement memo runs each key once.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalPoint {
+    /// The workload driven.
+    pub workload: Workload,
+    /// Compartmentalization strategy.
+    pub strategy: Strategy,
+    /// Effective mechanism.
+    pub mechanism: Mechanism,
+    /// Per-component hardening mask.
+    pub hardening_mask: u8,
+    /// Effective per-compartment profiles.
+    pub profiles: Vec<(DataSharing, HeapKind)>,
+}
+
+impl PointShape {
+    /// Per-component hardening set for safety-order comparison.
+    pub fn hardened_subset_of(&self, other: &PointShape) -> bool {
+        self.hardening_mask & other.hardening_mask == self.hardening_mask
+    }
+
+    /// Per-component data-sharing strengths (see
+    /// [`component_share_strengths`]).
+    pub fn component_share_strengths(&self) -> [u8; 4] {
+        component_share_strengths(self.strategy, &self.profiles)
+    }
+
+    /// Per-component allocators (see [`component_allocators`]).
+    pub fn component_allocators(&self) -> [HeapKind; 4] {
+        component_allocators(self.strategy, &self.profiles)
+    }
+
+    /// This shape's canonical experiment identity.
+    pub fn canonical(&self) -> CanonicalPoint {
+        CanonicalPoint {
+            workload: self.workload,
+            strategy: self.strategy,
+            mechanism: self.mechanism,
+            hardening_mask: self.hardening_mask,
+            profiles: self.profiles.clone(),
+        }
+    }
 }
 
 /// One generated point of a [`SpaceSpec`].
@@ -114,14 +198,19 @@ pub struct SweepPoint {
     /// *Effective* mechanism: the axis value, or [`Mechanism::None`]
     /// for single-compartment strategies (no boundary to guard).
     pub mechanism: Mechanism,
-    /// *Effective* data-sharing profile: the axis value, or the default
-    /// ([`DataSharing::Dss`]) for single-compartment strategies (no
-    /// boundary to cross).
+    /// *Effective* data-sharing profile of compartment 0: the axis
+    /// value, or the default ([`DataSharing::Dss`]) for
+    /// single-compartment strategies (no boundary to cross).
     pub data_sharing: DataSharing,
-    /// Heap-allocator profile of every compartment in the point.
+    /// Heap-allocator profile of compartment 0 (the image default; the
+    /// whole image in uniform-profile spaces).
     pub allocator: HeapKind,
     /// Bit `i` hardens `FIG6_COMPONENTS[i]` with the Figure 6 bundle.
     pub hardening_mask: u8,
+    /// Effective per-compartment `(data-sharing, allocator)` profiles
+    /// (`strategy.compartments()` entries; uniform spaces repeat the
+    /// scalar axes).
+    pub profiles: Vec<(DataSharing, HeapKind)>,
     /// The buildable configuration.
     pub config: SafetyConfig,
     /// Human-readable label.
@@ -133,6 +222,54 @@ impl SweepPoint {
     pub fn hardened_subset_of(&self, other: &SweepPoint) -> bool {
         self.hardening_mask & other.hardening_mask == self.hardening_mask
     }
+
+    /// Per-component data-sharing strengths (see
+    /// [`component_share_strengths`]).
+    pub fn component_share_strengths(&self) -> [u8; 4] {
+        component_share_strengths(self.strategy, &self.profiles)
+    }
+
+    /// Per-component allocators (see [`component_allocators`]).
+    pub fn component_allocators(&self) -> [HeapKind; 4] {
+        component_allocators(self.strategy, &self.profiles)
+    }
+}
+
+/// Data-sharing strength seen by each of [`FIG6_COMPONENTS`]'s four
+/// components: a component inherits its compartment's profile under
+/// `strategy`'s partition. Single-compartment strategies sit at the
+/// bottom (`[0; 4]`) — a boundary-less image has no sharing policy to
+/// rank, so it must not block the "unsplit baseline ≤ any split"
+/// edges (mirroring the mechanism collapse onto rank-0
+/// [`Mechanism::None`]).
+///
+/// [`FIG6_COMPONENTS`]: flexos_explore::FIG6_COMPONENTS
+pub fn component_share_strengths(
+    strategy: Strategy,
+    profiles: &[(DataSharing, HeapKind)],
+) -> [u8; 4] {
+    let mut out = [0u8; 4];
+    if strategy.compartments() > 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = profiles[strategy.compartment_of(i)].0.strength();
+        }
+    }
+    out
+}
+
+/// Heap allocator seen by each of the four components under
+/// `strategy`'s partition — the componentwise form of the order's
+/// allocator *scoping* rule (points are comparable only when every
+/// component keeps its allocator).
+pub fn component_allocators(
+    strategy: Strategy,
+    profiles: &[(DataSharing, HeapKind)],
+) -> [HeapKind; 4] {
+    let mut out = [profiles[0].1; 4];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = profiles[strategy.compartment_of(i)].1;
+    }
+    out
 }
 
 impl SpaceSpec {
@@ -157,6 +294,7 @@ impl SpaceSpec {
             data_sharings: vec![DataSharing::Dss],
             allocators: vec![HeapKind::Tlsf],
             hardening_masks: (0u8..16).collect(),
+            per_compartment_profiles: false,
             warmup,
             measured,
         }
@@ -191,8 +329,25 @@ impl SpaceSpec {
             ],
             allocators: vec![HeapKind::Tlsf, HeapKind::Lea],
             hardening_masks: (0u8..16).collect(),
+            per_compartment_profiles: false,
             warmup,
             measured,
+        }
+    }
+
+    /// [`SpaceSpec::full`] with the profile axes assigned **per
+    /// compartment slot**: 10 workloads × 9 `(strategy, mechanism)`
+    /// shapes × 6³ profile assignments (3 data-sharing × 2 allocator
+    /// values over 3 slots) × 16 hardening masks = **311,040 points**,
+    /// of which 104,000 are canonical experiments (don't-care slots of
+    /// 1- and 2-compartment strategies collapse; the measurement memo
+    /// deduplicates). Exhaustive measurement is off the table at this
+    /// size — the space exists to be explored lazily.
+    pub fn full_profiled(warmup: u64, measured: u64) -> SpaceSpec {
+        SpaceSpec {
+            name: "full-profiled".to_string(),
+            per_compartment_profiles: true,
+            ..SpaceSpec::full(warmup, measured)
         }
     }
 
@@ -220,19 +375,21 @@ impl SpaceSpec {
             data_sharings: vec![DataSharing::Dss, DataSharing::SharedStack],
             allocators: vec![HeapKind::Tlsf, HeapKind::Lea],
             hardening_masks: vec![0b0000, 0b1111],
+            per_compartment_profiles: false,
             warmup,
             measured,
         }
     }
 
     /// Resolves a named space (`fig6-redis`, `fig6-nginx`, `quick`,
-    /// `full`).
+    /// `full`, `full-profiled`).
     pub fn named(name: &str, warmup: u64, measured: u64) -> Option<SpaceSpec> {
         match name {
             "fig6-redis" => Some(SpaceSpec::fig6("redis", warmup, measured)),
             "fig6-nginx" => Some(SpaceSpec::fig6("nginx", warmup, measured)),
             "quick" => Some(SpaceSpec::quick(warmup, measured)),
             "full" => Some(SpaceSpec::full(warmup, measured)),
+            "full-profiled" => Some(SpaceSpec::full_profiled(warmup, measured)),
             _ => None,
         }
     }
@@ -256,12 +413,63 @@ impl SpaceSpec {
         out
     }
 
+    /// The `(data_sharing, allocator)` profile values a per-compartment
+    /// slot enumerates, sharing-major (matching the uniform axes'
+    /// nesting).
+    fn profile_values(&self) -> Vec<(DataSharing, HeapKind)> {
+        let mut out = Vec::new();
+        for &ds in &self.data_sharings {
+            for &al in &self.allocators {
+                out.push((ds, al));
+            }
+        }
+        out
+    }
+
+    /// Profile slots enumerated per point in per-compartment mode: the
+    /// largest compartment count any strategy needs.
+    fn profile_slots(&self) -> usize {
+        self.strategies
+            .iter()
+            .map(flexos_explore::Strategy::compartments)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The `(strategy, effective mechanism)` combinations of
+    /// per-compartment-profile mode (data sharing now lives in the
+    /// profile slots); the mechanism still collapses for
+    /// single-compartment strategies.
+    fn shape_combos(&self) -> Vec<(Strategy, Mechanism)> {
+        let mut out = Vec::new();
+        for &s in &self.strategies {
+            if s.compartments() == 1 {
+                out.push((s, Mechanism::None));
+            } else {
+                for &m in &self.mechanisms {
+                    out.push((s, m));
+                }
+            }
+        }
+        out
+    }
+
     /// Number of points in the space.
     pub fn len(&self) -> usize {
-        self.workloads.len()
-            * self.combos().len()
-            * self.allocators.len()
-            * self.hardening_masks.len()
+        if self.per_compartment_profiles {
+            self.workloads.len()
+                * self.shape_combos().len()
+                * self
+                    .profile_values()
+                    .len()
+                    .pow(u32::try_from(self.profile_slots()).expect("tiny slot count"))
+                * self.hardening_masks.len()
+        } else {
+            self.workloads.len()
+                * self.combos().len()
+                * self.allocators.len()
+                * self.hardening_masks.len()
+        }
     }
 
     /// `true` when any axis is empty.
@@ -269,59 +477,127 @@ impl SpaceSpec {
         self.len() == 0
     }
 
-    /// Generates point `index` (workload-major, then strategy, then
-    /// mechanism, then data sharing, then allocator, then hardening
-    /// mask).
+    /// Decodes the axes of point `index` without building its
+    /// configuration or label — arithmetic plus one `compartments()`-
+    /// sized `Vec`, cheap enough to call 10⁵ times for ordering and
+    /// canonicalization. Uniform spaces decode workload-major, then
+    /// strategy, then mechanism, then data sharing, then allocator,
+    /// then hardening mask; per-compartment-profile spaces replace the
+    /// two profile axes with slot-0-major profile assignment digits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn shape(&self, index: usize) -> PointShape {
+        let masks = self.hardening_masks.len();
+        if self.per_compartment_profiles {
+            let combos = self.shape_combos();
+            let values = self.profile_values();
+            let slots = self.profile_slots();
+            let assigns = values
+                .len()
+                .pow(u32::try_from(slots).expect("tiny slot count"));
+            let per_workload = combos.len() * assigns * masks;
+            let workload = self.workloads[index / per_workload];
+            let rem = index % per_workload;
+            let (strategy, mechanism) = combos[rem / (assigns * masks)];
+            let mut digits = (rem % (assigns * masks)) / masks;
+            let mut assignment = vec![values[0]; slots];
+            for slot in (0..slots).rev() {
+                assignment[slot] = values[digits % values.len()];
+                digits /= values.len();
+            }
+            let n = strategy.compartments();
+            assignment.truncate(n);
+            if n == 1 {
+                // No boundary: the sharing slot is a don't-care; pin it
+                // to the same collapsed default as the uniform axes so
+                // equal canonical keys mean equal configs.
+                assignment[0].0 = DataSharing::default();
+            }
+            PointShape {
+                index,
+                workload,
+                strategy,
+                mechanism,
+                hardening_mask: self.hardening_masks[index % masks],
+                profiles: assignment,
+            }
+        } else {
+            let combos = self.combos();
+            let allocs = self.allocators.len();
+            let per_workload = combos.len() * allocs * masks;
+            let workload = self.workloads[index / per_workload];
+            let rem = index % per_workload;
+            let (strategy, mechanism, data_sharing) = combos[rem / (allocs * masks)];
+            let allocator = self.allocators[(rem % (allocs * masks)) / masks];
+            PointShape {
+                index,
+                workload,
+                strategy,
+                mechanism,
+                hardening_mask: self.hardening_masks[index % masks],
+                profiles: vec![(data_sharing, allocator); strategy.compartments()],
+            }
+        }
+    }
+
+    /// Derives point `index`'s human-readable label from its shape
+    /// alone — no config build, no per-point allocation held anywhere
+    /// (reports call this on demand instead of storing 10⁵ strings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn label_of(&self, index: usize) -> String {
+        label_from_shape(&self.shape(index))
+    }
+
+    /// Generates point `index` (see [`SpaceSpec::shape`] for the
+    /// enumeration order).
     ///
     /// # Panics
     ///
     /// Panics if `index >= self.len()`.
     pub fn point(&self, index: usize) -> SweepPoint {
-        let combos = self.combos();
-        let masks = self.hardening_masks.len();
-        let allocs = self.allocators.len();
-        let per_workload = combos.len() * allocs * masks;
-        let workload = self.workloads[index / per_workload];
-        let rem = index % per_workload;
-        let (strategy, mechanism, data_sharing) = combos[rem / (allocs * masks)];
-        let allocator = self.allocators[(rem % (allocs * masks)) / masks];
-        let mask = self.hardening_masks[index % masks];
-        let app = workload.app();
+        let shape = self.shape(index);
+        let app = shape.workload.app();
+        let (data_sharing, allocator) = shape.profiles[0];
         // The one copy of the Figure 6 construction rules, profile
         // parameterized (`flexos_explore::fig6_space` shares it through
-        // the pinned-axes wrapper).
-        let config = flexos_explore::profiled_config(
-            app,
-            strategy,
-            mechanism,
-            mask,
-            data_sharing,
-            allocator,
-        );
-        let dots: String = (0..4)
-            .map(|i| if mask & (1 << i) != 0 { '•' } else { '◦' })
-            .collect();
-        let mech = match mechanism {
-            Mechanism::None => "none",
-            Mechanism::IntelMpk => "mpk",
-            Mechanism::VmEpt => "ept",
-            Mechanism::PageTable => "pt",
-            _ => "cubicle",
+        // the pinned-axes wrapper). Uniform spaces keep the historical
+        // `profiled_config` path so their configs stay byte-identical;
+        // mixed assignments go through the per-compartment builder.
+        let config = if self.per_compartment_profiles {
+            flexos_explore::assigned_config(
+                app,
+                shape.strategy,
+                shape.mechanism,
+                shape.hardening_mask,
+                &shape.profiles,
+            )
+        } else {
+            flexos_explore::profiled_config(
+                app,
+                shape.strategy,
+                shape.mechanism,
+                shape.hardening_mask,
+                data_sharing,
+                allocator,
+            )
         };
+        let label = label_from_shape(&shape);
         SweepPoint {
             index,
-            workload,
-            strategy,
-            mechanism,
+            workload: shape.workload,
+            strategy: shape.strategy,
+            mechanism: shape.mechanism,
             data_sharing,
             allocator,
-            hardening_mask: mask,
+            hardening_mask: shape.hardening_mask,
+            profiles: shape.profiles,
             config,
-            label: format!(
-                "[{dots}] {} · {mech} · {data_sharing} · {allocator} · {}",
-                strategy.label(app),
-                workload.label()
-            ),
+            label,
         }
     }
 
@@ -329,6 +605,46 @@ impl SpaceSpec {
     pub fn points(&self) -> impl Iterator<Item = SweepPoint> + '_ {
         (0..self.len()).map(|i| self.point(i))
     }
+}
+
+/// Renders a shape's label. Points with one profile across every
+/// compartment print the historical scalar form (`dss · tlsf`);
+/// genuinely mixed assignments join per-compartment entries
+/// (`dss/tlsf+shared-stack/lea`).
+fn label_from_shape(shape: &PointShape) -> String {
+    let app = shape.workload.app();
+    let dots: String = (0..4)
+        .map(|i| {
+            if shape.hardening_mask & (1 << i) != 0 {
+                '•'
+            } else {
+                '◦'
+            }
+        })
+        .collect();
+    let mech = match shape.mechanism {
+        Mechanism::None => "none",
+        Mechanism::IntelMpk => "mpk",
+        Mechanism::VmEpt => "ept",
+        Mechanism::PageTable => "pt",
+        _ => "cubicle",
+    };
+    let (ds0, al0) = shape.profiles[0];
+    let profile = if shape.profiles.iter().all(|&p| p == (ds0, al0)) {
+        format!("{ds0} · {al0}")
+    } else {
+        let slots: Vec<String> = shape
+            .profiles
+            .iter()
+            .map(|(ds, al)| format!("{ds}/{al}"))
+            .collect();
+        slots.join("+")
+    };
+    format!(
+        "[{dots}] {} · {mech} · {profile} · {}",
+        shape.strategy.label(app),
+        shape.workload.label()
+    )
 }
 
 #[cfg(test)]
@@ -424,5 +740,124 @@ mod tests {
         for (i, p) in spec.points().enumerate() {
             assert_eq!(p.index, i);
         }
+    }
+
+    #[test]
+    fn shapes_agree_with_points_and_labels() {
+        let mut profiled = SpaceSpec::quick(5, 20);
+        profiled.per_compartment_profiles = true;
+        for spec in [SpaceSpec::quick(5, 20), profiled] {
+            for i in (0..spec.len()).step_by(7) {
+                let s = spec.shape(i);
+                let p = spec.point(i);
+                assert_eq!(s.index, i);
+                assert_eq!(s.workload, p.workload);
+                assert_eq!(s.strategy, p.strategy);
+                assert_eq!(s.mechanism, p.mechanism);
+                assert_eq!(s.hardening_mask, p.hardening_mask);
+                assert_eq!(s.profiles, p.profiles);
+                assert_eq!(s.profiles.len(), p.strategy.compartments());
+                assert_eq!(spec.label_of(i), p.label);
+            }
+        }
+    }
+
+    #[test]
+    fn full_profiled_space_exceeds_1e5_points() {
+        let spec = SpaceSpec::full_profiled(5, 20);
+        // 10 workloads x 9 (strategy, mech) shapes x 6^3 assignments x
+        // 16 masks.
+        assert_eq!(spec.len(), 311_040);
+        assert!(spec.len() >= 100_000);
+    }
+
+    #[test]
+    fn profiled_duplicates_share_canonical_key_and_config() {
+        let mut spec = SpaceSpec::quick(5, 20);
+        spec.per_compartment_profiles = true;
+        assert_eq!(spec.len(), 4608);
+        let mut by_key: std::collections::HashMap<CanonicalPoint, usize> =
+            std::collections::HashMap::new();
+        let mut checked = 0;
+        for i in 0..spec.len() {
+            let key = spec.shape(i).canonical();
+            match by_key.entry(key) {
+                std::collections::hash_map::Entry::Occupied(seen) => {
+                    // Don't-care-slot duplicates must build the same
+                    // experiment, byte for byte (sampled: config
+                    // building is the expensive part).
+                    if checked < 32 {
+                        let a = spec.point(*seen.get());
+                        let b = spec.point(i);
+                        assert_eq!(a.config, b.config, "{} vs {}", a.index, b.index);
+                        assert_eq!(a.label, b.label);
+                        checked += 1;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(i);
+                }
+            }
+        }
+        // Per workload x mask: Together keeps only its slot-0 allocator
+        // (2), each 2-compartment strategy 4^2 assignments x 2 mechs,
+        // the 3-way strategy 4^3 x 2 mechs.
+        let canonical_per_group = 2 + 3 * 2 * 16 + 2 * 64;
+        assert_eq!(by_key.len(), 4 * 2 * canonical_per_group);
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn mixed_profiles_reach_the_built_config() {
+        let mut spec = SpaceSpec::quick(5, 20);
+        spec.per_compartment_profiles = true;
+        let mixed = spec
+            .points()
+            .find(|p| {
+                p.strategy.compartments() == 3
+                    && p.profiles[0] == (DataSharing::Dss, HeapKind::Tlsf)
+                    && p.profiles[1] == (DataSharing::SharedStack, HeapKind::Lea)
+            })
+            .expect("profiled quick space has mixed three-way points");
+        assert_eq!(mixed.config.data_sharing_of(0), DataSharing::Dss);
+        assert_eq!(mixed.config.profile_of(0).allocator, HeapKind::Tlsf);
+        assert_eq!(mixed.config.data_sharing_of(1), DataSharing::SharedStack);
+        assert_eq!(mixed.config.profile_of(1).allocator, HeapKind::Lea);
+    }
+
+    #[test]
+    fn componentwise_order_vectors_follow_the_partition() {
+        // ThreeWay: app+newlib -> comp 0, sched -> comp 1, lwip -> comp 2.
+        let profiles = [
+            (DataSharing::Dss, HeapKind::Tlsf),
+            (DataSharing::SharedStack, HeapKind::Lea),
+            (DataSharing::HeapConversion, HeapKind::Tlsf),
+        ];
+        let strengths = component_share_strengths(Strategy::ThreeWay, &profiles);
+        assert_eq!(
+            strengths,
+            [
+                DataSharing::Dss.strength(),
+                DataSharing::Dss.strength(),
+                DataSharing::SharedStack.strength(),
+                DataSharing::HeapConversion.strength(),
+            ]
+        );
+        assert_eq!(
+            component_allocators(Strategy::ThreeWay, &profiles),
+            [
+                HeapKind::Tlsf,
+                HeapKind::Tlsf,
+                HeapKind::Lea,
+                HeapKind::Tlsf
+            ]
+        );
+        // Single compartment: the sharing dimension bottoms out.
+        let one = [(DataSharing::Dss, HeapKind::Lea)];
+        assert_eq!(component_share_strengths(Strategy::Together, &one), [0; 4]);
+        assert_eq!(
+            component_allocators(Strategy::Together, &one),
+            [HeapKind::Lea; 4]
+        );
     }
 }

@@ -1,0 +1,162 @@
+//! Order-guided lazy sweep (ISSUE 7 acceptance): the lazy engine's
+//! star report, pruned set, and budget-vector output must be
+//! **bit-identical** to the exhaustive engine's while measuring fewer
+//! points; the measurement memo must execute exactly one run per
+//! canonical experiment and fan out bit-identical results; and both
+//! properties must hold on a seeded random slice of the 3×10⁵-point
+//! `full-profiled` mixed-profile space, with `verify_inference`
+//! re-measuring every skipped point to confirm the monotonicity
+//! assumption.
+
+use std::collections::{BTreeSet, HashSet};
+
+use flexos::sweep::{engine, lazy, report, SpaceSpec, Workload};
+use flexos_explore::Strategy;
+
+#[test]
+fn memoized_run_executes_once_per_canonical_point_and_matches_fresh() {
+    // A mixed-profile slice with real duplicate pressure: one workload,
+    // one mechanism, strategies of 1/2/3 compartments — ThreeWay forces
+    // three profile slots, so Together's and SplitLwip's trailing slots
+    // are don't-cares and collapse (648 points, 254 experiments).
+    let mut spec = SpaceSpec::full_profiled(2, 8);
+    spec.workloads.truncate(1);
+    spec.mechanisms.truncate(1);
+    spec.strategies = vec![Strategy::Together, Strategy::SplitLwip, Strategy::ThreeWay];
+    spec.hardening_masks = vec![0b0000];
+    let n = spec.len();
+    let canonical: HashSet<_> = (0..n).map(|i| spec.shape(i).canonical()).collect();
+    assert_eq!((n, canonical.len()), (648, 254));
+
+    let fresh = engine::run_serial(&spec).expect("serial sweep");
+    let (memoized, stats) = engine::run_memoized(&spec, 4).expect("memoized sweep");
+    assert_eq!(stats.canonical, canonical.len());
+    assert_eq!(stats.hits, n - canonical.len());
+    // Bit-identical fan-out: a duplicate's memoized result must equal a
+    // fresh execution of that exact index, cycles and float bits alike.
+    assert_eq!(memoized, fresh);
+}
+
+#[test]
+fn lazy_matches_exhaustive_on_the_quick_space() {
+    let spec = SpaceSpec::quick(2, 16);
+    assert_eq!(spec.len(), 272);
+    let points: Vec<_> = spec.points().collect();
+    let results = engine::run_serial(&spec).expect("serial sweep");
+
+    // The CI budget vector: uniform 0.8 with a stricter nginx override.
+    let budgets = report::BudgetVector::uniform(0.8).with(Workload::NginxGet, 0.9);
+    let (_, exhaustive) = report::star_report_vec(&points, &results, &budgets);
+
+    let cfg = lazy::LazyConfig {
+        threads: 4,
+        budgets,
+        verify_inference: true,
+        pareto_fracs: vec![0.5, 0.8],
+    };
+    let out = lazy::lazy_sweep_all(&spec, &cfg, None).expect("lazy sweep");
+
+    // Bit-identical pruned set, star set, and (via the vector) the
+    // per-workload budget behavior.
+    assert_eq!(out.surviving, exhaustive.surviving);
+    assert_eq!(out.stars, exhaustive.stars);
+    assert!(
+        out.inference_misses.is_empty(),
+        "{:?}",
+        out.inference_misses
+    );
+    // ... while actually measuring less (frozen before verification).
+    assert!(
+        out.stats.measured < out.stats.points,
+        "lazy measured {}/{}",
+        out.stats.measured,
+        out.stats.points
+    );
+    assert_eq!(out.stats.measured + out.stats.inferred, out.stats.canonical);
+
+    // The 0.8 Pareto level must agree with an exhaustive uniform-0.8
+    // report, workload by workload.
+    let (_, uniform) = report::star_report(&points, &results, 0.8);
+    for wp in &out.pareto {
+        let level = wp
+            .levels
+            .iter()
+            .find(|l| (l.frac - 0.8).abs() < 1e-12)
+            .expect("0.8 level present");
+        let surviving = uniform
+            .surviving
+            .iter()
+            .filter(|&&i| points[i].workload == wp.workload)
+            .count();
+        let stars: Vec<usize> = uniform
+            .stars
+            .iter()
+            .copied()
+            .filter(|&i| points[i].workload == wp.workload)
+            .collect();
+        assert_eq!(level.surviving, surviving, "{:?}", wp.workload);
+        assert_eq!(level.stars, stars, "{:?}", wp.workload);
+    }
+}
+
+/// Deterministic xorshift64 — the seeded sampler for the slice test.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+#[test]
+fn lazy_matches_exhaustive_on_a_seeded_full_profiled_slice() {
+    let spec = SpaceSpec::full_profiled(2, 8);
+    assert!(
+        spec.len() >= 100_000,
+        "full-profiled must exceed 1e5 points"
+    );
+
+    // 500 canonically-distinct points: duplicates are order-equal and
+    // would make the exhaustive star set (which has no canonicalization
+    // layer) annihilate them pairwise.
+    let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+    let mut seen = HashSet::new();
+    let mut sample = BTreeSet::new();
+    while sample.len() < 500 {
+        let i = (rng.next() % spec.len() as u64) as usize;
+        if seen.insert(spec.shape(i).canonical()) {
+            sample.insert(i);
+        }
+    }
+    let indices: Vec<usize> = sample.into_iter().collect();
+
+    let points: Vec<_> = indices.iter().map(|&i| spec.point(i)).collect();
+    let results: Vec<_> = indices
+        .iter()
+        .map(|&i| engine::run_point(&spec, i).expect("point runs"))
+        .collect();
+    let budgets = report::BudgetVector::uniform(0.8);
+    let (_, exhaustive) = report::star_report_vec(&points, &results, &budgets);
+    let expected_surviving: Vec<usize> = exhaustive.surviving.iter().map(|&p| indices[p]).collect();
+    let expected_stars: Vec<usize> = exhaustive.stars.iter().map(|&p| indices[p]).collect();
+
+    let cfg = lazy::LazyConfig {
+        threads: 4,
+        budgets,
+        verify_inference: true,
+        pareto_fracs: Vec::new(),
+    };
+    let out = lazy::lazy_sweep(&spec, &indices, &cfg, None).expect("lazy sweep");
+    assert_eq!(out.surviving, expected_surviving);
+    assert_eq!(out.stars, expected_stars);
+    assert!(
+        out.inference_misses.is_empty(),
+        "{:?}",
+        out.inference_misses
+    );
+    assert_eq!(out.stats.points, 500);
+    assert_eq!(out.stats.canonical, 500, "sampler guarantees distinct keys");
+}
