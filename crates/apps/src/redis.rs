@@ -114,8 +114,18 @@ impl RedisServer {
     ///
     /// Stack faults.
     pub fn start(&self) -> Result<(), Fault> {
+        self.start_on(REDIS_PORT)
+    }
+
+    /// Binds and listens on an explicit port — multi-tenant images run
+    /// several Redis instances side by side, one port per tenant.
+    ///
+    /// # Errors
+    ///
+    /// Stack faults.
+    pub fn start_on(&self, port: u16) -> Result<(), Fault> {
         self.env.run_as(self.id, || {
-            let sock = self.libc.listen(REDIS_PORT)?;
+            let sock = self.libc.listen(port)?;
             self.listener.set(Some(sock));
             Ok(())
         })

@@ -50,16 +50,33 @@ fn metrics(os: &FlexOs, ops: u64, cycles: u64) -> RunMetrics {
 ///
 /// Missing component or substrate faults.
 pub fn install_redis(os: &FlexOs) -> Result<Rc<RedisServer>, Fault> {
-    let id = os.component("redis").ok_or_else(|| Fault::InvalidConfig {
-        reason: "image has no `redis` component".to_string(),
-    })?;
+    install_redis_named(os, "redis", REDIS_PORT)
+}
+
+/// Installs a Redis server from an arbitrarily named component on an
+/// explicit port — multi-tenant images register `redis-a`/`redis-b` and
+/// run one instance per tenant, side by side.
+///
+/// # Errors
+///
+/// Missing component or substrate faults.
+pub fn install_redis_named(
+    os: &FlexOs,
+    component: &str,
+    port: u16,
+) -> Result<Rc<RedisServer>, Fault> {
+    let id = os
+        .component(component)
+        .ok_or_else(|| Fault::InvalidConfig {
+            reason: format!("image has no `{component}` component"),
+        })?;
     let server = Rc::new(RedisServer::new(
         Rc::clone(&os.env),
         id,
         Rc::clone(&os.libc),
         Rc::clone(&os.sched),
     )?);
-    server.start()?;
+    server.start_on(port)?;
     Ok(server)
 }
 

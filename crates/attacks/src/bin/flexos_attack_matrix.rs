@@ -3,8 +3,12 @@
 //! expectation oracle and the §5 safety order.
 //!
 //! ```text
-//! flexos_attack_matrix [--space quick|full] [--quiet]
+//! flexos_attack_matrix [--space quick|full] [--budget] [--quiet]
 //! ```
+//!
+//! `--budget` doubles the grid: every point runs unbudgeted *and* with
+//! the uniform [`flexos_attacks::GRID_BUDGET`] compartment budget, and
+//! the order check spans the unbudgeted -> budgeted edges.
 //!
 //! Prints the matrix as one JSON line on stdout (machine-readable,
 //! like the sweep binary) and a human summary on stderr. Exit status:
@@ -12,15 +16,16 @@
 //! monotone, `2` on any expectation or monotonicity violation, `3` on
 //! usage or infrastructure errors.
 
-use flexos_attacks::{attack_space, attack_space_quick, run_matrix};
+use flexos_attacks::{attack_space, attack_space_quick, run_matrix, run_matrix_budgeted};
 
 fn usage() -> i32 {
-    eprintln!("usage: flexos_attack_matrix [--space quick|full] [--quiet]");
+    eprintln!("usage: flexos_attack_matrix [--space quick|full] [--budget] [--quiet]");
     3
 }
 
 fn main() {
     let mut space = "quick".to_string();
+    let mut budget = false;
     let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -29,9 +34,10 @@ fn main() {
                 Some(name) => space = name,
                 None => std::process::exit(usage()),
             },
+            "--budget" => budget = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
-                eprintln!("usage: flexos_attack_matrix [--space quick|full] [--quiet]");
+                eprintln!("usage: flexos_attack_matrix [--space quick|full] [--budget] [--quiet]");
                 return;
             }
             _ => std::process::exit(usage()),
@@ -42,7 +48,12 @@ fn main() {
         "full" => attack_space(),
         _ => std::process::exit(usage()),
     };
-    let report = match run_matrix(&spec) {
+    let result = if budget {
+        run_matrix_budgeted(&spec)
+    } else {
+        run_matrix(&spec)
+    };
+    let report = match result {
         Ok(report) => report,
         Err(fault) => {
             eprintln!("attack matrix infrastructure fault: {fault}");

@@ -8,7 +8,7 @@
 //! structured [`AttackOutcome`] — blocked with a specific fault kind,
 //! or succeeded.
 //!
-//! Eight attack classes cover the §4 mechanism surface:
+//! Nine attack classes cover the §4 mechanism surface:
 //!
 //! * [`Attack::OobRead`] / [`Attack::OobWrite`] — out-of-bounds
 //!   reads/writes into a neighbour compartment's private heap (the §7
@@ -30,7 +30,11 @@
 //!   inert by EPT's separate address spaces (§4.2).
 //! * [`Attack::AllocExhaustion`] — an allocator-exhaustion DoS,
 //!   contained to the attacker's compartment exactly when the heaps
-//!   are split.
+//!   are split — and refused outright, with `BudgetExceeded`, when the
+//!   attacker's compartment carries a heap budget.
+//! * [`Attack::CycleHog`] — a compute-burning loop (the CPU-DoS threat
+//!   class), stopped only by a per-compartment cycle budget; without
+//!   one the hog monopolizes the virtual clock and succeeds.
 //!
 //! On top sits the differential matrix ([`matrix`]): every attack runs
 //! against a representative grid of mechanism × `IsolationProfile`
@@ -51,7 +55,10 @@ pub mod matrix;
 pub mod oracle;
 pub mod workloads;
 
-pub use matrix::{attack_space, attack_space_quick, run_matrix, MatrixReport, PointRun};
+pub use matrix::{
+    attack_space, attack_space_quick, budgeted_points, run_matrix, run_matrix_budgeted,
+    run_matrix_points, MatrixReport, PointRun, GRID_BUDGET,
+};
 pub use oracle::{expected, expected_mask, Expectation};
 
 /// The attack classes of the suite, in the order the matrix runs them
@@ -75,11 +82,13 @@ pub enum Attack {
     PkruForge,
     /// Exhaust the allocator and starve the victim's next allocation.
     AllocExhaustion,
+    /// Burn compute in a loop, hogging the CPU past any fair share.
+    CycleHog,
 }
 
 impl Attack {
     /// Every attack, matrix execution order.
-    pub const ALL: [Attack; 8] = [
+    pub const ALL: [Attack; 9] = [
         Attack::OobRead,
         Attack::OobWrite,
         Attack::ForgedEntry,
@@ -88,6 +97,7 @@ impl Attack {
         Attack::HeapSmash,
         Attack::PkruForge,
         Attack::AllocExhaustion,
+        Attack::CycleHog,
     ];
 
     /// Stable short name (CSV/JSON emission).
@@ -101,11 +111,12 @@ impl Attack {
             Attack::HeapSmash => "heap-smash",
             Attack::PkruForge => "pkru-forge",
             Attack::AllocExhaustion => "alloc-exhaustion",
+            Attack::CycleHog => "cycle-hog",
         }
     }
 
     /// Index of this attack in [`Attack::ALL`] (its bit in a
-    /// blocked-set mask).
+    /// `u16` blocked-set mask — nine attacks outgrew `u8`).
     pub fn bit(&self) -> u8 {
         Attack::ALL
             .iter()
@@ -131,6 +142,7 @@ impl Attack {
             Attack::HeapSmash => workloads::heap_smash(os),
             Attack::PkruForge => workloads::pkru_forge(os),
             Attack::AllocExhaustion => workloads::alloc_exhaustion(os),
+            Attack::CycleHog => workloads::cycle_hog(os),
         }
     }
 }
@@ -177,13 +189,13 @@ mod tests {
 
     #[test]
     fn attack_bits_are_unique_and_dense() {
-        let mut seen = 0u8;
+        let mut seen = 0u16;
         for a in Attack::ALL {
-            let bit = 1u8 << a.bit();
+            let bit = 1u16 << a.bit();
             assert_eq!(seen & bit, 0, "{a} bit collides");
             seen |= bit;
         }
-        assert_eq!(seen, 0xFF, "8 attacks fill the mask");
+        assert_eq!(seen, 0x1FF, "9 attacks fill the mask");
     }
 
     #[test]

@@ -24,7 +24,7 @@ use flexos_machine::fault::Fault;
 use flexos_sweep::{sweep_order_pairs, SpaceSpec, SweepPoint, Workload};
 use flexos_system::SystemBuilder;
 
-use flexos_core::compartment::{DataSharing, Mechanism};
+use flexos_core::compartment::{DataSharing, Mechanism, ResourceBudget};
 
 use crate::oracle::{expected, expected_mask, Expectation};
 use crate::{Attack, AttackOutcome};
@@ -80,9 +80,9 @@ pub struct PointRun {
     /// [`Attack::ALL`] order.
     pub outcomes: Vec<(Attack, AttackOutcome, Expectation)>,
     /// Observed blocked-set, as an [`Attack::bit`] mask.
-    pub blocked_mask: u8,
+    pub blocked_mask: u16,
     /// Predicted blocked-set ([`expected_mask`]).
-    pub expected_mask: u8,
+    pub expected_mask: u16,
 }
 
 /// The whole matrix, plus everything that disagreed.
@@ -185,8 +185,14 @@ pub fn run_point_attacks(point: &SweepPoint) -> Result<PointRun, Fault> {
         .app(component)
         .build()?;
     let mut outcomes = Vec::with_capacity(Attack::ALL.len());
-    let mut blocked_mask = 0u8;
+    let mut blocked_mask = 0u16;
     for attack in Attack::ALL {
+        // Each attack gets a fresh accounting window, so rows are
+        // order-independent: boot-time cycles and a previous attack's
+        // crossings never count against the next one's budget. (Live
+        // heap bytes survive by design — attacks are self-cleaning, so
+        // the quota sees only boot-time residue.)
+        os.env.reset_budget_usage();
         let outcome = attack.run(&os)?;
         if outcome.blocked() {
             blocked_mask |= 1 << attack.bit();
@@ -210,7 +216,56 @@ pub fn run_point_attacks(point: &SweepPoint) -> Result<PointRun, Fault> {
 /// See [`run_point_attacks`]; the first faulting point aborts the
 /// matrix.
 pub fn run_matrix(spec: &SpaceSpec) -> Result<MatrixReport, Fault> {
-    let points: Vec<SweepPoint> = spec.points().collect();
+    run_matrix_points(&spec.name, spec.points().collect())
+}
+
+/// The per-compartment budget the budgeted grid applies everywhere:
+/// 2 MiB of live heap (an eighth of a compartment heap), one million
+/// cycles per accounting window, and a crossings cap high enough that
+/// only a loop could hit it.
+pub const GRID_BUDGET: ResourceBudget = ResourceBudget {
+    heap_bytes: Some(2 * 1024 * 1024),
+    cycles: Some(1_000_000),
+    crossings: Some(100_000),
+};
+
+/// `spec`'s grid re-labeled with [`GRID_BUDGET`] as every compartment's
+/// budget; indices continue after the unbudgeted grid so the two can
+/// run as one matrix.
+pub fn budgeted_points(spec: &SpaceSpec) -> Vec<SweepPoint> {
+    let offset = spec.len();
+    spec.points()
+        .map(|mut p| {
+            p.config.default_budget = Some(GRID_BUDGET);
+            p.index += offset;
+            p.label.push_str("+budget");
+            p
+        })
+        .collect()
+}
+
+/// [`run_matrix`] over `spec`'s grid *and* its [`budgeted_points`]
+/// clone in one report: every unbudgeted point sits below its budgeted
+/// twin in the §5 order (unlimited <= any limit, per axis), so the
+/// order check now also proves budgets only ever *add* blocked attacks.
+///
+/// # Errors
+///
+/// See [`run_point_attacks`].
+pub fn run_matrix_budgeted(spec: &SpaceSpec) -> Result<MatrixReport, Fault> {
+    let mut points: Vec<SweepPoint> = spec.points().collect();
+    points.extend(budgeted_points(spec));
+    run_matrix_points(&format!("{}+budget", spec.name), points)
+}
+
+/// The matrix core: runs the suite against an explicit point list
+/// (what [`run_matrix`] and [`run_matrix_budgeted`] feed).
+///
+/// # Errors
+///
+/// See [`run_point_attacks`]; the first faulting point aborts the
+/// matrix.
+pub fn run_matrix_points(space: &str, points: Vec<SweepPoint>) -> Result<MatrixReport, Fault> {
     let mut runs = Vec::with_capacity(points.len());
     let mut mismatches = Vec::new();
     for point in &points {
@@ -252,13 +307,13 @@ pub fn run_matrix(spec: &SpaceSpec) -> Result<MatrixReport, Fault> {
         let (weak, strong) = (runs[i].blocked_mask, runs[j].blocked_mask);
         if weak & !strong != 0 {
             order_violations.push(format!(
-                "{} <= {} in the safety order, but blocks {:08b} vs {:08b}",
+                "{} <= {} in the safety order, but blocks {:09b} vs {:09b}",
                 points[i].label, points[j].label, weak, strong
             ));
         }
     }
     Ok(MatrixReport {
-        space: spec.name.clone(),
+        space: space.to_string(),
         runs,
         mismatches,
         order_violations,
@@ -275,6 +330,33 @@ mod tests {
         assert_eq!(attack_space().len(), 100);
         // 1 + 4 x 1 x 2 = 9 shape combos x 2 masks.
         assert_eq!(attack_space_quick().len(), 18);
+    }
+
+    #[test]
+    fn budgeted_quick_grid_matches_oracle_and_order() {
+        let report = run_matrix_budgeted(&attack_space_quick()).expect("matrix runs");
+        assert!(
+            report.ok(),
+            "mismatches: {:?}\norder: {:?}",
+            report.mismatches,
+            report.order_violations
+        );
+        assert_eq!(report.runs.len(), 36);
+        // Budgets must add the resource attacks to every budgeted row.
+        for run in report.runs.iter().skip(18) {
+            assert_ne!(
+                run.blocked_mask & (1 << Attack::CycleHog.bit()),
+                0,
+                "{}",
+                run.label
+            );
+            assert_ne!(
+                run.blocked_mask & (1 << Attack::AllocExhaustion.bit()),
+                0,
+                "{}",
+                run.label
+            );
+        }
     }
 
     #[test]

@@ -18,7 +18,13 @@
 //!   only the attacker component's own KASan hardening (§4.5) sees it.
 //! * Allocator exhaustion is about heap *placement*, not keys: split
 //!   compartments get split heaps, which contain the starvation even
-//!   on a mechanism-less image.
+//!   on a mechanism-less image. A heap *budget* on the attacker's
+//!   compartment preempts placement: the quota refuses the hoard
+//!   before the allocator ever runs dry, so the observable flips to
+//!   [`FaultKind::BudgetExceeded`].
+//! * The cycle hog crosses no boundary and touches no memory — only a
+//!   cycle budget on the attacker's compartment blocks it; every
+//!   spatial configuration lets it run.
 //!
 //! Because every predicate is monotone along the §5 safety order
 //! (partition refinement preserves separation, `DataSharing::strength`
@@ -29,7 +35,7 @@
 //! `tests/attack_oracle_prop.rs` fuzzes and the matrix checks
 //! empirically.
 
-use flexos_core::compartment::{DataSharing, Mechanism};
+use flexos_core::compartment::{DataSharing, Mechanism, ResourceBudget};
 use flexos_machine::fault::FaultKind;
 use flexos_sweep::SweepPoint;
 
@@ -90,17 +96,36 @@ pub fn expected(attack: Attack, point: &SweepPoint) -> Expectation {
             };
             Expectation::blocked_iff(keyed, fault)
         }
-        Attack::AllocExhaustion => Expectation::blocked_iff(apart, FaultKind::ResourceExhausted),
+        Attack::AllocExhaustion => {
+            // A heap quota on the attacker's compartment refuses the
+            // hoard regardless of placement; otherwise containment is
+            // placement's job.
+            if attacker_budget(point).heap_bytes.is_some() {
+                Expectation::blocked_iff(true, FaultKind::BudgetExceeded)
+            } else {
+                Expectation::blocked_iff(apart, FaultKind::ResourceExhausted)
+            }
+        }
+        Attack::CycleHog => Expectation::blocked_iff(
+            attacker_budget(point).cycles.is_some(),
+            FaultKind::BudgetExceeded,
+        ),
     }
+}
+
+/// The resource budget resolved for the attacker component's
+/// compartment.
+fn attacker_budget(point: &SweepPoint) -> ResourceBudget {
+    point.config.budget_of(point.config.placement("lwip"))
 }
 
 /// The full predicted blocked-set of a point, as an [`Attack::bit`]
 /// mask.
-pub fn expected_mask(point: &SweepPoint) -> u8 {
+pub fn expected_mask(point: &SweepPoint) -> u16 {
     Attack::ALL
         .iter()
         .filter(|a| expected(**a, point).blocked)
-        .fold(0u8, |m, a| m | (1 << a.bit()))
+        .fold(0u16, |m, a| m | (1 << a.bit()))
 }
 
 #[cfg(test)]
@@ -136,7 +161,34 @@ mod tests {
                     && p.hardening_mask == 0b1111
             })
             .expect("grid has the strong point");
+        // All eight spatial/hardening attacks — but never the cycle
+        // hog, which no unbudgeted configuration can stop.
         assert_eq!(expected_mask(&p), 0xFF, "{}", p.label);
+        assert_eq!(expected_mask(&p) & (1 << Attack::CycleHog.bit()), 0);
+    }
+
+    #[test]
+    fn budgets_flip_the_resource_attacks() {
+        use flexos_core::compartment::ResourceBudget;
+        let spec = attack_space();
+        let mut p = spec.points().next().expect("grid is non-empty");
+        assert_eq!(
+            expected_mask(&p) & (1 << Attack::CycleHog.bit()),
+            0,
+            "unbudgeted points never block the hog"
+        );
+        p.config.default_budget = Some(ResourceBudget {
+            heap_bytes: Some(2 * 1024 * 1024),
+            cycles: Some(1_000_000),
+            crossings: Some(100_000),
+        });
+        let mask = expected_mask(&p);
+        assert_ne!(mask & (1 << Attack::CycleHog.bit()), 0);
+        assert_ne!(mask & (1 << Attack::AllocExhaustion.bit()), 0);
+        assert_eq!(
+            expected(Attack::AllocExhaustion, &p).fault,
+            Some(FaultKind::BudgetExceeded)
+        );
     }
 
     #[test]
@@ -167,7 +219,7 @@ mod tests {
                     assert_eq!(
                         ma & !mb,
                         0,
-                        "{} <= {} but predicts {:08b} vs {:08b}",
+                        "{} <= {} but predicts {:09b} vs {:09b}",
                         a.label,
                         b.label,
                         ma,

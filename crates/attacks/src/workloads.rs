@@ -13,7 +13,7 @@ use std::rc::Rc;
 
 use flexos_core::compartment::{DataSharing, Mechanism};
 use flexos_core::component::ComponentId;
-use flexos_core::env::{Env, StackShare};
+use flexos_core::env::{Env, StackShare, Work};
 use flexos_machine::fault::{Fault, FaultKind};
 use flexos_mpk::wxorx::{forge_gadget, scan_text};
 use flexos_sched::dss::{dss_span, shadow_of};
@@ -336,13 +336,18 @@ pub fn alloc_exhaustion(os: &FlexOs) -> Result<AttackOutcome, Fault> {
     let env = &s.env;
     let mut hoard = Vec::new();
     let mut refusals = 0u64;
+    let mut budget_refusals = 0u64;
     env.run_as(s.attacker, || {
         let mut size: u64 = 1 << 20;
         while size >= 64 * 1024 {
-            match env.malloc(size) {
+            match env.observe(env.malloc(size)) {
                 Ok(addr) => hoard.push(addr),
                 Err(Fault::ResourceExhausted { .. }) => {
                     refusals += 1;
+                    size /= 2;
+                }
+                Err(Fault::BudgetExceeded { .. }) => {
+                    budget_refusals += 1;
                     size /= 2;
                 }
                 Err(f) => return Err(f),
@@ -350,7 +355,28 @@ pub fn alloc_exhaustion(os: &FlexOs) -> Result<AttackOutcome, Fault> {
         }
         Ok(())
     })?;
-    assert!(refusals > 0, "the hoard must actually exhaust the heap");
+    assert!(
+        refusals + budget_refusals > 0,
+        "the hoard must run into the heap or its budget"
+    );
+    if budget_refusals > 0 {
+        // The compartment's heap quota stopped the hoard before the
+        // allocator ran dry: resource containment by policy, observable
+        // in the env's refusal counter. (A budget contains the whole
+        // compartment — a co-located victim shares the quota's fate,
+        // which is exactly the multi-tenant argument for splitting.)
+        let attacker_comp = env.compartment_of(s.attacker);
+        assert!(
+            env.budget_refusals_of(attacker_comp) >= budget_refusals,
+            "every budget refusal must surface in the env's counter"
+        );
+        for addr in hoard {
+            env.run_as(s.attacker, || env.free(addr))?;
+        }
+        return Ok(AttackOutcome::Blocked {
+            fault: FaultKind::BudgetExceeded,
+        });
+    }
     let exhaustions = env.run_as(s.attacker, || env.heap().borrow().stats().exhaustions);
     assert!(
         exhaustions >= refusals,
@@ -372,4 +398,41 @@ pub fn alloc_exhaustion(os: &FlexOs) -> Result<AttackOutcome, Fault> {
         env.run_as(s.attacker, || env.free(addr))?;
     }
     Ok(out)
+}
+
+/// Total compute the hog attempts, in virtual cycles — far past any
+/// sane per-window cycle budget, far below anything that would stall
+/// the host.
+const HOG_TOTAL_CYCLES: u64 = 4_000_000;
+/// Work per loop iteration; the budget check runs once per chunk (the
+/// preemption-point granularity of [`Env::compute_checked`]).
+const HOG_CHUNK_CYCLES: u64 = 50_000;
+
+/// Cycle hog: the compromised component burns compute in a loop — the
+/// CPU-DoS threat class no spatial mechanism sees (every cycle is spent
+/// inside the attacker's own compartment, touching nobody's memory).
+/// Only a per-compartment cycle budget stops it: the hog is refused
+/// with `BudgetExceeded` at the first checked chunk past the limit.
+/// Without a budget the loop runs to completion and the attack
+/// *succeeds* — it monopolized the clock for its full duration.
+///
+/// # Errors
+///
+/// Infrastructure faults only.
+pub fn cycle_hog(os: &FlexOs) -> Result<AttackOutcome, Fault> {
+    let s = scene(os)?;
+    let env = &s.env;
+    let res: Result<(), Fault> = env.run_as(s.attacker, || {
+        let mut burnt = 0u64;
+        while burnt < HOG_TOTAL_CYCLES {
+            env.observe(env.compute_checked(Work::cycles(HOG_CHUNK_CYCLES)))?;
+            burnt += HOG_CHUNK_CYCLES;
+        }
+        Ok(())
+    });
+    match res {
+        Ok(()) => Ok(AttackOutcome::Succeeded),
+        Err(f) if f.is_isolation_fault() => Ok(AttackOutcome::Blocked { fault: f.kind() }),
+        Err(f) => Err(f),
+    }
 }

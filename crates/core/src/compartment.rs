@@ -159,6 +159,92 @@ impl fmt::Display for DataSharing {
     }
 }
 
+/// Per-compartment resource quotas — the "resource sharing" isolation
+/// dimension (OSmosis) and the fourth category of Gate's threat model:
+/// a compromised compartment must not be able to starve the rest of
+/// the image of memory, CPU time, or gate bandwidth. Each axis is an
+/// independent cap; `None` leaves that resource unmetered.
+///
+/// Budgets are *policy*, enforced at the runtime's charge points
+/// ([`crate::env::Env::malloc`], [`crate::env::Env::compute_checked`],
+/// and the gate path): exceeding one raises
+/// [`flexos_machine::fault::Fault::BudgetExceeded`], which the
+/// supervisor treats as a quarantine-and-microreboot trigger rather
+/// than an image-fatal error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ResourceBudget {
+    /// Cap on *live* private-heap payload bytes (a quota, not a rate:
+    /// frees give the budget back).
+    pub heap_bytes: Option<u64>,
+    /// Cap on virtual cycles of modeled compute + initiated-gate cost
+    /// charged to this compartment since the last accounting-window
+    /// reset.
+    pub cycles: Option<u64>,
+    /// Cap on cross-compartment calls *initiated* by this compartment
+    /// since the last accounting-window reset.
+    pub crossings: Option<u64>,
+}
+
+impl ResourceBudget {
+    /// The no-limits budget (identical to `Default`).
+    pub const UNLIMITED: ResourceBudget = ResourceBudget {
+        heap_bytes: None,
+        cycles: None,
+        crossings: None,
+    };
+
+    /// `true` when no axis is capped — the zero-cost fast path: images
+    /// where every compartment resolves to this never touch a budget
+    /// counter.
+    pub fn is_unlimited(&self) -> bool {
+        self.heap_bytes.is_none() && self.cycles.is_none() && self.crossings.is_none()
+    }
+
+    /// Parses the configuration-file spelling: comma-separated
+    /// `heap=N`/`cycles=N`/`crossings=N` terms (plain byte/cycle/call
+    /// counts), or the literal `unlimited`.
+    pub fn parse(s: &str) -> Option<ResourceBudget> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("unlimited") {
+            return Some(ResourceBudget::UNLIMITED);
+        }
+        let mut out = ResourceBudget::UNLIMITED;
+        for term in s.split(',') {
+            let (key, value) = term.split_once('=')?;
+            let value: u64 = value.trim().parse().ok()?;
+            match key.trim().to_ascii_lowercase().as_str() {
+                "heap" | "heap_bytes" => out.heap_bytes = Some(value),
+                "cycles" => out.cycles = Some(value),
+                "crossings" => out.crossings = Some(value),
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for ResourceBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unlimited() {
+            return f.write_str("unlimited");
+        }
+        let mut first = true;
+        let mut term = |f: &mut fmt::Formatter<'_>, key, v: Option<u64>| -> fmt::Result {
+            if let Some(v) = v {
+                if !first {
+                    f.write_str(",")?;
+                }
+                first = false;
+                write!(f, "{key}={v}")?;
+            }
+            Ok(())
+        };
+        term(f, "heap", self.heap_bytes)?;
+        term(f, "cycles", self.cycles)?;
+        term(f, "crossings", self.crossings)
+    }
+}
+
 /// The *resolved* per-compartment isolation profile (§3, P2): every
 /// boundary-local decision the toolchain makes for one compartment, in
 /// one value. Where [`CompartmentSpec`] carries *requested* axes (with
@@ -174,6 +260,8 @@ pub struct IsolationProfile {
     pub allocator: HeapKind,
     /// Compartment-wide hardening (components may override).
     pub hardening: Hardening,
+    /// Resource quotas enforced on this compartment.
+    pub budget: ResourceBudget,
 }
 
 impl Default for IsolationProfile {
@@ -182,6 +270,7 @@ impl Default for IsolationProfile {
             data_sharing: DataSharing::default(),
             allocator: HeapKind::Tlsf,
             hardening: Hardening::NONE,
+            budget: ResourceBudget::UNLIMITED,
         }
     }
 }
@@ -212,6 +301,9 @@ pub struct CompartmentSpec {
     /// Allocator policy for this compartment's private heap
     /// (`None`: image default).
     pub allocator: Option<HeapKind>,
+    /// Resource quotas for this compartment (`None`: image default,
+    /// which itself defaults to unlimited).
+    pub budget: Option<ResourceBudget>,
 }
 
 impl CompartmentSpec {
@@ -225,6 +317,7 @@ impl CompartmentSpec {
             default: false,
             data_sharing: None,
             allocator: None,
+            budget: None,
         }
     }
 
@@ -253,11 +346,18 @@ impl CompartmentSpec {
         self
     }
 
-    /// Sets all three profile axes at once.
+    /// Sets all profile axes at once.
     pub fn with_profile(mut self, profile: IsolationProfile) -> Self {
         self.data_sharing = Some(profile.data_sharing);
         self.allocator = Some(profile.allocator);
         self.hardening = profile.hardening;
+        self.budget = Some(profile.budget);
+        self
+    }
+
+    /// Sets this compartment's resource quotas.
+    pub fn with_budget(mut self, budget: ResourceBudget) -> Self {
+        self.budget = Some(budget);
         self
     }
 
@@ -266,11 +366,13 @@ impl CompartmentSpec {
         &self,
         default_sharing: DataSharing,
         default_allocator: HeapKind,
+        default_budget: ResourceBudget,
     ) -> IsolationProfile {
         IsolationProfile {
             data_sharing: self.data_sharing.unwrap_or(default_sharing),
             allocator: self.allocator.unwrap_or(default_allocator),
             hardening: self.hardening,
+            budget: self.budget.unwrap_or(default_budget),
         }
     }
 }
@@ -337,23 +439,79 @@ mod tests {
     #[test]
     fn profiles_resolve_against_defaults() {
         let spec = CompartmentSpec::new("c", Mechanism::IntelMpk);
-        let p = spec.profile_with(DataSharing::Dss, HeapKind::Tlsf);
+        let p = spec.profile_with(DataSharing::Dss, HeapKind::Tlsf, ResourceBudget::UNLIMITED);
         assert_eq!(p, IsolationProfile::default());
 
         let spec = CompartmentSpec::new("c", Mechanism::IntelMpk)
             .with_data_sharing(DataSharing::SharedStack)
             .with_allocator(HeapKind::Lea);
-        let p = spec.profile_with(DataSharing::Dss, HeapKind::Tlsf);
+        let p = spec.profile_with(DataSharing::Dss, HeapKind::Tlsf, ResourceBudget::UNLIMITED);
         assert_eq!(p.data_sharing, DataSharing::SharedStack);
         assert_eq!(p.allocator, HeapKind::Lea);
+        assert!(p.budget.is_unlimited());
 
         let full = IsolationProfile {
             data_sharing: DataSharing::HeapConversion,
             allocator: HeapKind::Bump,
             hardening: Hardening::FIG6_BUNDLE,
+            budget: ResourceBudget {
+                heap_bytes: Some(1 << 20),
+                cycles: None,
+                crossings: Some(512),
+            },
         };
         let spec = CompartmentSpec::new("c", Mechanism::IntelMpk).with_profile(full);
-        assert_eq!(spec.profile_with(DataSharing::Dss, HeapKind::Tlsf), full);
+        assert_eq!(
+            spec.profile_with(DataSharing::Dss, HeapKind::Tlsf, ResourceBudget::UNLIMITED),
+            full
+        );
+    }
+
+    #[test]
+    fn budgets_resolve_against_the_image_default() {
+        let default_budget = ResourceBudget {
+            heap_bytes: Some(2 << 20),
+            cycles: Some(1_000_000),
+            crossings: None,
+        };
+        // No override: inherit the image default.
+        let spec = CompartmentSpec::new("c", Mechanism::IntelMpk);
+        let p = spec.profile_with(DataSharing::Dss, HeapKind::Tlsf, default_budget);
+        assert_eq!(p.budget, default_budget);
+        // Explicit unlimited overrides a limiting default.
+        let spec = spec.with_budget(ResourceBudget::UNLIMITED);
+        let p = spec.profile_with(DataSharing::Dss, HeapKind::Tlsf, default_budget);
+        assert!(p.budget.is_unlimited());
+    }
+
+    #[test]
+    fn budget_parse_roundtrips_the_display_spelling() {
+        let budgets = [
+            ResourceBudget::UNLIMITED,
+            ResourceBudget {
+                heap_bytes: Some(2_097_152),
+                cycles: None,
+                crossings: None,
+            },
+            ResourceBudget {
+                heap_bytes: Some(1 << 20),
+                cycles: Some(5_000_000),
+                crossings: Some(4096),
+            },
+        ];
+        for b in budgets {
+            assert_eq!(ResourceBudget::parse(&b.to_string()), Some(b), "{b}");
+        }
+        assert_eq!(
+            ResourceBudget::parse("cycles=10"),
+            Some(ResourceBudget {
+                heap_bytes: None,
+                cycles: Some(10),
+                crossings: None,
+            })
+        );
+        assert_eq!(ResourceBudget::parse("heap=abc"), None);
+        assert_eq!(ResourceBudget::parse("disk=5"), None);
     }
 
     #[test]

@@ -27,7 +27,9 @@ use std::fmt;
 use flexos_alloc::HeapKind;
 use flexos_machine::fault::Fault;
 
-use crate::compartment::{CompartmentSpec, DataSharing, IsolationProfile, Mechanism};
+use crate::compartment::{
+    CompartmentSpec, DataSharing, IsolationProfile, Mechanism, ResourceBudget,
+};
 use crate::hardening::Hardening;
 
 /// A complete build-time safety configuration.
@@ -55,6 +57,9 @@ pub struct SafetyConfig {
     /// `None` defers to the toolchain ([`HeapKind::Tlsf`], overridable
     /// via `ImageBuilder::heap_kind`).
     pub default_allocator: Option<HeapKind>,
+    /// Default resource quotas for compartments without their own
+    /// [`CompartmentSpec::budget`]; `None` leaves them unmetered.
+    pub default_budget: Option<ResourceBudget>,
 }
 
 impl SafetyConfig {
@@ -157,7 +162,28 @@ impl SafetyConfig {
         self.compartments[comp].profile_with(
             self.default_data_sharing,
             self.default_allocator.unwrap_or(HeapKind::Tlsf),
+            self.default_budget.unwrap_or(ResourceBudget::UNLIMITED),
         )
+    }
+
+    /// Resource quotas of compartment `comp`, after default resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comp` is out of range.
+    pub fn budget_of(&self, comp: usize) -> ResourceBudget {
+        self.compartments[comp]
+            .budget
+            .or(self.default_budget)
+            .unwrap_or(ResourceBudget::UNLIMITED)
+    }
+
+    /// `true` when any compartment resolves to a limiting budget — the
+    /// one check the runtime's hot paths make before touching budget
+    /// state, and the one the sweep order makes before comparing the
+    /// budget dimension.
+    pub fn any_budget(&self) -> bool {
+        (0..self.compartments.len()).any(|c| !self.budget_of(c).is_unlimited())
     }
 
     /// Data-sharing strategy of compartment `comp`'s boundaries
@@ -224,6 +250,9 @@ impl fmt::Display for SafetyConfig {
         if let Some(kind) = self.default_allocator {
             writeln!(f, "allocator: {kind}")?;
         }
+        if let Some(budget) = self.default_budget {
+            writeln!(f, "budget: {budget}")?;
+        }
         writeln!(f, "compartments:")?;
         for c in &self.compartments {
             writeln!(f, "- {}:", c.name)?;
@@ -244,6 +273,9 @@ impl fmt::Display for SafetyConfig {
             if let Some(kind) = c.allocator {
                 writeln!(f, "    allocator: {kind}")?;
             }
+            if let Some(budget) = c.budget {
+                writeln!(f, "    budget: {budget}")?;
+            }
         }
         writeln!(f, "libraries:")?;
         for (lib, comp) in &self.libraries {
@@ -261,6 +293,7 @@ pub struct SafetyConfigBuilder {
     component_hardening: BTreeMap<String, Hardening>,
     data_sharing: DataSharing,
     default_allocator: Option<HeapKind>,
+    default_budget: Option<ResourceBudget>,
 }
 
 impl SafetyConfigBuilder {
@@ -299,6 +332,13 @@ impl SafetyConfigBuilder {
         self
     }
 
+    /// Chooses the default resource quotas for compartments without
+    /// their own [`CompartmentSpec::budget`] override.
+    pub fn default_budget(mut self, budget: ResourceBudget) -> Self {
+        self.default_budget = Some(budget);
+        self
+    }
+
     /// Finalizes and validates the configuration.
     ///
     /// # Errors
@@ -311,6 +351,7 @@ impl SafetyConfigBuilder {
             component_hardening: self.component_hardening,
             default_data_sharing: self.data_sharing,
             default_allocator: self.default_allocator,
+            default_budget: self.default_budget,
         };
         config.validate()?;
         Ok(config)
@@ -332,6 +373,7 @@ fn parse(text: &str) -> Result<SafetyConfig, Fault> {
     let mut libraries = Vec::new();
     let mut data_sharing = DataSharing::default();
     let mut default_allocator = None;
+    let mut default_budget = None;
 
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim_end();
@@ -363,6 +405,13 @@ fn parse(text: &str) -> Result<SafetyConfig, Fault> {
                 default_allocator = Some(
                     HeapKind::parse(value)
                         .ok_or_else(|| err_at(&format!("unknown allocator `{}`", value.trim())))?,
+                );
+                continue;
+            }
+            if let Some(value) = trimmed.strip_prefix("budget:") {
+                default_budget = Some(
+                    ResourceBudget::parse(value)
+                        .ok_or_else(|| err_at(&format!("malformed budget `{}`", value.trim())))?,
                 );
                 continue;
             }
@@ -418,6 +467,12 @@ fn parse(text: &str) -> Result<SafetyConfig, Fault> {
                                     err_at(&format!("unknown allocator `{value}`"))
                                 })?);
                         }
+                        "budget" => {
+                            comp.budget =
+                                Some(ResourceBudget::parse(value).ok_or_else(|| {
+                                    err_at(&format!("malformed budget `{value}`"))
+                                })?);
+                        }
                         other => return Err(err_at(&format!("unknown key `{other}`"))),
                     }
                 }
@@ -441,6 +496,7 @@ fn parse(text: &str) -> Result<SafetyConfig, Fault> {
         component_hardening: BTreeMap::new(),
         default_data_sharing: data_sharing,
         default_allocator,
+        default_budget,
     };
     config.validate()?;
     Ok(config)
@@ -570,6 +626,45 @@ libraries:
         // Display emits the profile keys and reparses to the same config.
         let back = SafetyConfig::parse_str(&cfg.to_string()).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn budgets_parse_resolve_and_roundtrip() {
+        let text = "\
+budget: cycles=1000000
+compartments:
+- comp1:
+    mechanism: intel-mpk
+    default: True
+- comp2:
+    mechanism: intel-mpk
+    budget: heap=2097152,crossings=4096
+libraries:
+- lwip: comp2
+";
+        let cfg = SafetyConfig::parse_str(text).unwrap();
+        assert_eq!(
+            cfg.default_budget,
+            Some(ResourceBudget {
+                heap_bytes: None,
+                cycles: Some(1_000_000),
+                crossings: None,
+            })
+        );
+        // comp1 inherits the image default; comp2 overrides it whole.
+        assert_eq!(cfg.budget_of(0).cycles, Some(1_000_000));
+        assert_eq!(cfg.budget_of(1).heap_bytes, Some(2_097_152));
+        assert_eq!(cfg.budget_of(1).cycles, None);
+        assert_eq!(cfg.budget_of(1).crossings, Some(4096));
+        assert!(cfg.any_budget());
+        assert_eq!(cfg.profile_of(1).budget, cfg.budget_of(1));
+        let back = SafetyConfig::parse_str(&cfg.to_string()).unwrap();
+        assert_eq!(cfg, back);
+        // Budget-free configs report so (the hot-path fast check).
+        assert!(!SafetyConfig::none().any_budget());
+        // Malformed budgets are rejected.
+        let bad = "compartments:\n- c1:\n    default: True\n    budget: heap=lots\n";
+        assert!(SafetyConfig::parse_str(bad).is_err());
     }
 
     #[test]

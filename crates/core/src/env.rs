@@ -37,7 +37,7 @@
 //!   annotated variables.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use flexos_alloc::Heap;
@@ -47,7 +47,7 @@ use flexos_machine::fault::{Fault, FaultKind};
 use flexos_machine::key::{Access, Pkru, ProtKey};
 use flexos_machine::Machine;
 
-use crate::compartment::{CompartmentId, DataSharing, IsolationProfile, Mechanism};
+use crate::compartment::{CompartmentId, DataSharing, IsolationProfile, Mechanism, ResourceBudget};
 use crate::component::{ComponentId, ComponentRegistry};
 use crate::entry::{CallTarget, EntryId, EntryTable};
 use crate::gate::{GateKind, GateTable};
@@ -117,6 +117,31 @@ pub struct ComponentStats {
     pub calls_in: u64,
 }
 
+/// Snapshot of one compartment's resource usage within the current
+/// accounting window (see [`Env::reset_budget_usage`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetUsage {
+    /// Live private-heap bytes currently held (frees credit back).
+    pub heap_bytes: u64,
+    /// Compute + initiated-gate cycles accumulated this window.
+    pub cycles: u64,
+    /// Cross-compartment calls initiated this window.
+    pub crossings: u64,
+}
+
+/// Interior-mutable usage counters for one compartment — `Cell` traffic
+/// only, same zero-alloc discipline as the gate crossing counters.
+#[derive(Debug, Default)]
+struct BudgetCells {
+    heap_bytes: Cell<u64>,
+    cycles: Cell<u64>,
+    crossings: Cell<u64>,
+}
+
+/// Capacity of the observed-fault ring: enough to audit a multi-fault
+/// attack run or a recovery sequence without unbounded growth.
+pub const FAULT_RING_CAP: usize = 8;
+
 /// Hook invoked on every cross-domain gate traversal; the EPT backend uses
 /// it to drive its shared-memory RPC rings. The entry point arrives as its
 /// interned [`EntryId`] (resolve the name via [`Env::entry_name`] off the
@@ -151,8 +176,24 @@ pub struct Env {
     /// suite. Plain `Cell` counters: recording charges no cycles and
     /// performs no host allocation.
     isolation_faults: Vec<Cell<u64>>,
-    /// Kind and faulting component of the most recently observed fault.
-    last_fault: Cell<Option<(ComponentId, FaultKind)>>,
+    /// Bounded ring of observed faults, oldest first (capacity
+    /// [`FAULT_RING_CAP`]; overflow drops the oldest). Multi-fault
+    /// attack runs and recovery sequences stay auditable.
+    fault_ring: RefCell<VecDeque<(ComponentId, FaultKind)>>,
+    /// `true` if any compartment in the image carries a resource budget.
+    /// When `false` (every pre-budget configuration) the charging paths
+    /// reduce to a single predictable branch — unbudgeted images charge
+    /// nothing and change no virtual-cycle output.
+    budget_enabled: bool,
+    /// Resolved per-compartment budgets (mirrors `profiles[i].budget`).
+    budgets: Vec<ResourceBudget>,
+    /// Per-compartment usage counters for the current accounting window.
+    budget_used: Vec<BudgetCells>,
+    /// Operations refused with `BudgetExceeded`, per compartment.
+    budget_refusals: Vec<Cell<u64>>,
+    /// Bitmask of quarantined compartments: gate entries into a
+    /// quarantined compartment are refused (supervisor containment).
+    quarantined: Cell<u32>,
 }
 
 impl std::fmt::Debug for Env {
@@ -195,7 +236,12 @@ impl Env {
     /// Assembles the runtime from built parts (called by the toolchain).
     pub fn from_parts(parts: EnvParts) -> Rc<Env> {
         let n = parts.registry.len();
+        let n_comps = parts.domains.len();
         let kasan_any = parts.hardening.iter().any(|h| h.kasan);
+        // Budgets ride on the resolved profiles — same resolution chain
+        // as the data-sharing and allocator axes, no extra plumbing.
+        let budgets: Vec<ResourceBudget> = parts.profiles.iter().map(|p| p.budget).collect();
+        let budget_enabled = budgets.iter().any(|b| !b.is_unlimited());
         Rc::new(Env {
             machine: parts.machine,
             registry: parts.registry,
@@ -217,7 +263,12 @@ impl Env {
                 .collect(),
             crossing_hook: RefCell::new(None),
             isolation_faults: (0..n).map(|_| Cell::new(0)).collect(),
-            last_fault: Cell::new(None),
+            fault_ring: RefCell::new(VecDeque::with_capacity(FAULT_RING_CAP)),
+            budget_enabled,
+            budgets,
+            budget_used: (0..n_comps).map(|_| BudgetCells::default()).collect(),
+            budget_refusals: (0..n_comps).map(|_| Cell::new(0)).collect(),
+            quarantined: Cell::new(0),
         })
     }
 
@@ -334,7 +385,11 @@ impl Env {
     pub fn observe<R>(&self, r: Result<R, Fault>) -> Result<R, Fault> {
         if let Err(fault) = &r {
             let comp = self.cur.get();
-            self.last_fault.set(Some((comp, fault.kind())));
+            let mut ring = self.fault_ring.borrow_mut();
+            if ring.len() == FAULT_RING_CAP {
+                ring.pop_front();
+            }
+            ring.push_back((comp, fault.kind()));
             if fault.is_isolation_fault() {
                 let cell = &self.isolation_faults[comp.0 as usize];
                 cell.set(cell.get() + 1);
@@ -351,7 +406,14 @@ impl Env {
 
     /// Component and kind of the most recently observed fault, if any.
     pub fn last_observed_fault(&self) -> Option<(ComponentId, FaultKind)> {
-        self.last_fault.get()
+        self.fault_ring.borrow().back().copied()
+    }
+
+    /// The observed-fault ring, oldest first — up to [`FAULT_RING_CAP`]
+    /// most recent faults. Attack post-mortems and recovery audits read
+    /// the whole sequence instead of just the final kind.
+    pub fn observed_faults(&self) -> Vec<(ComponentId, FaultKind)> {
+        self.fault_ring.borrow().iter().copied().collect()
     }
 
     /// Clears the observed-fault record (between attack runs).
@@ -359,12 +421,183 @@ impl Env {
         for c in &self.isolation_faults {
             c.set(0);
         }
-        self.last_fault.set(None);
+        self.fault_ring.borrow_mut().clear();
     }
 
     /// The register file (tests verify gate scrubbing through this).
     pub fn regs(&self) -> std::cell::RefMut<'_, RegisterFile> {
         self.regs.borrow_mut()
+    }
+
+    // --- resource budgets ---------------------------------------------------
+    //
+    // Budget semantics (DESIGN.md "Resource budgets & recovery"):
+    //
+    // * `heap_bytes` caps *live* private-heap bytes — a quota, not a
+    //   meter: frees credit the counter back.
+    // * `cycles` caps compute + initiated-gate cycles accumulated per
+    //   accounting window ([`Env::reset_budget_usage`] opens a window).
+    // * `crossings` caps cross-compartment calls *initiated* per window.
+    //
+    // Enforcement happens only at fallible points: `malloc`, the gate
+    // path, and the explicit [`Env::check_budget`] /
+    // [`Env::compute_checked`] preemption points — `compute` itself
+    // stays infallible. Checks and refusals never advance the clock
+    // (same discipline as CFI rejections), and on images with no budget
+    // anywhere the entire subsystem is one predictable branch.
+
+    /// `true` if any compartment in this image carries a resource budget.
+    pub fn budget_enabled(&self) -> bool {
+        self.budget_enabled
+    }
+
+    /// The resolved resource budget of a compartment.
+    pub fn budget_of(&self, comp: CompartmentId) -> ResourceBudget {
+        self.budgets[comp.0 as usize]
+    }
+
+    /// Usage snapshot of a compartment within the current accounting
+    /// window. All-zero on images with budgets disabled (nothing is
+    /// accumulated there).
+    pub fn budget_usage(&self, comp: CompartmentId) -> BudgetUsage {
+        let cells = &self.budget_used[comp.0 as usize];
+        BudgetUsage {
+            heap_bytes: cells.heap_bytes.get(),
+            cycles: cells.cycles.get(),
+            crossings: cells.crossings.get(),
+        }
+    }
+
+    /// Operations refused with `BudgetExceeded` against a compartment.
+    pub fn budget_refusals_of(&self, comp: CompartmentId) -> u64 {
+        self.budget_refusals[comp.0 as usize].get()
+    }
+
+    /// Opens a fresh accounting window: zeroes every compartment's
+    /// cycle/crossing usage and refusal counters. Heap usage is *live
+    /// bytes* and deliberately survives the reset — a quota does not
+    /// forgive memory still held.
+    pub fn reset_budget_usage(&self) {
+        for cells in &self.budget_used {
+            cells.cycles.set(0);
+            cells.crossings.set(0);
+        }
+        for c in &self.budget_refusals {
+            c.set(0);
+        }
+    }
+
+    /// Opens a fresh accounting window for *one* compartment — the
+    /// supervisor's post-microreboot reset. Unlike the image-wide
+    /// [`Env::reset_budget_usage`] this also zeroes heap usage: the
+    /// reboot just discarded every live allocation.
+    pub fn reset_budget_usage_of(&self, comp: CompartmentId) {
+        let cells = &self.budget_used[comp.0 as usize];
+        cells.heap_bytes.set(0);
+        cells.cycles.set(0);
+        cells.crossings.set(0);
+        self.budget_refusals[comp.0 as usize].set(0);
+    }
+
+    /// Quarantines (or releases) a compartment: while quarantined, every
+    /// cross-compartment gate entry into it is refused with
+    /// [`Fault::Quarantined`] — the supervisor's containment primitive.
+    pub fn set_quarantined(&self, comp: CompartmentId, quarantined: bool) {
+        let bit = 1u32 << comp.0;
+        let cur = self.quarantined.get();
+        self.quarantined
+            .set(if quarantined { cur | bit } else { cur & !bit });
+    }
+
+    /// `true` while `comp` is quarantined.
+    pub fn is_quarantined(&self, comp: CompartmentId) -> bool {
+        self.quarantined.get() & (1u32 << comp.0) != 0
+    }
+
+    /// Explicit budget preemption point: errs if the current
+    /// compartment's accumulated cycles exceed its budget. Long-running
+    /// loops call this (or [`Env::compute_checked`]) at their natural
+    /// yield points — enforcement granularity is the distance between
+    /// checks, exactly like timer-interrupt preemption.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::BudgetExceeded`] (resource `"cycles"`) when over budget.
+    /// The check itself charges nothing.
+    #[inline]
+    pub fn check_budget(&self) -> Result<(), Fault> {
+        if !self.budget_enabled {
+            return Ok(());
+        }
+        let dom = self.compartment_of(self.cur.get());
+        if let Some(limit) = self.budgets[dom.0 as usize].cycles {
+            let used = self.budget_used[dom.0 as usize].cycles.get();
+            if used > limit {
+                return Err(self.budget_refused(dom, "cycles", used, limit));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Env::compute`] followed by [`Env::check_budget`]: charges the
+    /// work unconditionally (it already executed), then faults if the
+    /// charge pushed the compartment over its cycle budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`Env::check_budget`].
+    pub fn compute_checked(&self, work: Work) -> Result<(), Fault> {
+        self.compute(work);
+        self.check_budget()
+    }
+
+    /// Swaps a compartment's private heap for a fresh one over the same
+    /// region, same allocator policy, same KASan state — the microreboot
+    /// primitive: every prior allocation (including attacker hoards and
+    /// poisoned blocks) is forgotten.
+    pub fn reset_heap(&self, comp: CompartmentId) {
+        let cell = &self.heaps[comp.0 as usize];
+        let (region, kind, kasan) = {
+            let heap = cell.borrow();
+            (heap.region().clone(), heap.kind(), heap.kasan_enabled())
+        };
+        let mut fresh = Heap::new(Rc::clone(&self.machine), region, kind);
+        if kasan {
+            fresh.enable_kasan();
+        }
+        *cell.borrow_mut() = fresh;
+        if self.budget_enabled {
+            self.budget_used[comp.0 as usize].heap_bytes.set(0);
+        }
+    }
+
+    /// Records a refusal and builds the fault (never advances the clock).
+    #[cold]
+    fn budget_refused(
+        &self,
+        dom: CompartmentId,
+        resource: &'static str,
+        used: u64,
+        limit: u64,
+    ) -> Fault {
+        let c = &self.budget_refusals[dom.0 as usize];
+        c.set(c.get() + 1);
+        Fault::BudgetExceeded {
+            compartment: self.domains[dom.0 as usize].name.clone(),
+            resource,
+            used,
+            limit,
+        }
+    }
+
+    /// Accumulates cycles against a compartment's window (budgeted
+    /// images only).
+    #[inline]
+    fn budget_charge_cycles(&self, dom: CompartmentId, cycles: u64) {
+        if self.budget_enabled {
+            let c = &self.budget_used[dom.0 as usize].cycles;
+            c.set(c.get() + cycles);
+        }
     }
 
     // --- execution --------------------------------------------------------
@@ -491,6 +724,7 @@ impl Env {
             // Same-compartment fast path: a plain call. No PKRU touch, no
             // register save, no CFI — charge, count, run as the callee.
             self.machine.clock().advance(desc.cost);
+            self.budget_charge_cycles(from_dom, desc.cost);
             self.gates.record_direct();
             self.cur.set(to);
             let callee_h = self.hardening[to.0 as usize];
@@ -519,6 +753,33 @@ impl Env {
                     entry: self.entries.name(target.entry).to_string(),
                     compartment: self.domains[to_dom.0 as usize].name.clone(),
                 });
+            }
+            // Budget enforcement sits between CFI and the charge: a
+            // quarantined callee or an over-budget caller is refused
+            // like a CFI rejection — the gate never executes, nothing
+            // is charged, the clock does not advance.
+            if self.budget_enabled {
+                if self.is_quarantined(to_dom) {
+                    return Err(Fault::Quarantined {
+                        compartment: self.domains[to_dom.0 as usize].name.clone(),
+                    });
+                }
+                let budget = &self.budgets[from_dom.0 as usize];
+                let used = &self.budget_used[from_dom.0 as usize];
+                if let Some(limit) = budget.crossings {
+                    let would = used.crossings.get() + 1;
+                    if would > limit {
+                        return Err(self.budget_refused(from_dom, "crossings", would, limit));
+                    }
+                }
+                if let Some(limit) = budget.cycles {
+                    let would = used.cycles.get() + desc.cost;
+                    if would > limit {
+                        return Err(self.budget_refused(from_dom, "cycles", would, limit));
+                    }
+                }
+                used.crossings.set(used.crossings.get() + 1);
+                used.cycles.set(used.cycles.get() + desc.cost);
             }
             self.machine.clock().advance(desc.cost);
             self.gates.record_crossing(from_dom, to_dom, kind);
@@ -597,6 +858,7 @@ impl Env {
             cycles += work.mem_accesses * cost.kasan_check;
         }
         self.machine.clock().advance(cycles);
+        self.budget_charge_cycles(self.compartment_of(comp), cycles);
         let stats = &self.stats[comp.0 as usize];
         let mut s = stats.get();
         s.cycles += cycles;
@@ -769,10 +1031,32 @@ impl Env {
     ///
     /// # Errors
     ///
-    /// [`Fault::ResourceExhausted`] when the heap is full.
+    /// [`Fault::ResourceExhausted`] when the heap is full;
+    /// [`Fault::BudgetExceeded`] when the request would push live bytes
+    /// over the compartment's heap budget (a quota refusal: nothing is
+    /// allocated and no cycles are charged).
     pub fn malloc(&self, size: u64) -> Result<Addr, Fault> {
         let dom = self.compartment_of(self.cur.get());
-        self.heaps[dom.0 as usize].borrow_mut().malloc(size)
+        if self.budget_enabled {
+            if let Some(limit) = self.budgets[dom.0 as usize].heap_bytes {
+                let would = self.budget_used[dom.0 as usize].heap_bytes.get() + size;
+                if would > limit {
+                    return Err(self.budget_refused(dom, "heap-bytes", would, limit));
+                }
+            }
+        }
+        let addr = self.heaps[dom.0 as usize].borrow_mut().malloc(size)?;
+        if self.budget_enabled {
+            // Charge what the allocator actually granted (rounded
+            // block), so free() credits the exact same amount back.
+            let granted = self.heaps[dom.0 as usize]
+                .borrow()
+                .size_of(addr)
+                .unwrap_or(size);
+            let c = &self.budget_used[dom.0 as usize].heap_bytes;
+            c.set(c.get() + granted);
+        }
+        Ok(addr)
     }
 
     /// Frees a private-heap allocation.
@@ -782,7 +1066,17 @@ impl Env {
     /// [`Fault::BadFree`] on foreign or double frees.
     pub fn free(&self, addr: Addr) -> Result<(), Fault> {
         let dom = self.compartment_of(self.cur.get());
-        self.heaps[dom.0 as usize].borrow_mut().free(addr)
+        let credit = if self.budget_enabled {
+            self.heaps[dom.0 as usize].borrow().size_of(addr)
+        } else {
+            None
+        };
+        self.heaps[dom.0 as usize].borrow_mut().free(addr)?;
+        if let Some(bytes) = credit {
+            let c = &self.budget_used[dom.0 as usize].heap_bytes;
+            c.set(c.get().saturating_sub(bytes));
+        }
+        Ok(())
     }
 
     /// Allocates from the shared communication heap (§4.1).

@@ -34,7 +34,7 @@ use flexos_machine::layout::RegionKind;
 use flexos_machine::Machine;
 
 use crate::backend::IsolationBackend;
-use crate::compartment::{CompartmentId, DataSharing, IsolationProfile, Mechanism};
+use crate::compartment::{CompartmentId, DataSharing, IsolationProfile, Mechanism, ResourceBudget};
 use crate::component::{Component, ComponentId, ComponentRegistry, VarStorage};
 use crate::config::SafetyConfig;
 use crate::entry::EntryTable;
@@ -240,6 +240,7 @@ impl ImageBuilder {
                 spec.profile_with(
                     config.default_data_sharing,
                     config.default_allocator.unwrap_or(self.heap_kind),
+                    config.default_budget.unwrap_or(ResourceBudget::UNLIMITED),
                 )
             })
             .collect();

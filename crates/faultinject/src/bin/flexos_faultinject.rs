@@ -1,0 +1,90 @@
+//! `flexos_faultinject` — fires a seeded fault-injection campaign at a
+//! multi-tenant image under supervisor recovery and prints the
+//! deterministic log.
+//!
+//! ```text
+//! flexos_faultinject [--seed N] [--rounds N] [--check] [--quiet]
+//! ```
+//!
+//! `--check` runs the same campaign twice and compares the logs
+//! byte-for-byte — the determinism gate CI runs on every push. Exit
+//! status: `0` on success, `1` when the image did not survive or
+//! `--check` found a divergence, `3` on usage or infrastructure
+//! errors.
+
+use flexos_faultinject::{run_campaign, CampaignSpec};
+
+fn usage() -> i32 {
+    eprintln!("usage: flexos_faultinject [--seed N] [--rounds N] [--check] [--quiet]");
+    3
+}
+
+fn main() {
+    let mut spec = CampaignSpec::default();
+    let mut check = false;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => spec.seed = seed,
+                None => std::process::exit(usage()),
+            },
+            "--rounds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(rounds) => spec.rounds = rounds,
+                None => std::process::exit(usage()),
+            },
+            "--check" => check = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!("usage: flexos_faultinject [--seed N] [--rounds N] [--check] [--quiet]");
+                return;
+            }
+            _ => std::process::exit(usage()),
+        }
+    }
+    let log = match run_campaign(&spec) {
+        Ok(log) => log,
+        Err(fault) => {
+            eprintln!("fault-injection infrastructure fault: {fault}");
+            std::process::exit(3);
+        }
+    };
+    if !quiet {
+        for line in log.lines() {
+            println!("{line}");
+        }
+    }
+    eprintln!(
+        "campaign seed={:#x} rounds={} reboots={} survived={} digest={:#018x}",
+        log.seed,
+        log.events.len(),
+        log.reboots,
+        log.survived,
+        log.digest()
+    );
+    if check {
+        let replay = match run_campaign(&spec) {
+            Ok(log) => log,
+            Err(fault) => {
+                eprintln!("fault-injection replay fault: {fault}");
+                std::process::exit(3);
+            }
+        };
+        if replay.lines() != log.lines() {
+            eprintln!("determinism violated: replay diverged from first run");
+            for (a, b) in log.lines().iter().zip(replay.lines()) {
+                if *a != b {
+                    eprintln!("  first : {a}");
+                    eprintln!("  replay: {b}");
+                }
+            }
+            std::process::exit(1);
+        }
+        eprintln!("determinism check passed: replay is byte-identical");
+    }
+    if !log.survived {
+        eprintln!("image did not survive the campaign");
+        std::process::exit(1);
+    }
+}

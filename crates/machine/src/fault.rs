@@ -110,6 +110,27 @@ pub enum Fault {
         /// Explanation of the inconsistency.
         reason: String,
     },
+    /// A compartment hit its resource budget (heap bytes, cycles, or
+    /// gate crossings). Unlike [`Fault::ResourceExhausted`] — an
+    /// infrastructure condition, the backing resource is genuinely gone —
+    /// this is a *policy* event: the resource still exists, the
+    /// compartment's quota for it is spent.
+    BudgetExceeded {
+        /// The compartment whose budget was exhausted.
+        compartment: String,
+        /// Which budgeted resource ("heap-bytes", "cycles", "crossings").
+        resource: &'static str,
+        /// Usage the refused operation would have reached.
+        used: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A gate refused to enter a compartment the supervisor has
+    /// quarantined (faulted, awaiting microreboot).
+    Quarantined {
+        /// The quarantined compartment.
+        compartment: String,
+    },
 }
 
 impl fmt::Display for Fault {
@@ -154,6 +175,20 @@ impl fmt::Display for Fault {
             Fault::BadFree { addr } => write!(f, "free of unowned or already-freed address {addr}"),
             Fault::ResourceExhausted { what } => write!(f, "resource exhausted: {what}"),
             Fault::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Fault::BudgetExceeded {
+                compartment,
+                resource,
+                used,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "budget exceeded: compartment `{compartment}` {resource} {used} over limit {limit}"
+                )
+            }
+            Fault::Quarantined { compartment } => {
+                write!(f, "compartment `{compartment}` is quarantined")
+            }
         }
     }
 }
@@ -196,6 +231,10 @@ pub enum FaultKind {
     ResourceExhausted,
     /// [`Fault::InvalidConfig`].
     InvalidConfig,
+    /// [`Fault::BudgetExceeded`].
+    BudgetExceeded,
+    /// [`Fault::Quarantined`].
+    Quarantined,
 }
 
 impl fmt::Display for FaultKind {
@@ -215,6 +254,8 @@ impl fmt::Display for FaultKind {
             FaultKind::BadFree => "bad-free",
             FaultKind::ResourceExhausted => "resource-exhausted",
             FaultKind::InvalidConfig => "invalid-config",
+            FaultKind::BudgetExceeded => "budget-exceeded",
+            FaultKind::Quarantined => "quarantined",
         };
         f.write_str(s)
     }
@@ -238,11 +279,20 @@ impl Fault {
             Fault::BadFree { .. } => FaultKind::BadFree,
             Fault::ResourceExhausted { .. } => FaultKind::ResourceExhausted,
             Fault::InvalidConfig { .. } => FaultKind::InvalidConfig,
+            Fault::BudgetExceeded { .. } => FaultKind::BudgetExceeded,
+            Fault::Quarantined { .. } => FaultKind::Quarantined,
         }
     }
 
     /// `true` for faults that represent an *isolation* event (the kind a
     /// compromised compartment triggers), as opposed to build-time errors.
+    ///
+    /// [`Fault::BudgetExceeded`] and [`Fault::Quarantined`] count: a
+    /// tripped budget or a refused entry into a quarantined compartment
+    /// is the containment mechanism doing its job, exactly like a
+    /// protection-key fault — whereas [`Fault::ResourceExhausted`] stays
+    /// an infrastructure condition (the resource is really gone, no
+    /// policy fired).
     pub fn is_isolation_fault(&self) -> bool {
         matches!(
             self,
@@ -252,6 +302,8 @@ impl Fault {
                 | Fault::Ubsan { .. }
                 | Fault::CanarySmashed { .. }
                 | Fault::NotWhitelisted { .. }
+                | Fault::BudgetExceeded { .. }
+                | Fault::Quarantined { .. }
         )
     }
 }
@@ -285,6 +337,34 @@ mod tests {
             reason: "dup".into()
         }
         .is_isolation_fault());
+        // A tripped budget is containment, not infrastructure failure.
+        assert!(Fault::BudgetExceeded {
+            compartment: "lwip".into(),
+            resource: "heap-bytes",
+            used: 3,
+            limit: 2,
+        }
+        .is_isolation_fault());
+        assert!(Fault::Quarantined {
+            compartment: "lwip".into()
+        }
+        .is_isolation_fault());
+    }
+
+    #[test]
+    fn budget_fault_display_names_the_numbers() {
+        let f = Fault::BudgetExceeded {
+            compartment: "lwip".into(),
+            resource: "cycles",
+            used: 1001,
+            limit: 1000,
+        };
+        let s = f.to_string();
+        assert!(s.contains("lwip") && s.contains("cycles"));
+        assert!(s.contains("1001") && s.contains("1000"));
+        assert_eq!(f.kind(), FaultKind::BudgetExceeded);
+        assert_eq!(FaultKind::BudgetExceeded.to_string(), "budget-exceeded");
+        assert_eq!(FaultKind::Quarantined.to_string(), "quarantined");
     }
 
     #[test]

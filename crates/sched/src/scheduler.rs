@@ -214,6 +214,13 @@ impl Scheduler {
             .allocate(&self.env, compartment, thread)
     }
 
+    /// Drops every stack registered in `compartment` so subsequent
+    /// crossings re-map fresh ones — the supervisor's microreboot step.
+    /// Returns how many stacks were dropped.
+    pub fn reset_compartment_stacks(&self, compartment: CompartmentId) -> usize {
+        self.registry.borrow_mut().reset_compartment(compartment)
+    }
+
     /// Voluntarily yields: the current thread goes to the back of the
     /// ready queue and the next ready thread runs.
     pub fn yield_now(&self) -> Option<ThreadId> {

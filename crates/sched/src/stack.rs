@@ -42,6 +42,11 @@ pub struct StackRegistry {
     stacks: HashMap<(CompartmentId, ThreadId), ThreadStack>,
     /// Lookups served (the gate's stack-switch path).
     lookups: u64,
+    /// Microreboot generation per compartment: bumped by
+    /// [`StackRegistry::reset_compartment`], suffixed onto region names
+    /// so replacement stacks are distinguishable in the memory map.
+    /// Empty (and names unchanged) on images that never reboot.
+    epochs: HashMap<CompartmentId, u32>,
 }
 
 impl StackRegistry {
@@ -80,12 +85,21 @@ impl StackRegistry {
         } else {
             ProtKey::DEFAULT
         };
+        // Rebooted compartments re-map replacement stacks under an
+        // epoch-suffixed name; epoch 0 (the common case) keeps the
+        // original spelling so undisturbed images are byte-identical.
+        let epoch = self.epochs.get(&compartment).copied().unwrap_or(0);
+        let suffix = if epoch == 0 {
+            String::new()
+        } else {
+            format!("@r{epoch}")
+        };
         let stack = match sharing {
             DataSharing::Dss => {
                 // Doubled stack: private lower half, shared DSS upper half
                 // (Figure 4's layout).
                 let region = machine.map_region_kind(
-                    format!("{}/{}/stack+dss", dom.name, thread),
+                    format!("{}/{}/stack+dss{}", dom.name, thread, suffix),
                     2 * STACK_PAGES,
                     dom.key,
                     RegionKind::Stack,
@@ -102,7 +116,7 @@ impl StackRegistry {
             }
             DataSharing::SharedStack => {
                 let region = machine.map_region_kind(
-                    format!("{}/{}/stack-shared", dom.name, thread),
+                    format!("{}/{}/stack-shared{}", dom.name, thread, suffix),
                     STACK_PAGES,
                     shared_key,
                     RegionKind::Stack,
@@ -114,7 +128,7 @@ impl StackRegistry {
             }
             DataSharing::HeapConversion => {
                 let region = machine.map_region_kind(
-                    format!("{}/{}/stack", dom.name, thread),
+                    format!("{}/{}/stack{}", dom.name, thread, suffix),
                     STACK_PAGES,
                     dom.key,
                     RegionKind::Stack,
@@ -149,5 +163,18 @@ impl StackRegistry {
     /// Lookups served so far.
     pub fn lookups(&self) -> u64 {
         self.lookups
+    }
+
+    /// Drops every stack registered for `compartment` and bumps its
+    /// microreboot epoch: the next [`StackRegistry::allocate`] maps
+    /// fresh, epoch-suffixed regions — the "reinitialized stacks" step
+    /// of a microreboot. The superseded regions stay reserved in the
+    /// machine layout (a microreboot remaps rather than reclaims
+    /// simulated address space). Returns how many stacks were dropped.
+    pub fn reset_compartment(&mut self, compartment: CompartmentId) -> usize {
+        let before = self.stacks.len();
+        self.stacks.retain(|(c, _), _| *c != compartment);
+        *self.epochs.entry(compartment).or_insert(0) += 1;
+        before - self.stacks.len()
     }
 }

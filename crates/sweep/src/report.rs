@@ -76,6 +76,30 @@ pub fn sweep_leq(a: &SweepPoint, b: &SweepPoint) -> bool {
             .iter()
             .zip(b.component_share_strengths())
             .all(|(&x, y)| x <= y)
+        && budget_leq(a, b)
+}
+
+/// The resource-budget dimension of the order: per component, per
+/// resource, an *unlimited* axis is weaker than (below) any limit, and
+/// two distinct limits are incomparable — like the allocator rule, §5
+/// makes no safety claim ranking one finite quota against another, and
+/// treating them as ordered would let two distinct configurations tie
+/// both ways and break antisymmetry. Budget-free spaces (every
+/// pre-budget sweep) short-circuit to `true` without touching the
+/// per-component resolution.
+fn budget_leq(a: &SweepPoint, b: &SweepPoint) -> bool {
+    if !a.config.any_budget() && !b.config.any_budget() {
+        return true;
+    }
+    let axis = |x: Option<u64>, y: Option<u64>| x.is_none() || x == y;
+    a.component_budgets()
+        .iter()
+        .zip(b.component_budgets())
+        .all(|(x, y)| {
+            axis(x.heap_bytes, y.heap_bytes)
+                && axis(x.cycles, y.cycles)
+                && axis(x.crossings, y.crossings)
+        })
 }
 
 /// Every ordered pair `(i, j)`, `i ≠ j`, with `points[i] ≤ points[j]`

@@ -223,6 +223,15 @@ impl SweepPoint {
         self.hardening_mask & other.hardening_mask == self.hardening_mask
     }
 
+    /// Resource budget seen by each of `FIG6_COMPONENTS`'s four
+    /// components: a component inherits its compartment's resolved
+    /// budget under the strategy's partition. All-unlimited on every
+    /// pre-budget space (shapes carry no budget axis; budgets enter a
+    /// point only through its built `config`).
+    pub fn component_budgets(&self) -> [flexos_core::compartment::ResourceBudget; 4] {
+        std::array::from_fn(|i| self.config.budget_of(self.strategy.compartment_of(i)))
+    }
+
     /// Per-component data-sharing strengths (see
     /// [`component_share_strengths`]).
     pub fn component_share_strengths(&self) -> [u8; 4] {

@@ -6,7 +6,9 @@
 //! the filesystem + time split (Figure 10 MPK3). These constructors build
 //! them without repeating builder boilerplate.
 
-use flexos_core::compartment::{CompartmentSpec, DataSharing, IsolationProfile, Mechanism};
+use flexos_core::compartment::{
+    CompartmentSpec, DataSharing, IsolationProfile, Mechanism, ResourceBudget,
+};
 use flexos_core::config::SafetyConfig;
 use flexos_core::hardening::Hardening;
 use flexos_machine::fault::Fault;
@@ -102,7 +104,35 @@ pub fn with_compartment_profile(
     spec.data_sharing = Some(profile.data_sharing);
     spec.allocator = Some(profile.allocator);
     spec.hardening = profile.hardening;
+    spec.budget = Some(profile.budget);
     Ok(config)
+}
+
+/// The multi-tenant scenario: two Redis tenants in their own MPK
+/// compartments, the network stack (the hostile tenant of the
+/// adversarial suite) in a third, the remaining kernel components in the
+/// default compartment. `net_budget`, when given, caps the network
+/// compartment — the resource-containment demo runs the same shape with
+/// and without it.
+///
+/// # Errors
+///
+/// Propagates configuration validation faults.
+pub fn mpk_tenants(net_budget: Option<ResourceBudget>) -> Result<SafetyConfig, Fault> {
+    let mut net = CompartmentSpec::new("net", Mechanism::IntelMpk);
+    if let Some(b) = net_budget {
+        net = net.with_budget(b);
+    }
+    SafetyConfig::builder()
+        .compartment(CompartmentSpec::new("comp1", Mechanism::IntelMpk).default_compartment())
+        .compartment(CompartmentSpec::new("tenant-a", Mechanism::IntelMpk))
+        .compartment(CompartmentSpec::new("tenant-b", Mechanism::IntelMpk))
+        .compartment(net)
+        .place("redis-a", "tenant-a")
+        .place("redis-b", "tenant-b")
+        .place("lwip", "net")
+        .data_sharing(DataSharing::Dss)
+        .build()
 }
 
 /// Two EPT compartments (VMs): `isolated` components in their own VM —
@@ -163,6 +193,7 @@ mod tests {
             data_sharing: DataSharing::SharedStack,
             allocator: HeapKind::Lea,
             hardening: Hardening::NONE,
+            budget: ResourceBudget::UNLIMITED,
         };
         let cfg = mpk2_profiled(&["lwip"], main, iso).unwrap();
         assert_eq!(cfg.profile_of(0), main);

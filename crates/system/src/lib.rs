@@ -25,7 +25,9 @@
 
 pub mod builder;
 pub mod configs;
+pub mod supervisor;
 #[cfg(test)]
 mod tests;
 
 pub use builder::{FlexOs, SystemBuilder};
+pub use supervisor::{RecoveryReport, Supervisor};

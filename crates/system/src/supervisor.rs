@@ -1,0 +1,213 @@
+//! The recovery supervisor: quarantine + microreboot for faulted
+//! compartments (graceful degradation, ISSUE 8 tentpole layer 3).
+//!
+//! FlexOS §3 promises a misbehaving compartment is *contained*; this
+//! module makes containment recoverable. When a compartment trips an
+//! isolation fault the supervisor notices (via the [`Env`] fault ring),
+//! quarantines the compartment so no gate can enter it, microreboots it
+//! — fresh heap from its profile allocator, reinitialized stacks,
+//! replayed entry resolution — and releases the quarantine. Other
+//! compartments keep serving throughout: the reboot touches only the
+//! victim's private state and the supervisor runs from the TCB side.
+//!
+//! The microreboot state machine, in order (each step deterministic and
+//! charged on the virtual clock so recovery latency is measurable):
+//!
+//! 1. **Quarantine** — set the compartment's quarantine bit: every
+//!    cross-compartment entry refuses with `Fault::Quarantined`.
+//! 2. **Heap reset** — swap in a fresh heap over the same region with
+//!    the same allocator policy and KASan state; attacker hoards and
+//!    poisoned blocks are forgotten.
+//! 3. **Stack reset** — drop the compartment's thread stacks; gates
+//!    re-map epoch-suffixed replacements lazily on the next crossing.
+//! 4. **Entry replay** — re-resolve every registered entry point of
+//!    every component homed in the compartment and verify it is still
+//!    CFI-legal (a reboot must not widen the entry surface).
+//! 5. **Release** — clear the compartment's budget window and its
+//!    quarantine bit; the compartment serves again.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use flexos_core::compartment::CompartmentId;
+use flexos_core::env::Env;
+use flexos_machine::fault::FaultKind;
+use flexos_sched::Scheduler;
+
+/// Modeled base cost of one microreboot (quarantine bookkeeping, heap
+/// metadata reinitialization, supervisor dispatch).
+pub const REBOOT_BASE_CYCLES: u64 = 20_000;
+/// Modeled cost per dropped thread stack (unmap + registry surgery).
+pub const REBOOT_STACK_CYCLES: u64 = 2_000;
+/// Modeled cost per replayed entry-point resolution (CFI bitset check).
+pub const REBOOT_ENTRY_CYCLES: u64 = 200;
+
+/// What one microreboot did, in virtual-clock terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The rebooted compartment.
+    pub compartment: CompartmentId,
+    /// Its configured name.
+    pub compartment_name: String,
+    /// The fault kind that triggered recovery (`None` for explicit
+    /// operator-initiated reboots).
+    pub trigger: Option<FaultKind>,
+    /// Virtual cycle at which the reboot began.
+    pub at_cycle: u64,
+    /// Thread stacks dropped and queued for remapping.
+    pub stacks_dropped: usize,
+    /// Entry points re-resolved and CFI-verified.
+    pub entries_replayed: usize,
+    /// End-to-end recovery latency in virtual cycles.
+    pub latency_cycles: u64,
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "microreboot `{}` trigger={} at={} stacks={} entries={} latency={}",
+            self.compartment_name,
+            self.trigger
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "operator".to_string()),
+            self.at_cycle,
+            self.stacks_dropped,
+            self.entries_replayed,
+            self.latency_cycles,
+        )
+    }
+}
+
+/// Watches the fault ring and microreboots offending compartments.
+pub struct Supervisor {
+    env: Rc<Env>,
+    sched: Rc<Scheduler>,
+    /// Fault kinds that trigger an automatic microreboot on
+    /// [`Supervisor::poll`]. Budget exhaustion and heap poison by
+    /// default: the containment events a reboot actually cures.
+    triggers: Vec<FaultKind>,
+    reports: RefCell<Vec<RecoveryReport>>,
+}
+
+impl Supervisor {
+    /// Default trigger set: resource-budget exhaustion and poisoned-heap
+    /// detection.
+    pub const DEFAULT_TRIGGERS: &'static [FaultKind] = &[
+        FaultKind::BudgetExceeded,
+        FaultKind::Kasan,
+        FaultKind::BadFree,
+    ];
+
+    /// Creates a supervisor over a booted image's environment and
+    /// scheduler, with the default trigger set.
+    pub fn new(env: Rc<Env>, sched: Rc<Scheduler>) -> Self {
+        Supervisor {
+            env,
+            sched,
+            triggers: Self::DEFAULT_TRIGGERS.to_vec(),
+            reports: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Replaces the trigger set.
+    pub fn with_triggers(mut self, triggers: &[FaultKind]) -> Self {
+        self.triggers = triggers.to_vec();
+        self
+    }
+
+    /// Scans the observed-fault ring for the most recent trigger fault
+    /// and microreboots the compartment of the component that raised it.
+    /// Returns the recovery report if a reboot happened. The ring is
+    /// cleared afterwards so one fault burst triggers one reboot.
+    pub fn poll(&self) -> Option<RecoveryReport> {
+        let hit = self
+            .env
+            .observed_faults()
+            .into_iter()
+            .rev()
+            .find(|(_, kind)| self.triggers.contains(kind));
+        let (component, kind) = hit?;
+        let compartment = self.env.compartment_of(component);
+        let report = self.microreboot(compartment, Some(kind));
+        self.env.clear_observed_faults();
+        Some(report)
+    }
+
+    /// Runs the microreboot state machine on `compartment` (see the
+    /// module docs for the five steps). Deterministic: identical images
+    /// at identical clock values produce identical reports.
+    pub fn microreboot(
+        &self,
+        compartment: CompartmentId,
+        trigger: Option<FaultKind>,
+    ) -> RecoveryReport {
+        let clock = self.env.machine().clock();
+        let at_cycle = clock.now();
+
+        // 1. Quarantine: nothing enters while the compartment is torn.
+        self.env.set_quarantined(compartment, true);
+
+        // 2. Fresh heap, same region / allocator policy / KASan state.
+        self.env.reset_heap(compartment);
+
+        // 3. Drop thread stacks; replacements map lazily, epoch-tagged.
+        let stacks_dropped = self.sched.reset_compartment_stacks(compartment);
+
+        // 4. Replay entry resolution: every registered entry point of
+        //    every component homed here must still be CFI-legal.
+        let mut entries_replayed = 0usize;
+        for (id, component) in self.env.registry().iter() {
+            if self.env.compartment_of(id) != compartment {
+                continue;
+            }
+            for entry in &component.entry_points {
+                let target = self.env.resolve(id, entry);
+                debug_assert!(
+                    self.env.entries().is_legal(compartment, target.entry),
+                    "microreboot must not widen or lose the entry surface"
+                );
+                entries_replayed += 1;
+            }
+        }
+
+        // Charge the modeled reboot cost before releasing, so latency
+        // covers the whole outage window.
+        clock.advance(
+            REBOOT_BASE_CYCLES
+                + REBOOT_STACK_CYCLES * stacks_dropped as u64
+                + REBOOT_ENTRY_CYCLES * entries_replayed as u64,
+        );
+
+        // 5. Release: fresh budget window, quarantine lifted.
+        self.env.reset_budget_usage_of(compartment);
+        self.env.set_quarantined(compartment, false);
+
+        let report = RecoveryReport {
+            compartment,
+            compartment_name: self.env.domain(compartment).name.clone(),
+            trigger,
+            at_cycle,
+            stacks_dropped,
+            entries_replayed,
+            latency_cycles: clock.now() - at_cycle,
+        };
+        self.reports.borrow_mut().push(report.clone());
+        report
+    }
+
+    /// Every recovery performed so far, in order.
+    pub fn reports(&self) -> Vec<RecoveryReport> {
+        self.reports.borrow().clone()
+    }
+}
+
+impl fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("triggers", &self.triggers)
+            .field("recoveries", &self.reports.borrow().len())
+            .finish()
+    }
+}

@@ -39,6 +39,7 @@ pub use flexos_baselines as baselines;
 pub use flexos_core as core;
 pub use flexos_ept as ept;
 pub use flexos_explore as explore;
+pub use flexos_faultinject as faultinject;
 pub use flexos_fs as fs;
 pub use flexos_libc as libc;
 pub use flexos_machine as machine;
@@ -53,5 +54,5 @@ pub use flexos_time as time;
 pub mod prelude {
     pub use flexos_core::prelude::*;
     pub use flexos_machine::{fault::Fault, Machine};
-    pub use flexos_system::{configs, FlexOs, SystemBuilder};
+    pub use flexos_system::{configs, FlexOs, Supervisor, SystemBuilder};
 }

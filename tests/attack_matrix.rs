@@ -27,9 +27,19 @@ fn full_grid_matches_the_oracle_and_is_monotone() {
 
     // The grid must be discriminating: every attack class is blocked
     // somewhere and succeeds somewhere — an attack that never lands
-    // (or never gets stopped) tests nothing.
+    // (or never gets stopped) tests nothing. The one exception proves
+    // the budget story: the cycle hog crosses no spatial boundary, so
+    // the *unbudgeted* grid must never block it (the budgeted quick
+    // grid, exercised in the crate tests, blocks it everywhere).
     for attack in Attack::ALL {
-        let bit = 1u8 << attack.bit();
+        let bit = 1u16 << attack.bit();
+        if attack == Attack::CycleHog {
+            assert!(
+                report.runs.iter().all(|r| r.blocked_mask & bit == 0),
+                "no unbudgeted configuration can stop the cycle hog"
+            );
+            continue;
+        }
         assert!(
             report.runs.iter().any(|r| r.blocked_mask & bit != 0),
             "{attack} is never blocked on the grid"

@@ -24,7 +24,7 @@ impl XorShift {
     }
 }
 
-fn assert_monotone(a: &SweepPoint, b: &SweepPoint, ma: u8, mb: u8) {
+fn assert_monotone(a: &SweepPoint, b: &SweepPoint, ma: u16, mb: u16) {
     assert_eq!(
         ma & !mb,
         0,
@@ -43,7 +43,7 @@ fn random_ordered_pairs_have_inclusion_ordered_blocked_sets() {
     let sample: Vec<SweepPoint> = (0..160)
         .map(|_| spec.point((rng.next() % n) as usize))
         .collect();
-    let masks: Vec<u8> = sample.iter().map(expected_mask).collect();
+    let masks: Vec<u16> = sample.iter().map(expected_mask).collect();
     let mut ordered = 0usize;
     for (i, a) in sample.iter().enumerate() {
         for (j, b) in sample.iter().enumerate() {

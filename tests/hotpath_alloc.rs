@@ -139,6 +139,60 @@ fn steady_state_redis_get_is_allocation_free_end_to_end() {
 }
 
 #[test]
+fn steady_state_budgeted_redis_get_is_allocation_free() {
+    // ISSUE 8: budget *charging* rides the same hot path — the malloc
+    // quota pre-check, the gate's crossings/cycles pre-check, and the
+    // post-charge are all `Cell` arithmetic over boot-built vectors.
+    // With budgets enabled on every compartment, a steady-state GET
+    // must remain host-allocation-free (the enforcement is literally
+    // free until a limit trips).
+    let mut config = configs::mpk2(&["lwip"], DataSharing::Dss).unwrap();
+    config.default_budget = Some(flexos_core::compartment::ResourceBudget {
+        heap_bytes: Some(8 * 1024 * 1024),
+        cycles: Some(1 << 40),
+        crossings: Some(1 << 30),
+    });
+    let os = SystemBuilder::new(config)
+        .app(flexos_apps::redis_component())
+        .build()
+        .unwrap();
+    assert!(os.env.budget_enabled(), "budgets must actually be armed");
+    let server = flexos_apps::workloads::install_redis(&os).unwrap();
+    server.preload(&[(b"key:1", b"yyy")]).unwrap();
+    let mut client =
+        flexos_net::TcpClient::connect(&os.net, 50_000, flexos_apps::redis::REDIS_PORT).unwrap();
+    let conn = server.accept().unwrap().expect("handshake queues conn");
+    let request = flexos_apps::resp::encode_request(&[b"GET", b"key:1"]);
+
+    let run_one = |client: &mut flexos_net::TcpClient| {
+        client.send(&os.net, &request).unwrap();
+        server.serve_one(conn).unwrap();
+        client.drain(&os.net).unwrap();
+        assert_eq!(client.received(), b"$3\r\nyyy\r\n", "GET must hit");
+        client.clear_received();
+    };
+    for _ in 0..3000 {
+        run_one(&mut client);
+    }
+    let lwip = os.env.component_id("lwip").unwrap();
+    let net_comp = os.env.compartment_of(lwip);
+    let charged_before = os.env.budget_usage(net_comp).cycles;
+    let before = allocations();
+    for _ in 0..200 {
+        run_one(&mut client);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "budget-charged steady-state Redis GET allocated on the host heap"
+    );
+    assert!(
+        os.env.budget_usage(net_comp).cycles > charged_before,
+        "the measured loop must actually charge the budget"
+    );
+}
+
+#[test]
 fn resolved_ept_rpc_calls_do_not_allocate() {
     // The EPT crossing hook drives a full shared-memory RPC round trip
     // (ring push, server pop, legality check, completion) per gate

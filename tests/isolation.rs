@@ -3,7 +3,7 @@
 
 use flexos::prelude::*;
 use flexos_alloc::HeapKind;
-use flexos_core::compartment::{DataSharing, IsolationProfile};
+use flexos_core::compartment::{DataSharing, IsolationProfile, ResourceBudget};
 use flexos_machine::key::ProtKey;
 use flexos_sched::dss::{shadow_of, STACK_SIZE};
 
@@ -26,11 +26,13 @@ fn lwip_isolating_images() -> Vec<(&'static str, FlexOs)> {
             data_sharing: DataSharing::HeapConversion,
             allocator: HeapKind::Tlsf,
             hardening: Hardening::NONE,
+            budget: ResourceBudget::UNLIMITED,
         },
         IsolationProfile {
             data_sharing: DataSharing::Dss,
             allocator: HeapKind::Lea,
             hardening: Hardening::FIG6_BUNDLE,
+            budget: ResourceBudget::UNLIMITED,
         },
     )
     .unwrap();

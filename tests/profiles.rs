@@ -7,13 +7,14 @@ use std::rc::Rc;
 
 use flexos::prelude::*;
 use flexos_alloc::HeapKind;
-use flexos_core::compartment::{CompartmentId, DataSharing, IsolationProfile};
+use flexos_core::compartment::{CompartmentId, DataSharing, IsolationProfile, ResourceBudget};
 
 fn light_profile() -> IsolationProfile {
     IsolationProfile {
         data_sharing: DataSharing::SharedStack,
         allocator: HeapKind::Lea,
         hardening: Hardening::NONE,
+        budget: ResourceBudget::UNLIMITED,
     }
 }
 
