@@ -278,8 +278,11 @@ pub fn run_redis_bench(os: &FlexOs, bench: RedisBench) -> Result<RunMetrics, Fau
     os.env.reset_counters();
     let start = os.cycles();
     let measured_batches = batches(bench.measured);
+    let request_latency = os.env.machine().tracer().request_latency();
     for _ in 0..measured_batches {
+        let batch_start = os.cycles();
         run_batch(&mut client, &mut request, &mut expected, &mut rng)?;
+        request_latency.record(os.cycles() - batch_start);
     }
     Ok(metrics(
         os,

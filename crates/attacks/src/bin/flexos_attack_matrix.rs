@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! flexos_attack_matrix [--space quick|full] [--budget] [--quiet]
+//!                      [--trace PATH] [--metrics PATH]
 //! ```
 //!
 //! `--budget` doubles the grid: every point runs unbudgeted *and* with
@@ -19,15 +20,20 @@
 use flexos_attacks::{attack_space, attack_space_quick, run_matrix, run_matrix_budgeted};
 
 fn usage() -> i32 {
-    eprintln!("usage: flexos_attack_matrix [--space quick|full] [--budget] [--quiet]");
+    eprintln!(
+        "usage: flexos_attack_matrix [--space quick|full] [--budget] [--quiet] \
+         [--trace PATH] [--metrics PATH]"
+    );
     3
 }
 
 fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let obs = flexos_bench::obs::extract_obs_args(&mut raw);
     let mut space = "quick".to_string();
     let mut budget = false;
     let mut quiet = false;
-    let mut args = std::env::args().skip(1);
+    let mut args = raw.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--space" => match args.next() {
@@ -37,7 +43,10 @@ fn main() {
             "--budget" => budget = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
-                eprintln!("usage: flexos_attack_matrix [--space quick|full] [--budget] [--quiet]");
+                eprintln!(
+                    "usage: flexos_attack_matrix [--space quick|full] [--budget] [--quiet] \
+                     [--trace PATH] [--metrics PATH]"
+                );
                 return;
             }
             _ => std::process::exit(usage()),
@@ -83,6 +92,7 @@ fn main() {
     for v in &report.order_violations {
         eprintln!("monotonicity violated: {v}");
     }
+    flexos_bench::obs::emit_canonical_if_requested(&obs);
     if !report.ok() {
         std::process::exit(2);
     }

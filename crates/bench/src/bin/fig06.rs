@@ -1,10 +1,13 @@
 //! Figure 6: Redis/Nginx throughput over the 80-configuration sweep.
 
+use flexos_bench::obs::{emit_canonical_if_requested, extract_obs_args};
 use flexos_bench::{fmt_rate, run_fig6_sweep};
 use flexos_explore::fig6_space;
 
 fn main() {
-    let app = std::env::args().nth(1).unwrap_or_else(|| "redis".into());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = extract_obs_args(&mut args);
+    let app = args.first().cloned().unwrap_or_else(|| "redis".into());
     let space = fig6_space(&app);
     eprintln!("running {} configurations for {app}...", space.len());
     let perf = run_fig6_sweep(&app).expect("sweep runs");
@@ -31,4 +34,6 @@ fn main() {
     );
     println!("configs <20% overhead: {under20}   configs <45% overhead: {under45}");
     println!("# paper (redis): span 4.1x (292k..1199k); (nginx): 9 configs <20%, 32 <45%");
+
+    emit_canonical_if_requested(&obs);
 }

@@ -5,6 +5,9 @@ use flexos_bench::run_fig6_sweep;
 use flexos_explore::fig6_space;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = flexos_bench::obs::extract_obs_args(&mut args);
+    let _ = args;
     eprintln!("running 2x80 configurations (redis + nginx)...");
     let redis = run_fig6_sweep("redis").expect("redis sweep");
     let nginx = run_fig6_sweep("nginx").expect("nginx sweep");
@@ -31,4 +34,6 @@ fn main() {
         }
     }
     println!("\n# {off_diagonal}/80 configs deviate >5% between the two apps");
+
+    flexos_bench::obs::emit_canonical_if_requested(&obs);
 }

@@ -5,8 +5,10 @@ use flexos_bench::{fmt_rate, run_fig6_sweep};
 use flexos_explore::{fig6_space, prune_and_star, Poset};
 
 fn main() {
-    let budget = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = flexos_bench::obs::extract_obs_args(&mut args);
+    let budget = args
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(500_000.0);
     eprintln!("running 80 redis configurations...");
@@ -38,4 +40,6 @@ fn main() {
         "\n# paper: 80 -> 5 starred configurations at 500k req/s; here: 80 -> {}",
         report.stars.len()
     );
+
+    flexos_bench::obs::emit_canonical_if_requested(&obs);
 }

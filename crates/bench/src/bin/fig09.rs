@@ -18,6 +18,9 @@ fn run(config: SafetyConfig, buf: u64) -> Result<f64, Fault> {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = flexos_bench::obs::extract_obs_args(&mut args);
+    let _ = args;
     let bufs: Vec<u64> = (4..=14).map(|p| 1u64 << p).collect();
     println!("# Figure 9: iPerf throughput (Gb/s) vs receive buffer size");
     println!(
@@ -49,4 +52,6 @@ fn main() {
     }
     println!("\n# paper: MPK within 1.5x of baseline, converging >=128B;");
     println!("# EPT 1.1-2.2x slower than MPK-dss, ~90% of baseline >=256B");
+
+    flexos_bench::obs::emit_canonical_if_requested(&obs);
 }

@@ -4,10 +4,9 @@ use flexos_baselines::run_fig10_detailed;
 use flexos_core::gate::GateKind;
 
 fn main() {
-    let n: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5000);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = flexos_bench::obs::extract_obs_args(&mut args);
+    let n: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(5000);
     eprintln!("running the {n}-INSERT SQLite workload on 3 FlexOS images...");
     let detail = run_fig10_detailed(n).expect("fig10 runs");
     let rows = &detail.rows;
@@ -46,4 +45,6 @@ fn main() {
     }
     println!("\n# paper:       Unikraft .052/.702  FlexOS .054/.106/.173");
     println!("# paper:       Linux .177  SeL4 .333  CubicleOS .657/1.557");
+
+    flexos_bench::obs::emit_canonical_if_requested(&obs);
 }

@@ -44,6 +44,9 @@ fn measure(sharing: DataSharing, buffers: u32) -> Result<u64, Fault> {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = flexos_bench::obs::extract_obs_args(&mut args);
+    let _ = args;
     println!("# Figure 11a: shared stack allocation latency (cycles)");
     println!(
         "{:>9} {:>8} {:>8} {:>14}",
@@ -57,4 +60,6 @@ fn main() {
     }
     println!("\n# paper: heap 100-300+ cycles growing per buffer;");
     println!("# DSS and shared stack constant at stack speed (2 cycles)");
+
+    flexos_bench::obs::emit_canonical_if_requested(&obs);
 }

@@ -31,6 +31,9 @@ fn measure(config: SafetyConfig) -> Result<u64, Fault> {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = flexos_bench::obs::extract_obs_args(&mut args);
+    let _ = args;
     let cost = CostModel::default();
     let call = measure(configs::none()).expect("none");
     let light =
@@ -52,4 +55,6 @@ fn main() {
         "{:>16} {:>9} {:>8}",
         "syscall-nokpti", cost.syscall_nokpti, 146
     );
+
+    flexos_bench::obs::emit_canonical_if_requested(&obs);
 }

@@ -76,7 +76,7 @@ struct Args {
     quiet: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(raw: Vec<String>) -> Result<Args, String> {
     let mut args = Args {
         space: "full".to_string(),
         threads: engine::sweep_threads(),
@@ -90,7 +90,7 @@ fn parse_args() -> Result<Args, String> {
         progress: false,
         quiet: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = raw.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
         match flag.as_str() {
@@ -372,14 +372,17 @@ fn run_exhaustive(args: &Args, spec: &SpaceSpec, budgets: report::BudgetVector) 
 }
 
 fn main() {
-    let args = match parse_args() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let obs = flexos_bench::obs::extract_obs_args(&mut raw);
+    let args = match parse_args(raw) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("sweep: {e}");
             eprintln!(
                 "usage: sweep [--space NAME] [--threads N] [--budget-frac F] \
                  [--budget WORKLOAD=F]... [--verify] [--csv PATH] \
-                 [--lazy] [--verify-inference] [--pareto PATH] [--progress] [--quiet]"
+                 [--lazy] [--verify-inference] [--pareto PATH] [--progress] [--quiet] \
+                 [--trace PATH] [--metrics PATH]"
             );
             std::process::exit(2);
         }
@@ -403,4 +406,6 @@ fn main() {
     } else {
         run_exhaustive(&args, &spec, budgets);
     }
+
+    flexos_bench::obs::emit_canonical_if_requested(&obs);
 }

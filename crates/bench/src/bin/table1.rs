@@ -17,6 +17,9 @@ fn row(label: &str, c: &Component) {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = flexos_bench::obs::extract_obs_args(&mut args);
+    let _ = args;
     println!("# Table 1: porting effort per component");
     println!(
         "{:>28} {:>13} {:>12}",
@@ -63,4 +66,6 @@ fn main() {
         bd.direct_calls,
         bd.cfi_violations
     );
+
+    flexos_bench::obs::emit_canonical_if_requested(&obs);
 }

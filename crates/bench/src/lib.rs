@@ -19,6 +19,8 @@
 //! ablations via the self-contained [`harness`] module (the build
 //! environment has no crates.io access, so no criterion).
 
+pub mod obs;
+
 use flexos_apps::workloads::{run_nginx_gets, run_redis_gets, RunMetrics};
 use flexos_explore::Fig6Point;
 use flexos_machine::fault::Fault;

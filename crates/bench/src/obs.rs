@@ -1,0 +1,126 @@
+//! `--trace` / `--metrics` support for the run binaries.
+//!
+//! Every figure binary's stdout is pinned byte-for-byte, so
+//! observability must not perturb the normal run: the flags are
+//! *extracted* from the argument list before positional parsing, the
+//! untraced sweep executes exactly as before, and the traced artifacts
+//! come from one additional **canonical profile** run — Redis over the
+//! two-compartment MPK/DSS configuration with an operator-initiated
+//! microreboot of the isolated lwip compartment at the end, so the
+//! exported Chrome trace always carries per-compartment cycle
+//! attribution *and* a supervisor microreboot span. Digests go to
+//! stderr; stdout stays untouched.
+
+use std::io::Write as _;
+use std::rc::Rc;
+
+use flexos_core::compartment::DataSharing;
+use flexos_machine::fault::Fault;
+use flexos_machine::trace::TraceConfig;
+use flexos_system::observe::{metrics_json, trace_artifacts};
+use flexos_system::{FlexOs, Supervisor, SystemBuilder};
+
+use crate::fig6_counts;
+
+/// Observability flags extracted from a binary's argument list.
+#[derive(Debug, Default, Clone)]
+pub struct ObsArgs {
+    /// `--trace PATH`: write Chrome `trace_event` JSON here (and the
+    /// folded attribution profile next to it, at `PATH.profile`).
+    pub trace: Option<String>,
+    /// `--metrics PATH`: write the metrics-registry JSON here.
+    pub metrics: Option<String>,
+}
+
+impl ObsArgs {
+    /// `true` when either flag was given.
+    pub fn requested(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+}
+
+/// Removes `--trace PATH` / `--metrics PATH` from `args` (mutating it
+/// in place) and returns them, so each binary's existing positional
+/// parsing sees exactly the argument list it always did.
+pub fn extract_obs_args(args: &mut Vec<String>) -> ObsArgs {
+    let mut obs = ObsArgs::default();
+    let mut take = |flag: &str| {
+        let idx = args.iter().position(|a| a == flag)?;
+        if idx + 1 >= args.len() {
+            eprintln!("{flag} requires a PATH argument");
+            std::process::exit(2);
+        }
+        let value = args.remove(idx + 1);
+        args.remove(idx);
+        Some(value)
+    };
+    obs.trace = take("--trace");
+    obs.metrics = take("--metrics");
+    obs
+}
+
+/// Builds and runs the canonical traced profile: Redis over
+/// `mpk2(["lwip"], Dss)` with the tracer enabled, the fig6-shaped GET
+/// workload (honouring `FIG6_WARMUP`/`FIG6_MEASURED`), and one
+/// operator-initiated microreboot of the lwip compartment. Returns the
+/// image with the event ring populated.
+///
+/// # Errors
+///
+/// Configuration or substrate faults.
+pub fn run_traced_canonical() -> Result<FlexOs, Fault> {
+    let config = flexos_system::configs::mpk2(&["lwip"], DataSharing::Dss)?;
+    let os = SystemBuilder::new(config)
+        .app(flexos_apps::redis_component())
+        .build()?;
+    os.env.machine().tracer().enable(TraceConfig::default());
+    let (warmup, measured) = fig6_counts();
+    flexos_apps::workloads::run_redis_gets(&os, warmup, measured)?;
+    let lwip = os.component("lwip").ok_or_else(|| Fault::InvalidConfig {
+        reason: "canonical profile image has no `lwip` component".to_string(),
+    })?;
+    let sup = Supervisor::new(Rc::clone(&os.env), Rc::clone(&os.sched));
+    sup.microreboot(os.env.compartment_of(lwip), None);
+    Ok(os)
+}
+
+/// Writes the requested artifacts for `os`: Chrome JSON (plus the
+/// attribution profile at `PATH.profile`) and/or metrics JSON, with a
+/// digest summary on stderr. Stdout is never touched.
+///
+/// # Errors
+///
+/// File I/O errors writing the artifacts.
+pub fn emit_observability(os: &FlexOs, obs: &ObsArgs) -> std::io::Result<()> {
+    if let Some(path) = &obs.trace {
+        let artifacts = trace_artifacts(&os.env);
+        std::fs::write(path, &artifacts.chrome_json)?;
+        let profile_path = format!("{path}.profile");
+        std::fs::write(&profile_path, &artifacts.profile)?;
+        writeln!(
+            std::io::stderr(),
+            "trace: {path} events={} dropped={} chrome-digest={:016x} profile-digest={:016x}",
+            artifacts.events,
+            artifacts.dropped,
+            artifacts.chrome_digest,
+            artifacts.profile_digest,
+        )?;
+    }
+    if let Some(path) = &obs.metrics {
+        std::fs::write(path, metrics_json(os))?;
+        writeln!(std::io::stderr(), "metrics: {path}")?;
+    }
+    Ok(())
+}
+
+/// The whole `--trace`/`--metrics` tail for a figure binary: when
+/// either flag was given, run the canonical traced profile and emit
+/// its artifacts. Call after the binary's normal (untraced, pinned)
+/// output is complete.
+pub fn emit_canonical_if_requested(obs: &ObsArgs) {
+    if !obs.requested() {
+        return;
+    }
+    let os = run_traced_canonical().expect("canonical traced profile runs");
+    emit_observability(&os, obs).expect("observability artifacts write");
+}

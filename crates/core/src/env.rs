@@ -45,6 +45,7 @@ use flexos_machine::addr::Addr;
 use flexos_machine::cpu::RegisterFile;
 use flexos_machine::fault::{Fault, FaultKind};
 use flexos_machine::key::{Access, Pkru, ProtKey};
+use flexos_machine::trace::{event as trace_event, EventKind};
 use flexos_machine::Machine;
 
 use crate::compartment::{CompartmentId, DataSharing, IsolationProfile, Mechanism, ResourceBudget};
@@ -394,6 +395,13 @@ impl Env {
                 let cell = &self.isolation_faults[comp.0 as usize];
                 cell.set(cell.get() + 1);
             }
+            self.machine.tracer().record(
+                self.machine.clock().now(),
+                EventKind::IsolationFault {
+                    component: comp.0,
+                    fault: fault.kind() as u8,
+                },
+            );
         }
         r
     }
@@ -485,6 +493,14 @@ impl Env {
         for c in &self.budget_refusals {
             c.set(0);
         }
+        if self.budget_enabled {
+            self.machine.tracer().record(
+                self.machine.clock().now(),
+                EventKind::BudgetWindowReset {
+                    compartment: trace_event::ALL_COMPARTMENTS,
+                },
+            );
+        }
     }
 
     /// Opens a fresh accounting window for *one* compartment — the
@@ -497,6 +513,12 @@ impl Env {
         cells.cycles.set(0);
         cells.crossings.set(0);
         self.budget_refusals[comp.0 as usize].set(0);
+        self.machine.tracer().record(
+            self.machine.clock().now(),
+            EventKind::BudgetWindowReset {
+                compartment: comp.0,
+            },
+        );
     }
 
     /// Quarantines (or releases) a compartment: while quarantined, every
@@ -582,6 +604,19 @@ impl Env {
     ) -> Fault {
         let c = &self.budget_refusals[dom.0 as usize];
         c.set(c.get() + 1);
+        self.machine.tracer().record(
+            self.machine.clock().now(),
+            EventKind::BudgetRefusal {
+                compartment: dom.0,
+                resource: match resource {
+                    "heap-bytes" => trace_event::resource::HEAP_BYTES,
+                    "crossings" => trace_event::resource::CROSSINGS,
+                    _ => trace_event::resource::CYCLES,
+                },
+                would: used,
+                limit,
+            },
+        );
         Fault::BudgetExceeded {
             compartment: self.domains[dom.0 as usize].name.clone(),
             resource,
@@ -597,6 +632,14 @@ impl Env {
         if self.budget_enabled {
             let c = &self.budget_used[dom.0 as usize].cycles;
             c.set(c.get() + cycles);
+            self.machine.tracer().record(
+                self.machine.clock().now(),
+                EventKind::BudgetCharge {
+                    compartment: dom.0,
+                    resource: trace_event::resource::CYCLES,
+                    amount: cycles,
+                },
+            );
         }
     }
 
@@ -780,6 +823,29 @@ impl Env {
                 }
                 used.crossings.set(used.crossings.get() + 1);
                 used.cycles.set(used.cycles.get() + desc.cost);
+                self.machine.tracer().record(
+                    self.machine.clock().now(),
+                    EventKind::BudgetCharge {
+                        compartment: from_dom.0,
+                        resource: trace_event::resource::CROSSINGS,
+                        amount: 1,
+                    },
+                );
+            }
+            // Stamped *before* the gate cost is charged so the span
+            // `[at, at + cost]` is attributable gate overhead.
+            let tracer = self.machine.tracer();
+            if tracer.is_enabled() {
+                tracer.record(
+                    self.machine.clock().now(),
+                    EventKind::GateEnter {
+                        from: from_dom.0,
+                        to: to_dom.0,
+                        entry: target.entry.0,
+                        gate: kind.index() as u8,
+                        cost: desc.cost as u32,
+                    },
+                );
             }
             self.machine.clock().advance(desc.cost);
             self.gates.record_crossing(from_dom, to_dom, kind);
@@ -826,6 +892,18 @@ impl Env {
         }
 
         let result = f();
+
+        let tracer = self.machine.tracer();
+        if tracer.is_enabled() {
+            tracer.record(
+                self.machine.clock().now(),
+                EventKind::GateExit {
+                    from: from_dom.0,
+                    to: to_dom.0,
+                    entry: target.entry.0,
+                },
+            );
+        }
 
         // Return path: restore caller context (the gate executes the same
         // steps in reverse, §4.1; the cost constant covers the round trip).
@@ -1055,6 +1133,28 @@ impl Env {
                 .unwrap_or(size);
             let c = &self.budget_used[dom.0 as usize].heap_bytes;
             c.set(c.get() + granted);
+            self.machine.tracer().record(
+                self.machine.clock().now(),
+                EventKind::BudgetCharge {
+                    compartment: dom.0,
+                    resource: trace_event::resource::HEAP_BYTES,
+                    amount: granted,
+                },
+            );
+        }
+        let tracer = self.machine.tracer();
+        if tracer.is_enabled() {
+            let heap = self.heaps[dom.0 as usize].borrow();
+            let granted = heap.size_of(addr).unwrap_or(size);
+            let s = heap.stats();
+            tracer.record(
+                self.machine.clock().now(),
+                EventKind::HeapAlloc {
+                    compartment: dom.0,
+                    bytes: granted,
+                    live: s.bytes_allocated.saturating_sub(s.bytes_freed),
+                },
+            );
         }
         Ok(addr)
     }
@@ -1066,15 +1166,29 @@ impl Env {
     /// [`Fault::BadFree`] on foreign or double frees.
     pub fn free(&self, addr: Addr) -> Result<(), Fault> {
         let dom = self.compartment_of(self.cur.get());
-        let credit = if self.budget_enabled {
+        let tracing = self.machine.tracer().is_enabled();
+        let credit = if self.budget_enabled || tracing {
             self.heaps[dom.0 as usize].borrow().size_of(addr)
         } else {
             None
         };
         self.heaps[dom.0 as usize].borrow_mut().free(addr)?;
         if let Some(bytes) = credit {
-            let c = &self.budget_used[dom.0 as usize].heap_bytes;
-            c.set(c.get().saturating_sub(bytes));
+            if self.budget_enabled {
+                let c = &self.budget_used[dom.0 as usize].heap_bytes;
+                c.set(c.get().saturating_sub(bytes));
+            }
+            if tracing {
+                let s = self.heaps[dom.0 as usize].borrow().stats();
+                self.machine.tracer().record(
+                    self.machine.clock().now(),
+                    EventKind::HeapFree {
+                        compartment: dom.0,
+                        bytes,
+                        live: s.bytes_allocated.saturating_sub(s.bytes_freed),
+                    },
+                );
+            }
         }
         Ok(())
     }
@@ -1106,6 +1220,13 @@ impl Env {
     /// The shared communication heap.
     pub fn shared_heap(&self) -> Rc<RefCell<Heap>> {
         Rc::clone(&self.shared_heap)
+    }
+
+    /// Allocator statistics of one compartment's private heap — the
+    /// per-compartment live-bytes high-water surface behind
+    /// `TransformReport::heap_highwater`.
+    pub fn heap_stats_of(&self, comp: CompartmentId) -> flexos_alloc::AllocStats {
+        self.heaps[comp.0 as usize].borrow().stats()
     }
 
     /// Aggregated allocator statistics across every heap in the image

@@ -81,6 +81,22 @@ impl TransformReport {
     pub fn crossing_breakdown(&self, env: &Env) -> CrossingBreakdown {
         env.gates().breakdown()
     }
+
+    /// Per-compartment private-heap live-bytes high-water marks of the
+    /// live image, as `(compartment_name, peak_live_bytes)` in
+    /// compartment order — how close each compartment ever got to its
+    /// heap quota, not just whether it was refused.
+    pub fn heap_highwater(&self, env: &Env) -> Vec<(String, u64)> {
+        (0..env.compartment_count())
+            .map(|i| {
+                let comp = crate::compartment::CompartmentId(i as u8);
+                (
+                    env.domain(comp).name.clone(),
+                    env.heap_stats_of(comp).peak_live,
+                )
+            })
+            .collect()
+    }
 }
 
 /// A built FlexOS image: the runtime [`Env`] plus the transform report.

@@ -4,26 +4,37 @@
 //!
 //! ```text
 //! flexos_faultinject [--seed N] [--rounds N] [--check] [--quiet]
+//!                    [--trace PATH] [--metrics PATH]
 //! ```
 //!
 //! `--check` runs the same campaign twice and compares the logs
-//! byte-for-byte — the determinism gate CI runs on every push. Exit
+//! byte-for-byte — the determinism gate CI runs on every push. With
+//! `--trace`/`--metrics` the *first* campaign runs with the event ring
+//! enabled (the replay stays untraced, so `--check` doubles as proof
+//! that tracing never perturbs the virtual clock) and the campaign's
+//! own trace/metrics artifacts are written after the log. Exit
 //! status: `0` on success, `1` when the image did not survive or
 //! `--check` found a divergence, `3` on usage or infrastructure
 //! errors.
 
-use flexos_faultinject::{run_campaign, CampaignSpec};
+use flexos_faultinject::{build_campaign_image, run_campaign, run_campaign_on, CampaignSpec};
+use flexos_machine::trace::TraceConfig;
 
 fn usage() -> i32 {
-    eprintln!("usage: flexos_faultinject [--seed N] [--rounds N] [--check] [--quiet]");
+    eprintln!(
+        "usage: flexos_faultinject [--seed N] [--rounds N] [--check] [--quiet] \
+         [--trace PATH] [--metrics PATH]"
+    );
     3
 }
 
 fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let obs = flexos_bench::obs::extract_obs_args(&mut raw);
     let mut spec = CampaignSpec::default();
     let mut check = false;
     let mut quiet = false;
-    let mut args = std::env::args().skip(1);
+    let mut args = raw.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
@@ -37,13 +48,34 @@ fn main() {
             "--check" => check = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
-                eprintln!("usage: flexos_faultinject [--seed N] [--rounds N] [--check] [--quiet]");
+                eprintln!(
+                    "usage: flexos_faultinject [--seed N] [--rounds N] [--check] [--quiet] \
+                     [--trace PATH] [--metrics PATH]"
+                );
                 return;
             }
             _ => std::process::exit(usage()),
         }
     }
-    let log = match run_campaign(&spec) {
+    let traced_os = if obs.requested() {
+        match build_campaign_image(&spec) {
+            Ok(os) => {
+                os.env.machine().tracer().enable(TraceConfig::default());
+                Some(os)
+            }
+            Err(fault) => {
+                eprintln!("fault-injection infrastructure fault: {fault}");
+                std::process::exit(3);
+            }
+        }
+    } else {
+        None
+    };
+    let result = match &traced_os {
+        Some(os) => run_campaign_on(os, &spec),
+        None => run_campaign(&spec),
+    };
+    let log = match result {
         Ok(log) => log,
         Err(fault) => {
             eprintln!("fault-injection infrastructure fault: {fault}");
@@ -82,6 +114,9 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("determinism check passed: replay is byte-identical");
+    }
+    if let Some(os) = &traced_os {
+        flexos_bench::obs::emit_observability(os, &obs).expect("observability artifacts write");
     }
     if !log.survived {
         eprintln!("image did not survive the campaign");

@@ -111,13 +111,21 @@ pub struct CampaignEvent {
     /// Recovery latency in virtual cycles when the supervisor rebooted
     /// a compartment in response; `None` when no reboot was needed.
     pub recovery_latency: Option<u64>,
+    /// Per-phase recovery latencies (quarantine, heap-reset,
+    /// stack-teardown, entry-replay, release) when a reboot happened;
+    /// sums to `recovery_latency`.
+    pub recovery_phases: Option<[u64; 5]>,
+    /// Budget refusals the injection provoked this round, summed across
+    /// compartments (sampled *before* the supervisor's release phase
+    /// clears the victim's window).
+    pub refusals: u64,
 }
 
 impl fmt::Display for CampaignEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "round={} cycle={} target={} inject={} fault={} recovery={}",
+            "round={} cycle={} target={} inject={} fault={} recovery={} refusals={} phases={}",
             self.round,
             self.at_cycle,
             self.target,
@@ -127,6 +135,15 @@ impl fmt::Display for CampaignEvent {
                 .unwrap_or_else(|| "none".to_string()),
             self.recovery_latency
                 .map(|l| l.to_string())
+                .unwrap_or_else(|| "none".to_string()),
+            self.refusals,
+            self.recovery_phases
+                .map(|p| {
+                    p.iter()
+                        .map(|c| c.to_string())
+                        .collect::<Vec<_>>()
+                        .join("/")
+                })
                 .unwrap_or_else(|| "none".to_string()),
         )
     }
@@ -223,6 +240,18 @@ pub fn build_campaign_image(spec: &CampaignSpec) -> Result<FlexOs, Fault> {
 /// injected faults are the campaign's *data* and land in the log.
 pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignLog, Fault> {
     let os = build_campaign_image(spec)?;
+    run_campaign_on(&os, spec)
+}
+
+/// [`run_campaign`] against an already-built image — the traced entry
+/// point: callers can enable the machine tracer (and read the trace
+/// artifacts off `os` afterwards) without perturbing the campaign
+/// schedule.
+///
+/// # Errors
+///
+/// See [`run_campaign`].
+pub fn run_campaign_on(os: &FlexOs, spec: &CampaignSpec) -> Result<CampaignLog, Fault> {
     let env = Rc::clone(&os.env);
     let sup = Supervisor::new(Rc::clone(&os.env), Rc::clone(&os.sched));
     let ids: Vec<ComponentId> = TARGETS
@@ -271,6 +300,11 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignLog, Fault> {
                 Result::<_, Fault>::Ok(env.observe(env.free(addr)).err())
             })?,
         };
+        // Sample refusals before poll(): the supervisor's release phase
+        // clears the rebooted compartment's refusal counter.
+        let refusals = (0..env.compartment_count())
+            .map(|i| env.budget_refusals_of(flexos_core::compartment::CompartmentId(i as u8)))
+            .sum();
         let recovery = sup.poll();
         events.push(CampaignEvent {
             round,
@@ -278,7 +312,9 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignLog, Fault> {
             target: TARGETS[target_idx].to_string(),
             injection,
             fault: fault.as_ref().map(Fault::kind),
-            recovery_latency: recovery.map(|r| r.latency_cycles),
+            recovery_latency: recovery.as_ref().map(|r| r.latency_cycles),
+            recovery_phases: recovery.as_ref().map(|r| r.phase_cycles),
+            refusals,
         });
     }
 

@@ -237,6 +237,29 @@ pub enum FaultKind {
     Quarantined,
 }
 
+impl FaultKind {
+    /// Every kind, in discriminant order — the trace layer indexes
+    /// this by `FaultKind as u8` to resolve fault names at export.
+    pub const ALL: [FaultKind; 16] = [
+        FaultKind::ProtectionKey,
+        FaultKind::Unmapped,
+        FaultKind::OutOfBounds,
+        FaultKind::KeyExhausted,
+        FaultKind::IllegalEntryPoint,
+        FaultKind::NoGate,
+        FaultKind::Kasan,
+        FaultKind::Ubsan,
+        FaultKind::CanarySmashed,
+        FaultKind::NotWhitelisted,
+        FaultKind::WxViolation,
+        FaultKind::BadFree,
+        FaultKind::ResourceExhausted,
+        FaultKind::InvalidConfig,
+        FaultKind::BudgetExceeded,
+        FaultKind::Quarantined,
+    ];
+}
+
 impl fmt::Display for FaultKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

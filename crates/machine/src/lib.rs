@@ -49,4 +49,5 @@ pub use addr::{Addr, PAGE_SHIFT, PAGE_SIZE};
 pub use clock::CycleClock;
 pub use cost::CostModel;
 pub use fault::Fault;
+pub use flexos_trace as trace;
 pub use machine::Machine;

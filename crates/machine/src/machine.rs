@@ -10,6 +10,7 @@ use crate::fault::Fault;
 use crate::key::ProtKey;
 use crate::layout::{Region, RegionKind, RegionMap};
 use crate::mem::Memory;
+use flexos_trace::Tracer;
 
 /// The simulated machine: memory + layout + clock + cost model.
 ///
@@ -36,6 +37,7 @@ pub struct Machine {
     clock: CycleClock,
     cost: CostModel,
     mem_costs: ByteCostTable,
+    tracer: Tracer,
 }
 
 impl Machine {
@@ -58,7 +60,14 @@ impl Machine {
             clock: CycleClock::new(),
             mem_costs: cost.mem_cost_table(),
             cost,
+            tracer: Tracer::new(),
         })
+    }
+
+    /// The machine's event tracer (starts disabled; see
+    /// [`flexos_trace::Tracer::enable`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The virtual cycle clock.

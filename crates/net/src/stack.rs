@@ -9,6 +9,7 @@ use flexos_core::component::ComponentId;
 use flexos_core::entry::CallTarget;
 use flexos_core::env::{Env, Work};
 use flexos_machine::fault::Fault;
+use flexos_machine::trace::EventKind;
 
 use crate::nic::SimNic;
 use crate::socket::{Socket, SocketHandle, SocketKind};
@@ -341,8 +342,15 @@ impl NetStack {
                 Some(f) => f,
                 None => break,
             };
+            let machine = self.env.machine();
+            machine.tracer().record(
+                machine.clock().now(),
+                EventKind::NicDequeue {
+                    frame_len: frame.len() as u32,
+                },
+            );
             // NIC DMA + parse + checksum over the whole frame.
-            self.env.machine().charge_mem_bytes(frame.len() as u64);
+            machine.charge_mem_bytes(frame.len() as u64);
             // Zero-copy parse: the payload stays borrowed from the frame
             // all the way into the socket ring.
             let seg = match SegmentView::parse(&frame) {
@@ -465,8 +473,15 @@ impl NetStack {
         let mut nic = self.nic.borrow_mut();
         let mut frame = nic.take_buf();
         write_frame(&mut frame, src, dst, seq, ack, flags, 65535, payload);
-        self.env.machine().charge_mem_bytes(frame.len() as u64);
+        let machine = self.env.machine();
+        machine.charge_mem_bytes(frame.len() as u64);
         NetStatsCells::bump(&self.stats.tx_segments);
+        machine.tracer().record(
+            machine.clock().now(),
+            EventKind::NicEnqueue {
+                frame_len: frame.len() as u32,
+            },
+        );
         nic.tx_push(frame);
     }
 

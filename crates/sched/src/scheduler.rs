@@ -16,6 +16,7 @@ use flexos_core::component::ComponentId;
 use flexos_core::entry::CallTarget;
 use flexos_core::env::{Env, Work};
 use flexos_machine::fault::Fault;
+use flexos_machine::trace::{event as trace_event, EventKind};
 
 use crate::stack::{StackRegistry, ThreadStack};
 use crate::thread::{Thread, ThreadId, ThreadState};
@@ -250,8 +251,10 @@ impl Scheduler {
                 t.state = ThreadState::Running;
                 t.switches += 1;
             }
+            let prev = self.current.get();
             self.current.set(Some(tid));
             SchedStatsCells::bump(&self.stats.switches);
+            self.record_switch(prev, tid);
         }
         next
     }
@@ -333,13 +336,27 @@ impl Scheduler {
     fn pick_next(&self) -> Option<ThreadId> {
         let next = self.ready.borrow_mut().pop_front();
         if let Some(tid) = next {
+            let prev = self.current.get();
             self.set_state(tid, ThreadState::Running);
             self.current.set(Some(tid));
             if let Some(t) = self.threads.borrow_mut().get_mut(tid.0 as usize) {
                 t.switches += 1;
             }
+            self.record_switch(prev, tid);
         }
         next
+    }
+
+    /// Traces a dispatch (disabled tracer: one `Cell` read and out).
+    fn record_switch(&self, prev: Option<ThreadId>, next: ThreadId) {
+        let machine = self.env.machine();
+        machine.tracer().record(
+            machine.clock().now(),
+            EventKind::CtxSwitch {
+                from: prev.map(|t| t.0).unwrap_or(trace_event::NO_THREAD),
+                to: next.0,
+            },
+        );
     }
 
     fn set_state(&self, thread: ThreadId, state: ThreadState) {

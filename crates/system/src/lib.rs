@@ -25,6 +25,7 @@
 
 pub mod builder;
 pub mod configs;
+pub mod observe;
 pub mod supervisor;
 #[cfg(test)]
 mod tests;

@@ -33,15 +33,24 @@ use std::rc::Rc;
 use flexos_core::compartment::CompartmentId;
 use flexos_core::env::Env;
 use flexos_machine::fault::FaultKind;
+use flexos_machine::trace::{event as trace_event, EventKind};
 use flexos_sched::Scheduler;
 
 /// Modeled base cost of one microreboot (quarantine bookkeeping, heap
-/// metadata reinitialization, supervisor dispatch).
+/// metadata reinitialization, supervisor dispatch). Split across the
+/// five phases as [`REBOOT_PHASE_BASE_CYCLES`]; the sum is unchanged so
+/// pre-split recovery latencies are preserved exactly.
 pub const REBOOT_BASE_CYCLES: u64 = 20_000;
 /// Modeled cost per dropped thread stack (unmap + registry surgery).
 pub const REBOOT_STACK_CYCLES: u64 = 2_000;
 /// Modeled cost per replayed entry-point resolution (CFI bitset check).
 pub const REBOOT_ENTRY_CYCLES: u64 = 200;
+/// Fixed per-phase share of [`REBOOT_BASE_CYCLES`], in state-machine
+/// order (quarantine, heap-reset, stack-teardown, entry-replay,
+/// release). Heap metadata reinitialization dominates the base cost;
+/// the variable per-stack / per-entry costs land in their phases on
+/// top of these bases.
+pub const REBOOT_PHASE_BASE_CYCLES: [u64; 5] = [2_000, 12_000, 2_000, 2_000, 2_000];
 
 /// What one microreboot did, in virtual-clock terms.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +70,11 @@ pub struct RecoveryReport {
     pub entries_replayed: usize,
     /// End-to-end recovery latency in virtual cycles.
     pub latency_cycles: u64,
+    /// Virtual cycles spent in each of the five phases, in
+    /// state-machine order (indexes
+    /// [`flexos_machine::trace::event::REBOOT_PHASES`]); sums to
+    /// `latency_cycles`.
+    pub phase_cycles: [u64; 5],
 }
 
 impl fmt::Display for RecoveryReport {
@@ -143,17 +157,45 @@ impl Supervisor {
         compartment: CompartmentId,
         trigger: Option<FaultKind>,
     ) -> RecoveryReport {
-        let clock = self.env.machine().clock();
+        let machine = self.env.machine();
+        let clock = machine.clock();
+        let tracer = machine.tracer();
         let at_cycle = clock.now();
+
+        tracer.record(
+            at_cycle,
+            EventKind::RebootStart {
+                compartment: compartment.0,
+                trigger: trigger.map(|k| k as u8).unwrap_or(trace_event::NO_TRIGGER),
+            },
+        );
+        let mut phase_cycles = [0u64; 5];
+        let mut phase = |idx: usize, cycles: u64| {
+            tracer.record(
+                clock.now(),
+                EventKind::RebootPhase {
+                    compartment: compartment.0,
+                    phase: idx as u8,
+                },
+            );
+            clock.advance(cycles);
+            phase_cycles[idx] = cycles;
+        };
 
         // 1. Quarantine: nothing enters while the compartment is torn.
         self.env.set_quarantined(compartment, true);
+        phase(0, REBOOT_PHASE_BASE_CYCLES[0]);
 
         // 2. Fresh heap, same region / allocator policy / KASan state.
         self.env.reset_heap(compartment);
+        phase(1, REBOOT_PHASE_BASE_CYCLES[1]);
 
         // 3. Drop thread stacks; replacements map lazily, epoch-tagged.
         let stacks_dropped = self.sched.reset_compartment_stacks(compartment);
+        phase(
+            2,
+            REBOOT_PHASE_BASE_CYCLES[2] + REBOOT_STACK_CYCLES * stacks_dropped as u64,
+        );
 
         // 4. Replay entry resolution: every registered entry point of
         //    every component homed here must still be CFI-legal.
@@ -171,18 +213,25 @@ impl Supervisor {
                 entries_replayed += 1;
             }
         }
-
-        // Charge the modeled reboot cost before releasing, so latency
-        // covers the whole outage window.
-        clock.advance(
-            REBOOT_BASE_CYCLES
-                + REBOOT_STACK_CYCLES * stacks_dropped as u64
-                + REBOOT_ENTRY_CYCLES * entries_replayed as u64,
+        phase(
+            3,
+            REBOOT_PHASE_BASE_CYCLES[3] + REBOOT_ENTRY_CYCLES * entries_replayed as u64,
         );
 
         // 5. Release: fresh budget window, quarantine lifted.
         self.env.reset_budget_usage_of(compartment);
         self.env.set_quarantined(compartment, false);
+        phase(4, REBOOT_PHASE_BASE_CYCLES[4]);
+
+        let latency_cycles = clock.now() - at_cycle;
+        tracer.record(
+            clock.now(),
+            EventKind::RebootEnd {
+                compartment: compartment.0,
+                latency: latency_cycles,
+            },
+        );
+        tracer.recovery_latency().record(latency_cycles);
 
         let report = RecoveryReport {
             compartment,
@@ -191,7 +240,8 @@ impl Supervisor {
             at_cycle,
             stacks_dropped,
             entries_replayed,
-            latency_cycles: clock.now() - at_cycle,
+            latency_cycles,
+            phase_cycles,
         };
         self.reports.borrow_mut().push(report.clone());
         report

@@ -1,0 +1,513 @@
+//! Chrome `trace_event` export and the FNV-1a trace digest.
+//!
+//! The export maps the simulator's id-shaped event stream onto the
+//! Trace Event Format that `chrome://tracing` / Perfetto load:
+//!
+//! * gate crossings become `B`/`E` duration spans on the *caller*
+//!   compartment's track (one "process" per compartment), named after
+//!   the callee entry point;
+//! * microreboot phases become nested spans on the rebooted
+//!   compartment's track, under one umbrella `microreboot` span;
+//! * faults, budget refusals and window resets become instant (`i`)
+//!   events; heap alloc/free become `C` counter samples of live bytes;
+//! * context switches and NIC ring traffic land on a synthetic
+//!   "machine" track.
+//!
+//! Timestamps are virtual cycles, written verbatim into `ts` — the
+//! viewer's microsecond label is cosmetic. The JSON is assembled with
+//! deterministic formatting (insertion order, no floats except the
+//! fixed clock), so byte-identical traces ⇔ identical event streams,
+//! which is what the digest and the CI determinism gate rely on.
+
+use std::fmt::Write as _;
+
+use crate::event::{
+    resource, Event, EventKind, ALL_COMPARTMENTS, NO_THREAD, NO_TRIGGER, REBOOT_PHASES,
+};
+
+/// Resolves the raw ids carried by events into human-readable names at
+/// export time. Built by the caller (only the system layer knows the
+/// image); every lookup falls back to a stable synthesized name so a
+/// partial table still exports.
+#[derive(Debug, Default)]
+pub struct NameTable {
+    /// Compartment names, indexed by `CompartmentId.0`.
+    pub compartments: Vec<String>,
+    /// Component names, indexed by `ComponentId.0`.
+    pub components: Vec<String>,
+    /// Entry-point names, indexed by `EntryId.0`.
+    pub entries: Vec<String>,
+    /// Gate-kind display names, indexed by `GateKind::index()`.
+    pub gates: Vec<String>,
+    /// Fault-kind display names, indexed by `FaultKind as u8`.
+    pub faults: Vec<String>,
+}
+
+impl NameTable {
+    /// Compartment name or `dom<n>`.
+    pub fn compartment(&self, id: u8) -> String {
+        if id == ALL_COMPARTMENTS {
+            return "all".to_string();
+        }
+        self.compartments
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("dom{id}"))
+    }
+
+    /// Component name or `comp<n>`.
+    pub fn component(&self, id: u16) -> String {
+        self.components
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("comp{id}"))
+    }
+
+    /// Entry-point name or `entry<n>`.
+    pub fn entry(&self, id: u32) -> String {
+        self.entries
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("entry{id}"))
+    }
+
+    /// Gate-kind name or `gate<n>`.
+    pub fn gate(&self, id: u8) -> String {
+        self.gates
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("gate{id}"))
+    }
+
+    /// Fault-kind name or `fault<n>`.
+    pub fn fault(&self, id: u8) -> String {
+        if id == NO_TRIGGER {
+            return "operator".to_string();
+        }
+        self.faults
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("fault{id}"))
+    }
+}
+
+/// Synthetic `pid` for machine-level events (scheduler, NIC); real
+/// compartments use `pid = CompartmentId + 1` so compartment 0 is not
+/// confused with the viewer's "unknown process" 0.
+const MACHINE_PID: u32 = 1000;
+
+fn push_event_json(
+    out: &mut String,
+    ph: char,
+    name: &str,
+    cat: &str,
+    pid: u32,
+    ts: u64,
+    args: &[(&str, String)],
+) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{pid},\"tid\":0"
+    );
+    if ph == 'i' {
+        out.push_str(",\"s\":\"p\"");
+    }
+    if !args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push('}');
+    }
+    out.push_str("},\n");
+}
+
+fn push_counter_json(out: &mut String, name: &str, pid: u32, ts: u64, series: &str, value: u64) {
+    let _ = writeln!(
+        out,
+        "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\"tid\":0,\"args\":{{\"{series}\":{value}}}}},"
+    );
+}
+
+fn quoted(s: &str) -> String {
+    format!("\"{s}\"")
+}
+
+/// Renders the event stream as a Chrome `trace_event` JSON document
+/// (the `{"traceEvents": [...]}` object form). Deterministic: the
+/// output is a pure function of `events` and `names`.
+pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+
+    // Process-name metadata for every compartment that appears, plus
+    // the machine track. Collect ids in first-appearance order so the
+    // header is deterministic without sorting.
+    let mut seen: Vec<u8> = Vec::new();
+    let mut saw_machine = false;
+    for ev in events {
+        let comp = match ev.kind {
+            EventKind::GateEnter { from, .. } | EventKind::GateExit { from, .. } => Some(from),
+            EventKind::BudgetCharge { compartment, .. }
+            | EventKind::BudgetRefusal { compartment, .. }
+            | EventKind::HeapAlloc { compartment, .. }
+            | EventKind::HeapFree { compartment, .. }
+            | EventKind::RebootStart { compartment, .. }
+            | EventKind::RebootPhase { compartment, .. }
+            | EventKind::RebootEnd { compartment, .. } => Some(compartment),
+            EventKind::BudgetWindowReset { compartment } if compartment != ALL_COMPARTMENTS => {
+                Some(compartment)
+            }
+            _ => None,
+        };
+        match comp {
+            Some(c) => {
+                if !seen.contains(&c) {
+                    seen.push(c);
+                }
+            }
+            None => saw_machine = true,
+        }
+    }
+    for &c in &seen {
+        let _ = writeln!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}},",
+            c as u32 + 1,
+            names.compartment(c)
+        );
+    }
+    if saw_machine {
+        let _ = writeln!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{MACHINE_PID},\"tid\":0,\"args\":{{\"name\":\"machine\"}}}},"
+        );
+    }
+
+    // Open-phase bookkeeping for microreboots: phase spans close when
+    // the next phase (or the reboot end) arrives.
+    let mut open_phase: Vec<Option<&'static str>> = vec![None; 256];
+    let mut reboot_started_at: Vec<Option<u64>> = vec![None; 256];
+
+    for ev in events {
+        let ts = ev.at;
+        match ev.kind {
+            EventKind::GateEnter {
+                from,
+                to,
+                entry,
+                gate,
+                cost,
+            } => {
+                push_event_json(
+                    &mut out,
+                    'B',
+                    &format!("{}::{}", names.compartment(to), names.entry(entry)),
+                    "gate",
+                    from as u32 + 1,
+                    ts,
+                    &[
+                        ("gate", quoted(&names.gate(gate))),
+                        ("cost", cost.to_string()),
+                    ],
+                );
+            }
+            EventKind::GateExit { from, to, entry } => {
+                push_event_json(
+                    &mut out,
+                    'E',
+                    &format!("{}::{}", names.compartment(to), names.entry(entry)),
+                    "gate",
+                    from as u32 + 1,
+                    ts,
+                    &[],
+                );
+            }
+            EventKind::IsolationFault { component, fault } => {
+                push_event_json(
+                    &mut out,
+                    'i',
+                    &format!("fault:{}", names.fault(fault)),
+                    "fault",
+                    MACHINE_PID,
+                    ts,
+                    &[("component", quoted(&names.component(component)))],
+                );
+            }
+            EventKind::BudgetCharge {
+                compartment,
+                resource: res,
+                amount,
+            } => {
+                push_counter_json(
+                    &mut out,
+                    &format!("budget:{}", resource::name(res)),
+                    compartment as u32 + 1,
+                    ts,
+                    "charged",
+                    amount,
+                );
+            }
+            EventKind::BudgetRefusal {
+                compartment,
+                resource: res,
+                would,
+                limit,
+            } => {
+                push_event_json(
+                    &mut out,
+                    'i',
+                    &format!("refusal:{}", resource::name(res)),
+                    "budget",
+                    compartment as u32 + 1,
+                    ts,
+                    &[("would", would.to_string()), ("limit", limit.to_string())],
+                );
+            }
+            EventKind::BudgetWindowReset { compartment } => {
+                let pid = if compartment == ALL_COMPARTMENTS {
+                    MACHINE_PID
+                } else {
+                    compartment as u32 + 1
+                };
+                push_event_json(&mut out, 'i', "budget-window-reset", "budget", pid, ts, &[]);
+            }
+            EventKind::HeapAlloc {
+                compartment, live, ..
+            }
+            | EventKind::HeapFree {
+                compartment, live, ..
+            } => {
+                push_counter_json(
+                    &mut out,
+                    "heap-live-bytes",
+                    compartment as u32 + 1,
+                    ts,
+                    "live",
+                    live,
+                );
+            }
+            EventKind::CtxSwitch { from, to } => {
+                let from_s = if from == NO_THREAD {
+                    quoted("none")
+                } else {
+                    from.to_string()
+                };
+                push_event_json(
+                    &mut out,
+                    'i',
+                    "ctx-switch",
+                    "sched",
+                    MACHINE_PID,
+                    ts,
+                    &[("from", from_s), ("to", to.to_string())],
+                );
+            }
+            EventKind::NicEnqueue { frame_len } => {
+                push_event_json(
+                    &mut out,
+                    'i',
+                    "nic-tx",
+                    "net",
+                    MACHINE_PID,
+                    ts,
+                    &[("len", frame_len.to_string())],
+                );
+            }
+            EventKind::NicDequeue { frame_len } => {
+                push_event_json(
+                    &mut out,
+                    'i',
+                    "nic-rx",
+                    "net",
+                    MACHINE_PID,
+                    ts,
+                    &[("len", frame_len.to_string())],
+                );
+            }
+            EventKind::RebootStart {
+                compartment,
+                trigger,
+            } => {
+                reboot_started_at[compartment as usize] = Some(ts);
+                push_event_json(
+                    &mut out,
+                    'B',
+                    "microreboot",
+                    "supervisor",
+                    compartment as u32 + 1,
+                    ts,
+                    &[("trigger", quoted(&names.fault(trigger)))],
+                );
+            }
+            EventKind::RebootPhase { compartment, phase } => {
+                if let Some(prev) = open_phase[compartment as usize].take() {
+                    push_event_json(
+                        &mut out,
+                        'E',
+                        prev,
+                        "supervisor",
+                        compartment as u32 + 1,
+                        ts,
+                        &[],
+                    );
+                }
+                let name = REBOOT_PHASES
+                    .get(phase as usize)
+                    .copied()
+                    .unwrap_or("unknown-phase");
+                open_phase[compartment as usize] = Some(name);
+                push_event_json(
+                    &mut out,
+                    'B',
+                    name,
+                    "supervisor",
+                    compartment as u32 + 1,
+                    ts,
+                    &[],
+                );
+            }
+            EventKind::RebootEnd {
+                compartment,
+                latency,
+            } => {
+                if let Some(prev) = open_phase[compartment as usize].take() {
+                    push_event_json(
+                        &mut out,
+                        'E',
+                        prev,
+                        "supervisor",
+                        compartment as u32 + 1,
+                        ts,
+                        &[],
+                    );
+                }
+                reboot_started_at[compartment as usize] = None;
+                push_event_json(
+                    &mut out,
+                    'E',
+                    "microreboot",
+                    "supervisor",
+                    compartment as u32 + 1,
+                    ts,
+                    &[("latency", latency.to_string())],
+                );
+            }
+        }
+    }
+
+    // Trailing sentinel so every real event line can end with a comma
+    // (valid JSON without look-ahead, stable formatting).
+    out.push_str(
+        "{\"name\":\"trace-end\",\"ph\":\"i\",\"ts\":0,\"pid\":0,\"tid\":0,\"s\":\"g\"}\n",
+    );
+    out.push_str("]}\n");
+    out
+}
+
+/// FNV-1a over a byte string — the trace digest. Matches the
+/// faultinject campaign digest so CI can treat both the same way.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                at: 10,
+                kind: EventKind::GateEnter {
+                    from: 0,
+                    to: 1,
+                    entry: 3,
+                    gate: 2,
+                    cost: 108,
+                },
+            },
+            Event {
+                at: 150,
+                kind: EventKind::GateExit {
+                    from: 0,
+                    to: 1,
+                    entry: 3,
+                },
+            },
+            Event {
+                at: 200,
+                kind: EventKind::RebootStart {
+                    compartment: 1,
+                    trigger: NO_TRIGGER,
+                },
+            },
+            Event {
+                at: 210,
+                kind: EventKind::RebootPhase {
+                    compartment: 1,
+                    phase: 0,
+                },
+            },
+            Event {
+                at: 2210,
+                kind: EventKind::RebootPhase {
+                    compartment: 1,
+                    phase: 1,
+                },
+            },
+            Event {
+                at: 20000,
+                kind: EventKind::RebootEnd {
+                    compartment: 1,
+                    latency: 19800,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn export_is_deterministic_and_balanced() {
+        let names = NameTable::default();
+        let a = chrome_trace_json(&sample_events(), &names);
+        let b = chrome_trace_json(&sample_events(), &names);
+        assert_eq!(a, b);
+        assert_eq!(fnv1a(a.as_bytes()), fnv1a(b.as_bytes()));
+        // Every B has a matching E.
+        let begins = a.matches("\"ph\":\"B\"").count();
+        let ends = a.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, ends);
+        assert!(a.contains("\"name\":\"microreboot\""));
+        assert!(a.contains("\"name\":\"quarantine\""));
+        assert!(a.contains("\"trigger\":\"operator\""));
+    }
+
+    #[test]
+    fn name_table_falls_back() {
+        let names = NameTable::default();
+        assert_eq!(names.compartment(2), "dom2");
+        assert_eq!(names.compartment(ALL_COMPARTMENTS), "all");
+        assert_eq!(names.entry(7), "entry7");
+        assert_eq!(names.fault(NO_TRIGGER), "operator");
+        let named = NameTable {
+            compartments: vec!["kernel".into(), "lwip".into()],
+            ..NameTable::default()
+        };
+        assert_eq!(named.compartment(1), "lwip");
+    }
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -49,6 +49,7 @@ pub use flexos_sched as sched;
 pub use flexos_sweep as sweep;
 pub use flexos_system as system;
 pub use flexos_time as time;
+pub use flexos_trace as trace;
 
 /// The types most programs need.
 pub mod prelude {

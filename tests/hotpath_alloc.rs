@@ -390,6 +390,73 @@ fn forged_val_len_faults_via_the_length_cap_without_allocating() {
 }
 
 #[test]
+fn disabled_tracing_keeps_the_get_path_alloc_free_and_cycle_exact() {
+    // ISSUE 9: the tracer is compiled into every image — `Env`'s gate,
+    // malloc, and fault paths all carry `tracer().record(..)` calls.
+    // Disabled (the default), that must cost one `Cell` read and a
+    // branch: the steady-state GET stays host-allocation-free, and the
+    // virtual clock lands on *exactly* the same cycle as an identical
+    // run with the ring recording — events never advance the clock.
+    let build = || {
+        SystemBuilder::new(configs::mpk2(&["lwip"], DataSharing::Dss).unwrap())
+            .app(flexos_apps::redis_component())
+            .build()
+            .unwrap()
+    };
+    let drive = |os: &flexos::system::FlexOs, measure_allocs: bool| -> u64 {
+        let server = flexos_apps::workloads::install_redis(os).unwrap();
+        server.preload(&[(b"key:1", b"yyy")]).unwrap();
+        let mut client =
+            flexos_net::TcpClient::connect(&os.net, 50_000, flexos_apps::redis::REDIS_PORT)
+                .unwrap();
+        let conn = server.accept().unwrap().expect("handshake queues conn");
+        let request = flexos_apps::resp::encode_request(&[b"GET", b"key:1"]);
+        let run_one = |client: &mut flexos_net::TcpClient| {
+            client.send(&os.net, &request).unwrap();
+            server.serve_one(conn).unwrap();
+            client.drain(&os.net).unwrap();
+            assert_eq!(client.received(), b"$3\r\nyyy\r\n", "GET must hit");
+            client.clear_received();
+        };
+        for _ in 0..3000 {
+            run_one(&mut client);
+        }
+        let before = allocations();
+        for _ in 0..200 {
+            run_one(&mut client);
+        }
+        if measure_allocs {
+            assert_eq!(
+                allocations() - before,
+                0,
+                "tracing-compiled-in-but-disabled GET allocated on the host heap"
+            );
+        }
+        os.cycles()
+    };
+
+    let untraced = build();
+    assert!(!untraced.env.machine().tracer().is_enabled());
+    let untraced_cycles = drive(&untraced, true);
+
+    let traced = build();
+    traced
+        .env
+        .machine()
+        .tracer()
+        .enable(flexos::trace::TraceConfig::default());
+    let traced_cycles = drive(&traced, false);
+    assert!(
+        !traced.env.machine().tracer().is_empty(),
+        "the traced twin must actually record events"
+    );
+    assert_eq!(
+        untraced_cycles, traced_cycles,
+        "tracing must never advance the virtual clock"
+    );
+}
+
+#[test]
 fn str_wrapper_resolves_without_allocating_after_first_use() {
     // The thin `&str` wrapper re-resolves through the intern table each
     // call: one hash lookup, no allocation once the name is interned.

@@ -1,0 +1,117 @@
+//! ISSUE 9 acceptance tests for the `flexos_trace` observability
+//! stack: the trace is a pure function of (config, seed) — two
+//! identical runs export byte-identical Chrome JSON, attribution
+//! profiles, and digests — and turning the ring on never changes what
+//! the run *measures*.
+
+use std::rc::Rc;
+
+use flexos::prelude::*;
+use flexos::trace::TraceConfig;
+use flexos_apps::workloads::{run_redis_gets, RunMetrics};
+use flexos_core::compartment::DataSharing;
+use flexos_system::observe::{metrics_json, trace_artifacts, TraceArtifacts};
+
+/// One canonical traced run, small enough for the test suite: Redis
+/// over MPK/DSS, a GET workload, and an operator microreboot of the
+/// lwip compartment so the trace carries a recovery span.
+fn traced_run() -> (FlexOs, RunMetrics, TraceArtifacts) {
+    let os = SystemBuilder::new(configs::mpk2(&["lwip"], DataSharing::Dss).unwrap())
+        .app(flexos_apps::redis_component())
+        .build()
+        .unwrap();
+    os.env.machine().tracer().enable(TraceConfig::default());
+    let metrics = run_redis_gets(&os, 50, 200).unwrap();
+    let lwip = os.component("lwip").unwrap();
+    let sup = Supervisor::new(Rc::clone(&os.env), Rc::clone(&os.sched));
+    sup.microreboot(os.env.compartment_of(lwip), None);
+    let artifacts = trace_artifacts(&os.env);
+    (os, metrics, artifacts)
+}
+
+#[test]
+fn same_config_same_seed_traces_are_byte_identical() {
+    let (_, m1, a1) = traced_run();
+    let (_, m2, a2) = traced_run();
+    assert_eq!(m1, m2, "the runs themselves must be deterministic");
+    assert_eq!(a1.chrome_json, a2.chrome_json, "Chrome JSON diverged");
+    assert_eq!(a1.profile, a2.profile, "attribution profile diverged");
+    assert_eq!(a1.chrome_digest, a2.chrome_digest);
+    assert_eq!(a1.profile_digest, a2.profile_digest);
+    assert_eq!(a1.events, a2.events);
+    assert_eq!(a1.dropped, a2.dropped);
+}
+
+#[test]
+fn tracing_does_not_perturb_the_measured_run() {
+    // The untraced twin of `traced_run`'s workload: identical
+    // RunMetrics (ops, cycles, throughput) whether or not the ring is
+    // recording. This is the figure-output-parity criterion in
+    // miniature — the figure binaries print nothing but RunMetrics
+    // aggregates.
+    let os = SystemBuilder::new(configs::mpk2(&["lwip"], DataSharing::Dss).unwrap())
+        .app(flexos_apps::redis_component())
+        .build()
+        .unwrap();
+    let untraced = run_redis_gets(&os, 50, 200).unwrap();
+    let (_, traced, _) = traced_run();
+    assert_eq!(untraced, traced, "tracing changed the measured run");
+}
+
+#[test]
+fn chrome_trace_carries_attribution_and_a_microreboot_span() {
+    let (os, _, a) = traced_run();
+    // Per-compartment process naming for the Chrome viewer (`mpk2`
+    // names its compartments comp1/comp2; lwip lives in comp2).
+    assert!(a.chrome_json.contains("\"process_name\""));
+    assert!(a.chrome_json.contains("\"comp1\""), "compartment 0 name");
+    assert!(a.chrome_json.contains("\"comp2\""), "lwip compartment name");
+    // Gate spans resolve callee-compartment::entry labels.
+    assert!(a.chrome_json.contains("comp2::lwip_"), "gate span labels");
+    // The operator microreboot shows up as an umbrella span plus all
+    // five named phases.
+    assert!(a.chrome_json.contains("\"microreboot\""));
+    for phase in flexos::trace::event::REBOOT_PHASES {
+        assert!(a.chrome_json.contains(phase), "missing phase {phase}");
+    }
+    // The folded profile attributes cycles to the same labels.
+    assert!(a.profile.contains("microreboot"));
+    assert!(a.events > 0, "ring recorded nothing");
+
+    // The metrics registry snapshots the same run: recovery latency
+    // histogram has exactly the one microreboot, request latency has
+    // the measured batches.
+    let json = metrics_json(&os);
+    assert!(json.contains("\"latency.recovery_cycles\""));
+    assert!(json.contains("\"latency.request_cycles\""));
+    assert!(json.contains("\"trace.events\""));
+
+    // The build report exposes the per-compartment heap high-water
+    // marks the registry draws from: the app compartment allocated.
+    let hw = os.report.heap_highwater(&os.env);
+    assert_eq!(hw.len(), 2);
+    assert_eq!(hw[0].0, "comp1");
+    assert!(hw[0].1 > 0, "app compartment must have a heap high-water");
+}
+
+#[test]
+fn ring_overflow_drops_oldest_and_counts() {
+    let os = SystemBuilder::new(configs::mpk2(&["lwip"], DataSharing::Dss).unwrap())
+        .app(flexos_apps::redis_component())
+        .build()
+        .unwrap();
+    // A tiny ring: the GET workload generates far more events than 64.
+    os.env
+        .machine()
+        .tracer()
+        .enable(TraceConfig { capacity: 64 });
+    run_redis_gets(&os, 10, 50).unwrap();
+    let tracer = os.env.machine().tracer();
+    assert_eq!(tracer.len(), 64, "ring holds exactly its capacity");
+    assert!(tracer.dropped() > 0, "overflow must be counted");
+    // Chronological order survives the wrap.
+    let events = tracer.events();
+    for pair in events.windows(2) {
+        assert!(pair[0].at <= pair[1].at, "events out of order after wrap");
+    }
+}
