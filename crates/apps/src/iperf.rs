@@ -61,8 +61,18 @@ impl IperfServer {
     ///
     /// Stack faults.
     pub fn start(&self) -> Result<(), Fault> {
+        self.start_on(IPERF_PORT)
+    }
+
+    /// [`IperfServer::start`] on an explicit port (one listener shard
+    /// per core in multi-core runs).
+    ///
+    /// # Errors
+    ///
+    /// Stack faults.
+    pub fn start_on(&self, port: u16) -> Result<(), Fault> {
         self.env.run_as(self.id, || {
-            let sock = self.libc.listen(IPERF_PORT)?;
+            let sock = self.libc.listen(port)?;
             self.listener.set(Some(sock));
             Ok(())
         })

@@ -98,6 +98,16 @@ impl NginxServer {
     ///
     /// VFS or stack faults.
     pub fn start(&self) -> Result<(), Fault> {
+        self.start_on(NGINX_PORT)
+    }
+
+    /// [`NginxServer::start`] on an explicit port — the per-core event
+    /// loops of a multi-core run shard one listener per core.
+    ///
+    /// # Errors
+    ///
+    /// VFS or stack faults.
+    pub fn start_on(&self, port: u16) -> Result<(), Fault> {
         self.env.run_as(self.id, || {
             let page = http::welcome_page();
             let fd = self
@@ -108,7 +118,7 @@ impl NginxServer {
             let cached = self.libc.read(fd, page.len() as u64)?;
             self.libc.close(fd)?;
             *self.cached_page.borrow_mut() = cached;
-            let sock = self.libc.listen(NGINX_PORT)?;
+            let sock = self.libc.listen(port)?;
             self.listener.set(Some(sock));
             Ok(())
         })

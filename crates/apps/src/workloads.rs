@@ -11,7 +11,7 @@ use std::rc::Rc;
 
 use flexos_core::gate::GATE_KIND_COUNT;
 use flexos_machine::fault::Fault;
-use flexos_net::TcpClient;
+use flexos_net::{SocketHandle, TcpClient};
 use flexos_system::FlexOs;
 
 use crate::iperf::{IperfServer, IPERF_PORT};
@@ -199,6 +199,9 @@ fn xorshift64star(state: &mut u64) -> u64 {
 pub fn run_redis_bench(os: &FlexOs, bench: RedisBench) -> Result<RunMetrics, Fault> {
     debug_assert!(bench.keyspace >= 2, "key:1 must exist");
     debug_assert!(bench.pipeline >= 1);
+    if os.env.num_cores() > 1 {
+        return run_redis_bench_smp(os, bench);
+    }
     let server = install_redis(os)?;
     // Values cycle x/y/z so the 3-key preload is byte-identical to the
     // historical `key:0=xxx, key:1=yyy, key:2=zzz` fixture. (Host-side
@@ -291,6 +294,192 @@ pub fn run_redis_bench(os: &FlexOs, bench: RedisBench) -> Result<RunMetrics, Fau
     ))
 }
 
+/// Connections each per-core listener shard serves in a multi-core run
+/// (8 cores ⇒ 256 concurrent connections).
+const SMP_CONNS_PER_CORE: usize = 32;
+
+/// Runs per-core shard loops in virtual-time order until every core has
+/// executed `batches_per_core` batches: each turn picks the unfinished
+/// core with the smallest per-core clock (lowest core id on ties),
+/// switches the machine onto it, and runs exactly one batch — so
+/// execution stays single-host-threaded and bit-reproducible while the
+/// cores interleave exactly as their virtual clocks dictate. Returns
+/// each core's clock after its last batch (its phase end).
+fn drive_cores(
+    os: &FlexOs,
+    batches_per_core: u64,
+    record_latency: bool,
+    mut batch: impl FnMut(usize) -> Result<(), Fault>,
+) -> Result<Vec<u64>, Fault> {
+    let machine = os.env.machine();
+    let cores = os.env.num_cores();
+    let mut done = vec![0u64; cores];
+    let mut ends: Vec<u64> = (0..cores).map(|c| machine.core_clock(c).now()).collect();
+    loop {
+        let mut pick: Option<usize> = None;
+        for (c, &c_done) in done.iter().enumerate() {
+            if c_done >= batches_per_core {
+                continue;
+            }
+            let earlier = match pick {
+                Some(p) => machine.core_clock(c).now() < machine.core_clock(p).now(),
+                None => true,
+            };
+            if earlier {
+                pick = Some(c);
+            }
+        }
+        let Some(c) = pick else { break };
+        os.env.switch_core(c);
+        let t0 = machine.core_clock(c).now();
+        batch(c)?;
+        let t1 = machine.core_clock(c).now();
+        if record_latency {
+            machine.tracer().request_latency().record(t1 - t0);
+        }
+        done[c] += 1;
+        if done[c] >= batches_per_core {
+            ends[c] = t1;
+        }
+    }
+    Ok(ends)
+}
+
+/// One per-core Redis listener shard: its own server instance (own dict,
+/// preloaded identically on every core), its own port, and
+/// [`SMP_CONNS_PER_CORE`] keep-alive client connections served
+/// round-robin.
+struct RedisShard {
+    server: Rc<RedisServer>,
+    clients: Vec<TcpClient>,
+    conns: Vec<SocketHandle>,
+    next_conn: usize,
+    rng: u64,
+    request: Vec<u8>,
+    expected: Vec<u8>,
+}
+
+/// One batch on a shard: rotate to the next connection, send the batch,
+/// tick the shard's event loop until it is served, drain and check the
+/// replies. Mirrors the single-core `run_batch` exactly.
+fn redis_shard_batch(os: &FlexOs, bench: &RedisBench, shard: &mut RedisShard) -> Result<(), Fault> {
+    if let KeyPattern::Uniform { space, .. } = bench.pattern {
+        let space = space.max(1);
+        shard.request.clear();
+        shard.expected.clear();
+        for _ in 0..bench.pipeline {
+            let i = xorshift64star(&mut shard.rng) % space;
+            let key = format!("key:{i}");
+            shard
+                .request
+                .extend_from_slice(&resp::encode_request(&[b"GET", key.as_bytes()]));
+            if i < bench.keyspace {
+                shard.expected.extend_from_slice(b"$3\r\n");
+                shard.expected.extend_from_slice(&preload_value(i));
+                shard.expected.extend_from_slice(b"\r\n");
+            } else {
+                shard.expected.extend_from_slice(b"$-1\r\n");
+            }
+        }
+    }
+    let idx = shard.next_conn;
+    shard.next_conn = (idx + 1) % shard.clients.len();
+    let client = &mut shard.clients[idx];
+    client.send(&os.net, &shard.request)?;
+    let target = shard.server.stats().commands + bench.pipeline;
+    while shard.server.stats().commands < target {
+        if !shard.server.serve_one(shard.conns[idx])? {
+            return Err(Fault::InvalidConfig {
+                reason: "redis: connection starved mid-batch".to_string(),
+            });
+        }
+    }
+    client.drain(&os.net)?;
+    debug_assert_eq!(
+        client.received(),
+        &shard.expected[..],
+        "replies must match the key pattern"
+    );
+    client.clear_received();
+    Ok(())
+}
+
+/// Multi-core redis-benchmark: one listener shard per core (port
+/// `REDIS_PORT + core`), each serving [`SMP_CONNS_PER_CORE`] keep-alive
+/// connections, with the cores multiplexed min-clock-first by
+/// [`drive_cores`]. Every core runs the full `warmup + measured` load;
+/// `ops` is the aggregate and `cycles` the makespan (slowest core's
+/// measured-phase span), so `cycles_per_op` reflects per-core throughput
+/// including cross-core gate (IPI) and contention surcharges.
+fn run_redis_bench_smp(os: &FlexOs, bench: RedisBench) -> Result<RunMetrics, Fault> {
+    let cores = os.env.num_cores();
+    let machine = os.env.machine();
+    let one_request = resp::encode_request(&[b"GET", b"key:1"]);
+    let mut shards = Vec::with_capacity(cores);
+    for core in 0..cores {
+        os.env.switch_core(core);
+        let port = REDIS_PORT + core as u16;
+        let server = install_redis_named(os, "redis", port)?;
+        for i in 0..bench.keyspace {
+            let key = format!("key:{i}");
+            server.preload(&[(key.as_bytes(), &preload_value(i))])?;
+        }
+        let mut clients = Vec::with_capacity(SMP_CONNS_PER_CORE);
+        let mut conns = Vec::with_capacity(SMP_CONNS_PER_CORE);
+        for i in 0..SMP_CONNS_PER_CORE {
+            let src = 50_000 + core as u16 * 1_000 + i as u16;
+            clients.push(TcpClient::connect(&os.net, src, port)?);
+            conns.push(server.accept()?.ok_or_else(|| Fault::InvalidConfig {
+                reason: "redis: handshake did not queue a connection".to_string(),
+            })?);
+        }
+        let mut request = Vec::new();
+        let mut expected = Vec::new();
+        if bench.pattern == KeyPattern::HotKey {
+            for _ in 0..bench.pipeline {
+                request.extend_from_slice(&one_request);
+                expected.extend_from_slice(b"$3\r\nyyy\r\n");
+            }
+        }
+        let rng = match bench.pattern {
+            KeyPattern::Uniform { seed, .. } => seed | (1 << 63),
+            KeyPattern::HotKey => 0,
+        };
+        shards.push(RedisShard {
+            server,
+            clients,
+            conns,
+            next_conn: 0,
+            rng,
+            request,
+            expected,
+        });
+    }
+    let batches = |ops: u64| ops.div_ceil(bench.pipeline);
+    drive_cores(os, batches(bench.warmup), false, |c| {
+        redis_shard_batch(os, &bench, &mut shards[c])
+    })?;
+    os.env.reset_counters();
+    machine.reset_smp_counters();
+    let starts: Vec<u64> = (0..cores).map(|c| machine.core_clock(c).now()).collect();
+    let measured_batches = batches(bench.measured);
+    let ends = drive_cores(os, measured_batches, true, |c| {
+        redis_shard_batch(os, &bench, &mut shards[c])
+    })?;
+    let makespan = starts
+        .iter()
+        .zip(&ends)
+        .map(|(s, e)| e - s)
+        .max()
+        .unwrap_or(0);
+    os.env.switch_core(0);
+    Ok(metrics(
+        os,
+        cores as u64 * measured_batches * bench.pipeline,
+        makespan,
+    ))
+}
+
 /// Installs an Nginx server and returns it started (welcome page written
 /// through the VFS and cached).
 ///
@@ -298,6 +487,16 @@ pub fn run_redis_bench(os: &FlexOs, bench: RedisBench) -> Result<RunMetrics, Fau
 ///
 /// Missing component or substrate faults.
 pub fn install_nginx(os: &FlexOs) -> Result<Rc<NginxServer>, Fault> {
+    install_nginx_on(os, NGINX_PORT)
+}
+
+/// [`install_nginx`] listening on an explicit port (one shard per core
+/// in multi-core runs).
+///
+/// # Errors
+///
+/// Missing component or substrate faults.
+pub fn install_nginx_on(os: &FlexOs, port: u16) -> Result<Rc<NginxServer>, Fault> {
     let id = os.component("nginx").ok_or_else(|| Fault::InvalidConfig {
         reason: "image has no `nginx` component".to_string(),
     })?;
@@ -307,7 +506,7 @@ pub fn install_nginx(os: &FlexOs) -> Result<Rc<NginxServer>, Fault> {
         Rc::clone(&os.libc),
         Rc::clone(&os.sched),
     ));
-    server.start()?;
+    server.start_on(port)?;
     Ok(server)
 }
 
@@ -317,15 +516,17 @@ pub fn install_nginx(os: &FlexOs) -> Result<Rc<NginxServer>, Fault> {
 ///
 /// Substrate faults; protocol errors.
 pub fn run_nginx_gets(os: &FlexOs, warmup: u64, measured: u64) -> Result<RunMetrics, Fault> {
+    if os.env.num_cores() > 1 {
+        return run_nginx_gets_smp(os, warmup, measured);
+    }
     let server = install_nginx(os)?;
     let mut client = TcpClient::connect(&os.net, 51_000, NGINX_PORT)?;
     let conn = server.accept()?.ok_or_else(|| Fault::InvalidConfig {
         reason: "nginx: handshake did not queue a connection".to_string(),
     })?;
 
-    let request = b"GET /index.html HTTP/1.1\r\nHost: flexos\r\nConnection: keep-alive\r\n\r\n";
     let run_one = |client: &mut TcpClient| -> Result<(), Fault> {
-        client.send(&os.net, request)?;
+        client.send(&os.net, NGINX_REQUEST)?;
         server.serve_one(conn)?;
         client.drain(&os.net)?;
         debug_assert!(
@@ -345,6 +546,79 @@ pub fn run_nginx_gets(os: &FlexOs, warmup: u64, measured: u64) -> Result<RunMetr
         run_one(&mut client)?;
     }
     Ok(metrics(os, measured, os.cycles() - start))
+}
+
+/// The wrk-style keep-alive request both nginx drivers replay.
+const NGINX_REQUEST: &[u8] =
+    b"GET /index.html HTTP/1.1\r\nHost: flexos\r\nConnection: keep-alive\r\n\r\n";
+
+/// One per-core nginx listener shard (port `NGINX_PORT + core`) and its
+/// round-robin keep-alive connections.
+struct NginxShard {
+    server: Rc<NginxServer>,
+    clients: Vec<TcpClient>,
+    conns: Vec<SocketHandle>,
+    next_conn: usize,
+}
+
+fn nginx_shard_batch(os: &FlexOs, shard: &mut NginxShard) -> Result<(), Fault> {
+    let idx = shard.next_conn;
+    shard.next_conn = (idx + 1) % shard.clients.len();
+    let client = &mut shard.clients[idx];
+    client.send(&os.net, NGINX_REQUEST)?;
+    shard.server.serve_one(shard.conns[idx])?;
+    client.drain(&os.net)?;
+    debug_assert!(
+        client.received().starts_with(b"HTTP/1.1 200 OK"),
+        "must serve 200"
+    );
+    debug_assert!(client.received_len() > 612, "head + 612-byte body");
+    client.clear_received();
+    Ok(())
+}
+
+/// Multi-core wrk loop: one nginx shard per core, cores multiplexed
+/// min-clock-first; every core serves the full `warmup + measured` GET
+/// load and `cycles` is the measured-phase makespan.
+fn run_nginx_gets_smp(os: &FlexOs, warmup: u64, measured: u64) -> Result<RunMetrics, Fault> {
+    let cores = os.env.num_cores();
+    let machine = os.env.machine();
+    let mut shards = Vec::with_capacity(cores);
+    for core in 0..cores {
+        os.env.switch_core(core);
+        let port = NGINX_PORT + core as u16;
+        let server = install_nginx_on(os, port)?;
+        let mut clients = Vec::with_capacity(SMP_CONNS_PER_CORE);
+        let mut conns = Vec::with_capacity(SMP_CONNS_PER_CORE);
+        for i in 0..SMP_CONNS_PER_CORE {
+            let src = 51_000 + core as u16 * 1_000 + i as u16;
+            clients.push(TcpClient::connect(&os.net, src, port)?);
+            conns.push(server.accept()?.ok_or_else(|| Fault::InvalidConfig {
+                reason: "nginx: handshake did not queue a connection".to_string(),
+            })?);
+        }
+        shards.push(NginxShard {
+            server,
+            clients,
+            conns,
+            next_conn: 0,
+        });
+    }
+    drive_cores(os, warmup, false, |c| nginx_shard_batch(os, &mut shards[c]))?;
+    os.env.reset_counters();
+    machine.reset_smp_counters();
+    let starts: Vec<u64> = (0..cores).map(|c| machine.core_clock(c).now()).collect();
+    let ends = drive_cores(os, measured, true, |c| {
+        nginx_shard_batch(os, &mut shards[c])
+    })?;
+    let makespan = starts
+        .iter()
+        .zip(&ends)
+        .map(|(s, e)| e - s)
+        .max()
+        .unwrap_or(0);
+    os.env.switch_core(0);
+    Ok(metrics(os, cores as u64 * measured, makespan))
 }
 
 /// Installs the iPerf server.

@@ -50,6 +50,7 @@ pub fn attack_space() -> SpaceSpec {
         ],
         allocators: vec![flexos_alloc::HeapKind::Tlsf],
         hardening_masks: vec![0b0000, 0b0111, 0b1000, 0b1111],
+        cores: vec![1],
         per_compartment_profiles: false,
         warmup: 0,
         measured: 0,

@@ -20,9 +20,9 @@
 //! Star/spread details go to stderr.
 //!
 //! ```text
-//! sweep [--space full|full-profiled|quick|fig6-redis|fig6-nginx]
-//!       [--threads N] [--budget-frac F] [--budget "WORKLOAD=F"]...
-//!       [--verify] [--csv PATH]
+//! sweep [--space full|full-smp|full-profiled|quick|fig6-redis|fig6-nginx]
+//!       [--threads N] [--cores LIST] [--budget-frac F]
+//!       [--budget "WORKLOAD=F"]... [--verify] [--csv PATH]
 //!       [--lazy] [--verify-inference] [--pareto PATH]
 //!       [--progress] [--quiet]
 //! ```
@@ -33,8 +33,13 @@
 //! generalized §5 report. `--pareto PATH` (lazy mode) additionally
 //! classifies the space at a ladder of uniform budget levels and
 //! writes each workload's perf × safety Pareto frontier as JSON.
-//! `--progress` prints periodic classification progress (with an ETA)
-//! to stderr; `--quiet` silences all stderr narration, including it.
+//! `--cores LIST` (comma-separated, e.g. `--cores 1,2,4,8`) replaces
+//! the space's simulated-core axis: every shape is swept once per core
+//! count, cores-major, each instance booted on that many simulated
+//! vCPUs. `--threads N` must be at least 1 — a zero-worker sweep is a
+//! usage error, not an empty run. `--progress` prints periodic
+//! classification progress (with an ETA) to stderr; `--quiet` silences
+//! all stderr narration, including it.
 //!
 //! Environment: `SWEEP_THREADS` (worker count; also the `--threads`
 //! default), `SWEEP_WARMUP` / `SWEEP_MEASURED` (per-point operation
@@ -65,6 +70,7 @@ const PARETO_FRACS: [f64; 6] = [0.5, 0.6, 0.7, 0.8, 0.9, 0.95];
 struct Args {
     space: String,
     threads: usize,
+    cores: Option<Vec<u32>>,
     budget_frac: f64,
     budget_overrides: Vec<(String, f64)>,
     verify: bool,
@@ -80,6 +86,7 @@ fn parse_args(raw: Vec<String>) -> Result<Args, String> {
     let mut args = Args {
         space: "full".to_string(),
         threads: engine::sweep_threads(),
+        cores: None,
         budget_frac: 0.8,
         budget_overrides: Vec::new(),
         verify: false,
@@ -99,6 +106,21 @@ fn parse_args(raw: Vec<String>) -> Result<Args, String> {
                 args.threads = value("--threads")?
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?;
+                if args.threads == 0 {
+                    return Err("bad --threads: 0 workers cannot run a sweep (want N >= 1)".into());
+                }
+            }
+            "--cores" => {
+                let list = value("--cores")?;
+                let cores = list
+                    .split(',')
+                    .map(|part| match part.trim().parse::<u32>() {
+                        Ok(n) if (1..=32).contains(&n) => Ok(n),
+                        Ok(n) => Err(format!("bad --cores entry `{n}` (want 1..=32)")),
+                        Err(e) => Err(format!("bad --cores entry `{part}`: {e}")),
+                    })
+                    .collect::<Result<Vec<u32>, String>>()?;
+                args.cores = Some(cores);
             }
             "--budget-frac" => {
                 args.budget_frac = value("--budget-frac")?
@@ -260,7 +282,8 @@ fn run_lazy(args: &Args, spec: &SpaceSpec, budgets: report::BudgetVector) {
     }
 
     if let Some(path) = &args.pareto {
-        std::fs::write(path, emit::pareto_json(spec, &outcome.pareto)).expect("pareto written");
+        std::fs::write(path, emit::pareto_json(spec, &outcome.pareto, args.threads))
+            .expect("pareto written");
         if !args.quiet {
             eprintln!(
                 "wrote {path} ({} workloads x {} budget levels)",
@@ -379,7 +402,7 @@ fn main() {
         Err(e) => {
             eprintln!("sweep: {e}");
             eprintln!(
-                "usage: sweep [--space NAME] [--threads N] [--budget-frac F] \
+                "usage: sweep [--space NAME] [--threads N] [--cores LIST] [--budget-frac F] \
                  [--budget WORKLOAD=F]... [--verify] [--csv PATH] \
                  [--lazy] [--verify-inference] [--pareto PATH] [--progress] [--quiet] \
                  [--trace PATH] [--metrics PATH]"
@@ -389,17 +412,20 @@ fn main() {
     };
     let warmup = env_u64("SWEEP_WARMUP", 200);
     let measured = env_u64("SWEEP_MEASURED", 2000);
-    let spec = match SpaceSpec::named(&args.space, warmup, measured) {
+    let mut spec = match SpaceSpec::named(&args.space, warmup, measured) {
         Some(s) => s,
         None => {
             eprintln!(
-                "sweep: unknown space `{}` (try full, full-profiled, quick, fig6-redis, \
-                 fig6-nginx)",
+                "sweep: unknown space `{}` (try full, full-smp, full-profiled, quick, \
+                 fig6-redis, fig6-nginx)",
                 args.space
             );
             std::process::exit(2);
         }
     };
+    if let Some(cores) = args.cores.clone() {
+        spec.cores = cores;
+    }
     let budgets = budget_vector(&args, &spec);
     if args.lazy {
         run_lazy(&args, &spec, budgets);

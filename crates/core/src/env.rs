@@ -45,6 +45,7 @@ use flexos_machine::addr::Addr;
 use flexos_machine::cpu::RegisterFile;
 use flexos_machine::fault::{Fault, FaultKind};
 use flexos_machine::key::{Access, Pkru, ProtKey};
+use flexos_machine::smp;
 use flexos_machine::trace::{event as trace_event, EventKind};
 use flexos_machine::Machine;
 
@@ -195,6 +196,13 @@ pub struct Env {
     /// Bitmask of quarantined compartments: gate entries into a
     /// quarantined compartment are refused (supervisor containment).
     quarantined: Cell<u32>,
+    /// Home core of each compartment ([`smp::ANY_CORE`] = not pinned).
+    /// On multi-core machines, gate entries into a compartment homed on
+    /// a *different* core pay the remote-gate (doorbell/IPI) surcharge.
+    home_core: Vec<Cell<u8>>,
+    /// Component that was executing on each core when it was switched
+    /// out; [`Env::switch_core`] parks and restores through these.
+    core_cur: Vec<Cell<ComponentId>>,
 }
 
 impl std::fmt::Debug for Env {
@@ -243,6 +251,7 @@ impl Env {
         // as the data-sharing and allocator axes, no extra plumbing.
         let budgets: Vec<ResourceBudget> = parts.profiles.iter().map(|p| p.budget).collect();
         let budget_enabled = budgets.iter().any(|b| !b.is_unlimited());
+        let num_cores = parts.machine.num_cores();
         Rc::new(Env {
             machine: parts.machine,
             registry: parts.registry,
@@ -270,6 +279,8 @@ impl Env {
             budget_used: (0..n_comps).map(|_| BudgetCells::default()).collect(),
             budget_refusals: (0..n_comps).map(|_| Cell::new(0)).collect(),
             quarantined: Cell::new(0),
+            home_core: (0..n_comps).map(|_| Cell::new(smp::ANY_CORE)).collect(),
+            core_cur: (0..num_cores).map(|_| Cell::new(ComponentId(0))).collect(),
         })
     }
 
@@ -435,6 +446,53 @@ impl Env {
     /// The register file (tests verify gate scrubbing through this).
     pub fn regs(&self) -> std::cell::RefMut<'_, RegisterFile> {
         self.regs.borrow_mut()
+    }
+
+    // --- simulated SMP ------------------------------------------------------
+
+    /// Number of simulated cores (delegates to the machine).
+    pub fn num_cores(&self) -> usize {
+        self.machine.num_cores()
+    }
+
+    /// Pins a compartment's home core: on multi-core machines every gate
+    /// entry from another core pays the remote-gate surcharge. The
+    /// builder pins driver compartments (lwip) to core 0, FTL-style; app
+    /// compartments stay unpinned and execute wherever their shard runs.
+    pub fn set_home_core(&self, comp: CompartmentId, core: usize) {
+        assert!(core < self.machine.num_cores(), "core {core} out of range");
+        self.home_core[comp.0 as usize].set(core as u8);
+    }
+
+    /// A compartment's pinned home core, if any.
+    pub fn home_core_of(&self, comp: CompartmentId) -> Option<usize> {
+        match self.home_core[comp.0 as usize].get() {
+            smp::ANY_CORE => None,
+            core => Some(core as usize),
+        }
+    }
+
+    /// Switches execution to another simulated core: parks the live
+    /// context (PKRU, registers, current component) into the outgoing
+    /// vCPU, retargets the machine (and tracer), and restores the
+    /// incoming vCPU's parked context. No-op when `core` is already
+    /// current; charges nothing — the *decision* of which core runs next
+    /// is the deterministic min-clock multiplexer's, not a costed
+    /// operation (see `flexos_machine::smp`).
+    pub fn switch_core(&self, core: usize) {
+        let old = self.machine.current_core();
+        if core == old {
+            return;
+        }
+        let out = self.machine.vcpu(old);
+        out.pkru.set(self.pkru.get());
+        out.regs.set(*self.regs.borrow());
+        self.core_cur[old].set(self.cur.get());
+        self.machine.set_current_core(core);
+        let inc = self.machine.vcpu(core);
+        self.pkru.set(inc.pkru.get());
+        *self.regs.borrow_mut() = inc.regs.get();
+        self.cur.set(self.core_cur[core].get());
     }
 
     // --- resource budgets ---------------------------------------------------
@@ -849,6 +907,17 @@ impl Env {
             }
             self.machine.clock().advance(desc.cost);
             self.gates.record_crossing(from_dom, to_dom, kind);
+            // Cross-core doorbell: a callee compartment homed on another
+            // core pays the remote-gate surcharge on top of the
+            // mechanism's gate cost. Machine-level overhead, not billed
+            // to the caller's compartment budget (like the gate hardware
+            // itself, it belongs to no compartment).
+            if self.machine.num_cores() > 1 {
+                let home = self.home_core[to_dom.0 as usize].get();
+                if home != smp::ANY_CORE && usize::from(home) != self.machine.current_core() {
+                    self.machine.charge_remote_gate();
+                }
+            }
             if let Some(hook) = self.crossing_hook.borrow().as_ref() {
                 hook(self, from_dom, to_dom, target.entry)?;
             }
@@ -1199,6 +1268,7 @@ impl Env {
     ///
     /// [`Fault::ResourceExhausted`] when the shared heap is full.
     pub fn malloc_shared(&self, size: u64) -> Result<Addr, Fault> {
+        self.machine.charge_contention(smp::SHARED_HEAP);
         self.shared_heap.borrow_mut().malloc(size)
     }
 
@@ -1208,6 +1278,7 @@ impl Env {
     ///
     /// [`Fault::BadFree`] on foreign or double frees.
     pub fn free_shared(&self, addr: Addr) -> Result<(), Fault> {
+        self.machine.charge_contention(smp::SHARED_HEAP);
         self.shared_heap.borrow_mut().free(addr)
     }
 

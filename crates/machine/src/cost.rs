@@ -90,6 +90,23 @@ pub struct CostModel {
     /// Hypervisor/KVM fixed overhead FlexOS images pay relative to bare
     /// Unikraft in Fig 10 (.054 s vs .052 s over 5000 txns ≈ 176 cycles).
     pub flexos_image_tax: u64,
+
+    // --- Simulated SMP (cross-core charges) -------------------------------
+    /// Surcharge on a cross-compartment gate whose callee compartment is
+    /// homed on a *different* core than the caller: a cross-core doorbell
+    /// plus the cache-line handoff of the call frame. Calibrated between
+    /// the paper's single-core gates and a full IPI round trip — a
+    /// same-socket cache-line transfer plus monitor/mwait-style wakeup
+    /// lands near 400-450 cycles on Skylake-SP, ~7× the MPK-light gate
+    /// but well under the ~1.3k-cycle interrupt-delivery path (the remote
+    /// core is polling its doorbell line, not taking an interrupt).
+    pub remote_gate_ipi: u64,
+    /// Per-*other*-core surcharge on shared-heap and shared-NIC-ring
+    /// access, scaled by how many other cores touched the same region in
+    /// the current accounting window: each additional sharer costs
+    /// roughly one more cross-core cache-line transfer (~72 cycles
+    /// core-to-core on the 4114's mesh).
+    pub contention_per_core: u64,
 }
 
 impl CostModel {
@@ -119,6 +136,8 @@ impl CostModel {
             cubicleos_transition: 1750,
             tlsf_linuxu_slow_delta: 140,
             flexos_image_tax: 176,
+            remote_gate_ipi: 420,
+            contention_per_core: 72,
         }
     }
 

@@ -42,6 +42,7 @@ pub mod fault;
 pub mod key;
 pub mod layout;
 pub mod mem;
+pub mod smp;
 
 mod machine;
 

@@ -1,6 +1,6 @@
 //! The aggregate simulated machine.
 
-use std::cell::{Ref, RefCell, RefMut};
+use std::cell::{Cell, Ref, RefCell, RefMut};
 use std::rc::Rc;
 
 use crate::addr::PAGE_SIZE;
@@ -10,14 +10,18 @@ use crate::fault::Fault;
 use crate::key::ProtKey;
 use crate::layout::{Region, RegionKind, RegionMap};
 use crate::mem::Memory;
-use flexos_trace::Tracer;
+use crate::smp::{self, Contention, VCpu};
+use flexos_trace::{EventKind, Tracer};
 
-/// The simulated machine: memory + layout + clock + cost model.
+/// The simulated machine: memory + layout + vCPUs + cost model.
 ///
 /// `Machine` is the single piece of mutable world state the whole
 /// simulation shares; it is held behind [`Rc`] and uses interior mutability
 /// because the simulation is strictly single-(host-)threaded — virtual
-/// threads are multiplexed cooperatively in virtual time.
+/// threads *and* virtual cores are multiplexed cooperatively in virtual
+/// time (see [`crate::smp`] for the multiplexing contract). Every cycle
+/// charge lands on the **current** core's clock; with the default single
+/// core this is indistinguishable from the pre-SMP machine.
 ///
 /// ```
 /// use flexos_machine::{Machine, key::{Pkru, ProtKey}};
@@ -34,7 +38,11 @@ use flexos_trace::Tracer;
 pub struct Machine {
     memory: RefCell<Memory>,
     layout: RefCell<RegionMap>,
-    clock: CycleClock,
+    cores: Vec<VCpu>,
+    current: Cell<usize>,
+    contention: Contention,
+    ipi_cycles: Cell<u64>,
+    contention_cycles: Cell<u64>,
     cost: CostModel,
     mem_costs: ByteCostTable,
     tracer: Tracer,
@@ -54,10 +62,30 @@ impl Machine {
     /// Creates a machine with an explicit cost model (used by ablation
     /// benches that perturb individual constants).
     pub fn with_cost_model(mem_bytes: u64, cost: CostModel) -> Rc<Self> {
+        Self::with_cores(mem_bytes, cost, 1)
+    }
+
+    /// Creates a machine with `num_cores` vCPUs (each with its own clock,
+    /// PKRU, and register file) and an explicit cost model. Core 0 is
+    /// current at boot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero or exceeds 32 (the contention
+    /// tracker's core-mask width).
+    pub fn with_cores(mem_bytes: u64, cost: CostModel, num_cores: usize) -> Rc<Self> {
+        assert!(
+            (1..=32).contains(&num_cores),
+            "num_cores must be in 1..=32, got {num_cores}"
+        );
         Rc::new(Machine {
             memory: RefCell::new(Memory::new(mem_bytes)),
             layout: RefCell::new(RegionMap::new(mem_bytes)),
-            clock: CycleClock::new(),
+            cores: (0..num_cores).map(|_| VCpu::new()).collect(),
+            current: Cell::new(0),
+            contention: Contention::new(),
+            ipi_cycles: Cell::new(0),
+            contention_cycles: Cell::new(0),
             mem_costs: cost.mem_cost_table(),
             cost,
             tracer: Tracer::new(),
@@ -70,9 +98,154 @@ impl Machine {
         &self.tracer
     }
 
-    /// The virtual cycle clock.
+    /// The **current core's** virtual cycle clock — the clock every
+    /// charge in the simulation lands on.
+    #[inline]
     pub fn clock(&self) -> &CycleClock {
-        &self.clock
+        &self.cores[self.current.get()].clock
+    }
+
+    // --- simulated SMP ----------------------------------------------------
+
+    /// Number of simulated cores.
+    #[inline]
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Index of the core currently executing.
+    #[inline]
+    pub fn current_core(&self) -> usize {
+        self.current.get()
+    }
+
+    /// One vCPU's parked state (clock always live, PKRU/registers parked
+    /// while the core is switched out — see [`crate::smp::VCpu`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn vcpu(&self, core: usize) -> &VCpu {
+        &self.cores[core]
+    }
+
+    /// One core's clock, current or not (drivers read these to pick the
+    /// min-clock core to advance next).
+    #[inline]
+    pub fn core_clock(&self, core: usize) -> &CycleClock {
+        &self.cores[core].clock
+    }
+
+    /// Makes `core` the current core. This only moves the machine's
+    /// notion of "where charges land" — parking and restoring the
+    /// executing context (PKRU, registers, current component) is the
+    /// runtime's job (`flexos_core::Env::switch_core`). The tracer is
+    /// retargeted so subsequent events carry the new core id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn set_current_core(&self, core: usize) {
+        assert!(core < self.cores.len(), "core {core} out of range");
+        self.current.set(core);
+        self.tracer.set_core(core as u8);
+    }
+
+    /// The deterministic multiplexer's choice: the core with the lowest
+    /// clock, ties broken by the lowest core id. Pure function of the
+    /// virtual clocks, hence bit-reproducible.
+    pub fn min_clock_core(&self) -> usize {
+        let mut best = 0;
+        let mut best_now = self.cores[0].clock.now();
+        for (i, c) in self.cores.iter().enumerate().skip(1) {
+            let now = c.clock.now();
+            if now < best_now {
+                best = i;
+                best_now = now;
+            }
+        }
+        best
+    }
+
+    /// Cross-core gate surcharge: charges the doorbell/IPI cost of
+    /// entering a compartment homed on another core to the current
+    /// core's clock and returns it. The caller decides *whether* the
+    /// crossing is remote (the machine knows cores, not compartments).
+    pub fn charge_remote_gate(&self) -> u64 {
+        let cost = self.cost.remote_gate_ipi;
+        self.clock().advance(cost);
+        self.ipi_cycles.set(self.ipi_cycles.get() + cost);
+        let tracer = &self.tracer;
+        if tracer.is_enabled() {
+            tracer.record(
+                self.clock().now(),
+                EventKind::SmpCharge {
+                    kind: smp::charge::IPI,
+                    cost: cost as u32,
+                },
+            );
+        }
+        cost
+    }
+
+    /// Contention surcharge on a shared region (`slot` is
+    /// [`smp::SHARED_HEAP`] or [`smp::NIC_RING`]): records the touch and
+    /// charges [`CostModel::contention_per_core`] per *other* core that
+    /// touched the same region in the current window. Free on
+    /// single-core machines (one predictable branch) and for the first
+    /// toucher of a window.
+    #[inline]
+    pub fn charge_contention(&self, slot: usize) -> u64 {
+        if self.cores.len() == 1 {
+            return 0;
+        }
+        self.charge_contention_slow(slot)
+    }
+
+    #[cold]
+    fn charge_contention_slow(&self, slot: usize) -> u64 {
+        let core = self.current.get();
+        let others = self.contention.touch(slot, core, self.clock().now());
+        if others == 0 {
+            return 0;
+        }
+        let cost = self.cost.contention_per_core * u64::from(others);
+        self.clock().advance(cost);
+        self.contention_cycles
+            .set(self.contention_cycles.get() + cost);
+        if self.tracer.is_enabled() {
+            let kind = if slot == smp::SHARED_HEAP {
+                smp::charge::HEAP
+            } else {
+                smp::charge::RING
+            };
+            self.tracer.record(
+                self.clock().now(),
+                EventKind::SmpCharge {
+                    kind,
+                    cost: cost as u32,
+                },
+            );
+        }
+        cost
+    }
+
+    /// Total cross-core doorbell/IPI cycles charged so far.
+    pub fn ipi_cycles(&self) -> u64 {
+        self.ipi_cycles.get()
+    }
+
+    /// Total shared-region contention cycles charged so far.
+    pub fn contention_cycles(&self) -> u64 {
+        self.contention_cycles.get()
+    }
+
+    /// Forgets contention sharer state and zeroes the SMP cycle counters
+    /// (between benchmark phases).
+    pub fn reset_smp_counters(&self) {
+        self.contention.reset();
+        self.ipi_cycles.set(0);
+        self.contention_cycles.set(0);
     }
 
     /// Charges the per-byte cost of touching `len` bytes of simulated
@@ -80,7 +253,7 @@ impl Machine {
     /// the per-access float multiply; see [`ByteCostTable`].
     #[inline]
     pub fn charge_mem_bytes(&self, len: u64) {
-        self.clock.advance(self.mem_costs.cycles(len));
+        self.clock().advance(self.mem_costs.cycles(len));
     }
 
     /// The machine's precomputed per-byte charge table.
@@ -212,6 +385,64 @@ mod tests {
         let m = Machine::new(1024 * 1024);
         m.clock().advance(m.cost().ept_rpc_gate);
         assert_eq!(m.clock().now(), 462);
+    }
+
+    #[test]
+    fn per_core_clocks_advance_independently() {
+        let m = Machine::with_cores(1024 * 1024, CostModel::default(), 3);
+        assert_eq!(m.num_cores(), 3);
+        m.clock().advance(100); // core 0
+        m.set_current_core(2);
+        m.clock().advance(30); // core 2
+        assert_eq!(m.core_clock(0).now(), 100);
+        assert_eq!(m.core_clock(1).now(), 0);
+        assert_eq!(m.core_clock(2).now(), 30);
+        // Min-clock multiplexing: core 1 (clock 0) wins; ties go to the
+        // lowest id.
+        assert_eq!(m.min_clock_core(), 1);
+        m.set_current_core(1);
+        m.clock().advance(30);
+        assert_eq!(m.min_clock_core(), 1, "tie at 30 breaks to lower id");
+        m.clock().advance(1);
+        assert_eq!(m.min_clock_core(), 2);
+    }
+
+    #[test]
+    fn single_core_charges_are_free() {
+        let m = Machine::new(1024 * 1024);
+        assert_eq!(m.num_cores(), 1);
+        assert_eq!(m.charge_contention(crate::smp::SHARED_HEAP), 0);
+        assert_eq!(m.clock().now(), 0);
+        assert_eq!(m.contention_cycles(), 0);
+    }
+
+    #[test]
+    fn contention_scales_with_other_cores() {
+        let m = Machine::with_cores(1024 * 1024, CostModel::default(), 4);
+        let per = m.cost().contention_per_core;
+        // First toucher of the window is free.
+        assert_eq!(m.charge_contention(crate::smp::SHARED_HEAP), 0);
+        m.set_current_core(1);
+        assert_eq!(m.charge_contention(crate::smp::SHARED_HEAP), per);
+        m.set_current_core(2);
+        assert_eq!(m.charge_contention(crate::smp::SHARED_HEAP), 2 * per);
+        assert_eq!(m.contention_cycles(), 3 * per);
+        // The charge landed on the toucher's own clock.
+        assert_eq!(m.core_clock(2).now(), 2 * per);
+        assert_eq!(m.core_clock(0).now(), 0);
+    }
+
+    #[test]
+    fn remote_gate_charges_the_current_core() {
+        let m = Machine::with_cores(1024 * 1024, CostModel::default(), 2);
+        m.set_current_core(1);
+        let cost = m.charge_remote_gate();
+        assert_eq!(cost, m.cost().remote_gate_ipi);
+        assert_eq!(m.core_clock(1).now(), cost);
+        assert_eq!(m.core_clock(0).now(), 0);
+        assert_eq!(m.ipi_cycles(), cost);
+        m.reset_smp_counters();
+        assert_eq!(m.ipi_cycles(), 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use flexos_core::component::ComponentId;
 use flexos_core::entry::CallTarget;
 use flexos_core::env::{Env, Work};
 use flexos_machine::fault::Fault;
+use flexos_machine::smp;
 use flexos_machine::trace::EventKind;
 
 use crate::nic::SimNic;
@@ -349,6 +350,10 @@ impl NetStack {
                     frame_len: frame.len() as u32,
                 },
             );
+            // The rx descriptor ring is shared hardware state: cores
+            // draining it in the same window pay a coherence surcharge
+            // (free on single-core machines).
+            machine.charge_contention(smp::NIC_RING);
             // NIC DMA + parse + checksum over the whole frame.
             machine.charge_mem_bytes(frame.len() as u64);
             // Zero-copy parse: the payload stays borrowed from the frame
@@ -474,6 +479,9 @@ impl NetStack {
         let mut frame = nic.take_buf();
         write_frame(&mut frame, src, dst, seq, ack, flags, 65535, payload);
         let machine = self.env.machine();
+        // Shared tx descriptor ring — same coherence surcharge as the
+        // rx side when several cores transmit in one window.
+        machine.charge_contention(smp::NIC_RING);
         machine.charge_mem_bytes(frame.len() as u64);
         NetStatsCells::bump(&self.stats.tx_segments);
         machine.tracer().record(

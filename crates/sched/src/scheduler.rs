@@ -105,8 +105,12 @@ pub struct Scheduler {
     id: ComponentId,
     entries: SchedEntries,
     threads: RefCell<Vec<Thread>>,
-    ready: RefCell<VecDeque<ThreadId>>,
-    current: Cell<Option<ThreadId>>,
+    /// One ready queue per simulated core; threads have hard affinity to
+    /// the core they were spawned on, so each queue is an independent
+    /// round-robin. Length is fixed at `machine.num_cores()`.
+    ready: RefCell<Vec<VecDeque<ThreadId>>>,
+    /// The running thread on each core.
+    current: Vec<Cell<Option<ThreadId>>>,
     registry: RefCell<StackRegistry>,
     hooks: RefCell<Vec<ThreadCreateHook>>,
     stats: SchedStatsCells,
@@ -134,17 +138,34 @@ impl Scheduler {
     /// image).
     pub fn new(env: Rc<Env>, id: ComponentId) -> Self {
         let entries = SchedEntries::resolve(&env, id);
+        let cores = env.machine().num_cores();
         Scheduler {
             env,
             id,
             entries,
             threads: RefCell::new(Vec::new()),
-            ready: RefCell::new(VecDeque::new()),
-            current: Cell::new(None),
+            ready: RefCell::new(vec![VecDeque::new(); cores]),
+            current: (0..cores).map(|_| Cell::new(None)).collect(),
             registry: RefCell::new(StackRegistry::new()),
             hooks: RefCell::new(Vec::new()),
             stats: SchedStatsCells::default(),
         }
+    }
+
+    /// The core the machine is currently executing on — the queue every
+    /// dispatch operation below acts against.
+    #[inline]
+    fn core(&self) -> usize {
+        self.env.machine().current_core()
+    }
+
+    /// The core `thread` is pinned to (its spawn core).
+    fn affinity_of(&self, thread: ThreadId) -> usize {
+        self.threads
+            .borrow()
+            .get(thread.0 as usize)
+            .map(|t| usize::from(t.core))
+            .unwrap_or(0)
     }
 
     /// This component's id in the image.
@@ -174,14 +195,15 @@ impl Scheduler {
         compartment: CompartmentId,
     ) -> Result<(ThreadId, ThreadStack), Fault> {
         let id = ThreadId(self.threads.borrow().len() as u32);
+        let core = self.core();
         let stack = self
             .registry
             .borrow_mut()
             .allocate(&self.env, compartment, id)?;
         self.threads
             .borrow_mut()
-            .push(Thread::new(id, name, compartment));
-        self.ready.borrow_mut().push_back(id);
+            .push(Thread::new(id, name, compartment, core as u8));
+        self.ready.borrow_mut()[core].push_back(id);
         self.env.compute(Work {
             cycles: SPAWN_CYCLES,
             frames: 3,
@@ -235,9 +257,12 @@ impl Scheduler {
         SchedStatsCells::bump(&self.stats.yields);
         // One borrow of each structure for the whole operation (requeue
         // current + dispatch next) — this runs twice per Redis request.
+        let core = self.core();
         let mut threads = self.threads.borrow_mut();
-        let mut ready = self.ready.borrow_mut();
-        if let Some(cur) = self.current.get() {
+        let mut all_ready = self.ready.borrow_mut();
+        let ready = &mut all_ready[core];
+        let current = &self.current[core];
+        if let Some(cur) = current.get() {
             if let Some(t) = threads.get_mut(cur.0 as usize) {
                 if t.state == ThreadState::Running {
                     t.state = ThreadState::Ready;
@@ -251,8 +276,8 @@ impl Scheduler {
                 t.state = ThreadState::Running;
                 t.switches += 1;
             }
-            let prev = self.current.get();
-            self.current.set(Some(tid));
+            let prev = current.get();
+            current.set(Some(tid));
             SchedStatsCells::bump(&self.stats.switches);
             self.record_switch(prev, tid);
         }
@@ -269,10 +294,11 @@ impl Scheduler {
             ..Work::default()
         });
         self.set_state(thread, ThreadState::Blocked);
-        self.ready.borrow_mut().retain(|&t| t != thread);
-        if self.current.get() == Some(thread) {
-            self.current.set(None);
-            self.pick_next();
+        let core = self.affinity_of(thread);
+        self.ready.borrow_mut()[core].retain(|&t| t != thread);
+        if self.current[core].get() == Some(thread) {
+            self.current[core].set(None);
+            self.pick_next(core);
         }
         SchedStatsCells::bump(&self.stats.blocks);
     }
@@ -288,7 +314,7 @@ impl Scheduler {
         });
         if self.state_of(thread) == Some(ThreadState::Blocked) {
             self.set_state(thread, ThreadState::Ready);
-            self.ready.borrow_mut().push_back(thread);
+            self.ready.borrow_mut()[self.affinity_of(thread)].push_back(thread);
         }
         SchedStatsCells::bump(&self.stats.wakes);
     }
@@ -302,15 +328,16 @@ impl Scheduler {
             mem_accesses: 3,
             ..Work::default()
         });
-        self.current.get()
+        self.current[self.core()].get()
     }
 
     /// Terminates a thread.
     pub fn exit(&self, thread: ThreadId) {
         self.set_state(thread, ThreadState::Exited);
-        self.ready.borrow_mut().retain(|&t| t != thread);
-        if self.current.get() == Some(thread) {
-            self.current.set(None);
+        let core = self.affinity_of(thread);
+        self.ready.borrow_mut()[core].retain(|&t| t != thread);
+        if self.current[core].get() == Some(thread) {
+            self.current[core].set(None);
         }
     }
 
@@ -333,12 +360,12 @@ impl Scheduler {
         self.registry.borrow().len()
     }
 
-    fn pick_next(&self) -> Option<ThreadId> {
-        let next = self.ready.borrow_mut().pop_front();
+    fn pick_next(&self, core: usize) -> Option<ThreadId> {
+        let next = self.ready.borrow_mut()[core].pop_front();
         if let Some(tid) = next {
-            let prev = self.current.get();
+            let prev = self.current[core].get();
             self.set_state(tid, ThreadState::Running);
-            self.current.set(Some(tid));
+            self.current[core].set(Some(tid));
             if let Some(t) = self.threads.borrow_mut().get_mut(tid.0 as usize) {
                 t.switches += 1;
             }

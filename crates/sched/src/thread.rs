@@ -41,17 +41,22 @@ pub struct Thread {
     pub state: ThreadState,
     /// Number of times the thread has been context-switched in.
     pub switches: u64,
+    /// Simulated core the thread is pinned to (the core it was spawned
+    /// on; wakes always requeue it there). Single-core machines pin
+    /// everything to core 0.
+    pub core: u8,
 }
 
 impl Thread {
-    /// Creates a ready thread.
-    pub fn new(id: ThreadId, name: impl Into<String>, home: CompartmentId) -> Self {
+    /// Creates a ready thread pinned to `core`.
+    pub fn new(id: ThreadId, name: impl Into<String>, home: CompartmentId, core: u8) -> Self {
         Thread {
             id,
             name: name.into(),
             home,
             state: ThreadState::Ready,
             switches: 0,
+            core,
         }
     }
 }
@@ -62,9 +67,10 @@ mod tests {
 
     #[test]
     fn new_thread_is_ready() {
-        let t = Thread::new(ThreadId(3), "worker", CompartmentId(1));
+        let t = Thread::new(ThreadId(3), "worker", CompartmentId(1), 2);
         assert_eq!(t.state, ThreadState::Ready);
         assert_eq!(t.id.to_string(), "thread3");
         assert_eq!(t.switches, 0);
+        assert_eq!(t.core, 2);
     }
 }

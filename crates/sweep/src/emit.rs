@@ -127,6 +127,15 @@ pub fn total_cycles(results: &[PointResult]) -> u64 {
     results.iter().map(|r| r.cycles).sum()
 }
 
+/// Host cores visible to the process — recorded in every `BENCH_*.json`
+/// payload so a reader can tell how parallel the *host* run was
+/// (simulated core counts are a per-point axis, never host state).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// The `BENCH_sweep.json` payload of a **lazy** run: how much of the
 /// space was enumerated, how little of it was executed, and whether
 /// the inference was verified.
@@ -146,6 +155,8 @@ pub struct LazySummary {
     pub memo_hits: usize,
     /// Worker threads per measurement batch.
     pub threads: usize,
+    /// Host cores visible to the process.
+    pub host_cores: usize,
     /// Per-point warmup operations.
     pub warmup: u64,
     /// Per-point measured operations.
@@ -181,6 +192,7 @@ impl LazySummary {
             inferred: outcome.stats.inferred,
             memo_hits: outcome.stats.memo_hits,
             threads,
+            host_cores: host_cores(),
             warmup: spec.warmup,
             measured_ops: spec.measured,
             wall_s,
@@ -210,9 +222,9 @@ impl LazySummary {
             concat!(
                 "{{\"bench\":\"sweep\",\"mode\":\"lazy\",\"space\":\"{}\",\"points\":{},",
                 "\"canonical\":{},\"measured\":{},\"inferred\":{},\"memo_hits\":{},",
-                "\"skip_rate\":{:.4},\"threads\":{},\"warmup\":{},\"measured_ops\":{},",
-                "\"wall_s\":{:.3},\"budget_frac\":{},\"surviving\":{},\"stars\":{},",
-                "\"inference_misses\":{}}}"
+                "\"skip_rate\":{:.4},\"threads\":{},\"host_cores\":{},\"warmup\":{},",
+                "\"measured_ops\":{},\"wall_s\":{:.3},\"budget_frac\":{},\"surviving\":{},",
+                "\"stars\":{},\"inference_misses\":{}}}"
             ),
             self.space,
             self.points,
@@ -222,6 +234,7 @@ impl LazySummary {
             self.memo_hits,
             self.skip_rate(),
             self.threads,
+            self.host_cores,
             self.warmup,
             self.measured_ops,
             self.wall_s,
@@ -234,17 +247,20 @@ impl LazySummary {
 }
 
 /// Renders per-workload Pareto frontiers as a JSON document (the
-/// `--pareto PATH` payload): one object per workload, one
+/// `--pareto PATH` payload): host-run metadata (worker threads, host
+/// cores), then one object per workload, one
 /// `{frac, surviving, stars, star_labels}` entry per budget level,
 /// star labels derived on demand from the spec.
-pub fn pareto_json(spec: &SpaceSpec, pareto: &[WorkloadPareto]) -> String {
+pub fn pareto_json(spec: &SpaceSpec, pareto: &[WorkloadPareto], threads: usize) -> String {
     fn esc(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
     }
     let mut out = String::with_capacity(4096);
     out.push_str(&format!(
-        "{{\"space\":\"{}\",\"workloads\":[",
-        esc(&spec.name)
+        "{{\"space\":\"{}\",\"threads\":{},\"host_cores\":{},\"workloads\":[",
+        esc(&spec.name),
+        threads,
+        host_cores()
     ));
     for (i, wp) in pareto.iter().enumerate() {
         if i > 0 {
@@ -308,9 +324,7 @@ pub fn summary(
         space: spec.name.clone(),
         points: results.len(),
         threads: timing.threads,
-        cores: std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
+        cores: host_cores(),
         warmup: spec.warmup,
         measured: spec.measured,
         serial_s: timing.serial_s,
@@ -390,6 +404,7 @@ mod tests {
             inferred: 78_000,
             memo_hits: 250_000,
             threads: 4,
+            host_cores: 8,
             warmup: 20,
             measured_ops: 200,
             wall_s: 12.0,
@@ -405,6 +420,7 @@ mod tests {
         assert!(json.contains("\"inferred\":78000"));
         assert!(json.contains("\"memo_hits\":250000"));
         assert!(json.contains("\"skip_rate\":0.9164"));
+        assert!(json.contains("\"threads\":4,\"host_cores\":8"));
         assert!(json.contains("\"inference_misses\":0"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(!json.contains('\n'));
@@ -423,8 +439,10 @@ mod tests {
                 stars: vec![0],
             }],
         }];
-        let json = pareto_json(&spec, &pareto);
+        let json = pareto_json(&spec, &pareto, 4);
         assert!(json.contains("\"space\":\"quick\""));
+        assert!(json.contains("\"threads\":4"));
+        assert!(json.contains("\"host_cores\":"));
         assert!(json.contains(&format!("\"workload\":\"{}\"", w.label())));
         assert!(json.contains("\"frac\":0.8"));
         assert!(json.contains(&format!("\"{}\"", spec.label_of(0))));

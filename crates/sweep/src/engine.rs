@@ -86,6 +86,7 @@ pub fn run_point(spec: &SpaceSpec, index: usize) -> Result<PointResult, Fault> {
     };
     let os = SystemBuilder::new(point.config.clone())
         .app(component)
+        .cores(point.cores as usize)
         .build()?;
     let m = match point.workload {
         Workload::RedisGet { keyspace, pipeline } => run_redis_bench(

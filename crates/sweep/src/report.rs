@@ -65,10 +65,20 @@ pub fn mechanism_rank(m: Mechanism) -> u8 {
 /// `DataSharing::strength` is injective (shared-stack <
 /// heap-conversion < DSS), so the axis can never produce such a tie.
 ///
+/// The core count extends the order **core-count-monotonically**:
+/// isolation guarantees are core-count-invariant (gates, keys, and EPT
+/// roots do not weaken when the image runs on more vCPUs), while
+/// throughput only grows with cores — so `a ≤ b` additionally requires
+/// `a.cores >= b.cores`. A many-core point sits *below* its few-core
+/// twin: it buys performance without buying safety, exactly like a
+/// coarser partition. The clause is a total order on the axis, so
+/// antisymmetry is preserved.
+///
 /// [`component_share_strengths`]: crate::space::component_share_strengths
 pub fn sweep_leq(a: &SweepPoint, b: &SweepPoint) -> bool {
     a.workload == b.workload
         && a.component_allocators() == b.component_allocators()
+        && a.cores >= b.cores
         && a.strategy.refined_by(&b.strategy)
         && a.hardened_subset_of(b)
         && mechanism_rank(a.mechanism) <= mechanism_rank(b.mechanism)
@@ -370,6 +380,34 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn more_cores_sit_below_fewer_cores_at_equal_shape() {
+        // The cores clause: a point on more vCPUs buys throughput, not
+        // safety, so it sits strictly below its few-core twin — and the
+        // extended order still satisfies the poset axioms.
+        let mut spec = SpaceSpec::quick(1, 4);
+        spec.workloads.truncate(1);
+        spec.strategies.truncate(3);
+        spec.hardening_masks = vec![0b0001];
+        spec.cores = vec![1, 4];
+        let points = points_of(&spec);
+        let per_core = points.len() / spec.cores.len();
+        for i in 0..per_core {
+            let (one, four) = (&points[i], &points[i + per_core]);
+            assert_eq!(one.cores, 1);
+            assert_eq!(four.cores, 4);
+            assert!(
+                sweep_leq(four, one),
+                "{} must be <= {}",
+                four.label,
+                one.label
+            );
+            assert!(!sweep_leq(one, four));
+        }
+        let results = synthetic_results(&points);
+        sweep_poset(&points, &results).check_axioms().unwrap();
     }
 
     #[test]

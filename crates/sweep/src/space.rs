@@ -96,6 +96,11 @@ pub struct SpaceSpec {
     /// Per-component hardening masks over
     /// [`flexos_explore::FIG6_COMPONENTS`].
     pub hardening_masks: Vec<u8>,
+    /// Simulated core counts (the SMP axis). `vec![1]` — the default
+    /// everywhere — leaves every point byte-identical to the pre-SMP
+    /// enumeration; the axis is **outermost** (cores-major), so the
+    /// historical index arithmetic of a `[1]` space is untouched.
+    pub cores: Vec<u32>,
     /// When `true`, the data-sharing × allocator axes are assigned
     /// **per compartment slot** instead of image-uniformly: the space
     /// enumerates every `(data_sharing, allocator)` profile value for
@@ -136,6 +141,8 @@ pub struct PointShape {
     /// dropped and the single-compartment sharing collapsed — two
     /// shapes with equal canonical fields build byte-equal configs.
     pub profiles: Vec<(DataSharing, HeapKind)>,
+    /// Simulated cores the instance boots with.
+    pub cores: u32,
 }
 
 /// The canonical experiment identity of a point: every field that
@@ -155,6 +162,8 @@ pub struct CanonicalPoint {
     pub hardening_mask: u8,
     /// Effective per-compartment profiles.
     pub profiles: Vec<(DataSharing, HeapKind)>,
+    /// Simulated cores the instance boots with.
+    pub cores: u32,
 }
 
 impl PointShape {
@@ -182,6 +191,7 @@ impl PointShape {
             mechanism: self.mechanism,
             hardening_mask: self.hardening_mask,
             profiles: self.profiles.clone(),
+            cores: self.cores,
         }
     }
 }
@@ -211,6 +221,8 @@ pub struct SweepPoint {
     /// (`strategy.compartments()` entries; uniform spaces repeat the
     /// scalar axes).
     pub profiles: Vec<(DataSharing, HeapKind)>,
+    /// Simulated cores the instance boots with.
+    pub cores: u32,
     /// The buildable configuration.
     pub config: SafetyConfig,
     /// Human-readable label.
@@ -303,6 +315,7 @@ impl SpaceSpec {
             data_sharings: vec![DataSharing::Dss],
             allocators: vec![HeapKind::Tlsf],
             hardening_masks: (0u8..16).collect(),
+            cores: vec![1],
             per_compartment_profiles: false,
             warmup,
             measured,
@@ -338,6 +351,7 @@ impl SpaceSpec {
             ],
             allocators: vec![HeapKind::Tlsf, HeapKind::Lea],
             hardening_masks: (0u8..16).collect(),
+            cores: vec![1],
             per_compartment_profiles: false,
             warmup,
             measured,
@@ -384,6 +398,39 @@ impl SpaceSpec {
             data_sharings: vec![DataSharing::Dss, DataSharing::SharedStack],
             allocators: vec![HeapKind::Tlsf, HeapKind::Lea],
             hardening_masks: vec![0b0000, 0b1111],
+            cores: vec![1],
+            per_compartment_profiles: false,
+            warmup,
+            measured,
+        }
+    }
+
+    /// The SMP space: the §5 order extended core-count-monotonically.
+    /// 3 workloads × {MPK, EPT} × 5 strategies × {DSS, shared-stack} ×
+    /// TLSF × 2 masks × cores ∈ {1, 2, 4, 8} = **408 points** (1 + 4×2×2
+    /// = 17 shape combos per workload). iPerf is left out: its
+    /// single-stream driver has no shardable event loop, so the cores
+    /// axis would be degenerate for it.
+    pub fn full_smp(warmup: u64, measured: u64) -> SpaceSpec {
+        SpaceSpec {
+            name: "full-smp".to_string(),
+            workloads: vec![
+                Workload::RedisGet {
+                    keyspace: 3,
+                    pipeline: 1,
+                },
+                Workload::RedisGet {
+                    keyspace: 64,
+                    pipeline: 8,
+                },
+                Workload::NginxGet,
+            ],
+            mechanisms: vec![Mechanism::IntelMpk, Mechanism::VmEpt],
+            strategies: Strategy::ALL.to_vec(),
+            data_sharings: vec![DataSharing::Dss, DataSharing::SharedStack],
+            allocators: vec![HeapKind::Tlsf],
+            hardening_masks: vec![0b0000, 0b1111],
+            cores: vec![1, 2, 4, 8],
             per_compartment_profiles: false,
             warmup,
             measured,
@@ -391,7 +438,7 @@ impl SpaceSpec {
     }
 
     /// Resolves a named space (`fig6-redis`, `fig6-nginx`, `quick`,
-    /// `full`, `full-profiled`).
+    /// `full`, `full-profiled`, `full-smp`).
     pub fn named(name: &str, warmup: u64, measured: u64) -> Option<SpaceSpec> {
         match name {
             "fig6-redis" => Some(SpaceSpec::fig6("redis", warmup, measured)),
@@ -399,6 +446,7 @@ impl SpaceSpec {
             "quick" => Some(SpaceSpec::quick(warmup, measured)),
             "full" => Some(SpaceSpec::full(warmup, measured)),
             "full-profiled" => Some(SpaceSpec::full_profiled(warmup, measured)),
+            "full-smp" => Some(SpaceSpec::full_smp(warmup, measured)),
             _ => None,
         }
     }
@@ -463,8 +511,8 @@ impl SpaceSpec {
         out
     }
 
-    /// Number of points in the space.
-    pub fn len(&self) -> usize {
+    /// Points per core-count value (the historical pre-SMP space size).
+    fn len_per_core(&self) -> usize {
         if self.per_compartment_profiles {
             self.workloads.len()
                 * self.shape_combos().len()
@@ -479,6 +527,11 @@ impl SpaceSpec {
                 * self.allocators.len()
                 * self.hardening_masks.len()
         }
+    }
+
+    /// Number of points in the space.
+    pub fn len(&self) -> usize {
+        self.len_per_core() * self.cores.len()
     }
 
     /// `true` when any axis is empty.
@@ -498,6 +551,11 @@ impl SpaceSpec {
     ///
     /// Panics if `index >= self.len()`.
     pub fn shape(&self, index: usize) -> PointShape {
+        // Cores-major: strip the (outermost) SMP axis first, then decode
+        // the historical per-core block exactly as before.
+        let per_core = self.len_per_core();
+        let cores = self.cores[index / per_core];
+        let inner = index % per_core;
         let masks = self.hardening_masks.len();
         if self.per_compartment_profiles {
             let combos = self.shape_combos();
@@ -507,8 +565,8 @@ impl SpaceSpec {
                 .len()
                 .pow(u32::try_from(slots).expect("tiny slot count"));
             let per_workload = combos.len() * assigns * masks;
-            let workload = self.workloads[index / per_workload];
-            let rem = index % per_workload;
+            let workload = self.workloads[inner / per_workload];
+            let rem = inner % per_workload;
             let (strategy, mechanism) = combos[rem / (assigns * masks)];
             let mut digits = (rem % (assigns * masks)) / masks;
             let mut assignment = vec![values[0]; slots];
@@ -529,15 +587,16 @@ impl SpaceSpec {
                 workload,
                 strategy,
                 mechanism,
-                hardening_mask: self.hardening_masks[index % masks],
+                hardening_mask: self.hardening_masks[inner % masks],
                 profiles: assignment,
+                cores,
             }
         } else {
             let combos = self.combos();
             let allocs = self.allocators.len();
             let per_workload = combos.len() * allocs * masks;
-            let workload = self.workloads[index / per_workload];
-            let rem = index % per_workload;
+            let workload = self.workloads[inner / per_workload];
+            let rem = inner % per_workload;
             let (strategy, mechanism, data_sharing) = combos[rem / (allocs * masks)];
             let allocator = self.allocators[(rem % (allocs * masks)) / masks];
             PointShape {
@@ -545,8 +604,9 @@ impl SpaceSpec {
                 workload,
                 strategy,
                 mechanism,
-                hardening_mask: self.hardening_masks[index % masks],
+                hardening_mask: self.hardening_masks[inner % masks],
                 profiles: vec![(data_sharing, allocator); strategy.compartments()],
+                cores,
             }
         }
     }
@@ -605,6 +665,7 @@ impl SpaceSpec {
             allocator,
             hardening_mask: shape.hardening_mask,
             profiles: shape.profiles,
+            cores: shape.cores,
             config,
             label,
         }
@@ -649,8 +710,13 @@ fn label_from_shape(shape: &PointShape) -> String {
             .collect();
         slots.join("+")
     };
+    let cores = if shape.cores == 1 {
+        String::new()
+    } else {
+        format!(" · c{}", shape.cores)
+    };
     format!(
-        "[{dots}] {} · {mech} · {profile} · {}",
+        "[{dots}] {} · {mech} · {profile} · {}{cores}",
         shape.strategy.label(app),
         shape.workload.label()
     )
@@ -769,6 +835,55 @@ mod tests {
                 assert_eq!(spec.label_of(i), p.label);
             }
         }
+    }
+
+    #[test]
+    fn cores_axis_is_outermost_and_labelled() {
+        // The SMP axis multiplies the space cores-major: index
+        // `c * per_core + i` decodes to the same shape as index `i` of
+        // the one-core spec, plus the core count — so `[1]` spaces keep
+        // their historical index arithmetic bit for bit.
+        let base = SpaceSpec::quick(5, 20);
+        let mut smp = base.clone();
+        smp.cores = vec![1, 2, 8];
+        assert_eq!(smp.len(), 3 * base.len());
+        for i in (0..base.len()).step_by(11) {
+            let one = base.shape(i);
+            for (c, &cores) in smp.cores.iter().enumerate() {
+                let s = smp.shape(c * base.len() + i);
+                assert_eq!(s.workload, one.workload);
+                assert_eq!(s.strategy, one.strategy);
+                assert_eq!(s.mechanism, one.mechanism);
+                assert_eq!(s.hardening_mask, one.hardening_mask);
+                assert_eq!(s.profiles, one.profiles);
+                assert_eq!(s.cores, cores);
+            }
+        }
+        // cores=1 labels are untouched; multi-core labels get a suffix.
+        assert_eq!(smp.label_of(3), base.label_of(3));
+        assert!(smp.label_of(base.len() + 3).ends_with(" · c2"));
+        assert!(smp.label_of(2 * base.len() + 3).ends_with(" · c8"));
+    }
+
+    #[test]
+    fn full_smp_space_extends_quick_shapes_with_cores() {
+        let spec = SpaceSpec::full_smp(5, 20);
+        // 3 workloads x 17 shape combos x 1 allocator x 2 masks x 4
+        // core counts.
+        assert_eq!(spec.len(), 408);
+        let mut seen_cores = std::collections::HashSet::new();
+        for p in spec.points() {
+            seen_cores.insert(p.cores);
+            assert!(
+                !matches!(p.workload, Workload::IperfStream { .. }),
+                "iPerf has no shardable event loop"
+            );
+        }
+        assert_eq!(seen_cores, [1, 2, 4, 8].into_iter().collect());
+        assert_eq!(
+            SpaceSpec::named("full-smp", 5, 20).map(|s| s.len()),
+            Some(408)
+        );
     }
 
     #[test]

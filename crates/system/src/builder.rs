@@ -13,6 +13,7 @@ use flexos_core::image::{ImageBuilder, TransformReport};
 use flexos_ept::{EptBackend, VmImage};
 use flexos_fs::Vfs;
 use flexos_libc::Newlib;
+use flexos_machine::cost::CostModel;
 use flexos_machine::fault::Fault;
 use flexos_machine::Machine;
 use flexos_mpk::MpkBackend;
@@ -28,6 +29,7 @@ pub struct SystemBuilder {
     heap_pages: u64,
     apps: Vec<Component>,
     alloc_slow_surcharge: u64,
+    cores: usize,
 }
 
 impl SystemBuilder {
@@ -40,7 +42,17 @@ impl SystemBuilder {
             heap_pages: 4096,
             apps: Vec::new(),
             alloc_slow_surcharge: 0,
+            cores: 1,
         }
+    }
+
+    /// Number of simulated vCPUs (default 1). Multi-core instances pin
+    /// the network stack's compartment to core 0 (its home core), so
+    /// gate crossings into it from other cores pay the remote-gate IPI
+    /// charge; a 1-core build is byte-identical to the pre-SMP system.
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
     }
 
     /// Adds an application component (registered after the kernel set).
@@ -81,9 +93,19 @@ impl SystemBuilder {
     ///
     /// Configuration and toolchain faults from the core image builder.
     pub fn build(self) -> Result<FlexOs, Fault> {
-        let machine = Machine::new(self.mem_bytes);
+        // SMP images carry proportionally more memory: every core runs
+        // its own server shard and connection set out of the same
+        // compartment heaps, so the per-compartment heap, the shared
+        // heap, and the physical region all scale with the core count.
+        // The multiplier is 1 on single-core builds, so their layout
+        // stays byte-identical to the pre-SMP system.
+        let scale = self.cores as u64;
+        let machine = Machine::with_cores(self.mem_bytes * scale, CostModel::default(), self.cores);
         let mut builder = ImageBuilder::new(Rc::clone(&machine), self.config.clone());
-        builder.heap_pages(self.heap_pages);
+        builder.heap_pages(self.heap_pages * scale);
+        if scale > 1 {
+            builder.shared_heap_pages(1024 * scale);
+        }
         builder.heap_kind(self.heap_kind);
 
         // The standard component set, in fixed registration order.
@@ -163,6 +185,14 @@ impl SystemBuilder {
             flexos_core::compartment::CompartmentId(self.config.default_compartment() as u8),
         );
         let (main_thread, _) = env.run_as(sched_id, || sched.spawn("main", home))?;
+
+        // Multi-core topology: the NIC driver/stack is serviced on its
+        // home core 0, so shards on other cores pay the remote-gate IPI
+        // on every lwip crossing. Single-core builds leave every
+        // compartment unpinned (no SMP charges anywhere).
+        if self.cores > 1 {
+            env.set_home_core(env.compartment_of(lwip_id), 0);
+        }
 
         Ok(FlexOs {
             env,

@@ -27,6 +27,7 @@
 //!    quarantine bit; the compartment serves again.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -103,6 +104,14 @@ pub struct Supervisor {
     /// default: the containment events a reboot actually cures.
     triggers: Vec<FaultKind>,
     reports: RefCell<Vec<RecoveryReport>>,
+    /// Microreboots allowed per compartment before it is evicted
+    /// (quarantined permanently). `None` means unbounded — the
+    /// historical always-reboot policy.
+    restart_budget: Option<u32>,
+    /// Reboots performed so far, per compartment (deterministic order).
+    reboot_counts: RefCell<BTreeMap<u8, u32>>,
+    /// Compartments evicted after exhausting the restart budget.
+    evicted: RefCell<Vec<CompartmentId>>,
 }
 
 impl Supervisor {
@@ -122,6 +131,9 @@ impl Supervisor {
             sched,
             triggers: Self::DEFAULT_TRIGGERS.to_vec(),
             reports: RefCell::new(Vec::new()),
+            restart_budget: None,
+            reboot_counts: RefCell::new(BTreeMap::new()),
+            evicted: RefCell::new(Vec::new()),
         }
     }
 
@@ -129,6 +141,37 @@ impl Supervisor {
     pub fn with_triggers(mut self, triggers: &[FaultKind]) -> Self {
         self.triggers = triggers.to_vec();
         self
+    }
+
+    /// Caps microreboots per compartment: after `budget` reboots, the
+    /// next trigger fault **evicts** the compartment instead — its
+    /// quarantine bit is set and never cleared, so every subsequent gate
+    /// entry refuses with `Fault::Quarantined` while the rest of the
+    /// image keeps serving. A crash-looping tenant thus degrades to a
+    /// dead tenant rather than an infinite reboot storm.
+    pub fn with_restart_budget(mut self, budget: u32) -> Self {
+        self.restart_budget = Some(budget);
+        self
+    }
+
+    /// `true` once `compartment` has been evicted (restart budget
+    /// exhausted; permanently quarantined).
+    pub fn is_evicted(&self, compartment: CompartmentId) -> bool {
+        self.evicted.borrow().contains(&compartment)
+    }
+
+    /// Compartments evicted so far, in eviction order.
+    pub fn evictions(&self) -> Vec<CompartmentId> {
+        self.evicted.borrow().clone()
+    }
+
+    /// Microreboots performed on `compartment` so far.
+    pub fn reboot_count(&self, compartment: CompartmentId) -> u32 {
+        *self
+            .reboot_counts
+            .borrow()
+            .get(&compartment.0)
+            .unwrap_or(&0)
     }
 
     /// Scans the observed-fault ring for the most recent trigger fault
@@ -144,6 +187,22 @@ impl Supervisor {
             .find(|(_, kind)| self.triggers.contains(kind));
         let (component, kind) = hit?;
         let compartment = self.env.compartment_of(component);
+        if self.is_evicted(compartment) {
+            // Faults from a dead tenant are expected (`Quarantined`
+            // refusals); drain the ring and keep serving.
+            self.env.clear_observed_faults();
+            return None;
+        }
+        if let Some(budget) = self.restart_budget {
+            if self.reboot_count(compartment) >= budget {
+                // Budget exhausted: evict instead of rebooting. The
+                // quarantine bit stays set forever.
+                self.env.set_quarantined(compartment, true);
+                self.evicted.borrow_mut().push(compartment);
+                self.env.clear_observed_faults();
+                return None;
+            }
+        }
         let report = self.microreboot(compartment, Some(kind));
         self.env.clear_observed_faults();
         Some(report)
@@ -233,6 +292,11 @@ impl Supervisor {
         );
         tracer.recovery_latency().record(latency_cycles);
 
+        *self
+            .reboot_counts
+            .borrow_mut()
+            .entry(compartment.0)
+            .or_insert(0) += 1;
         let report = RecoveryReport {
             compartment,
             compartment_name: self.env.domain(compartment).name.clone(),

@@ -22,7 +22,7 @@
 use std::fmt::Write as _;
 
 use crate::event::{
-    resource, Event, EventKind, ALL_COMPARTMENTS, NO_THREAD, NO_TRIGGER, REBOOT_PHASES,
+    resource, smp_charge, Event, EventKind, ALL_COMPARTMENTS, NO_THREAD, NO_TRIGGER, REBOOT_PHASES,
 };
 
 /// Resolves the raw ids carried by events into human-readable names at
@@ -96,18 +96,20 @@ impl NameTable {
 /// confused with the viewer's "unknown process" 0.
 const MACHINE_PID: u32 = 1000;
 
+#[allow(clippy::too_many_arguments)]
 fn push_event_json(
     out: &mut String,
     ph: char,
     name: &str,
     cat: &str,
     pid: u32,
+    tid: u32,
     ts: u64,
     args: &[(&str, String)],
 ) {
     let _ = write!(
         out,
-        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{pid},\"tid\":0"
+        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid}"
     );
     if ph == 'i' {
         out.push_str(",\"s\":\"p\"");
@@ -125,10 +127,18 @@ fn push_event_json(
     out.push_str("},\n");
 }
 
-fn push_counter_json(out: &mut String, name: &str, pid: u32, ts: u64, series: &str, value: u64) {
+fn push_counter_json(
+    out: &mut String,
+    name: &str,
+    pid: u32,
+    tid: u32,
+    ts: u64,
+    series: &str,
+    value: u64,
+) {
     let _ = writeln!(
         out,
-        "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\"tid\":0,\"args\":{{\"{series}\":{value}}}}},"
+        "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"{series}\":{value}}}}},"
     );
 }
 
@@ -145,9 +155,15 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
 
     // Process-name metadata for every compartment that appears, plus
     // the machine track. Collect ids in first-appearance order so the
-    // header is deterministic without sorting.
+    // header is deterministic without sorting. On multi-core traces
+    // (any event stamped with a nonzero core) each core additionally
+    // becomes a named thread track per process — single-core traces
+    // emit no thread metadata at all, keeping their bytes identical to
+    // the pre-SMP export.
     let mut seen: Vec<u8> = Vec::new();
     let mut saw_machine = false;
+    let multicore = events.iter().any(|e| e.core != 0);
+    let mut tracks: Vec<(u32, u8)> = Vec::new();
     for ev in events {
         let comp = match ev.kind {
             EventKind::GateEnter { from, .. } | EventKind::GateExit { from, .. } => Some(from),
@@ -163,13 +179,20 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
             }
             _ => None,
         };
-        match comp {
+        let pid = match comp {
             Some(c) => {
                 if !seen.contains(&c) {
                     seen.push(c);
                 }
+                c as u32 + 1
             }
-            None => saw_machine = true,
+            None => {
+                saw_machine = true;
+                MACHINE_PID
+            }
+        };
+        if multicore && !tracks.contains(&(pid, ev.core)) {
+            tracks.push((pid, ev.core));
         }
     }
     for &c in &seen {
@@ -186,6 +209,12 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
             "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{MACHINE_PID},\"tid\":0,\"args\":{{\"name\":\"machine\"}}}},"
         );
     }
+    for &(pid, core) in &tracks {
+        let _ = writeln!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{core},\"args\":{{\"name\":\"core{core}\"}}}},"
+        );
+    }
 
     // Open-phase bookkeeping for microreboots: phase spans close when
     // the next phase (or the reboot end) arrives.
@@ -194,6 +223,7 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
 
     for ev in events {
         let ts = ev.at;
+        let tid = u32::from(ev.core);
         match ev.kind {
             EventKind::GateEnter {
                 from,
@@ -208,6 +238,7 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
                     &format!("{}::{}", names.compartment(to), names.entry(entry)),
                     "gate",
                     from as u32 + 1,
+                    tid,
                     ts,
                     &[
                         ("gate", quoted(&names.gate(gate))),
@@ -222,6 +253,7 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
                     &format!("{}::{}", names.compartment(to), names.entry(entry)),
                     "gate",
                     from as u32 + 1,
+                    tid,
                     ts,
                     &[],
                 );
@@ -233,6 +265,7 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
                     &format!("fault:{}", names.fault(fault)),
                     "fault",
                     MACHINE_PID,
+                    tid,
                     ts,
                     &[("component", quoted(&names.component(component)))],
                 );
@@ -246,6 +279,7 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
                     &mut out,
                     &format!("budget:{}", resource::name(res)),
                     compartment as u32 + 1,
+                    tid,
                     ts,
                     "charged",
                     amount,
@@ -263,6 +297,7 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
                     &format!("refusal:{}", resource::name(res)),
                     "budget",
                     compartment as u32 + 1,
+                    tid,
                     ts,
                     &[("would", would.to_string()), ("limit", limit.to_string())],
                 );
@@ -273,7 +308,16 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
                 } else {
                     compartment as u32 + 1
                 };
-                push_event_json(&mut out, 'i', "budget-window-reset", "budget", pid, ts, &[]);
+                push_event_json(
+                    &mut out,
+                    'i',
+                    "budget-window-reset",
+                    "budget",
+                    pid,
+                    tid,
+                    ts,
+                    &[],
+                );
             }
             EventKind::HeapAlloc {
                 compartment, live, ..
@@ -285,6 +329,7 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
                     &mut out,
                     "heap-live-bytes",
                     compartment as u32 + 1,
+                    tid,
                     ts,
                     "live",
                     live,
@@ -302,6 +347,7 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
                     "ctx-switch",
                     "sched",
                     MACHINE_PID,
+                    tid,
                     ts,
                     &[("from", from_s), ("to", to.to_string())],
                 );
@@ -313,6 +359,7 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
                     "nic-tx",
                     "net",
                     MACHINE_PID,
+                    tid,
                     ts,
                     &[("len", frame_len.to_string())],
                 );
@@ -324,6 +371,7 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
                     "nic-rx",
                     "net",
                     MACHINE_PID,
+                    tid,
                     ts,
                     &[("len", frame_len.to_string())],
                 );
@@ -339,6 +387,7 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
                     "microreboot",
                     "supervisor",
                     compartment as u32 + 1,
+                    tid,
                     ts,
                     &[("trigger", quoted(&names.fault(trigger)))],
                 );
@@ -351,6 +400,7 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
                         prev,
                         "supervisor",
                         compartment as u32 + 1,
+                        tid,
                         ts,
                         &[],
                     );
@@ -366,6 +416,7 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
                     name,
                     "supervisor",
                     compartment as u32 + 1,
+                    tid,
                     ts,
                     &[],
                 );
@@ -381,6 +432,7 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
                         prev,
                         "supervisor",
                         compartment as u32 + 1,
+                        tid,
                         ts,
                         &[],
                     );
@@ -392,8 +444,21 @@ pub fn chrome_trace_json(events: &[Event], names: &NameTable) -> String {
                     "microreboot",
                     "supervisor",
                     compartment as u32 + 1,
+                    tid,
                     ts,
                     &[("latency", latency.to_string())],
+                );
+            }
+            EventKind::SmpCharge { kind, cost } => {
+                push_event_json(
+                    &mut out,
+                    'i',
+                    &format!("smp:{}", smp_charge::name(kind)),
+                    "smp",
+                    MACHINE_PID,
+                    tid,
+                    ts,
+                    &[("cost", cost.to_string())],
                 );
             }
         }
@@ -427,6 +492,7 @@ mod tests {
         vec![
             Event {
                 at: 10,
+                core: 0,
                 kind: EventKind::GateEnter {
                     from: 0,
                     to: 1,
@@ -437,6 +503,7 @@ mod tests {
             },
             Event {
                 at: 150,
+                core: 0,
                 kind: EventKind::GateExit {
                     from: 0,
                     to: 1,
@@ -445,6 +512,7 @@ mod tests {
             },
             Event {
                 at: 200,
+                core: 0,
                 kind: EventKind::RebootStart {
                     compartment: 1,
                     trigger: NO_TRIGGER,
@@ -452,6 +520,7 @@ mod tests {
             },
             Event {
                 at: 210,
+                core: 0,
                 kind: EventKind::RebootPhase {
                     compartment: 1,
                     phase: 0,
@@ -459,6 +528,7 @@ mod tests {
             },
             Event {
                 at: 2210,
+                core: 0,
                 kind: EventKind::RebootPhase {
                     compartment: 1,
                     phase: 1,
@@ -466,6 +536,7 @@ mod tests {
             },
             Event {
                 at: 20000,
+                core: 0,
                 kind: EventKind::RebootEnd {
                     compartment: 1,
                     latency: 19800,
@@ -488,6 +559,37 @@ mod tests {
         assert!(a.contains("\"name\":\"microreboot\""));
         assert!(a.contains("\"name\":\"quarantine\""));
         assert!(a.contains("\"trigger\":\"operator\""));
+    }
+
+    #[test]
+    fn single_core_traces_emit_no_thread_metadata() {
+        let names = NameTable::default();
+        let json = chrome_trace_json(&sample_events(), &names);
+        assert!(!json.contains("thread_name"));
+        assert!(!json.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn multicore_traces_get_per_core_tracks() {
+        let names = NameTable::default();
+        let mut events = sample_events();
+        events.push(Event {
+            at: 30000,
+            core: 2,
+            kind: EventKind::SmpCharge {
+                kind: smp_charge::IPI,
+                cost: 420,
+            },
+        });
+        let json = chrome_trace_json(&events, &names);
+        // Every track that appears is named, including core 0's now that
+        // the trace is known to be multi-core.
+        assert!(json.contains(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1000,\"tid\":2,\"args\":{\"name\":\"core2\"}}"
+        ));
+        assert!(json.contains("\"args\":{\"name\":\"core0\"}"));
+        assert!(json.contains("\"name\":\"smp:ipi\""));
+        assert!(json.contains("\"tid\":2"));
     }
 
     #[test]

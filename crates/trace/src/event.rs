@@ -183,13 +183,50 @@ pub enum EventKind {
         /// End-to-end recovery latency.
         latency: u64,
     },
+    /// A cross-core SMP surcharge was paid on the recording core's
+    /// clock; `kind` indexes [`smp_charge::NAMES`]. Stamped *after* the
+    /// charge, so the span `[at - cost, at]` is attributable cross-core
+    /// overhead. Only multi-core machines emit these.
+    SmpCharge {
+        /// Charge kind code ([`smp_charge`]).
+        kind: u8,
+        /// Cycles charged.
+        cost: u32,
+    },
 }
 
-/// One recorded event: a virtual-clock stamp plus the typed payload.
+/// Charge-kind codes carried by [`EventKind::SmpCharge`] (mirrors
+/// `flexos_machine::smp::charge` — this crate sits below the machine).
+pub mod smp_charge {
+    /// Cross-core remote-gate (doorbell/IPI) surcharge.
+    pub const IPI: u8 = 0;
+    /// Shared-heap contention surcharge.
+    pub const HEAP: u8 = 1;
+    /// Shared-NIC-ring contention surcharge.
+    pub const RING: u8 = 2;
+
+    /// Stable display names, indexed by charge code.
+    pub const NAMES: [&str; 3] = ["ipi", "heap-contention", "ring-contention"];
+
+    /// Stable display name of a charge code.
+    pub fn name(code: u8) -> &'static str {
+        NAMES
+            .get(code as usize)
+            .copied()
+            .unwrap_or("unknown-smp-charge")
+    }
+}
+
+/// One recorded event: a virtual-clock stamp, the recording core, and
+/// the typed payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
-    /// Virtual cycle at which the event was recorded.
+    /// Virtual cycle (on the recording core's clock) at which the event
+    /// was recorded.
     pub at: u64,
+    /// Core whose clock stamped the event (always 0 on single-core
+    /// machines).
+    pub core: u8,
     /// What happened.
     pub kind: EventKind,
 }

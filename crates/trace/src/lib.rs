@@ -64,6 +64,9 @@ pub struct Tracer {
     /// Next write slot once the ring has wrapped.
     next: Cell<usize>,
     dropped: Cell<u64>,
+    /// Core id stamped on recorded events; the machine retargets this
+    /// on every core switch so `record` call sites stay unchanged.
+    core: Cell<u8>,
     request_latency: Histogram,
     recovery_latency: Histogram,
 }
@@ -109,16 +112,30 @@ impl Tracer {
 
     #[cold]
     fn record_slow(&self, at: u64, kind: EventKind) {
+        let core = self.core.get();
         let mut ring = self.ring.borrow_mut();
         let cap = self.capacity.get();
         if ring.len() < cap {
-            ring.push(Event { at, kind });
+            ring.push(Event { at, core, kind });
         } else {
             let slot = self.next.get();
-            ring[slot] = Event { at, kind };
+            ring[slot] = Event { at, core, kind };
             self.next.set((slot + 1) % cap);
             self.dropped.set(self.dropped.get() + 1);
         }
+    }
+
+    /// Retargets the core id stamped on subsequent events (called by the
+    /// machine on every simulated core switch; stays 0 on single-core
+    /// machines).
+    #[inline]
+    pub fn set_core(&self, core: u8) {
+        self.core.set(core);
+    }
+
+    /// The core id currently stamped on recorded events.
+    pub fn current_core(&self) -> u8 {
+        self.core.get()
     }
 
     /// Events recorded so far, oldest first (the ring is rotated into
@@ -205,6 +222,20 @@ mod tests {
         t.enable(TraceConfig { capacity: 4 });
         assert!(t.is_empty());
         assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn events_carry_the_recording_core() {
+        let t = Tracer::new();
+        t.enable(TraceConfig { capacity: 4 });
+        t.record(1, tick(1));
+        t.set_core(3);
+        t.record(2, tick(2));
+        t.set_core(0);
+        t.record(3, tick(3));
+        let cores: Vec<u8> = t.events().iter().map(|e| e.core).collect();
+        assert_eq!(cores, vec![0, 3, 0]);
+        assert_eq!(t.current_core(), 0);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use std::fmt::Write as _;
 
 use crate::chrome::{fnv1a, NameTable};
-use crate::event::{Event, EventKind};
+use crate::event::{smp_charge, Event, EventKind};
 
 /// One node of the attribution tree.
 #[derive(Debug)]
@@ -130,10 +130,30 @@ const REBOOT_KEY: u32 = u32::MAX;
 /// Folds an event stream into the attribution tree. Unmatched open
 /// spans (a trace that ends mid-call) are clipped at the last event's
 /// timestamp.
+///
+/// Multi-core streams (any event stamped with a nonzero core) keep one
+/// span stack *per core* — the cores' event sequences interleave in the
+/// ring but each core's spans nest only among themselves — and prefix
+/// every root with `core<N>/` so the render separates the per-core
+/// trees. [`EventKind::SmpCharge`] events fold into leaf nodes named
+/// after the charge kind (`ipi`, `heap-contention`, `ring-contention`)
+/// under whatever span is open on the charging core, making cross-core
+/// overhead directly visible in the attribution. Single-core streams
+/// render byte-identically to the pre-SMP profiler.
 pub fn attribute(events: &[Event], names: &NameTable) -> Profile {
     let mut profile = Profile::default();
-    let mut stack: Vec<OpenSpan> = Vec::new();
-    let last_at = events.last().map(|e| e.at).unwrap_or(0);
+    let multicore = events.iter().any(|e| e.core != 0);
+    let ncores = events.iter().map(|e| e.core as usize).max().unwrap_or(0) + 1;
+    let mut stacks: Vec<Vec<OpenSpan>> = (0..ncores).map(|_| Vec::new()).collect();
+    let mut last_at: Vec<u64> = vec![0; ncores];
+
+    let root_label = |name: &str, core: usize| {
+        if multicore {
+            format!("core{core}/{name}")
+        } else {
+            name.to_string()
+        }
+    };
 
     let close = |profile: &mut Profile, stack: &mut Vec<OpenSpan>, key, at: u64| {
         // Pop to the matching span; anything above it was left open
@@ -152,6 +172,9 @@ pub fn attribute(events: &[Event], names: &NameTable) -> Profile {
     };
 
     for ev in events {
+        let core = ev.core as usize;
+        last_at[core] = last_at[core].max(ev.at);
+        let stack = &mut stacks[core];
         match ev.kind {
             EventKind::GateEnter {
                 from,
@@ -162,7 +185,7 @@ pub fn attribute(events: &[Event], names: &NameTable) -> Profile {
             } => {
                 let parent = match stack.last() {
                     Some(open) => open.node,
-                    None => profile.child_of(None, &names.compartment(from)),
+                    None => profile.child_of(None, &root_label(&names.compartment(from), core)),
                 };
                 let label = format!("{}::{}", names.compartment(to), names.entry(entry));
                 let node = profile.child_of(Some(parent), &label);
@@ -174,7 +197,7 @@ pub fn attribute(events: &[Event], names: &NameTable) -> Profile {
                 });
             }
             EventKind::GateExit { from, to, entry } => {
-                close(&mut profile, &mut stack, (from, to, entry), ev.at);
+                close(&mut profile, stack, (from, to, entry), ev.at);
             }
             EventKind::RebootStart {
                 compartment,
@@ -182,7 +205,9 @@ pub fn attribute(events: &[Event], names: &NameTable) -> Profile {
             } => {
                 let parent = match stack.last() {
                     Some(open) => open.node,
-                    None => profile.child_of(None, &names.compartment(compartment)),
+                    None => {
+                        profile.child_of(None, &root_label(&names.compartment(compartment), core))
+                    }
                 };
                 let label = format!("microreboot({})", names.fault(trigger));
                 let node = profile.child_of(Some(parent), &label);
@@ -196,21 +221,34 @@ pub fn attribute(events: &[Event], names: &NameTable) -> Profile {
             EventKind::RebootEnd { compartment, .. } => {
                 close(
                     &mut profile,
-                    &mut stack,
+                    stack,
                     (compartment, compartment, REBOOT_KEY),
                     ev.at,
                 );
+            }
+            EventKind::SmpCharge { kind, cost } => {
+                let parent = match stack.last() {
+                    Some(open) => open.node,
+                    None => profile.child_of(None, &root_label("smp", core)),
+                };
+                let node = profile.child_of(Some(parent), smp_charge::name(kind));
+                let n = &mut profile.nodes[node];
+                n.calls += 1;
+                n.total_cycles += u64::from(cost);
+                n.gate_cycles += u64::from(cost);
             }
             _ => {}
         }
     }
 
-    // Clip anything still open at the end of the stream.
-    while let Some(span) = stack.pop() {
-        let node = &mut profile.nodes[span.node];
-        node.calls += 1;
-        node.total_cycles += last_at.saturating_sub(span.entered_at);
-        node.gate_cycles += span.gate_cost;
+    // Clip anything still open at the end of each core's stream.
+    for (core, stack) in stacks.iter_mut().enumerate() {
+        while let Some(span) = stack.pop() {
+            let node = &mut profile.nodes[span.node];
+            node.calls += 1;
+            node.total_cycles += last_at[core].saturating_sub(span.entered_at);
+            node.gate_cycles += span.gate_cost;
+        }
     }
 
     profile
@@ -224,6 +262,7 @@ mod tests {
     fn enter(at: u64, from: u8, to: u8, entry: u32, cost: u32) -> Event {
         Event {
             at,
+            core: 0,
             kind: EventKind::GateEnter {
                 from,
                 to,
@@ -237,8 +276,14 @@ mod tests {
     fn exit(at: u64, from: u8, to: u8, entry: u32) -> Event {
         Event {
             at,
+            core: 0,
             kind: EventKind::GateExit { from, to, entry },
         }
+    }
+
+    fn on_core(core: u8, mut ev: Event) -> Event {
+        ev.core = core;
+        ev
     }
 
     #[test]
@@ -280,6 +325,7 @@ mod tests {
         let events = vec![
             Event {
                 at: 1000,
+                core: 0,
                 kind: EventKind::RebootStart {
                     compartment: 1,
                     trigger: NO_TRIGGER,
@@ -287,6 +333,7 @@ mod tests {
             },
             Event {
                 at: 23000,
+                core: 0,
                 kind: EventKind::RebootEnd {
                     compartment: 1,
                     latency: 22000,
@@ -296,6 +343,56 @@ mod tests {
         let p = attribute(&events, &NameTable::default());
         let render = p.render();
         assert!(render.contains("microreboot(operator)  calls=1 total=22000"));
+    }
+
+    #[test]
+    fn multicore_spans_keep_per_core_stacks() {
+        // Core 0's span (100..500) and core 1's span (120..400)
+        // interleave in the ring; a global stack would nest core 1's
+        // span inside core 0's.
+        let events = vec![
+            enter(100, 0, 1, 0, 50),
+            on_core(1, enter(120, 0, 1, 0, 50)),
+            on_core(1, exit(400, 0, 1, 0)),
+            exit(500, 0, 1, 0),
+        ];
+        let p = attribute(&events, &NameTable::default());
+        let labels: Vec<&str> = p.roots.iter().map(|&r| p.nodes[r].label.as_str()).collect();
+        assert_eq!(labels, vec!["core0/dom0", "core1/dom0"]);
+        let span0 = &p.nodes[p.nodes[p.roots[0]].children[0]];
+        let span1 = &p.nodes[p.nodes[p.roots[1]].children[0]];
+        assert_eq!(span0.total_cycles, 400);
+        assert_eq!(span1.total_cycles, 280);
+        assert!(span0.children.is_empty(), "no cross-core nesting");
+    }
+
+    #[test]
+    fn smp_charges_fold_into_the_open_span() {
+        let charge = |at, core, kind, cost| {
+            on_core(
+                core,
+                Event {
+                    at,
+                    core: 0,
+                    kind: EventKind::SmpCharge { kind, cost },
+                },
+            )
+        };
+        let events = vec![
+            on_core(1, enter(100, 0, 1, 0, 50)),
+            charge(150, 1, smp_charge::IPI, 420),
+            charge(200, 1, smp_charge::HEAP, 72),
+            charge(250, 1, smp_charge::IPI, 420),
+            on_core(1, exit(500, 0, 1, 0)),
+            // A charge with no open span lands under a core-level root.
+            charge(600, 2, smp_charge::RING, 144),
+        ];
+        let p = attribute(&events, &NameTable::default());
+        let render = p.render();
+        assert!(render.contains("ipi  calls=2 total=840 self=840 gate=840"));
+        assert!(render.contains("heap-contention  calls=1 total=72"));
+        assert!(render.contains("core2/smp"));
+        assert!(render.contains("ring-contention  calls=1 total=144"));
     }
 
     #[test]

@@ -59,8 +59,19 @@ fn lwip_isolating_images() -> Vec<(&'static str, FlexOs)> {
 fn compromised_component_cannot_read_foreign_compartment() {
     // §7 "Quickly Isolate Exploitable Libraries": place lwip in its own
     // compartment; a compromised lwip cannot read Redis' keyspace —
-    // under MPK, EPT, and mixed per-compartment profiles alike.
-    for (name, os) in lwip_isolating_images() {
+    // under MPK, EPT, and mixed per-compartment profiles alike, and
+    // (PR 10) on any simulated core count: protection keys and gates
+    // are per-compartment state, not per-vCPU state, so the property is
+    // core-count-invariant by construction.
+    let smp_images = [1usize, 2, 4].into_iter().map(|cores| {
+        let os = SystemBuilder::new(configs::mpk2(&["lwip"], DataSharing::Dss).unwrap())
+            .app(flexos_apps::redis_component())
+            .cores(cores)
+            .build()
+            .unwrap();
+        ("mpk2-smp", os)
+    });
+    for (name, os) in lwip_isolating_images().into_iter().chain(smp_images) {
         let env = &os.env;
         let redis = os.app_ids[0];
         let lwip = env.component_id("lwip").unwrap();

@@ -21,8 +21,8 @@ const NET_BUDGET: ResourceBudget = ResourceBudget {
 };
 
 /// Builds the two-tenant image: redis-a/tenant-a, redis-b/tenant-b,
-/// lwip alone in `net` (budgeted or not).
-fn tenants_image(net_budget: Option<ResourceBudget>) -> FlexOs {
+/// lwip alone in `net` (budgeted or not), on `cores` simulated vCPUs.
+fn tenants_image_cores(net_budget: Option<ResourceBudget>, cores: usize) -> FlexOs {
     let config = configs::mpk_tenants(net_budget).unwrap();
     let mut redis_a = flexos_apps::redis_component();
     redis_a.name = "redis-a".to_string();
@@ -31,8 +31,13 @@ fn tenants_image(net_budget: Option<ResourceBudget>) -> FlexOs {
     SystemBuilder::new(config)
         .app(redis_a)
         .app(redis_b)
+        .cores(cores)
         .build()
         .unwrap()
+}
+
+fn tenants_image(net_budget: Option<ResourceBudget>) -> FlexOs {
+    tenants_image_cores(net_budget, 1)
 }
 
 /// One tenant's serving loop: preloaded key, live client connection.
@@ -120,48 +125,110 @@ fn hostile_tenant_is_blocked_rebooted_and_the_image_survives() {
 
 #[test]
 fn surviving_tenant_stream_and_throughput_match_the_unbudgeted_baseline() {
-    // Baseline: budgets OFF, nobody attacks. Tenant B serves 40 GETs.
-    let base_os = tenants_image(None);
-    let _base_a = tenant_up(&base_os, "redis-a", 6379, 50_000);
-    let mut base_b = tenant_up(&base_os, "redis-b", 6380, 50_001);
-    let start = base_os.cycles();
-    let base_replies = serve_gets(&base_os, &mut base_b, 40);
-    let base_cycles = base_os.cycles() - start;
+    // Parametrized over simulated core counts (PR 10): the recovery
+    // path and the co-tenant byte-identity claim must hold unchanged
+    // whether the image runs on 1, 2, or 4 vCPUs (the tenant loop stays
+    // on core 0, so the claim is exact at every core count).
+    for cores in [1usize, 2, 4] {
+        // Baseline: budgets OFF, nobody attacks. Tenant B serves 40 GETs.
+        let base_os = tenants_image_cores(None, cores);
+        let _base_a = tenant_up(&base_os, "redis-a", 6379, 50_000);
+        let mut base_b = tenant_up(&base_os, "redis-b", 6380, 50_001);
+        let start = base_os.cycles();
+        let base_replies = serve_gets(&base_os, &mut base_b, 40);
+        let base_cycles = base_os.cycles() - start;
 
-    // Attacked run: budgets ON, hostile lwip exhausts them mid-stream,
-    // supervisor reboots `net` — tenant B's stream must not change.
+        // Attacked run: budgets ON, hostile lwip exhausts them mid-stream,
+        // supervisor reboots `net` — tenant B's stream must not change.
+        let os = tenants_image_cores(Some(NET_BUDGET), cores);
+        let env = Rc::clone(&os.env);
+        let sup = Supervisor::new(Rc::clone(&os.env), Rc::clone(&os.sched));
+        let _a = tenant_up(&os, "redis-a", 6379, 50_000);
+        let mut b = tenant_up(&os, "redis-b", 6380, 50_001);
+        env.reset_budget_usage();
+
+        let start = os.cycles();
+        let mut replies = serve_gets(&os, &mut b, 20);
+        let serve_cycles_first = os.cycles() - start;
+
+        // Mid-stream attack + recovery (refusals and the reboot run on the
+        // supervisor/TCB side; the measured tenant path is untouched).
+        let lwip = env.component_id("lwip").unwrap();
+        let hog = env.run_as(lwip, || {
+            env.observe(env.compute_checked(Work::cycles(NET_BUDGET.cycles.unwrap() + 1)))
+        });
+        assert!(matches!(hog, Err(Fault::BudgetExceeded { .. })));
+        sup.poll().expect("recovery happened");
+
+        let start = os.cycles();
+        replies.extend(serve_gets(&os, &mut b, 20));
+        let serve_cycles_second = os.cycles() - start;
+
+        assert_eq!(
+            replies, base_replies,
+            "surviving tenant's reply stream must be byte-identical at {cores} core(s)"
+        );
+        // Budget charging is off the virtual clock and the reboot touched
+        // only `net`: the co-tenant's cycles match the baseline exactly —
+        // before and after the recovery.
+        assert_eq!(
+            serve_cycles_first + serve_cycles_second,
+            base_cycles,
+            "co-tenant throughput diverged at {cores} core(s)"
+        );
+    }
+}
+
+#[test]
+fn crash_looping_compartment_is_evicted_after_the_restart_budget() {
+    // PR 10 satellite: with a restart budget of 2, the third trigger
+    // fault evicts the compartment — permanent quarantine instead of an
+    // infinite reboot storm.
     let os = tenants_image(Some(NET_BUDGET));
     let env = Rc::clone(&os.env);
-    let sup = Supervisor::new(Rc::clone(&os.env), Rc::clone(&os.sched));
-    let _a = tenant_up(&os, "redis-a", 6379, 50_000);
-    let mut b = tenant_up(&os, "redis-b", 6380, 50_001);
-    env.reset_budget_usage();
-
-    let start = os.cycles();
-    let mut replies = serve_gets(&os, &mut b, 20);
-    let serve_cycles_first = os.cycles() - start;
-
-    // Mid-stream attack + recovery (refusals and the reboot run on the
-    // supervisor/TCB side; the measured tenant path is untouched).
+    let sup = Supervisor::new(Rc::clone(&os.env), Rc::clone(&os.sched)).with_restart_budget(2);
     let lwip = env.component_id("lwip").unwrap();
-    let hog = env.run_as(lwip, || {
-        env.observe(env.compute_checked(Work::cycles(NET_BUDGET.cycles.unwrap() + 1)))
+    let net = env.compartment_of(lwip);
+    let trip = || {
+        let hog = env.run_as(lwip, || {
+            env.observe(env.compute_checked(Work::cycles(NET_BUDGET.cycles.unwrap() + 1)))
+        });
+        assert!(matches!(hog, Err(Fault::BudgetExceeded { .. })));
+    };
+
+    // The first two faults are cured by microreboots, as before.
+    for round in 1..=2u32 {
+        trip();
+        let report = sup.poll().expect("within the restart budget: reboot");
+        assert_eq!(report.compartment_name, "net");
+        assert_eq!(sup.reboot_count(net), round);
+        assert!(!sup.is_evicted(net));
+    }
+
+    // The third exhausts the budget: no reboot, eviction instead.
+    trip();
+    assert!(sup.poll().is_none(), "budget exhausted: no more reboots");
+    assert!(sup.is_evicted(net));
+    assert_eq!(sup.evictions(), vec![net]);
+    assert_eq!(sup.reboot_count(net), 2, "the evicting fault never reboots");
+    assert!(env.is_quarantined(net), "eviction is permanent quarantine");
+
+    // Gates refuse entry into the dead tenant from now on...
+    let redis = os.component("redis-a").unwrap();
+    env.run_as(redis, || {
+        assert!(matches!(
+            env.call(lwip, "lwip_recv", || Ok(())).unwrap_err(),
+            Fault::Quarantined { .. }
+        ));
     });
-    assert!(matches!(hog, Err(Fault::BudgetExceeded { .. })));
-    sup.poll().expect("recovery happened");
-
-    let start = os.cycles();
-    replies.extend(serve_gets(&os, &mut b, 20));
-    let serve_cycles_second = os.cycles() - start;
-
-    assert_eq!(
-        replies, base_replies,
-        "surviving tenant's reply stream must be byte-identical"
-    );
-    // Budget charging is off the virtual clock and the reboot touched
-    // only `net`: the co-tenant's cycles match the baseline exactly —
-    // before and after the recovery.
-    assert_eq!(serve_cycles_first + serve_cycles_second, base_cycles);
+    // ...and further fault bursts drain quietly: still no reboot, the
+    // quarantine bit never clears.
+    let _ = env.run_as(redis, || {
+        env.observe(env.call(lwip, "lwip_recv", || Ok(())))
+    });
+    assert!(sup.poll().is_none());
+    assert!(env.is_quarantined(net));
+    assert_eq!(sup.reports().len(), 2);
 }
 
 #[test]
